@@ -1,0 +1,78 @@
+//! Criterion benches: one group per SD-VBS benchmark, plus an input-size
+//! sweep for the data-intensive disparity benchmark (the Figure 2 axis).
+//!
+//! Run with `cargo bench` (or `cargo bench -p sdvbs-bench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdvbs_core::{all_benchmarks, Benchmark, InputSize};
+use sdvbs_profile::Profiler;
+use std::time::Duration;
+
+/// Measures the pipeline-only time reported by the profiler, excluding
+/// synthetic input generation (mirroring SD-VBS, which reads inputs
+/// before the measured region).
+fn iter_pipeline(
+    b: &mut criterion::Bencher<'_>,
+    bench: &(dyn Benchmark + Send + Sync),
+    size: InputSize,
+) {
+    b.iter_custom(|iters| {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let mut prof = Profiler::new();
+            std::hint::black_box(bench.run(size, 1, &mut prof));
+            total += prof.total();
+        }
+        total
+    });
+}
+
+/// One Criterion benchmark per suite entry at SQCIF (the paper's smallest
+/// class, chosen so the full sweep completes in minutes).
+fn suite_at_sqcif(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqcif");
+    group.sample_size(10);
+    for bench in all_benchmarks() {
+        bench.warmup();
+        let name = bench.info().name.replace(' ', "_").to_lowercase();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            iter_pipeline(b, bench.as_ref(), InputSize::Sqcif);
+        });
+    }
+    group.finish();
+}
+
+/// Disparity across the three named sizes: the steepest line of Figure 2.
+fn disparity_scaling(c: &mut Criterion) {
+    let suite = all_benchmarks();
+    let disparity = suite.into_iter().next().expect("disparity is first");
+    let mut group = c.benchmark_group("disparity_scaling");
+    group.sample_size(10);
+    for size in InputSize::NAMED {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size.label()),
+            &size,
+            |b, &size| {
+                iter_pipeline(b, disparity.as_ref(), size);
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The Table IV dataflow analysis itself, benchmarked (it is a measurable
+/// workload in its own right: tracing multiplies every arithmetic op).
+fn dataflow_tracer(c: &mut Criterion) {
+    use sdvbs_dataflow::kernels as dk;
+    let mut group = c.benchmark_group("dataflow_tracer");
+    group.sample_size(10);
+    group.bench_function("ssd_64x48", |b| b.iter(|| std::hint::black_box(dk::ssd(64, 48))));
+    group.bench_function("sort_2048", |b| b.iter(|| std::hint::black_box(dk::sort(2048))));
+    group.bench_function("matrix_ops_48", |b| {
+        b.iter(|| std::hint::black_box(dk::matrix_ops(48)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, suite_at_sqcif, disparity_scaling, dataflow_tracer);
+criterion_main!(benches);

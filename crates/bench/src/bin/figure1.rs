@@ -1,0 +1,40 @@
+//! Regenerates Figure 1: "Decomposition of the Vision Benchmarks into
+//! their major kernels", including the arrows marking kernels shared
+//! between applications.
+
+use sdvbs_bench::header;
+use sdvbs_core::all_benchmarks;
+use std::collections::BTreeMap;
+
+fn main() {
+    header("Figure 1 — Decomposition of the benchmarks into their major kernels");
+    let suite = all_benchmarks();
+    // Count kernel usage across benchmarks to mark shared ones.
+    let mut users: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for bench in &suite {
+        for &k in bench.info().kernels {
+            users.entry(k).or_default().push(bench.info().name);
+        }
+    }
+    for bench in &suite {
+        let info = bench.info();
+        println!("{}", info.name);
+        for &k in info.kernels {
+            let shared = &users[k];
+            if shared.len() > 1 {
+                let others: Vec<&str> =
+                    shared.iter().filter(|&&n| n != info.name).copied().collect();
+                println!("  {:<18} <-> shared with {}", k, others.join(", "));
+            } else {
+                println!("  {k}");
+            }
+        }
+        println!();
+    }
+    let shared_count = users.values().filter(|v| v.len() > 1).count();
+    println!(
+        "{} distinct kernels across 9 benchmarks; {} appear in more than one benchmark.",
+        users.len(),
+        shared_count
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates Figure 3: "Benchmark hot spots" — the percentage occupancy
+//! of each kernel at the three input sizes, for every benchmark.
+
+use sdvbs_bench::{header, run_timed};
+use sdvbs_core::{all_benchmarks, InputSize};
+
+fn main() {
+    header("Figure 3 — Benchmark hot spots (kernel occupancy vs input size)");
+    println!("Columns are the paper's relative input sizes: 1 = SQCIF, 2 = QCIF, 4 = CIF.\n");
+    let reps = 3;
+    for bench in all_benchmarks() {
+        let info = bench.info();
+        println!("{} [{}]", info.name, info.characteristic);
+        // Collect occupancy per size.
+        let reports: Vec<_> = InputSize::NAMED
+            .iter()
+            .map(|&size| run_timed(bench.as_ref(), size, 1, reps).1)
+            .collect();
+        // Row per kernel (first-seen order of the smallest size), plus
+        // non-kernel work.
+        let mut names: Vec<String> =
+            reports[0].kernels().iter().map(|k| k.name.clone()).collect();
+        names.push("NonKernelWork".to_string());
+        println!("    {:<20} {:>8} {:>8} {:>8}", "kernel", "1", "2", "4");
+        for name in &names {
+            let cells: Vec<String> = reports
+                .iter()
+                .map(|r| {
+                    let pct = if name == "NonKernelWork" {
+                        r.non_kernel_percent()
+                    } else {
+                        r.occupancy(name).unwrap_or(0.0)
+                    };
+                    format!("{pct:>7.1}%")
+                })
+                .collect();
+            println!("    {:<20} {}", name, cells.join(" "));
+        }
+        let totals: Vec<String> = reports
+            .iter()
+            .map(|r| format!("{:>7.1}m", r.total().as_secs_f64() * 1e3))
+            .collect();
+        println!("    {:<20} {}", "(total ms)", totals.join(" "));
+        println!();
+    }
+}

@@ -1,0 +1,60 @@
+//! Input-sensitivity study: the paper ships "several distinct inputs for
+//! each of the sizes, which can facilitate power and sensitivity
+//! studies". Our seeds play that role — this harness runs every benchmark
+//! on five distinct inputs per size class and reports the runtime and
+//! quality spread.
+
+use sdvbs_bench::{fmt_ms, header, run_timed};
+use sdvbs_core::{all_benchmarks, InputSize};
+use sdvbs_profile::Profiler;
+use std::time::Duration;
+
+fn main() {
+    header("Input sensitivity — five distinct inputs per benchmark (SQCIF)");
+    let seeds = [1u64, 2, 3, 4, 5];
+    println!(
+        "{:<20} {:>10} {:>10} {:>9} {:>10} {:>10}",
+        "benchmark", "min (ms)", "max (ms)", "spread", "min qual", "max qual"
+    );
+    println!("{}", "-".repeat(76));
+    for bench in all_benchmarks() {
+        bench.warmup();
+        let mut times: Vec<Duration> = Vec::new();
+        let mut qualities: Vec<f64> = Vec::new();
+        for &seed in &seeds {
+            let (t, _) = run_timed(bench.as_ref(), InputSize::Sqcif, seed, 2);
+            times.push(t);
+            let mut prof = Profiler::new();
+            let outcome = bench.run(InputSize::Sqcif, seed, &mut prof);
+            if let Some(q) = outcome.quality {
+                qualities.push(q);
+            }
+        }
+        let min_t = *times.iter().min().expect("five seeds");
+        let max_t = *times.iter().max().expect("five seeds");
+        let spread = max_t.as_secs_f64() / min_t.as_secs_f64();
+        let (min_q, max_q) = qualities.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |a, &q| {
+            (a.0.min(q), a.1.max(q))
+        });
+        let fq = |q: f64| {
+            if q.is_finite() {
+                format!("{q:.3}")
+            } else {
+                "n/a".to_string()
+            }
+        };
+        println!(
+            "{:<20} {:>10} {:>10} {:>8.2}x {:>10} {:>10}",
+            bench.info().name,
+            fmt_ms(min_t),
+            fmt_ms(max_t),
+            spread,
+            fq(min_q),
+            fq(max_q),
+        );
+    }
+    println!();
+    println!("The paper's observation that some benchmarks are sensitive to input");
+    println!("*content* (stitch to feature quality, localization to the trajectory)");
+    println!("shows up as runtime/quality spread across seeds at a fixed size.");
+}

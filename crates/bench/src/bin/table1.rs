@@ -1,0 +1,15 @@
+//! Regenerates Table I: "Benchmark classification based on concentration
+//! area".
+
+use sdvbs_bench::header;
+use sdvbs_core::all_benchmarks;
+
+fn main() {
+    header("Table I — Benchmark classification based on concentration area");
+    println!("{:<22} | {}", "Benchmark", "Concentration Area");
+    println!("{:-<22}-+-{:-<40}", "", "");
+    for bench in all_benchmarks() {
+        let info = bench.info();
+        println!("{:<22} | {}", info.name, info.area);
+    }
+}

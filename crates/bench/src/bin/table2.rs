@@ -1,0 +1,31 @@
+//! Regenerates Table II: "Brief description of SD-VBS benchmarks".
+
+use sdvbs_bench::header;
+use sdvbs_core::all_benchmarks;
+
+fn main() {
+    header("Table II — Brief description of SD-VBS benchmarks");
+    println!(
+        "{:<20} | {:<58} | {:<36} | {}",
+        "Benchmark", "Description", "Characteristic", "Application Domain"
+    );
+    println!("{:-<20}-+-{:-<58}-+-{:-<36}-+-{:-<30}", "", "", "", "");
+    for bench in all_benchmarks() {
+        let info = bench.info();
+        println!(
+            "{:<20} | {:<58} | {:<36} | {}",
+            info.name,
+            truncate(info.description, 58),
+            info.characteristic.to_string(),
+            info.domain
+        );
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}...", &s[..n - 3])
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared harness utilities for the table/figure regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | binary    | reproduces |
+//! |-----------|------------|
+//! | `table1`  | Table I — benchmark classification by concentration area |
+//! | `table2`  | Table II — descriptions, characteristics, domains |
+//! | `figure1` | Figure 1 — kernel decomposition (with shared kernels) |
+//! | `figure2` | Figure 2 — execution time vs input size |
+//! | `figure3` | Figure 3 — per-kernel occupancy at the three sizes |
+//! | `table4`  | Table IV — work/span parallelism per kernel |
+//!
+//! Run any of them with `cargo run --release -p sdvbs-bench --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sdvbs_core::{Benchmark, InputSize};
+use sdvbs_profile::{Profiler, Report};
+use std::time::Duration;
+
+/// Runs a benchmark `reps` times at `size` (after a warmup call) and
+/// returns the best wall-clock time with its kernel report.
+pub fn run_timed(
+    bench: &(dyn Benchmark + Send + Sync),
+    size: InputSize,
+    seed: u64,
+    reps: usize,
+) -> (Duration, Report) {
+    bench.warmup();
+    // Untimed warmup run (page-faults, allocator growth).
+    let mut warm = Profiler::new();
+    bench.run(size, seed, &mut warm);
+    let mut best: Option<(Duration, Report)> = None;
+    for _ in 0..reps.max(1) {
+        let mut prof = Profiler::new();
+        bench.run(size, seed, &mut prof);
+        let total = prof.total();
+        if best.as_ref().is_none_or(|(t, _)| total < *t) {
+            best = Some((total, prof.report()));
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Prints a section header matching the other regenerators' style.
+pub fn header(title: &str) {
+    let line = "=".repeat(title.len().max(8));
+    println!("{line}\n{title}\n{line}\n");
+}
+
+/// Formats a duration as milliseconds with sensible precision.
+pub fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms < 10.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvbs_core::all_benchmarks;
+
+    #[test]
+    fn run_timed_returns_consistent_report() {
+        let suite = all_benchmarks();
+        let size = InputSize::Custom { width: 64, height: 48 };
+        let (time, report) = run_timed(suite[0].as_ref(), size, 1, 2);
+        assert!(time.as_nanos() > 0);
+        assert!(!report.kernels().is_empty());
+    }
+
+    #[test]
+    fn fmt_ms_precision() {
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.50");
+        assert_eq!(fmt_ms(Duration::from_millis(123)), "123.0");
+    }
+}

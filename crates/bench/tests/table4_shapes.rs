@@ -1,0 +1,88 @@
+//! Structural assertions over the Table IV reproduction: the orderings
+//! and scaling behaviors that must hold regardless of instance size.
+
+use sdvbs_dataflow::kernels as dk;
+
+/// The paper's panel shows integral image occupancy *shrinking* with input
+/// size because its parallelism grows with the image — verify the
+/// underlying scaling.
+#[test]
+fn integral_image_parallelism_grows_with_size() {
+    let small = dk::integral_image(32, 24);
+    let medium = dk::integral_image(64, 48);
+    let large = dk::integral_image(128, 96);
+    assert!(medium.parallelism() > small.parallelism());
+    assert!(large.parallelism() > medium.parallelism());
+}
+
+/// Embarrassingly parallel pixel kernels dominate chain-limited kernels
+/// at matched sizes.
+#[test]
+fn pixel_kernels_beat_chain_kernels() {
+    let (w, h) = (64, 48);
+    let conv = dk::convolution(w, h, 5);
+    let corr = dk::correlation(w, h, 5);
+    let ii = dk::integral_image(w, h);
+    assert!(conv.parallelism() > 10.0 * ii.parallelism());
+    assert!(corr.parallelism() > 10.0 * ii.parallelism());
+}
+
+/// Sort's parallelism scales with n (its span is the network depth, which
+/// grows only logarithmically).
+#[test]
+fn sort_parallelism_scales_with_n() {
+    let small = dk::sort(256);
+    let large = dk::sort(4096);
+    assert!(large.parallelism() > 4.0 * small.parallelism());
+}
+
+/// SVD is the most serialized stitch kernel: its dependent Jacobi sweeps
+/// must show less parallelism than the LS solver's tree-reduced normal
+/// equations, which in turn trail plain convolution.
+#[test]
+fn stitch_kernel_ordering() {
+    let svd = dk::svd(48, 6, 2);
+    let ls = dk::ls_solver(128, 6);
+    let conv = dk::convolution(64, 48, 5);
+    assert!(svd.parallelism() < ls.parallelism());
+    assert!(ls.parallelism() < conv.parallelism());
+}
+
+/// The learning kernel serializes across epochs: doubling epochs roughly
+/// doubles both work and span, leaving parallelism flat.
+#[test]
+fn learning_epochs_serialize() {
+    let few = dk::learning(64, 16, 3);
+    let many = dk::learning(64, 16, 6);
+    assert!(many.work > few.work);
+    assert!(many.span > few.span);
+    let ratio = many.parallelism() / few.parallelism();
+    assert!((0.5..=2.0).contains(&ratio), "parallelism ratio {ratio}");
+}
+
+/// Every Table IV kernel exhibits substantial intrinsic parallelism — the
+/// paper's headline claim about vision workloads.
+#[test]
+fn all_kernels_show_meaningful_parallelism() {
+    let stats = [
+        dk::correlation(48, 36, 5),
+        dk::integral_image(48, 36),
+        dk::sort(512),
+        dk::ssd(48, 36),
+        dk::gradient(48, 36),
+        dk::gaussian_filter(48, 36, 5),
+        dk::area_sum(48, 36, 5),
+        dk::matrix_inversion(2, 100),
+        dk::sift(48, 36),
+        dk::interpolation(24, 18, 2),
+        dk::ls_solver(64, 6),
+        dk::svd(32, 6, 2),
+        dk::convolution(48, 36, 5),
+        dk::matrix_ops(32),
+        dk::learning(64, 16, 4),
+        dk::conjugate_matrix(48, 8),
+    ];
+    for (i, s) in stats.iter().enumerate() {
+        assert!(s.parallelism() > 10.0, "kernel {i}: parallelism {}", s.parallelism());
+    }
+}

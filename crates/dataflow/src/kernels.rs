@@ -1,0 +1,725 @@
+//! Miniature traced implementations of every kernel row in the paper's
+//! Table IV.
+//!
+//! Each function builds a deterministic synthetic input, runs the kernel's
+//! algorithmic structure on [`Tv`] values inside a [`trace`] session, and
+//! returns the measured [`TraceStats`]. The *sizes* are scaled-down
+//! versions of what the full benchmarks use (tracing multiplies memory per
+//! scalar), but the dependence structure — which is what determines
+//! work/span parallelism — is the same as the production kernels in the
+//! benchmark crates.
+//!
+//! Reductions are expressed with [`tree_sum`], reflecting the ideal
+//! dataflow machine's freedom to reassociate associative reductions; this
+//! matches the oracle assumption behind the paper's numbers.
+
+use crate::traced::{trace, TraceStats, Tv};
+
+/// Sums a slice of traced values with a balanced reduction tree
+/// (span `⌈log₂ n⌉` instead of a length-`n` chain).
+pub fn tree_sum(vals: &[Tv]) -> Tv {
+    match vals.len() {
+        0 => Tv::lit(0.0),
+        1 => vals[0],
+        n => {
+            let (a, b) = vals.split_at(n / 2);
+            tree_sum(a) + tree_sum(b)
+        }
+    }
+}
+
+/// Deterministic pseudo-random pattern in `0.0..1.0` (no RNG dependency;
+/// reproducible across runs and platforms).
+fn pattern(i: usize) -> f64 {
+    let x = (i as u64).wrapping_mul(2654435761).wrapping_add(12345);
+    (x % 10007) as f64 / 10007.0
+}
+
+fn image(w: usize, h: usize) -> Vec<Tv> {
+    (0..w * h).map(|i| Tv::lit(pattern(i))).collect()
+}
+
+/// Disparity's "Correlation" kernel: windowed sum-of-absolute-differences
+/// between an image and its shifted pair, one window per pixel.
+pub fn correlation(w: usize, h: usize, win: usize) -> TraceStats {
+    trace(|| {
+        let a = image(w, h);
+        let b: Vec<Tv> = (0..w * h).map(|i| Tv::lit(pattern(i + 3))).collect();
+        let half = win / 2;
+        let mut out = Vec::with_capacity(w * h);
+        for y in half..h - half {
+            for x in half..w - half {
+                let mut terms = Vec::with_capacity(win * win);
+                for dy in 0..win {
+                    for dx in 0..win {
+                        let idx = (y + dy - half) * w + (x + dx - half);
+                        terms.push((a[idx] - b[idx]).abs());
+                    }
+                }
+                out.push(tree_sum(&terms));
+            }
+        }
+        std::hint::black_box(out.len());
+    })
+}
+
+/// The "Integral Image" kernel: row prefix sums then column prefix sums.
+/// Prefix sums are genuine dependence chains, so the span grows with
+/// `w + h` — this is why the paper observes integral image occupancy
+/// *shrinking* as images grow (its parallelism scales with size).
+pub fn integral_image(w: usize, h: usize) -> TraceStats {
+    trace(|| {
+        let mut img = image(w, h);
+        for y in 0..h {
+            for x in 1..w {
+                img[y * w + x] = img[y * w + x] + img[y * w + x - 1];
+            }
+        }
+        for x in 0..w {
+            for y in 1..h {
+                img[y * w + x] = img[y * w + x] + img[(y - 1) * w + x];
+            }
+        }
+        std::hint::black_box(img.len());
+    })
+}
+
+/// The "Sort" kernel as a bitonic sorting network of traced
+/// compare-exchange nodes.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two (bitonic networks require it).
+pub fn sort(n: usize) -> TraceStats {
+    assert!(n.is_power_of_two(), "bitonic sort requires a power-of-two size");
+    trace(|| {
+        let mut v: Vec<Tv> = (0..n).map(|i| Tv::lit(pattern(i))).collect();
+        // Standard iterative bitonic sort.
+        let mut k = 2;
+        while k <= n {
+            let mut j = k / 2;
+            while j > 0 {
+                for i in 0..n {
+                    let l = i ^ j;
+                    if l > i {
+                        let ascending = (i & k) == 0;
+                        let (lo, hi) = v[i].ordered(v[l]);
+                        if ascending {
+                            v[i] = lo;
+                            v[l] = hi;
+                        } else {
+                            v[i] = hi;
+                            v[l] = lo;
+                        }
+                    }
+                }
+                j /= 2;
+            }
+            k *= 2;
+        }
+        debug_assert!(v.windows(2).all(|p| p[0].value() <= p[1].value()));
+        std::hint::black_box(v.len());
+    })
+}
+
+/// Disparity's "SSD" kernel: per-pixel squared differences reduced to one
+/// score.
+pub fn ssd(w: usize, h: usize) -> TraceStats {
+    trace(|| {
+        let a = image(w, h);
+        let b: Vec<Tv> = (0..w * h).map(|i| Tv::lit(pattern(i + 7))).collect();
+        let diffs: Vec<Tv> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| {
+                let d = *x - *y;
+                d * d
+            })
+            .collect();
+        std::hint::black_box(tree_sum(&diffs).value());
+    })
+}
+
+/// Tracking's "Gradient" kernel: central differences in x and y.
+pub fn gradient(w: usize, h: usize) -> TraceStats {
+    trace(|| {
+        let img = image(w, h);
+        let mut gx = Vec::with_capacity(w * h);
+        let mut gy = Vec::with_capacity(w * h);
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                gx.push((img[y * w + x + 1] - img[y * w + x - 1]) * 0.5);
+                gy.push((img[(y + 1) * w + x] - img[(y - 1) * w + x]) * 0.5);
+            }
+        }
+        std::hint::black_box(gx.len() + gy.len());
+    })
+}
+
+/// Tracking's "Gaussian Filter" kernel: separable 1-D convolutions.
+pub fn gaussian_filter(w: usize, h: usize, taps: usize) -> TraceStats {
+    trace(|| {
+        let img = image(w, h);
+        let kernel: Vec<f64> = (0..taps)
+            .map(|i| {
+                let x = i as f64 - (taps as f64 - 1.0) / 2.0;
+                (-x * x / 2.0).exp()
+            })
+            .collect();
+        let half = taps / 2;
+        // Horizontal pass.
+        let mut tmp = vec![Tv::lit(0.0); w * h];
+        for y in 0..h {
+            for x in half..w - half {
+                let terms: Vec<Tv> =
+                    (0..taps).map(|k| img[y * w + x + k - half] * kernel[k]).collect();
+                tmp[y * w + x] = tree_sum(&terms);
+            }
+        }
+        // Vertical pass.
+        let mut out = vec![Tv::lit(0.0); w * h];
+        for y in half..h - half {
+            for x in 0..w {
+                let terms: Vec<Tv> =
+                    (0..taps).map(|k| tmp[(y + k - half) * w + x] * kernel[k]).collect();
+                out[y * w + x] = tree_sum(&terms);
+            }
+        }
+        std::hint::black_box(out.len());
+    })
+}
+
+/// Tracking's "Area Sum" kernel: windowed sums over the image, one
+/// independent reduction per output pixel.
+pub fn area_sum(w: usize, h: usize, win: usize) -> TraceStats {
+    trace(|| {
+        let img = image(w, h);
+        let mut out = Vec::new();
+        for y in 0..h - win {
+            for x in 0..w - win {
+                let terms: Vec<Tv> = (0..win * win)
+                    .map(|k| img[(y + k / win) * w + x + k % win])
+                    .collect();
+                out.push(tree_sum(&terms));
+            }
+        }
+        std::hint::black_box(out.len());
+    })
+}
+
+/// Tracking's "Matrix Inversion" kernel: `count` independent `n × n`
+/// Gauss-Jordan inversions (the tracker inverts one small normal-equation
+/// matrix per feature, so the instances are mutually independent).
+pub fn matrix_inversion(n: usize, count: usize) -> TraceStats {
+    trace(|| {
+        for c in 0..count {
+            // Diagonally dominant => invertible without pivoting.
+            let mut a: Vec<Tv> = (0..n * n)
+                .map(|i| {
+                    let base = pattern(i + c * n * n);
+                    if i / n == i % n {
+                        Tv::lit(base + n as f64)
+                    } else {
+                        Tv::lit(base)
+                    }
+                })
+                .collect();
+            let mut inv: Vec<Tv> =
+                (0..n * n).map(|i| Tv::lit(if i / n == i % n { 1.0 } else { 0.0 })).collect();
+            for col in 0..n {
+                let pivot = a[col * n + col];
+                for j in 0..n {
+                    a[col * n + j] = a[col * n + j] / pivot;
+                    inv[col * n + j] = inv[col * n + j] / pivot;
+                }
+                for row in 0..n {
+                    if row != col {
+                        let factor = a[row * n + col];
+                        for j in 0..n {
+                            a[row * n + j] = a[row * n + j] - factor * a[col * n + j];
+                            inv[row * n + j] = inv[row * n + j] - factor * inv[col * n + j];
+                        }
+                    }
+                }
+            }
+            std::hint::black_box(inv[0].value());
+        }
+    })
+}
+
+/// SIFT's headline kernel: difference-of-Gaussian pyramid, extrema
+/// detection (free comparisons), and orientation-histogram binning per
+/// keypoint.
+pub fn sift(w: usize, h: usize) -> TraceStats {
+    trace(|| {
+        let img = image(w, h);
+        // Three blur levels -> two DoG levels.
+        let mut levels: Vec<Vec<Tv>> = Vec::new();
+        let mut cur = img;
+        for _ in 0..3 {
+            let mut next = cur.clone();
+            for y in 1..h - 1 {
+                for x in 1..w - 1 {
+                    let terms = [
+                        cur[y * w + x] * 4.0,
+                        cur[y * w + x - 1],
+                        cur[y * w + x + 1],
+                        cur[(y - 1) * w + x],
+                        cur[(y + 1) * w + x],
+                    ];
+                    next[y * w + x] = tree_sum(&terms) * 0.125;
+                }
+            }
+            levels.push(next.clone());
+            cur = next;
+        }
+        let dogs: Vec<Vec<Tv>> = levels
+            .windows(2)
+            .map(|pair| pair[1].iter().zip(&pair[0]).map(|(a, b)| *a - *b).collect())
+            .collect();
+        // Extremum test is comparisons only (free); descriptors do MACs.
+        let mut count = 0usize;
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let c = dogs[0][y * w + x];
+                let neighbors = [
+                    dogs[0][y * w + x - 1],
+                    dogs[0][y * w + x + 1],
+                    dogs[0][(y - 1) * w + x],
+                    dogs[0][(y + 1) * w + x],
+                    dogs[1][y * w + x],
+                ];
+                if neighbors.iter().all(|n| c > *n) {
+                    count += 1;
+                    // Orientation histogram over a small patch.
+                    let mut bins = vec![Tv::lit(0.0); 8];
+                    for dy in 0..3 {
+                        for dx in 0..3 {
+                            let idx = (y + dy - 1) * w + x + dx - 1;
+                            let gx = dogs[0][idx] * 2.0;
+                            let gy = dogs[0][idx] * 3.0;
+                            let mag = (gx * gx + gy * gy).sqrt();
+                            bins[(dx + dy) % 8] = bins[(dx + dy) % 8] + mag;
+                        }
+                    }
+                    std::hint::black_box(bins[0].value());
+                }
+            }
+        }
+        std::hint::black_box(count);
+    })
+}
+
+/// SIFT's "Interpolation" kernel: bilinear upsampling, one independent
+/// 4-tap blend per output pixel.
+pub fn interpolation(w: usize, h: usize, factor: usize) -> TraceStats {
+    trace(|| {
+        let img = image(w, h);
+        let ow = w * factor;
+        let oh = h * factor;
+        let mut out = Vec::with_capacity(ow * oh);
+        for y in 0..oh {
+            for x in 0..ow {
+                let sx = x as f64 / factor as f64;
+                let sy = y as f64 / factor as f64;
+                let x0 = (sx as usize).min(w - 2);
+                let y0 = (sy as usize).min(h - 2);
+                let fx = sx - x0 as f64;
+                let fy = sy - y0 as f64;
+                let p00 = img[y0 * w + x0];
+                let p10 = img[y0 * w + x0 + 1];
+                let p01 = img[(y0 + 1) * w + x0];
+                let p11 = img[(y0 + 1) * w + x0 + 1];
+                let top = p00 + (p10 - p00) * fx;
+                let bot = p01 + (p11 - p01) * fx;
+                out.push(top + (bot - top) * fy);
+            }
+        }
+        std::hint::black_box(out.len());
+    })
+}
+
+/// Stitch's "LS Solver" kernel: normal equations `AᵀA x = Aᵀb` assembled
+/// with tree reductions, then Gaussian elimination.
+pub fn ls_solver(m: usize, n: usize) -> TraceStats {
+    trace(|| {
+        let a: Vec<Tv> = (0..m * n).map(|i| Tv::lit(pattern(i) + if i / n == i % n { 2.0 } else { 0.0 })).collect();
+        let b: Vec<Tv> = (0..m).map(|i| Tv::lit(pattern(i + 11))).collect();
+        // Assemble AtA and Atb.
+        let mut ata = vec![Tv::lit(0.0); n * n];
+        for p in 0..n {
+            for q in 0..n {
+                let terms: Vec<Tv> = (0..m).map(|i| a[i * n + p] * a[i * n + q]).collect();
+                ata[p * n + q] = tree_sum(&terms);
+            }
+        }
+        let mut atb = vec![Tv::lit(0.0); n];
+        for p in 0..n {
+            let terms: Vec<Tv> = (0..m).map(|i| a[i * n + p] * b[i]).collect();
+            atb[p] = tree_sum(&terms);
+        }
+        // Gaussian elimination without pivoting (diagonally boosted input).
+        for col in 0..n {
+            for row in col + 1..n {
+                let factor = ata[row * n + col] / ata[col * n + col];
+                for j in col..n {
+                    ata[row * n + j] = ata[row * n + j] - factor * ata[col * n + j];
+                }
+                atb[row] = atb[row] - factor * atb[col];
+            }
+        }
+        let mut x = vec![Tv::lit(0.0); n];
+        for row in (0..n).rev() {
+            let mut acc = atb[row];
+            for j in row + 1..n {
+                acc = acc - ata[row * n + j] * x[j];
+            }
+            x[row] = acc / ata[row * n + row];
+        }
+        std::hint::black_box(x[0].value());
+    })
+}
+
+/// Stitch's "SVD" kernel: one-sided Jacobi sweeps orthogonalizing column
+/// pairs.
+pub fn svd(m: usize, n: usize, sweeps: usize) -> TraceStats {
+    trace(|| {
+        let mut a: Vec<Tv> = (0..m * n).map(|i| Tv::lit(pattern(i) + 0.1)).collect();
+        for _ in 0..sweeps {
+            for p in 0..n {
+                for q in p + 1..n {
+                    let dots_pp: Vec<Tv> = (0..m).map(|i| a[i * n + p] * a[i * n + p]).collect();
+                    let dots_qq: Vec<Tv> = (0..m).map(|i| a[i * n + q] * a[i * n + q]).collect();
+                    let dots_pq: Vec<Tv> = (0..m).map(|i| a[i * n + p] * a[i * n + q]).collect();
+                    let app = tree_sum(&dots_pp);
+                    let aqq = tree_sum(&dots_qq);
+                    let apq = tree_sum(&dots_pq);
+                    let tau = (aqq - app) / (apq * 2.0 + 1e-30);
+                    let t = 1.0 / (tau.abs() + (tau * tau + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for i in 0..m {
+                        let ap = a[i * n + p];
+                        let aq = a[i * n + q];
+                        a[i * n + p] = ap * c - aq * s;
+                        a[i * n + q] = ap * s + aq * c;
+                    }
+                }
+            }
+        }
+        std::hint::black_box(a[0].value());
+    })
+}
+
+/// Stitch's "Convolution" kernel: dense 2-D convolution with a small
+/// kernel.
+pub fn convolution(w: usize, h: usize, k: usize) -> TraceStats {
+    trace(|| {
+        let img = image(w, h);
+        let kern: Vec<f64> = (0..k * k).map(|i| pattern(i + 5) - 0.5).collect();
+        let half = k / 2;
+        let mut out = Vec::new();
+        for y in half..h - half {
+            for x in half..w - half {
+                let terms: Vec<Tv> = (0..k * k)
+                    .map(|i| img[(y + i / k - half) * w + x + i % k - half] * kern[i])
+                    .collect();
+                out.push(tree_sum(&terms));
+            }
+        }
+        std::hint::black_box(out.len());
+    })
+}
+
+/// SVM's "Matrix Ops" kernel: dense matrix multiply with tree-reduced dot
+/// products.
+pub fn matrix_ops(n: usize) -> TraceStats {
+    trace(|| {
+        let a: Vec<Tv> = (0..n * n).map(|i| Tv::lit(pattern(i))).collect();
+        let b: Vec<Tv> = (0..n * n).map(|i| Tv::lit(pattern(i + 17))).collect();
+        let mut c = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let terms: Vec<Tv> = (0..n).map(|k| a[i * n + k] * b[k * n + j]).collect();
+                c.push(tree_sum(&terms));
+            }
+        }
+        std::hint::black_box(c.len());
+    })
+}
+
+/// SVM's "Learning" kernel: batch gradient descent epochs on a linear
+/// classifier — samples parallel within an epoch, epochs sequential.
+pub fn learning(samples: usize, dims: usize, epochs: usize) -> TraceStats {
+    trace(|| {
+        let xs: Vec<Tv> = (0..samples * dims).map(|i| Tv::lit(pattern(i))).collect();
+        let ys: Vec<f64> = (0..samples).map(|i| if pattern(i + 23) > 0.5 { 1.0 } else { -1.0 }).collect();
+        let mut w: Vec<Tv> = vec![Tv::lit(0.0); dims];
+        for _ in 0..epochs {
+            let mut grad = vec![Vec::with_capacity(samples); dims];
+            for s in 0..samples {
+                let terms: Vec<Tv> = (0..dims).map(|d| w[d] * xs[s * dims + d]).collect();
+                let margin = tree_sum(&terms) * ys[s];
+                // Hinge-style update contribution (selection is free).
+                if margin.value() < 1.0 {
+                    for (d, g) in grad.iter_mut().enumerate() {
+                        g.push(xs[s * dims + d] * ys[s]);
+                    }
+                }
+            }
+            for d in 0..dims {
+                if !grad[d].is_empty() {
+                    let g = tree_sum(&grad[d]);
+                    w[d] = w[d] + g * 0.01;
+                }
+            }
+        }
+        std::hint::black_box(w[0].value());
+    })
+}
+
+/// SVM's "Conjugate Matrix" kernel: conjugate-gradient iterations on an SPD
+/// system — matvecs parallel, iterations strictly sequential.
+pub fn conjugate_matrix(n: usize, iters: usize) -> TraceStats {
+    trace(|| {
+        // SPD matrix: diagonally dominant symmetric pattern.
+        let a: Vec<Tv> = (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                let v = pattern(r.min(c) * n + r.max(c));
+                Tv::lit(if r == c { v + n as f64 } else { v })
+            })
+            .collect();
+        let b: Vec<Tv> = (0..n).map(|i| Tv::lit(pattern(i + 31))).collect();
+        let mut x = vec![Tv::lit(0.0); n];
+        let mut r = b.clone();
+        let mut p = r.clone();
+        let rr_terms: Vec<Tv> = r.iter().map(|v| *v * *v).collect();
+        let mut rs_old = tree_sum(&rr_terms);
+        for _ in 0..iters {
+            let ap: Vec<Tv> = (0..n)
+                .map(|i| {
+                    let terms: Vec<Tv> = (0..n).map(|j| a[i * n + j] * p[j]).collect();
+                    tree_sum(&terms)
+                })
+                .collect();
+            let pap_terms: Vec<Tv> = p.iter().zip(&ap).map(|(u, v)| *u * *v).collect();
+            let alpha = rs_old / tree_sum(&pap_terms);
+            for i in 0..n {
+                x[i] = x[i] + alpha * p[i];
+                r[i] = r[i] - alpha * ap[i];
+            }
+            let rr_terms: Vec<Tv> = r.iter().map(|v| *v * *v).collect();
+            let rs_new = tree_sum(&rr_terms);
+            let beta = rs_new / rs_old;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+            rs_old = rs_new;
+        }
+        std::hint::black_box(x[0].value());
+    })
+}
+
+/// Localization's "Particle Filter" kernel: per-particle motion update
+/// (trig chain) and sensor likelihood (range + bearing per landmark) —
+/// particles mutually independent within a step, steps sequential.
+///
+/// Extension row: localization appears in the paper's Figure 3 but not in
+/// its Table IV; this mini-kernel completes the coverage.
+pub fn particle_filter(particles: usize, landmarks: usize, steps: usize) -> TraceStats {
+    trace(|| {
+        let mut xs: Vec<Tv> = (0..particles).map(|i| Tv::lit(pattern(i) * 20.0)).collect();
+        let mut ys: Vec<Tv> =
+            (0..particles).map(|i| Tv::lit(pattern(i + 1) * 20.0)).collect();
+        let mut thetas: Vec<Tv> =
+            (0..particles).map(|i| Tv::lit(pattern(i + 2) * 6.28)).collect();
+        let lms: Vec<(f64, f64)> =
+            (0..landmarks).map(|i| (pattern(i + 7) * 20.0, pattern(i + 11) * 20.0)).collect();
+        for s in 0..steps {
+            let trans = 0.5 + pattern(s) * 0.3;
+            let rot = pattern(s + 3) * 0.2 - 0.1;
+            let mut weights = Vec::with_capacity(particles);
+            for p in 0..particles {
+                // Motion model: sequential trig chain per particle.
+                thetas[p] = thetas[p] + rot;
+                xs[p] = xs[p] + thetas[p].cos() * trans;
+                ys[p] = ys[p] + thetas[p].sin() * trans;
+                // Sensor model: independent per landmark, combined by a
+                // product (log-sum) reduction.
+                let terms: Vec<Tv> = lms
+                    .iter()
+                    .map(|&(lx, ly)| {
+                        let dx = xs[p] - lx;
+                        let dy = ys[p] - ly;
+                        let range = (dx * dx + dy * dy).sqrt();
+                        let err = range - 5.0;
+                        -(err * err) * 0.5
+                    })
+                    .collect();
+                weights.push(tree_sum(&terms).exp());
+            }
+            // Normalization couples all particles (the resampling barrier).
+            let wsum = tree_sum(&weights);
+            for wp in weights.iter_mut() {
+                *wp = *wp / wsum;
+            }
+            std::hint::black_box(weights[0].value());
+        }
+    })
+}
+
+/// Segmentation's "Adjacency matrix" kernel: per-pixel-pair affinity
+/// weights (feature distance + spatial distance through an exp), every
+/// pair independent.
+///
+/// Extension row: segmentation's kernels appear in Figure 3 but not in
+/// Table IV.
+pub fn adjacency_matrix(w: usize, h: usize, radius: usize) -> TraceStats {
+    trace(|| {
+        let img = image(w, h);
+        let mut out = Vec::new();
+        let r = radius as isize;
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                for dy in 0..=r {
+                    for dx in -r..=r {
+                        if dy == 0 && dx <= 0 {
+                            continue;
+                        }
+                        let nx = x + dx;
+                        let ny = y + dy;
+                        if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                            continue;
+                        }
+                        let a = img[(y as usize) * w + x as usize];
+                        let b = img[(ny as usize) * w + nx as usize];
+                        let d = a - b;
+                        let spatial = (dx * dx + dy * dy) as f64 * 0.1;
+                        out.push((-(d * d) - spatial).exp());
+                    }
+                }
+            }
+        }
+        std::hint::black_box(out.len());
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_sum_matches_sequential_sum() {
+        let stats = trace(|| {
+            let vals: Vec<Tv> = (0..17).map(|i| Tv::lit(i as f64)).collect();
+            let t = tree_sum(&vals);
+            assert!((t.value() - 136.0).abs() < 1e-12);
+        });
+        assert_eq!(stats.work, 16);
+        assert!(stats.span <= 5); // ceil(log2 17)
+    }
+
+    #[test]
+    fn data_parallel_kernels_show_high_parallelism() {
+        for (name, stats) in [
+            ("ssd", ssd(32, 24)),
+            ("gradient", gradient(32, 24)),
+            ("interpolation", interpolation(16, 12, 2)),
+            ("area_sum", area_sum(24, 24, 4)),
+        ] {
+            assert!(
+                stats.parallelism() > 50.0,
+                "{name} parallelism too low: {}",
+                stats.parallelism()
+            );
+        }
+    }
+
+    #[test]
+    fn integral_image_is_limited_by_prefix_chains() {
+        let s = integral_image(64, 48);
+        // Span must be at least the longest prefix chain w + h - 2.
+        assert!(s.span >= 64 + 48 - 2);
+        assert!(s.parallelism() < s.work as f64);
+        assert!(s.parallelism() > 10.0);
+    }
+
+    #[test]
+    fn bitonic_sort_parallelism_scales_with_n() {
+        let small = sort(64);
+        let big = sort(512);
+        assert!(big.parallelism() > small.parallelism());
+        // Span is the number of network stages: log2(n)*(log2(n)+1)/2.
+        assert_eq!(small.span, 21);
+        assert_eq!(big.span, 45);
+    }
+
+    #[test]
+    fn sort_requires_power_of_two() {
+        let r = std::panic::catch_unwind(|| sort(100));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn matrix_inversion_instances_are_independent() {
+        let one = matrix_inversion(4, 1);
+        let many = matrix_inversion(4, 16);
+        // Same span (independent instances), ~16x the work.
+        assert_eq!(one.span, many.span);
+        assert!(many.work > 15 * one.work && many.work <= 17 * one.work);
+    }
+
+    #[test]
+    fn particle_filter_parallelism_scales_with_particles() {
+        let few = particle_filter(16, 4, 3);
+        let many = particle_filter(128, 4, 3);
+        // Particles are independent within a step: ~8x the work at nearly
+        // the same span means parallelism scales with the particle count.
+        assert!(many.parallelism() > 4.0 * few.parallelism());
+    }
+
+    #[test]
+    fn adjacency_matrix_is_embarrassingly_parallel() {
+        let s = adjacency_matrix(24, 20, 2);
+        // Every pair's weight is an independent short chain.
+        assert!(s.span < 12, "span {}", s.span);
+        assert!(s.parallelism() > 100.0);
+    }
+
+    #[test]
+    fn sequential_solvers_have_bounded_parallelism() {
+        let cg = conjugate_matrix(32, 8);
+        // CG iterations serialize: parallelism far below total work.
+        assert!(cg.parallelism() < cg.work as f64 / 50.0);
+        assert!(cg.parallelism() > 1.0);
+    }
+
+    #[test]
+    fn all_kernels_produce_nonzero_traces() {
+        let runs = [
+            correlation(16, 12, 3),
+            integral_image(16, 12),
+            ssd(16, 12),
+            gradient(16, 12),
+            gaussian_filter(16, 12, 5),
+            area_sum(16, 12, 3),
+            matrix_inversion(3, 2),
+            sift(16, 12),
+            interpolation(8, 6, 2),
+            ls_solver(16, 4),
+            svd(8, 4, 1),
+            convolution(12, 12, 3),
+            matrix_ops(8),
+            learning(16, 4, 2),
+            conjugate_matrix(8, 3),
+            particle_filter(16, 4, 2),
+            adjacency_matrix(12, 10, 2),
+        ];
+        for (i, s) in runs.iter().enumerate() {
+            assert!(s.work > 0, "kernel {i} traced no work");
+            assert!(s.span > 0, "kernel {i} traced no span");
+            assert!(s.span <= s.work, "kernel {i} span exceeds work");
+        }
+    }
+}

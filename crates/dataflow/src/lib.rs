@@ -1,0 +1,52 @@
+//! Dynamic dataflow critical-path analysis — the substrate behind the
+//! paper's Table IV ("parallelism across benchmarks and kernels").
+//!
+//! The paper estimates each kernel's *intrinsic* parallelism with a dynamic
+//! critical-path analysis in the style of Lam & Wilson: imagine an ideal
+//! dataflow machine with infinite functional units and free communication,
+//! and ask how long the computation takes when every operation fires the
+//! moment its operands are ready. Then
+//!
+//! ```text
+//! parallelism ≈ work / span
+//! ```
+//!
+//! where *work* is the number of operations retired and *span* is the
+//! length of the longest data-dependence chain.
+//!
+//! This crate implements exactly that measurement with a traced scalar type,
+//! [`Tv`]: every arithmetic operation on `Tv` values increments a work
+//! counter and stamps its result with `max(operand timestamps) + 1`. The
+//! largest timestamp produced during a [`trace`] session is the span.
+//! Control flow and index arithmetic are *untraced* — mirroring the paper's
+//! oracle, which assumes perfect branch resolution — so the measured
+//! parallelism is the optimistic dataflow limit, not what a real machine
+//! achieves.
+//!
+//! [`kernels`] hosts miniature implementations of every kernel row of
+//! Table IV, written directly on `Tv`, so the table can be regenerated.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdvbs_dataflow::{trace, Tv};
+//!
+//! // Summing a slice with a tree reduction has span O(log n):
+//! let stats = trace(|| {
+//!     let mut vals: Vec<Tv> = (0..8).map(|i| Tv::lit(i as f64)).collect();
+//!     while vals.len() > 1 {
+//!         vals = vals.chunks(2).map(|c| if c.len() == 2 { c[0] + c[1] } else { c[0] }).collect();
+//!     }
+//!     assert_eq!(vals[0].value(), 28.0);
+//! });
+//! assert_eq!(stats.work, 7);
+//! assert_eq!(stats.span, 3); // log2(8)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+mod traced;
+
+pub use traced::{trace, TraceStats, Tv};

@@ -1,0 +1,348 @@
+//! The traced scalar type and trace sessions.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+thread_local! {
+    static WORK: Cell<u64> = const { Cell::new(0) };
+    static SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Statistics from a [`trace`] session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Operations retired on [`Tv`] values.
+    pub work: u64,
+    /// Length of the longest data-dependence chain.
+    pub span: u64,
+}
+
+impl TraceStats {
+    /// Work divided by span — the dataflow-limit parallelism the paper's
+    /// Table IV reports. Returns `work` as-is when the span is zero (a
+    /// trace with no operations).
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            self.work as f64
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "work {} ops, span {} ops, parallelism {:.0}x",
+            self.work,
+            self.span,
+            self.parallelism()
+        )
+    }
+}
+
+/// Runs `f` in a fresh trace session and returns the work/span statistics
+/// of every [`Tv`] operation it performed.
+///
+/// Sessions are thread-local; nesting a `trace` inside another would reset
+/// the outer session's counters, so don't.
+pub fn trace<T>(f: impl FnOnce() -> T) -> TraceStats {
+    WORK.with(|w| w.set(0));
+    SPAN.with(|s| s.set(0));
+    let _out = f();
+    TraceStats { work: WORK.with(Cell::get), span: SPAN.with(Cell::get) }
+}
+
+/// A traced scalar: an `f64` carrying a dataflow timestamp.
+///
+/// Arithmetic on `Tv` behaves exactly like `f64` arithmetic on the value
+/// component, while the timestamp component records the depth of the
+/// data-dependence chain that produced the value. Comparisons work on the
+/// value only and are free — the idealized machine resolves control flow
+/// for free, as in the paper's critical-path oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct Tv {
+    v: f64,
+    ts: u64,
+}
+
+impl Tv {
+    /// A literal input value (timestamp zero: available at time 0).
+    pub fn lit(v: f64) -> Self {
+        Tv { v, ts: 0 }
+    }
+
+    /// The numeric value.
+    pub fn value(&self) -> f64 {
+        self.v
+    }
+
+    /// The dataflow timestamp (depth of the producing dependence chain).
+    pub fn timestamp(&self) -> u64 {
+        self.ts
+    }
+
+    fn op1(self, v: f64) -> Tv {
+        let ts = self.ts + 1;
+        bump(ts);
+        Tv { v, ts }
+    }
+
+    fn op2(self, rhs: Tv, v: f64) -> Tv {
+        let ts = self.ts.max(rhs.ts) + 1;
+        bump(ts);
+        Tv { v, ts }
+    }
+
+    /// Square root (counts as one operation).
+    pub fn sqrt(self) -> Tv {
+        self.op1(self.v.sqrt())
+    }
+
+    /// Absolute value (counts as one operation).
+    pub fn abs(self) -> Tv {
+        self.op1(self.v.abs())
+    }
+
+    /// Natural exponential (counts as one operation).
+    pub fn exp(self) -> Tv {
+        self.op1(self.v.exp())
+    }
+
+    /// Natural logarithm (counts as one operation).
+    pub fn ln(self) -> Tv {
+        self.op1(self.v.ln())
+    }
+
+    /// Sine (counts as one operation).
+    pub fn sin(self) -> Tv {
+        self.op1(self.v.sin())
+    }
+
+    /// Cosine (counts as one operation).
+    pub fn cos(self) -> Tv {
+        self.op1(self.v.cos())
+    }
+
+    /// Larger of two traced values (free selection after a free compare; the
+    /// chosen value keeps its own history).
+    pub fn max(self, rhs: Tv) -> Tv {
+        if self.v >= rhs.v {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Smaller of two traced values.
+    pub fn min(self, rhs: Tv) -> Tv {
+        if self.v <= rhs.v {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Compare-exchange: returns `(min, max)` as the outputs of a single
+    /// dataflow comparator node.
+    ///
+    /// Unlike the free [`Tv::min`]/[`Tv::max`] selections, both outputs
+    /// depend on both inputs (this is how a sorting network's comparator
+    /// behaves), so the pair is stamped `max(ts) + 1` and one operation is
+    /// charged.
+    pub fn ordered(self, rhs: Tv) -> (Tv, Tv) {
+        let ts = self.ts.max(rhs.ts) + 1;
+        bump(ts);
+        let (lo, hi) = if self.v <= rhs.v { (self.v, rhs.v) } else { (rhs.v, self.v) };
+        (Tv { v: lo, ts }, Tv { v: hi, ts })
+    }
+}
+
+fn bump(ts: u64) {
+    WORK.with(|w| w.set(w.get() + 1));
+    SPAN.with(|s| {
+        if ts > s.get() {
+            s.set(ts);
+        }
+    });
+}
+
+impl From<f64> for Tv {
+    fn from(v: f64) -> Self {
+        Tv::lit(v)
+    }
+}
+
+impl PartialEq for Tv {
+    fn eq(&self, other: &Self) -> bool {
+        self.v == other.v
+    }
+}
+
+impl PartialOrd for Tv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.v.partial_cmp(&other.v)
+    }
+}
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for Tv {
+            type Output = Tv;
+            fn $method(self, rhs: Tv) -> Tv {
+                self.op2(rhs, self.v $op rhs.v)
+            }
+        }
+        impl $trait<f64> for Tv {
+            type Output = Tv;
+            fn $method(self, rhs: f64) -> Tv {
+                self.op1(self.v $op rhs)
+            }
+        }
+        impl $trait<Tv> for f64 {
+            type Output = Tv;
+            fn $method(self, rhs: Tv) -> Tv {
+                rhs.op1(self $op rhs.v)
+            }
+        }
+    };
+}
+
+binop!(Add, add, +);
+binop!(Sub, sub, -);
+binop!(Mul, mul, *);
+binop!(Div, div, /);
+
+impl Neg for Tv {
+    type Output = Tv;
+    fn neg(self) -> Tv {
+        self.op1(-self.v)
+    }
+}
+
+impl AddAssign for Tv {
+    fn add_assign(&mut self, rhs: Tv) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Tv {
+    fn sub_assign(&mut self, rhs: Tv) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Tv {
+    fn mul_assign(&mut self, rhs: Tv) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Tv {
+    fn div_assign(&mut self, rhs: Tv) {
+        *self = *self / rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_chain_has_span_equal_to_work() {
+        let stats = trace(|| {
+            let mut acc = Tv::lit(0.0);
+            for i in 0..100 {
+                acc = acc + Tv::lit(i as f64);
+            }
+            assert_eq!(acc.value(), 4950.0);
+        });
+        assert_eq!(stats.work, 100);
+        assert_eq!(stats.span, 100);
+        assert!((stats.parallelism() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_ops_have_span_one() {
+        let stats = trace(|| {
+            let products: Vec<Tv> =
+                (0..50).map(|i| Tv::lit(i as f64) * Tv::lit(2.0)).collect();
+            assert_eq!(products[10].value(), 20.0);
+        });
+        assert_eq!(stats.work, 50);
+        assert_eq!(stats.span, 1);
+        assert!((stats.parallelism() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_f64_operands_trace_correctly() {
+        let stats = trace(|| {
+            let a = Tv::lit(3.0);
+            let b = 2.0 * a + 1.0; // two ops, chained
+            assert_eq!(b.value(), 7.0);
+            assert_eq!(b.timestamp(), 2);
+        });
+        assert_eq!(stats.work, 2);
+        assert_eq!(stats.span, 2);
+    }
+
+    #[test]
+    fn unary_functions_count_one_op() {
+        let stats = trace(|| {
+            let x = Tv::lit(4.0).sqrt();
+            assert_eq!(x.value(), 2.0);
+            let y = (-x).abs();
+            assert_eq!(y.value(), 2.0);
+        });
+        assert_eq!(stats.work, 3); // sqrt, neg, abs
+        assert_eq!(stats.span, 3);
+    }
+
+    #[test]
+    fn comparisons_and_selection_are_free() {
+        let stats = trace(|| {
+            let a = Tv::lit(1.0) + Tv::lit(2.0);
+            let b = Tv::lit(5.0);
+            let m = a.max(b);
+            assert_eq!(m.value(), 5.0);
+            assert_eq!(m.timestamp(), 0); // b was a literal
+            assert!(a < b);
+        });
+        assert_eq!(stats.work, 1); // only the add
+    }
+
+    #[test]
+    fn sessions_reset_counters() {
+        let s1 = trace(|| {
+            let _ = Tv::lit(1.0) + Tv::lit(1.0);
+        });
+        let s2 = trace(|| {});
+        assert_eq!(s1.work, 1);
+        assert_eq!(s2.work, 0);
+        assert_eq!(s2.span, 0);
+        assert_eq!(s2.parallelism(), 0.0);
+    }
+
+    #[test]
+    fn assign_ops_behave_like_binops() {
+        let stats = trace(|| {
+            let mut a = Tv::lit(10.0);
+            a += Tv::lit(5.0);
+            a -= Tv::lit(1.0);
+            a *= Tv::lit(2.0);
+            a /= Tv::lit(4.0);
+            assert_eq!(a.value(), 7.0);
+        });
+        assert_eq!(stats.work, 4);
+        assert_eq!(stats.span, 4);
+    }
+
+    #[test]
+    fn display_shows_parallelism() {
+        let s = TraceStats { work: 100, span: 4 };
+        assert!(s.to_string().contains("25x"));
+    }
+}

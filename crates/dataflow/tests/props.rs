@@ -1,0 +1,77 @@
+//! Property-based tests for the dataflow tracer.
+
+use proptest::prelude::*;
+use sdvbs_dataflow::{kernels, trace, Tv};
+
+proptest! {
+    /// Traced arithmetic computes exactly what plain f64 arithmetic does.
+    #[test]
+    fn traced_values_match_plain_arithmetic(
+        ops in proptest::collection::vec((0u8..4, -8.0f64..8.0), 1..30),
+    ) {
+        let mut plain = 1.5f64;
+        let stats = trace(|| {
+            let mut tv = Tv::lit(1.5);
+            for &(op, v) in &ops {
+                match op {
+                    0 => { tv = tv + v; plain += v; }
+                    1 => { tv = tv - v; plain -= v; }
+                    2 => { tv = tv * v; plain *= v; }
+                    _ => { let d = if v.abs() < 0.5 { 2.0 } else { v }; tv = tv / d; plain /= d; }
+                }
+            }
+            prop_assert!(
+                (tv.value() - plain).abs() < 1e-9 * plain.abs().max(1.0)
+                    || (tv.value().is_nan() && plain.is_nan()),
+                "{} vs {plain}", tv.value()
+            );
+            Ok(())
+        });
+        // One op per step, all chained.
+        prop_assert_eq!(stats.work, ops.len() as u64);
+        prop_assert_eq!(stats.span, ops.len() as u64);
+    }
+
+    /// `tree_sum` computes the same value as a sequential sum but with
+    /// logarithmic span.
+    #[test]
+    fn tree_sum_value_and_span(
+        vals in proptest::collection::vec(-100.0f64..100.0, 1..64),
+    ) {
+        let expected: f64 = vals.iter().sum();
+        let stats = trace(|| {
+            let tvs: Vec<Tv> = vals.iter().map(|&v| Tv::lit(v)).collect();
+            let t = kernels::tree_sum(&tvs);
+            prop_assert!((t.value() - expected).abs() < 1e-6, "{} vs {expected}", t.value());
+            Ok(())
+        });
+        let n = vals.len() as u64;
+        prop_assert_eq!(stats.work, n - 1);
+        // ceil(log2(n)) bound on the reduction-tree depth.
+        let log_bound = 64 - (n.max(1)).leading_zeros() as u64;
+        prop_assert!(stats.span <= log_bound + 1, "span {} for n {n}", stats.span);
+    }
+
+    /// Independent kernel instances scale work linearly but keep the span
+    /// fixed — the property Table IV's matrix-inversion row relies on.
+    #[test]
+    fn independent_instances_scale_work_not_span(count in 1usize..8) {
+        let one = kernels::matrix_inversion(3, 1);
+        let many = kernels::matrix_inversion(3, count);
+        prop_assert_eq!(many.span, one.span);
+        prop_assert_eq!(many.work, one.work * count as u64);
+    }
+
+    /// The compare-exchange network sorts correctly for any power-of-two
+    /// input size (validated inside the kernel's debug assertion; here we
+    /// just confirm the stats are structural constants).
+    #[test]
+    fn bitonic_sort_span_is_structural(pow in 2u32..9) {
+        let n = 1usize << pow;
+        let stats = kernels::sort(n);
+        // Stage count: pow * (pow + 1) / 2; each stage does n/2 ops.
+        let stages = (pow * (pow + 1) / 2) as u64;
+        prop_assert_eq!(stats.span, stages);
+        prop_assert_eq!(stats.work, stages * (n as u64) / 2);
+    }
+}

@@ -1,0 +1,507 @@
+//! SD-VBS benchmark 1: **Disparity Map** — dense stereo depth extraction.
+//!
+//! Given a stereo image pair taken from slightly different positions, the
+//! disparity algorithm computes, for *every* pixel (dense disparity), how
+//! far the pixel's scene point moved between the two views; nearer objects
+//! move more. The paper classifies this benchmark as *data intensive*:
+//! regular, prefetch-friendly accesses over fine-grained pixel data, with
+//! performance "limited only by the ability to pull the data into the
+//! chip".
+//!
+//! The implementation mirrors the SD-VBS `getDisparity` pipeline
+//! (Stereopsis, Marr & Poggio): for each candidate shift the right image is
+//! displaced, per-pixel squared differences are computed (**SSD** kernel),
+//! summed over a window via integral images (**Integral Image** +
+//! **Correlation** kernels), and the per-pixel argmin across shifts is
+//! retained (**Sort** kernel, in SD-VBS terms a running min-selection).
+//!
+//! # Examples
+//!
+//! ```
+//! use sdvbs_disparity::{compute_disparity, DisparityConfig};
+//! use sdvbs_image::Image;
+//! use sdvbs_profile::Profiler;
+//!
+//! // A trivial pair: right image is the left shifted by 2 pixels.
+//! let left = Image::from_fn(64, 32, |x, y| ((x * 7 + y * 13) % 97) as f32);
+//! let right = Image::from_fn(64, 32, |x, y| left.get_clamped(x as isize + 2, y as isize));
+//! let cfg = DisparityConfig::new(8, 5).unwrap();
+//! let mut prof = Profiler::new();
+//! let disp = compute_disparity(&left, &right, &cfg, &mut prof);
+//! assert_eq!(disp.get(32, 16), 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sdvbs_image::Image;
+use sdvbs_kernels::integral::IntegralImage;
+use sdvbs_profile::Profiler;
+use std::error::Error;
+use std::fmt;
+
+/// Configuration for the dense-stereo search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisparityConfig {
+    max_disparity: usize,
+    window: usize,
+}
+
+/// Error returned for invalid [`DisparityConfig`] parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig(String);
+
+impl fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid disparity configuration: {}", self.0)
+    }
+}
+
+impl Error for InvalidConfig {}
+
+impl DisparityConfig {
+    /// Creates a configuration searching shifts `0..=max_disparity` with an
+    /// odd `window × window` aggregation window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] if `max_disparity == 0` or `window` is even
+    /// or zero.
+    pub fn new(max_disparity: usize, window: usize) -> Result<Self, InvalidConfig> {
+        if max_disparity == 0 {
+            return Err(InvalidConfig("max_disparity must be at least 1".into()));
+        }
+        if window == 0 || window % 2 == 0 {
+            return Err(InvalidConfig(format!("window must be odd and positive, got {window}")));
+        }
+        Ok(DisparityConfig { max_disparity, window })
+    }
+
+    /// Largest shift searched.
+    pub fn max_disparity(&self) -> usize {
+        self.max_disparity
+    }
+
+    /// Aggregation window side length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Default for DisparityConfig {
+    /// The SD-VBS defaults: disparities up to 16, 9×9 window.
+    fn default() -> Self {
+        DisparityConfig { max_disparity: 16, window: 9 }
+    }
+}
+
+/// Computes the dense disparity map for a stereo pair.
+///
+/// Convention: a scene point at `(x, y)` in `left` appears at `(x − d, y)`
+/// in `right`; the returned image holds `d` per left pixel.
+///
+/// Kernel attribution (visible through `prof`): `SSD`, `IntegralImage`,
+/// `Correlation`, `Sort` — the decomposition of Figure 1/Figure 3 in the
+/// paper.
+///
+/// # Panics
+///
+/// Panics if the two images differ in size or are smaller than the
+/// aggregation window.
+pub fn compute_disparity(
+    left: &Image,
+    right: &Image,
+    cfg: &DisparityConfig,
+    prof: &mut Profiler,
+) -> Image {
+    assert_eq!(
+        (left.width(), left.height()),
+        (right.width(), right.height()),
+        "stereo images must have identical dimensions"
+    );
+    let w = left.width();
+    let h = left.height();
+    assert!(
+        w >= cfg.window && h >= cfg.window,
+        "images must be at least the aggregation window in size"
+    );
+    let radius = cfg.window / 2;
+    let mut best_cost = Image::filled(w, h, f32::INFINITY);
+    let mut best_disp = Image::new(w, h);
+    for shift in 0..=cfg.max_disparity {
+        // SSD kernel: pixel-wise squared difference between the left image
+        // and the right image displaced by `shift`.
+        let ssd = prof.kernel("SSD", |_| {
+            Image::from_fn(w, h, |x, y| {
+                let r = right.get_clamped(x as isize - shift as isize, y as isize);
+                let d = left.get(x, y) - r;
+                d * d
+            })
+        });
+        // Integral image over the SSD surface.
+        let ii = prof.kernel("IntegralImage", |_| IntegralImage::new(&ssd));
+        // Correlation kernel: windowed aggregation of the SSD surface
+        // (SD-VBS `correlateSAD_2D` / `finalSAD`).
+        let cost = prof.kernel("Correlation", |_| {
+            Image::from_fn(w, h, |x, y| {
+                let x0 = x.saturating_sub(radius);
+                let y0 = y.saturating_sub(radius);
+                let x1 = (x + radius + 1).min(w);
+                let y1 = (y + radius + 1).min(h);
+                ii.sum(x0, y0, x1 - x0, y1 - y0) as f32
+            })
+        });
+        // Sort kernel: running min-selection across the shift axis.
+        prof.kernel("Sort", |_| {
+            for i in 0..w * h {
+                let c = cost.as_slice()[i];
+                if c < best_cost.as_slice()[i] {
+                    best_cost.as_mut_slice()[i] = c;
+                    best_disp.as_mut_slice()[i] = shift as f32;
+                }
+            }
+        });
+    }
+    best_disp
+}
+
+/// Validity mask from a left-right consistency cross-check.
+///
+/// A disparity estimate is trusted only if matching in the opposite
+/// direction lands back on (nearly) the same pixel — the standard stereo
+/// technique for flagging occlusions and mismatches, which is exactly
+/// where the synthetic scenes' ground truth is undefined too.
+#[derive(Debug, Clone)]
+pub struct ConsistencyMask {
+    valid: Vec<bool>,
+    width: usize,
+    height: usize,
+}
+
+impl ConsistencyMask {
+    /// Whether the disparity at `(x, y)` passed the cross-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn is_valid(&self, x: usize, y: usize) -> bool {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.valid[y * self.width + x]
+    }
+
+    /// Fraction of pixels flagged valid.
+    pub fn valid_fraction(&self) -> f64 {
+        if self.valid.is_empty() {
+            return 1.0;
+        }
+        self.valid.iter().filter(|&&v| v).count() as f64 / self.valid.len() as f64
+    }
+}
+
+/// Computes a left-right consistency mask: runs the disparity search in
+/// the right-to-left direction and flags left-image pixels whose
+/// left-disparity and (shifted) right-disparity disagree by more than
+/// `tol` pixels.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`compute_disparity`].
+pub fn left_right_consistency(
+    left: &Image,
+    right: &Image,
+    left_disp: &Image,
+    cfg: &DisparityConfig,
+    tol: f32,
+    prof: &mut Profiler,
+) -> ConsistencyMask {
+    assert_eq!(
+        (left.width(), left.height()),
+        (left_disp.width(), left_disp.height()),
+        "disparity map must match the left image"
+    );
+    // Right-to-left search: a scene point at (x, y) in the right image
+    // appears at (x + d, y) in the left image, so the same SSD machinery
+    // applies with the roles swapped and the shift negated — implemented
+    // by mirroring both images horizontally.
+    let left_m = left.flip_horizontal();
+    let right_m = right.flip_horizontal();
+    let right_disp_m = compute_disparity(&right_m, &left_m, cfg, prof);
+    let w = left.width();
+    let h = left.height();
+    let mut valid = vec![false; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let d = left_disp.get(x, y);
+            let xr = x as isize - d as isize;
+            if xr < 0 {
+                continue; // matched point falls outside the right image
+            }
+            // Mirrored right-image column for xr.
+            let xm = w - 1 - xr as usize;
+            let d_right = right_disp_m.get(xm, y);
+            if (d - d_right).abs() <= tol {
+                valid[y * w + x] = true;
+            }
+        }
+    }
+    ConsistencyMask { valid, width: w, height: h }
+}
+
+/// A disparity estimate at a single feature location (the sparse variant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseDisparity {
+    /// Feature column in the left image.
+    pub x: usize,
+    /// Feature row in the left image.
+    pub y: usize,
+    /// Estimated disparity in pixels.
+    pub disparity: f32,
+    /// Matching cost of the winning shift (lower is more confident).
+    pub cost: f32,
+}
+
+/// Computes disparity only at the given feature locations — the *sparse*
+/// variant the paper contrasts with the dense benchmark ("unlike sparse
+/// disparity where depth information is computed on features of
+/// interest"). Features too close to the border for a full window are
+/// skipped.
+///
+/// Unlike [`compute_disparity`], which amortizes window sums over the
+/// whole frame with integral images, the sparse variant evaluates each
+/// window directly: it is the right tool when features are few and the
+/// frame is large.
+///
+/// # Panics
+///
+/// Panics if the two images differ in size.
+pub fn compute_sparse_disparity(
+    left: &Image,
+    right: &Image,
+    features: &[(usize, usize)],
+    cfg: &DisparityConfig,
+    prof: &mut Profiler,
+) -> Vec<SparseDisparity> {
+    assert_eq!(
+        (left.width(), left.height()),
+        (right.width(), right.height()),
+        "stereo images must have identical dimensions"
+    );
+    let w = left.width();
+    let h = left.height();
+    let radius = cfg.window / 2;
+    prof.kernel("SSD", |_| {
+        features
+            .iter()
+            .filter(|&&(x, y)| {
+                x >= radius && y >= radius && x + radius < w && y + radius < h
+            })
+            .map(|&(x, y)| {
+                let mut best_cost = f32::INFINITY;
+                let mut best_shift = 0usize;
+                for shift in 0..=cfg.max_disparity {
+                    let mut cost = 0.0f32;
+                    for dy in 0..cfg.window {
+                        for dx in 0..cfg.window {
+                            let lx = x + dx - radius;
+                            let ly = y + dy - radius;
+                            let rv = right
+                                .get_clamped(lx as isize - shift as isize, ly as isize);
+                            let d = left.get(lx, ly) - rv;
+                            cost += d * d;
+                        }
+                    }
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_shift = shift;
+                    }
+                }
+                SparseDisparity { x, y, disparity: best_shift as f32, cost: best_cost }
+            })
+            .collect()
+    })
+}
+
+/// Fraction of pixels whose computed disparity is within `tol` of the
+/// ground truth — the accuracy metric used by this reproduction's tests
+/// and experiment harness.
+///
+/// # Panics
+///
+/// Panics if image dimensions differ.
+pub fn disparity_accuracy(computed: &Image, truth: &Image, tol: f32) -> f64 {
+    assert_eq!(
+        (computed.width(), computed.height()),
+        (truth.width(), truth.height()),
+        "disparity maps must match in size"
+    );
+    let total = computed.len();
+    if total == 0 {
+        return 1.0;
+    }
+    let good = computed
+        .as_slice()
+        .iter()
+        .zip(truth.as_slice())
+        .filter(|(c, t)| (**c - **t).abs() <= tol)
+        .count();
+    good as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvbs_synth::stereo_pair;
+
+    #[test]
+    fn config_validation() {
+        assert!(DisparityConfig::new(0, 5).is_err());
+        assert!(DisparityConfig::new(8, 4).is_err());
+        assert!(DisparityConfig::new(8, 0).is_err());
+        let c = DisparityConfig::new(8, 5).unwrap();
+        assert_eq!(c.max_disparity(), 8);
+        assert_eq!(c.window(), 5);
+    }
+
+    #[test]
+    fn uniform_shift_is_recovered_exactly() {
+        let left = Image::from_fn(80, 40, |x, y| ((x * 31 + y * 17) % 251) as f32);
+        let shift = 5usize;
+        let right = Image::from_fn(80, 40, |x, y| {
+            left.get_clamped(x as isize + shift as isize, y as isize)
+        });
+        let cfg = DisparityConfig::new(10, 7).unwrap();
+        let mut prof = Profiler::new();
+        let disp = compute_disparity(&left, &right, &cfg, &mut prof);
+        // Interior pixels (excluding border effects and clamped columns).
+        let mut correct = 0;
+        let mut total = 0;
+        for y in 5..35 {
+            for x in 10..70 {
+                total += 1;
+                if disp.get(x, y) == shift as f32 {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct as f64 > 0.98 * total as f64, "{correct}/{total}");
+    }
+
+    #[test]
+    fn synthetic_scene_disparity_is_accurate() {
+        let s = stereo_pair(96, 72, 21);
+        let cfg = DisparityConfig::new(s.max_disparity, 9).unwrap();
+        let mut prof = Profiler::new();
+        let disp = prof.run(|p| compute_disparity(&s.left, &s.right, &cfg, p));
+        let acc = disparity_accuracy(&disp, &s.truth, 1.0);
+        assert!(acc > 0.80, "accuracy {acc} too low");
+    }
+
+    #[test]
+    fn profiler_sees_all_four_kernels() {
+        let s = stereo_pair(48, 36, 2);
+        let cfg = DisparityConfig::new(4, 5).unwrap();
+        let mut prof = Profiler::new();
+        prof.run(|p| compute_disparity(&s.left, &s.right, &cfg, p));
+        let report = prof.report();
+        for k in ["SSD", "IntegralImage", "Correlation", "Sort"] {
+            assert!(report.occupancy(k).is_some(), "kernel {k} missing");
+        }
+        // Five shifts (0..=4) -> five calls per kernel.
+        assert_eq!(report.kernels()[0].calls, 5);
+    }
+
+    #[test]
+    fn zero_disparity_for_identical_images() {
+        let img = Image::from_fn(40, 30, |x, y| ((x * 3 + y * 7) % 50) as f32);
+        let cfg = DisparityConfig::new(6, 5).unwrap();
+        let mut prof = Profiler::new();
+        let disp = compute_disparity(&img, &img, &cfg, &mut prof);
+        assert!(disp.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn accuracy_metric_bounds() {
+        let a = Image::filled(4, 4, 2.0);
+        let b = Image::filled(4, 4, 2.5);
+        assert_eq!(disparity_accuracy(&a, &b, 1.0), 1.0);
+        assert_eq!(disparity_accuracy(&a, &b, 0.1), 0.0);
+    }
+
+    #[test]
+    fn consistency_mask_keeps_good_pixels_and_flags_occlusions() {
+        let s = stereo_pair(96, 72, 4);
+        let cfg = DisparityConfig::new(s.max_disparity, 9).unwrap();
+        let mut prof = Profiler::new();
+        let disp = compute_disparity(&s.left, &s.right, &cfg, &mut prof);
+        let mask = left_right_consistency(&s.left, &s.right, &disp, &cfg, 1.0, &mut prof);
+        // Most pixels are consistent.
+        assert!(mask.valid_fraction() > 0.6, "valid fraction {}", mask.valid_fraction());
+        // Valid pixels are substantially more accurate than the full map.
+        let mut good_valid = 0usize;
+        let mut total_valid = 0usize;
+        for y in 0..72 {
+            for x in 0..96 {
+                if mask.is_valid(x, y) {
+                    total_valid += 1;
+                    if (disp.get(x, y) - s.truth.get(x, y)).abs() <= 1.0 {
+                        good_valid += 1;
+                    }
+                }
+            }
+        }
+        let acc_valid = good_valid as f64 / total_valid as f64;
+        let acc_all = disparity_accuracy(&disp, &s.truth, 1.0);
+        assert!(
+            acc_valid >= acc_all,
+            "masked accuracy {acc_valid} not above overall {acc_all}"
+        );
+        assert!(acc_valid > 0.9, "masked accuracy {acc_valid}");
+    }
+
+    #[test]
+    fn sparse_matches_dense_at_feature_points() {
+        let s = stereo_pair(96, 72, 8);
+        let cfg = DisparityConfig::new(s.max_disparity, 9).unwrap();
+        let mut prof = Profiler::new();
+        let dense = compute_disparity(&s.left, &s.right, &cfg, &mut prof);
+        let features: Vec<(usize, usize)> =
+            (0..12).map(|i| (12 + (i * 61) % 72, 10 + (i * 37) % 52)).collect();
+        let sparse = compute_sparse_disparity(&s.left, &s.right, &features, &cfg, &mut prof);
+        assert_eq!(sparse.len(), features.len());
+        let mut agree = 0;
+        for sp in &sparse {
+            if (sp.disparity - dense.get(sp.x, sp.y)).abs() <= 1.0 {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 10, "{agree}/{} sparse-dense agreement", sparse.len());
+    }
+
+    #[test]
+    fn sparse_skips_border_features() {
+        let s = stereo_pair(64, 48, 9);
+        let cfg = DisparityConfig::new(4, 9).unwrap();
+        let mut prof = Profiler::new();
+        let out = compute_sparse_disparity(
+            &s.left,
+            &s.right,
+            &[(0, 0), (63, 47), (32, 24)],
+            &cfg,
+            &mut prof,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].x, out[0].y), (32, 24));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn mismatched_images_panic() {
+        let mut prof = Profiler::new();
+        compute_disparity(
+            &Image::new(10, 10),
+            &Image::new(11, 10),
+            &DisparityConfig::default(),
+            &mut prof,
+        );
+    }
+}

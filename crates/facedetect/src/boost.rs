@@ -1,0 +1,255 @@
+//! AdaBoost over decision stumps — the paper calls AdaBoost out as one of
+//! the suite's most complex kernels.
+
+use crate::haar::HaarFeature;
+
+/// A weak classifier: thresholded single Haar feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stump {
+    /// Index into the feature pool.
+    pub feature: usize,
+    /// Decision threshold on the feature value.
+    pub threshold: f64,
+    /// `+1.0` if values above the threshold vote "face", `-1.0` if below.
+    pub polarity: f64,
+    /// AdaBoost weight `α = ½ ln((1 − ε) / ε)`.
+    pub alpha: f64,
+}
+
+impl Stump {
+    /// Weak vote on a precomputed feature value: `+1` face, `-1` non-face.
+    pub fn vote(&self, value: f64) -> f64 {
+        if self.polarity * (value - self.threshold) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// A boosted strong classifier: a weighted stump committee with an
+/// adjustable decision threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrongClassifier {
+    /// The boosted weak classifiers.
+    pub stumps: Vec<Stump>,
+    /// Decision threshold on the weighted score (0 is the natural
+    /// AdaBoost threshold; cascades lower it to push detection rates up).
+    pub threshold: f64,
+    /// The features referenced by the stumps (so evaluation needs no
+    /// external pool).
+    pub features: Vec<HaarFeature>,
+}
+
+impl StrongClassifier {
+    /// Weighted committee score from precomputed feature values
+    /// `values[s]` for stump `s`.
+    pub fn score(&self, values: &[f64]) -> f64 {
+        self.stumps
+            .iter()
+            .zip(values)
+            .map(|(stump, &v)| stump.alpha * stump.vote(v))
+            .sum()
+    }
+
+    /// Classifies from precomputed per-stump feature values.
+    pub fn classify(&self, values: &[f64]) -> bool {
+        self.score(values) >= self.threshold
+    }
+}
+
+/// Trains `rounds` of AdaBoost over decision stumps.
+///
+/// `values[f][s]` is feature `f` evaluated on sample `s`; `labels[s]` is
+/// `true` for positives. Returns the boosted committee (with the natural
+/// zero threshold) whose stumps reference `features` by index.
+///
+/// # Panics
+///
+/// Panics if inputs are empty, ragged, or single-class.
+pub fn train_adaboost(
+    features: &[HaarFeature],
+    values: &[Vec<f64>],
+    labels: &[bool],
+    rounds: usize,
+) -> StrongClassifier {
+    let nf = features.len();
+    let ns = labels.len();
+    assert!(nf > 0 && ns > 0 && rounds > 0, "empty adaboost input");
+    assert_eq!(values.len(), nf, "one value row per feature");
+    assert!(values.iter().all(|row| row.len() == ns), "value rows must match sample count");
+    assert!(
+        labels.iter().any(|&l| l) && labels.iter().any(|&l| !l),
+        "both classes required"
+    );
+    // Initial weights: balanced across classes (Viola-Jones init).
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = ns - n_pos;
+    let mut weights: Vec<f64> = labels
+        .iter()
+        .map(|&l| if l { 0.5 / n_pos as f64 } else { 0.5 / n_neg as f64 })
+        .collect();
+    // Pre-sorted sample orders per feature (stump search is a linear scan
+    // over each sorted order).
+    let orders: Vec<Vec<usize>> = values
+        .iter()
+        .map(|row| {
+            let mut idx: Vec<usize> = (0..ns).collect();
+            idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("finite feature values"));
+            idx
+        })
+        .collect();
+    let mut stumps = Vec::with_capacity(rounds);
+    let mut chosen_features = Vec::with_capacity(rounds);
+    for _round in 0..rounds {
+        // Normalize weights.
+        let wsum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= wsum;
+        }
+        let total_pos: f64 =
+            weights.iter().zip(labels).filter(|(_, &l)| l).map(|(w, _)| w).sum();
+        let total_neg = 1.0 - total_pos;
+        // Best stump across all features: sweep each sorted order once.
+        let mut best = (f64::INFINITY, 0usize, 0.0f64, 1.0f64); // (err, feat, thresh, polarity)
+        for f in 0..nf {
+            let row = &values[f];
+            let order = &orders[f];
+            let mut pos_below = 0.0f64;
+            let mut neg_below = 0.0f64;
+            for (rank, &s) in order.iter().enumerate() {
+                // Threshold candidate between this sample and the next.
+                let w = weights[s];
+                if labels[s] {
+                    pos_below += w;
+                } else {
+                    neg_below += w;
+                }
+                // Error when classifying "face if value > t":
+                //   mistakes = positives below + negatives above.
+                let err_above = pos_below + (total_neg - neg_below);
+                // Error when classifying "face if value < t".
+                let err_below = neg_below + (total_pos - pos_below);
+                let (err, polarity) =
+                    if err_above <= err_below { (err_above, 1.0) } else { (err_below, -1.0) };
+                if err < best.0 {
+                    let here = row[s];
+                    let next = if rank + 1 < ns { row[order[rank + 1]] } else { here + 1.0 };
+                    best = (err, f, 0.5 * (here + next), polarity);
+                }
+            }
+        }
+        let (err, f, threshold, polarity) = best;
+        let eps = err.clamp(1e-10, 1.0 - 1e-10);
+        let alpha = 0.5 * ((1.0 - eps) / eps).ln();
+        stumps.push(Stump { feature: chosen_features.len(), threshold, polarity, alpha });
+        chosen_features.push(features[f]);
+        // Reweight: multiply mistakes up, correct down.
+        for s in 0..ns {
+            let vote = if polarity * (values[f][s] - threshold) >= 0.0 { 1.0 } else { -1.0 };
+            let y = if labels[s] { 1.0 } else { -1.0 };
+            weights[s] *= (-alpha * y * vote).exp();
+        }
+        if eps <= 1e-9 {
+            break; // perfect stump; boosting is done
+        }
+    }
+    StrongClassifier { stumps, threshold: 0.0, features: chosen_features }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::HaarKind;
+
+    fn dummy_features(n: usize) -> Vec<HaarFeature> {
+        (0..n)
+            .map(|i| HaarFeature {
+                kind: HaarKind::TwoVertical,
+                x: i % 4,
+                y: 0,
+                w: 4,
+                h: 4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_separating_feature_is_found() {
+        // Feature 1 separates perfectly; features 0 and 2 are noise.
+        let labels: Vec<bool> = (0..20).map(|i| i < 10).collect();
+        let values = vec![
+            (0..20).map(|i| ((i * 7) % 13) as f64).collect::<Vec<_>>(),
+            (0..20).map(|i| if i < 10 { 5.0 } else { -5.0 }).collect(),
+            (0..20).map(|i| ((i * 3) % 11) as f64).collect(),
+        ];
+        let sc = train_adaboost(&dummy_features(3), &values, &labels, 3);
+        assert!(!sc.stumps.is_empty());
+        // All samples classified correctly using the chosen stumps.
+        for s in 0..20 {
+            let vals: Vec<f64> = sc
+                .stumps
+                .iter()
+                .enumerate()
+                .map(|(k, _)| {
+                    // stump k references chosen feature k; recover the raw
+                    // row by matching the separating feature's value
+                    // pattern (feature 1 was at index 1).
+                    let _ = k;
+                    values[1][s]
+                })
+                .collect();
+            // With the separating feature dominant, classification matches
+            // labels.
+            assert_eq!(sc.classify(&vals), labels[s], "sample {s}");
+        }
+    }
+
+    #[test]
+    fn boosting_reduces_training_error_on_xor_like_data() {
+        // No single stump separates XOR; a committee does better.
+        let labels: Vec<bool> = (0..40).map(|i| (i % 2 == 0) ^ (i < 20)).collect();
+        let f0: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let f1: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { -1.0 }).collect();
+        // A "product" feature that solves XOR exists in the pool.
+        let f2: Vec<f64> = f0.iter().zip(&f1).map(|(a, b)| a * b).collect();
+        let values = vec![f0.clone(), f1.clone(), f2.clone()];
+        let sc = train_adaboost(&dummy_features(3), &values, &labels, 5);
+        // Evaluate: stump k's feature values must be fetched per stump.
+        let full = [&f0, &f1, &f2];
+        let mut correct = 0;
+        for s in 0..40 {
+            // Identify each chosen stump's source row by matching feature
+            // structs is impossible with dummies; instead evaluate all three
+            // rows and use the right one via the saved order.
+            let vals: Vec<f64> = sc
+                .stumps
+                .iter()
+                .map(|st| {
+                    // chosen_features preserve x = original index % 4
+                    let orig = sc.features[st.feature].x;
+                    full[orig][s]
+                })
+                .collect();
+            if sc.classify(&vals) == labels[s] {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 38, "XOR accuracy {correct}/40");
+    }
+
+    #[test]
+    fn alphas_are_positive_for_informative_stumps() {
+        let labels: Vec<bool> = (0..10).map(|i| i < 5).collect();
+        let values = vec![(0..10).map(|i| if i < 5 { 1.0 } else { 0.0 }).collect()];
+        let sc = train_adaboost(&dummy_features(1), &values, &labels, 1);
+        assert!(sc.stumps[0].alpha > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let values = vec![vec![1.0, 2.0]];
+        train_adaboost(&dummy_features(1), &values, &[true, true], 1);
+    }
+}

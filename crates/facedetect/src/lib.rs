@@ -1,0 +1,46 @@
+//! SD-VBS benchmark 7: **Face Detection** — the Viola–Jones detector.
+//!
+//! The detector locates human faces in images via three components the
+//! paper names "extract faces" (pixel-granularity preprocessing and
+//! feature extraction), "extract face sequence" and "stabilize face
+//! windows". Its defining kernels are the **integral image** (constant-
+//! time rectangle sums), **Haar-like rectangle features**, and
+//! **AdaBoost** (cited explicitly as one of the suite's most complex
+//! kernels), organized into an attentional cascade scanned over a
+//! multi-scale sliding window.
+//!
+//! The original SD-VBS code ships a cascade trained offline on a face
+//! corpus that isn't distributed with the paper; this reproduction instead
+//! *trains its own cascade from scratch* with AdaBoost over decision
+//! stumps, on synthetically rendered faces and hard-negative clutter from
+//! [`sdvbs_synth`] — exercising the full training and detection pipeline
+//! end to end (see DESIGN.md §5 for the substitution rationale).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use sdvbs_facedetect::{Cascade, CascadeConfig, detect_faces, DetectorConfig};
+//! use sdvbs_profile::Profiler;
+//! use sdvbs_synth::face_scene;
+//!
+//! let mut prof = Profiler::new();
+//! let cascade = Cascade::train(&CascadeConfig::default(), &mut prof).unwrap();
+//! let scene = face_scene(160, 120, 7, 2);
+//! let found = detect_faces(&scene.image, &cascade, &DetectorConfig::default(), &mut prof);
+//! assert!(!found.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boost;
+mod cascade;
+mod haar;
+mod model_io;
+
+pub use boost::{train_adaboost, Stump, StrongClassifier};
+pub use cascade::{
+    detect_faces, Cascade, CascadeConfig, CascadeError, Detection, DetectorConfig,
+};
+pub use model_io::ModelIoError;
+pub use haar::{generate_features, HaarFeature, HaarKind, NormalizedWindow};

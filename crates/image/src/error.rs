@@ -1,0 +1,83 @@
+//! Error type for image construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ImageError>;
+
+/// Errors produced by image constructors and netpbm I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// The pixel buffer length does not match `width * height`.
+    BufferSizeMismatch {
+        /// `width * height` expected.
+        expected: usize,
+        /// Buffer length supplied.
+        found: usize,
+    },
+    /// Requested dimensions are invalid (zero area where a non-empty image
+    /// is required, or overflowing).
+    InvalidDimensions {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// The file is not a recognizable PGM/PPM stream.
+    MalformedNetpbm(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BufferSizeMismatch { expected, found } => {
+                write!(f, "pixel buffer length {found} does not match expected {expected}")
+            }
+            ImageError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            ImageError::MalformedNetpbm(msg) => write!(f, "malformed netpbm stream: {msg}"),
+            ImageError::Io(e) => write!(f, "image i/o failed: {e}"),
+        }
+    }
+}
+
+impl Error for ImageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImageError {
+    fn from(e: io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ImageError::BufferSizeMismatch { expected: 4, found: 3 };
+        assert_eq!(e.to_string(), "pixel buffer length 3 does not match expected 4");
+        let e = ImageError::InvalidDimensions { width: 0, height: 5 };
+        assert_eq!(e.to_string(), "invalid image dimensions 0x5");
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = ImageError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,272 @@
+//! Netpbm (PGM/PPM) reading and writing.
+//!
+//! The SD-VBS C harness reads its inputs from raw image files and dumps
+//! per-benchmark outputs for validation; we keep the same spirit with the
+//! simplest portable formats. Binary (`P5`/`P6`) files are written; both
+//! ASCII (`P2`) and binary (`P5`) PGM are read.
+
+use crate::error::{ImageError, Result};
+use crate::gray::Image;
+use crate::rgb::RgbImage;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Writes a grayscale image as binary PGM (`P5`), clamping pixel values to
+/// `0..=255`.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on filesystem failure and
+/// [`ImageError::InvalidDimensions`] for an empty image.
+pub fn write_pgm(img: &Image, path: impl AsRef<Path>) -> Result<()> {
+    if img.is_empty() {
+        return Err(ImageError::InvalidDimensions { width: img.width(), height: img.height() });
+    }
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    let bytes: Vec<u8> =
+        img.as_slice().iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect();
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Writes an RGB image as binary PPM (`P6`).
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on filesystem failure and
+/// [`ImageError::InvalidDimensions`] for an empty image.
+pub fn write_ppm(img: &RgbImage, path: impl AsRef<Path>) -> Result<()> {
+    if img.width() == 0 || img.height() == 0 {
+        return Err(ImageError::InvalidDimensions { width: img.width(), height: img.height() });
+    }
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    f.write_all(img.as_slice())?;
+    Ok(())
+}
+
+/// Reads a binary PPM (`P6`) file into an RGB image.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on filesystem failure and
+/// [`ImageError::MalformedNetpbm`] for syntax errors, truncated data, or
+/// an unsupported magic number.
+pub fn read_ppm(path: impl AsRef<Path>) -> Result<RgbImage> {
+    let f = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(f);
+    let magic = read_token(&mut reader)?;
+    if magic != "P6" {
+        return Err(ImageError::MalformedNetpbm(format!("unsupported magic {magic:?}")));
+    }
+    let (w, h, maxval) = read_header(&mut reader)?;
+    if maxval > 255 {
+        return Err(ImageError::MalformedNetpbm("16-bit ppm not supported".into()));
+    }
+    let mut bytes = vec![0u8; w * h * 3];
+    reader
+        .read_exact(&mut bytes)
+        .map_err(|e| ImageError::MalformedNetpbm(format!("truncated pixel data: {e}")))?;
+    RgbImage::from_vec(w, h, bytes)
+}
+
+/// Reads a PGM file (ASCII `P2` or binary `P5`) into a grayscale image.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on filesystem failure and
+/// [`ImageError::MalformedNetpbm`] for syntax errors, truncated data, or an
+/// unsupported magic number.
+pub fn read_pgm(path: impl AsRef<Path>) -> Result<Image> {
+    let f = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(f);
+    let magic = read_token(&mut reader)?;
+    match magic.as_str() {
+        "P2" => read_ascii_pgm(&mut reader),
+        "P5" => read_binary_pgm(&mut reader),
+        other => Err(ImageError::MalformedNetpbm(format!("unsupported magic {other:?}"))),
+    }
+}
+
+/// Reads one whitespace-delimited token, skipping `#` comment lines.
+fn read_token(reader: &mut impl BufRead) -> Result<String> {
+    let mut token = String::new();
+    let mut in_comment = false;
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) => {
+                if token.is_empty() {
+                    return Err(ImageError::MalformedNetpbm(format!("unexpected end: {e}")));
+                }
+                return Ok(token);
+            }
+        }
+        let c = byte[0] as char;
+        if in_comment {
+            if c == '\n' {
+                in_comment = false;
+            }
+            continue;
+        }
+        if c == '#' {
+            in_comment = true;
+            continue;
+        }
+        if c.is_whitespace() {
+            if token.is_empty() {
+                continue;
+            }
+            return Ok(token);
+        }
+        token.push(c);
+    }
+}
+
+fn read_header(reader: &mut impl BufRead) -> Result<(usize, usize, u32)> {
+    let w: usize = parse_token(reader, "width")?;
+    let h: usize = parse_token(reader, "height")?;
+    let maxval: u32 = parse_token(reader, "maxval")?;
+    if w == 0 || h == 0 {
+        return Err(ImageError::InvalidDimensions { width: w, height: h });
+    }
+    if maxval == 0 || maxval > 65535 {
+        return Err(ImageError::MalformedNetpbm(format!("bad maxval {maxval}")));
+    }
+    Ok((w, h, maxval))
+}
+
+fn parse_token<T: std::str::FromStr>(reader: &mut impl BufRead, what: &str) -> Result<T> {
+    let tok = read_token(reader)?;
+    tok.parse()
+        .map_err(|_| ImageError::MalformedNetpbm(format!("invalid {what} token {tok:?}")))
+}
+
+fn read_ascii_pgm(reader: &mut impl BufRead) -> Result<Image> {
+    let (w, h, _maxval) = read_header(reader)?;
+    let mut data = Vec::with_capacity(w * h);
+    for _ in 0..w * h {
+        let v: u32 = parse_token(reader, "pixel")?;
+        data.push(v as f32);
+    }
+    Image::from_vec(w, h, data)
+}
+
+fn read_binary_pgm(reader: &mut impl BufRead) -> Result<Image> {
+    let (w, h, maxval) = read_header(reader)?;
+    if maxval > 255 {
+        return Err(ImageError::MalformedNetpbm("16-bit binary pgm not supported".into()));
+    }
+    let mut bytes = vec![0u8; w * h];
+    reader
+        .read_exact(&mut bytes)
+        .map_err(|e| ImageError::MalformedNetpbm(format!("truncated pixel data: {e}")))?;
+    let data = bytes.into_iter().map(|b| b as f32).collect();
+    Image::from_vec(w, h, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sdvbs_image_io_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = Image::from_fn(7, 5, |x, y| ((x * 13 + y * 29) % 256) as f32);
+        let path = tmp("roundtrip.pgm");
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.width(), 7);
+        assert_eq!(back.height(), 5);
+        for y in 0..5 {
+            for x in 0..7 {
+                assert_eq!(back.get(x, y), img.get(x, y));
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn values_are_clamped_on_write() {
+        let img = Image::from_fn(2, 1, |x, _| if x == 0 { -10.0 } else { 300.0 });
+        let path = tmp("clamp.pgm");
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.get(0, 0), 0.0);
+        assert_eq!(back.get(1, 0), 255.0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reads_ascii_pgm_with_comments() {
+        let path = tmp("ascii.pgm");
+        let mut f = std::fs::File::create(&path).unwrap();
+        write!(f, "P2\n# a comment\n2 2\n255\n0 64\n128 255\n").unwrap();
+        drop(f);
+        let img = read_pgm(&path).unwrap();
+        assert_eq!(img.get(1, 0), 64.0);
+        assert_eq!(img.get(0, 1), 128.0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("bad.pgm");
+        std::fs::write(&path, b"P9\n1 1\n255\n\0").unwrap();
+        assert!(matches!(read_pgm(&path), Err(ImageError::MalformedNetpbm(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_binary() {
+        let path = tmp("trunc.pgm");
+        std::fs::write(&path, b"P5\n4 4\n255\nxx").unwrap();
+        assert!(matches!(read_pgm(&path), Err(ImageError::MalformedNetpbm(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ppm_write_has_expected_size() {
+        let mut img = RgbImage::new(3, 2);
+        img.set(1, 1, [10, 20, 30]);
+        let path = tmp("out.ppm");
+        write_ppm(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), "P6\n3 2\n255\n".len() + 18);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut img = RgbImage::new(4, 3);
+        img.set(1, 2, [9, 18, 27]);
+        img.set(3, 0, [255, 0, 128]);
+        let path = tmp("rt.ppm");
+        write_ppm(&img, &path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_ppm_rejects_pgm_magic() {
+        let path = tmp("wrongmagic.ppm");
+        std::fs::write(&path, b"P5\n1 1\n255\n\0").unwrap();
+        assert!(matches!(read_ppm(&path), Err(ImageError::MalformedNetpbm(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_image_write_is_rejected() {
+        let img = Image::new(0, 0);
+        assert!(write_pgm(&img, tmp("empty.pgm")).is_err());
+    }
+}

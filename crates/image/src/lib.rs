@@ -1,0 +1,39 @@
+//! Image containers and pixel-level utilities for the SD-VBS suite.
+//!
+//! SD-VBS ships its own image representation and I/O in `common/c` so that
+//! the benchmarks stay self-contained and easy to analyze; this crate plays
+//! the same role for the Rust reproduction. It deliberately avoids the
+//! crates.io `image` ecosystem: benchmarks must own their substrate.
+//!
+//! * [`Image`] — grayscale `f32` image in row-major storage, the pixel
+//!   currency of every benchmark.
+//! * [`RgbImage`] — a small color container for visualization output.
+//! * PGM/PPM reading and writing ([`read_pgm`], [`write_pgm`],
+//!   [`write_ppm`]), so results can be inspected with any netpbm viewer.
+//! * Bilinear sampling and resizing ([`Image::sample_bilinear`],
+//!   [`Image::resize_bilinear`]), the paper's "Interpolation" kernel
+//!   building block.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdvbs_image::Image;
+//!
+//! let img = Image::from_fn(4, 4, |x, y| (x + y) as f32);
+//! assert_eq!(img.get(3, 3), 6.0);
+//! let up = img.resize_bilinear(8, 8);
+//! assert_eq!(up.width(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gray;
+mod io;
+mod rgb;
+
+pub use error::{ImageError, Result};
+pub use gray::Image;
+pub use io::{read_pgm, read_ppm, write_pgm, write_ppm};
+pub use rgb::RgbImage;

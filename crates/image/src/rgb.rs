@@ -1,0 +1,163 @@
+//! Minimal RGB image container for visualization output.
+
+use crate::error::{ImageError, Result};
+use crate::gray::Image;
+use std::fmt;
+
+/// An 8-bit RGB image used to visualize benchmark outputs (disparity maps,
+/// detected features, stitched panoramas).
+///
+/// Benchmarks compute on grayscale [`Image`]s; `RgbImage` exists only so
+/// examples can emit colorful, inspectable PPM files.
+///
+/// # Examples
+///
+/// ```
+/// use sdvbs_image::RgbImage;
+///
+/// let mut img = RgbImage::new(2, 2);
+/// img.set(0, 0, [255, 0, 0]);
+/// assert_eq!(img.get(0, 0), [255, 0, 0]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl RgbImage {
+    /// Creates a black `width × height` image.
+    pub fn new(width: usize, height: usize) -> Self {
+        let len = width
+            .checked_mul(height)
+            .and_then(|p| p.checked_mul(3))
+            .expect("image dimensions overflow");
+        RgbImage { width, height, data: vec![0; len] }
+    }
+
+    /// Wraps an interleaved RGB buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::BufferSizeMismatch`] if
+    /// `data.len() != width * height * 3`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Result<Self> {
+        if data.len() != width * height * 3 {
+            return Err(ImageError::BufferSizeMismatch {
+                expected: width * height * 3,
+                found: data.len(),
+            });
+        }
+        Ok(RgbImage { width, height, data })
+    }
+
+    /// Converts a grayscale image (normalized to 0..=255) into RGB.
+    pub fn from_gray(img: &Image) -> Self {
+        let norm = img.normalized_to_255();
+        let mut rgb = RgbImage::new(img.width(), img.height());
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let v = norm.get(x, y).round().clamp(0.0, 255.0) as u8;
+                rgb.set(x, y, [v, v, v]);
+            }
+        }
+        rgb
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// RGB triple at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Sets the RGB triple at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        let i = (y * self.width + x) * 3;
+        self.data[i] = rgb[0];
+        self.data[i + 1] = rgb[1];
+        self.data[i + 2] = rgb[2];
+    }
+
+    /// Draws a small `size × size` filled square centered at `(cx, cy)`,
+    /// clipped to the image (used by examples to mark features).
+    pub fn draw_marker(&mut self, cx: isize, cy: isize, size: isize, rgb: [u8; 3]) {
+        let half = size / 2;
+        for dy in -half..=half {
+            for dx in -half..=half {
+                let x = cx + dx;
+                let y = cy + dy;
+                if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+                    self.set(x as usize, y as usize, rgb);
+                }
+            }
+        }
+    }
+
+    /// Immutable view of the interleaved RGB buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for RgbImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RgbImage {}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = RgbImage::new(3, 2);
+        img.set(2, 1, [1, 2, 3]);
+        assert_eq!(img.get(2, 1), [1, 2, 3]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn from_gray_spans_range() {
+        let g = Image::from_fn(2, 1, |x, _| x as f32);
+        let rgb = RgbImage::from_gray(&g);
+        assert_eq!(rgb.get(0, 0), [0, 0, 0]);
+        assert_eq!(rgb.get(1, 0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn marker_is_clipped() {
+        let mut img = RgbImage::new(4, 4);
+        img.draw_marker(0, 0, 3, [9, 9, 9]);
+        assert_eq!(img.get(0, 0), [9, 9, 9]);
+        assert_eq!(img.get(1, 1), [9, 9, 9]);
+        assert_eq!(img.get(2, 2), [0, 0, 0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(RgbImage::from_vec(2, 2, vec![0; 12]).is_ok());
+        assert!(RgbImage::from_vec(2, 2, vec![0; 11]).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the image substrate.
+
+use proptest::prelude::*;
+use sdvbs_image::{read_pgm, write_pgm, Image};
+
+proptest! {
+    /// PGM write/read is a lossless roundtrip for integral pixel values in
+    /// 0..=255.
+    #[test]
+    fn pgm_roundtrip_is_lossless(
+        pixels in proptest::collection::vec(0u8..=255, 35),
+    ) {
+        let img = Image::from_vec(7, 5, pixels.iter().map(|&b| b as f32).collect())
+            .expect("sized");
+        let mut path = std::env::temp_dir();
+        path.push(format!("sdvbs_prop_{}_{:x}.pgm", std::process::id(), {
+            // Cheap content hash to avoid collisions across proptest cases.
+            pixels.iter().fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(b as u64))
+        }));
+        write_pgm(&img, &path).expect("write");
+        let back = read_pgm(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, img);
+    }
+
+    /// Cropping then reading pixels equals reading offset pixels directly.
+    #[test]
+    fn crop_is_a_view(
+        pixels in proptest::collection::vec(-100.0f32..100.0, 48),
+        x0 in 0usize..4, y0 in 0usize..3,
+    ) {
+        let img = Image::from_vec(8, 6, pixels).expect("sized");
+        let w = 8 - x0;
+        let h = 6 - y0;
+        let c = img.crop(x0, y0, w, h);
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(c.get(x, y), img.get(x0 + x, y0 + y));
+            }
+        }
+    }
+
+    /// 2x downsampling preserves the mean exactly (block averaging) for
+    /// even dimensions.
+    #[test]
+    fn downsample_preserves_mean(
+        pixels in proptest::collection::vec(0.0f32..255.0, 8 * 6),
+    ) {
+        let img = Image::from_vec(8, 6, pixels).expect("sized");
+        let d = img.downsample_2x();
+        prop_assert!((d.mean() - img.mean()).abs() < 1e-2);
+    }
+
+    /// Normalization maps onto [0, 255] with the extremes attained.
+    #[test]
+    fn normalization_attains_bounds(
+        pixels in proptest::collection::vec(-1000.0f32..1000.0, 12),
+    ) {
+        let img = Image::from_vec(4, 3, pixels).expect("sized");
+        let n = img.normalized_to_255();
+        if img.max() > img.min() {
+            prop_assert!((n.min()).abs() < 1e-3);
+            prop_assert!((n.max() - 255.0).abs() < 1e-3);
+        } else {
+            prop_assert!(n.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    /// `map` composes: map(f) then map(g) equals map(g ∘ f).
+    #[test]
+    fn map_composes(
+        pixels in proptest::collection::vec(-10.0f32..10.0, 20),
+        a in -3.0f32..3.0,
+        b in -3.0f32..3.0,
+    ) {
+        let img = Image::from_vec(5, 4, pixels).expect("sized");
+        let two_step = img.map(|v| v * a).map(|v| v + b);
+        let one_step = img.map(|v| v * a + b);
+        prop_assert_eq!(two_step, one_step);
+    }
+
+    /// Clamped access equals plain access inside bounds.
+    #[test]
+    fn clamped_access_agrees_inside(
+        pixels in proptest::collection::vec(-5.0f32..5.0, 24),
+        x in 0usize..6, y in 0usize..4,
+    ) {
+        let img = Image::from_vec(6, 4, pixels).expect("sized");
+        prop_assert_eq!(img.get_clamped(x as isize, y as isize), img.get(x, y));
+    }
+}

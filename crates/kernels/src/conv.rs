@@ -1,0 +1,211 @@
+//! Convolution kernels.
+//!
+//! SD-VBS implements its 2-D filters as pairs of 1-D passes "for better
+//! cache locality" (paper §II-B, disparity); we follow the same structure.
+//! All borders use replicate padding, matching the C sources' `padarray`
+//! convention.
+
+use sdvbs_image::Image;
+
+/// Convolves each row with the 1-D kernel `k` (replicate border).
+///
+/// # Panics
+///
+/// Panics if `k` is empty or has even length.
+pub fn convolve_rows(img: &Image, k: &[f32]) -> Image {
+    assert!(!k.is_empty() && k.len() % 2 == 1, "kernel must have odd length");
+    let half = (k.len() / 2) as isize;
+    Image::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, &kv) in k.iter().enumerate() {
+            let sx = x as isize + i as isize - half;
+            acc += kv * img.get_clamped(sx, y as isize);
+        }
+        acc
+    })
+}
+
+/// Convolves each column with the 1-D kernel `k` (replicate border).
+///
+/// # Panics
+///
+/// Panics if `k` is empty or has even length.
+pub fn convolve_cols(img: &Image, k: &[f32]) -> Image {
+    assert!(!k.is_empty() && k.len() % 2 == 1, "kernel must have odd length");
+    let half = (k.len() / 2) as isize;
+    Image::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, &kv) in k.iter().enumerate() {
+            let sy = y as isize + i as isize - half;
+            acc += kv * img.get_clamped(x as isize, sy);
+        }
+        acc
+    })
+}
+
+/// Separable convolution: rows with `kx`, then columns with `ky`.
+pub fn convolve_separable(img: &Image, kx: &[f32], ky: &[f32]) -> Image {
+    convolve_cols(&convolve_rows(img, kx), ky)
+}
+
+/// Dense 2-D convolution with an odd-sized `kw × kh` kernel in row-major
+/// order (replicate border).
+///
+/// # Panics
+///
+/// Panics if the kernel dimensions are even, zero, or don't match `k`'s
+/// length.
+pub fn convolve_2d(img: &Image, k: &[f32], kw: usize, kh: usize) -> Image {
+    assert!(kw % 2 == 1 && kh % 2 == 1 && kw > 0 && kh > 0, "kernel must be odd-sized");
+    assert_eq!(k.len(), kw * kh, "kernel buffer must match dimensions");
+    let hw = (kw / 2) as isize;
+    let hh = (kh / 2) as isize;
+    Image::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let sx = x as isize + kx as isize - hw;
+                let sy = y as isize + ky as isize - hh;
+                acc += k[ky * kw + kx] * img.get_clamped(sx, sy);
+            }
+        }
+        acc
+    })
+}
+
+/// Builds a normalized 1-D Gaussian kernel for standard deviation `sigma`,
+/// truncated at three sigmas (minimum length 3).
+///
+/// # Panics
+///
+/// Panics if `sigma` is not finite and positive.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil().max(1.0) as usize;
+    let mut k: Vec<f32> = (0..=2 * radius)
+        .map(|i| {
+            let x = i as f32 - radius as f32;
+            (-x * x / (2.0 * sigma * sigma)).exp()
+        })
+        .collect();
+    let sum: f32 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Gaussian-blurs an image with separable passes — the ubiquitous
+/// "Gaussian Filter" kernel of Figure 1.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not finite and positive.
+pub fn gaussian_blur(img: &Image, sigma: f32) -> Image {
+    let k = gaussian_kernel(sigma);
+    convolve_separable(img, &k, &k)
+}
+
+/// A `len`-tap box (moving average) kernel, normalized.
+///
+/// # Panics
+///
+/// Panics if `len` is zero or even.
+pub fn box_kernel(len: usize) -> Vec<f32> {
+    assert!(len > 0 && len % 2 == 1, "box kernel length must be odd");
+    vec![1.0 / len as f32; len]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_is_lossless() {
+        let img = Image::from_fn(8, 6, |x, y| (x * y) as f32);
+        let out = convolve_rows(&img, &[0.0, 1.0, 0.0]);
+        assert_eq!(out, img);
+        let out = convolve_cols(&img, &[0.0, 1.0, 0.0]);
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn row_convolution_shifts() {
+        // Kernel [1, 0, 0] picks the pixel to the left.
+        let img = Image::from_fn(4, 1, |x, _| x as f32);
+        let out = convolve_rows(&img, &[1.0, 0.0, 0.0]);
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 1.0, 2.0]); // border replicates
+    }
+
+    #[test]
+    fn separable_equals_dense_for_outer_product() {
+        let img = Image::from_fn(9, 9, |x, y| ((x * 7 + y * 3) % 13) as f32);
+        let kx = [0.25f32, 0.5, 0.25];
+        let ky = [0.1f32, 0.8, 0.1];
+        let sep = convolve_separable(&img, &kx, &ky);
+        // Dense kernel = outer product ky ⊗ kx.
+        let mut dense = [0.0f32; 9];
+        for (j, kyv) in ky.iter().enumerate() {
+            for (i, kxv) in kx.iter().enumerate() {
+                dense[j * 3 + i] = kyv * kxv;
+            }
+        }
+        let full = convolve_2d(&img, &dense, 3, 3);
+        for y in 0..9 {
+            for x in 0..9 {
+                assert!((sep.get(x, y) - full.get(x, y)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_kernel_is_normalized_and_symmetric() {
+        let k = gaussian_kernel(1.5);
+        assert!(k.len() % 2 == 1);
+        let sum: f32 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        for i in 0..k.len() / 2 {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+        }
+        // Peak at the center.
+        let mid = k.len() / 2;
+        assert!(k.iter().all(|&v| v <= k[mid]));
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let img = Image::filled(16, 16, 42.0);
+        let out = gaussian_blur(&img, 2.0);
+        assert!(out.as_slice().iter().all(|&v| (v - 42.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let img = Image::from_fn(32, 32, |x, y| if (x + y) % 2 == 0 { 0.0 } else { 255.0 });
+        let out = gaussian_blur(&img, 1.0);
+        let var = |im: &Image| {
+            let m = im.mean();
+            im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32
+        };
+        assert!(var(&out) < var(&img) / 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd length")]
+    fn even_kernel_panics() {
+        convolve_rows(&Image::new(4, 4), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_sigma_panics() {
+        gaussian_kernel(0.0);
+    }
+
+    #[test]
+    fn box_kernel_sums_to_one() {
+        let k = box_kernel(5);
+        assert_eq!(k.len(), 5);
+        assert!((k.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+}

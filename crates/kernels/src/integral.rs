@@ -1,0 +1,203 @@
+//! Integral images and O(1) window sums — the "Integral Image" and
+//! "Area Sum" kernels shared by disparity, tracking, SIFT and face
+//! detection.
+
+use sdvbs_image::Image;
+
+/// A summed-area table over an image, stored in `f64` to avoid the
+/// catastrophic cancellation `f32` accumulation would suffer on CIF-sized
+/// frames.
+///
+/// `sum(x0, y0, w, h)` returns the sum of the pixel rectangle with top-left
+/// corner `(x0, y0)` in constant time.
+///
+/// # Examples
+///
+/// ```
+/// use sdvbs_image::Image;
+/// use sdvbs_kernels::integral::IntegralImage;
+///
+/// let img = Image::filled(10, 10, 2.0);
+/// let ii = IntegralImage::new(&img);
+/// assert_eq!(ii.sum(3, 3, 4, 2), 16.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// `(width+1) × (height+1)` table with a zero top row and left column,
+    /// so window lookups need no boundary special-casing.
+    table: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the summed-area table (one pass over the image).
+    pub fn new(img: &Image) -> Self {
+        Self::from_mapped(img, |v| v as f64)
+    }
+
+    /// Builds a summed-area table of squared pixel values, used for O(1)
+    /// window variance (Viola–Jones lighting normalization).
+    pub fn squared(img: &Image) -> Self {
+        Self::from_mapped(img, |v| (v as f64) * (v as f64))
+    }
+
+    fn from_mapped(img: &Image, f: impl Fn(f32) -> f64) -> Self {
+        let w = img.width();
+        let h = img.height();
+        let stride = w + 1;
+        let mut table = vec![0.0f64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row_acc = 0.0f64;
+            for x in 0..w {
+                row_acc += f(img.get(x, y));
+                table[(y + 1) * stride + x + 1] = table[y * stride + x + 1] + row_acc;
+            }
+        }
+        IntegralImage { width: w, height: h, table }
+    }
+
+    /// Width of the source image.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the source image.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sum of the `w × h` rectangle with top-left corner `(x0, y0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle exceeds the image bounds.
+    #[inline]
+    pub fn sum(&self, x0: usize, y0: usize, w: usize, h: usize) -> f64 {
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "window ({x0},{y0},{w},{h}) out of bounds for {}x{}",
+            self.width,
+            self.height
+        );
+        let stride = self.width + 1;
+        let a = self.table[y0 * stride + x0];
+        let b = self.table[y0 * stride + x0 + w];
+        let c = self.table[(y0 + h) * stride + x0];
+        let d = self.table[(y0 + h) * stride + x0 + w];
+        d - b - c + a
+    }
+
+    /// Mean of the `w × h` rectangle at `(x0, y0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is empty or out of bounds.
+    pub fn mean(&self, x0: usize, y0: usize, w: usize, h: usize) -> f64 {
+        assert!(w > 0 && h > 0, "window must be non-empty");
+        self.sum(x0, y0, w, h) / (w * h) as f64
+    }
+}
+
+/// Computes, for every pixel, the sum of the surrounding
+/// `(2 radius + 1)²` window clipped to the image — the tracker's
+/// "Area Sum" kernel. Runs in O(pixels) via an integral image.
+pub fn area_sum(img: &Image, radius: usize) -> Image {
+    let ii = IntegralImage::new(img);
+    let w = img.width();
+    let h = img.height();
+    Image::from_fn(w, h, |x, y| {
+        let x0 = x.saturating_sub(radius);
+        let y0 = y.saturating_sub(radius);
+        let x1 = (x + radius + 1).min(w);
+        let y1 = (y + radius + 1).min(h);
+        ii.sum(x0, y0, x1 - x0, y1 - y0) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sum_matches_naive() {
+        let img = Image::from_fn(7, 5, |x, y| (x * 3 + y) as f32);
+        let ii = IntegralImage::new(&img);
+        let naive: f64 = img.as_slice().iter().map(|&v| v as f64).sum();
+        assert!((ii.sum(0, 0, 7, 5) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_sums_match_naive() {
+        let img = Image::from_fn(9, 9, |x, y| ((x * 31 + y * 17) % 11) as f32);
+        let ii = IntegralImage::new(&img);
+        for (x0, y0, w, h) in [(0, 0, 1, 1), (2, 3, 4, 5), (8, 8, 1, 1), (0, 4, 9, 2)] {
+            let mut naive = 0.0f64;
+            for y in y0..y0 + h {
+                for x in x0..x0 + w {
+                    naive += img.get(x, y) as f64;
+                }
+            }
+            assert!((ii.sum(x0, y0, w, h) - naive).abs() < 1e-9, "window {x0},{y0},{w},{h}");
+        }
+    }
+
+    #[test]
+    fn zero_area_windows_are_zero() {
+        let img = Image::filled(4, 4, 5.0);
+        let ii = IntegralImage::new(&img);
+        assert_eq!(ii.sum(2, 2, 0, 0), 0.0);
+        assert_eq!(ii.sum(2, 2, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn squared_table_gives_window_variance() {
+        let img = Image::from_fn(4, 1, |x, _| x as f32); // 0 1 2 3
+        let ii = IntegralImage::new(&img);
+        let ii2 = IntegralImage::squared(&img);
+        let n = 4.0;
+        let mean = ii.sum(0, 0, 4, 1) / n;
+        let var = ii2.sum(0, 0, 4, 1) / n - mean * mean;
+        assert!((mean - 1.5).abs() < 1e-9);
+        assert!((var - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_constant_region() {
+        let img = Image::filled(6, 6, 3.5);
+        let ii = IntegralImage::new(&img);
+        assert!((ii.mean(1, 1, 4, 4) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_window_panics() {
+        let ii = IntegralImage::new(&Image::new(3, 3));
+        ii.sum(1, 1, 3, 3);
+    }
+
+    #[test]
+    fn area_sum_interior_matches_window() {
+        let img = Image::filled(10, 10, 1.0);
+        let s = area_sum(&img, 1);
+        assert_eq!(s.get(5, 5), 9.0); // full 3x3 window
+        assert_eq!(s.get(0, 0), 4.0); // clipped to 2x2
+        assert_eq!(s.get(9, 0), 4.0);
+    }
+
+    #[test]
+    fn area_sum_equals_naive_on_random_pattern() {
+        let img = Image::from_fn(8, 6, |x, y| ((x * 7 + y * 13) % 5) as f32);
+        let s = area_sum(&img, 2);
+        // Naive check at a few pixels.
+        for &(px, py) in &[(3usize, 3usize), (0, 5), (7, 0)] {
+            let mut naive = 0.0f32;
+            for y in py.saturating_sub(2)..(py + 3).min(6) {
+                for x in px.saturating_sub(2)..(px + 3).min(8) {
+                    naive += img.get(x, y);
+                }
+            }
+            assert!((s.get(px, py) - naive).abs() < 1e-4);
+        }
+    }
+}

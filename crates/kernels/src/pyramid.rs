@@ -1,0 +1,118 @@
+//! Gaussian image pyramids, used by the KLT tracker (coarse-to-fine motion)
+//! and SIFT (octave construction).
+
+use crate::conv::gaussian_blur;
+use sdvbs_image::Image;
+
+/// A Gaussian pyramid: level 0 is the input image; each subsequent level is
+/// blurred and decimated by 2.
+///
+/// # Examples
+///
+/// ```
+/// use sdvbs_image::Image;
+/// use sdvbs_kernels::pyramid::Pyramid;
+///
+/// let img = Image::filled(64, 48, 1.0);
+/// let pyr = Pyramid::new(&img, 3, 1.0);
+/// assert_eq!(pyr.levels(), 3);
+/// assert_eq!(pyr.level(2).width(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    levels: Vec<Image>,
+}
+
+impl Pyramid {
+    /// Builds a pyramid with up to `max_levels` levels, pre-smoothing with
+    /// `sigma` before each decimation. Construction stops early if a level
+    /// would fall below 8 pixels on either side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_levels` is zero or `sigma` is not positive.
+    pub fn new(img: &Image, max_levels: usize, sigma: f32) -> Self {
+        assert!(max_levels > 0, "pyramid needs at least one level");
+        assert!(sigma > 0.0, "sigma must be positive");
+        let mut levels = vec![img.clone()];
+        while levels.len() < max_levels {
+            let top = levels.last().expect("pyramid has at least the base level");
+            if top.width() < 16 || top.height() < 16 {
+                break;
+            }
+            let next = gaussian_blur(top, sigma).downsample_2x();
+            levels.push(next);
+        }
+        Pyramid { levels }
+    }
+
+    /// Number of levels actually built.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level `i` (0 is full resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.levels()`.
+    pub fn level(&self, i: usize) -> &Image {
+        &self.levels[i]
+    }
+
+    /// Iterates levels from coarse to fine — the traversal order of
+    /// pyramidal Lucas–Kanade.
+    pub fn coarse_to_fine(&self) -> impl Iterator<Item = (usize, &Image)> {
+        self.levels.iter().enumerate().rev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_halve_per_level() {
+        let img = Image::new(128, 96);
+        let pyr = Pyramid::new(&img, 4, 1.0);
+        assert_eq!(pyr.levels(), 4);
+        assert_eq!(pyr.level(0).width(), 128);
+        assert_eq!(pyr.level(1).width(), 64);
+        assert_eq!(pyr.level(3).width(), 16);
+        assert_eq!(pyr.level(3).height(), 12);
+    }
+
+    #[test]
+    fn construction_stops_at_minimum_size() {
+        let img = Image::new(32, 32);
+        let pyr = Pyramid::new(&img, 10, 1.0);
+        // 32 -> 16 -> (16 < 16? no, 16 >= 16 -> 8) stop before 8x8 gets
+        // decimated further.
+        assert!(pyr.levels() <= 3);
+        assert!(pyr.level(pyr.levels() - 1).width() >= 8);
+    }
+
+    #[test]
+    fn constant_image_survives_pyramid() {
+        let img = Image::filled(64, 64, 7.0);
+        let pyr = Pyramid::new(&img, 3, 1.5);
+        for i in 0..pyr.levels() {
+            let l = pyr.level(i);
+            assert!(l.as_slice().iter().all(|&v| (v - 7.0).abs() < 1e-2), "level {i}");
+        }
+    }
+
+    #[test]
+    fn coarse_to_fine_order() {
+        let img = Image::new(64, 64);
+        let pyr = Pyramid::new(&img, 3, 1.0);
+        let order: Vec<usize> = pyr.coarse_to_fine().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        Pyramid::new(&Image::new(8, 8), 0, 1.0);
+    }
+}

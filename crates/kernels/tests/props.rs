@@ -1,0 +1,124 @@
+//! Property-based tests for the shared vision kernels.
+
+use proptest::prelude::*;
+use sdvbs_image::Image;
+use sdvbs_kernels::conv::{convolve_rows, gaussian_blur, gaussian_kernel};
+use sdvbs_kernels::gradient::{gradient_x, gradient_y};
+use sdvbs_kernels::integral::{area_sum, IntegralImage};
+
+proptest! {
+    /// Convolution is linear: conv(a·f + b·g) = a·conv(f) + b·conv(g).
+    #[test]
+    fn convolution_is_linear(
+        f_pix in proptest::collection::vec(-20.0f32..20.0, 8 * 6),
+        g_pix in proptest::collection::vec(-20.0f32..20.0, 8 * 6),
+        a in -2.0f32..2.0,
+        b in -2.0f32..2.0,
+    ) {
+        let f = Image::from_vec(8, 6, f_pix).expect("sized");
+        let g = Image::from_vec(8, 6, g_pix).expect("sized");
+        let kernel = [0.25f32, 0.5, 0.25];
+        let combo = Image::from_fn(8, 6, |x, y| a * f.get(x, y) + b * g.get(x, y));
+        let lhs = convolve_rows(&combo, &kernel);
+        let cf = convolve_rows(&f, &kernel);
+        let cg = convolve_rows(&g, &kernel);
+        for y in 0..6 {
+            for x in 0..8 {
+                let rhs = a * cf.get(x, y) + b * cg.get(x, y);
+                prop_assert!((lhs.get(x, y) - rhs).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Gaussian blur preserves the total mass of non-negative images away
+    /// from the border (the kernel is normalized).
+    #[test]
+    fn blur_preserves_interior_mean(
+        pix in proptest::collection::vec(0.0f32..100.0, 20 * 20),
+        sigma in 0.5f32..2.0,
+    ) {
+        let img = Image::from_vec(20, 20, pix).expect("sized");
+        let out = gaussian_blur(&img, sigma);
+        // Compare means over the interior (border replication distorts the
+        // edge rows).
+        let interior_mean = |im: &Image| {
+            let mut acc = 0.0f64;
+            let mut n = 0;
+            for y in 6..14 {
+                for x in 6..14 {
+                    acc += im.get(x, y) as f64;
+                    n += 1;
+                }
+            }
+            acc / n as f64
+        };
+        let a = interior_mean(&img);
+        let b = interior_mean(&out);
+        prop_assert!((a - b).abs() < 0.25 * a.max(1.0), "{a} vs {b}");
+    }
+
+    /// The Gaussian kernel is normalized for any sigma.
+    #[test]
+    fn gaussian_kernel_normalized(sigma in 0.2f32..5.0) {
+        let k = gaussian_kernel(sigma);
+        let sum: f32 = k.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(k.len() % 2 == 1);
+    }
+
+    /// `area_sum` with radius r equals explicit window summation via the
+    /// integral image.
+    #[test]
+    fn area_sum_matches_integral_windows(
+        pix in proptest::collection::vec(0.0f32..50.0, 10 * 8),
+        r in 1usize..4,
+    ) {
+        let img = Image::from_vec(10, 8, pix).expect("sized");
+        let s = area_sum(&img, r);
+        let ii = IntegralImage::new(&img);
+        for y in 0..8usize {
+            for x in 0..10usize {
+                let x0 = x.saturating_sub(r);
+                let y0 = y.saturating_sub(r);
+                let x1 = (x + r + 1).min(10);
+                let y1 = (y + r + 1).min(8);
+                let expect = ii.sum(x0, y0, x1 - x0, y1 - y0) as f32;
+                prop_assert!((s.get(x, y) - expect).abs() < 1e-2);
+            }
+        }
+    }
+
+    /// Gradients of a linear ramp are constant and match the coefficients.
+    #[test]
+    fn gradients_of_ramps_are_exact(
+        gx_true in -3.0f32..3.0,
+        gy_true in -3.0f32..3.0,
+    ) {
+        let img = Image::from_fn(12, 12, |x, y| gx_true * x as f32 + gy_true * y as f32);
+        let gx = gradient_x(&img);
+        let gy = gradient_y(&img);
+        for y in 2..10 {
+            for x in 2..10 {
+                prop_assert!((gx.get(x, y) - gx_true).abs() < 1e-3);
+                prop_assert!((gy.get(x, y) - gy_true).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Integral of the sum of two images is the sum of integrals.
+    #[test]
+    fn integral_image_additive(
+        a_pix in proptest::collection::vec(0.0f32..20.0, 36),
+        b_pix in proptest::collection::vec(0.0f32..20.0, 36),
+    ) {
+        let a = Image::from_vec(6, 6, a_pix).expect("sized");
+        let b = Image::from_vec(6, 6, b_pix).expect("sized");
+        let sum = Image::from_fn(6, 6, |x, y| a.get(x, y) + b.get(x, y));
+        let ia = IntegralImage::new(&a);
+        let ib = IntegralImage::new(&b);
+        let is = IntegralImage::new(&sum);
+        prop_assert!(
+            (is.sum(1, 1, 4, 4) - ia.sum(1, 1, 4, 4) - ib.sum(1, 1, 4, 4)).abs() < 1e-3
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Conjugate-gradient solver over an abstract linear operator.
+
+use crate::error::{MatrixError, Result};
+use crate::mat::Matrix;
+
+/// A symmetric linear operator `y = A x`, the abstraction the conjugate
+/// gradient solver iterates against.
+///
+/// Implemented by dense [`Matrix`] and by
+/// [`CsrMatrix`](crate::CsrMatrix), so CG serves both the SVM benchmark's
+/// "Conjugate Matrix" kernel (dense Newton systems) and sparse graph
+/// Laplacians.
+pub trait LinearOperator {
+    /// Dimension `n` of the square operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.dim()` or
+    /// `y.len() != self.dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOperator for Matrix {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let out = self.matvec(x);
+        y.copy_from_slice(&out);
+    }
+}
+
+/// Statistics returned by a successful conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOutcome {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual_norm: f64,
+}
+
+/// Solves `A x = b` for a symmetric positive definite operator by the
+/// conjugate gradient method.
+///
+/// Iterates until the residual norm falls below `tol * ||b||` or `max_iter`
+/// iterations elapse.
+///
+/// # Errors
+///
+/// * [`MatrixError::DimensionMismatch`] if `b.len() != a.dim()`.
+/// * [`MatrixError::NoConvergence`] if the tolerance is not met within
+///   `max_iter` iterations.
+///
+/// # Examples
+///
+/// ```
+/// use sdvbs_matrix::{conjugate_gradient, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let out = conjugate_gradient(&a, &[1.0, 2.0], 1e-12, 100).unwrap();
+/// assert!((out.x[0] - 1.0 / 11.0).abs() < 1e-9);
+/// assert!((out.x[1] - 7.0 / 11.0).abs() < 1e-9);
+/// ```
+pub fn conjugate_gradient<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<CgOutcome> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(MatrixError::DimensionMismatch { expected: (n, 1), found: (b.len(), 1) });
+    }
+    let bnorm = norm(b);
+    if bnorm == 0.0 {
+        return Ok(CgOutcome { x: vec![0.0; n], iterations: 0, residual_norm: 0.0 });
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rs_old = dot(&r, &r);
+    for iter in 0..max_iter {
+        let rnorm = rs_old.sqrt();
+        if rnorm <= tol * bnorm {
+            return Ok(CgOutcome { x, iterations: iter, residual_norm: rnorm });
+        }
+        a.apply(&p, &mut ap);
+        let denom = dot(&p, &ap);
+        if denom <= 0.0 {
+            // Not positive definite along this direction; report failure
+            // rather than silently diverging.
+            return Err(MatrixError::NoConvergence { iterations: iter });
+        }
+        let alpha = rs_old / denom;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    let rnorm = rs_old.sqrt();
+    if rnorm <= tol * bnorm {
+        Ok(CgOutcome { x, iterations: max_iter, residual_norm: rnorm })
+    } else {
+        Err(MatrixError::NoConvergence { iterations: max_iter })
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_spd_system() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.0],
+            &[1.0, 3.0, 1.0],
+            &[0.0, 1.0, 2.0],
+        ]);
+        let b = vec![1.0, 2.0, 3.0];
+        let out = conjugate_gradient(&a, &b, 1e-12, 100).unwrap();
+        let ax = a.matvec(&out.x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn exact_in_n_iterations() {
+        // CG on an n-dimensional SPD system converges in at most n steps
+        // (exact arithmetic); allow a couple extra for rounding.
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]]);
+        let out = conjugate_gradient(&a, &[2.0, 5.0], 1e-14, 10).unwrap();
+        assert!(out.iterations <= 4);
+        assert!((out.x[0] - 1.0).abs() < 1e-10);
+        assert!((out.x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = Matrix::identity(4);
+        let out = conjugate_gradient(&a, &[0.0; 4], 1e-12, 10).unwrap();
+        assert_eq!(out.x, vec![0.0; 4]);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn indefinite_matrix_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        assert!(conjugate_gradient(&a, &[0.0, 1.0], 1e-12, 50).is_err());
+    }
+
+    #[test]
+    fn iteration_budget_is_honored() {
+        // An ill-conditioned system with a tiny budget must error.
+        let mut a = Matrix::identity(20);
+        for i in 0..20 {
+            a[(i, i)] = 1.0 + 1e6 * (i as f64 / 19.0);
+        }
+        let b = vec![1.0; 20];
+        assert!(matches!(
+            conjugate_gradient(&a, &b, 1e-14, 2),
+            Err(MatrixError::NoConvergence { iterations: 2 })
+        ));
+    }
+
+    #[test]
+    fn rhs_length_is_validated() {
+        let a = Matrix::identity(3);
+        assert!(conjugate_gradient(&a, &[1.0], 1e-10, 10).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::error::{MatrixError, Result};
+use crate::mat::Matrix;
+
+/// Maximum number of full Jacobi sweeps before declaring failure.
+const MAX_SWEEPS: usize = 100;
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Eigenvalues are returned in ascending order; `vectors.col(k)` is the unit
+/// eigenvector for `values[k]`. Jacobi is slow for very large matrices but
+/// unconditionally robust, which suits the benchmark-suite setting where
+/// clarity and analyzability trump peak FLOPs (the paper's "Eigensolve"
+/// kernel in segmentation; large sparse problems go through
+/// [`lanczos`](crate::lanczos) instead).
+///
+/// # Examples
+///
+/// ```
+/// use sdvbs_matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = a.sym_eigen().unwrap();
+/// assert!((e.values()[0] - 1.0).abs() < 1e-10);
+/// assert!((e.values()[1] - 3.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    values: Vec<f64>,
+    vectors: Matrix,
+}
+
+impl SymEigen {
+    /// Computes the eigendecomposition.
+    ///
+    /// The strictly-lower triangle of `a` is ignored; the matrix is treated
+    /// as symmetric using its upper triangle.
+    ///
+    /// # Errors
+    ///
+    /// * [`MatrixError::NotSquare`] if `a` is not square.
+    /// * [`MatrixError::Empty`] for a zero-sized matrix.
+    /// * [`MatrixError::NoConvergence`] if Jacobi sweeps fail to reduce the
+    ///   off-diagonal mass (practically unreachable for symmetric input).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MatrixError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(MatrixError::Empty);
+        }
+        // Work on a symmetrized copy.
+        let mut m = Matrix::from_fn(n, n, |i, j| {
+            if j >= i {
+                a[(i, j)]
+            } else {
+                a[(j, i)]
+            }
+        });
+        let mut v = Matrix::identity(n);
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m[(i, j)] * m[(i, j)];
+                }
+            }
+            let scale = m.max_abs().max(1.0);
+            if off.sqrt() <= 1e-14 * scale * n as f64 {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= 1e-300 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation parameters.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Update rows/columns p and q of the symmetric matrix.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate the rotation into the eigenvector matrix.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        if !converged {
+            // One final check: Jacobi converges quadratically, so reaching
+            // the sweep cap without meeting the tolerance is a genuine error.
+            return Err(MatrixError::NoConvergence { iterations: MAX_SWEEPS });
+        }
+        // Sort eigenpairs ascending.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("non-NaN eigenvalues"));
+        let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+        let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+        Ok(SymEigen { values, vectors })
+    }
+
+    /// Eigenvalues in ascending order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Matrix whose `k`-th column is the unit eigenvector for `values()[k]`.
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let e = a.sym_eigen().unwrap();
+        assert!((e.values()[0] - 1.0).abs() < 1e-12);
+        assert!((e.values()[1] - 2.0).abs() < 1e-12);
+        assert!((e.values()[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfies_eigen_equation() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ]);
+        let e = a.sym_eigen().unwrap();
+        for k in 0..3 {
+            let v = e.vectors().col(k);
+            let av = a.matvec(&v);
+            for i in 0..3 {
+                assert!((av[i] - e.values()[k] * v[i]).abs() < 1e-8, "A v != lambda v");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+        let e = a.sym_eigen().unwrap();
+        let v = e.vectors();
+        let vtv = v.transpose().matmul(v).unwrap();
+        assert!((&vtv - &Matrix::identity(2)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0],
+            &[2.0, 6.0, 3.0],
+            &[1.0, 3.0, 7.0],
+        ]);
+        let e = a.sym_eigen().unwrap();
+        let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
+        let sum: f64 = e.values().iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[42.0]]);
+        let e = a.sym_eigen().unwrap();
+        assert_eq!(e.values(), &[42.0]);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Matrix::zeros(2, 3).sym_eigen().is_err());
+    }
+
+    #[test]
+    fn lower_triangle_is_ignored() {
+        // Asymmetric input: only the upper triangle should matter.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[999.0, 2.0]]);
+        let e = a.sym_eigen().unwrap();
+        assert!((e.values()[0] - 1.0).abs() < 1e-10);
+        assert!((e.values()[1] - 3.0).abs() < 1e-10);
+    }
+}

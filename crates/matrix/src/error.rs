@@ -1,0 +1,84 @@
+//! Error type shared by every factorization in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors produced by matrix constructors and factorizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// Operand dimensions are incompatible (e.g. `A * B` with
+    /// `A.cols() != B.rows()`).
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: (usize, usize),
+        /// Dimension actually supplied.
+        found: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) where the operation
+    /// requires an invertible matrix.
+    Singular,
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A matrix dimension was zero where a non-empty matrix is required.
+    Empty,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            MatrixError::Singular => write!(f, "matrix is singular to working precision"),
+            MatrixError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, found {}x{}", shape.0, shape.1)
+            }
+            MatrixError::NoConvergence { iterations } => {
+                write!(f, "iterative method did not converge within {iterations} iterations")
+            }
+            MatrixError::Empty => write!(f, "matrix must be non-empty"),
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = MatrixError::DimensionMismatch { expected: (2, 3), found: (4, 5) };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 2x3, found 4x5");
+        assert_eq!(MatrixError::Singular.to_string(), "matrix is singular to working precision");
+        assert_eq!(
+            MatrixError::NotSquare { shape: (1, 2) }.to_string(),
+            "operation requires a square matrix, found 1x2"
+        );
+        assert_eq!(
+            MatrixError::NoConvergence { iterations: 7 }.to_string(),
+            "iterative method did not converge within 7 iterations"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<MatrixError>();
+    }
+}

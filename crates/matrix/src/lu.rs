@@ -1,0 +1,234 @@
+//! LU factorization with partial pivoting.
+
+use crate::error::{MatrixError, Result};
+use crate::mat::Matrix;
+
+/// LU factorization with partial pivoting: `P A = L U`.
+///
+/// The factorization is stored compactly (L below the diagonal with an
+/// implicit unit diagonal, U on and above it) together with the pivot
+/// permutation. It supports solving linear systems, inversion and
+/// determinants — everything the KLT tracker and SVM trainer need.
+///
+/// # Examples
+///
+/// ```
+/// use sdvbs_matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = a.lu().unwrap();
+/// let x = lu.solve(&[3.0, 5.0]).unwrap();
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    factors: Matrix,
+    pivots: Vec<usize>,
+    /// Sign of the permutation, for the determinant.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`MatrixError::NotSquare`] if `a` is not square.
+    /// * [`MatrixError::Empty`] if `a` has zero size.
+    /// * [`MatrixError::Singular`] if a pivot is exactly zero.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MatrixError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(MatrixError::Empty);
+        }
+        let mut f = a.clone();
+        let mut pivots = vec![0usize; n];
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut p = k;
+            let mut best = f[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = f[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(MatrixError::Singular);
+            }
+            pivots[k] = p;
+            if p != k {
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = f[(k, j)];
+                    f[(k, j)] = f[(p, j)];
+                    f[(p, j)] = tmp;
+                }
+            }
+            let pivot = f[(k, k)];
+            for i in (k + 1)..n {
+                let m = f[(i, k)] / pivot;
+                f[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let delta = m * f[(k, j)];
+                        f[(i, j)] -= delta;
+                    }
+                }
+            }
+        }
+        Ok(Lu { factors: f, pivots, perm_sign: sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        let mut x = b.to_vec();
+        // Apply the row permutation.
+        for k in 0..n {
+            let p = self.pivots[k];
+            if p != k {
+                x.swap(k, p);
+            }
+        }
+        // Forward substitution with unit lower-triangular L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = acc / self.factors[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.factors[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix, column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (none occur for a successfully built `Lu`).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, 4.0, 4.0], &[5.0, 6.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        let b = vec![3.0, 7.0, 8.0];
+        let x = lu.solve(&b).unwrap();
+        assert_close(&a.matvec(&x), &b, 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert_close(&x, &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn det_matches_hand_value() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        assert!((a.lu().unwrap().det() - 6.0).abs() < 1e-12);
+        // Permutation flips the sign.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((p.lu().unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let eye = Matrix::identity(2);
+        assert!((&prod - &eye).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(MatrixError::Singular)));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(MatrixError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn empty_is_rejected() {
+        let a = Matrix::zeros(0, 0);
+        assert!(matches!(a.lu(), Err(MatrixError::Empty)));
+    }
+
+    #[test]
+    fn solve_validates_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = a.lu().unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

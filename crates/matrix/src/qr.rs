@@ -1,0 +1,243 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::error::{MatrixError, Result};
+use crate::mat::Matrix;
+
+/// Householder QR factorization `A = Q R` for an `m × n` matrix with
+/// `m >= n`.
+///
+/// Used by image stitch (least-squares model fitting inside RANSAC — the
+/// paper's "LS Solver" kernel) and by the discretization step of
+/// normalized-cuts segmentation ("QR factorizations" kernel).
+///
+/// # Examples
+///
+/// ```
+/// use sdvbs_matrix::Matrix;
+///
+/// // Overdetermined system: best line through three points.
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]]);
+/// let x = a.qr().unwrap().solve_least_squares(&[1.0, 3.0, 5.0]).unwrap();
+/// assert!((x[0] - 2.0).abs() < 1e-10); // slope
+/// assert!((x[1] - 1.0).abs() < 1e-10); // intercept
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; R on and above it.
+    factors: Matrix,
+    /// Scaling factors `tau` for each reflector.
+    taus: Vec<f64>,
+    m: usize,
+    n: usize,
+}
+
+impl Qr {
+    /// Factors the matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`MatrixError::Empty`] for an empty matrix.
+    /// * [`MatrixError::DimensionMismatch`] if `rows < cols` (the
+    ///   factorization here targets tall systems; transpose first for wide
+    ///   ones).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(MatrixError::Empty);
+        }
+        if m < n {
+            return Err(MatrixError::DimensionMismatch { expected: (n, n), found: (m, n) });
+        }
+        let mut f = a.clone();
+        let mut taus = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector annihilating column k below
+            // the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += f[(i, k)] * f[(i, k)];
+            }
+            norm = norm.sqrt();
+            if norm == 0.0 {
+                taus[k] = 0.0;
+                continue;
+            }
+            let alpha = if f[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = f[(k, k)] - alpha;
+            // Normalize so that v[k] = 1 implicitly.
+            for i in (k + 1)..m {
+                f[(i, k)] /= v0;
+            }
+            taus[k] = -v0 / alpha;
+            f[(k, k)] = alpha;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = f[(k, j)];
+                for i in (k + 1)..m {
+                    dot += f[(i, k)] * f[(i, j)];
+                }
+                let t = taus[k] * dot;
+                f[(k, j)] -= t;
+                for i in (k + 1)..m {
+                    let delta = t * f[(i, k)];
+                    f[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Qr { factors: f, taus, m, n })
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        Matrix::from_fn(self.n, self.n, |i, j| if j >= i { self.factors[(i, j)] } else { 0.0 })
+    }
+
+    /// The thin orthogonal factor `Q` (`m × n`).
+    pub fn q(&self) -> Matrix {
+        // Accumulate Q by applying the reflectors to the first n columns of
+        // the identity.
+        let mut q = Matrix::from_fn(self.m, self.n, |i, j| if i == j { 1.0 } else { 0.0 });
+        for k in (0..self.n).rev() {
+            if self.taus[k] == 0.0 {
+                continue;
+            }
+            for j in 0..self.n {
+                let mut dot = q[(k, j)];
+                for i in (k + 1)..self.m {
+                    dot += self.factors[(i, k)] * q[(i, j)];
+                }
+                let t = self.taus[k] * dot;
+                q[(k, j)] -= t;
+                for i in (k + 1)..self.m {
+                    let delta = t * self.factors[(i, k)];
+                    q[(i, j)] -= delta;
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        for k in 0..self.n {
+            if self.taus[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..self.m {
+                dot += self.factors[(i, k)] * y[i];
+            }
+            let t = self.taus[k] * dot;
+            y[k] -= t;
+            for i in (k + 1)..self.m {
+                let delta = t * self.factors[(i, k)];
+                y[i] -= delta;
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MatrixError::DimensionMismatch`] if `b.len() != rows`.
+    /// * [`MatrixError::Singular`] if `R` has a zero diagonal entry
+    ///   (rank-deficient system).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.m {
+            return Err(MatrixError::DimensionMismatch {
+                expected: (self.m, 1),
+                found: (b.len(), 1),
+            });
+        }
+        let y = self.apply_qt(b);
+        let mut x = vec![0.0; self.n];
+        for i in (0..self.n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..self.n {
+                acc -= self.factors[(i, j)] * x[j];
+            }
+            let d = self.factors[(i, i)];
+            if d == 0.0 {
+                return Err(MatrixError::Singular);
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ]);
+        let qr = a.qr().unwrap();
+        let prod = qr.q().matmul(&qr.r()).unwrap();
+        assert!((&prod - &a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ]);
+        let q = a.qr().unwrap().q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!((&qtq - &Matrix::identity(2)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.qr().unwrap().solve_least_squares(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [0.9, 2.1, 2.9, 4.2];
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        // Residual must be orthogonal to the column space: Aᵀ r = 0.
+        let ax = a.matvec(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
+        let atr = a.transpose().matvec(&r);
+        assert!(atr.iter().all(|v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn wide_matrix_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Qr::new(&a), Err(MatrixError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rank_deficient_solve_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let qr = a.qr().unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(MatrixError::Singular)
+        ));
+    }
+
+    #[test]
+    fn rhs_length_is_validated() {
+        let a = Matrix::identity(3);
+        let qr = a.qr().unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! One-sided (Hestenes) Jacobi singular value decomposition.
+
+use crate::error::{MatrixError, Result};
+use crate::mat::Matrix;
+
+/// Maximum number of orthogonalization sweeps.
+const MAX_SWEEPS: usize = 60;
+
+/// Singular value decomposition `A = U Σ Vᵀ` via one-sided Jacobi.
+///
+/// Singular values are returned in descending order. `U` is `m × r` and `V`
+/// is `n × r` where `r = min(m, n)`. The paper's "SVD" kernel in the image
+/// stitch benchmark fits transform models from matched feature pairs; SVD is
+/// also the canonical tool for null-space extraction in homography fitting.
+///
+/// # Examples
+///
+/// ```
+/// use sdvbs_matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -2.0]]);
+/// let svd = a.svd().unwrap();
+/// assert!((svd.singular_values()[0] - 3.0).abs() < 1e-10);
+/// assert!((svd.singular_values()[1] - 2.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    sigma: Vec<f64>,
+    v: Matrix,
+}
+
+impl Svd {
+    /// Computes the SVD.
+    ///
+    /// # Errors
+    ///
+    /// * [`MatrixError::Empty`] for an empty matrix.
+    /// * [`MatrixError::NoConvergence`] if the Jacobi sweeps fail to
+    ///   orthogonalize the columns.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(MatrixError::Empty);
+        }
+        if m < n {
+            // One-sided Jacobi wants a tall matrix; use A = U S Vᵀ ⇔
+            // Aᵀ = V S Uᵀ.
+            let t = Svd::new(&a.transpose())?;
+            return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+        }
+        // Work matrix whose columns we orthogonalize in place.
+        let mut w = a.clone();
+        let mut v = Matrix::identity(n);
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Inner products of columns p and q.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..m {
+                        let wp = w[(i, p)];
+                        let wq = w[(i, q)];
+                        app += wp * wp;
+                        aqq += wq * wq;
+                        apq += wp * wq;
+                    }
+                    if apq.abs() <= 1e-15 * (app * aqq).sqrt() || apq == 0.0 {
+                        continue;
+                    }
+                    rotated = true;
+                    // Jacobi rotation zeroing the off-diagonal Gram entry.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = if tau >= 0.0 {
+                        1.0 / (tau + (1.0 + tau * tau).sqrt())
+                    } else {
+                        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    for i in 0..m {
+                        let wp = w[(i, p)];
+                        let wq = w[(i, q)];
+                        w[(i, p)] = c * wp - s * wq;
+                        w[(i, q)] = s * wp + c * wq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if !rotated {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(MatrixError::NoConvergence { iterations: MAX_SWEEPS });
+        }
+        // Column norms are the singular values; normalized columns form U.
+        let mut sigma: Vec<f64> = (0..n)
+            .map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).expect("non-NaN singular values"));
+        let sorted_sigma: Vec<f64> = order.iter().map(|&i| sigma[i]).collect();
+        sigma = sorted_sigma;
+        let u = Matrix::from_fn(m, n, |i, j| {
+            let s = sigma[j];
+            if s > 0.0 {
+                w[(i, order[j])] / s
+            } else {
+                0.0
+            }
+        });
+        let vs = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+        Ok(Svd { u, sigma, v: vs })
+    }
+
+    /// Left singular vectors (`m × min(m, n)`).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Singular values in descending order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.sigma
+    }
+
+    /// Right singular vectors (`n × min(m, n)`).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Numerical rank with relative tolerance `tol` (values below
+    /// `tol * sigma_max` count as zero).
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.sigma.first().copied().unwrap_or(0.0);
+        self.sigma.iter().filter(|&&s| s > tol * smax).count()
+    }
+
+    /// Reconstructs `U Σ Vᵀ` (useful for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        let mut us = self.u.clone();
+        for j in 0..self.sigma.len() {
+            for i in 0..us.rows() {
+                us[(i, j)] *= self.sigma[j];
+            }
+        }
+        us.matmul(&self.v.transpose()).expect("shapes agree by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ]);
+        let svd = a.svd().unwrap();
+        assert!((&svd.reconstruct() - &a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_reconstructs() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let svd = a.svd().unwrap();
+        assert!((&svd.reconstruct() - &a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_descend_and_match_known() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]]);
+        let svd = a.svd().unwrap();
+        assert!((svd.singular_values()[0] - 5.0).abs() < 1e-10);
+        assert!((svd.singular_values()[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn u_and_v_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.2],
+            &[0.3, 2.0, 0.1],
+            &[0.7, 0.4, 3.0],
+            &[0.2, 0.9, 0.5],
+        ]);
+        let svd = a.svd().unwrap();
+        let utu = svd.u().transpose().matmul(svd.u()).unwrap();
+        let vtv = svd.v().transpose().matmul(svd.v()).unwrap();
+        assert!((&utu - &Matrix::identity(3)).unwrap().max_abs() < 1e-10);
+        assert!((&vtv - &Matrix::identity(3)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        // Second column is twice the first: rank 1.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let svd = a.svd().unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+    }
+
+    #[test]
+    fn frobenius_norm_equals_sigma_norm() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        let svd = a.svd().unwrap();
+        let fro = a.frobenius_norm();
+        let snorm = svd.singular_values().iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((fro - snorm).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_is_rejected() {
+        assert!(Matrix::zeros(0, 3).svd().is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use sdvbs_matrix::{conjugate_gradient, lanczos_deflated, Matrix, SparseBuilder};
+
+/// Builds a well-conditioned SPD matrix from arbitrary entries:
+/// `A = B Bᵀ + n·I`.
+fn spd_from(vals: &[f64], n: usize) -> Matrix {
+    let b = Matrix::from_vec(n, n, vals.to_vec()).expect("sized input");
+    let mut a = b.matmul(&b.transpose()).expect("square product");
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+proptest! {
+    /// CG and LU agree on SPD systems.
+    #[test]
+    fn cg_matches_lu_on_spd(
+        vals in proptest::collection::vec(-2.0f64..2.0, 16),
+        rhs in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let a = spd_from(&vals, 4);
+        let lu_x = a.lu().expect("spd invertible").solve(&rhs).expect("sized");
+        let cg_x = conjugate_gradient(&a, &rhs, 1e-12, 200).expect("spd converges").x;
+        for (l, c) in lu_x.iter().zip(&cg_x) {
+            prop_assert!((l - c).abs() < 1e-6, "{l} vs {c}");
+        }
+    }
+
+    /// QR least squares minimizes the residual: any perturbation of the
+    /// solution increases ||Ax - b||.
+    #[test]
+    fn qr_least_squares_is_a_minimum(
+        vals in proptest::collection::vec(-3.0f64..3.0, 12),
+        rhs in proptest::collection::vec(-3.0f64..3.0, 6),
+        dir in proptest::collection::vec(-1.0f64..1.0, 2),
+    ) {
+        let mut a = Matrix::from_vec(6, 2, vals).expect("sized");
+        // Guarantee full column rank.
+        a[(0, 0)] += 10.0;
+        a[(1, 1)] += 10.0;
+        let x = match a.qr().expect("tall").solve_least_squares(&rhs) {
+            Ok(x) => x,
+            Err(_) => return Ok(()), // rank-deficient draw: skip
+        };
+        let res = |x: &[f64]| -> f64 {
+            let ax = a.matvec(x);
+            ax.iter().zip(&rhs).map(|(p, q)| (p - q) * (p - q)).sum()
+        };
+        let base = res(&x);
+        let shifted: Vec<f64> =
+            x.iter().zip(&dir).map(|(xi, di)| xi + di * 0.1).collect();
+        prop_assert!(res(&shifted) >= base - 1e-9);
+    }
+
+    /// det(A) * det(A^-1) = 1 for invertible matrices.
+    #[test]
+    fn determinant_of_inverse(
+        vals in proptest::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        let a = spd_from(&vals, 3);
+        let lu = a.lu().expect("spd invertible");
+        let inv = lu.inverse().expect("invertible");
+        let det_inv = inv.lu().expect("inverse invertible").det();
+        prop_assert!((lu.det() * det_inv - 1.0).abs() < 1e-6);
+    }
+
+    /// Sparse matvec agrees with densified matvec for arbitrary triplet
+    /// sets (including duplicates).
+    #[test]
+    fn sparse_matvec_matches_dense(
+        triplets in proptest::collection::vec((0usize..6, 0usize..6, -5.0f64..5.0), 0..40),
+        x in proptest::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        let mut b = SparseBuilder::new(6);
+        for &(r, c, v) in &triplets {
+            b.push(r, c, v);
+        }
+        let s = b.build();
+        let dense = s.to_dense();
+        let ys = s.matvec(&x);
+        let yd = dense.matvec(&x);
+        for (a_, b_) in ys.iter().zip(&yd) {
+            prop_assert!((a_ - b_).abs() < 1e-9);
+        }
+    }
+
+    /// Deflated Lanczos' top eigenvalue matches dense Jacobi on small
+    /// symmetric matrices.
+    #[test]
+    fn lanczos_top_matches_jacobi(
+        vals in proptest::collection::vec(-3.0f64..3.0, 25),
+    ) {
+        let raw = Matrix::from_vec(5, 5, vals).expect("sized");
+        let a = Matrix::from_fn(5, 5, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
+        let dense = a.sym_eigen().expect("square");
+        let start = vec![1.0, 0.9, 1.1, 1.2, 0.8];
+        let r = lanczos_deflated(&a, 1, &start, 5).expect("non-degenerate start");
+        prop_assert!(
+            (r.values[0] - dense.values()[4]).abs() < 1e-6,
+            "{} vs {}",
+            r.values[0],
+            dense.values()[4]
+        );
+    }
+
+    /// Matrix multiplication is associative: (AB)C = A(BC).
+    #[test]
+    fn matmul_associative(
+        a_vals in proptest::collection::vec(-2.0f64..2.0, 6),
+        b_vals in proptest::collection::vec(-2.0f64..2.0, 8),
+        c_vals in proptest::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let a = Matrix::from_vec(3, 2, a_vals).expect("sized");
+        let b = Matrix::from_vec(2, 4, b_vals).expect("sized");
+        let c = Matrix::from_vec(4, 2, c_vals).expect("sized");
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!((&left - &right).unwrap().max_abs() < 1e-9);
+    }
+}

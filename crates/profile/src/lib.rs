@@ -1,0 +1,36 @@
+//! Kernel-level profiling substrate for the SD-VBS suite.
+//!
+//! The paper's evaluation hinges on attributing each benchmark's runtime to
+//! its constituent kernels (Figure 3, "hot spots") and on total-runtime
+//! scaling across input sizes (Figure 2). Every benchmark in this
+//! reproduction threads a [`Profiler`] through its pipeline and brackets
+//! each kernel with [`Profiler::kernel`]; the resulting [`Report`] exposes
+//! exactly the quantities the paper plots: per-kernel occupancy percentages
+//! and the non-kernel remainder.
+//!
+//! [`SystemInfo`] reproduces Table III (the profiling-system configuration)
+//! for the host actually running the experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdvbs_profile::Profiler;
+//!
+//! let mut prof = Profiler::new();
+//! prof.run(|p| {
+//!     p.kernel("Correlation", |_| {
+//!         // ... kernel work ...
+//!     });
+//! });
+//! let report = prof.report();
+//! assert_eq!(report.kernels()[0].name, "Correlation");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod profiler;
+mod sysinfo;
+
+pub use profiler::{KernelStat, Profiler, Report};
+pub use sysinfo::SystemInfo;

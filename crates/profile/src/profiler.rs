@@ -1,0 +1,352 @@
+//! Scoped, nesting-aware kernel timers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Accumulated timing for one named kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Kernel name as passed to [`Profiler::kernel`].
+    pub name: String,
+    /// Total *self* time: time inside this kernel excluding nested kernels.
+    pub self_time: Duration,
+    /// Number of times the kernel scope was entered.
+    pub calls: u64,
+}
+
+/// A scoped profiler attributing wall-clock time to named kernels.
+///
+/// Nested kernel scopes are handled the way a profile reader expects: a
+/// kernel's reported time is its *self* time, with nested kernel time
+/// attributed to the inner kernel only. The remainder of the run not spent
+/// in any kernel is reported as "non-kernel work", matching the
+/// `NonKernelWork` series in the paper's Figure 3.
+///
+/// The profiler is deliberately cheap (one `Instant::now` pair per scope) so
+/// enabling it does not distort the occupancy percentages it measures.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    totals: HashMap<String, (Duration, u64)>,
+    /// First-seen order, so reports are stable and mirror pipeline order.
+    order: Vec<String>,
+    /// Stack of open scopes: (name, start, accumulated child time).
+    stack: Vec<(String, Instant, Duration)>,
+    /// Total duration of the outermost `run` calls.
+    total: Duration,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler {
+            totals: HashMap::new(),
+            order: Vec::new(),
+            stack: Vec::new(),
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Times `f` as the whole benchmark run; the elapsed time becomes the
+    /// denominator for occupancy percentages.
+    ///
+    /// May be called multiple times; totals accumulate (useful for averaging
+    /// over repetitions).
+    pub fn run<T>(&mut self, f: impl FnOnce(&mut Profiler) -> T) -> T {
+        let start = Instant::now();
+        let out = f(self);
+        self.total += start.elapsed();
+        out
+    }
+
+    /// Times `f` under the kernel name `name`.
+    ///
+    /// Nested invocations are allowed; the parent kernel's self time
+    /// excludes the child's elapsed time.
+    pub fn kernel<T>(&mut self, name: &str, f: impl FnOnce(&mut Profiler) -> T) -> T {
+        self.stack.push((name.to_string(), Instant::now(), Duration::ZERO));
+        let out = f(self);
+        let (name, start, child) = self.stack.pop().expect("scope stack cannot be empty here");
+        let elapsed = start.elapsed();
+        let self_time = elapsed.saturating_sub(child);
+        if let Some((_, _, parent_child)) = self.stack.last_mut() {
+            *parent_child += elapsed;
+        }
+        let entry = self.totals.entry(name.clone()).or_insert_with(|| {
+            self.order.push(name);
+            (Duration::ZERO, 0)
+        });
+        entry.0 += self_time;
+        entry.1 += 1;
+        out
+    }
+
+    /// Adds an externally measured duration to kernel `name` (used by
+    /// drivers that time work out-of-line).
+    pub fn add_kernel_time(&mut self, name: &str, d: Duration) {
+        let entry = self.totals.entry(name.to_string()).or_insert_with(|| {
+            self.order.push(name.to_string());
+            (Duration::ZERO, 0)
+        });
+        entry.0 += d;
+        entry.1 += 1;
+    }
+
+    /// Total time accumulated by [`Profiler::run`].
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Produces an occupancy report.
+    ///
+    /// If [`Profiler::run`] was never used, the denominator falls back to
+    /// the sum of kernel self times (so occupancies still total 100%).
+    pub fn report(&self) -> Report {
+        let kernels: Vec<KernelStat> = self
+            .order
+            .iter()
+            .map(|name| {
+                let (self_time, calls) = self.totals[name];
+                KernelStat { name: name.clone(), self_time, calls }
+            })
+            .collect();
+        let kernel_sum: Duration = kernels.iter().map(|k| k.self_time).sum();
+        let total = if self.total > Duration::ZERO { self.total } else { kernel_sum };
+        Report { kernels, total, kernel_sum }
+    }
+
+    /// Clears all accumulated measurements.
+    pub fn reset(&mut self) {
+        self.totals.clear();
+        self.order.clear();
+        self.stack.clear();
+        self.total = Duration::ZERO;
+    }
+}
+
+/// An occupancy report: per-kernel self time, percentage of the total run,
+/// and the non-kernel remainder — the quantities plotted in the paper's
+/// Figure 3.
+#[derive(Debug, Clone)]
+pub struct Report {
+    kernels: Vec<KernelStat>,
+    total: Duration,
+    kernel_sum: Duration,
+}
+
+impl Report {
+    /// Per-kernel statistics in first-seen order.
+    pub fn kernels(&self) -> &[KernelStat] {
+        &self.kernels
+    }
+
+    /// Total run duration (the occupancy denominator).
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Occupancy percentage for kernel `name`, or `None` if it never ran.
+    pub fn occupancy(&self, name: &str) -> Option<f64> {
+        let k = self.kernels.iter().find(|k| k.name == name)?;
+        Some(percentage(k.self_time, self.total))
+    }
+
+    /// Time not attributed to any kernel ("NonKernelWork" in Figure 3).
+    pub fn non_kernel(&self) -> Duration {
+        self.total.saturating_sub(self.kernel_sum)
+    }
+
+    /// Non-kernel occupancy percentage.
+    pub fn non_kernel_percent(&self) -> f64 {
+        percentage(self.non_kernel(), self.total)
+    }
+
+    /// Serializes the report as CSV (`kernel,self_ms,calls,percent`)
+    /// with a trailing `NonKernelWork` row — machine-readable output for
+    /// external plotting of the Figure 3 data.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kernel,self_ms,calls,percent\n");
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{},{:.6},{},{:.4}\n",
+                k.name,
+                k.self_time.as_secs_f64() * 1e3,
+                k.calls,
+                percentage(k.self_time, self.total)
+            ));
+        }
+        out.push_str(&format!(
+            "NonKernelWork,{:.6},0,{:.4}\n",
+            self.non_kernel().as_secs_f64() * 1e3,
+            self.non_kernel_percent()
+        ));
+        out
+    }
+
+    /// All `(name, percent)` pairs plus the non-kernel remainder, in
+    /// first-seen order — one column of the paper's Figure 3.
+    pub fn occupancy_table(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .kernels
+            .iter()
+            .map(|k| (k.name.clone(), percentage(k.self_time, self.total)))
+            .collect();
+        rows.push(("NonKernelWork".to_string(), self.non_kernel_percent()));
+        rows
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total {:>12.3} ms", self.total.as_secs_f64() * 1e3)?;
+        for (name, pct) in self.occupancy_table() {
+            let time = if name == "NonKernelWork" {
+                self.non_kernel()
+            } else {
+                self.kernels.iter().find(|k| k.name == name).map(|k| k.self_time).unwrap_or_default()
+            };
+            writeln!(f, "  {name:<24} {:>10.3} ms {pct:>6.2}%", time.as_secs_f64() * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+fn percentage(part: Duration, whole: Duration) -> f64 {
+    if whole.is_zero() {
+        0.0
+    } else {
+        100.0 * part.as_secs_f64() / whole.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn kernel_times_accumulate() {
+        let mut p = Profiler::new();
+        p.run(|p| {
+            p.kernel("A", |_| sleep(Duration::from_millis(5)));
+            p.kernel("A", |_| sleep(Duration::from_millis(5)));
+            p.kernel("B", |_| sleep(Duration::from_millis(2)));
+        });
+        let r = p.report();
+        let a = &r.kernels()[0];
+        assert_eq!(a.name, "A");
+        assert_eq!(a.calls, 2);
+        assert!(a.self_time >= Duration::from_millis(9));
+        assert!(r.total() >= Duration::from_millis(11));
+    }
+
+    #[test]
+    fn nested_kernels_attribute_self_time() {
+        let mut p = Profiler::new();
+        p.run(|p| {
+            p.kernel("outer", |p| {
+                sleep(Duration::from_millis(4));
+                p.kernel("inner", |_| sleep(Duration::from_millis(8)));
+            });
+        });
+        let r = p.report();
+        let outer = r.kernels().iter().find(|k| k.name == "outer").unwrap();
+        let inner = r.kernels().iter().find(|k| k.name == "inner").unwrap();
+        assert!(inner.self_time >= Duration::from_millis(7));
+        // Outer self time must exclude the inner 8 ms.
+        assert!(outer.self_time < Duration::from_millis(8));
+    }
+
+    #[test]
+    fn occupancies_sum_to_about_100() {
+        let mut p = Profiler::new();
+        p.run(|p| {
+            p.kernel("k1", |_| sleep(Duration::from_millis(3)));
+            p.kernel("k2", |_| sleep(Duration::from_millis(3)));
+        });
+        let r = p.report();
+        let sum: f64 = r.occupancy_table().iter().map(|(_, pct)| pct).sum();
+        assert!((sum - 100.0).abs() < 1.0, "sum was {sum}");
+    }
+
+    #[test]
+    fn non_kernel_work_is_remainder() {
+        let mut p = Profiler::new();
+        p.run(|p| {
+            sleep(Duration::from_millis(6));
+            p.kernel("k", |_| sleep(Duration::from_millis(2)));
+        });
+        let r = p.report();
+        assert!(r.non_kernel() >= Duration::from_millis(5));
+        assert!(r.non_kernel_percent() > 50.0);
+    }
+
+    #[test]
+    fn report_without_run_uses_kernel_sum() {
+        let mut p = Profiler::new();
+        p.kernel("only", |_| sleep(Duration::from_millis(2)));
+        let r = p.report();
+        assert!(r.occupancy("only").unwrap() > 99.0);
+        assert_eq!(r.non_kernel(), Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = Profiler::new();
+        p.run(|p| p.kernel("k", |_| ()));
+        p.reset();
+        let r = p.report();
+        assert!(r.kernels().is_empty());
+        assert_eq!(r.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn kernel_returns_closure_value() {
+        let mut p = Profiler::new();
+        let v = p.kernel("compute", |_| 40 + 2);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn add_kernel_time_merges() {
+        let mut p = Profiler::new();
+        p.add_kernel_time("ext", Duration::from_millis(10));
+        p.add_kernel_time("ext", Duration::from_millis(5));
+        let r = p.report();
+        assert_eq!(r.kernels()[0].self_time, Duration::from_millis(15));
+        assert_eq!(r.kernels()[0].calls, 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let mut p = Profiler::new();
+        p.run(|p| {
+            p.kernel("A", |_| sleep(Duration::from_millis(2)));
+            p.kernel("B", |_| ());
+        });
+        let csv = p.report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kernel,self_ms,calls,percent");
+        assert_eq!(lines.len(), 4); // header + A + B + NonKernelWork
+        assert!(lines[1].starts_with("A,"));
+        assert!(lines[3].starts_with("NonKernelWork,"));
+        // Percent column parses as f64.
+        let pct: f64 = lines[1].split(',').nth(3).unwrap().parse().unwrap();
+        assert!(pct > 0.0);
+    }
+
+    #[test]
+    fn display_contains_kernel_names() {
+        let mut p = Profiler::new();
+        p.run(|p| p.kernel("MyKernel", |_| ()));
+        let s = p.report().to_string();
+        assert!(s.contains("MyKernel"));
+        assert!(s.contains("NonKernelWork"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Discretization of the spectral embedding (the "QRfactorizations"
+//! kernel).
+//!
+//! Following Yu & Shi's discretization: alternately (a) assign each pixel
+//! to the segment whose rotated-basis column its embedding row aligns with
+//! best, and (b) re-estimate the optimal rotation from the assignment via
+//! an orthogonal Procrustes solve. The orthogonalization work (SVD /
+//! QR-style factorizations of small `k × k` systems) is what the paper's
+//! kernel label refers to.
+
+use sdvbs_matrix::Matrix;
+
+/// Row-normalizes an `n × k` embedding so every row lies on the unit
+/// sphere (rows that are exactly zero are left as zero).
+pub fn normalize_rows(x: &mut Matrix) {
+    for i in 0..x.rows() {
+        let row = x.row_mut(i);
+        let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for v in row {
+                *v /= norm;
+            }
+        }
+    }
+}
+
+/// Discretizes a row-normalized `n × k` spectral embedding into `n` labels
+/// in `0..k` by alternating assignment and Procrustes rotation.
+///
+/// Deterministic: the initial rotation basis is chosen by farthest-point
+/// selection over embedding rows.
+///
+/// # Panics
+///
+/// Panics if `x` has zero columns or zero rows.
+pub fn discretize(x: &Matrix, max_iters: usize) -> Vec<usize> {
+    let n = x.rows();
+    let k = x.cols();
+    assert!(n > 0 && k > 0, "embedding must be non-empty");
+    // Initial rotation: k embedding rows selected farthest-first.
+    let mut r = Matrix::zeros(k, k);
+    let mut chosen = vec![0usize];
+    {
+        let first = x.row(n / 2).to_vec();
+        for (j, v) in first.iter().enumerate() {
+            r[(j, 0)] = *v;
+        }
+        let mut min_corr: Vec<f64> = (0..n)
+            .map(|i| x.row(i).iter().zip(&first).map(|(a, b)| a * b).sum::<f64>().abs())
+            .collect();
+        for c in 1..k {
+            // Pick the row least correlated with all chosen so far.
+            let (best, _) = min_corr
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("correlations are finite"))
+                .expect("non-empty rows");
+            chosen.push(best);
+            let row = x.row(best).to_vec();
+            for (j, v) in row.iter().enumerate() {
+                r[(j, c)] = *v;
+            }
+            for i in 0..n {
+                let corr =
+                    x.row(i).iter().zip(&row).map(|(a, b)| a * b).sum::<f64>().abs();
+                if corr > min_corr[i] {
+                    min_corr[i] = corr;
+                }
+            }
+        }
+    }
+    let mut labels = vec![0usize; n];
+    let mut last_obj = f64::NEG_INFINITY;
+    for _ in 0..max_iters {
+        // Assignment step: label = argmax_j (X R)_ij.
+        let xr = x.matmul(&r).expect("shapes agree");
+        for i in 0..n {
+            let row = xr.row(i);
+            let mut best = 0usize;
+            let mut best_v = f64::NEG_INFINITY;
+            for (j, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = j;
+                }
+            }
+            labels[i] = best;
+        }
+        // Rotation step: Procrustes — R = V Uᵀ of svd(Nᵀ X) where N is the
+        // indicator matrix. Nᵀ X is k×k: row j sums embedding rows assigned
+        // to segment j.
+        let mut ntx = Matrix::zeros(k, k);
+        for i in 0..n {
+            let l = labels[i];
+            for j in 0..k {
+                ntx[(l, j)] += x[(i, j)];
+            }
+        }
+        let svd = match ntx.svd() {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        let obj: f64 = svd.singular_values().iter().sum();
+        // R maps embedding space onto indicator space: R = V Uᵀ.
+        let vt = svd.v().clone();
+        let u = svd.u().clone();
+        r = vt.matmul(&u.transpose()).expect("k x k shapes");
+        if (obj - last_obj).abs() < 1e-9 * obj.abs().max(1.0) {
+            break;
+        }
+        last_obj = obj;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_rows_makes_unit_rows() {
+        let mut m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[1.0, 0.0]]);
+        normalize_rows(&mut m);
+        assert!((m[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((m[(0, 1)] - 0.8).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn separates_two_orthogonal_clusters() {
+        // 10 rows near e1, 10 near e2.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![1.0, 0.01 * i as f64]);
+        }
+        for i in 0..10 {
+            rows.push(vec![0.01 * i as f64, 1.0]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut x = Matrix::from_rows(&refs);
+        normalize_rows(&mut x);
+        let labels = discretize(&x, 30);
+        // First ten share a label; last ten share the other.
+        assert!(labels[..10].iter().all(|&l| l == labels[0]));
+        assert!(labels[10..].iter().all(|&l| l == labels[10]));
+        assert_ne!(labels[0], labels[10]);
+    }
+
+    #[test]
+    fn three_clusters_three_labels() {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for c in 0..3 {
+            for i in 0..8 {
+                let mut v = vec![0.02 * i as f64; 3];
+                v[c] = 1.0;
+                rows.push(v);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut x = Matrix::from_rows(&refs);
+        normalize_rows(&mut x);
+        let labels = discretize(&x, 30);
+        let mut distinct: Vec<usize> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3, "labels {labels:?}");
+    }
+
+    #[test]
+    fn single_cluster_is_stable() {
+        let x = Matrix::filled(5, 1, 1.0);
+        let labels = discretize(&x, 10);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

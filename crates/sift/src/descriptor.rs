@@ -1,0 +1,216 @@
+//! Descriptor computation: 4×4 spatial × 8 orientation gradient
+//! histograms.
+
+use crate::detect::Keypoint;
+use crate::scalespace::ScaleSpace;
+
+/// Spatial histogram grid width.
+const D: usize = 4;
+/// Orientation bins per spatial cell.
+const B: usize = 8;
+/// Descriptor length (`4 · 4 · 8`).
+pub const DESCRIPTOR_LEN: usize = D * D * B;
+
+/// A keypoint with its 128-dimensional SIFT descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiftFeature {
+    /// The keypoint (position, scale, orientation).
+    pub keypoint: Keypoint,
+    /// L2-normalized, 0.2-clipped descriptor.
+    pub descriptor: Vec<f32>,
+}
+
+/// Computes descriptors for all keypoints.
+pub fn describe(ss: &ScaleSpace, keypoints: &[Keypoint]) -> Vec<SiftFeature> {
+    keypoints
+        .iter()
+        .filter_map(|kp| describe_one(ss, kp).map(|descriptor| SiftFeature {
+            keypoint: *kp,
+            descriptor,
+        }))
+        .collect()
+}
+
+fn describe_one(ss: &ScaleSpace, kp: &Keypoint) -> Option<Vec<f32>> {
+    let octave = kp.octave.min(ss.octaves() - 1);
+    let level = (kp.level.round() as usize).clamp(0, ss.intervals() + 2);
+    let img = ss.gaussian(octave, level);
+    let scale = ss.octave_scale(octave);
+    // Keypoint position in octave coordinates.
+    let cx = kp.x / scale;
+    let cy = kp.y / scale;
+    // Octave-local scale drives the sampling footprint.
+    let sigma_local = ss.sigma_at(0, kp.level);
+    let hist_width = 3.0 * sigma_local;
+    let radius = (hist_width * (D as f32 + 1.0) * std::f32::consts::SQRT_2 * 0.5).round() as isize;
+    let (sin_o, cos_o) = kp.orientation.sin_cos();
+    let w = img.width() as isize;
+    let h = img.height() as isize;
+    let mut hist = vec![0.0f32; DESCRIPTOR_LEN];
+    let mut any = false;
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let px = cx as isize + dx;
+            let py = cy as isize + dy;
+            if px < 1 || py < 1 || px >= w - 1 || py >= h - 1 {
+                continue;
+            }
+            // Rotate the offset into the keypoint frame.
+            let rx = (cos_o * dx as f32 + sin_o * dy as f32) / hist_width;
+            let ry = (-sin_o * dx as f32 + cos_o * dy as f32) / hist_width;
+            // Continuous bin coordinates in 0..D.
+            let bx = rx + D as f32 / 2.0 - 0.5;
+            let by = ry + D as f32 / 2.0 - 0.5;
+            if bx <= -1.0 || bx >= D as f32 || by <= -1.0 || by >= D as f32 {
+                continue;
+            }
+            let (pxu, pyu) = (px as usize, py as usize);
+            let gx = img.get(pxu + 1, pyu) - img.get(pxu - 1, pyu);
+            let gy = img.get(pxu, pyu + 1) - img.get(pxu, pyu - 1);
+            let mag = (gx * gx + gy * gy).sqrt();
+            if mag == 0.0 {
+                continue;
+            }
+            let ang = gy.atan2(gx) - kp.orientation;
+            let weight =
+                (-(rx * rx + ry * ry) / (0.5 * D as f32 * D as f32)).exp() * mag;
+            // Orientation bin in 0..B.
+            let mut ob = (ang / (2.0 * std::f32::consts::PI)) * B as f32;
+            while ob < 0.0 {
+                ob += B as f32;
+            }
+            while ob >= B as f32 {
+                ob -= B as f32;
+            }
+            trilinear_accumulate(&mut hist, bx, by, ob, weight);
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    // Normalize, clip, renormalize.
+    normalize(&mut hist);
+    for v in &mut hist {
+        if *v > 0.2 {
+            *v = 0.2;
+        }
+    }
+    normalize(&mut hist);
+    Some(hist)
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+/// Distributes `weight` over the 8 neighboring (row, col, orientation)
+/// bins with trilinear interpolation.
+fn trilinear_accumulate(hist: &mut [f32], bx: f32, by: f32, ob: f32, weight: f32) {
+    let x0 = bx.floor();
+    let y0 = by.floor();
+    let o0 = ob.floor();
+    let fx = bx - x0;
+    let fy = by - y0;
+    let fo = ob - o0;
+    for (dy, wy) in [(0i32, 1.0 - fy), (1, fy)] {
+        let yy = y0 as i32 + dy;
+        if yy < 0 || yy >= D as i32 {
+            continue;
+        }
+        for (dx, wx) in [(0i32, 1.0 - fx), (1, fx)] {
+            let xx = x0 as i32 + dx;
+            if xx < 0 || xx >= D as i32 {
+                continue;
+            }
+            for (dob, wo) in [(0i32, 1.0 - fo), (1, fo)] {
+                let oo = (o0 as i32 + dob).rem_euclid(B as i32);
+                let idx = (yy as usize * D + xx as usize) * B + oo as usize;
+                hist[idx] += weight * wy * wx * wo;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_keypoints;
+    use crate::SiftConfig;
+    use sdvbs_image::Image;
+
+    fn features_of(img: &Image) -> Vec<SiftFeature> {
+        let ss = ScaleSpace::build(img, 3, 1.6, 3);
+        let cfg = SiftConfig { double_size: false, ..SiftConfig::default() };
+        let kps = detect_keypoints(&ss, &cfg);
+        describe(&ss, &kps)
+    }
+
+    fn texture(seed: u32) -> Image {
+        Image::from_fn(80, 80, |x, y| {
+            let a = ((x as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 8) % 97;
+            let b = ((y as u32).wrapping_mul(40503).wrapping_add(seed) >> 4) % 89;
+            let fine = ((a + b) % 31) as f32 / 31.0;
+            let coarse = ((x / 9 + y / 7) % 5) as f32 / 5.0;
+            0.5 * fine + 0.5 * coarse
+        })
+    }
+
+    #[test]
+    fn descriptors_have_full_length_and_unit_norm() {
+        let feats = features_of(&texture(1));
+        assert!(!feats.is_empty());
+        for f in &feats {
+            assert_eq!(f.descriptor.len(), DESCRIPTOR_LEN);
+            let norm: f32 = f.descriptor.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn clipping_bounds_every_component() {
+        let feats = features_of(&texture(2));
+        for f in &feats {
+            // After clip-at-0.2 + renormalize, components stay well below
+            // the unclipped maximum of 1.0 (0.2 / final norm in practice).
+            assert!(f.descriptor.iter().all(|&v| v <= 0.45), "{:?}", f.descriptor);
+        }
+    }
+
+    #[test]
+    fn trilinear_weights_sum_to_weight() {
+        let mut hist = vec![0.0f32; DESCRIPTOR_LEN];
+        trilinear_accumulate(&mut hist, 1.3, 2.7, 5.5, 2.0);
+        let sum: f32 = hist.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trilinear_edge_bins_lose_out_of_range_mass() {
+        let mut hist = vec![0.0f32; DESCRIPTOR_LEN];
+        // by = -0.5: half the mass falls off the grid.
+        trilinear_accumulate(&mut hist, 1.0, -0.5, 0.0, 1.0);
+        let sum: f32 = hist.iter().sum();
+        assert!((sum - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn different_textures_give_different_descriptors() {
+        let fa = features_of(&texture(1));
+        let fb = features_of(&texture(99));
+        assert!(!fa.is_empty() && !fb.is_empty());
+        // The first descriptors should not be (nearly) identical.
+        let d: f32 = fa[0]
+            .descriptor
+            .iter()
+            .zip(&fb[0].descriptor)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!(d > 1e-3, "descriptors suspiciously similar: {d}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Descriptor matching with Lowe's ratio test.
+
+use crate::descriptor::SiftFeature;
+
+/// A correspondence between feature `a` (index into the first set) and
+/// feature `b` (index into the second set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DescriptorMatch {
+    /// Index into the first feature set.
+    pub a: usize,
+    /// Index into the second feature set.
+    pub b: usize,
+    /// Squared L2 distance between the matched descriptors.
+    pub distance: f32,
+}
+
+/// Matches two descriptor sets with nearest-neighbor search plus Lowe's
+/// ratio test: a match is kept only when the best distance is below
+/// `ratio` times the second-best (`ratio` is typically 0.8).
+///
+/// # Panics
+///
+/// Panics if `ratio` is not in `(0, 1]`.
+pub fn match_descriptors(
+    a: &[SiftFeature],
+    b: &[SiftFeature],
+    ratio: f32,
+) -> Vec<DescriptorMatch> {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    let mut out = Vec::new();
+    for (ia, fa) in a.iter().enumerate() {
+        let mut best = f32::INFINITY;
+        let mut second = f32::INFINITY;
+        let mut best_idx = usize::MAX;
+        for (ib, fb) in b.iter().enumerate() {
+            let mut d = 0.0f32;
+            for (x, y) in fa.descriptor.iter().zip(&fb.descriptor) {
+                let diff = x - y;
+                d += diff * diff;
+                if d >= second {
+                    break;
+                }
+            }
+            if d < best {
+                second = best;
+                best = d;
+                best_idx = ib;
+            } else if d < second {
+                second = d;
+            }
+        }
+        if best_idx != usize::MAX && best < ratio * ratio * second {
+            out.push(DescriptorMatch { a: ia, b: best_idx, distance: best });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::Keypoint;
+
+    fn feat(desc: Vec<f32>) -> SiftFeature {
+        SiftFeature {
+            keypoint: Keypoint {
+                x: 0.0,
+                y: 0.0,
+                sigma: 1.0,
+                octave: 0,
+                level: 1.0,
+                orientation: 0.0,
+                response: 1.0,
+            },
+            descriptor: desc,
+        }
+    }
+
+    fn unit(i: usize, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        v[i] = 1.0;
+        v
+    }
+
+    #[test]
+    fn identical_descriptors_match() {
+        let a = vec![feat(unit(0, 8)), feat(unit(3, 8))];
+        let b = vec![feat(unit(3, 8)), feat(unit(0, 8))];
+        let m = match_descriptors(&a, &b, 0.8);
+        assert_eq!(m.len(), 2);
+        assert_eq!((m[0].a, m[0].b), (0, 1));
+        assert_eq!((m[1].a, m[1].b), (1, 0));
+        assert!(m.iter().all(|x| x.distance < 1e-9));
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous_matches() {
+        // Two b-descriptors equally distant from a: ambiguous, reject.
+        let a = vec![feat(vec![1.0, 0.0, 0.0])];
+        let b = vec![feat(vec![0.9, 0.1, 0.0]), feat(vec![0.9, 0.0, 0.1])];
+        let m = match_descriptors(&a, &b, 0.8);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn distinct_best_survives_ratio_test() {
+        let a = vec![feat(vec![1.0, 0.0, 0.0])];
+        let b = vec![feat(vec![0.99, 0.01, 0.0]), feat(vec![0.0, 1.0, 0.0])];
+        let m = match_descriptors(&a, &b, 0.8);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].b, 0);
+    }
+
+    #[test]
+    fn empty_inputs_match_nothing() {
+        assert!(match_descriptors(&[], &[], 0.8).is_empty());
+        let a = vec![feat(unit(0, 4))];
+        assert!(match_descriptors(&a, &[], 0.8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn bad_ratio_panics() {
+        match_descriptors(&[], &[], 1.5);
+    }
+}

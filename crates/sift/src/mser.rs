@@ -1,0 +1,461 @@
+//! Maximally Stable Extremal Regions (MSER).
+//!
+//! The SD-VBS distribution bundles Vedaldi's MSER detector alongside SIFT
+//! (both are credited in the paper's acknowledgments); MSER provides the
+//! affine-covariant *region* features that complement SIFT's blob
+//! keypoints in recognition and stitching pipelines.
+//!
+//! The implementation is the classic union-find formulation: pixels are
+//! swept in increasing intensity order, connected components are grown and
+//! merged, and each component's size history across intensity levels is
+//! recorded. A region is *maximally stable* at level `l` when its relative
+//! growth rate `(|Q(l+Δ)| − |Q(l−Δ)|) / |Q(l)|` is a local minimum below
+//! `max_variation` — which makes the detector invariant to any monotonic
+//! remapping of image intensities (a property the tests verify).
+
+use sdvbs_image::Image;
+
+/// Which extremal regions to detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MserPolarity {
+    /// Dark regions on a brighter background (components of low intensity).
+    Dark,
+    /// Bright regions on a darker background (detected on the inverted
+    /// image).
+    Bright,
+}
+
+/// MSER detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MserConfig {
+    /// Intensity half-window `Δ` for the stability test.
+    pub delta: u8,
+    /// Maximum relative growth rate for a stable region.
+    pub max_variation: f64,
+    /// Minimum region area in pixels.
+    pub min_size: usize,
+    /// Maximum region area as a fraction of the image.
+    pub max_size_frac: f64,
+    /// Minimum relative size difference between nested reported regions
+    /// (suppresses near-duplicate nestings).
+    pub min_diversity: f64,
+}
+
+impl Default for MserConfig {
+    fn default() -> Self {
+        MserConfig {
+            delta: 5,
+            max_variation: 0.5,
+            min_size: 20,
+            max_size_frac: 0.4,
+            min_diversity: 0.2,
+        }
+    }
+}
+
+/// A detected maximally stable extremal region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MserRegion {
+    /// Intensity level at which the region is maximally stable.
+    pub level: u8,
+    /// Region area in pixels at that level.
+    pub size: usize,
+    /// Centroid column.
+    pub cx: f32,
+    /// Centroid row.
+    pub cy: f32,
+    /// Measured stability (relative growth rate; lower is more stable).
+    pub variation: f64,
+    /// Polarity the region was detected with.
+    pub polarity: MserPolarity,
+}
+
+/// One snapshot of a component's evolution. `closed` marks the death
+/// entry written when the component is absorbed into a larger one: it
+/// carries the *merged* size, so the stability test sees the growth
+/// explosion at the merge level.
+#[derive(Debug, Clone, Copy)]
+struct HistEntry {
+    level: u8,
+    size: u32,
+    sum_x: f64,
+    sum_y: f64,
+    closed: bool,
+}
+
+/// Union-find with component records.
+struct Forest {
+    parent: Vec<u32>,
+    /// Per-root component accumulator (valid only at roots).
+    size: Vec<u32>,
+    sum_x: Vec<f64>,
+    sum_y: Vec<f64>,
+    /// Record index per root.
+    record: Vec<u32>,
+}
+
+impl Forest {
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let up = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = up;
+            x = up;
+        }
+        x
+    }
+}
+
+/// Detects MSERs of the requested polarity.
+///
+/// # Panics
+///
+/// Panics if `cfg.delta == 0`, `max_variation <= 0`, or the image is
+/// smaller than 8×8.
+pub fn detect_mser(img: &Image, polarity: MserPolarity, cfg: &MserConfig) -> Vec<MserRegion> {
+    assert!(cfg.delta > 0, "delta must be positive");
+    assert!(cfg.max_variation > 0.0, "max_variation must be positive");
+    assert!(img.width() >= 8 && img.height() >= 8, "image too small for mser");
+    let w = img.width();
+    let h = img.height();
+    let n = w * h;
+    // Quantize to u8, inverting for bright regions so the ascending sweep
+    // always grows the regions of interest first.
+    let norm = img.normalized_to_255();
+    let gray: Vec<u8> = norm
+        .as_slice()
+        .iter()
+        .map(|&v| {
+            let g = v.round().clamp(0.0, 255.0) as u8;
+            match polarity {
+                MserPolarity::Dark => g,
+                MserPolarity::Bright => 255 - g,
+            }
+        })
+        .collect();
+    // Counting sort: pixel indices grouped by level.
+    let mut level_start = [0usize; 257];
+    for &g in &gray {
+        level_start[g as usize + 1] += 1;
+    }
+    for i in 0..256 {
+        level_start[i + 1] += level_start[i];
+    }
+    let mut order = vec![0u32; n];
+    let mut cursor = level_start;
+    for (i, &g) in gray.iter().enumerate() {
+        order[cursor[g as usize]] = i as u32;
+        cursor[g as usize] += 1;
+    }
+    // Union-find state; u32::MAX parent = not yet activated.
+    let mut forest = Forest {
+        parent: vec![u32::MAX; n],
+        size: vec![0; n],
+        sum_x: vec![0.0; n],
+        sum_y: vec![0.0; n],
+        record: vec![u32::MAX; n],
+    };
+    let mut histories: Vec<Vec<HistEntry>> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+    for level in 0..=255u8 {
+        let lo = level_start[level as usize];
+        let hi = level_start[level as usize + 1];
+        if lo == hi {
+            continue;
+        }
+        touched.clear();
+        for &p in &order[lo..hi] {
+            let (px, py) = ((p as usize % w) as f64, (p as usize / w) as f64);
+            // Activate as a singleton.
+            forest.parent[p as usize] = p;
+            forest.size[p as usize] = 1;
+            forest.sum_x[p as usize] = px;
+            forest.sum_y[p as usize] = py;
+            forest.record[p as usize] = histories.len() as u32;
+            histories.push(Vec::new());
+            let mut root = p;
+            touched.push(root);
+            // Union with active 4-neighbors.
+            let x = p as usize % w;
+            let y = p as usize / w;
+            let neighbors = [
+                (x > 0).then(|| p - 1),
+                (x + 1 < w).then(|| p + 1),
+                (y > 0).then(|| p - w as u32),
+                (y + 1 < h).then(|| p + w as u32),
+            ];
+            for q in neighbors.into_iter().flatten() {
+                if forest.parent[q as usize] == u32::MAX {
+                    continue;
+                }
+                let rq = forest.find(q);
+                root = forest.find(root);
+                if rq == root {
+                    continue;
+                }
+                // Larger component absorbs the smaller; the smaller's
+                // record is closed (its history simply stops growing).
+                let (big, small) = if forest.size[rq as usize] >= forest.size[root as usize] {
+                    (rq, root)
+                } else {
+                    (root, rq)
+                };
+                let merged_size =
+                    forest.size[big as usize] + forest.size[small as usize];
+                // Close the smaller component's record with the merged
+                // size: from its perspective, the region exploded here.
+                let small_rec = forest.record[small as usize] as usize;
+                histories[small_rec].push(HistEntry {
+                    level,
+                    size: merged_size,
+                    sum_x: 0.0,
+                    sum_y: 0.0,
+                    closed: true,
+                });
+                forest.parent[small as usize] = big;
+                forest.size[big as usize] = merged_size;
+                forest.sum_x[big as usize] += forest.sum_x[small as usize];
+                forest.sum_y[big as usize] += forest.sum_y[small as usize];
+                root = big;
+                touched.push(big);
+            }
+        }
+        // Snapshot every component touched at this level.
+        for &t in &touched {
+            let r = forest.find(t);
+            if r != t && forest.parent[t as usize] != t {
+                // t was absorbed; only roots get snapshots.
+                continue;
+            }
+            let rec = forest.record[r as usize] as usize;
+            let entry = HistEntry {
+                level,
+                size: forest.size[r as usize],
+                sum_x: forest.sum_x[r as usize],
+                sum_y: forest.sum_y[r as usize],
+                closed: false,
+            };
+            match histories[rec].last_mut() {
+                Some(last) if last.level == level && !last.closed => *last = entry,
+                _ => histories[rec].push(entry),
+            }
+        }
+    }
+    // Stability analysis per record.
+    let max_size = (cfg.max_size_frac * n as f64) as usize;
+    let mut regions = Vec::new();
+    for hist in &histories {
+        if hist.is_empty() {
+            continue;
+        }
+        // size_at(l): size at the largest recorded level <= l (clamped to
+        // the record's lifetime).
+        let size_at = |l: i32| -> f64 {
+            if l <= hist[0].level as i32 {
+                return hist[0].size as f64;
+            }
+            let mut s = hist[0].size as f64;
+            for e in hist {
+                if (e.level as i32) <= l {
+                    s = e.size as f64;
+                } else {
+                    break;
+                }
+            }
+            s
+        };
+        let variations: Vec<f64> = hist
+            .iter()
+            .map(|e| {
+                let plus = size_at(e.level as i32 + cfg.delta as i32);
+                let minus = size_at(e.level as i32 - cfg.delta as i32);
+                (plus - minus) / e.size as f64
+            })
+            .collect();
+        // Local minima of the variation curve over the *live* entries
+        // (death markers only shape the size curve).
+        let mut last_reported_size: Option<u32> = None;
+        for k in 0..hist.len() {
+            if hist[k].closed {
+                continue;
+            }
+            let v = variations[k];
+            if v > cfg.max_variation {
+                continue;
+            }
+            let left_ok = k == 0 || variations[k - 1] >= v;
+            let right_ok = k + 1 == hist.len() || variations[k + 1] > v || hist[k + 1].closed;
+            if !(left_ok && right_ok) {
+                continue;
+            }
+            let e = &hist[k];
+            if (e.size as usize) < cfg.min_size || (e.size as usize) > max_size {
+                continue;
+            }
+            // Diversity: skip if too close in size to the previous report
+            // from this record.
+            if let Some(prev) = last_reported_size {
+                let ratio = (e.size as f64 - prev as f64).abs() / e.size as f64;
+                if ratio < cfg.min_diversity {
+                    continue;
+                }
+            }
+            last_reported_size = Some(e.size);
+            let level = match polarity {
+                MserPolarity::Dark => e.level,
+                MserPolarity::Bright => 255 - e.level,
+            };
+            regions.push(MserRegion {
+                level,
+                size: e.size as usize,
+                cx: (e.sum_x / e.size as f64) as f32,
+                cy: (e.sum_y / e.size as f64) as f32,
+                variation: v,
+                polarity,
+            });
+        }
+    }
+    regions.sort_by(|a, b| a.variation.partial_cmp(&b.variation).expect("finite variation"));
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two dark discs on a bright background with a soft vignette.
+    fn disc_image() -> Image {
+        Image::from_fn(96, 72, |x, y| {
+            let d1 = ((x as f32 - 26.0).powi(2) + (y as f32 - 24.0).powi(2)).sqrt();
+            let d2 = ((x as f32 - 68.0).powi(2) + (y as f32 - 48.0).powi(2)).sqrt();
+            let mut v = 210.0 + 0.1 * x as f32;
+            if d1 < 9.0 {
+                v = 40.0;
+            }
+            if d2 < 12.0 {
+                v = 60.0;
+            }
+            v
+        })
+    }
+
+    #[test]
+    fn finds_dark_discs_with_correct_centroids() {
+        let img = disc_image();
+        let regions = detect_mser(&img, MserPolarity::Dark, &MserConfig::default());
+        assert!(!regions.is_empty(), "no regions found");
+        for &(cx, cy, r) in &[(26.0f32, 24.0f32, 9.0f32), (68.0, 48.0, 12.0)] {
+            let hit = regions.iter().find(|reg| {
+                (reg.cx - cx).abs() < 3.0 && (reg.cy - cy).abs() < 3.0
+            });
+            let region = hit.unwrap_or_else(|| panic!("no region near ({cx},{cy}): {regions:?}"));
+            let expected_area = std::f32::consts::PI * r * r;
+            assert!(
+                (region.size as f32) > 0.5 * expected_area
+                    && (region.size as f32) < 2.0 * expected_area,
+                "area {} vs expected {expected_area}",
+                region.size
+            );
+        }
+    }
+
+    #[test]
+    fn bright_polarity_finds_bright_blobs() {
+        let img = disc_image().map(|v| 255.0 - v); // invert: discs now bright
+        let regions = detect_mser(&img, MserPolarity::Bright, &MserConfig::default());
+        assert!(
+            regions.iter().any(|r| (r.cx - 26.0).abs() < 3.0 && (r.cy - 24.0).abs() < 3.0),
+            "bright disc not found: {regions:?}"
+        );
+    }
+
+    #[test]
+    fn invariant_to_monotonic_intensity_remap() {
+        let img = disc_image();
+        // Monotonic gamma-like remap.
+        let remapped = img.map(|v| 255.0 * (v / 255.0).powf(0.6));
+        let a = detect_mser(&img, MserPolarity::Dark, &MserConfig::default());
+        let b = detect_mser(&remapped, MserPolarity::Dark, &MserConfig::default());
+        assert!(!a.is_empty() && !b.is_empty());
+        // Every region of the original has a counterpart with nearly the
+        // same centroid and size after the remap.
+        for ra in &a {
+            let matched = b.iter().any(|rb| {
+                (ra.cx - rb.cx).abs() < 2.0
+                    && (ra.cy - rb.cy).abs() < 2.0
+                    && (ra.size as f64 - rb.size as f64).abs() < 0.3 * ra.size as f64
+            });
+            assert!(matched, "region {ra:?} lost after monotonic remap");
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_regions() {
+        let img = Image::filled(64, 64, 128.0);
+        let regions = detect_mser(&img, MserPolarity::Dark, &MserConfig::default());
+        assert!(regions.is_empty(), "{regions:?}");
+    }
+
+    #[test]
+    fn min_size_filters_small_specks() {
+        // A 3x3 dark speck: below min_size 20.
+        let img = Image::from_fn(64, 64, |x, y| {
+            if (30..33).contains(&x) && (30..33).contains(&y) {
+                10.0
+            } else {
+                200.0
+            }
+        });
+        let regions = detect_mser(&img, MserPolarity::Dark, &MserConfig::default());
+        assert!(regions.iter().all(|r| r.size >= 20), "{regions:?}");
+        // Lowering min_size finds it.
+        let cfg = MserConfig { min_size: 5, ..MserConfig::default() };
+        let regions = detect_mser(&img, MserPolarity::Dark, &cfg);
+        assert!(
+            regions.iter().any(|r| (r.cx - 31.0).abs() < 1.5 && (r.cy - 31.0).abs() < 1.5),
+            "{regions:?}"
+        );
+    }
+
+    #[test]
+    fn nested_regions_respect_diversity() {
+        // A dark ring with a darker core: nested extremal regions.
+        let img = Image::from_fn(80, 80, |x, y| {
+            let d = ((x as f32 - 40.0).powi(2) + (y as f32 - 40.0).powi(2)).sqrt();
+            if d < 6.0 {
+                20.0
+            } else if d < 14.0 {
+                90.0
+            } else {
+                220.0
+            }
+        });
+        let regions = detect_mser(&img, MserPolarity::Dark, &MserConfig::default());
+        // Both the core and the full dark area should be representable;
+        // near-duplicates (sizes within min_diversity) must not be.
+        for i in 0..regions.len() {
+            for j in 0..i {
+                let (a, b) = (&regions[i], &regions[j]);
+                let same_center = (a.cx - b.cx).abs() < 1.0 && (a.cy - b.cy).abs() < 1.0;
+                if same_center {
+                    let ratio =
+                        (a.size as f64 - b.size as f64).abs() / a.size.max(b.size) as f64;
+                    assert!(ratio >= 0.15, "near-duplicate regions {a:?} / {b:?}");
+                }
+            }
+        }
+        assert!(
+            regions.iter().any(|r| r.size > 80 && r.size < 200),
+            "core-sized region missing: {regions:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn zero_delta_panics() {
+        detect_mser(
+            &Image::filled(16, 16, 0.0),
+            MserPolarity::Dark,
+            &MserConfig { delta: 0, ..MserConfig::default() },
+        );
+    }
+}

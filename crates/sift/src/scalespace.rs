@@ -1,0 +1,167 @@
+//! Gaussian scale space and difference-of-Gaussian pyramid.
+
+use sdvbs_image::Image;
+use sdvbs_kernels::conv::gaussian_blur;
+
+/// The Gaussian scale space and its DoG pyramid.
+///
+/// Octave `o` holds `intervals + 3` progressively blurred images at half
+/// the resolution of octave `o − 1`; the DoG pyramid holds the
+/// `intervals + 2` adjacent differences per octave.
+#[derive(Debug, Clone)]
+pub struct ScaleSpace {
+    octaves: Vec<Vec<Image>>,
+    dogs: Vec<Vec<Image>>,
+    intervals: usize,
+    sigma0: f32,
+}
+
+impl ScaleSpace {
+    /// Builds the scale space from a base image (assumed to already carry
+    /// ~0.5 pixels of blur from sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals == 0`, `sigma0 <= 0`, `max_octaves == 0`, or
+    /// the base image is smaller than 16×16.
+    pub fn build(base: &Image, intervals: usize, sigma0: f32, max_octaves: usize) -> Self {
+        assert!(intervals > 0 && sigma0 > 0.0 && max_octaves > 0, "invalid scale-space params");
+        assert!(base.width() >= 16 && base.height() >= 16, "base image too small");
+        let s = intervals as f32;
+        let k = 2.0f32.powf(1.0 / s);
+        // Bring the base to sigma0 (assume 0.5 native blur).
+        let initial = (sigma0 * sigma0 - 0.25).max(0.01).sqrt();
+        let mut current = gaussian_blur(base, initial);
+        let mut octaves = Vec::new();
+        let mut dogs = Vec::new();
+        for _o in 0..max_octaves {
+            if current.width() < 16 || current.height() < 16 {
+                break;
+            }
+            let mut levels = vec![current.clone()];
+            let mut sigma = sigma0;
+            for _i in 1..(intervals + 3) {
+                let next_sigma = sigma * k;
+                let inc = (next_sigma * next_sigma - sigma * sigma).sqrt();
+                let blurred = gaussian_blur(levels.last().expect("non-empty"), inc);
+                levels.push(blurred);
+                sigma = next_sigma;
+            }
+            let dog: Vec<Image> = levels
+                .windows(2)
+                .map(|pair| {
+                    Image::from_fn(pair[0].width(), pair[0].height(), |x, y| {
+                        pair[1].get(x, y) - pair[0].get(x, y)
+                    })
+                })
+                .collect();
+            // Next octave starts from the level with 2x the base sigma.
+            current = levels[intervals].downsample_2x();
+            octaves.push(levels);
+            dogs.push(dog);
+        }
+        ScaleSpace { octaves, dogs, intervals, sigma0 }
+    }
+
+    /// Number of octaves built.
+    pub fn octaves(&self) -> usize {
+        self.octaves.len()
+    }
+
+    /// Scales per octave (`intervals`).
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
+    /// Blurred image at `(octave, level)`; `level < intervals + 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn gaussian(&self, octave: usize, level: usize) -> &Image {
+        &self.octaves[octave][level]
+    }
+
+    /// DoG image at `(octave, level)`; `level < intervals + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn dog(&self, octave: usize, level: usize) -> &Image {
+        &self.dogs[octave][level]
+    }
+
+    /// Absolute smoothing sigma of `(octave, level)` in *base image*
+    /// pixels.
+    pub fn sigma_at(&self, octave: usize, level: f32) -> f32 {
+        self.sigma0 * 2.0f32.powf(octave as f32 + level / self.intervals as f32)
+    }
+
+    /// Scale factor from octave coordinates back to base coordinates.
+    pub fn octave_scale(&self, octave: usize) -> f32 {
+        (1 << octave) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Image {
+        Image::from_fn(64, 64, |x, y| ((x * 13 + y * 7) % 61) as f32 / 61.0)
+    }
+
+    #[test]
+    fn octave_structure() {
+        let ss = ScaleSpace::build(&base(), 3, 1.6, 3);
+        assert_eq!(ss.octaves(), 3);
+        assert_eq!(ss.gaussian(0, 0).width(), 64);
+        assert_eq!(ss.gaussian(1, 0).width(), 32);
+        assert_eq!(ss.gaussian(2, 0).width(), 16);
+        // intervals + 3 gaussians, intervals + 2 dogs.
+        for o in 0..3 {
+            assert_eq!(ss.dogs[o].len(), 5);
+            assert_eq!(ss.octaves[o].len(), 6);
+        }
+    }
+
+    #[test]
+    fn sigma_doubles_per_octave() {
+        let ss = ScaleSpace::build(&base(), 3, 1.6, 3);
+        assert!((ss.sigma_at(0, 0.0) - 1.6).abs() < 1e-6);
+        assert!((ss.sigma_at(1, 0.0) - 3.2).abs() < 1e-6);
+        assert!((ss.sigma_at(0, 3.0) - 3.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dog_of_constant_image_is_zero() {
+        let ss = ScaleSpace::build(&Image::filled(32, 32, 0.7), 3, 1.6, 2);
+        for o in 0..ss.octaves() {
+            for l in 0..5 {
+                assert!(ss.dog(o, l).as_slice().iter().all(|v| v.abs() < 1e-4));
+            }
+        }
+    }
+
+    #[test]
+    fn blur_monotonically_reduces_detail() {
+        let ss = ScaleSpace::build(&base(), 3, 1.6, 1);
+        let var = |im: &Image| {
+            let m = im.mean();
+            im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32
+        };
+        let mut last = f32::INFINITY;
+        for l in 0..6 {
+            let v = var(ss.gaussian(0, l));
+            assert!(v <= last + 1e-6, "variance increased at level {l}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn stops_when_too_small() {
+        let tiny = Image::filled(20, 20, 0.5);
+        let ss = ScaleSpace::build(&tiny, 3, 1.6, 8);
+        assert!(ss.octaves() <= 2);
+    }
+}

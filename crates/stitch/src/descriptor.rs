@@ -1,0 +1,136 @@
+//! Patch features: Harris corners + ANMS selection + normalized patch
+//! descriptors (MOPS-style).
+
+use sdvbs_image::Image;
+#[cfg(test)]
+use sdvbs_kernels::conv::gaussian_blur;
+#[cfg(test)]
+use sdvbs_kernels::features::harris_response;
+use sdvbs_kernels::features::{anms, local_maxima, Feature};
+
+/// A selected feature with its sampled, bias/gain-normalized patch
+/// descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchFeature {
+    /// The corner location and score.
+    pub feature: Feature,
+    /// Descriptor: an 8×8 patch sampled with 2-pixel spacing from the
+    /// blurred image, mean-subtracted and L2-normalized.
+    pub descriptor: Vec<f32>,
+}
+
+/// Extracts up to `keep` patch features.
+///
+/// `response` is the precomputed Harris response of `smooth` (a blurred
+/// copy of the input); both are produced by the pipeline's `Convolution`
+/// kernel so this function can be timed as the `ANMS` kernel.
+pub fn extract_patch_features(
+    smooth: &Image,
+    response: &Image,
+    keep: usize,
+    robustness: f32,
+) -> Vec<PatchFeature> {
+    const SPACING: usize = 2;
+    const GRID: usize = 8;
+    let margin = GRID / 2 * SPACING + 1;
+    let threshold = response.max() * 1e-4;
+    let candidates = local_maxima(response, threshold, margin);
+    let selected = anms(&candidates, keep, robustness);
+    selected
+        .into_iter()
+        .filter_map(|feature| {
+            let cx = feature.x;
+            let cy = feature.y;
+            let mut desc = Vec::with_capacity(GRID * GRID);
+            for gy in 0..GRID {
+                for gx in 0..GRID {
+                    let sx = cx + ((gx as f32) - (GRID as f32 - 1.0) / 2.0) * SPACING as f32;
+                    let sy = cy + ((gy as f32) - (GRID as f32 - 1.0) / 2.0) * SPACING as f32;
+                    desc.push(smooth.sample_bilinear(sx, sy));
+                }
+            }
+            // Bias/gain normalization.
+            let mean: f32 = desc.iter().sum::<f32>() / desc.len() as f32;
+            for v in &mut desc {
+                *v -= mean;
+            }
+            let norm: f32 = desc.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm < 1e-6 {
+                return None; // featureless patch
+            }
+            for v in &mut desc {
+                *v /= norm;
+            }
+            Some(PatchFeature { feature, descriptor: desc })
+        })
+        .collect()
+}
+
+/// Convenience used by tests: blur + Harris + extraction in one call.
+#[cfg(test)]
+pub(crate) fn features_of(img: &Image, keep: usize) -> Vec<PatchFeature> {
+    let smooth = gaussian_blur(img, 1.5);
+    let response = harris_response(&smooth, 2);
+    extract_patch_features(&smooth, &response, keep, 1.1)
+}
+
+/// Squared L2 distance between two descriptors.
+pub(crate) fn descriptor_distance(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvbs_synth::textured_image;
+
+    #[test]
+    fn descriptors_are_normalized() {
+        let img = textured_image(96, 96, 4);
+        let feats = features_of(&img, 50);
+        assert!(feats.len() >= 20, "only {} features", feats.len());
+        for f in &feats {
+            assert_eq!(f.descriptor.len(), 64);
+            let norm: f32 = f.descriptor.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4);
+            let mean: f32 = f.descriptor.iter().sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shifted_image_gives_matching_descriptors() {
+        use sdvbs_synth::frame_pair;
+        let (a, b) = frame_pair(96, 96, 9, 6.0, 0.0);
+        let fa = features_of(&a, 60);
+        let fb = features_of(&b, 60);
+        // For each feature in a, the nearest descriptor in b should sit at
+        // (x+6, y) for most features.
+        let mut good = 0;
+        let mut total = 0;
+        for f in &fa {
+            let mut best = f32::INFINITY;
+            let mut best_pos = (0.0f32, 0.0f32);
+            for g in &fb {
+                let d = descriptor_distance(&f.descriptor, &g.descriptor);
+                if d < best {
+                    best = d;
+                    best_pos = (g.feature.x, g.feature.y);
+                }
+            }
+            total += 1;
+            if (best_pos.0 - f.feature.x - 6.0).abs() < 2.0
+                && (best_pos.1 - f.feature.y).abs() < 2.0
+            {
+                good += 1;
+            }
+        }
+        assert!(good * 2 > total, "{good}/{total} descriptor matches");
+    }
+
+    #[test]
+    fn flat_image_yields_no_features() {
+        let img = Image::filled(64, 64, 50.0);
+        assert!(features_of(&img, 50).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! SD-VBS benchmark 8: **Image Stitch** — feature-based image mosaicing.
+//!
+//! Stitching combines photographs with overlapping fields of view into one
+//! panorama. The paper decomposes the benchmark into image calibration
+//! (filtering), feature extraction (gradient preprocessing + the **ANMS**
+//! adaptive non-maximal suppression kernel), feature matching (the
+//! iterative, non-deterministic **RANSAC** kernel), and image blending —
+//! with **LS Solver**, **SVD** and **Convolution** as its Figure 3/Table IV
+//! kernels.
+//!
+//! Pipeline:
+//!
+//! 1. `Convolution` — Gaussian calibration filtering and Harris corner
+//!    responses.
+//! 2. `ANMS` — spatially adaptive feature selection plus normalized patch
+//!    descriptors.
+//! 3. `FeatureMatch` — nearest-neighbor descriptor matching with ratio
+//!    test.
+//! 4. `LSSolver` — RANSAC over exact 3-point affine fits.
+//! 5. `SVD` — final inlier refit via SVD pseudo-inverse.
+//! 6. `Blend` — inverse warp with bilinear sampling and feather blending.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdvbs_profile::Profiler;
+//! use sdvbs_stitch::{stitch, StitchConfig};
+//! use sdvbs_synth::overlapping_pair;
+//!
+//! let pair = overlapping_pair(128, 96, 3, 0.03, 10.0, 4.0);
+//! let mut prof = Profiler::new();
+//! let result = stitch(&pair.a, &pair.b, &StitchConfig::default(), &mut prof).unwrap();
+//! assert!(result.inliers >= 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod descriptor;
+mod mosaic;
+mod pipeline;
+mod ransac;
+mod transform;
+
+pub use descriptor::{extract_patch_features, PatchFeature};
+pub use mosaic::{stitch_sequence, MosaicResult};
+pub use pipeline::{stitch, StitchConfig, StitchError, StitchResult};
+pub use ransac::{estimate_affine_ransac, RansacEstimate};
+pub use transform::Affine;

@@ -1,0 +1,176 @@
+//! Multi-image mosaicing: chain pairwise alignments into one panorama
+//! (the paper's "segmented panorama or high-resolution image" use case).
+
+use crate::pipeline::{stitch, StitchConfig, StitchError};
+use crate::transform::Affine;
+use sdvbs_image::Image;
+use sdvbs_profile::Profiler;
+
+/// The result of stitching an ordered sequence of overlapping views.
+#[derive(Debug, Clone)]
+pub struct MosaicResult {
+    /// `to_first[k]` maps image `k`'s coordinates into image 0's frame
+    /// (`to_first[0]` is the identity).
+    pub to_first: Vec<Affine>,
+    /// The blended panorama canvas.
+    pub panorama: Image,
+    /// Offset of the canvas origin in image-0 coordinates.
+    pub canvas_offset: (f64, f64),
+}
+
+/// Stitches an ordered sequence of overlapping views into one panorama.
+///
+/// Each consecutive pair is aligned with the full [`stitch`] pipeline (so
+/// all kernel scopes report per pair), the pairwise transforms are
+/// composed into image 0's frame, and every view is feather-blended onto
+/// a common canvas.
+///
+/// # Errors
+///
+/// Propagates the pairwise [`StitchError`] of the first pair that fails
+/// to align; a sequence of fewer than two images is reported as
+/// [`StitchError::TooFewMatches`].
+pub fn stitch_sequence(
+    images: &[Image],
+    cfg: &StitchConfig,
+    prof: &mut Profiler,
+) -> Result<MosaicResult, StitchError> {
+    if images.len() < 2 {
+        return Err(StitchError::TooFewMatches { found: 0 });
+    }
+    // Pairwise alignments, composed into image 0's frame.
+    let mut to_first = vec![Affine::identity()];
+    for k in 1..images.len() {
+        let pair = stitch(&images[k - 1], &images[k], cfg, prof)?;
+        let prev = to_first[k - 1];
+        to_first.push(prev.compose(&pair.b_to_a));
+    }
+    // Canvas bounds over all transformed corners.
+    let mut min_x = 0.0f64;
+    let mut min_y = 0.0f64;
+    let mut max_x = 0.0f64;
+    let mut max_y = 0.0f64;
+    for (img, t) in images.iter().zip(&to_first) {
+        for &(cx, cy) in &[
+            (0.0, 0.0),
+            (img.width() as f64, 0.0),
+            (0.0, img.height() as f64),
+            (img.width() as f64, img.height() as f64),
+        ] {
+            let (x, y) = t.apply(cx, cy);
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+    }
+    let w = (max_x - min_x).ceil() as usize + 1;
+    let h = (max_y - min_y).ceil() as usize + 1;
+    let inverses: Vec<Affine> = to_first
+        .iter()
+        .map(|t| t.inverse().unwrap_or_else(Affine::identity))
+        .collect();
+    let feather = |x: f64, y: f64, w: f64, h: f64| -> f64 {
+        let d = x.min(w - x).min(y).min(h - y).max(0.0);
+        (d / 16.0).min(1.0)
+    };
+    let panorama = prof.kernel("Blend", |_| {
+        Image::from_fn(w, h, |px, py| {
+            let gx = px as f64 + min_x;
+            let gy = py as f64 + min_y;
+            let mut acc = 0.0f64;
+            let mut wsum = 0.0f64;
+            for (img, inv) in images.iter().zip(&inverses) {
+                let (lx, ly) = inv.apply(gx, gy);
+                let in_img =
+                    lx >= 0.0 && ly >= 0.0 && lx < img.width() as f64 && ly < img.height() as f64;
+                if !in_img {
+                    continue;
+                }
+                let wgt = feather(lx, ly, img.width() as f64, img.height() as f64).max(1e-4);
+                acc += wgt * img.sample_bilinear(lx as f32, ly as f32) as f64;
+                wsum += wgt;
+            }
+            if wsum > 0.0 {
+                (acc / wsum) as f32
+            } else {
+                0.0
+            }
+        })
+    });
+    Ok(MosaicResult { to_first, panorama, canvas_offset: (min_x, min_y) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvbs_synth::textured_image;
+
+    /// Three views of one wide scene, each shifted 40 px right.
+    fn three_views() -> (Vec<Image>, f64) {
+        let shift = 40.0;
+        let big = textured_image(260, 100, 77);
+        let views = (0..3)
+            .map(|k| Image::from_fn(120, 90, |x, y| big.get(x + k * shift as usize + 8, y + 4)))
+            .collect();
+        (views, shift)
+    }
+
+    #[test]
+    fn three_view_translation_mosaic() {
+        let (views, shift) = three_views();
+        let mut prof = Profiler::new();
+        let mosaic = stitch_sequence(&views, &StitchConfig::default(), &mut prof).unwrap();
+        // View k maps into view 0's frame at +k*shift in x.
+        for (k, t) in mosaic.to_first.iter().enumerate() {
+            let truth = Affine::translation(k as f64 * shift, 0.0);
+            let diff = t.max_coeff_diff(&truth);
+            assert!(diff < 1.5, "view {k}: transform error {diff} ({t})");
+        }
+        // Canvas spans ~120 + 2*40 = 200 columns.
+        assert!(
+            (mosaic.panorama.width() as i64 - 201).unsigned_abs() <= 4,
+            "panorama width {}",
+            mosaic.panorama.width()
+        );
+        assert!(mosaic.panorama.height() >= 90);
+    }
+
+    #[test]
+    fn mosaic_content_matches_source_views() {
+        let (views, _) = three_views();
+        let mut prof = Profiler::new();
+        let mosaic = stitch_sequence(&views, &StitchConfig::default(), &mut prof).unwrap();
+        let (ox, oy) = mosaic.canvas_offset;
+        // Interior of view 0 must appear unchanged in the canvas.
+        let mut err = 0.0f32;
+        let mut n = 0;
+        for y in (25..65).step_by(5) {
+            for x in (25..60).step_by(5) {
+                let px = (x as f64 - ox) as usize;
+                let py = (y as f64 - oy) as usize;
+                err += (mosaic.panorama.get(px, py) - views[0].get(x, y)).abs();
+                n += 1;
+            }
+        }
+        assert!(err / (n as f32) < 10.0, "mean canvas error {}", err / n as f32);
+    }
+
+    #[test]
+    fn single_image_is_rejected() {
+        let mut prof = Profiler::new();
+        let img = textured_image(64, 64, 1);
+        assert!(matches!(
+            stitch_sequence(&[img], &StitchConfig::default(), &mut prof),
+            Err(StitchError::TooFewMatches { .. })
+        ));
+    }
+
+    #[test]
+    fn unrelated_middle_image_fails() {
+        let (mut views, _) = three_views();
+        views[1] = textured_image(120, 90, 999);
+        let mut prof = Profiler::new();
+        assert!(stitch_sequence(&views, &StitchConfig::default(), &mut prof).is_err());
+    }
+}

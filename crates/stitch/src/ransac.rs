@@ -1,0 +1,284 @@
+//! RANSAC affine estimation from point correspondences — the paper calls
+//! out RANSAC as "iterative, heavily computational" with random data
+//! access.
+
+use crate::transform::Affine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdvbs_matrix::Matrix;
+
+/// The output of RANSAC model fitting.
+#[derive(Debug, Clone)]
+pub struct RansacEstimate {
+    /// The estimated transform mapping source points onto target points.
+    pub transform: Affine,
+    /// Indices of the inlier correspondences.
+    pub inliers: Vec<usize>,
+    /// RANSAC iterations actually run.
+    pub iterations: usize,
+}
+
+/// Fits an exact affine transform through three correspondences by solving
+/// the 6×6 linear system. Returns `None` for degenerate (collinear)
+/// samples.
+fn affine_from_three(pairs: &[((f64, f64), (f64, f64)); 3]) -> Option<Affine> {
+    let mut a = Matrix::zeros(6, 6);
+    let mut b = vec![0.0; 6];
+    for (k, &((xs, ys), (xt, yt))) in pairs.iter().enumerate() {
+        let r = 2 * k;
+        a[(r, 0)] = xs;
+        a[(r, 1)] = ys;
+        a[(r, 2)] = 1.0;
+        a[(r + 1, 3)] = xs;
+        a[(r + 1, 4)] = ys;
+        a[(r + 1, 5)] = 1.0;
+        b[r] = xt;
+        b[r + 1] = yt;
+    }
+    let lu = a.lu().ok()?;
+    let x = lu.solve(&b).ok()?;
+    Some(Affine::from_coeffs([x[0], x[1], x[2], x[3], x[4], x[5]]))
+}
+
+/// Least-squares affine refit over a set of correspondences, solved
+/// through the SVD pseudo-inverse (the paper's "SVD" kernel).
+///
+/// Returns `None` if fewer than three correspondences are given or the
+/// system is rank-deficient.
+pub(crate) fn refit_affine_svd(
+    src: &[(f64, f64)],
+    dst: &[(f64, f64)],
+    indices: &[usize],
+) -> Option<Affine> {
+    if indices.len() < 3 {
+        return None;
+    }
+    let m = indices.len();
+    let mut a = Matrix::zeros(2 * m, 6);
+    let mut b = vec![0.0; 2 * m];
+    for (k, &i) in indices.iter().enumerate() {
+        let (xs, ys) = src[i];
+        let (xt, yt) = dst[i];
+        let r = 2 * k;
+        a[(r, 0)] = xs;
+        a[(r, 1)] = ys;
+        a[(r, 2)] = 1.0;
+        a[(r + 1, 3)] = xs;
+        a[(r + 1, 4)] = ys;
+        a[(r + 1, 5)] = 1.0;
+        b[r] = xt;
+        b[r + 1] = yt;
+    }
+    let svd = a.svd().ok()?;
+    if svd.rank(1e-10) < 6 {
+        return None;
+    }
+    // x = V Σ⁻¹ Uᵀ b.
+    let utb = svd.u().transpose().matvec(&b);
+    let scaled: Vec<f64> =
+        utb.iter().zip(svd.singular_values()).map(|(v, s)| v / s).collect();
+    let x = svd.v().matvec(&scaled);
+    Some(Affine::from_coeffs([x[0], x[1], x[2], x[3], x[4], x[5]]))
+}
+
+/// RANSAC over affine models: repeatedly samples three correspondences,
+/// fits exactly (the inner "LS Solver" uses), and keeps the model with the
+/// most inliers within `tol` pixels.
+///
+/// Returns `None` if no model with at least `min_inliers` inliers is
+/// found.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` differ in length.
+pub fn estimate_affine_ransac(
+    src: &[(f64, f64)],
+    dst: &[(f64, f64)],
+    iterations: usize,
+    tol: f64,
+    min_inliers: usize,
+    seed: u64,
+) -> Option<RansacEstimate> {
+    let (best_inliers, iters_run) = ransac_sample(src, dst, iterations, tol, seed)?;
+    if best_inliers.len() < min_inliers.max(3) {
+        return None;
+    }
+    ransac_refit(src, dst, &best_inliers, tol, iters_run)
+}
+
+/// The sampling phase of RANSAC: returns the best consensus set and the
+/// iterations run (the pipeline times this as the "LS Solver" kernel).
+pub(crate) fn ransac_sample(
+    src: &[(f64, f64)],
+    dst: &[(f64, f64)],
+    iterations: usize,
+    tol: f64,
+    seed: u64,
+) -> Option<(Vec<usize>, usize)> {
+    assert_eq!(src.len(), dst.len(), "correspondence lists must align");
+    let n = src.len();
+    if n < 3 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tol2 = tol * tol;
+    let mut best_inliers: Vec<usize> = Vec::new();
+    let mut iters_run = 0usize;
+    for _ in 0..iterations {
+        iters_run += 1;
+        // Three distinct indices.
+        let i0 = rng.gen_range(0..n);
+        let mut i1 = rng.gen_range(0..n);
+        while i1 == i0 {
+            i1 = rng.gen_range(0..n);
+        }
+        let mut i2 = rng.gen_range(0..n);
+        while i2 == i0 || i2 == i1 {
+            i2 = rng.gen_range(0..n);
+        }
+        let Some(model) = affine_from_three(&[
+            (src[i0], dst[i0]),
+            (src[i1], dst[i1]),
+            (src[i2], dst[i2]),
+        ]) else {
+            continue;
+        };
+        let inliers: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let (px, py) = model.apply(src[i].0, src[i].1);
+                let dx = px - dst[i].0;
+                let dy = py - dst[i].1;
+                dx * dx + dy * dy <= tol2
+            })
+            .collect();
+        if inliers.len() > best_inliers.len() {
+            best_inliers = inliers;
+            // Early exit when almost everything is an inlier.
+            if best_inliers.len() * 10 >= n * 9 {
+                break;
+            }
+        }
+    }
+    if best_inliers.is_empty() {
+        return None;
+    }
+    Some((best_inliers, iters_run))
+}
+
+/// The refit phase of RANSAC: SVD least squares over the consensus set,
+/// then a final inlier recount (the pipeline times this as the "SVD"
+/// kernel).
+pub(crate) fn ransac_refit(
+    src: &[(f64, f64)],
+    dst: &[(f64, f64)],
+    consensus: &[usize],
+    tol: f64,
+    iterations: usize,
+) -> Option<RansacEstimate> {
+    let transform = refit_affine_svd(src, dst, consensus)?;
+    let tol2 = tol * tol;
+    let inliers: Vec<usize> = (0..src.len())
+        .filter(|&i| {
+            let (px, py) = transform.apply(src[i].0, src[i].1);
+            let dx = px - dst[i].0;
+            let dy = py - dst[i].1;
+            dx * dx + dy * dy <= tol2
+        })
+        .collect();
+    Some(RansacEstimate { transform, inliers, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> Affine {
+        Affine::rotation_about(0.1, 40.0, 30.0, 12.0, -5.0)
+    }
+
+    fn correspondences(outliers: usize, seed: u64) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+        let t = truth();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for i in 0..40 {
+            let x = ((i * 13) % 80) as f64;
+            let y = ((i * 29) % 60) as f64;
+            src.push((x, y));
+            let (tx, ty) = t.apply(x, y);
+            // Small inlier noise.
+            dst.push((tx + rng.gen_range(-0.3..0.3), ty + rng.gen_range(-0.3..0.3)));
+        }
+        for k in 0..outliers {
+            src.push(((k * 7 % 80) as f64, (k * 11 % 60) as f64));
+            dst.push((rng.gen_range(0.0..80.0), rng.gen_range(0.0..60.0)));
+        }
+        (src, dst)
+    }
+
+    #[test]
+    fn exact_three_point_fit_recovers_transform() {
+        let t = truth();
+        let pts = [(0.0, 0.0), (10.0, 3.0), (4.0, 20.0)];
+        let pairs = [
+            (pts[0], t.apply(pts[0].0, pts[0].1)),
+            (pts[1], t.apply(pts[1].0, pts[1].1)),
+            (pts[2], t.apply(pts[2].0, pts[2].1)),
+        ];
+        let fit = affine_from_three(&pairs).unwrap();
+        assert!(fit.max_coeff_diff(&t) < 1e-9);
+    }
+
+    #[test]
+    fn collinear_sample_is_degenerate() {
+        let pairs = [
+            ((0.0, 0.0), (1.0, 1.0)),
+            ((1.0, 1.0), (2.0, 2.0)),
+            ((2.0, 2.0), (3.0, 3.0)),
+        ];
+        assert!(affine_from_three(&pairs).is_none());
+    }
+
+    #[test]
+    fn ransac_recovers_under_heavy_outliers() {
+        let (src, dst) = correspondences(30, 5); // 43% outliers
+        let est = estimate_affine_ransac(&src, &dst, 500, 1.5, 10, 7).unwrap();
+        assert!(est.transform.max_coeff_diff(&truth()) < 0.6, "{}", est.transform);
+        assert!(est.inliers.len() >= 35, "{} inliers", est.inliers.len());
+    }
+
+    #[test]
+    fn clean_data_gives_near_exact_fit() {
+        let (src, dst) = correspondences(0, 9);
+        let est = estimate_affine_ransac(&src, &dst, 200, 1.5, 10, 3).unwrap();
+        assert!(est.transform.max_coeff_diff(&truth()) < 0.3);
+        assert_eq!(est.inliers.len(), 40);
+    }
+
+    #[test]
+    fn svd_refit_matches_exact_on_noiseless_data() {
+        let t = truth();
+        let src: Vec<(f64, f64)> =
+            (0..12).map(|i| ((i % 4) as f64 * 10.0, (i / 4) as f64 * 15.0)).collect();
+        let dst: Vec<(f64, f64)> = src.iter().map(|&(x, y)| t.apply(x, y)).collect();
+        let idx: Vec<usize> = (0..12).collect();
+        let fit = refit_affine_svd(&src, &dst, &idx).unwrap();
+        assert!(fit.max_coeff_diff(&t) < 1e-9);
+    }
+
+    #[test]
+    fn too_few_matches_returns_none() {
+        let src = vec![(0.0, 0.0), (1.0, 0.0)];
+        let dst = src.clone();
+        assert!(estimate_affine_ransac(&src, &dst, 10, 1.0, 3, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (src, dst) = correspondences(10, 3);
+        let a = estimate_affine_ransac(&src, &dst, 300, 1.5, 10, 42).unwrap();
+        let b = estimate_affine_ransac(&src, &dst, 300, 1.5, 10, 42).unwrap();
+        assert_eq!(a.transform, b.transform);
+        assert_eq!(a.inliers, b.inliers);
+    }
+}

@@ -1,0 +1,181 @@
+//! 2-D affine transforms.
+
+use std::fmt;
+
+/// An affine map `p' = M p + t`, stored as
+/// `[m00, m01, tx, m10, m11, ty]` so that
+/// `x' = m00·x + m01·y + tx` and `y' = m10·x + m11·y + ty`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    coeffs: [f64; 6],
+}
+
+impl Affine {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Affine { coeffs: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0] }
+    }
+
+    /// Builds from the six coefficients `[m00, m01, tx, m10, m11, ty]`.
+    pub fn from_coeffs(coeffs: [f64; 6]) -> Self {
+        Affine { coeffs }
+    }
+
+    /// Pure translation.
+    pub fn translation(tx: f64, ty: f64) -> Self {
+        Affine { coeffs: [1.0, 0.0, tx, 0.0, 1.0, ty] }
+    }
+
+    /// Rotation by `angle` radians about `(cx, cy)` followed by a
+    /// translation `(tx, ty)`.
+    pub fn rotation_about(angle: f64, cx: f64, cy: f64, tx: f64, ty: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Affine {
+            coeffs: [
+                c,
+                -s,
+                -c * cx + s * cy + cx + tx,
+                s,
+                c,
+                -s * cx - c * cy + cy + ty,
+            ],
+        }
+    }
+
+    /// The raw coefficients `[m00, m01, tx, m10, m11, ty]`.
+    pub fn coeffs(&self) -> [f64; 6] {
+        self.coeffs
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        let c = &self.coeffs;
+        (c[0] * x + c[1] * y + c[2], c[3] * x + c[4] * y + c[5])
+    }
+
+    /// Inverse transform.
+    ///
+    /// Returns `None` if the linear part is singular.
+    pub fn inverse(&self) -> Option<Affine> {
+        let c = &self.coeffs;
+        let det = c[0] * c[4] - c[1] * c[3];
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let m00 = c[4] * inv_det;
+        let m01 = -c[1] * inv_det;
+        let m10 = -c[3] * inv_det;
+        let m11 = c[0] * inv_det;
+        Some(Affine {
+            coeffs: [
+                m00,
+                m01,
+                -(m00 * c[2] + m01 * c[5]),
+                m10,
+                m11,
+                -(m10 * c[2] + m11 * c[5]),
+            ],
+        })
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Affine) -> Affine {
+        let a = &self.coeffs;
+        let b = &other.coeffs;
+        Affine {
+            coeffs: [
+                a[0] * b[0] + a[1] * b[3],
+                a[0] * b[1] + a[1] * b[4],
+                a[0] * b[2] + a[1] * b[5] + a[2],
+                a[3] * b[0] + a[4] * b[3],
+                a[3] * b[1] + a[4] * b[4],
+                a[3] * b[2] + a[4] * b[5] + a[5],
+            ],
+        }
+    }
+
+    /// Maximum absolute coefficient difference to another transform
+    /// (translation terms weighted as-is, so this is an error in pixels
+    /// for the translation and dimensionless for the linear part).
+    pub fn max_coeff_diff(&self, other: &Affine) -> f64 {
+        self.coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.coeffs;
+        write!(
+            f,
+            "[{:+.4} {:+.4} {:+.2}; {:+.4} {:+.4} {:+.2}]",
+            c[0], c[1], c[2], c[3], c[4], c[5]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let t = Affine::identity();
+        assert_eq!(t.apply(3.5, -2.0), (3.5, -2.0));
+    }
+
+    #[test]
+    fn translation_moves_points() {
+        let t = Affine::translation(2.0, -1.0);
+        assert_eq!(t.apply(1.0, 1.0), (3.0, 0.0));
+    }
+
+    #[test]
+    fn rotation_about_center_fixes_center() {
+        let t = Affine::rotation_about(0.7, 5.0, 7.0, 0.0, 0.0);
+        let (x, y) = t.apply(5.0, 7.0);
+        assert!((x - 5.0).abs() < 1e-12 && (y - 7.0).abs() < 1e-12);
+        // 90 degrees about origin maps (1,0) to (0,1).
+        let r = Affine::rotation_about(std::f64::consts::FRAC_PI_2, 0.0, 0.0, 0.0, 0.0);
+        let (x, y) = r.apply(1.0, 0.0);
+        assert!(x.abs() < 1e-12 && (y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let t = Affine::rotation_about(0.3, 10.0, 20.0, 5.0, -3.0);
+        let inv = t.inverse().unwrap();
+        let (x, y) = t.apply(4.0, 9.0);
+        let (bx, by) = inv.apply(x, y);
+        assert!((bx - 4.0).abs() < 1e-10 && (by - 9.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_transform_has_no_inverse() {
+        let t = Affine::from_coeffs([1.0, 2.0, 0.0, 2.0, 4.0, 0.0]);
+        assert!(t.inverse().is_none());
+    }
+
+    #[test]
+    fn compose_applies_right_first() {
+        let shift = Affine::translation(1.0, 0.0);
+        let rot = Affine::rotation_about(std::f64::consts::FRAC_PI_2, 0.0, 0.0, 0.0, 0.0);
+        // rot ∘ shift: (0,0) -> (1,0) -> (0,1).
+        let (x, y) = rot.compose(&shift).apply(0.0, 0.0);
+        assert!(x.abs() < 1e-12 && (y - 1.0).abs() < 1e-12);
+        // shift ∘ rot: (0,0) -> (0,0) -> (1,0).
+        let (x, y) = shift.compose(&rot).apply(0.0, 0.0);
+        assert!((x - 1.0).abs() < 1e-12 && y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn coeff_diff_measures_worst_term() {
+        let a = Affine::identity();
+        let b = Affine::translation(0.0, 3.0);
+        assert_eq!(a.max_coeff_diff(&b), 3.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Synthetic datasets replacing the paper's 500×64 training corpus.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdvbs_matrix::Matrix;
+
+/// A train/test split with ±1 labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training features (`n_train × dims`).
+    pub train_x: Matrix,
+    /// Training labels (±1).
+    pub train_y: Vec<f64>,
+    /// Test features.
+    pub test_x: Matrix,
+    /// Test labels (±1).
+    pub test_y: Vec<f64>,
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Two Gaussian clusters in `dims` dimensions whose means are `separation`
+/// standard deviations apart along a random direction. 75% of the samples
+/// go to the training split.
+///
+/// # Panics
+///
+/// Panics if `samples < 8` or `dims == 0`.
+pub fn gaussian_clusters(samples: usize, dims: usize, separation: f64, seed: u64) -> Dataset {
+    assert!(samples >= 8, "need at least 8 samples");
+    assert!(dims > 0, "need at least one dimension");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random unit separation direction.
+    let mut dir: Vec<f64> = (0..dims).map(|_| gauss(&mut rng)).collect();
+    let norm = dir.iter().map(|v| v * v).sum::<f64>().sqrt();
+    for v in &mut dir {
+        *v /= norm;
+    }
+    let mut xs = Vec::with_capacity(samples);
+    let mut ys = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let row: Vec<f64> = (0..dims)
+            .map(|d| gauss(&mut rng) + 0.5 * separation * label * dir[d])
+            .collect();
+        xs.push(row);
+        ys.push(label);
+    }
+    split(xs, ys, dims)
+}
+
+/// Two concentric shells: class +1 inside radius `r_inner`, class −1 near
+/// radius `r_outer`. Not linearly separable; a polynomial kernel of degree
+/// ≥ 2 separates it.
+///
+/// # Panics
+///
+/// Panics if `samples < 8`, `dims == 0`, or the radii are not increasing.
+pub fn concentric_rings(samples: usize, dims: usize, r_inner: f64, r_outer: f64, seed: u64) -> Dataset {
+    assert!(samples >= 8 && dims > 0, "need at least 8 samples and one dimension");
+    assert!(0.0 < r_inner && r_inner < r_outer, "radii must satisfy 0 < inner < outer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(samples);
+    let mut ys = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let target_r = if label > 0.0 { r_inner } else { r_outer };
+        // Random direction scaled to the target radius with jitter.
+        let mut v: Vec<f64> = (0..dims).map(|_| gauss(&mut rng)).collect();
+        let norm = v.iter().map(|a| a * a).sum::<f64>().sqrt().max(1e-9);
+        let r = target_r * (1.0 + 0.1 * gauss(&mut rng));
+        for a in &mut v {
+            *a *= r / norm;
+        }
+        xs.push(v);
+        ys.push(label);
+    }
+    split(xs, ys, dims)
+}
+
+fn split(xs: Vec<Vec<f64>>, ys: Vec<f64>, dims: usize) -> Dataset {
+    let n = xs.len();
+    let n_train = (3 * n) / 4;
+    let pack = |rows: &[Vec<f64>]| {
+        let mut m = Matrix::zeros(rows.len(), dims);
+        for (i, r) in rows.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(r);
+        }
+        m
+    };
+    Dataset {
+        train_x: pack(&xs[..n_train]),
+        train_y: ys[..n_train].to_vec(),
+        test_x: pack(&xs[n_train..]),
+        test_y: ys[n_train..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_have_balanced_labels() {
+        let d = gaussian_clusters(100, 8, 3.0, 1);
+        assert_eq!(d.train_x.rows(), 75);
+        assert_eq!(d.test_x.rows(), 25);
+        let pos = d.train_y.iter().filter(|&&l| l > 0.0).count();
+        assert!((30..=45).contains(&pos));
+    }
+
+    #[test]
+    fn clusters_are_separated_along_some_direction() {
+        let d = gaussian_clusters(200, 4, 4.0, 2);
+        // Difference of class means should have norm ~ separation.
+        let mut mean_pos = vec![0.0; 4];
+        let mut mean_neg = vec![0.0; 4];
+        let (mut np, mut nn) = (0, 0);
+        for i in 0..d.train_x.rows() {
+            let row = d.train_x.row(i);
+            if d.train_y[i] > 0.0 {
+                for (m, v) in mean_pos.iter_mut().zip(row) {
+                    *m += v;
+                }
+                np += 1;
+            } else {
+                for (m, v) in mean_neg.iter_mut().zip(row) {
+                    *m += v;
+                }
+                nn += 1;
+            }
+        }
+        let gap: f64 = mean_pos
+            .iter()
+            .zip(&mean_neg)
+            .map(|(p, q)| (p / np as f64 - q / nn as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(gap > 3.0, "class gap {gap}");
+    }
+
+    #[test]
+    fn rings_have_distinct_radii() {
+        let d = concentric_rings(100, 3, 1.0, 3.0, 3);
+        for i in 0..d.train_x.rows() {
+            let r: f64 = d.train_x.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+            if d.train_y[i] > 0.0 {
+                assert!(r < 2.0, "inner point at radius {r}");
+            } else {
+                assert!(r > 2.0, "outer point at radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = gaussian_clusters(40, 4, 2.0, 9);
+        let b = gaussian_clusters(40, 4, 2.0, 9);
+        assert_eq!(a.train_x, b.train_x);
+        let c = gaussian_clusters(40, 4, 2.0, 10);
+        assert_ne!(a.train_x, c.train_x);
+    }
+}

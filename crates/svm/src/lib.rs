@@ -1,0 +1,47 @@
+//! SD-VBS benchmark 6: **SVM** — support vector machine training and
+//! classification.
+//!
+//! SVMs separate two classes with a maximal geometric margin. The SD-VBS
+//! benchmark "uses the iterative interior point method to find the
+//! solution of the Karush-Kuhn-Tucker conditions of the primal and dual
+//! problems" on a 500×64 working set, split into a *training* and a
+//! *classification* phase dominated by "heavy polynomial functions and
+//! matrix operations".
+//!
+//! This crate provides both:
+//!
+//! * [`train_interior_point`] — a primal-dual interior-point solver for
+//!   the dual soft-margin QP whose inner Newton systems are solved with
+//!   conjugate gradient (the paper's `Matrix Ops` / `Learning` /
+//!   `Conjugate Matrix` kernel split);
+//! * [`train_smo`] — a sequential minimal optimization baseline, used to
+//!   cross-validate the interior-point trainer.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdvbs_profile::Profiler;
+//! use sdvbs_svm::{gaussian_clusters, train_smo, KernelKind, SvmConfig};
+//!
+//! let data = gaussian_clusters(80, 8, 6.0, 42);
+//! let mut prof = Profiler::new();
+//! let model = train_smo(&data.train_x, &data.train_y, &SvmConfig::default(), &mut prof).unwrap();
+//! let acc = model.accuracy(&data.test_x, &data.test_y);
+//! assert!(acc > 0.9);
+//! # let _ = KernelKind::Linear;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data;
+mod interior;
+mod model;
+mod multiclass;
+mod smo;
+
+pub use data::{concentric_rings, gaussian_clusters, Dataset};
+pub use interior::train_interior_point;
+pub use model::{KernelKind, SvmConfig, SvmError, SvmModel};
+pub use multiclass::{multiclass_clusters, MulticlassSvm};
+pub use smo::train_smo;

@@ -1,0 +1,263 @@
+//! SVM configuration, kernels and the trained model.
+
+use sdvbs_matrix::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// The kernel function `K(x, z)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelKind {
+    /// `K(x, z) = x · z`.
+    Linear,
+    /// `K(x, z) = (gamma · x · z + coef0)^degree` — the paper's polynomial
+    /// kernel.
+    Polynomial {
+        /// Polynomial degree (≥ 1).
+        degree: u32,
+        /// Inner-product scaling.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+    },
+}
+
+impl KernelKind {
+    /// Evaluates the kernel on two feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn eval(&self, x: &[f64], z: &[f64]) -> f64 {
+        assert_eq!(x.len(), z.len(), "feature vectors must have equal length");
+        let dot: f64 = x.iter().zip(z).map(|(a, b)| a * b).sum();
+        match *self {
+            KernelKind::Linear => dot,
+            KernelKind::Polynomial { degree, gamma, coef0 } => {
+                (gamma * dot + coef0).powi(degree as i32)
+            }
+        }
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmConfig {
+    /// Soft-margin penalty `C`.
+    pub c: f64,
+    /// Kernel function.
+    pub kernel: KernelKind,
+    /// Convergence tolerance on KKT violations.
+    pub tolerance: f64,
+    /// Iteration budget (SMO passes / interior-point Newton steps).
+    pub max_iterations: usize,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig { c: 1.0, kernel: KernelKind::Linear, tolerance: 1e-3, max_iterations: 200 }
+    }
+}
+
+/// Errors from SVM training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SvmError {
+    /// Inputs malformed: empty set, length mismatch, or labels not ±1.
+    InvalidInput(String),
+    /// The solver failed to reach the tolerance in the iteration budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmError::InvalidInput(m) => write!(f, "invalid svm input: {m}"),
+            SvmError::NoConvergence { iterations } => {
+                write!(f, "svm training did not converge within {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for SvmError {}
+
+/// Validates a training set, returning the sample count.
+pub(crate) fn validate_inputs(x: &Matrix, y: &[f64], cfg: &SvmConfig) -> Result<usize, SvmError> {
+    let n = x.rows();
+    if n == 0 || x.cols() == 0 {
+        return Err(SvmError::InvalidInput("training set must be non-empty".into()));
+    }
+    if y.len() != n {
+        return Err(SvmError::InvalidInput(format!(
+            "{} labels for {} samples",
+            y.len(),
+            n
+        )));
+    }
+    if !y.iter().all(|&l| l == 1.0 || l == -1.0) {
+        return Err(SvmError::InvalidInput("labels must be +1 or -1".into()));
+    }
+    if y.iter().all(|&l| l == y[0]) {
+        return Err(SvmError::InvalidInput("both classes must be present".into()));
+    }
+    if !(cfg.c > 0.0) {
+        return Err(SvmError::InvalidInput(format!("C must be positive, got {}", cfg.c)));
+    }
+    Ok(n)
+}
+
+/// A trained support vector machine.
+#[derive(Debug, Clone)]
+pub struct SvmModel {
+    pub(crate) support_x: Matrix,
+    pub(crate) coef: Vec<f64>, // alpha_i * y_i for each support vector
+    pub(crate) bias: f64,
+    pub(crate) kernel: KernelKind,
+}
+
+impl SvmModel {
+    /// Number of support vectors retained.
+    pub fn support_vectors(&self) -> usize {
+        self.support_x.rows()
+    }
+
+    /// The bias term `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Decision value `f(x) = Σ αᵢyᵢK(xᵢ, x) + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.support_x.cols(), "feature dimension mismatch");
+        let mut acc = self.bias;
+        for i in 0..self.support_x.rows() {
+            acc += self.coef[i] * self.kernel.eval(self.support_x.row(i), x);
+        }
+        acc
+    }
+
+    /// Predicted label (`+1.0` or `-1.0`).
+    pub fn classify(&self, x: &[f64]) -> f64 {
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Fraction of rows of `x` classified as their label in `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are inconsistent or the set is empty.
+    pub fn accuracy(&self, x: &Matrix, y: &[f64]) -> f64 {
+        assert_eq!(x.rows(), y.len(), "labels must match samples");
+        assert!(!y.is_empty(), "evaluation set must be non-empty");
+        let correct = (0..x.rows()).filter(|&i| self.classify(x.row(i)) == y[i]).count();
+        correct as f64 / y.len() as f64
+    }
+
+    /// Builds a model from a dual solution, keeping only support vectors
+    /// (α above `sv_threshold`) and computing the bias from free support
+    /// vectors.
+    pub(crate) fn from_dual(
+        x: &Matrix,
+        y: &[f64],
+        alpha: &[f64],
+        c: f64,
+        kernel: KernelKind,
+    ) -> SvmModel {
+        let n = x.rows();
+        let sv_threshold = 1e-6 * c;
+        let sv_idx: Vec<usize> = (0..n).filter(|&i| alpha[i] > sv_threshold).collect();
+        let mut support = Matrix::zeros(sv_idx.len(), x.cols());
+        let mut coef = Vec::with_capacity(sv_idx.len());
+        for (r, &i) in sv_idx.iter().enumerate() {
+            support.row_mut(r).copy_from_slice(x.row(i));
+            coef.push(alpha[i] * y[i]);
+        }
+        // Bias from free support vectors (0 < alpha < C): y_i - sum_j coef_j K(x_j, x_i).
+        let mut bias_sum = 0.0;
+        let mut bias_count = 0usize;
+        for (r, &i) in sv_idx.iter().enumerate() {
+            if alpha[i] < c - sv_threshold {
+                let mut f = 0.0;
+                for (r2, &j) in sv_idx.iter().enumerate() {
+                    let _ = j;
+                    f += coef[r2] * kernel.eval(support.row(r2), support.row(r));
+                }
+                bias_sum += y[i] - f;
+                bias_count += 1;
+            }
+        }
+        let bias = if bias_count > 0 {
+            bias_sum / bias_count as f64
+        } else if !sv_idx.is_empty() {
+            // All SVs at bound: fall back to averaging over all of them.
+            let mut s = 0.0;
+            for (r, &i) in sv_idx.iter().enumerate() {
+                let mut f = 0.0;
+                for r2 in 0..sv_idx.len() {
+                    f += coef[r2] * kernel.eval(support.row(r2), support.row(r));
+                }
+                s += y[i] - f;
+            }
+            s / sv_idx.len() as f64
+        } else {
+            0.0
+        };
+        SvmModel { support_x: support, coef, bias, kernel }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        let k = KernelKind::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn polynomial_kernel_matches_formula() {
+        let k = KernelKind::Polynomial { degree: 2, gamma: 0.5, coef0: 1.0 };
+        // (0.5 * 4 + 1)^2 = 9
+        assert!((k.eval(&[2.0], &[2.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let cfg = SvmConfig::default();
+        assert!(validate_inputs(&x, &[1.0], &cfg).is_err()); // length
+        assert!(validate_inputs(&x, &[1.0, 2.0], &cfg).is_err()); // labels
+        assert!(validate_inputs(&x, &[1.0, 1.0], &cfg).is_err()); // one class
+        assert!(validate_inputs(&x, &[1.0, -1.0], &cfg).is_ok());
+        let bad_c = SvmConfig { c: 0.0, ..cfg };
+        assert!(validate_inputs(&x, &[1.0, -1.0], &bad_c).is_err());
+    }
+
+    #[test]
+    fn model_decision_is_linear_in_coefs() {
+        // One support vector at (1, 0) with coef 2 and bias -1:
+        // f(x) = 2 * (x . (1,0)) - 1.
+        let model = SvmModel {
+            support_x: Matrix::from_rows(&[&[1.0, 0.0]]),
+            coef: vec![2.0],
+            bias: -1.0,
+            kernel: KernelKind::Linear,
+        };
+        assert!((model.decision(&[3.0, 5.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(model.classify(&[3.0, 5.0]), 1.0);
+        assert_eq!(model.classify(&[0.0, 0.0]), -1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Multiclass classification via one-vs-rest binary SVMs.
+//!
+//! The paper cites "The Application of Support Vector Machine in Pattern
+//! Recognition" as the benchmark's motivating application; real pattern
+//! recognition is rarely binary, so the suite provides the standard
+//! one-vs-rest reduction on top of either trainer.
+
+use crate::data::Dataset;
+use crate::model::{SvmConfig, SvmError, SvmModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdvbs_matrix::Matrix;
+use sdvbs_profile::Profiler;
+
+/// A one-vs-rest multiclass classifier: one binary [`SvmModel`] per class.
+#[derive(Debug, Clone)]
+pub struct MulticlassSvm {
+    models: Vec<SvmModel>,
+}
+
+impl MulticlassSvm {
+    /// Trains one binary model per class with the provided trainer
+    /// (`train_smo` or `train_interior_point`).
+    ///
+    /// `y` holds class indices in `0..classes`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SvmError::InvalidInput`] if labels are out of range, a class is
+    ///   empty, or `classes < 2`.
+    /// * Any error from the underlying binary trainer.
+    pub fn train<F>(
+        x: &Matrix,
+        y: &[usize],
+        classes: usize,
+        cfg: &SvmConfig,
+        prof: &mut Profiler,
+        mut trainer: F,
+    ) -> Result<Self, SvmError>
+    where
+        F: FnMut(&Matrix, &[f64], &SvmConfig, &mut Profiler) -> Result<SvmModel, SvmError>,
+    {
+        if classes < 2 {
+            return Err(SvmError::InvalidInput("need at least two classes".into()));
+        }
+        if y.len() != x.rows() {
+            return Err(SvmError::InvalidInput(format!(
+                "{} labels for {} samples",
+                y.len(),
+                x.rows()
+            )));
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l >= classes) {
+            return Err(SvmError::InvalidInput(format!(
+                "label {bad} out of range for {classes} classes"
+            )));
+        }
+        for c in 0..classes {
+            if !y.iter().any(|&l| l == c) {
+                return Err(SvmError::InvalidInput(format!("class {c} has no samples")));
+            }
+        }
+        let mut models = Vec::with_capacity(classes);
+        for c in 0..classes {
+            let binary: Vec<f64> =
+                y.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
+            models.push(trainer(x, &binary, cfg, prof)?);
+        }
+        Ok(MulticlassSvm { models })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Predicts the class with the largest decision value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn classify(&self, x: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_v = f64::NEG_INFINITY;
+        for (c, model) in self.models.iter().enumerate() {
+            let v = model.decision(x);
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Fraction of rows classified as their label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are inconsistent or the set is empty.
+    pub fn accuracy(&self, x: &Matrix, y: &[usize]) -> f64 {
+        assert_eq!(x.rows(), y.len(), "labels must match samples");
+        assert!(!y.is_empty(), "evaluation set must be non-empty");
+        let correct = (0..x.rows()).filter(|&i| self.classify(x.row(i)) == y[i]).count();
+        correct as f64 / y.len() as f64
+    }
+}
+
+/// Generates `classes` Gaussian clusters in `dims` dimensions with
+/// integer labels (the multiclass analogue of
+/// [`gaussian_clusters`](crate::gaussian_clusters)); 75% of samples go to
+/// the training split.
+///
+/// # Panics
+///
+/// Panics if `samples < 4 * classes`, `classes < 2`, or `dims == 0`.
+pub fn multiclass_clusters(
+    samples: usize,
+    dims: usize,
+    classes: usize,
+    separation: f64,
+    seed: u64,
+) -> (Dataset, Vec<usize>, Vec<usize>) {
+    assert!(classes >= 2 && dims > 0, "need >=2 classes and >=1 dim");
+    assert!(samples >= 4 * classes, "need at least 4 samples per class");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gauss = |rng: &mut StdRng| -> f64 {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    // One random unit mean direction per class, scaled by the separation.
+    let means: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            let mut v: Vec<f64> = (0..dims).map(|_| gauss(&mut rng)).collect();
+            let norm = v.iter().map(|a| a * a).sum::<f64>().sqrt().max(1e-9);
+            for a in &mut v {
+                *a *= separation / norm;
+            }
+            v
+        })
+        .collect();
+    let mut xs: Vec<Vec<f64>> = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let c = i % classes;
+        let row: Vec<f64> = (0..dims).map(|d| means[c][d] + gauss(&mut rng)).collect();
+        xs.push(row);
+        labels.push(c);
+    }
+    let n_train = (3 * samples) / 4;
+    let pack = |rows: &[Vec<f64>]| {
+        let mut m = Matrix::zeros(rows.len(), dims);
+        for (i, r) in rows.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(r);
+        }
+        m
+    };
+    let ds = Dataset {
+        train_x: pack(&xs[..n_train]),
+        train_y: vec![0.0; n_train], // unused by the multiclass API
+        test_x: pack(&xs[n_train..]),
+        test_y: vec![0.0; samples - n_train],
+    };
+    (ds, labels[..n_train].to_vec(), labels[n_train..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smo::train_smo;
+
+    #[test]
+    fn four_class_clusters_classify_well() {
+        let (ds, train_y, test_y) = multiclass_clusters(240, 8, 4, 6.0, 5);
+        let mut prof = Profiler::new();
+        let model = MulticlassSvm::train(
+            &ds.train_x,
+            &train_y,
+            4,
+            &SvmConfig::default(),
+            &mut prof,
+            train_smo,
+        )
+        .unwrap();
+        assert_eq!(model.classes(), 4);
+        let acc = model.accuracy(&ds.test_x, &test_y);
+        assert!(acc > 0.9, "multiclass accuracy {acc}");
+    }
+
+    #[test]
+    fn interior_point_trainer_also_works() {
+        use crate::interior::train_interior_point;
+        let (ds, train_y, test_y) = multiclass_clusters(150, 6, 3, 6.0, 9);
+        let cfg = SvmConfig { tolerance: 1e-4, max_iterations: 80, ..SvmConfig::default() };
+        let mut prof = Profiler::new();
+        let model = MulticlassSvm::train(
+            &ds.train_x,
+            &train_y,
+            3,
+            &cfg,
+            &mut prof,
+            train_interior_point,
+        )
+        .unwrap();
+        let acc = model.accuracy(&ds.test_x, &test_y);
+        assert!(acc > 0.85, "multiclass IP accuracy {acc}");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let (ds, train_y, _) = multiclass_clusters(80, 4, 2, 4.0, 1);
+        let mut prof = Profiler::new();
+        // Too few classes.
+        assert!(MulticlassSvm::train(
+            &ds.train_x,
+            &train_y,
+            1,
+            &SvmConfig::default(),
+            &mut prof,
+            train_smo
+        )
+        .is_err());
+        // Label out of range.
+        let mut bad = train_y.clone();
+        bad[0] = 9;
+        assert!(MulticlassSvm::train(
+            &ds.train_x,
+            &bad,
+            2,
+            &SvmConfig::default(),
+            &mut prof,
+            train_smo
+        )
+        .is_err());
+        // Missing class.
+        let all_zero: Vec<usize> = vec![0; train_y.len()];
+        assert!(MulticlassSvm::train(
+            &ds.train_x,
+            &all_zero,
+            2,
+            &SvmConfig::default(),
+            &mut prof,
+            train_smo
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn classes_are_balanced_in_generator() {
+        let (_, train_y, test_y) = multiclass_clusters(120, 4, 3, 5.0, 3);
+        for c in 0..3 {
+            let n = train_y.iter().filter(|&&l| l == c).count();
+            assert!(n > 20, "class {c} underrepresented: {n}");
+        }
+        assert!(!test_y.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Sequential minimal optimization — the baseline trainer used to
+//! cross-validate the paper's interior-point method.
+//!
+//! The working-set selection follows Keerthi et al.'s maximal-violating-
+//! pair rule (the scheme used by libsvm), which is provably convergent —
+//! unlike Platt's original second-choice heuristic, which can limit-cycle.
+
+use crate::model::{validate_inputs, SvmConfig, SvmError, SvmModel};
+use sdvbs_matrix::Matrix;
+use sdvbs_profile::Profiler;
+
+/// Trains a soft-margin SVM with SMO (maximal-violating-pair working-set
+/// selection).
+///
+/// Kernel attribution: `MatrixOps` (Gram matrix), `Learning` (the SMO
+/// pair updates).
+///
+/// # Errors
+///
+/// * [`SvmError::InvalidInput`] for malformed inputs.
+/// * [`SvmError::NoConvergence`] if the KKT gap stays above the tolerance
+///   after `cfg.max_iterations * n` pair updates.
+pub fn train_smo(
+    x: &Matrix,
+    y: &[f64],
+    cfg: &SvmConfig,
+    prof: &mut Profiler,
+) -> Result<SvmModel, SvmError> {
+    let n = validate_inputs(x, y, cfg)?;
+    // Precompute the kernel (Gram) matrix — the "Matrix Ops" kernel.
+    let k = prof.kernel("MatrixOps", |_| {
+        Matrix::from_fn(n, n, |i, j| cfg.kernel.eval(x.row(i), x.row(j)))
+    });
+    let c = cfg.c;
+    let tol = cfg.tolerance;
+    let result = prof.kernel("Learning", |_| {
+        let mut alpha = vec![0.0f64; n];
+        // Dual gradient G_i = y_i f0(x_i) - 1; starts at -1 with alpha = 0.
+        let mut g = vec![-1.0f64; n];
+        let max_updates = cfg.max_iterations.saturating_mul(n).max(1000);
+        let mut updates = 0usize;
+        loop {
+            // Maximal violating pair: i from I_up maximizing -y G, j from
+            // I_low minimizing -y G.
+            let mut gmax = f64::NEG_INFINITY;
+            let mut gmin = f64::INFINITY;
+            let mut i_sel = usize::MAX;
+            let mut j_sel = usize::MAX;
+            for t in 0..n {
+                let v = -y[t] * g[t];
+                let in_up = (y[t] > 0.0 && alpha[t] < c) || (y[t] < 0.0 && alpha[t] > 0.0);
+                let in_low = (y[t] < 0.0 && alpha[t] < c) || (y[t] > 0.0 && alpha[t] > 0.0);
+                if in_up && v > gmax {
+                    gmax = v;
+                    i_sel = t;
+                }
+                if in_low && v < gmin {
+                    gmin = v;
+                    j_sel = t;
+                }
+            }
+            if i_sel == usize::MAX || j_sel == usize::MAX || gmax - gmin < tol {
+                let bias = match (gmax.is_finite(), gmin.is_finite()) {
+                    (true, true) => 0.5 * (gmax + gmin),
+                    _ => 0.0,
+                };
+                return Ok((alpha, bias));
+            }
+            if updates >= max_updates {
+                return Err(SvmError::NoConvergence { iterations: updates });
+            }
+            updates += 1;
+            let (i, j) = (i_sel, j_sel);
+            let (ai_old, aj_old) = (alpha[i], alpha[j]);
+            let quad = (k[(i, i)] + k[(j, j)] - 2.0 * k[(i, j)]).max(1e-12);
+            if y[i] != y[j] {
+                let delta = (-g[i] - g[j]) / quad;
+                let diff = ai_old - aj_old;
+                alpha[i] += delta;
+                alpha[j] += delta;
+                if diff > 0.0 && alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = diff;
+                } else if diff <= 0.0 && alpha[i] < 0.0 {
+                    alpha[i] = 0.0;
+                    alpha[j] = -diff;
+                }
+                if diff > 0.0 && alpha[i] > c {
+                    alpha[i] = c;
+                    alpha[j] = c - diff;
+                } else if diff <= 0.0 && alpha[j] > c {
+                    alpha[j] = c;
+                    alpha[i] = c + diff;
+                }
+            } else {
+                let delta = (g[i] - g[j]) / quad;
+                let sum = ai_old + aj_old;
+                alpha[i] -= delta;
+                alpha[j] += delta;
+                if sum > c && alpha[i] > c {
+                    alpha[i] = c;
+                    alpha[j] = sum - c;
+                } else if sum <= c && alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = sum;
+                }
+                if sum > c && alpha[j] > c {
+                    alpha[j] = c;
+                    alpha[i] = sum - c;
+                } else if sum <= c && alpha[i] < 0.0 {
+                    alpha[i] = 0.0;
+                    alpha[j] = sum;
+                }
+            }
+            // Gradient maintenance: G_t += Q_ti dA_i + Q_tj dA_j, with
+            // Q_ts = y_t y_s K_ts.
+            let dai = alpha[i] - ai_old;
+            let daj = alpha[j] - aj_old;
+            if dai != 0.0 || daj != 0.0 {
+                for t in 0..n {
+                    g[t] += y[t] * (y[i] * k[(t, i)] * dai + y[j] * k[(t, j)] * daj);
+                }
+            }
+        }
+    });
+    let (alpha, bias) = result?;
+    let mut model = SvmModel::from_dual(x, y, &alpha, c, cfg.kernel);
+    // The maximal-violating-pair bias estimate is the midpoint of the KKT
+    // interval; prefer it over the support-vector average when available.
+    model.bias = bias;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{concentric_rings, gaussian_clusters};
+    use crate::model::KernelKind;
+
+    #[test]
+    fn separable_clusters_classify_well() {
+        let d = gaussian_clusters(120, 6, 6.0, 7);
+        let mut prof = Profiler::new();
+        let model = train_smo(&d.train_x, &d.train_y, &SvmConfig::default(), &mut prof).unwrap();
+        assert!(model.accuracy(&d.train_x, &d.train_y) > 0.95);
+        assert!(model.accuracy(&d.test_x, &d.test_y) > 0.9);
+        // A separable problem needs few support vectors.
+        assert!(model.support_vectors() < d.train_x.rows() / 2);
+    }
+
+    #[test]
+    fn polynomial_kernel_solves_rings_where_linear_fails() {
+        let d = concentric_rings(160, 2, 1.0, 3.0, 5);
+        let mut prof = Profiler::new();
+        let linear =
+            train_smo(&d.train_x, &d.train_y, &SvmConfig::default(), &mut prof).unwrap();
+        let poly_cfg = SvmConfig {
+            kernel: KernelKind::Polynomial { degree: 2, gamma: 1.0, coef0: 1.0 },
+            ..SvmConfig::default()
+        };
+        let poly = train_smo(&d.train_x, &d.train_y, &poly_cfg, &mut prof).unwrap();
+        let lin_acc = linear.accuracy(&d.test_x, &d.test_y);
+        let poly_acc = poly.accuracy(&d.test_x, &d.test_y);
+        assert!(poly_acc > 0.9, "poly accuracy {poly_acc}");
+        assert!(poly_acc > lin_acc + 0.15, "linear {lin_acc} vs poly {poly_acc}");
+    }
+
+    #[test]
+    fn free_support_vectors_sit_on_the_margin() {
+        let d = gaussian_clusters(100, 4, 6.0, 11);
+        let mut prof = Profiler::new();
+        let cfg = SvmConfig { c: 10.0, ..SvmConfig::default() };
+        let model = train_smo(&d.train_x, &d.train_y, &cfg, &mut prof).unwrap();
+        // Decision values of correctly classified training points are >= ~1
+        // or <= ~-1 for a (nearly) separable problem.
+        let mut margin_ok = 0;
+        let mut total = 0;
+        for i in 0..d.train_x.rows() {
+            let f = model.decision(d.train_x.row(i));
+            total += 1;
+            if f * d.train_y[i] > 0.8 {
+                margin_ok += 1;
+            }
+        }
+        assert!(margin_ok as f64 > 0.9 * total as f64, "{margin_ok}/{total}");
+    }
+
+    #[test]
+    fn kernel_attribution() {
+        let d = gaussian_clusters(60, 4, 3.0, 3);
+        let mut prof = Profiler::new();
+        prof.run(|p| train_smo(&d.train_x, &d.train_y, &SvmConfig::default(), p).unwrap());
+        let rep = prof.report();
+        assert!(rep.occupancy("MatrixOps").is_some());
+        assert!(rep.occupancy("Learning").is_some());
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        let mut prof = Profiler::new();
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert!(matches!(
+            train_smo(&x, &[1.0, 2.0], &SvmConfig::default(), &mut prof),
+            Err(SvmError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn kkt_conditions_hold_at_solution() {
+        let d = gaussian_clusters(80, 4, 5.0, 31);
+        let mut prof = Profiler::new();
+        let cfg = SvmConfig { c: 2.0, ..SvmConfig::default() };
+        let model = train_smo(&d.train_x, &d.train_y, &cfg, &mut prof).unwrap();
+        for i in 0..d.train_x.rows() {
+            let margin = model.decision(d.train_x.row(i)) * d.train_y[i];
+            // No training point may be badly misclassified at convergence
+            // of a well-separated problem.
+            assert!(margin > -0.5, "point {i} margin {margin}");
+        }
+    }
+}

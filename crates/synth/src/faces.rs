@@ -1,0 +1,258 @@
+//! Synthetic face rendering for the Viola–Jones benchmark.
+//!
+//! The original SD-VBS face detector ships a cascade trained offline on a
+//! face corpus that is not part of the paper. We instead *render* faces
+//! with the structure the Haar features key on — a darker eye band over
+//! brighter cheeks, a dark mouth bar — plus texture and lighting jitter, so
+//! the AdaBoost trainer in `sdvbs-facedetect` can learn a working cascade
+//! from scratch.
+
+use crate::noise::{textured_image, value_noise};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdvbs_image::Image;
+
+/// An axis-aligned face bounding box in a scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaceBox {
+    /// Left edge (pixels).
+    pub x: usize,
+    /// Top edge (pixels).
+    pub y: usize,
+    /// Side length (faces are square).
+    pub size: usize,
+}
+
+impl FaceBox {
+    /// Intersection-over-union overlap with another box.
+    pub fn iou(&self, other: &FaceBox) -> f64 {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = (self.x + self.size).min(other.x + other.size);
+        let y1 = (self.y + self.size).min(other.y + other.size);
+        if x1 <= x0 || y1 <= y0 {
+            return 0.0;
+        }
+        let inter = ((x1 - x0) * (y1 - y0)) as f64;
+        let uni = (self.size * self.size + other.size * other.size) as f64 - inter;
+        inter / uni
+    }
+}
+
+/// A rendered scene with ground-truth face locations.
+#[derive(Debug, Clone)]
+pub struct FaceScene {
+    /// The grayscale scene.
+    pub image: Image,
+    /// Ground-truth boxes of every rendered face.
+    pub faces: Vec<FaceBox>,
+}
+
+fn draw_ellipse(img: &mut Image, cx: f32, cy: f32, rx: f32, ry: f32, level: f32, soft: f32) {
+    let x0 = ((cx - rx - soft).floor().max(0.0)) as usize;
+    let x1 = ((cx + rx + soft).ceil() as usize).min(img.width());
+    let y0 = ((cy - ry - soft).floor().max(0.0)) as usize;
+    let y1 = ((cy + ry + soft).ceil() as usize).min(img.height());
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let dx = (x as f32 - cx) / rx;
+            let dy = (y as f32 - cy) / ry;
+            let r = (dx * dx + dy * dy).sqrt();
+            if r < 1.0 {
+                img.set(x, y, level);
+            } else if r < 1.0 + soft / rx.min(ry) {
+                let t = (r - 1.0) / (soft / rx.min(ry));
+                let old = img.get(x, y);
+                img.set(x, y, level * (1.0 - t) + old * t);
+            }
+        }
+    }
+}
+
+/// Renders one `size × size` face patch with randomized lighting, feature
+/// placement jitter and texture noise.
+///
+/// # Panics
+///
+/// Panics if `size < 12` (the facial layout needs resolution).
+pub fn render_face_patch(size: usize, rng: &mut StdRng) -> Image {
+    assert!(size >= 12, "face patch must be at least 12x12");
+    let s = size as f32;
+    let skin: f32 = rng.gen_range(150.0..210.0);
+    let dark: f32 = skin - rng.gen_range(60.0..100.0);
+    let bg: f32 = rng.gen_range(40.0..240.0);
+    let jitter = |rng: &mut StdRng, a: f32| rng.gen_range(-a..a);
+    let mut img = Image::filled(size, size, bg);
+    // Head ellipse.
+    let cx = s * 0.5 + jitter(rng, s * 0.02);
+    let cy = s * 0.52 + jitter(rng, s * 0.02);
+    draw_ellipse(&mut img, cx, cy, s * 0.42, s * 0.48, skin, 1.5);
+    // Eye band (slightly darker strip across the upper face).
+    let band_y = s * 0.38 + jitter(rng, s * 0.02);
+    draw_ellipse(&mut img, cx, band_y, s * 0.36, s * 0.10, skin - 25.0, 1.0);
+    // Eyes.
+    let eye_dx = s * 0.17 + jitter(rng, s * 0.015);
+    let eye_r = s * 0.07;
+    draw_ellipse(&mut img, cx - eye_dx, band_y, eye_r, eye_r * 0.7, dark, 0.8);
+    draw_ellipse(&mut img, cx + eye_dx, band_y, eye_r, eye_r * 0.7, dark, 0.8);
+    // Nose shadow.
+    draw_ellipse(&mut img, cx, s * 0.58, s * 0.05, s * 0.12, skin - 18.0, 1.0);
+    // Mouth.
+    let mouth_y = s * 0.74 + jitter(rng, s * 0.02);
+    draw_ellipse(&mut img, cx, mouth_y, s * 0.16, s * 0.045, dark + 15.0, 0.8);
+    // Texture noise.
+    let noise = value_noise(size, size, rng.gen(), 3, 2);
+    for y in 0..size {
+        for x in 0..size {
+            let v = img.get(x, y) + 10.0 * (noise.get(x, y) - 0.5);
+            img.set(x, y, v.clamp(0.0, 255.0));
+        }
+    }
+    img
+}
+
+/// Renders a `size × size` non-face patch: textured clutter with matched
+/// brightness statistics (hard negatives for the AdaBoost trainer).
+pub fn render_non_face_patch(size: usize, rng: &mut StdRng) -> Image {
+    let kind: u32 = rng.gen_range(0..3);
+    match kind {
+        // Pure texture.
+        0 => {
+            let base = textured_image(size, size, rng.gen());
+            let lo: f32 = rng.gen_range(0.0..80.0);
+            let hi: f32 = rng.gen_range(160.0..255.0);
+            base.map(|v| lo + (hi - lo) * v / 255.0)
+        }
+        // Oriented gradient (edge-like clutter).
+        1 => {
+            let angle: f32 = rng.gen_range(0.0..std::f32::consts::PI);
+            let (sn, cs) = angle.sin_cos();
+            let offset: f32 = rng.gen_range(50.0..150.0);
+            let slope: f32 = rng.gen_range(1.0..4.0);
+            Image::from_fn(size, size, |x, y| {
+                (offset + slope * (cs * x as f32 + sn * y as f32)).clamp(0.0, 255.0)
+            })
+        }
+        // A blank-ish wall with one dark blob (face-like brightness but
+        // wrong structure).
+        _ => {
+            let base: f32 = rng.gen_range(120.0..220.0);
+            let bx: f32 = rng.gen_range(0.2..0.8) * size as f32;
+            let by: f32 = rng.gen_range(0.2..0.8) * size as f32;
+            let mut img = Image::filled(size, size, base);
+            draw_ellipse(&mut img, bx, by, size as f32 * 0.2, size as f32 * 0.2, base - 70.0, 1.0);
+            img
+        }
+    }
+}
+
+/// Renders a scene containing `n_faces` faces at random non-overlapping
+/// positions and scales over textured clutter.
+///
+/// # Panics
+///
+/// Panics if the scene is too small to fit the requested faces
+/// (`w, h >= 64` required).
+pub fn face_scene(w: usize, h: usize, seed: u64, n_faces: usize) -> FaceScene {
+    assert!(w >= 64 && h >= 64, "face scene requires at least 64x64");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut image = textured_image(w, h, seed ^ 0xfaceface).map(|v| 60.0 + v * 0.5);
+    let mut faces: Vec<FaceBox> = Vec::new();
+    let min_size = 24usize;
+    let max_size = (w.min(h) / 3).max(min_size + 1);
+    let mut attempts = 0;
+    while faces.len() < n_faces && attempts < 500 {
+        attempts += 1;
+        let size = rng.gen_range(min_size..max_size);
+        if size + 2 >= w || size + 2 >= h {
+            continue;
+        }
+        let x = rng.gen_range(1..w - size - 1);
+        let y = rng.gen_range(1..h - size - 1);
+        let candidate = FaceBox { x, y, size };
+        if faces.iter().any(|f| f.iou(&candidate) > 0.0) {
+            continue;
+        }
+        let patch = render_face_patch(size, &mut rng);
+        for py in 0..size {
+            for px in 0..size {
+                image.set(x + px, y + py, patch.get(px, py));
+            }
+        }
+        faces.push(candidate);
+    }
+    FaceScene { image, faces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn face_patch_has_dark_eye_band_over_bright_cheeks() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let f = render_face_patch(24, &mut r);
+            let s = 24.0f32;
+            let eye_row = (s * 0.38) as usize;
+            let cheek_row = (s * 0.55) as usize;
+            let band_mean: f32 =
+                (6..18).map(|x| f.get(x, eye_row)).sum::<f32>() / 12.0;
+            let cheek_mean: f32 =
+                (6..18).map(|x| f.get(x, cheek_row)).sum::<f32>() / 12.0;
+            assert!(
+                cheek_mean > band_mean + 5.0,
+                "eye band not darker: band {band_mean} cheek {cheek_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn face_patches_vary_with_rng() {
+        let mut r = rng();
+        let a = render_face_patch(24, &mut r);
+        let b = render_face_patch(24, &mut r);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn non_face_patches_cover_all_kinds() {
+        let mut r = rng();
+        let patches: Vec<Image> = (0..12).map(|_| render_non_face_patch(24, &mut r)).collect();
+        // They should differ from one another.
+        assert!(patches.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn scene_places_requested_faces_without_overlap() {
+        let s = face_scene(160, 120, 5, 3);
+        assert_eq!(s.faces.len(), 3);
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(s.faces[i].iou(&s.faces[j]), 0.0);
+            }
+        }
+        assert_eq!(s.image.width(), 160);
+    }
+
+    #[test]
+    fn iou_basics() {
+        let a = FaceBox { x: 0, y: 0, size: 10 };
+        let b = FaceBox { x: 0, y: 0, size: 10 };
+        assert!((a.iou(&b) - 1.0).abs() < 1e-12);
+        let c = FaceBox { x: 20, y: 20, size: 10 };
+        assert_eq!(a.iou(&c), 0.0);
+        let d = FaceBox { x: 5, y: 0, size: 10 };
+        assert!((a.iou(&d) - 50.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 12x12")]
+    fn tiny_face_patch_panics() {
+        render_face_patch(8, &mut rng());
+    }
+}

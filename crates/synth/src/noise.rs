@@ -1,0 +1,111 @@
+//! Multi-octave value noise: the textural backbone of every synthetic
+//! scene.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdvbs_image::Image;
+
+/// Generates one octave of value noise: a coarse grid of random values,
+/// bilinearly interpolated up to `w × h`.
+fn noise_octave(w: usize, h: usize, cell: usize, rng: &mut StdRng) -> Image {
+    let gw = w / cell + 2;
+    let gh = h / cell + 2;
+    let grid: Vec<f32> = (0..gw * gh).map(|_| rng.gen_range(0.0..1.0)).collect();
+    Image::from_fn(w, h, |x, y| {
+        let fx = x as f32 / cell as f32;
+        let fy = y as f32 / cell as f32;
+        let x0 = fx as usize;
+        let y0 = fy as usize;
+        let tx = fx - x0 as f32;
+        let ty = fy - y0 as f32;
+        // Smoothstep for C1 continuity, so gradients are non-degenerate.
+        let sx = tx * tx * (3.0 - 2.0 * tx);
+        let sy = ty * ty * (3.0 - 2.0 * ty);
+        let g = |i: usize, j: usize| grid[j * gw + i];
+        let top = g(x0, y0) + sx * (g(x0 + 1, y0) - g(x0, y0));
+        let bot = g(x0, y0 + 1) + sx * (g(x0 + 1, y0 + 1) - g(x0, y0 + 1));
+        top + sy * (bot - top)
+    })
+}
+
+/// Multi-octave value noise in `0.0..=1.0`, deterministic in `seed`.
+///
+/// `base_cell` controls the coarsest feature size; each additional octave
+/// halves the cell and the amplitude.
+///
+/// # Panics
+///
+/// Panics if `octaves` is zero or `base_cell` is smaller than 2.
+pub fn value_noise(w: usize, h: usize, seed: u64, base_cell: usize, octaves: usize) -> Image {
+    assert!(octaves > 0, "need at least one octave");
+    assert!(base_cell >= 2, "base cell must be at least 2 pixels");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Image::new(w, h);
+    let mut amplitude = 1.0f32;
+    let mut cell = base_cell;
+    let mut total = 0.0f32;
+    for _ in 0..octaves {
+        let oct = noise_octave(w, h, cell.max(2), &mut rng);
+        for (o, v) in out.as_mut_slice().iter_mut().zip(oct.as_slice()) {
+            *o += amplitude * v;
+        }
+        total += amplitude;
+        amplitude *= 0.5;
+        cell = (cell / 2).max(2);
+    }
+    out.map(|v| v / total)
+}
+
+/// A richly textured grayscale image in `0.0..=255.0` — the generic input
+/// for kernels that only need "an image" (dense texture ensures corners and
+/// gradients everywhere, which the feature-based benchmarks require).
+pub fn textured_image(w: usize, h: usize, seed: u64) -> Image {
+    let noise = value_noise(w, h, seed, (w / 8).max(4), 4);
+    noise.map(|v| v * 255.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = textured_image(64, 48, 42);
+        let b = textured_image(64, 48, 42);
+        assert_eq!(a, b);
+        let c = textured_image(64, 48, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_in_range() {
+        let img = value_noise(50, 40, 1, 8, 3);
+        assert!(img.min() >= 0.0);
+        assert!(img.max() <= 1.0);
+    }
+
+    #[test]
+    fn texture_has_contrast() {
+        let img = textured_image(128, 96, 5);
+        assert!(img.max() - img.min() > 60.0, "texture too flat: {img:?}");
+    }
+
+    #[test]
+    fn texture_is_not_banded_rows() {
+        // Neighboring rows must differ (2-D structure, not 1-D stripes).
+        let img = textured_image(64, 64, 9);
+        let mut row_diffs = 0.0f32;
+        for y in 0..63 {
+            for x in 0..64 {
+                row_diffs += (img.get(x, y + 1) - img.get(x, y)).abs();
+            }
+        }
+        assert!(row_diffs > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "octave")]
+    fn zero_octaves_panics() {
+        value_noise(8, 8, 0, 4, 0);
+    }
+}

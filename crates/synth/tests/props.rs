@@ -1,0 +1,109 @@
+//! Property-based tests for the synthetic input generators — the ground
+//! truth each generator promises must hold for arbitrary seeds and sizes.
+
+use proptest::prelude::*;
+use sdvbs_synth::{
+    frame_pair, overlapping_pair, segmentable_scene, stereo_pair, textured_image,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The stereo relation right(x - d, y) = left(x, y) holds at sampled
+    /// interior points for any seed and size.
+    #[test]
+    fn stereo_relation_holds(
+        seed in 0u64..1000,
+        w in 48usize..120,
+        h in 36usize..100,
+    ) {
+        let s = stereo_pair(w, h, seed);
+        let mut exact = 0;
+        let mut checked = 0;
+        for y in (0..h).step_by(7) {
+            for x in (16..w).step_by(9) {
+                let d = s.truth.get(x, y) as usize;
+                if x >= d {
+                    checked += 1;
+                    if (s.right.get(x - d, y) - s.left.get(x, y)).abs() < 1e-4 {
+                        exact += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(checked > 10);
+        // Occlusion boundaries may break a few samples.
+        prop_assert!(exact * 10 >= checked * 8, "{exact}/{checked}");
+    }
+
+    /// Frame pairs move content by exactly the requested offset.
+    #[test]
+    fn frame_pair_offset_holds(
+        seed in 0u64..1000,
+        dx in -4.0f32..4.0,
+        dy in -4.0f32..4.0,
+    ) {
+        let (a, b) = frame_pair(64, 48, seed, dx, dy);
+        let mut err = 0.0f32;
+        let mut n = 0;
+        for y in (8..40).step_by(5) {
+            for x in (8..56).step_by(5) {
+                err += (a.get(x, y)
+                    - b.sample_bilinear(x as f32 + dx, y as f32 + dy))
+                .abs();
+                n += 1;
+            }
+        }
+        // Fractional offsets double-interpolate (frame b is itself
+        // bilinear-resampled), costing a few gray levels of blur; a wrong
+        // offset would show errors an order of magnitude larger.
+        prop_assert!(err / (n as f32) < 4.0, "mean offset error {}", err / n as f32);
+    }
+
+    /// Segmentable scenes use every label and separate region means.
+    #[test]
+    fn segment_scene_labels_cover_and_separate(
+        seed in 0u64..1000,
+        regions in 2usize..6,
+    ) {
+        let s = segmentable_scene(48, 40, seed, regions);
+        let mut counts = vec![0usize; regions];
+        for &l in &s.labels {
+            counts[l] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c > 0), "label missing: {counts:?}");
+    }
+
+    /// Overlapping pairs' ground-truth transform really maps b onto a.
+    #[test]
+    fn overlap_ground_truth_maps(
+        seed in 0u64..1000,
+        angle in -0.06f32..0.06,
+        tx in -10.0f32..10.0,
+    ) {
+        let p = overlapping_pair(80, 60, seed, angle, tx, 2.0);
+        let m = p.b_to_a;
+        let mut err = 0.0f32;
+        let mut n = 0;
+        for yb in (8..52).step_by(6) {
+            for xb in (8..72).step_by(6) {
+                let xa = m[0] * xb as f64 + m[1] * yb as f64 + m[2];
+                let ya = m[3] * xb as f64 + m[4] * yb as f64 + m[5];
+                if xa >= 1.0 && ya >= 1.0 && xa < 79.0 && ya < 59.0 {
+                    err += (p.b.get(xb, yb) - p.a.sample_bilinear(xa as f32, ya as f32)).abs();
+                    n += 1;
+                }
+            }
+        }
+        prop_assert!(n > 10, "no overlap sampled");
+        prop_assert!(err / (n as f32) < 3.0, "mean map error {}", err / n as f32);
+    }
+
+    /// Texture values stay in the PGM range for any seed.
+    #[test]
+    fn texture_range(seed in 0u64..2000) {
+        let t = textured_image(48, 36, seed);
+        prop_assert!(t.min() >= 0.0 && t.max() <= 255.0);
+        prop_assert!(t.max() - t.min() > 20.0, "degenerate contrast");
+    }
+}

@@ -1,0 +1,527 @@
+//! SD-VBS benchmark 9: **Texture Synthesis** — constructing a large
+//! digital image from a small swatch by non-parametric sampling.
+//!
+//! The paper divides the benchmark into image calibration, texture
+//! *analysis* and texture *synthesis*, with the hot spots in the
+//! `Sampling` kernel (> 60% together with analysis) and `Matrix
+//! operations` (~30%), and notes that execution time is governed by the
+//! fixed iteration structure rather than the input size.
+//!
+//! This reproduction implements Efros–Leung-style non-parametric
+//! neighborhood sampling (the paper's own reference \[18\]) in scan-line
+//! order with toroidal causal neighborhoods (Wei–Levoy), accelerated by
+//! projecting candidate neighborhoods onto a patch-PCA basis computed with
+//! the suite's own eigensolver — reproducing the Sampling / PCA /
+//! matrix-ops kernel split of Figure 3. The Portilla–Simoncelli
+//! statistics-matching variant the authors imported is replaced by this
+//! equivalent-workload synthesizer; DESIGN.md §5 records the
+//! substitution.
+//!
+//! Because synthesis copies pixels verbatim from the swatch, every output
+//! pixel value provably occurs in the input — a correctness invariant the
+//! tests exploit.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdvbs_profile::Profiler;
+//! use sdvbs_synth::{texture_swatch, TextureKind};
+//! use sdvbs_texture::{synthesize, TextureConfig};
+//!
+//! let swatch = texture_swatch(48, 48, 3, TextureKind::Stochastic);
+//! let mut prof = Profiler::new();
+//! let out = synthesize(&swatch, 32, 32, &TextureConfig::default(), &mut prof).unwrap();
+//! assert_eq!(out.width(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod stats;
+
+pub use stats::{Moments, TextureStatistics};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdvbs_image::Image;
+use sdvbs_matrix::Matrix;
+use sdvbs_profile::Profiler;
+use std::error::Error;
+use std::fmt;
+
+/// Texture synthesis configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TextureConfig {
+    /// Neighborhood window side (odd). The causal neighborhood covers
+    /// `window/2` full rows above the target pixel plus the left half of
+    /// its own row.
+    pub window: usize,
+    /// PCA dimensions the neighborhoods are projected onto.
+    pub pca_dims: usize,
+    /// Stride when harvesting candidate neighborhoods from the swatch
+    /// (1 = every position).
+    pub candidate_stride: usize,
+    /// Randomly pick among candidates within `(1 + tolerance) ·
+    /// best_distance` (the Efros–Leung randomized selection).
+    pub tolerance: f64,
+    /// RNG seed (initialization and candidate selection).
+    pub seed: u64,
+    /// Synthesis passes. Pass 1 uses causal neighborhoods in scan order;
+    /// additional passes refine with the *full* (non-causal) neighborhood,
+    /// Wei–Levoy style, which removes scan-order streaks.
+    pub passes: usize,
+}
+
+impl Default for TextureConfig {
+    fn default() -> Self {
+        TextureConfig {
+            window: 9,
+            pca_dims: 12,
+            candidate_stride: 1,
+            tolerance: 0.1,
+            seed: 17,
+            passes: 1,
+        }
+    }
+}
+
+/// Errors from texture synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TextureError {
+    /// A configuration field is out of range.
+    InvalidConfig(String),
+    /// The swatch is too small for the neighborhood window.
+    SampleTooSmall {
+        /// Swatch width.
+        width: usize,
+        /// Swatch height.
+        height: usize,
+        /// Required minimum side.
+        required: usize,
+    },
+}
+
+impl fmt::Display for TextureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextureError::InvalidConfig(m) => write!(f, "invalid texture config: {m}"),
+            TextureError::SampleTooSmall { width, height, required } => write!(
+                f,
+                "swatch {width}x{height} smaller than required {required}x{required}"
+            ),
+        }
+    }
+}
+
+impl Error for TextureError {}
+
+/// Offsets of the causal neighborhood (relative to the target pixel):
+/// `half` full rows above plus the `half` pixels to the left.
+fn causal_offsets(window: usize) -> Vec<(isize, isize)> {
+    let half = (window / 2) as isize;
+    let mut offs = Vec::new();
+    for dy in -half..0 {
+        for dx in -half..=half {
+            offs.push((dx, dy));
+        }
+    }
+    for dx in -half..0 {
+        offs.push((dx, 0));
+    }
+    offs
+}
+
+/// Synthesizes an `out_w × out_h` texture from `swatch`.
+///
+/// Kernel attribution: `Analysis` (candidate neighborhood harvesting),
+/// `PCA` (covariance, eigendecomposition and projections — the "Matrix
+/// operations" share of Figure 3), `Sampling` (the per-pixel
+/// nearest-neighborhood search and pixel transfer, the dominant hot spot).
+///
+/// # Errors
+///
+/// * [`TextureError::InvalidConfig`] for an even/oversized window, zero
+///   PCA dimensions, zero stride, or negative tolerance.
+/// * [`TextureError::SampleTooSmall`] if the swatch cannot host a single
+///   full neighborhood.
+pub fn synthesize(
+    swatch: &Image,
+    out_w: usize,
+    out_h: usize,
+    cfg: &TextureConfig,
+    prof: &mut Profiler,
+) -> Result<Image, TextureError> {
+    if cfg.window < 3 || cfg.window % 2 == 0 {
+        return Err(TextureError::InvalidConfig(format!(
+            "window must be odd and >= 3, got {}",
+            cfg.window
+        )));
+    }
+    if cfg.pca_dims == 0 {
+        return Err(TextureError::InvalidConfig("pca_dims must be positive".into()));
+    }
+    if cfg.candidate_stride == 0 {
+        return Err(TextureError::InvalidConfig("candidate_stride must be positive".into()));
+    }
+    if !(cfg.tolerance >= 0.0) {
+        return Err(TextureError::InvalidConfig("tolerance must be non-negative".into()));
+    }
+    if cfg.passes == 0 {
+        return Err(TextureError::InvalidConfig("passes must be at least 1".into()));
+    }
+    if out_w == 0 || out_h == 0 {
+        return Err(TextureError::InvalidConfig("output must be non-empty".into()));
+    }
+    let required = cfg.window + 1;
+    if swatch.width() < required || swatch.height() < required {
+        return Err(TextureError::SampleTooSmall {
+            width: swatch.width(),
+            height: swatch.height(),
+            required,
+        });
+    }
+    // --- Analysis + PCA: one searchable index per neighborhood shape
+    // (causal for the scan pass; full ring for refinement passes). ---
+    let causal = causal_offsets(cfg.window);
+    let causal_index = build_index(swatch, &causal, cfg, prof);
+    let full_index = if cfg.passes > 1 {
+        let full = full_offsets(cfg.window);
+        Some(build_index(swatch, &full, cfg, prof))
+    } else {
+        None
+    };
+    // --- Sampling: scan-line synthesis with toroidal neighborhoods. ---
+    Ok(prof.kernel("Sampling", |_| {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Initialize with random swatch pixels.
+        let mut out = Image::from_fn(out_w, out_h, |_, _| {
+            let sx = rng.gen_range(0..swatch.width());
+            let sy = rng.gen_range(0..swatch.height());
+            swatch.get(sx, sy)
+        });
+        synth_pass(&mut out, &causal_index, cfg.tolerance, &mut rng);
+        if let Some(full_index) = &full_index {
+            for _ in 1..cfg.passes {
+                synth_pass(&mut out, full_index, cfg.tolerance, &mut rng);
+            }
+        }
+        out
+    }))
+}
+
+/// All offsets of the full window except the center (the refinement-pass
+/// neighborhood).
+fn full_offsets(window: usize) -> Vec<(isize, isize)> {
+    let half = (window / 2) as isize;
+    let mut offs = Vec::new();
+    for dy in -half..=half {
+        for dx in -half..=half {
+            if dx != 0 || dy != 0 {
+                offs.push((dx, dy));
+            }
+        }
+    }
+    offs
+}
+
+/// A searchable neighborhood index: candidate vectors from the swatch
+/// projected onto a PCA basis, with the corresponding center pixels.
+struct NeighborhoodIndex {
+    offsets: Vec<(isize, isize)>,
+    mean: Vec<f64>,
+    basis: Matrix,
+    projected: Matrix,
+    centers: Vec<f32>,
+    dim: usize,
+    k: usize,
+}
+
+/// Harvests candidate neighborhoods (`Analysis` kernel) and builds the
+/// PCA projection (`PCA` kernel).
+fn build_index(
+    swatch: &Image,
+    offsets: &[(isize, isize)],
+    cfg: &TextureConfig,
+    prof: &mut Profiler,
+) -> NeighborhoodIndex {
+    let dim = offsets.len();
+    let half = cfg.window / 2;
+    let (candidates, centers) = prof.kernel("Analysis", |_| {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut centers: Vec<f32> = Vec::new();
+        let mut y = half;
+        while y < swatch.height() {
+            let mut x = half;
+            while x + half < swatch.width() {
+                // Skip positions whose window leaves the swatch.
+                let fits = offsets.iter().all(|&(dx, dy)| {
+                    let px = x as isize + dx;
+                    let py = y as isize + dy;
+                    px >= 0
+                        && py >= 0
+                        && (px as usize) < swatch.width()
+                        && (py as usize) < swatch.height()
+                });
+                if fits {
+                    let vec: Vec<f64> = offsets
+                        .iter()
+                        .map(|&(dx, dy)| {
+                            swatch.get((x as isize + dx) as usize, (y as isize + dy) as usize)
+                                as f64
+                        })
+                        .collect();
+                    rows.push(vec);
+                    centers.push(swatch.get(x, y));
+                }
+                x += cfg.candidate_stride;
+            }
+            y += cfg.candidate_stride;
+        }
+        (rows, centers)
+    });
+    let n = candidates.len();
+    let k = cfg.pca_dims.min(dim);
+    let (mean, basis, projected) = prof.kernel("PCA", |_| {
+        let mut mean = vec![0.0f64; dim];
+        for c in &candidates {
+            for (m, v) in mean.iter_mut().zip(c) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut centered = Matrix::zeros(n, dim);
+        for (i, c) in candidates.iter().enumerate() {
+            for j in 0..dim {
+                centered[(i, j)] = c[j] - mean[j];
+            }
+        }
+        let cov = centered.gram(); // dim x dim
+        let eig = cov.sym_eigen().expect("covariance is square");
+        // Top-k eigenvectors (ascending order -> take from the back).
+        let mut basis = Matrix::zeros(dim, k);
+        for j in 0..k {
+            let col = eig.vectors().col(dim - 1 - j);
+            for i in 0..dim {
+                basis[(i, j)] = col[i];
+            }
+        }
+        let projected = centered.matmul(&basis).expect("shapes agree");
+        (mean, basis, projected)
+    });
+    NeighborhoodIndex { offsets: offsets.to_vec(), mean, basis, projected, centers, dim, k }
+}
+
+/// One synthesis sweep over the output in scan order, replacing each pixel
+/// with the center of its best-matching swatch neighborhood.
+fn synth_pass(out: &mut Image, index: &NeighborhoodIndex, tolerance: f64, rng: &mut StdRng) {
+    let (out_w, out_h) = (out.width(), out.height());
+    let n = index.centers.len();
+    let toroidal = |v: isize, m: usize| -> usize { v.rem_euclid(m as isize) as usize };
+    let mut query = vec![0.0f64; index.dim];
+    let mut proj = vec![0.0f64; index.k];
+    for y in 0..out_h {
+        for x in 0..out_w {
+            // Gather and center the neighborhood (wrapping).
+            for (i, &(dx, dy)) in index.offsets.iter().enumerate() {
+                let px = toroidal(x as isize + dx, out_w);
+                let py = toroidal(y as isize + dy, out_h);
+                query[i] = out.get(px, py) as f64 - index.mean[i];
+            }
+            // Project onto the PCA basis.
+            for (j, p) in proj.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for i in 0..index.dim {
+                    acc += query[i] * index.basis[(i, j)];
+                }
+                *p = acc;
+            }
+            // Nearest candidates in PCA space.
+            let mut best = f64::INFINITY;
+            for c in 0..n {
+                let row = index.projected.row(c);
+                let mut d = 0.0;
+                for (pv, rv) in proj.iter().zip(row) {
+                    let diff = pv - rv;
+                    d += diff * diff;
+                    if d >= best {
+                        break;
+                    }
+                }
+                if d < best {
+                    best = d;
+                }
+            }
+            let cutoff = best * (1.0 + tolerance) + 1e-12;
+            // Reservoir-sample uniformly among candidates under the cutoff
+            // (single pass, no allocation).
+            let mut chosen = usize::MAX;
+            let mut seen = 0usize;
+            for c in 0..n {
+                let row = index.projected.row(c);
+                let mut d = 0.0;
+                for (pv, rv) in proj.iter().zip(row) {
+                    let diff = pv - rv;
+                    d += diff * diff;
+                    if d > cutoff {
+                        break;
+                    }
+                }
+                if d <= cutoff {
+                    seen += 1;
+                    if rng.gen_range(0..seen) == 0 {
+                        chosen = c;
+                    }
+                }
+            }
+            if chosen != usize::MAX {
+                out.set(x, y, index.centers[chosen]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvbs_synth::{texture_swatch, TextureKind};
+
+    fn swatch(kind: TextureKind) -> Image {
+        texture_swatch(48, 48, 5, kind)
+    }
+
+    #[test]
+    fn output_pixels_come_from_the_swatch() {
+        let s = swatch(TextureKind::Stochastic);
+        let mut prof = Profiler::new();
+        let out = synthesize(&s, 24, 24, &TextureConfig::default(), &mut prof).unwrap();
+        let sample_values: std::collections::HashSet<u32> =
+            s.as_slice().iter().map(|v| v.to_bits()).collect();
+        for &v in out.as_slice() {
+            assert!(sample_values.contains(&v.to_bits()), "pixel {v} not from swatch");
+        }
+    }
+
+    #[test]
+    fn statistics_match_the_swatch() {
+        let s = swatch(TextureKind::Stochastic);
+        let mut prof = Profiler::new();
+        let out = synthesize(&s, 32, 32, &TextureConfig::default(), &mut prof).unwrap();
+        assert!((out.mean() - s.mean()).abs() < 25.0, "means {} vs {}", out.mean(), s.mean());
+        let std = |im: &Image| {
+            let m = im.mean();
+            (im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32)
+                .sqrt()
+        };
+        let (so, ss) = (std(&out), std(&s));
+        assert!(so > 0.4 * ss && so < 2.5 * ss, "stds {so} vs {ss}");
+    }
+
+    #[test]
+    fn structural_texture_stays_bimodal() {
+        let s = swatch(TextureKind::Structural);
+        let mut prof = Profiler::new();
+        let out = synthesize(&s, 32, 32, &TextureConfig::default(), &mut prof).unwrap();
+        let dark = out.as_slice().iter().filter(|&&v| v < 110.0).count() as f64
+            / out.len() as f64;
+        let dark_in = s.as_slice().iter().filter(|&&v| v < 110.0).count() as f64
+            / s.len() as f64;
+        assert!((dark - dark_in).abs() < 0.25, "dark fraction {dark} vs swatch {dark_in}");
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_varies_across_seeds() {
+        let s = swatch(TextureKind::Stochastic);
+        let mut prof = Profiler::new();
+        let cfg = TextureConfig::default();
+        let a = synthesize(&s, 20, 20, &cfg, &mut prof).unwrap();
+        let b = synthesize(&s, 20, 20, &cfg, &mut prof).unwrap();
+        assert_eq!(a, b);
+        let c =
+            synthesize(&s, 20, 20, &TextureConfig { seed: 18, ..cfg }, &mut prof).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let s = swatch(TextureKind::Stochastic);
+        let mut prof = Profiler::new();
+        let base = TextureConfig::default();
+        for cfg in [
+            TextureConfig { window: 4, ..base },
+            TextureConfig { window: 1, ..base },
+            TextureConfig { pca_dims: 0, ..base },
+            TextureConfig { candidate_stride: 0, ..base },
+            TextureConfig { tolerance: -1.0, ..base },
+        ] {
+            assert!(synthesize(&s, 8, 8, &cfg, &mut prof).is_err(), "{cfg:?}");
+        }
+        assert!(synthesize(&s, 0, 8, &base, &mut prof).is_err());
+        let tiny = Image::filled(6, 6, 1.0);
+        assert!(matches!(
+            synthesize(&tiny, 8, 8, &base, &mut prof),
+            Err(TextureError::SampleTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn refinement_pass_keeps_pixels_from_swatch() {
+        let s = swatch(TextureKind::Stochastic);
+        let mut prof = Profiler::new();
+        let cfg = TextureConfig { passes: 2, ..TextureConfig::default() };
+        let out = synthesize(&s, 24, 24, &cfg, &mut prof).unwrap();
+        let sample_values: std::collections::HashSet<u32> =
+            s.as_slice().iter().map(|v| v.to_bits()).collect();
+        for &v in out.as_slice() {
+            assert!(sample_values.contains(&v.to_bits()), "pixel {v} not from swatch");
+        }
+    }
+
+    #[test]
+    fn refinement_pass_changes_and_smooths_the_result() {
+        let s = swatch(TextureKind::Structural);
+        let mut prof = Profiler::new();
+        let one = synthesize(&s, 32, 32, &TextureConfig::default(), &mut prof).unwrap();
+        let cfg = TextureConfig { passes: 3, ..TextureConfig::default() };
+        let three = synthesize(&s, 32, 32, &cfg, &mut prof).unwrap();
+        assert_ne!(one, three, "refinement passes had no effect");
+        // Refinement should not destroy the brightness statistics.
+        assert!((three.mean() - s.mean()).abs() < 40.0);
+    }
+
+    #[test]
+    fn zero_passes_is_rejected() {
+        let s = swatch(TextureKind::Stochastic);
+        let mut prof = Profiler::new();
+        let cfg = TextureConfig { passes: 0, ..TextureConfig::default() };
+        assert!(synthesize(&s, 8, 8, &cfg, &mut prof).is_err());
+    }
+
+    #[test]
+    fn kernel_attribution() {
+        let s = swatch(TextureKind::Stochastic);
+        let mut prof = Profiler::new();
+        prof.run(|p| synthesize(&s, 24, 24, &TextureConfig::default(), p).unwrap());
+        let rep = prof.report();
+        for k in ["Analysis", "PCA", "Sampling"] {
+            assert!(rep.occupancy(k).is_some(), "kernel {k} missing");
+        }
+        // Sampling dominates, as in the paper's Figure 3.
+        assert!(
+            rep.occupancy("Sampling").unwrap() > rep.occupancy("Analysis").unwrap(),
+            "sampling should dominate"
+        );
+    }
+
+    #[test]
+    fn causal_offsets_cover_half_window() {
+        let offs = causal_offsets(5);
+        // 2 rows * 5 + 2 = 12 offsets, all strictly "before" the target.
+        assert_eq!(offs.len(), 12);
+        for &(dx, dy) in &offs {
+            assert!(dy < 0 || (dy == 0 && dx < 0), "offset ({dx},{dy}) not causal");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Texture statistics in the spirit of Portilla–Simoncelli.
+//!
+//! The paper's texture-synthesis hot spots include "texture analysis,
+//! kurtosis and texture synthesis": the Portilla–Simoncelli model the
+//! authors imported characterizes a texture by statistical moments
+//! (including kurtosis) of a multi-scale decomposition plus local
+//! autocorrelations. This module computes that family of statistics over
+//! a Laplacian pyramid — used both as an analysis tool and as the quality
+//! metric that validates the Efros–Leung substitution (the synthesized
+//! texture must match the swatch's statistics, which is exactly the
+//! fixed point Portilla–Simoncelli iterates toward).
+
+use sdvbs_image::Image;
+use sdvbs_kernels::conv::gaussian_blur;
+
+/// Marginal moments of one image or pyramid band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Mean.
+    pub mean: f64,
+    /// Variance.
+    pub variance: f64,
+    /// Skewness (third standardized moment).
+    pub skewness: f64,
+    /// Kurtosis (fourth standardized moment; 3 for a Gaussian).
+    pub kurtosis: f64,
+}
+
+impl Moments {
+    /// Computes the four moments of an image's pixel distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is empty.
+    pub fn of(img: &Image) -> Moments {
+        assert!(!img.is_empty(), "moments of an empty image are undefined");
+        let n = img.len() as f64;
+        let mean = img.as_slice().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        let mut m4 = 0.0;
+        for &v in img.as_slice() {
+            let d = v as f64 - mean;
+            let d2 = d * d;
+            m2 += d2;
+            m3 += d2 * d;
+            m4 += d2 * d2;
+        }
+        m2 /= n;
+        m3 /= n;
+        m4 /= n;
+        let sigma = m2.sqrt();
+        let (skewness, kurtosis) = if sigma > 1e-12 {
+            (m3 / (sigma * sigma * sigma), m4 / (m2 * m2))
+        } else {
+            (0.0, 3.0) // degenerate distribution: treat as Gaussian-flat
+        };
+        Moments { mean, variance: m2, skewness, kurtosis }
+    }
+}
+
+/// The multi-scale statistics summary of one texture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextureStatistics {
+    /// Moments of the raw image.
+    pub pixel: Moments,
+    /// Moments of each Laplacian band (fine to coarse).
+    pub bands: Vec<Moments>,
+    /// Central autocorrelation of the raw image at lags 1..=4 (normalized
+    /// by the variance; averaged over x and y directions).
+    pub autocorrelation: Vec<f64>,
+}
+
+impl TextureStatistics {
+    /// Computes the statistics with `levels` Laplacian bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is smaller than 16×16 or `levels == 0`.
+    pub fn compute(img: &Image, levels: usize) -> TextureStatistics {
+        assert!(levels > 0, "need at least one band");
+        assert!(img.width() >= 16 && img.height() >= 16, "texture too small for statistics");
+        let pixel = Moments::of(img);
+        // Laplacian pyramid bands: difference between successive blurs.
+        let mut bands = Vec::with_capacity(levels);
+        let mut current = img.clone();
+        for _ in 0..levels {
+            let blurred = gaussian_blur(&current, 1.5);
+            let band = Image::from_fn(current.width(), current.height(), |x, y| {
+                current.get(x, y) - blurred.get(x, y)
+            });
+            bands.push(Moments::of(&band));
+            if current.width() >= 32 && current.height() >= 32 {
+                current = blurred.downsample_2x();
+            } else {
+                current = blurred;
+            }
+        }
+        // Normalized autocorrelation at small lags.
+        let autocorrelation = (1..=4).map(|lag| autocorr(img, lag)).collect();
+        TextureStatistics { pixel, bands, autocorrelation }
+    }
+
+    /// A scale-balanced distance between two statistics summaries: the
+    /// mean relative difference over every moment and lag. 0 means
+    /// identical statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summaries have different band counts.
+    pub fn distance(&self, other: &TextureStatistics) -> f64 {
+        assert_eq!(self.bands.len(), other.bands.len(), "band counts must match");
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        let mut push = |a: f64, b: f64, scale: f64| {
+            acc += (a - b).abs() / scale.max(1e-9);
+            n += 1;
+        };
+        let pm = &self.pixel;
+        let qm = &other.pixel;
+        push(pm.mean, qm.mean, 255.0);
+        push(pm.variance.sqrt(), qm.variance.sqrt(), 128.0);
+        push(pm.skewness, qm.skewness, 2.0);
+        push(pm.kurtosis, qm.kurtosis, 6.0);
+        for (a, b) in self.bands.iter().zip(&other.bands) {
+            push(a.variance.sqrt(), b.variance.sqrt(), 64.0);
+            push(a.skewness, b.skewness, 2.0);
+            push(a.kurtosis, b.kurtosis, 6.0);
+        }
+        for (a, b) in self.autocorrelation.iter().zip(&other.autocorrelation) {
+            push(*a, *b, 1.0);
+        }
+        acc / n as f64
+    }
+}
+
+/// Variance-normalized autocorrelation at integer `lag` (averaged over the
+/// horizontal and vertical directions).
+fn autocorr(img: &Image, lag: usize) -> f64 {
+    let w = img.width();
+    let h = img.height();
+    if w <= lag || h <= lag {
+        return 0.0;
+    }
+    let mean = img.mean() as f64;
+    let mut num = 0.0;
+    let mut count = 0usize;
+    for y in 0..h {
+        for x in 0..w - lag {
+            num += (img.get(x, y) as f64 - mean) * (img.get(x + lag, y) as f64 - mean);
+            count += 1;
+        }
+    }
+    for y in 0..h - lag {
+        for x in 0..w {
+            num += (img.get(x, y) as f64 - mean) * (img.get(x, y + lag) as f64 - mean);
+            count += 1;
+        }
+    }
+    let mut var = 0.0;
+    for &v in img.as_slice() {
+        let d = v as f64 - mean;
+        var += d * d;
+    }
+    var /= img.len() as f64;
+    if var <= 1e-12 {
+        return 0.0;
+    }
+    (num / count as f64) / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, TextureConfig};
+    use sdvbs_profile::Profiler;
+    use sdvbs_synth::{texture_swatch, textured_image, TextureKind};
+
+    #[test]
+    fn moments_of_known_distributions() {
+        // Constant image: zero variance, Gaussian-flat kurtosis fallback.
+        let c = Moments::of(&Image::filled(16, 16, 7.0));
+        assert_eq!(c.mean, 7.0);
+        assert_eq!(c.variance, 0.0);
+        assert_eq!(c.kurtosis, 3.0);
+        // Two-point symmetric distribution {0, 2}: mean 1, var 1, skew 0,
+        // kurtosis 1 (minimum possible).
+        let b = Moments::of(&Image::from_fn(16, 16, |x, y| ((x + y) % 2 * 2) as f32));
+        assert!((b.mean - 1.0).abs() < 1e-9);
+        assert!((b.variance - 1.0).abs() < 1e-9);
+        assert!(b.skewness.abs() < 1e-9);
+        assert!((b.kurtosis - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_of_smooth_texture_decays_with_lag() {
+        let img = textured_image(64, 64, 3);
+        let stats = TextureStatistics::compute(&img, 3);
+        let ac = &stats.autocorrelation;
+        assert!(ac[0] > 0.5, "lag-1 autocorr {} too small for smooth noise", ac[0]);
+        assert!(ac[0] > ac[3], "autocorr should decay: {ac:?}");
+    }
+
+    #[test]
+    fn distinct_texture_families_have_distinct_statistics() {
+        let sto = TextureStatistics::compute(&texture_swatch(64, 64, 5, TextureKind::Stochastic), 3);
+        let str_ = TextureStatistics::compute(&texture_swatch(64, 64, 5, TextureKind::Structural), 3);
+        let same = TextureStatistics::compute(&texture_swatch(64, 64, 6, TextureKind::Stochastic), 3);
+        let cross = sto.distance(&str_);
+        let within = sto.distance(&same);
+        assert!(cross > 1.5 * within, "cross {cross} vs within {within}");
+    }
+
+    #[test]
+    fn synthesis_preserves_the_swatch_statistics() {
+        // The Portilla–Simoncelli fixed point: synthesized texture matches
+        // the source statistics. Our sampler must satisfy it too.
+        let swatch = texture_swatch(48, 48, 9, TextureKind::Stochastic);
+        let mut prof = Profiler::new();
+        let out = synthesize(&swatch, 48, 48, &TextureConfig::default(), &mut prof).unwrap();
+        let s_in = TextureStatistics::compute(&swatch, 3);
+        let s_out = TextureStatistics::compute(&out, 3);
+        let d = s_in.distance(&s_out);
+        assert!(d < 0.35, "statistics distance {d}");
+        // A white-noise image does NOT match the swatch statistics.
+        let noise = Image::from_fn(48, 48, |x, y| {
+            (((x * 193 + y * 407) ^ (x * 31)) % 256) as f32
+        });
+        let s_noise = TextureStatistics::compute(&noise, 3);
+        assert!(s_in.distance(&s_noise) > 2.0 * d, "noise too close to swatch stats");
+    }
+
+    #[test]
+    fn distance_is_zero_on_self_and_symmetric() {
+        let img = textured_image(48, 48, 11);
+        let s = TextureStatistics::compute(&img, 3);
+        assert!(s.distance(&s) < 1e-12);
+        let other = TextureStatistics::compute(&textured_image(48, 48, 12), 3);
+        assert!((s.distance(&other) - other.distance(&s)).abs() < 1e-12);
+    }
+}

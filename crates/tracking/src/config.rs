@@ -1,0 +1,127 @@
+//! Tracker configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned for invalid [`TrackingConfig`] parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig(pub(crate) String);
+
+impl fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid tracking configuration: {}", self.0)
+    }
+}
+
+impl Error for InvalidConfig {}
+
+/// Configuration of the KLT pipeline (feature extraction + pyramidal
+/// Lucas–Kanade).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingConfig {
+    /// Maximum number of features to extract.
+    pub num_features: usize,
+    /// Half-size of the tracking/aggregation window (window is
+    /// `2r+1 × 2r+1`).
+    pub window_radius: usize,
+    /// Pyramid levels for coarse-to-fine tracking.
+    pub pyramid_levels: usize,
+    /// Newton iterations per pyramid level.
+    pub max_iterations: usize,
+    /// Smoothing sigma applied before gradients (the "noise filtering"
+    /// stage).
+    pub sigma: f32,
+    /// Minimum min-eigenvalue response for a feature, as a fraction of the
+    /// strongest response in the frame.
+    pub quality_level: f32,
+    /// Minimum distance in pixels between selected features.
+    pub min_distance: f32,
+    /// Convergence threshold on the per-iteration update norm.
+    pub epsilon: f32,
+}
+
+impl Default for TrackingConfig {
+    /// KLT defaults comparable to the SD-VBS configuration.
+    fn default() -> Self {
+        TrackingConfig {
+            num_features: 100,
+            window_radius: 4,
+            pyramid_levels: 3,
+            max_iterations: 10,
+            sigma: 1.0,
+            quality_level: 0.05,
+            min_distance: 6.0,
+            epsilon: 0.01,
+        }
+    }
+}
+
+impl TrackingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] if any count is zero, `sigma <= 0`,
+    /// `quality_level` is outside `(0, 1]`, or `epsilon <= 0`.
+    pub fn validate(&self) -> Result<(), InvalidConfig> {
+        if self.num_features == 0 {
+            return Err(InvalidConfig("num_features must be positive".into()));
+        }
+        if self.window_radius == 0 {
+            return Err(InvalidConfig("window_radius must be positive".into()));
+        }
+        if self.pyramid_levels == 0 {
+            return Err(InvalidConfig("pyramid_levels must be positive".into()));
+        }
+        if self.max_iterations == 0 {
+            return Err(InvalidConfig("max_iterations must be positive".into()));
+        }
+        if !(self.sigma > 0.0) {
+            return Err(InvalidConfig(format!("sigma must be positive, got {}", self.sigma)));
+        }
+        if !(self.quality_level > 0.0 && self.quality_level <= 1.0) {
+            return Err(InvalidConfig(format!(
+                "quality_level must be in (0, 1], got {}",
+                self.quality_level
+            )));
+        }
+        if !(self.epsilon > 0.0) {
+            return Err(InvalidConfig(format!("epsilon must be positive, got {}", self.epsilon)));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        TrackingConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_fields_are_caught() {
+        let base = TrackingConfig::default();
+        for cfg in [
+            TrackingConfig { num_features: 0, ..base },
+            TrackingConfig { window_radius: 0, ..base },
+            TrackingConfig { pyramid_levels: 0, ..base },
+            TrackingConfig { max_iterations: 0, ..base },
+            TrackingConfig { sigma: 0.0, ..base },
+            TrackingConfig { quality_level: 0.0, ..base },
+            TrackingConfig { quality_level: 1.5, ..base },
+            TrackingConfig { epsilon: -1.0, ..base },
+        ] {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn error_display_names_field() {
+        let cfg = TrackingConfig { sigma: -2.0, ..TrackingConfig::default() };
+        let e = cfg.validate().unwrap_err();
+        assert!(e.to_string().contains("sigma"));
+    }
+}

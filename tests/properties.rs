@@ -1,0 +1,155 @@
+//! Property-based tests over the suite's core data structures and
+//! invariants (proptest).
+
+use proptest::prelude::*;
+use sdvbs::dataflow::{trace, Tv};
+use sdvbs::image::Image;
+use sdvbs::kernels::integral::IntegralImage;
+use sdvbs::matrix::Matrix;
+use sdvbs::stitch::Affine;
+
+proptest! {
+    /// LU solve is a right inverse: A x = b for any well-conditioned A.
+    #[test]
+    fn lu_solve_satisfies_the_system(
+        vals in proptest::collection::vec(-10.0f64..10.0, 9),
+        b in proptest::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        let mut a = Matrix::from_vec(3, 3, vals).expect("length checked");
+        // Diagonal boost guarantees invertibility.
+        for i in 0..3 {
+            a[(i, i)] += 40.0;
+        }
+        let x = a.lu().expect("diagonally dominant").solve(&b).expect("sized rhs");
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8, "residual {}", l - r);
+        }
+    }
+
+    /// Transpose is an involution and preserves the Frobenius norm.
+    #[test]
+    fn transpose_involution(
+        vals in proptest::collection::vec(-100.0f64..100.0, 12),
+    ) {
+        let a = Matrix::from_vec(3, 4, vals).expect("length checked");
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        prop_assert!((a.transpose().frobenius_norm() - a.frobenius_norm()).abs() < 1e-12);
+    }
+
+    /// Symmetric eigenvalue sum equals the trace; eigenvectors have unit
+    /// norm.
+    #[test]
+    fn eigen_trace_identity(
+        vals in proptest::collection::vec(-5.0f64..5.0, 16),
+    ) {
+        let raw = Matrix::from_vec(4, 4, vals).expect("length checked");
+        // Symmetrize.
+        let a = Matrix::from_fn(4, 4, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
+        let eig = a.sym_eigen().expect("square input");
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.values().iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8, "trace {trace} vs sum {sum}");
+        for k in 0..4 {
+            let n: f64 = eig.vectors().col(k).iter().map(|v| v * v).sum();
+            prop_assert!((n - 1.0).abs() < 1e-8);
+        }
+    }
+
+    /// SVD singular values are non-negative, sorted, and their squared sum
+    /// equals the squared Frobenius norm.
+    #[test]
+    fn svd_invariants(
+        vals in proptest::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        let a = Matrix::from_vec(4, 3, vals).expect("length checked");
+        let svd = a.svd().expect("non-empty");
+        let s = svd.singular_values();
+        prop_assert!(s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        prop_assert!(s.iter().all(|&v| v >= 0.0));
+        let fro2: f64 = a.frobenius_norm().powi(2);
+        let ssum: f64 = s.iter().map(|v| v * v).sum();
+        prop_assert!((fro2 - ssum).abs() < 1e-8 * fro2.max(1.0));
+    }
+
+    /// Integral-image window sums equal naive summation for arbitrary
+    /// windows.
+    #[test]
+    fn integral_image_matches_naive(
+        pixels in proptest::collection::vec(0.0f32..255.0, 48),
+        x0 in 0usize..8, y0 in 0usize..6,
+    ) {
+        let img = Image::from_vec(8, 6, pixels).expect("length checked");
+        let ii = IntegralImage::new(&img);
+        let w = 8 - x0;
+        let h = 6 - y0;
+        let mut naive = 0.0f64;
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                naive += img.get(x, y) as f64;
+            }
+        }
+        prop_assert!((ii.sum(x0, y0, w, h) - naive).abs() < 1e-3);
+    }
+
+    /// Bilinear sampling is bounded by the image's min/max (convex
+    /// combination) and exact on grid points.
+    #[test]
+    fn bilinear_sampling_is_convex(
+        pixels in proptest::collection::vec(-50.0f32..50.0, 24),
+        fx in 0.0f32..5.0, fy in 0.0f32..3.0,
+    ) {
+        let img = Image::from_vec(6, 4, pixels).expect("length checked");
+        let v = img.sample_bilinear(fx, fy);
+        prop_assert!(v >= img.min() - 1e-3 && v <= img.max() + 1e-3);
+        let gx = fx.floor();
+        let gy = fy.floor();
+        let g = img.sample_bilinear(gx, gy);
+        prop_assert!((g - img.get(gx as usize, gy as usize)).abs() < 1e-4);
+    }
+
+    /// Dataflow traces satisfy span <= work, and appending work never
+    /// decreases either counter.
+    #[test]
+    fn trace_span_bounded_by_work(
+        values in proptest::collection::vec(-100.0f64..100.0, 2..40),
+    ) {
+        let stats = trace(|| {
+            let mut acc = Tv::lit(0.0);
+            for &v in &values {
+                acc = acc + Tv::lit(v) * 2.0;
+            }
+            std::hint::black_box(acc.value());
+        });
+        prop_assert!(stats.span <= stats.work);
+        prop_assert_eq!(stats.work, 2 * values.len() as u64);
+    }
+
+    /// Affine inverse is a true inverse wherever it exists.
+    #[test]
+    fn affine_inverse_roundtrip(
+        angle in -3.0f64..3.0,
+        tx in -100.0f64..100.0,
+        ty in -100.0f64..100.0,
+        px in -50.0f64..50.0,
+        py in -50.0f64..50.0,
+    ) {
+        let t = Affine::rotation_about(angle, 10.0, 5.0, tx, ty);
+        let inv = t.inverse().expect("rotations are invertible");
+        let (x, y) = t.apply(px, py);
+        let (bx, by) = inv.apply(x, y);
+        prop_assert!((bx - px).abs() < 1e-8 && (by - py).abs() < 1e-8);
+    }
+
+    /// Resizing preserves the value range (bilinear is a convex blend).
+    #[test]
+    fn resize_preserves_range(
+        pixels in proptest::collection::vec(0.0f32..1.0, 30),
+        nw in 1usize..16, nh in 1usize..16,
+    ) {
+        let img = Image::from_vec(6, 5, pixels).expect("length checked");
+        let r = img.resize_bilinear(nw, nh);
+        prop_assert!(r.min() >= img.min() - 1e-4);
+        prop_assert!(r.max() <= img.max() + 1e-4);
+    }
+}
