@@ -66,8 +66,12 @@ fn dataflow_tracer(c: &mut Criterion) {
     use sdvbs_dataflow::kernels as dk;
     let mut group = c.benchmark_group("dataflow_tracer");
     group.sample_size(10);
-    group.bench_function("ssd_64x48", |b| b.iter(|| std::hint::black_box(dk::ssd(64, 48))));
-    group.bench_function("sort_2048", |b| b.iter(|| std::hint::black_box(dk::sort(2048))));
+    group.bench_function("ssd_64x48", |b| {
+        b.iter(|| std::hint::black_box(dk::ssd(64, 48)))
+    });
+    group.bench_function("sort_2048", |b| {
+        b.iter(|| std::hint::black_box(dk::sort(2048)))
+    });
     group.bench_function("matrix_ops_48", |b| {
         b.iter(|| std::hint::black_box(dk::matrix_ops(48)))
     });

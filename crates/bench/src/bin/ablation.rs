@@ -23,15 +23,23 @@ fn main() {
 
     // 1. Segmentation: time vs segment count at fixed size.
     println!("1. Segmentation time vs segment count (fixed 128x96 input)");
-    println!("   {:>10} {:>12} {:>12}", "segments", "time (ms)", "rand index");
+    println!(
+        "   {:>10} {:>12} {:>12}",
+        "segments", "time (ms)", "rand index"
+    );
     let scene = sdvbs_synth::segmentable_scene(128, 96, 5, 6);
     for segments in [2usize, 4, 6, 8, 12] {
         use sdvbs_segmentation::{rand_index, segment, SegmentationConfig};
-        let cfg = SegmentationConfig { segments, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            segments,
+            ..SegmentationConfig::default()
+        };
         let mut ri = 0.0;
         let t = best_of(3, || {
             let mut prof = Profiler::new();
-            let seg = prof.run(|p| segment(&scene.image, &cfg, p)).expect("segmentation runs");
+            let seg = prof
+                .run(|p| segment(&scene.image, &cfg, p))
+                .expect("segmentation runs");
             ri = rand_index(seg.labels(), &scene.labels);
             prof.total()
         });
@@ -41,23 +49,32 @@ fn main() {
 
     // 1b. Segmentation: k-way embedding vs recursive two-way cuts.
     println!("1b. Segmentation algorithm: k-way embedding vs recursive two-way cuts");
-    println!("    {:>12} {:>12} {:>12}", "algorithm", "time (ms)", "rand index");
+    println!(
+        "    {:>12} {:>12} {:>12}",
+        "algorithm", "time (ms)", "rand index"
+    );
     {
         use sdvbs_segmentation::{rand_index, segment, segment_recursive, SegmentationConfig};
         let scene = sdvbs_synth::segmentable_scene(96, 72, 5, 4);
-        let cfg = SegmentationConfig { segments: 4, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            segments: 4,
+            ..SegmentationConfig::default()
+        };
         let mut ri = 0.0;
         let t_kway = best_of(2, || {
             let mut prof = Profiler::new();
-            let seg = prof.run(|p| segment(&scene.image, &cfg, p)).expect("k-way runs");
+            let seg = prof
+                .run(|p| segment(&scene.image, &cfg, p))
+                .expect("k-way runs");
             ri = rand_index(seg.labels(), &scene.labels);
             prof.total()
         });
         println!("    {:>12} {:>12} {:>12.3}", "k-way", fmt_ms(t_kway), ri);
         let t_rec = best_of(2, || {
             let mut prof = Profiler::new();
-            let seg =
-                prof.run(|p| segment_recursive(&scene.image, &cfg, p)).expect("recursive runs");
+            let seg = prof
+                .run(|p| segment_recursive(&scene.image, &cfg, p))
+                .expect("recursive runs");
             ri = rand_index(seg.labels(), &scene.labels);
             prof.total()
         });
@@ -67,11 +84,18 @@ fn main() {
 
     // 2. SVM: interior point vs SMO.
     println!("2. SVM trainer comparison (500x64 working set, the paper's shape)");
-    println!("   {:>16} {:>12} {:>10} {:>8}", "trainer", "time (ms)", "accuracy", "SVs");
+    println!(
+        "   {:>16} {:>12} {:>10} {:>8}",
+        "trainer", "time (ms)", "accuracy", "SVs"
+    );
     {
         use sdvbs_svm::{gaussian_clusters, train_interior_point, train_smo, SvmConfig};
         let data = gaussian_clusters(500, 64, 6.0, 9);
-        let cfg = SvmConfig { tolerance: 1e-4, max_iterations: 60, ..SvmConfig::default() };
+        let cfg = SvmConfig {
+            tolerance: 1e-4,
+            max_iterations: 60,
+            ..SvmConfig::default()
+        };
         let mut acc = 0.0;
         let mut svs = 0;
         let t_ip = best_of(2, || {
@@ -83,7 +107,13 @@ fn main() {
             svs = model.support_vectors();
             prof.total()
         });
-        println!("   {:>16} {:>12} {:>10.3} {:>8}", "interior-point", fmt_ms(t_ip), acc, svs);
+        println!(
+            "   {:>16} {:>12} {:>10.3} {:>8}",
+            "interior-point",
+            fmt_ms(t_ip),
+            acc,
+            svs
+        );
         let smo_cfg = SvmConfig::default();
         let t_smo = best_of(2, || {
             let mut prof = Profiler::new();
@@ -94,18 +124,30 @@ fn main() {
             svs = model.support_vectors();
             prof.total()
         });
-        println!("   {:>16} {:>12} {:>10.3} {:>8}", "smo", fmt_ms(t_smo), acc, svs);
+        println!(
+            "   {:>16} {:>12} {:>10.3} {:>8}",
+            "smo",
+            fmt_ms(t_smo),
+            acc,
+            svs
+        );
     }
     println!();
 
     // 3. SIFT: the Interpolation (2x upsampling) stage on/off.
     println!("3. SIFT with and without the 2x upsampling (Interpolation kernel)");
-    println!("   {:>12} {:>12} {:>10}", "double_size", "time (ms)", "keypoints");
+    println!(
+        "   {:>12} {:>12} {:>10}",
+        "double_size", "time (ms)", "keypoints"
+    );
     {
         use sdvbs_sift::{detect_and_describe, SiftConfig};
         let img = sdvbs_synth::textured_image(176, 144, 4);
         for double in [true, false] {
-            let cfg = SiftConfig { double_size: double, ..SiftConfig::default() };
+            let cfg = SiftConfig {
+                double_size: double,
+                ..SiftConfig::default()
+            };
             let mut feats = 0usize;
             let t = best_of(3, || {
                 let mut prof = Profiler::new();
@@ -119,19 +161,29 @@ fn main() {
 
     // 4. Texture synthesis: PCA dimensionality.
     println!("4. Texture synthesis PCA dimensionality (40-dim causal neighborhoods)");
-    println!("   {:>10} {:>12} {:>14}", "pca_dims", "time (ms)", "std ratio");
+    println!(
+        "   {:>10} {:>12} {:>14}",
+        "pca_dims", "time (ms)", "std ratio"
+    );
     {
         use sdvbs_synth::{texture_swatch, TextureKind};
         use sdvbs_texture::{synthesize, TextureConfig};
         let swatch = texture_swatch(48, 48, 7, TextureKind::Stochastic);
         let std = |im: &sdvbs_image::Image| {
             let m = im.mean();
-            (im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32)
+            (im.as_slice()
+                .iter()
+                .map(|&v| (v - m) * (v - m))
+                .sum::<f32>()
+                / im.len() as f32)
                 .sqrt()
         };
         let ss = std(&swatch);
         for dims in [2usize, 6, 12, 24, 40] {
-            let cfg = TextureConfig { pca_dims: dims, ..TextureConfig::default() };
+            let cfg = TextureConfig {
+                pca_dims: dims,
+                ..TextureConfig::default()
+            };
             let mut ratio = 0.0f32;
             let t = best_of(2, || {
                 let mut prof = Profiler::new();
@@ -158,7 +210,10 @@ fn main() {
         use sdvbs_facedetect::{Cascade, CascadeConfig};
         use sdvbs_synth::{render_face_patch, render_non_face_patch};
         for stage_rounds in [vec![4], vec![4, 8], vec![4, 8, 15]] {
-            let cfg = CascadeConfig { stage_rounds: stage_rounds.clone(), ..CascadeConfig::default() };
+            let cfg = CascadeConfig {
+                stage_rounds: stage_rounds.clone(),
+                ..CascadeConfig::default()
+            };
             let mut prof = Profiler::new();
             let start = std::time::Instant::now();
             let cascade = Cascade::train(&cfg, &mut prof).expect("training succeeds");
@@ -197,8 +252,7 @@ fn main() {
             let mut acc = 0.0;
             let t = best_of(3, || {
                 let mut prof = Profiler::new();
-                let disp =
-                    prof.run(|p| compute_disparity(&scene.left, &scene.right, &cfg, p));
+                let disp = prof.run(|p| compute_disparity(&scene.left, &scene.right, &cfg, p));
                 acc = disparity_accuracy(&disp, &scene.truth, 1.0);
                 prof.total()
             });

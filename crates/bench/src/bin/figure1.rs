@@ -22,8 +22,11 @@ fn main() {
         for &k in info.kernels {
             let shared = &users[k];
             if shared.len() > 1 {
-                let others: Vec<&str> =
-                    shared.iter().filter(|&&n| n != info.name).copied().collect();
+                let others: Vec<&str> = shared
+                    .iter()
+                    .filter(|&&n| n != info.name)
+                    .copied()
+                    .collect();
                 println!("  {:<18} <-> shared with {}", k, others.join(", "));
             } else {
                 println!("  {k}");

@@ -12,7 +12,10 @@ use sdvbs_profile::SystemInfo;
 
 fn main() {
     header("Figure 2 — Execution time versus input size");
-    println!("Profiling system (paper's Table III analogue):\n{}", SystemInfo::collect());
+    println!(
+        "Profiling system (paper's Table III analogue):\n{}",
+        SystemInfo::collect()
+    );
     // The six benchmarks plotted in the paper's Figure 2.
     let plotted = [
         "Disparity Map",

@@ -18,8 +18,11 @@ fn main() {
             .collect();
         // Row per kernel (first-seen order of the smallest size), plus
         // non-kernel work.
-        let mut names: Vec<String> =
-            reports[0].kernels().iter().map(|k| k.name.clone()).collect();
+        let mut names: Vec<String> = reports[0]
+            .kernels()
+            .iter()
+            .map(|k| k.name.clone())
+            .collect();
         names.push("NonKernelWork".to_string());
         println!("    {:<20} {:>8} {:>8} {:>8}", "kernel", "1", "2", "4");
         for name in &names {

@@ -33,9 +33,11 @@ fn main() {
         let min_t = *times.iter().min().expect("five seeds");
         let max_t = *times.iter().max().expect("five seeds");
         let spread = max_t.as_secs_f64() / min_t.as_secs_f64();
-        let (min_q, max_q) = qualities.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |a, &q| {
-            (a.0.min(q), a.1.max(q))
-        });
+        let (min_q, max_q) = qualities
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |a, &q| {
+                (a.0.min(q), a.1.max(q))
+            });
         let fq = |q: f64| {
             if q.is_finite() {
                 format!("{q:.3}")

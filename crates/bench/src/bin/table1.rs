@@ -6,7 +6,7 @@ use sdvbs_core::all_benchmarks;
 
 fn main() {
     header("Table I — Benchmark classification based on concentration area");
-    println!("{:<22} | {}", "Benchmark", "Concentration Area");
+    println!("{:<22} | Concentration Area", "Benchmark");
     println!("{:-<22}-+-{:-<40}", "", "");
     for bench in all_benchmarks() {
         let info = bench.info();

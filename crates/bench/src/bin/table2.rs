@@ -6,8 +6,8 @@ use sdvbs_core::all_benchmarks;
 fn main() {
     header("Table II — Brief description of SD-VBS benchmarks");
     println!(
-        "{:<20} | {:<58} | {:<36} | {}",
-        "Benchmark", "Description", "Characteristic", "Application Domain"
+        "{:<20} | {:<58} | {:<36} | Application Domain",
+        "Benchmark", "Description", "Characteristic"
     );
     println!("{:-<20}-+-{:-<58}-+-{:-<36}-+-{:-<30}", "", "", "", "");
     for bench in all_benchmarks() {

@@ -39,8 +39,20 @@ fn main() {
             paper: "160x",
             stats: dk::integral_image(64, 48),
         },
-        Row { benchmark: "", kernel: "Sort", class: "DLP", paper: "1,700x", stats: dk::sort(2048) },
-        Row { benchmark: "", kernel: "SSD", class: "DLP", paper: "1,800x", stats: dk::ssd(64, 48) },
+        Row {
+            benchmark: "",
+            kernel: "Sort",
+            class: "DLP",
+            paper: "1,700x",
+            stats: dk::sort(2048),
+        },
+        Row {
+            benchmark: "",
+            kernel: "SSD",
+            class: "DLP",
+            paper: "1,800x",
+            stats: dk::ssd(64, 48),
+        },
         Row {
             benchmark: "Tracking",
             kernel: "Gradient",
@@ -76,7 +88,13 @@ fn main() {
             paper: "171,000x",
             stats: dk::matrix_inversion(2, 400),
         },
-        Row { benchmark: "SIFT", kernel: "SIFT", class: "TLP", paper: "180x", stats: dk::sift(64, 48) },
+        Row {
+            benchmark: "SIFT",
+            kernel: "SIFT",
+            class: "TLP",
+            paper: "180x",
+            stats: dk::sift(64, 48),
+        },
         Row {
             benchmark: "",
             kernel: "Interpolation",
@@ -98,7 +116,13 @@ fn main() {
             paper: "20,900x",
             stats: dk::ls_solver(128, 6),
         },
-        Row { benchmark: "", kernel: "SVD", class: "TLP", paper: "12,300x", stats: dk::svd(48, 6, 2) },
+        Row {
+            benchmark: "",
+            kernel: "SVD",
+            class: "TLP",
+            paper: "12,300x",
+            stats: dk::svd(48, 6, 2),
+        },
         Row {
             benchmark: "",
             kernel: "Convolution",
@@ -149,8 +173,18 @@ fn main() {
     println!("Extension rows (kernels the paper profiles in Figure 3 but omits");
     println!("from Table IV):");
     let ext = [
-        ("Localization", "Particle Filter", "TLP", dk::particle_filter(128, 8, 4)),
-        ("Segmentation", "Adjacency matrix", "DLP", dk::adjacency_matrix(48, 36, 3)),
+        (
+            "Localization",
+            "Particle Filter",
+            "TLP",
+            dk::particle_filter(128, 8, 4),
+        ),
+        (
+            "Segmentation",
+            "Adjacency matrix",
+            "DLP",
+            dk::adjacency_matrix(48, 36, 3),
+        ),
     ];
     for (benchmark, kernel, class, stats) in ext {
         println!(

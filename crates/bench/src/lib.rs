@@ -68,7 +68,10 @@ mod tests {
     #[test]
     fn run_timed_returns_consistent_report() {
         let suite = all_benchmarks();
-        let size = InputSize::Custom { width: 64, height: 48 };
+        let size = InputSize::Custom {
+            width: 64,
+            height: 48,
+        };
         let (time, report) = run_timed(suite[0].as_ref(), size, 1, 2);
         assert!(time.as_nanos() > 0);
         assert!(!report.kernels().is_empty());

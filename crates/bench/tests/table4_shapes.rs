@@ -83,6 +83,10 @@ fn all_kernels_show_meaningful_parallelism() {
         dk::conjugate_matrix(48, 8),
     ];
     for (i, s) in stats.iter().enumerate() {
-        assert!(s.parallelism() > 10.0, "kernel {i}: parallelism {}", s.parallelism());
+        assert!(
+            s.parallelism() > 10.0,
+            "kernel {i}: parallelism {}",
+            s.parallelism()
+        );
     }
 }

@@ -16,7 +16,11 @@ use std::path::Path;
 /// # Errors
 ///
 /// Returns the underlying [`ImageError`] on I/O failure.
-pub fn dump_inputs(size: InputSize, seed: u64, dir: impl AsRef<Path>) -> Result<Vec<String>, ImageError> {
+pub fn dump_inputs(
+    size: InputSize,
+    seed: u64,
+    dir: impl AsRef<Path>,
+) -> Result<Vec<String>, ImageError> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir).map_err(ImageError::from)?;
     let (w, h) = size.dims();
@@ -43,13 +47,22 @@ pub fn dump_inputs(size: InputSize, seed: u64, dir: impl AsRef<Path>) -> Result<
     });
     save("segmentation_labels.pgm", &labels)?;
     // SIFT texture.
-    save("sift_scene.pgm", &sdvbs_synth::textured_image(w.max(32), h.max(32), seed))?;
+    save(
+        "sift_scene.pgm",
+        &sdvbs_synth::textured_image(w.max(32), h.max(32), seed),
+    )?;
     // Face scene.
     let faces = sdvbs_synth::face_scene(w.max(64), h.max(64), seed, 3);
     save("facedetect_scene.pgm", &faces.image)?;
     // Stitch pair.
-    let pair =
-        sdvbs_synth::overlapping_pair(w.max(64), h.max(48), seed, 0.03, w.max(64) as f32 * 0.1, 4.0);
+    let pair = sdvbs_synth::overlapping_pair(
+        w.max(64),
+        h.max(48),
+        seed,
+        0.03,
+        w.max(64) as f32 * 0.1,
+        4.0,
+    );
     save("stitch_view_a.pgm", &pair.a)?;
     save("stitch_view_b.pgm", &pair.b)?;
     // Texture swatches.
@@ -63,7 +76,7 @@ pub fn dump_inputs(size: InputSize, seed: u64, dir: impl AsRef<Path>) -> Result<
     )?;
     // Manifest covering the non-image inputs.
     let world = sdvbs_localization::World::generate(&sdvbs_localization::WorldConfig {
-        seed: seed ^ 0x776f_726c_64,
+        seed: seed ^ 0x77_6f72_6c64,
         ..sdvbs_localization::WorldConfig::default()
     });
     let manifest = format!(
@@ -87,8 +100,15 @@ mod tests {
     #[test]
     fn dump_writes_all_inputs_and_is_readable() {
         let dir = std::env::temp_dir().join(format!("sdvbs_dump_{}", std::process::id()));
-        let written =
-            dump_inputs(InputSize::Custom { width: 64, height: 48 }, 3, &dir).unwrap();
+        let written = dump_inputs(
+            InputSize::Custom {
+                width: 64,
+                height: 48,
+            },
+            3,
+            &dir,
+        )
+        .unwrap();
         assert!(written.len() >= 12, "only {} files written", written.len());
         // Every PGM reads back.
         for name in &written {

@@ -97,7 +97,14 @@ mod tests {
     fn labels_and_display() {
         assert_eq!(InputSize::Sqcif.label(), "1");
         assert_eq!(InputSize::Cif.label(), "4");
-        assert_eq!(InputSize::Custom { width: 10, height: 5 }.label(), "10x5");
+        assert_eq!(
+            InputSize::Custom {
+                width: 10,
+                height: 5
+            }
+            .label(),
+            "10x5"
+        );
         assert!(InputSize::Qcif.to_string().contains("176x144"));
     }
 

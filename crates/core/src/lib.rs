@@ -34,6 +34,7 @@ mod suite;
 pub use dump::dump_inputs;
 pub use input::InputSize;
 pub use meta::{BenchmarkInfo, Characteristic, ConcentrationArea};
+pub use sdvbs_exec::ExecPolicy;
 pub use suite::{all_benchmarks, Benchmark, RunOutcome};
 
 /// Re-exports of the per-benchmark crates for direct access.
@@ -52,6 +53,7 @@ pub mod benchmarks {
 /// Re-exports of the substrate crates.
 pub mod substrate {
     pub use sdvbs_dataflow as dataflow;
+    pub use sdvbs_exec as exec;
     pub use sdvbs_image as image;
     pub use sdvbs_kernels as kernels;
     pub use sdvbs_matrix as matrix;

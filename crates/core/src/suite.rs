@@ -99,7 +99,13 @@ static TRACKING_INFO: BenchmarkInfo = BenchmarkInfo {
     area: ConcentrationArea::MotionTrackingStereo,
     characteristic: Characteristic::DataIntensive,
     domain: "Robot vision for Tracking",
-    kernels: &["GaussianFilter", "Gradient", "IntegralImage", "AreaSum", "MatrixInversion"],
+    kernels: &[
+        "GaussianFilter",
+        "Gradient",
+        "IntegralImage",
+        "AreaSum",
+        "MatrixInversion",
+    ],
 };
 
 impl Benchmark for TrackingBench {
@@ -121,10 +127,18 @@ impl Benchmark for TrackingBench {
                 (mx - dx).abs() < 0.5 && (my - dy).abs() < 0.5
             })
             .count();
-        let quality = if tracks.is_empty() { 0.0 } else { good as f64 / tracks.len() as f64 };
+        let quality = if tracks.is_empty() {
+            0.0
+        } else {
+            good as f64 / tracks.len() as f64
+        };
         RunOutcome {
             quality: Some(quality),
-            detail: format!("{} features tracked, {:.0}% within 0.5 px", tracks.len(), quality * 100.0),
+            detail: format!(
+                "{} features tracked, {:.0}% within 0.5 px",
+                tracks.len(),
+                quality * 100.0
+            ),
         }
     }
 }
@@ -139,7 +153,12 @@ static SEGMENTATION_INFO: BenchmarkInfo = BenchmarkInfo {
     area: ConcentrationArea::ImageAnalysis,
     characteristic: Characteristic::ComputeIntensive,
     domain: "Medical imaging, computational photography",
-    kernels: &["Filterbanks", "Adjacencymatrix", "Eigensolve", "QRfactorizations"],
+    kernels: &[
+        "Filterbanks",
+        "Adjacencymatrix",
+        "Eigensolve",
+        "QRfactorizations",
+    ],
 };
 
 impl Benchmark for SegmentationBench {
@@ -152,7 +171,10 @@ impl Benchmark for SegmentationBench {
         let (w, h) = size.dims();
         let regions = 4;
         let scene = sdvbs_synth::segmentable_scene(w.max(24), h.max(24), seed, regions);
-        let cfg = SegmentationConfig { segments: regions, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            segments: regions,
+            ..SegmentationConfig::default()
+        };
         match prof.run(|p| segment(&scene.image, &cfg, p)) {
             Ok(seg) => {
                 let ri = rand_index(seg.labels(), &scene.labels);
@@ -161,7 +183,10 @@ impl Benchmark for SegmentationBench {
                     detail: format!("{regions} segments, rand index {ri:.3}"),
                 }
             }
-            Err(e) => RunOutcome { quality: Some(0.0), detail: format!("failed: {e}") },
+            Err(e) => RunOutcome {
+                quality: Some(0.0),
+                detail: format!("failed: {e}"),
+            },
         }
     }
 }
@@ -221,9 +246,18 @@ impl Benchmark for LocalizationBench {
         // workload is therefore constant across sizes, with only the seed
         // (the "distinct inputs") varying.
         let _ = size;
-        let world = World::generate(&WorldConfig { seed: seed ^ 0x776f_726c_64, ..WorldConfig::default() });
+        let world = World::generate(&WorldConfig {
+            seed: seed ^ 0x77_6f72_6c64,
+            ..WorldConfig::default()
+        });
         let traj = world.simulate(40, seed);
-        let mut mcl = MonteCarloLocalizer::new(&world, &MclConfig { seed, ..MclConfig::default() });
+        let mut mcl = MonteCarloLocalizer::new(
+            &world,
+            &MclConfig {
+                seed,
+                ..MclConfig::default()
+            },
+        );
         prof.run(|p| {
             for step in &traj.steps {
                 mcl.step(&step.odometry, &step.measurements, &world, p);
@@ -263,14 +297,17 @@ impl Benchmark for SvmBench {
         // sample count (125/250/500) at fixed 64 dimensions.
         let n = ((60.0 * size.relative_pixels()).round() as usize).clamp(80, 500);
         let data = gaussian_clusters(n, 64, 6.0, seed);
-        let cfg = SvmConfig { tolerance: 1e-4, max_iterations: 60, ..SvmConfig::default() };
+        let cfg = SvmConfig {
+            tolerance: 1e-4,
+            max_iterations: 60,
+            ..SvmConfig::default()
+        };
         match prof.run(|p| train_interior_point(&data.train_x, &data.train_y, &cfg, p)) {
             Ok(model) => {
                 // The paper's second phase: classification over the held-out
                 // set (polynomial/kernel evaluations = matrix operations).
-                let acc = prof.run(|p| {
-                    p.kernel("MatrixOps", |_| model.accuracy(&data.test_x, &data.test_y))
-                });
+                let acc = prof
+                    .run(|p| p.kernel("MatrixOps", |_| model.accuracy(&data.test_x, &data.test_y)));
                 RunOutcome {
                     quality: Some(acc),
                     detail: format!(
@@ -279,7 +316,10 @@ impl Benchmark for SvmBench {
                     ),
                 }
             }
-            Err(e) => RunOutcome { quality: Some(0.0), detail: format!("failed: {e}") },
+            Err(e) => RunOutcome {
+                quality: Some(0.0),
+                detail: format!("failed: {e}"),
+            },
         }
     }
 }
@@ -330,7 +370,12 @@ impl Benchmark for FaceDetectBench {
             .faces
             .iter()
             .filter(|t| {
-                let tb = Detection { x: t.x, y: t.y, size: t.size, support: 1 };
+                let tb = Detection {
+                    x: t.x,
+                    y: t.y,
+                    size: t.size,
+                    support: 1,
+                };
                 found.iter().any(|d| d.iou(&tb) > 0.3)
             })
             .count();
@@ -341,7 +386,11 @@ impl Benchmark for FaceDetectBench {
         };
         RunOutcome {
             quality: Some(quality),
-            detail: format!("{hits}/{} faces found, {} detections", scene.faces.len(), found.len()),
+            detail: format!(
+                "{hits}/{} faces found, {} detections",
+                scene.faces.len(),
+                found.len()
+            ),
         }
     }
 }
@@ -356,7 +405,14 @@ static STITCH_INFO: BenchmarkInfo = BenchmarkInfo {
     area: ConcentrationArea::ImageProcessingFormation,
     characteristic: Characteristic::DataAndComputeIntensive,
     domain: "Computational photography",
-    kernels: &["Convolution", "ANMS", "FeatureMatch", "LSSolver", "SVD", "Blend"],
+    kernels: &[
+        "Convolution",
+        "ANMS",
+        "FeatureMatch",
+        "LSSolver",
+        "SVD",
+        "Blend",
+    ],
 };
 
 impl Benchmark for StitchBench {
@@ -381,7 +437,10 @@ impl Benchmark for StitchBench {
                     ),
                 }
             }
-            Err(e) => RunOutcome { quality: Some(0.0), detail: format!("failed: {e}") },
+            Err(e) => RunOutcome {
+                quality: Some(0.0),
+                detail: format!("failed: {e}"),
+            },
         }
     }
 }
@@ -414,13 +473,16 @@ impl Benchmark for TextureBench {
         let (w, h) = size.dims();
         let sw = (w / 2).clamp(24, 64);
         let sh = (h / 2).clamp(24, 64);
-        let kind = if seed % 2 == 0 {
+        let kind = if seed.is_multiple_of(2) {
             sdvbs_synth::TextureKind::Stochastic
         } else {
             sdvbs_synth::TextureKind::Structural
         };
         let swatch = sdvbs_synth::texture_swatch(sw, sh, seed, kind);
-        let cfg = TextureConfig { seed, ..TextureConfig::default() };
+        let cfg = TextureConfig {
+            seed,
+            ..TextureConfig::default()
+        };
         match prof.run(|p| synthesize(&swatch, 40, 40, &cfg, p)) {
             Ok(out) => {
                 // Statistical validation is part of the measured pipeline:
@@ -443,7 +505,10 @@ impl Benchmark for TextureBench {
                     ),
                 }
             }
-            Err(e) => RunOutcome { quality: Some(0.0), detail: format!("failed: {e}") },
+            Err(e) => RunOutcome {
+                quality: Some(0.0),
+                detail: format!("failed: {e}"),
+            },
         }
     }
 }
@@ -485,14 +550,19 @@ mod tests {
     #[test]
     fn concentration_areas_cover_all_four() {
         use std::collections::HashSet;
-        let areas: HashSet<String> =
-            all_benchmarks().iter().map(|b| b.info().area.to_string()).collect();
+        let areas: HashSet<String> = all_benchmarks()
+            .iter()
+            .map(|b| b.info().area.to_string())
+            .collect();
         assert_eq!(areas.len(), 4);
     }
 
     #[test]
     fn small_runs_produce_reasonable_quality() {
-        let size = InputSize::Custom { width: 72, height: 56 };
+        let size = InputSize::Custom {
+            width: 72,
+            height: 56,
+        };
         for b in all_benchmarks() {
             let info_name = b.info().name;
             if info_name == "Face Detection" {
@@ -516,7 +586,10 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let size = InputSize::Custom { width: 64, height: 48 };
+        let size = InputSize::Custom {
+            width: 64,
+            height: 48,
+        };
         let suite = all_benchmarks();
         let disparity = &suite[0];
         let mut p1 = Profiler::new();

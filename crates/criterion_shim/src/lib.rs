@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of the criterion 0.5 API its single bench file uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_custom`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Statistics are
+//! deliberately simple — a fixed warm-up plus `sample_size` timed samples,
+//! reporting the mean — which is enough for the relative comparisons the
+//! suite bench makes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from anything displayable (mirrors criterion).
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Times the closure handed to a benchmark.
+pub struct Bencher<'a> {
+    samples: u64,
+    total: &'a mut Duration,
+    iters_done: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        *self.total += start.elapsed();
+        *self.iters_done += self.samples;
+    }
+
+    /// Hands `f` an iteration count and trusts its measured duration.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        *self.total += f(self.samples);
+        *self.iters_done += self.samples;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Measurement window (accepted for API compatibility; unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: &mut total,
+            iters_done: &mut iters,
+        };
+        f(&mut b);
+        report(&self.name, &id, total, iters);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: &mut total,
+            iters_done: &mut iters,
+        };
+        f(&mut b, input);
+        report(&self.name, &id, total, iters);
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &impl Display, total: Duration, iters: u64) {
+    let mean = if iters == 0 {
+        Duration::ZERO
+    } else {
+        total / iters as u32
+    };
+    println!(
+        "{group}/{id}: {:.3} ms/iter ({iters} iters)",
+        mean.as_secs_f64() * 1e3
+    );
+}
+
+/// Mirror of `criterion::Criterion` (configuration container).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted for API compatibility; the
+    /// shim has no CLI).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($fun(&mut c);)+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("param"), &3u32, |b, &x| {
+            b.iter_custom(|iters| {
+                calls += iters * u64::from(x);
+                Duration::from_micros(iters)
+            });
+        });
+        group.finish();
+        assert_eq!(calls, 4 + 4 * 3);
+    }
+}

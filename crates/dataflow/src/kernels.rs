@@ -91,7 +91,10 @@ pub fn integral_image(w: usize, h: usize) -> TraceStats {
 ///
 /// Panics if `n` is not a power of two (bitonic networks require it).
 pub fn sort(n: usize) -> TraceStats {
-    assert!(n.is_power_of_two(), "bitonic sort requires a power-of-two size");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort requires a power-of-two size"
+    );
     trace(|| {
         let mut v: Vec<Tv> = (0..n).map(|i| Tv::lit(pattern(i))).collect();
         // Standard iterative bitonic sort.
@@ -171,8 +174,9 @@ pub fn gaussian_filter(w: usize, h: usize, taps: usize) -> TraceStats {
         let mut tmp = vec![Tv::lit(0.0); w * h];
         for y in 0..h {
             for x in half..w - half {
-                let terms: Vec<Tv> =
-                    (0..taps).map(|k| img[y * w + x + k - half] * kernel[k]).collect();
+                let terms: Vec<Tv> = (0..taps)
+                    .map(|k| img[y * w + x + k - half] * kernel[k])
+                    .collect();
                 tmp[y * w + x] = tree_sum(&terms);
             }
         }
@@ -180,8 +184,9 @@ pub fn gaussian_filter(w: usize, h: usize, taps: usize) -> TraceStats {
         let mut out = vec![Tv::lit(0.0); w * h];
         for y in half..h - half {
             for x in 0..w {
-                let terms: Vec<Tv> =
-                    (0..taps).map(|k| tmp[(y + k - half) * w + x] * kernel[k]).collect();
+                let terms: Vec<Tv> = (0..taps)
+                    .map(|k| tmp[(y + k - half) * w + x] * kernel[k])
+                    .collect();
                 out[y * w + x] = tree_sum(&terms);
             }
         }
@@ -224,13 +229,14 @@ pub fn matrix_inversion(n: usize, count: usize) -> TraceStats {
                     }
                 })
                 .collect();
-            let mut inv: Vec<Tv> =
-                (0..n * n).map(|i| Tv::lit(if i / n == i % n { 1.0 } else { 0.0 })).collect();
+            let mut inv: Vec<Tv> = (0..n * n)
+                .map(|i| Tv::lit(if i / n == i % n { 1.0 } else { 0.0 }))
+                .collect();
             for col in 0..n {
                 let pivot = a[col * n + col];
                 for j in 0..n {
-                    a[col * n + j] = a[col * n + j] / pivot;
-                    inv[col * n + j] = inv[col * n + j] / pivot;
+                    a[col * n + j] /= pivot;
+                    inv[col * n + j] /= pivot;
                 }
                 for row in 0..n {
                     if row != col {
@@ -292,14 +298,14 @@ pub fn sift(w: usize, h: usize) -> TraceStats {
                 if neighbors.iter().all(|n| c > *n) {
                     count += 1;
                     // Orientation histogram over a small patch.
-                    let mut bins = vec![Tv::lit(0.0); 8];
+                    let mut bins = [Tv::lit(0.0); 8];
                     for dy in 0..3 {
                         for dx in 0..3 {
                             let idx = (y + dy - 1) * w + x + dx - 1;
                             let gx = dogs[0][idx] * 2.0;
                             let gy = dogs[0][idx] * 3.0;
                             let mag = (gx * gx + gy * gy).sqrt();
-                            bins[(dx + dy) % 8] = bins[(dx + dy) % 8] + mag;
+                            bins[(dx + dy) % 8] += mag;
                         }
                     }
                     std::hint::black_box(bins[0].value());
@@ -343,7 +349,9 @@ pub fn interpolation(w: usize, h: usize, factor: usize) -> TraceStats {
 /// with tree reductions, then Gaussian elimination.
 pub fn ls_solver(m: usize, n: usize) -> TraceStats {
     trace(|| {
-        let a: Vec<Tv> = (0..m * n).map(|i| Tv::lit(pattern(i) + if i / n == i % n { 2.0 } else { 0.0 })).collect();
+        let a: Vec<Tv> = (0..m * n)
+            .map(|i| Tv::lit(pattern(i) + if i / n == i % n { 2.0 } else { 0.0 }))
+            .collect();
         let b: Vec<Tv> = (0..m).map(|i| Tv::lit(pattern(i + 11))).collect();
         // Assemble AtA and Atb.
         let mut ata = vec![Tv::lit(0.0); n * n];
@@ -372,7 +380,7 @@ pub fn ls_solver(m: usize, n: usize) -> TraceStats {
         for row in (0..n).rev() {
             let mut acc = atb[row];
             for j in row + 1..n {
-                acc = acc - ata[row * n + j] * x[j];
+                acc -= ata[row * n + j] * x[j];
             }
             x[row] = acc / ata[row * n + row];
         }
@@ -453,7 +461,9 @@ pub fn matrix_ops(n: usize) -> TraceStats {
 pub fn learning(samples: usize, dims: usize, epochs: usize) -> TraceStats {
     trace(|| {
         let xs: Vec<Tv> = (0..samples * dims).map(|i| Tv::lit(pattern(i))).collect();
-        let ys: Vec<f64> = (0..samples).map(|i| if pattern(i + 23) > 0.5 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..samples)
+            .map(|i| if pattern(i + 23) > 0.5 { 1.0 } else { -1.0 })
+            .collect();
         let mut w: Vec<Tv> = vec![Tv::lit(0.0); dims];
         for _ in 0..epochs {
             let mut grad = vec![Vec::with_capacity(samples); dims];
@@ -470,7 +480,7 @@ pub fn learning(samples: usize, dims: usize, epochs: usize) -> TraceStats {
             for d in 0..dims {
                 if !grad[d].is_empty() {
                     let g = tree_sum(&grad[d]);
-                    w[d] = w[d] + g * 0.01;
+                    w[d] += g * 0.01;
                 }
             }
         }
@@ -506,8 +516,8 @@ pub fn conjugate_matrix(n: usize, iters: usize) -> TraceStats {
             let pap_terms: Vec<Tv> = p.iter().zip(&ap).map(|(u, v)| *u * *v).collect();
             let alpha = rs_old / tree_sum(&pap_terms);
             for i in 0..n {
-                x[i] = x[i] + alpha * p[i];
-                r[i] = r[i] - alpha * ap[i];
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
             }
             let rr_terms: Vec<Tv> = r.iter().map(|v| *v * *v).collect();
             let rs_new = tree_sum(&rr_terms);
@@ -530,12 +540,15 @@ pub fn conjugate_matrix(n: usize, iters: usize) -> TraceStats {
 pub fn particle_filter(particles: usize, landmarks: usize, steps: usize) -> TraceStats {
     trace(|| {
         let mut xs: Vec<Tv> = (0..particles).map(|i| Tv::lit(pattern(i) * 20.0)).collect();
-        let mut ys: Vec<Tv> =
-            (0..particles).map(|i| Tv::lit(pattern(i + 1) * 20.0)).collect();
-        let mut thetas: Vec<Tv> =
-            (0..particles).map(|i| Tv::lit(pattern(i + 2) * 6.28)).collect();
-        let lms: Vec<(f64, f64)> =
-            (0..landmarks).map(|i| (pattern(i + 7) * 20.0, pattern(i + 11) * 20.0)).collect();
+        let mut ys: Vec<Tv> = (0..particles)
+            .map(|i| Tv::lit(pattern(i + 1) * 20.0))
+            .collect();
+        let mut thetas: Vec<Tv> = (0..particles)
+            .map(|i| Tv::lit(pattern(i + 2) * std::f64::consts::TAU))
+            .collect();
+        let lms: Vec<(f64, f64)> = (0..landmarks)
+            .map(|i| (pattern(i + 7) * 20.0, pattern(i + 11) * 20.0))
+            .collect();
         for s in 0..steps {
             let trans = 0.5 + pattern(s) * 0.3;
             let rot = pattern(s + 3) * 0.2 - 0.1;
@@ -543,8 +556,8 @@ pub fn particle_filter(particles: usize, landmarks: usize, steps: usize) -> Trac
             for p in 0..particles {
                 // Motion model: sequential trig chain per particle.
                 thetas[p] = thetas[p] + rot;
-                xs[p] = xs[p] + thetas[p].cos() * trans;
-                ys[p] = ys[p] + thetas[p].sin() * trans;
+                xs[p] += thetas[p].cos() * trans;
+                ys[p] += thetas[p].sin() * trans;
                 // Sensor model: independent per landmark, combined by a
                 // product (log-sum) reduction.
                 let terms: Vec<Tv> = lms
@@ -562,7 +575,7 @@ pub fn particle_filter(particles: usize, landmarks: usize, steps: usize) -> Trac
             // Normalization couples all particles (the resampling barrier).
             let wsum = tree_sum(&weights);
             for wp in weights.iter_mut() {
-                *wp = *wp / wsum;
+                *wp /= wsum;
             }
             std::hint::black_box(weights[0].value());
         }

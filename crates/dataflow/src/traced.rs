@@ -53,7 +53,10 @@ pub fn trace<T>(f: impl FnOnce() -> T) -> TraceStats {
     WORK.with(|w| w.set(0));
     SPAN.with(|s| s.set(0));
     let _out = f();
-    TraceStats { work: WORK.with(Cell::get), span: SPAN.with(Cell::get) }
+    TraceStats {
+        work: WORK.with(Cell::get),
+        span: SPAN.with(Cell::get),
+    }
 }
 
 /// A traced scalar: an `f64` carrying a dataflow timestamp.
@@ -156,7 +159,11 @@ impl Tv {
     pub fn ordered(self, rhs: Tv) -> (Tv, Tv) {
         let ts = self.ts.max(rhs.ts) + 1;
         bump(ts);
-        let (lo, hi) = if self.v <= rhs.v { (self.v, rhs.v) } else { (rhs.v, self.v) };
+        let (lo, hi) = if self.v <= rhs.v {
+            (self.v, rhs.v)
+        } else {
+            (rhs.v, self.v)
+        };
         (Tv { v: lo, ts }, Tv { v: hi, ts })
     }
 }
@@ -256,7 +263,7 @@ mod tests {
         let stats = trace(|| {
             let mut acc = Tv::lit(0.0);
             for i in 0..100 {
-                acc = acc + Tv::lit(i as f64);
+                acc += Tv::lit(i as f64);
             }
             assert_eq!(acc.value(), 4950.0);
         });
@@ -268,8 +275,7 @@ mod tests {
     #[test]
     fn independent_ops_have_span_one() {
         let stats = trace(|| {
-            let products: Vec<Tv> =
-                (0..50).map(|i| Tv::lit(i as f64) * Tv::lit(2.0)).collect();
+            let products: Vec<Tv> = (0..50).map(|i| Tv::lit(i as f64) * Tv::lit(2.0)).collect();
             assert_eq!(products[10].value(), 20.0);
         });
         assert_eq!(stats.work, 50);

@@ -34,17 +34,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sdvbs_exec::{map_chunks, ExecPolicy};
 use sdvbs_image::Image;
 use sdvbs_kernels::integral::IntegralImage;
 use sdvbs_profile::Profiler;
 use std::error::Error;
 use std::fmt;
+use std::ops::Range;
 
 /// Configuration for the dense-stereo search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DisparityConfig {
     max_disparity: usize,
     window: usize,
+    exec: ExecPolicy,
 }
 
 /// Error returned for invalid [`DisparityConfig`] parameters.
@@ -71,10 +74,24 @@ impl DisparityConfig {
         if max_disparity == 0 {
             return Err(InvalidConfig("max_disparity must be at least 1".into()));
         }
-        if window == 0 || window % 2 == 0 {
-            return Err(InvalidConfig(format!("window must be odd and positive, got {window}")));
+        if window == 0 || window.is_multiple_of(2) {
+            return Err(InvalidConfig(format!(
+                "window must be odd and positive, got {window}"
+            )));
         }
-        Ok(DisparityConfig { max_disparity, window })
+        Ok(DisparityConfig {
+            max_disparity,
+            window,
+            exec: ExecPolicy::Serial,
+        })
+    }
+
+    /// Returns the configuration with the shift search executed under
+    /// `exec` (the per-shift SSD/Correlation loop is distributed over
+    /// worker threads). The result is bit-identical for every policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Largest shift searched.
@@ -86,12 +103,21 @@ impl DisparityConfig {
     pub fn window(&self) -> usize {
         self.window
     }
+
+    /// Execution policy for the shift search.
+    pub fn exec(&self) -> ExecPolicy {
+        self.exec
+    }
 }
 
 impl Default for DisparityConfig {
-    /// The SD-VBS defaults: disparities up to 16, 9×9 window.
+    /// The SD-VBS defaults: disparities up to 16, 9×9 window, serial.
     fn default() -> Self {
-        DisparityConfig { max_disparity: 16, window: 9 }
+        DisparityConfig {
+            max_disparity: 16,
+            window: 9,
+            exec: ExecPolicy::Serial,
+        }
     }
 }
 
@@ -126,38 +152,71 @@ pub fn compute_disparity(
         "images must be at least the aggregation window in size"
     );
     let radius = cfg.window / 2;
+    let shifts = cfg.max_disparity + 1;
+    // Scans an ascending shift range, keeping the per-pixel running
+    // argmin (strict `<`, so the earliest shift wins ties — the serial
+    // tie-break the equivalence tests pin down).
+    let search = |range: Range<usize>, prof: &mut Profiler| -> (Image, Image) {
+        let mut best_cost = Image::filled(w, h, f32::INFINITY);
+        let mut best_disp = Image::new(w, h);
+        for shift in range {
+            // SSD kernel: pixel-wise squared difference between the left
+            // image and the right image displaced by `shift`.
+            let ssd = prof.kernel("SSD", |_| {
+                Image::from_fn(w, h, |x, y| {
+                    let r = right.get_clamped(x as isize - shift as isize, y as isize);
+                    let d = left.get(x, y) - r;
+                    d * d
+                })
+            });
+            // Integral image over the SSD surface.
+            let ii = prof.kernel("IntegralImage", |_| IntegralImage::new(&ssd));
+            // Correlation kernel: windowed aggregation of the SSD surface
+            // (SD-VBS `correlateSAD_2D` / `finalSAD`).
+            let cost = prof.kernel("Correlation", |_| {
+                Image::from_fn(w, h, |x, y| {
+                    let x0 = x.saturating_sub(radius);
+                    let y0 = y.saturating_sub(radius);
+                    let x1 = (x + radius + 1).min(w);
+                    let y1 = (y + radius + 1).min(h);
+                    ii.sum(x0, y0, x1 - x0, y1 - y0) as f32
+                })
+            });
+            // Sort kernel: running min-selection across the shift axis.
+            prof.kernel("Sort", |_| {
+                for i in 0..w * h {
+                    let c = cost.as_slice()[i];
+                    if c < best_cost.as_slice()[i] {
+                        best_cost.as_mut_slice()[i] = c;
+                        best_disp.as_mut_slice()[i] = shift as f32;
+                    }
+                }
+            });
+        }
+        (best_cost, best_disp)
+    };
+    if !cfg.exec.is_parallel(shifts) {
+        return search(0..shifts, prof).1;
+    }
+    // Parallel path: each worker owns a contiguous shift range and a
+    // private Profiler; results come back in ascending-range order, so the
+    // cross-worker strict-`<` merge reproduces the serial tie-break
+    // exactly, and absorbed profiles keep Figure 3 kernel attribution.
+    let parts = map_chunks(cfg.exec, shifts, |range| {
+        let mut local = Profiler::new();
+        let images = search(range, &mut local);
+        (local, images)
+    });
     let mut best_cost = Image::filled(w, h, f32::INFINITY);
     let mut best_disp = Image::new(w, h);
-    for shift in 0..=cfg.max_disparity {
-        // SSD kernel: pixel-wise squared difference between the left image
-        // and the right image displaced by `shift`.
-        let ssd = prof.kernel("SSD", |_| {
-            Image::from_fn(w, h, |x, y| {
-                let r = right.get_clamped(x as isize - shift as isize, y as isize);
-                let d = left.get(x, y) - r;
-                d * d
-            })
-        });
-        // Integral image over the SSD surface.
-        let ii = prof.kernel("IntegralImage", |_| IntegralImage::new(&ssd));
-        // Correlation kernel: windowed aggregation of the SSD surface
-        // (SD-VBS `correlateSAD_2D` / `finalSAD`).
-        let cost = prof.kernel("Correlation", |_| {
-            Image::from_fn(w, h, |x, y| {
-                let x0 = x.saturating_sub(radius);
-                let y0 = y.saturating_sub(radius);
-                let x1 = (x + radius + 1).min(w);
-                let y1 = (y + radius + 1).min(h);
-                ii.sum(x0, y0, x1 - x0, y1 - y0) as f32
-            })
-        });
-        // Sort kernel: running min-selection across the shift axis.
+    for (local, (cost, disp)) in parts {
+        prof.absorb(local);
         prof.kernel("Sort", |_| {
             for i in 0..w * h {
                 let c = cost.as_slice()[i];
                 if c < best_cost.as_slice()[i] {
                     best_cost.as_mut_slice()[i] = c;
-                    best_disp.as_mut_slice()[i] = shift as f32;
+                    best_disp.as_mut_slice()[i] = disp.as_slice()[i];
                 }
             }
         });
@@ -244,7 +303,11 @@ pub fn left_right_consistency(
             }
         }
     }
-    ConsistencyMask { valid, width: w, height: h }
+    ConsistencyMask {
+        valid,
+        width: w,
+        height: h,
+    }
 }
 
 /// A disparity estimate at a single feature location (the sparse variant).
@@ -292,9 +355,7 @@ pub fn compute_sparse_disparity(
     prof.kernel("SSD", |_| {
         features
             .iter()
-            .filter(|&&(x, y)| {
-                x >= radius && y >= radius && x + radius < w && y + radius < h
-            })
+            .filter(|&&(x, y)| x >= radius && y >= radius && x + radius < w && y + radius < h)
             .map(|&(x, y)| {
                 let mut best_cost = f32::INFINITY;
                 let mut best_shift = 0usize;
@@ -304,8 +365,7 @@ pub fn compute_sparse_disparity(
                         for dx in 0..cfg.window {
                             let lx = x + dx - radius;
                             let ly = y + dy - radius;
-                            let rv = right
-                                .get_clamped(lx as isize - shift as isize, ly as isize);
+                            let rv = right.get_clamped(lx as isize - shift as isize, ly as isize);
                             let d = left.get(lx, ly) - rv;
                             cost += d * d;
                         }
@@ -315,7 +375,12 @@ pub fn compute_sparse_disparity(
                         best_shift = shift;
                     }
                 }
-                SparseDisparity { x, y, disparity: best_shift as f32, cost: best_cost }
+                SparseDisparity {
+                    x,
+                    y,
+                    disparity: best_shift as f32,
+                    cost: best_cost,
+                }
             })
             .collect()
     })
@@ -435,7 +500,11 @@ mod tests {
         let disp = compute_disparity(&s.left, &s.right, &cfg, &mut prof);
         let mask = left_right_consistency(&s.left, &s.right, &disp, &cfg, 1.0, &mut prof);
         // Most pixels are consistent.
-        assert!(mask.valid_fraction() > 0.6, "valid fraction {}", mask.valid_fraction());
+        assert!(
+            mask.valid_fraction() > 0.6,
+            "valid fraction {}",
+            mask.valid_fraction()
+        );
         // Valid pixels are substantially more accurate than the full map.
         let mut good_valid = 0usize;
         let mut total_valid = 0usize;
@@ -464,8 +533,9 @@ mod tests {
         let cfg = DisparityConfig::new(s.max_disparity, 9).unwrap();
         let mut prof = Profiler::new();
         let dense = compute_disparity(&s.left, &s.right, &cfg, &mut prof);
-        let features: Vec<(usize, usize)> =
-            (0..12).map(|i| (12 + (i * 61) % 72, 10 + (i * 37) % 52)).collect();
+        let features: Vec<(usize, usize)> = (0..12)
+            .map(|i| (12 + (i * 61) % 72, 10 + (i * 37) % 52))
+            .collect();
         let sparse = compute_sparse_disparity(&s.left, &s.right, &features, &cfg, &mut prof);
         assert_eq!(sparse.len(), features.len());
         let mut agree = 0;
@@ -474,7 +544,11 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree >= 10, "{agree}/{} sparse-dense agreement", sparse.len());
+        assert!(
+            agree >= 10,
+            "{agree}/{} sparse-dense agreement",
+            sparse.len()
+        );
     }
 
     #[test]

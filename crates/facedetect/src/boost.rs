@@ -77,7 +77,10 @@ pub fn train_adaboost(
     let ns = labels.len();
     assert!(nf > 0 && ns > 0 && rounds > 0, "empty adaboost input");
     assert_eq!(values.len(), nf, "one value row per feature");
-    assert!(values.iter().all(|row| row.len() == ns), "value rows must match sample count");
+    assert!(
+        values.iter().all(|row| row.len() == ns),
+        "value rows must match sample count"
+    );
     assert!(
         labels.iter().any(|&l| l) && labels.iter().any(|&l| !l),
         "both classes required"
@@ -87,7 +90,13 @@ pub fn train_adaboost(
     let n_neg = ns - n_pos;
     let mut weights: Vec<f64> = labels
         .iter()
-        .map(|&l| if l { 0.5 / n_pos as f64 } else { 0.5 / n_neg as f64 })
+        .map(|&l| {
+            if l {
+                0.5 / n_pos as f64
+            } else {
+                0.5 / n_neg as f64
+            }
+        })
         .collect();
     // Pre-sorted sample orders per feature (stump search is a linear scan
     // over each sorted order).
@@ -107,8 +116,12 @@ pub fn train_adaboost(
         for w in &mut weights {
             *w /= wsum;
         }
-        let total_pos: f64 =
-            weights.iter().zip(labels).filter(|(_, &l)| l).map(|(w, _)| w).sum();
+        let total_pos: f64 = weights
+            .iter()
+            .zip(labels)
+            .filter(|(_, &l)| l)
+            .map(|(w, _)| w)
+            .sum();
         let total_neg = 1.0 - total_pos;
         // Best stump across all features: sweep each sorted order once.
         let mut best = (f64::INFINITY, 0usize, 0.0f64, 1.0f64); // (err, feat, thresh, polarity)
@@ -130,11 +143,18 @@ pub fn train_adaboost(
                 let err_above = pos_below + (total_neg - neg_below);
                 // Error when classifying "face if value < t".
                 let err_below = neg_below + (total_pos - pos_below);
-                let (err, polarity) =
-                    if err_above <= err_below { (err_above, 1.0) } else { (err_below, -1.0) };
+                let (err, polarity) = if err_above <= err_below {
+                    (err_above, 1.0)
+                } else {
+                    (err_below, -1.0)
+                };
                 if err < best.0 {
                     let here = row[s];
-                    let next = if rank + 1 < ns { row[order[rank + 1]] } else { here + 1.0 };
+                    let next = if rank + 1 < ns {
+                        row[order[rank + 1]]
+                    } else {
+                        here + 1.0
+                    };
                     best = (err, f, 0.5 * (here + next), polarity);
                 }
             }
@@ -142,11 +162,20 @@ pub fn train_adaboost(
         let (err, f, threshold, polarity) = best;
         let eps = err.clamp(1e-10, 1.0 - 1e-10);
         let alpha = 0.5 * ((1.0 - eps) / eps).ln();
-        stumps.push(Stump { feature: chosen_features.len(), threshold, polarity, alpha });
+        stumps.push(Stump {
+            feature: chosen_features.len(),
+            threshold,
+            polarity,
+            alpha,
+        });
         chosen_features.push(features[f]);
         // Reweight: multiply mistakes up, correct down.
         for s in 0..ns {
-            let vote = if polarity * (values[f][s] - threshold) >= 0.0 { 1.0 } else { -1.0 };
+            let vote = if polarity * (values[f][s] - threshold) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
             let y = if labels[s] { 1.0 } else { -1.0 };
             weights[s] *= (-alpha * y * vote).exp();
         }
@@ -154,7 +183,11 @@ pub fn train_adaboost(
             break; // perfect stump; boosting is done
         }
     }
-    StrongClassifier { stumps, threshold: 0.0, features: chosen_features }
+    StrongClassifier {
+        stumps,
+        threshold: 0.0,
+        features: chosen_features,
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +242,9 @@ mod tests {
     fn boosting_reduces_training_error_on_xor_like_data() {
         // No single stump separates XOR; a committee does better.
         let labels: Vec<bool> = (0..40).map(|i| (i % 2 == 0) ^ (i < 20)).collect();
-        let f0: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let f0: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let f1: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { -1.0 }).collect();
         // A "product" feature that solves XOR exists in the pool.
         let f2: Vec<f64> = f0.iter().zip(&f1).map(|(a, b)| a * b).collect();

@@ -105,8 +105,7 @@ impl Cascade {
     /// stage accepted (a face).
     pub fn accepts(&self, ii: &IntegralImage, win: &NormalizedWindow) -> bool {
         for stage in &self.stages {
-            let values: Vec<f64> =
-                stage.features.iter().map(|f| f.eval(ii, win)).collect();
+            let values: Vec<f64> = stage.features.iter().map(|f| f.eval(ii, win)).collect();
             if !stage.classify(&values) {
                 return false;
             }
@@ -141,13 +140,19 @@ impl Cascade {
     ///   dry before the last stage.
     pub fn train(cfg: &CascadeConfig, prof: &mut Profiler) -> Result<Cascade, CascadeError> {
         if cfg.window < 16 {
-            return Err(CascadeError::InvalidConfig("window must be at least 16".into()));
+            return Err(CascadeError::InvalidConfig(
+                "window must be at least 16".into(),
+            ));
         }
         if cfg.stage_rounds.is_empty() || cfg.stage_rounds.contains(&0) {
-            return Err(CascadeError::InvalidConfig("stages must be non-empty".into()));
+            return Err(CascadeError::InvalidConfig(
+                "stages must be non-empty".into(),
+            ));
         }
         if cfg.positives < 10 || cfg.negatives < 10 {
-            return Err(CascadeError::InvalidConfig("need at least 10 samples per class".into()));
+            return Err(CascadeError::InvalidConfig(
+                "need at least 10 samples per class".into(),
+            ));
         }
         if !(0.5..=1.0).contains(&cfg.stage_detection_rate) {
             return Err(CascadeError::InvalidConfig(
@@ -168,8 +173,9 @@ impl Cascade {
                 big.crop(ox, oy, cfg.window, cfg.window)
             })
             .collect();
-        let mut negatives: Vec<Image> =
-            (0..cfg.negatives).map(|_| render_non_face_patch(cfg.window, &mut rng)).collect();
+        let mut negatives: Vec<Image> = (0..cfg.negatives)
+            .map(|_| render_non_face_patch(cfg.window, &mut rng))
+            .collect();
         let mut stages: Vec<StrongClassifier> = Vec::new();
         for (stage_idx, &rounds) in cfg.stage_rounds.iter().enumerate() {
             // Feature-value matrix for this stage's sample set.
@@ -182,8 +188,7 @@ impl Cascade {
                     .map(|img| {
                         let ii = IntegralImage::new(img);
                         let ii2 = IntegralImage::squared(img);
-                        let win =
-                            NormalizedWindow::new(&ii, &ii2, 0, 0, cfg.window, cfg.window);
+                        let win = NormalizedWindow::new(&ii, &ii2, 0, 0, cfg.window, cfg.window);
                         (ii, win)
                     })
                     .collect();
@@ -192,14 +197,18 @@ impl Cascade {
                     .map(|f| wins.iter().map(|(ii, win)| f.eval(ii, win)).collect())
                     .collect()
             });
-            let mut stage = prof
-                .kernel("Adaboost", |_| train_adaboost(&features, &values, &labels, rounds));
+            let mut stage = prof.kernel("Adaboost", |_| {
+                train_adaboost(&features, &values, &labels, rounds)
+            });
             // Lower the stage threshold until the detection-rate target is
             // met on the positives.
             let pos_scores: Vec<f64> = (0..positives.len())
                 .map(|s| {
-                    let vals: Vec<f64> =
-                        stage.stumps.iter().map(|st| values[feature_index(&features, &stage.features[st.feature])][s]).collect();
+                    let vals: Vec<f64> = stage
+                        .stumps
+                        .iter()
+                        .map(|st| values[feature_index(&features, &stage.features[st.feature])][s])
+                        .collect();
                     stage.score(&vals)
                 })
                 .collect();
@@ -212,7 +221,10 @@ impl Cascade {
             // still pass, replace the rest with fresh clutter that fools
             // the cascade so far.
             if stage_idx + 1 < cfg.stage_rounds.len() {
-                let cascade_so_far = Cascade { stages: stages.clone(), window: cfg.window };
+                let cascade_so_far = Cascade {
+                    stages: stages.clone(),
+                    window: cfg.window,
+                };
                 negatives.retain(|n| cascade_so_far.accepts_patch(n));
                 let mut attempts = 0usize;
                 while negatives.len() < cfg.negatives && attempts < 40_000 {
@@ -233,12 +245,17 @@ impl Cascade {
                 }
             }
         }
-        Ok(Cascade { stages, window: cfg.window })
+        Ok(Cascade {
+            stages,
+            window: cfg.window,
+        })
     }
 }
 
 fn feature_index(pool: &[HaarFeature], f: &HaarFeature) -> usize {
-    pool.iter().position(|p| p == f).expect("stump features come from the pool")
+    pool.iter()
+        .position(|p| p == f)
+        .expect("stump features come from the pool")
 }
 
 /// A detected face window with its last-stage score.
@@ -282,11 +299,20 @@ pub struct DetectorConfig {
     pub min_support: usize,
     /// IoU above which raw windows are merged.
     pub merge_iou: f64,
+    /// Execution policy for the cascade scan ("ExtractFaces"). Any policy
+    /// yields bit-identical detections.
+    pub exec: sdvbs_exec::ExecPolicy,
 }
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig { scale_factor: 1.12, stride_frac: 0.05, min_support: 6, merge_iou: 0.3 }
+        DetectorConfig {
+            scale_factor: 1.12,
+            stride_frac: 0.05,
+            min_support: 6,
+            merge_iou: 0.3,
+            exec: sdvbs_exec::ExecPolicy::Serial,
+        }
     }
 }
 
@@ -302,31 +328,63 @@ pub fn detect_faces(
     cfg: &DetectorConfig,
     prof: &mut Profiler,
 ) -> Vec<Detection> {
-    let (ii, ii2) = prof
-        .kernel("IntegralImage", |_| (IntegralImage::new(img), IntegralImage::squared(img)));
-    let raw = prof.kernel("ExtractFaces", |_| {
-        let mut raw = Vec::new();
-        let mut size = cascade.window();
-        let max_size = img.width().min(img.height());
-        while size <= max_size {
-            let stride = ((size as f64 * cfg.stride_frac).round() as usize).max(1);
-            let mut y = 0;
-            while y + size <= img.height() {
-                let mut x = 0;
-                while x + size <= img.width() {
-                    let win = NormalizedWindow::new(&ii, &ii2, x, y, size, cascade.window());
-                    if cascade.accepts(&ii, &win) {
-                        raw.push(Detection { x, y, size, support: 1 });
-                    }
-                    x += stride;
+    let (ii, ii2) = prof.kernel("IntegralImage", |_| {
+        (IntegralImage::new(img), IntegralImage::squared(img))
+    });
+    // Enumerate the scan rows of every scale in serial scan order
+    // (size-major, then y); each row is an independent unit of work.
+    let mut rows: Vec<(usize, usize, usize)> = Vec::new(); // (size, stride, y)
+    let mut size = cascade.window();
+    let max_size = img.width().min(img.height());
+    while size <= max_size {
+        let stride = ((size as f64 * cfg.stride_frac).round() as usize).max(1);
+        let mut y = 0;
+        while y + size <= img.height() {
+            rows.push((size, stride, y));
+            y += stride;
+        }
+        size = ((size as f64) * cfg.scale_factor).round() as usize;
+    }
+    let scan = |rows: &[(usize, usize, usize)]| {
+        let mut out = Vec::new();
+        for &(size, stride, y) in rows {
+            let mut x = 0;
+            while x + size <= img.width() {
+                let win = NormalizedWindow::new(&ii, &ii2, x, y, size, cascade.window());
+                if cascade.accepts(&ii, &win) {
+                    out.push(Detection {
+                        x,
+                        y,
+                        size,
+                        support: 1,
+                    });
                 }
-                y += stride;
+                x += stride;
             }
-            size = ((size as f64) * cfg.scale_factor).round() as usize;
+        }
+        out
+    };
+    let raw: Vec<Detection> = if !cfg.exec.is_parallel(rows.len()) {
+        prof.kernel("ExtractFaces", |_| scan(&rows))
+    } else {
+        // Each worker scans a contiguous run of rows with a private
+        // Profiler; concatenating results in chunk order reproduces the
+        // serial scan order (and therefore identical merged detections).
+        let parts = sdvbs_exec::map_chunks(cfg.exec, rows.len(), |r| {
+            let mut local = Profiler::new();
+            let dets = local.kernel("ExtractFaces", |_| scan(&rows[r]));
+            (local, dets)
+        });
+        let mut raw = Vec::new();
+        for (local, dets) in parts {
+            prof.absorb(local);
+            raw.extend(dets);
         }
         raw
-    });
-    prof.kernel("StabilizeWindows", |_| merge_detections(&raw, cfg.merge_iou, cfg.min_support))
+    };
+    prof.kernel("StabilizeWindows", |_| {
+        merge_detections(&raw, cfg.merge_iou, cfg.min_support)
+    })
 }
 
 /// Greedy connected-component merging of overlapping raw windows; groups
@@ -392,7 +450,10 @@ mod tests {
             }
         }
         assert!(face_hits * 10 >= n * 9, "detection rate {face_hits}/{n}");
-        assert!(clutter_hits * 10 <= n * 3, "false positive rate {clutter_hits}/{n}");
+        assert!(
+            clutter_hits * 10 <= n * 3,
+            "false positive rate {clutter_hits}/{n}"
+        );
     }
 
     #[test]
@@ -403,14 +464,23 @@ mod tests {
         let found = detect_faces(&scene.image, c, &DetectorConfig::default(), &mut prof);
         let mut hits = 0;
         for truth in &scene.faces {
-            let tb = Detection { x: truth.x, y: truth.y, size: truth.size, support: 1 };
+            let tb = Detection {
+                x: truth.x,
+                y: truth.y,
+                size: truth.size,
+                support: 1,
+            };
             if found.iter().any(|d| d.iou(&tb) > 0.35) {
                 hits += 1;
             }
         }
         assert!(hits >= 2, "found {hits}/3 planted faces ({found:?})");
         // Not drowning in false positives.
-        assert!(found.len() <= 3 + 4, "{} detections for 3 faces", found.len());
+        assert!(
+            found.len() <= 3 + 4,
+            "{} detections for 3 faces",
+            found.len()
+        );
     }
 
     #[test]
@@ -419,12 +489,21 @@ mod tests {
         let img = sdvbs_synth::textured_image(160, 120, 77);
         let mut prof = Profiler::new();
         let found = detect_faces(&img, c, &DetectorConfig::default(), &mut prof);
-        assert!(found.len() <= 2, "{} false detections on texture", found.len());
+        assert!(
+            found.len() <= 2,
+            "{} false detections on texture",
+            found.len()
+        );
     }
 
     #[test]
     fn merge_requires_support() {
-        let d = Detection { x: 10, y: 10, size: 24, support: 1 };
+        let d = Detection {
+            x: 10,
+            y: 10,
+            size: 24,
+            support: 1,
+        };
         let merged = merge_detections(&[d], 0.3, 2);
         assert!(merged.is_empty());
         let merged = merge_detections(&[d, d, d], 0.3, 2);
@@ -434,8 +513,18 @@ mod tests {
 
     #[test]
     fn merge_keeps_distant_groups_separate() {
-        let a = Detection { x: 0, y: 0, size: 24, support: 1 };
-        let b = Detection { x: 100, y: 100, size: 24, support: 1 };
+        let a = Detection {
+            x: 0,
+            y: 0,
+            size: 24,
+            support: 1,
+        };
+        let b = Detection {
+            x: 100,
+            y: 100,
+            size: 24,
+            support: 1,
+        };
         let merged = merge_detections(&[a, a, b, b], 0.3, 2);
         assert_eq!(merged.len(), 2);
     }
@@ -444,11 +533,26 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let mut prof = Profiler::new();
         for cfg in [
-            CascadeConfig { window: 8, ..CascadeConfig::default() },
-            CascadeConfig { stage_rounds: vec![], ..CascadeConfig::default() },
-            CascadeConfig { stage_rounds: vec![0], ..CascadeConfig::default() },
-            CascadeConfig { positives: 2, ..CascadeConfig::default() },
-            CascadeConfig { stage_detection_rate: 0.2, ..CascadeConfig::default() },
+            CascadeConfig {
+                window: 8,
+                ..CascadeConfig::default()
+            },
+            CascadeConfig {
+                stage_rounds: vec![],
+                ..CascadeConfig::default()
+            },
+            CascadeConfig {
+                stage_rounds: vec![0],
+                ..CascadeConfig::default()
+            },
+            CascadeConfig {
+                positives: 2,
+                ..CascadeConfig::default()
+            },
+            CascadeConfig {
+                stage_detection_rate: 0.2,
+                ..CascadeConfig::default()
+            },
         ] {
             assert!(Cascade::train(&cfg, &mut prof).is_err());
         }
@@ -470,9 +574,23 @@ mod tests {
 
     #[test]
     fn iou_uses_box_geometry() {
-        let a = Detection { x: 0, y: 0, size: 10, support: 1 };
-        let b = Detection { x: 5, y: 0, size: 10, support: 1 };
+        let a = Detection {
+            x: 0,
+            y: 0,
+            size: 10,
+            support: 1,
+        };
+        let b = Detection {
+            x: 5,
+            y: 0,
+            size: 10,
+            support: 1,
+        };
         assert!((a.iou(&b) - 50.0 / 150.0).abs() < 1e-12);
-        let _ = FaceBox { x: 0, y: 0, size: 4 }; // synth API smoke-link
+        let _ = FaceBox {
+            x: 0,
+            y: 0,
+            size: 4,
+        }; // synth API smoke-link
     }
 }

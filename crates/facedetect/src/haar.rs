@@ -70,7 +70,12 @@ impl NormalizedWindow {
         let mean = sum / area;
         let var = (sum2 / area - mean * mean).max(1.0);
         let inv_norm = 1.0 / (var.sqrt() * area);
-        NormalizedWindow { x0, y0, scale: size as f64 / base as f64, inv_norm }
+        NormalizedWindow {
+            x0,
+            y0,
+            scale: size as f64 / base as f64,
+            inv_norm,
+        }
     }
 }
 
@@ -104,15 +109,11 @@ impl HaarFeature {
             HaarKind::ThreeHorizontal => {
                 // Zero-mean weighting: 2*center - outer pair.
                 let tw = w / 3;
-                2.0 * ii.sum(x + tw, y, tw, h)
-                    - ii.sum(x, y, tw, h)
-                    - ii.sum(x + 2 * tw, y, tw, h)
+                2.0 * ii.sum(x + tw, y, tw, h) - ii.sum(x, y, tw, h) - ii.sum(x + 2 * tw, y, tw, h)
             }
             HaarKind::ThreeVertical => {
                 let th = h / 3;
-                2.0 * ii.sum(x, y + th, w, th)
-                    - ii.sum(x, y, w, th)
-                    - ii.sum(x, y + 2 * th, w, th)
+                2.0 * ii.sum(x, y + th, w, th) - ii.sum(x, y, w, th) - ii.sum(x, y + 2 * th, w, th)
             }
             HaarKind::Four => {
                 let hw = w / 2;
@@ -187,7 +188,13 @@ mod tests {
     fn two_vertical_fires_on_horizontal_edge() {
         // Top half bright, bottom half dark.
         let patch = Image::from_fn(24, 24, |_, y| if y < 12 { 200.0 } else { 50.0 });
-        let f = HaarFeature { kind: HaarKind::TwoVertical, x: 4, y: 4, w: 16, h: 16 };
+        let f = HaarFeature {
+            kind: HaarKind::TwoVertical,
+            x: 4,
+            y: 4,
+            w: 16,
+            h: 16,
+        };
         let v = f.eval_patch(&patch, 24);
         assert!(v > 0.3, "edge response {v}");
         // The flipped image flips the sign.
@@ -202,7 +209,13 @@ mod tests {
         // Same contrast pattern at half the amplitude and brighter base:
         // variance normalization must give a similar response.
         let dim = Image::from_fn(24, 24, |_, y| if y < 12 { 175.0 } else { 100.0 });
-        let f = HaarFeature { kind: HaarKind::TwoVertical, x: 0, y: 0, w: 24, h: 24 };
+        let f = HaarFeature {
+            kind: HaarKind::TwoVertical,
+            x: 0,
+            y: 0,
+            w: 24,
+            h: 24,
+        };
         let v1 = f.eval_patch(&patch, 24);
         let v2 = f.eval_patch(&dim, 24);
         assert!((v1 - v2).abs() < 0.1 * v1.abs(), "{v1} vs {v2}");
@@ -218,7 +231,13 @@ mod tests {
             HaarKind::ThreeVertical,
             HaarKind::Four,
         ] {
-            let f = HaarFeature { kind, x: 2, y: 2, w: 12, h: 12 };
+            let f = HaarFeature {
+                kind,
+                x: 2,
+                y: 2,
+                w: 12,
+                h: 12,
+            };
             assert_eq!(f.eval_patch(&patch, 24), 0.0);
         }
     }
@@ -229,13 +248,22 @@ mod tests {
         // normalized responses should be close.
         let p24 = Image::from_fn(24, 24, |x, _| if x < 12 { 200.0 } else { 50.0 });
         let p48 = Image::from_fn(48, 48, |x, _| if x < 24 { 200.0 } else { 50.0 });
-        let f = HaarFeature { kind: HaarKind::TwoHorizontal, x: 4, y: 4, w: 16, h: 16 };
+        let f = HaarFeature {
+            kind: HaarKind::TwoHorizontal,
+            x: 4,
+            y: 4,
+            w: 16,
+            h: 16,
+        };
         let v24 = f.eval_patch(&p24, 24);
         let ii = IntegralImage::new(&p48);
         let ii2 = IntegralImage::squared(&p48);
         let win = NormalizedWindow::new(&ii, &ii2, 0, 0, 48, 24);
         let v48 = f.eval(&ii, &win);
-        assert!((v24 - v48).abs() < 0.15 * v24.abs().max(0.1), "{v24} vs {v48}");
+        assert!(
+            (v24 - v48).abs() < 0.15 * v24.abs().max(0.1),
+            "{v24} vs {v48}"
+        );
     }
 
     #[test]
@@ -270,7 +298,13 @@ mod tests {
                 50.0
             }
         });
-        let f = HaarFeature { kind: HaarKind::Four, x: 0, y: 0, w: 24, h: 24 };
+        let f = HaarFeature {
+            kind: HaarKind::Four,
+            x: 0,
+            y: 0,
+            w: 24,
+            h: 24,
+        };
         let v = f.eval_patch(&patch, 24);
         assert!(v > 0.5, "checkerboard response {v}");
     }

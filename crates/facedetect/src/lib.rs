@@ -38,9 +38,7 @@ mod cascade;
 mod haar;
 mod model_io;
 
-pub use boost::{train_adaboost, Stump, StrongClassifier};
-pub use cascade::{
-    detect_faces, Cascade, CascadeConfig, CascadeError, Detection, DetectorConfig,
-};
-pub use model_io::ModelIoError;
+pub use boost::{train_adaboost, StrongClassifier, Stump};
+pub use cascade::{detect_faces, Cascade, CascadeConfig, CascadeError, Detection, DetectorConfig};
 pub use haar::{generate_features, HaarFeature, HaarKind, NormalizedWindow};
+pub use model_io::ModelIoError;

@@ -6,7 +6,7 @@
 //! The format is a small, versioned, line-oriented text file (stable
 //! across platforms, diffable, no serialization dependency).
 
-use crate::boost::{Stump, StrongClassifier};
+use crate::boost::{StrongClassifier, Stump};
 use crate::cascade::Cascade;
 use crate::haar::{HaarFeature, HaarKind};
 use std::error::Error;
@@ -135,7 +135,9 @@ impl Cascade {
             let line = next("stage line")?;
             let mut parts = line.split_whitespace();
             if parts.next() != Some("stage") {
-                return Err(ModelIoError::Malformed(format!("stage {s}: expected 'stage'")));
+                return Err(ModelIoError::Malformed(format!(
+                    "stage {s}: expected 'stage'"
+                )));
             }
             let n_stumps: usize = parse_tok(parts.next(), "stump count")?;
             let threshold: f64 = parse_tok(parts.next(), "stage threshold")?;
@@ -177,7 +179,11 @@ impl Cascade {
                     alpha,
                 });
             }
-            stages.push(StrongClassifier { stumps, threshold, features });
+            stages.push(StrongClassifier {
+                stumps,
+                threshold,
+                features,
+            });
         }
         Ok(Cascade::from_parts(stages, window))
     }
@@ -186,7 +192,9 @@ impl Cascade {
 fn parse_kv<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, ModelIoError> {
     let mut parts = line.split_whitespace();
     if parts.next() != Some(key) {
-        return Err(ModelIoError::Malformed(format!("expected '{key}' line, got {line:?}")));
+        return Err(ModelIoError::Malformed(format!(
+            "expected '{key}' line, got {line:?}"
+        )));
     }
     parse_tok(parts.next(), key)
 }
@@ -234,7 +242,10 @@ mod tests {
             let face = render_face_patch(24, &mut rng);
             let clutter = render_non_face_patch(24, &mut rng);
             assert_eq!(cascade.accepts_patch(&face), loaded.accepts_patch(&face));
-            assert_eq!(cascade.accepts_patch(&clutter), loaded.accepts_patch(&clutter));
+            assert_eq!(
+                cascade.accepts_patch(&clutter),
+                loaded.accepts_patch(&clutter)
+            );
         }
     }
 
@@ -242,9 +253,15 @@ mod tests {
     fn rejects_bad_magic_and_truncation() {
         let path = tmp("badmagic.txt");
         std::fs::write(&path, "NOT-A-CASCADE\n").unwrap();
-        assert!(matches!(Cascade::load(&path), Err(ModelIoError::Malformed(_))));
+        assert!(matches!(
+            Cascade::load(&path),
+            Err(ModelIoError::Malformed(_))
+        ));
         std::fs::write(&path, format!("{MAGIC}\nwindow 24\nstages 2\n")).unwrap();
-        assert!(matches!(Cascade::load(&path), Err(ModelIoError::Malformed(_))));
+        assert!(matches!(
+            Cascade::load(&path),
+            Err(ModelIoError::Malformed(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -253,10 +270,15 @@ mod tests {
         let path = tmp("badfeat.txt");
         std::fs::write(
             &path,
-            format!("{MAGIC}\nwindow 24\nstages 1\nstage 1 0.0\nstump two_v 20 20 10 10 0.0 1 1.0\n"),
+            format!(
+                "{MAGIC}\nwindow 24\nstages 1\nstage 1 0.0\nstump two_v 20 20 10 10 0.0 1 1.0\n"
+            ),
         )
         .unwrap();
-        assert!(matches!(Cascade::load(&path), Err(ModelIoError::Malformed(_))));
+        assert!(matches!(
+            Cascade::load(&path),
+            Err(ModelIoError::Malformed(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -36,7 +36,10 @@ impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::BufferSizeMismatch { expected, found } => {
-                write!(f, "pixel buffer length {found} does not match expected {expected}")
+                write!(
+                    f,
+                    "pixel buffer length {found} does not match expected {expected}"
+                )
             }
             ImageError::InvalidDimensions { width, height } => {
                 write!(f, "invalid image dimensions {width}x{height}")
@@ -68,9 +71,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ImageError::BufferSizeMismatch { expected: 4, found: 3 };
-        assert_eq!(e.to_string(), "pixel buffer length 3 does not match expected 4");
-        let e = ImageError::InvalidDimensions { width: 0, height: 5 };
+        let e = ImageError::BufferSizeMismatch {
+            expected: 4,
+            found: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "pixel buffer length 3 does not match expected 4"
+        );
+        let e = ImageError::InvalidDimensions {
+            width: 0,
+            height: 5,
+        };
         assert_eq!(e.to_string(), "invalid image dimensions 0x5");
     }
 

@@ -34,8 +34,14 @@ impl Image {
     ///
     /// Panics if `width * height` overflows `usize`.
     pub fn new(width: usize, height: usize) -> Self {
-        let len = width.checked_mul(height).expect("image dimensions overflow");
-        Image { width, height, data: vec![0.0; len] }
+        let len = width
+            .checked_mul(height)
+            .expect("image dimensions overflow");
+        Image {
+            width,
+            height,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates an image filled with `value`.
@@ -56,6 +62,43 @@ impl Image {
         img
     }
 
+    /// Builds an image by evaluating `f(x, y)` at every pixel, with rows
+    /// distributed over worker threads per `policy`.
+    ///
+    /// For a pure `f` this is bit-identical to [`Image::from_fn`] under
+    /// every policy: each worker owns a disjoint band of whole rows and
+    /// evaluates pixels in the same row-major order the serial loop does.
+    /// This is the row-parallel substrate behind the `_with` kernel
+    /// variants in `sdvbs-kernels`.
+    pub fn from_fn_with(
+        width: usize,
+        height: usize,
+        policy: sdvbs_exec::ExecPolicy,
+        f: impl Fn(usize, usize) -> f32 + Sync,
+    ) -> Self {
+        if width == 0 || !policy.is_parallel(height) {
+            return Image::from_fn(width, height, f);
+        }
+        let len = width
+            .checked_mul(height)
+            .expect("image dimensions overflow");
+        let mut data = vec![0.0f32; len];
+        sdvbs_exec::fill_chunks(policy, &mut data, width, |start, band| {
+            let y0 = start / width;
+            for (dy, row) in band.chunks_mut(width).enumerate() {
+                let y = y0 + dy;
+                for (x, v) in row.iter_mut().enumerate() {
+                    *v = f(x, y);
+                }
+            }
+        });
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
     /// Wraps an existing row-major pixel buffer.
     ///
     /// # Errors
@@ -69,7 +112,11 @@ impl Image {
                 found: data.len(),
             });
         }
-        Ok(Image { width, height, data })
+        Ok(Image {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Image width in pixels.
@@ -99,7 +146,10 @@ impl Image {
     /// Panics if the coordinate is out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -110,7 +160,10 @@ impl Image {
     /// Panics if the coordinate is out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = value;
     }
 
@@ -151,7 +204,11 @@ impl Image {
     /// Applies `f` to every pixel, producing a new image.
     pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Image {
         let data = self.data.iter().map(|&v| f(v)).collect();
-        Image { width: self.width, height: self.height, data }
+        Image {
+            width: self.width,
+            height: self.height,
+            data,
+        }
     }
 
     /// Minimum pixel value (`0.0` for an empty image).
@@ -199,7 +256,10 @@ impl Image {
     ///
     /// Panics if the window exceeds the image bounds.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop window out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop window out of bounds"
+        );
         Image::from_fn(w, h, |x, y| self.get(x0 + x, y0 + y))
     }
 
@@ -231,7 +291,7 @@ impl Image {
     /// non-empty.
     pub fn resize_bilinear(&self, new_w: usize, new_h: usize) -> Image {
         if self.is_empty() {
-            return Image::new(new_w.min(1) * 0, 0);
+            return Image::new(0, 0);
         }
         assert!(new_w > 0 && new_h > 0, "target dimensions must be positive");
         let sx = self.width as f32 / new_w as f32;
@@ -260,17 +320,23 @@ impl Image {
 
     /// Rotates the image 90° clockwise (lossless; width and height swap).
     pub fn rotate90_cw(&self) -> Image {
-        Image::from_fn(self.height, self.width, |x, y| self.get(y, self.height - 1 - x))
+        Image::from_fn(self.height, self.width, |x, y| {
+            self.get(y, self.height - 1 - x)
+        })
     }
 
     /// Mirrors the image left-right.
     pub fn flip_horizontal(&self) -> Image {
-        Image::from_fn(self.width, self.height, |x, y| self.get(self.width - 1 - x, y))
+        Image::from_fn(self.width, self.height, |x, y| {
+            self.get(self.width - 1 - x, y)
+        })
     }
 
     /// Mirrors the image top-bottom.
     pub fn flip_vertical(&self) -> Image {
-        Image::from_fn(self.width, self.height, |x, y| self.get(x, self.height - 1 - y))
+        Image::from_fn(self.width, self.height, |x, y| {
+            self.get(x, self.height - 1 - y)
+        })
     }
 
     /// Sum of squared pixel-wise differences against `other`.
@@ -447,5 +513,32 @@ mod tests {
     fn debug_mentions_dimensions() {
         let img = Image::new(3, 4);
         assert!(format!("{img:?}").contains("3x4"));
+    }
+
+    #[test]
+    fn from_fn_with_matches_from_fn_for_every_policy() {
+        use sdvbs_exec::ExecPolicy;
+        let f = |x: usize, y: usize| (x as f32 * 0.37 + y as f32 * 1.13).sin();
+        let serial = Image::from_fn(53, 29, f);
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::Threads(1),
+            ExecPolicy::Threads(2),
+            ExecPolicy::Threads(4),
+            ExecPolicy::Threads(64),
+            ExecPolicy::Auto,
+        ] {
+            let par = Image::from_fn_with(53, 29, policy, f);
+            assert_eq!(par, serial, "{policy:?}");
+        }
+        // Degenerate shapes don't hang or panic.
+        assert_eq!(
+            Image::from_fn_with(0, 5, ExecPolicy::Threads(4), f),
+            Image::new(0, 5)
+        );
+        assert_eq!(
+            Image::from_fn_with(7, 0, ExecPolicy::Threads(4), f),
+            Image::new(7, 0)
+        );
     }
 }

@@ -20,12 +20,18 @@ use std::path::Path;
 /// [`ImageError::InvalidDimensions`] for an empty image.
 pub fn write_pgm(img: &Image, path: impl AsRef<Path>) -> Result<()> {
     if img.is_empty() {
-        return Err(ImageError::InvalidDimensions { width: img.width(), height: img.height() });
+        return Err(ImageError::InvalidDimensions {
+            width: img.width(),
+            height: img.height(),
+        });
     }
     let mut f = std::fs::File::create(path)?;
     write!(f, "P5\n{} {}\n255\n", img.width(), img.height())?;
-    let bytes: Vec<u8> =
-        img.as_slice().iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect();
+    let bytes: Vec<u8> = img
+        .as_slice()
+        .iter()
+        .map(|&v| v.round().clamp(0.0, 255.0) as u8)
+        .collect();
     f.write_all(&bytes)?;
     Ok(())
 }
@@ -38,7 +44,10 @@ pub fn write_pgm(img: &Image, path: impl AsRef<Path>) -> Result<()> {
 /// [`ImageError::InvalidDimensions`] for an empty image.
 pub fn write_ppm(img: &RgbImage, path: impl AsRef<Path>) -> Result<()> {
     if img.width() == 0 || img.height() == 0 {
-        return Err(ImageError::InvalidDimensions { width: img.width(), height: img.height() });
+        return Err(ImageError::InvalidDimensions {
+            width: img.width(),
+            height: img.height(),
+        });
     }
     let mut f = std::fs::File::create(path)?;
     write!(f, "P6\n{} {}\n255\n", img.width(), img.height())?;
@@ -58,11 +67,15 @@ pub fn read_ppm(path: impl AsRef<Path>) -> Result<RgbImage> {
     let mut reader = BufReader::new(f);
     let magic = read_token(&mut reader)?;
     if magic != "P6" {
-        return Err(ImageError::MalformedNetpbm(format!("unsupported magic {magic:?}")));
+        return Err(ImageError::MalformedNetpbm(format!(
+            "unsupported magic {magic:?}"
+        )));
     }
     let (w, h, maxval) = read_header(&mut reader)?;
     if maxval > 255 {
-        return Err(ImageError::MalformedNetpbm("16-bit ppm not supported".into()));
+        return Err(ImageError::MalformedNetpbm(
+            "16-bit ppm not supported".into(),
+        ));
     }
     let mut bytes = vec![0u8; w * h * 3];
     reader
@@ -85,7 +98,9 @@ pub fn read_pgm(path: impl AsRef<Path>) -> Result<Image> {
     match magic.as_str() {
         "P2" => read_ascii_pgm(&mut reader),
         "P5" => read_binary_pgm(&mut reader),
-        other => Err(ImageError::MalformedNetpbm(format!("unsupported magic {other:?}"))),
+        other => Err(ImageError::MalformedNetpbm(format!(
+            "unsupported magic {other:?}"
+        ))),
     }
 }
 
@@ -130,7 +145,10 @@ fn read_header(reader: &mut impl BufRead) -> Result<(usize, usize, u32)> {
     let h: usize = parse_token(reader, "height")?;
     let maxval: u32 = parse_token(reader, "maxval")?;
     if w == 0 || h == 0 {
-        return Err(ImageError::InvalidDimensions { width: w, height: h });
+        return Err(ImageError::InvalidDimensions {
+            width: w,
+            height: h,
+        });
     }
     if maxval == 0 || maxval > 65535 {
         return Err(ImageError::MalformedNetpbm(format!("bad maxval {maxval}")));
@@ -157,7 +175,9 @@ fn read_ascii_pgm(reader: &mut impl BufRead) -> Result<Image> {
 fn read_binary_pgm(reader: &mut impl BufRead) -> Result<Image> {
     let (w, h, maxval) = read_header(reader)?;
     if maxval > 255 {
-        return Err(ImageError::MalformedNetpbm("16-bit binary pgm not supported".into()));
+        return Err(ImageError::MalformedNetpbm(
+            "16-bit binary pgm not supported".into(),
+        ));
     }
     let mut bytes = vec![0u8; w * h];
     reader
@@ -220,7 +240,10 @@ mod tests {
     fn rejects_bad_magic() {
         let path = tmp("bad.pgm");
         std::fs::write(&path, b"P9\n1 1\n255\n\0").unwrap();
-        assert!(matches!(read_pgm(&path), Err(ImageError::MalformedNetpbm(_))));
+        assert!(matches!(
+            read_pgm(&path),
+            Err(ImageError::MalformedNetpbm(_))
+        ));
         std::fs::remove_file(path).ok();
     }
 
@@ -228,7 +251,10 @@ mod tests {
     fn rejects_truncated_binary() {
         let path = tmp("trunc.pgm");
         std::fs::write(&path, b"P5\n4 4\n255\nxx").unwrap();
-        assert!(matches!(read_pgm(&path), Err(ImageError::MalformedNetpbm(_))));
+        assert!(matches!(
+            read_pgm(&path),
+            Err(ImageError::MalformedNetpbm(_))
+        ));
         std::fs::remove_file(path).ok();
     }
 
@@ -260,7 +286,10 @@ mod tests {
     fn read_ppm_rejects_pgm_magic() {
         let path = tmp("wrongmagic.ppm");
         std::fs::write(&path, b"P5\n1 1\n255\n\0").unwrap();
-        assert!(matches!(read_ppm(&path), Err(ImageError::MalformedNetpbm(_))));
+        assert!(matches!(
+            read_ppm(&path),
+            Err(ImageError::MalformedNetpbm(_))
+        ));
         std::fs::remove_file(path).ok();
     }
 

@@ -33,7 +33,11 @@ impl RgbImage {
             .checked_mul(height)
             .and_then(|p| p.checked_mul(3))
             .expect("image dimensions overflow");
-        RgbImage { width, height, data: vec![0; len] }
+        RgbImage {
+            width,
+            height,
+            data: vec![0; len],
+        }
     }
 
     /// Wraps an interleaved RGB buffer.
@@ -49,7 +53,11 @@ impl RgbImage {
                 found: data.len(),
             });
         }
-        Ok(RgbImage { width, height, data })
+        Ok(RgbImage {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Converts a grayscale image (normalized to 0..=255) into RGB.
@@ -81,7 +89,10 @@ impl RgbImage {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         let i = (y * self.width + x) * 3;
         [self.data[i], self.data[i + 1], self.data[i + 2]]
     }
@@ -92,7 +103,10 @@ impl RgbImage {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         let i = (y * self.width + x) * 3;
         self.data[i] = rgb[0];
         self.data[i + 1] = rgb[1];

@@ -5,6 +5,7 @@
 //! All borders use replicate padding, matching the C sources' `padarray`
 //! convention.
 
+use sdvbs_exec::ExecPolicy;
 use sdvbs_image::Image;
 
 /// Convolves each row with the 1-D kernel `k` (replicate border).
@@ -13,9 +14,22 @@ use sdvbs_image::Image;
 ///
 /// Panics if `k` is empty or has even length.
 pub fn convolve_rows(img: &Image, k: &[f32]) -> Image {
-    assert!(!k.is_empty() && k.len() % 2 == 1, "kernel must have odd length");
+    convolve_rows_with(img, k, ExecPolicy::Serial)
+}
+
+/// [`convolve_rows`] under an execution policy: output rows are distributed
+/// over worker threads. Bit-identical to the serial result for any policy.
+///
+/// # Panics
+///
+/// Panics if `k` is empty or has even length.
+pub fn convolve_rows_with(img: &Image, k: &[f32], policy: ExecPolicy) -> Image {
+    assert!(
+        !k.is_empty() && k.len() % 2 == 1,
+        "kernel must have odd length"
+    );
     let half = (k.len() / 2) as isize;
-    Image::from_fn(img.width(), img.height(), |x, y| {
+    Image::from_fn_with(img.width(), img.height(), policy, |x, y| {
         let mut acc = 0.0f32;
         for (i, &kv) in k.iter().enumerate() {
             let sx = x as isize + i as isize - half;
@@ -31,9 +45,22 @@ pub fn convolve_rows(img: &Image, k: &[f32]) -> Image {
 ///
 /// Panics if `k` is empty or has even length.
 pub fn convolve_cols(img: &Image, k: &[f32]) -> Image {
-    assert!(!k.is_empty() && k.len() % 2 == 1, "kernel must have odd length");
+    convolve_cols_with(img, k, ExecPolicy::Serial)
+}
+
+/// [`convolve_cols`] under an execution policy (row-parallel over the
+/// output). Bit-identical to the serial result for any policy.
+///
+/// # Panics
+///
+/// Panics if `k` is empty or has even length.
+pub fn convolve_cols_with(img: &Image, k: &[f32], policy: ExecPolicy) -> Image {
+    assert!(
+        !k.is_empty() && k.len() % 2 == 1,
+        "kernel must have odd length"
+    );
     let half = (k.len() / 2) as isize;
-    Image::from_fn(img.width(), img.height(), |x, y| {
+    Image::from_fn_with(img.width(), img.height(), policy, |x, y| {
         let mut acc = 0.0f32;
         for (i, &kv) in k.iter().enumerate() {
             let sy = y as isize + i as isize - half;
@@ -45,7 +72,13 @@ pub fn convolve_cols(img: &Image, k: &[f32]) -> Image {
 
 /// Separable convolution: rows with `kx`, then columns with `ky`.
 pub fn convolve_separable(img: &Image, kx: &[f32], ky: &[f32]) -> Image {
-    convolve_cols(&convolve_rows(img, kx), ky)
+    convolve_separable_with(img, kx, ky, ExecPolicy::Serial)
+}
+
+/// [`convolve_separable`] under an execution policy: both 1-D passes are
+/// row-parallel. Bit-identical to the serial result for any policy.
+pub fn convolve_separable_with(img: &Image, kx: &[f32], ky: &[f32], policy: ExecPolicy) -> Image {
+    convolve_cols_with(&convolve_rows_with(img, kx, policy), ky, policy)
 }
 
 /// Dense 2-D convolution with an odd-sized `kw × kh` kernel in row-major
@@ -56,11 +89,25 @@ pub fn convolve_separable(img: &Image, kx: &[f32], ky: &[f32]) -> Image {
 /// Panics if the kernel dimensions are even, zero, or don't match `k`'s
 /// length.
 pub fn convolve_2d(img: &Image, k: &[f32], kw: usize, kh: usize) -> Image {
-    assert!(kw % 2 == 1 && kh % 2 == 1 && kw > 0 && kh > 0, "kernel must be odd-sized");
+    convolve_2d_with(img, k, kw, kh, ExecPolicy::Serial)
+}
+
+/// [`convolve_2d`] under an execution policy (row-parallel over the
+/// output). Bit-identical to the serial result for any policy.
+///
+/// # Panics
+///
+/// Panics if the kernel dimensions are even, zero, or don't match `k`'s
+/// length.
+pub fn convolve_2d_with(img: &Image, k: &[f32], kw: usize, kh: usize, policy: ExecPolicy) -> Image {
+    assert!(
+        kw % 2 == 1 && kh % 2 == 1 && kw > 0 && kh > 0,
+        "kernel must be odd-sized"
+    );
     assert_eq!(k.len(), kw * kh, "kernel buffer must match dimensions");
     let hw = (kw / 2) as isize;
     let hh = (kh / 2) as isize;
-    Image::from_fn(img.width(), img.height(), |x, y| {
+    Image::from_fn_with(img.width(), img.height(), policy, |x, y| {
         let mut acc = 0.0f32;
         for ky in 0..kh {
             for kx in 0..kw {
@@ -102,8 +149,18 @@ pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
 ///
 /// Panics if `sigma` is not finite and positive.
 pub fn gaussian_blur(img: &Image, sigma: f32) -> Image {
+    gaussian_blur_with(img, sigma, ExecPolicy::Serial)
+}
+
+/// [`gaussian_blur`] under an execution policy. Bit-identical to the serial
+/// result for any policy.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not finite and positive.
+pub fn gaussian_blur_with(img: &Image, sigma: f32, policy: ExecPolicy) -> Image {
     let k = gaussian_kernel(sigma);
-    convolve_separable(img, &k, &k)
+    convolve_separable_with(img, &k, &k, policy)
 }
 
 /// A `len`-tap box (moving average) kernel, normalized.
@@ -185,7 +242,11 @@ mod tests {
         let out = gaussian_blur(&img, 1.0);
         let var = |im: &Image| {
             let m = im.mean();
-            im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32
+            im.as_slice()
+                .iter()
+                .map(|&v| (v - m) * (v - m))
+                .sum::<f32>()
+                / im.len() as f32
         };
         assert!(var(&out) < var(&img) / 10.0);
     }

@@ -25,10 +25,20 @@ pub struct Feature {
 pub fn structure_tensor(img: &Image, radius: usize) -> (Image, Image, Image) {
     let gx = gradient_x(img);
     let gy = gradient_y(img);
-    let ixx = Image::from_fn(img.width(), img.height(), |x, y| gx.get(x, y) * gx.get(x, y));
-    let ixy = Image::from_fn(img.width(), img.height(), |x, y| gx.get(x, y) * gy.get(x, y));
-    let iyy = Image::from_fn(img.width(), img.height(), |x, y| gy.get(x, y) * gy.get(x, y));
-    (area_sum(&ixx, radius), area_sum(&ixy, radius), area_sum(&iyy, radius))
+    let ixx = Image::from_fn(img.width(), img.height(), |x, y| {
+        gx.get(x, y) * gx.get(x, y)
+    });
+    let ixy = Image::from_fn(img.width(), img.height(), |x, y| {
+        gx.get(x, y) * gy.get(x, y)
+    });
+    let iyy = Image::from_fn(img.width(), img.height(), |x, y| {
+        gy.get(x, y) * gy.get(x, y)
+    });
+    (
+        area_sum(&ixx, radius),
+        area_sum(&ixy, radius),
+        area_sum(&iyy, radius),
+    )
 }
 
 /// KLT "good features to track" response: the smaller eigenvalue of the
@@ -89,7 +99,11 @@ pub fn local_maxima(response: &Image, threshold: f32, margin: usize) -> Vec<Feat
                 }
             }
             if is_max {
-                feats.push(Feature { x: x as f32, y: y as f32, score: v });
+                feats.push(Feature {
+                    x: x as f32,
+                    y: y as f32,
+                    score: v,
+                });
             }
         }
     }
@@ -100,7 +114,11 @@ pub fn local_maxima(response: &Image, threshold: f32, margin: usize) -> Vec<Feat
 /// Sorts features strongest-first (the "Sort" kernel on feature
 /// granularity).
 pub fn sort_by_score(feats: &mut [Feature]) {
-    feats.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores must not be NaN"));
+    feats.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores must not be NaN")
+    });
 }
 
 /// Greedy spatial suppression: keeps at most `max` features such that no
@@ -113,8 +131,9 @@ pub fn spatial_suppression(feats: &[Feature], min_dist: f32, max: usize) -> Vec<
         if kept.len() >= max {
             break;
         }
-        let clear =
-            kept.iter().all(|k| (k.x - f.x).powi(2) + (k.y - f.y).powi(2) >= d2);
+        let clear = kept
+            .iter()
+            .all(|k| (k.x - f.x).powi(2) + (k.y - f.y).powi(2) >= d2);
         if clear {
             kept.push(*f);
         }
@@ -172,8 +191,14 @@ mod tests {
         let corner = r.get(10, 10);
         let edge = r.get(20, 10);
         let flat = r.get(20, 20);
-        assert!(corner > 10.0 * edge.max(1e-3), "corner {corner} vs edge {edge}");
-        assert!(corner > 100.0 * flat.max(1e-6), "corner {corner} vs flat {flat}");
+        assert!(
+            corner > 10.0 * edge.max(1e-3),
+            "corner {corner} vs edge {edge}"
+        );
+        assert!(
+            corner > 100.0 * flat.max(1e-6),
+            "corner {corner} vs flat {flat}"
+        );
     }
 
     #[test]
@@ -212,9 +237,21 @@ mod tests {
     #[test]
     fn suppression_enforces_min_distance() {
         let feats = vec![
-            Feature { x: 0.0, y: 0.0, score: 5.0 },
-            Feature { x: 1.0, y: 0.0, score: 4.0 },
-            Feature { x: 10.0, y: 0.0, score: 3.0 },
+            Feature {
+                x: 0.0,
+                y: 0.0,
+                score: 5.0,
+            },
+            Feature {
+                x: 1.0,
+                y: 0.0,
+                score: 4.0,
+            },
+            Feature {
+                x: 10.0,
+                y: 0.0,
+                score: 3.0,
+            },
         ];
         let kept = spatial_suppression(&feats, 5.0, 10);
         assert_eq!(kept.len(), 2);
@@ -225,7 +262,11 @@ mod tests {
     #[test]
     fn suppression_honors_max() {
         let feats: Vec<Feature> = (0..20)
-            .map(|i| Feature { x: 100.0 * i as f32, y: 0.0, score: 20.0 - i as f32 })
+            .map(|i| Feature {
+                x: 100.0 * i as f32,
+                y: 0.0,
+                score: 20.0 - i as f32,
+            })
             .collect();
         assert_eq!(spatial_suppression(&feats, 1.0, 7).len(), 7);
     }
@@ -235,15 +276,37 @@ mod tests {
         // A tight strong cluster plus one weaker isolated feature: ANMS with
         // max=2 must keep the isolated one.
         let feats = vec![
-            Feature { x: 0.0, y: 0.0, score: 10.0 },
-            Feature { x: 1.0, y: 0.0, score: 9.0 },
-            Feature { x: 0.0, y: 1.0, score: 8.5 },
-            Feature { x: 50.0, y: 50.0, score: 5.0 },
+            Feature {
+                x: 0.0,
+                y: 0.0,
+                score: 10.0,
+            },
+            Feature {
+                x: 1.0,
+                y: 0.0,
+                score: 9.0,
+            },
+            Feature {
+                x: 0.0,
+                y: 1.0,
+                score: 8.5,
+            },
+            Feature {
+                x: 50.0,
+                y: 50.0,
+                score: 5.0,
+            },
         ];
         let kept = anms(&feats, 2, 1.0);
         assert_eq!(kept.len(), 2);
-        assert!(kept.iter().any(|f| f.x == 50.0), "isolated feature dropped: {kept:?}");
-        assert!(kept.iter().any(|f| f.score == 10.0), "global max dropped: {kept:?}");
+        assert!(
+            kept.iter().any(|f| f.x == 50.0),
+            "isolated feature dropped: {kept:?}"
+        );
+        assert!(
+            kept.iter().any(|f| f.score == 10.0),
+            "global max dropped: {kept:?}"
+        );
     }
 
     #[test]

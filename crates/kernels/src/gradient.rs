@@ -1,19 +1,38 @@
 //! Derivative filters — the "Gradient" kernel of feature tracking, SIFT and
 //! stitch preprocessing.
 
-use crate::conv::{convolve_cols, convolve_rows, convolve_separable};
+use crate::conv::{
+    convolve_cols, convolve_cols_with, convolve_rows, convolve_rows_with, convolve_separable_with,
+};
+use sdvbs_exec::ExecPolicy;
 use sdvbs_image::Image;
 
 /// Horizontal derivative via the central-difference kernel `[-1/2, 0, 1/2]`
 /// smoothed vertically with `[1/4, 1/2, 1/4]` (a 3×3 Scharr-lite operator;
 /// the same separable structure the SD-VBS tracker uses).
 pub fn gradient_x(img: &Image) -> Image {
-    convolve_separable(img, &[-0.5, 0.0, 0.5], &[0.25, 0.5, 0.25])
+    gradient_x_with(img, ExecPolicy::Serial)
+}
+
+/// [`gradient_x`] under an execution policy. Bit-identical to the serial
+/// result for any policy.
+pub fn gradient_x_with(img: &Image, policy: ExecPolicy) -> Image {
+    convolve_separable_with(img, &[-0.5, 0.0, 0.5], &[0.25, 0.5, 0.25], policy)
 }
 
 /// Vertical derivative (transpose of [`gradient_x`]).
 pub fn gradient_y(img: &Image) -> Image {
-    convolve_cols(&convolve_rows(img, &[0.25, 0.5, 0.25]), &[-0.5, 0.0, 0.5])
+    gradient_y_with(img, ExecPolicy::Serial)
+}
+
+/// [`gradient_y`] under an execution policy. Bit-identical to the serial
+/// result for any policy.
+pub fn gradient_y_with(img: &Image, policy: ExecPolicy) -> Image {
+    convolve_cols_with(
+        &convolve_rows_with(img, &[0.25, 0.5, 0.25], policy),
+        &[-0.5, 0.0, 0.5],
+        policy,
+    )
 }
 
 /// Plain central differences without smoothing (used where the caller has
@@ -56,7 +75,9 @@ pub fn orientation(gx: &Image, gy: &Image) -> Image {
         (gy.width(), gy.height()),
         "gradient images must match in size"
     );
-    Image::from_fn(gx.width(), gx.height(), |x, y| gy.get(x, y).atan2(gx.get(x, y)))
+    Image::from_fn(gx.width(), gx.height(), |x, y| {
+        gy.get(x, y).atan2(gx.get(x, y))
+    })
 }
 
 #[cfg(test)]

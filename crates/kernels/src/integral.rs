@@ -54,7 +54,11 @@ impl IntegralImage {
                 table[(y + 1) * stride + x + 1] = table[y * stride + x + 1] + row_acc;
             }
         }
-        IntegralImage { width: w, height: h, table }
+        IntegralImage {
+            width: w,
+            height: h,
+            table,
+        }
     }
 
     /// Width of the source image.
@@ -138,7 +142,10 @@ mod tests {
                     naive += img.get(x, y) as f64;
                 }
             }
-            assert!((ii.sum(x0, y0, w, h) - naive).abs() < 1e-9, "window {x0},{y0},{w},{h}");
+            assert!(
+                (ii.sum(x0, y0, w, h) - naive).abs() < 1e-9,
+                "window {x0},{y0},{w},{h}"
+            );
         }
     }
 

@@ -98,7 +98,10 @@ mod tests {
         let pyr = Pyramid::new(&img, 3, 1.5);
         for i in 0..pyr.levels() {
             let l = pyr.level(i);
-            assert!(l.as_slice().iter().all(|&v| (v - 7.0).abs() < 1e-2), "level {i}");
+            assert!(
+                l.as_slice().iter().all(|&v| (v - 7.0).abs() < 1e-2),
+                "level {i}"
+            );
         }
     }
 

@@ -1,0 +1,119 @@
+//! Serial vs parallel equivalence for the policy-aware kernels.
+//!
+//! Every `_with` kernel promises **bit-identical** output under any
+//! [`ExecPolicy`]; these properties pin that promise down for thread
+//! counts 1, 2 and 4 at all three SD-VBS input sizes (SQCIF, QCIF, CIF).
+
+use proptest::prelude::*;
+use sdvbs_exec::ExecPolicy;
+use sdvbs_image::Image;
+use sdvbs_kernels::conv::{
+    convolve_2d, convolve_2d_with, convolve_cols, convolve_cols_with, convolve_rows,
+    convolve_rows_with, convolve_separable, convolve_separable_with, gaussian_blur,
+    gaussian_blur_with,
+};
+use sdvbs_kernels::gradient::{gradient_x, gradient_x_with, gradient_y, gradient_y_with};
+
+/// The paper's three input sizes: SQCIF, QCIF, CIF.
+const SIZES: [(usize, usize); 3] = [(128, 96), (176, 144), (352, 288)];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Deterministic pseudo-random image (SplitMix-style per-pixel hash).
+fn test_image(w: usize, h: usize, seed: u64) -> Image {
+    Image::from_fn(w, h, |x, y| {
+        let mut v = seed
+            ^ (x as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (y as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        v ^= v >> 33;
+        v = v.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        v ^= v >> 33;
+        (v & 0xff) as f32
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn convolve_rows_is_policy_invariant(seed in 0u64..10_000, size in 0usize..3) {
+        let (w, h) = SIZES[size];
+        let img = test_image(w, h, seed);
+        let k = [0.1f32, 0.2, 0.4, 0.2, 0.1];
+        let serial = convolve_rows(&img, &k);
+        for n in THREADS {
+            let par = convolve_rows_with(&img, &k, ExecPolicy::Threads(n));
+            prop_assert_eq!(&par, &serial, "threads = {}", n);
+        }
+    }
+
+    #[test]
+    fn convolve_cols_is_policy_invariant(seed in 0u64..10_000, size in 0usize..3) {
+        let (w, h) = SIZES[size];
+        let img = test_image(w, h, seed);
+        let k = [0.25f32, 0.5, 0.25];
+        let serial = convolve_cols(&img, &k);
+        for n in THREADS {
+            let par = convolve_cols_with(&img, &k, ExecPolicy::Threads(n));
+            prop_assert_eq!(&par, &serial, "threads = {}", n);
+        }
+    }
+
+    #[test]
+    fn convolve_separable_is_policy_invariant(seed in 0u64..10_000, size in 0usize..3) {
+        let (w, h) = SIZES[size];
+        let img = test_image(w, h, seed);
+        let kx = [0.1f32, 0.8, 0.1];
+        let ky = [0.3f32, 0.4, 0.3];
+        let serial = convolve_separable(&img, &kx, &ky);
+        for n in THREADS {
+            let par = convolve_separable_with(&img, &kx, &ky, ExecPolicy::Threads(n));
+            prop_assert_eq!(&par, &serial, "threads = {}", n);
+        }
+    }
+
+    #[test]
+    fn convolve_2d_is_policy_invariant(seed in 0u64..10_000, size in 0usize..3) {
+        let (w, h) = SIZES[size];
+        let img = test_image(w, h, seed);
+        // A non-separable 3x3 kernel, so the dense path is genuinely used.
+        let k = [0.0f32, -1.0, 0.5, -1.0, 4.0, -1.0, 0.5, -1.0, 0.0];
+        let serial = convolve_2d(&img, &k, 3, 3);
+        for n in THREADS {
+            let par = convolve_2d_with(&img, &k, 3, 3, ExecPolicy::Threads(n));
+            prop_assert_eq!(&par, &serial, "threads = {}", n);
+        }
+    }
+
+    #[test]
+    fn gaussian_blur_is_policy_invariant(seed in 0u64..10_000, size in 0usize..3) {
+        let (w, h) = SIZES[size];
+        let img = test_image(w, h, seed);
+        let serial = gaussian_blur(&img, 1.4);
+        for n in THREADS {
+            let par = gaussian_blur_with(&img, 1.4, ExecPolicy::Threads(n));
+            prop_assert_eq!(&par, &serial, "threads = {}", n);
+        }
+    }
+
+    #[test]
+    fn gradients_are_policy_invariant(seed in 0u64..10_000, size in 0usize..3) {
+        let (w, h) = SIZES[size];
+        let img = test_image(w, h, seed);
+        let sx = gradient_x(&img);
+        let sy = gradient_y(&img);
+        for n in THREADS {
+            prop_assert_eq!(&gradient_x_with(&img, ExecPolicy::Threads(n)), &sx, "gx, threads = {}", n);
+            prop_assert_eq!(&gradient_y_with(&img, ExecPolicy::Threads(n)), &sy, "gy, threads = {}", n);
+        }
+    }
+}
+
+#[test]
+fn auto_policy_matches_serial_too() {
+    let img = test_image(176, 144, 7);
+    assert_eq!(
+        gaussian_blur_with(&img, 2.0, ExecPolicy::Auto),
+        gaussian_blur(&img, 2.0)
+    );
+    assert_eq!(gradient_x_with(&img, ExecPolicy::Auto), gradient_x(&img));
+}

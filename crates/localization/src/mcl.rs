@@ -75,7 +75,11 @@ impl MonteCarloLocalizer {
                 weight: w0,
             })
             .collect();
-        MonteCarloLocalizer { particles, config: *cfg, rng }
+        MonteCarloLocalizer {
+            particles,
+            config: *cfg,
+            rng,
+        }
     }
 
     /// Creates a localizer for the paper's second subtask — *local
@@ -89,7 +93,10 @@ impl MonteCarloLocalizer {
     /// Panics if `cfg.particles == 0` or either spread is negative.
     pub fn new_tracking(pose: Pose, pos_spread: f64, angle_spread: f64, cfg: &MclConfig) -> Self {
         assert!(cfg.particles > 0, "need at least one particle");
-        assert!(pos_spread >= 0.0 && angle_spread >= 0.0, "spreads must be non-negative");
+        assert!(
+            pos_spread >= 0.0 && angle_spread >= 0.0,
+            "spreads must be non-negative"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let w0 = 1.0 / cfg.particles as f64;
         let particles = (0..cfg.particles)
@@ -102,7 +109,11 @@ impl MonteCarloLocalizer {
                 weight: w0,
             })
             .collect();
-        MonteCarloLocalizer { particles, config: *cfg, rng }
+        MonteCarloLocalizer {
+            particles,
+            config: *cfg,
+            rng,
+        }
     }
 
     /// The current particle set.
@@ -171,8 +182,11 @@ impl MonteCarloLocalizer {
                     p.weight = log_w;
                 }
                 // Normalize in log space for numerical stability.
-                let max_log =
-                    self.particles.iter().map(|p| p.weight).fold(f64::NEG_INFINITY, f64::max);
+                let max_log = self
+                    .particles
+                    .iter()
+                    .map(|p| p.weight)
+                    .fold(f64::NEG_INFINITY, f64::max);
                 let mut sum = 0.0;
                 for p in &mut self.particles {
                     p.weight = (p.weight - max_log).exp();
@@ -231,9 +245,17 @@ impl MonteCarloLocalizer {
             wsum += p.weight;
         }
         if wsum == 0.0 {
-            return Pose { x: 0.0, y: 0.0, theta: 0.0 };
+            return Pose {
+                x: 0.0,
+                y: 0.0,
+                theta: 0.0,
+            };
         }
-        Pose { x: x / wsum, y: y / wsum, theta: sin_sum.atan2(cos_sum) }
+        Pose {
+            x: x / wsum,
+            y: y / wsum,
+            theta: sin_sum.atan2(cos_sum),
+        }
     }
 
     /// Effective sample size `1 / Σ wᵢ²` — a standard degeneracy
@@ -256,7 +278,11 @@ mod tests {
     fn run_filter(steps: usize, particles: usize, seed: u64) -> (Pose, Pose) {
         let world = World::generate(&WorldConfig::default());
         let traj = world.simulate(steps, seed);
-        let cfg = MclConfig { particles, seed, ..MclConfig::default() };
+        let cfg = MclConfig {
+            particles,
+            seed,
+            ..MclConfig::default()
+        };
         let mut mcl = MonteCarloLocalizer::new(&world, &cfg);
         let mut prof = Profiler::new();
         for step in &traj.steps {
@@ -268,15 +294,27 @@ mod tests {
     #[test]
     fn filter_converges_to_true_pose() {
         let (est, truth) = run_filter(40, 600, 11);
-        assert!(est.distance(&truth) < 1.0, "position error {:.2}", est.distance(&truth));
-        assert!(est.heading_error(&truth) < 0.4, "heading error {:.2}", est.heading_error(&truth));
+        assert!(
+            est.distance(&truth) < 1.0,
+            "position error {:.2}",
+            est.distance(&truth)
+        );
+        assert!(
+            est.heading_error(&truth) < 0.4,
+            "heading error {:.2}",
+            est.heading_error(&truth)
+        );
     }
 
     #[test]
     fn convergence_holds_across_seeds() {
         for seed in [1u64, 2, 3] {
             let (est, truth) = run_filter(40, 600, seed);
-            assert!(est.distance(&truth) < 1.5, "seed {seed}: error {:.2}", est.distance(&truth));
+            assert!(
+                est.distance(&truth) < 1.5,
+                "seed {seed}: error {:.2}",
+                est.distance(&truth)
+            );
         }
     }
 
@@ -328,12 +366,14 @@ mod tests {
         // localization after very few steps.
         let world = World::generate(&WorldConfig::default());
         let traj = world.simulate(5, 13);
-        let cfg = MclConfig { particles: 300, ..MclConfig::default() };
+        let cfg = MclConfig {
+            particles: 300,
+            ..MclConfig::default()
+        };
         let mut prof = Profiler::new();
 
         let mut global = MonteCarloLocalizer::new(&world, &cfg);
-        let mut tracking =
-            MonteCarloLocalizer::new_tracking(traj.start, 0.5, 0.1, &cfg);
+        let mut tracking = MonteCarloLocalizer::new_tracking(traj.start, 0.5, 0.1, &cfg);
         for step in &traj.steps {
             global.step(&step.odometry, &step.measurements, &world, &mut prof);
             tracking.step(&step.odometry, &step.measurements, &world, &mut prof);
@@ -373,7 +413,10 @@ mod tests {
         let after = world.simulate(25, 91); // different trajectory = new pose
         let mut mcl = MonteCarloLocalizer::new(
             &world,
-            &MclConfig { particles: 1500, ..MclConfig::default() },
+            &MclConfig {
+                particles: 1500,
+                ..MclConfig::default()
+            },
         );
         let mut prof = Profiler::new();
         for step in &before.steps {

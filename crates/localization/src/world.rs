@@ -137,13 +137,24 @@ impl World {
     ///
     /// Panics if the arena is non-positive in size or has no landmarks.
     pub fn generate(cfg: &WorldConfig) -> Self {
-        assert!(cfg.width > 0.0 && cfg.height > 0.0, "arena must have positive size");
+        assert!(
+            cfg.width > 0.0 && cfg.height > 0.0,
+            "arena must have positive size"
+        );
         assert!(cfg.landmarks > 0, "need at least one landmark");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let landmarks = (0..cfg.landmarks)
-            .map(|_| (rng.gen_range(0.0..cfg.width), rng.gen_range(0.0..cfg.height)))
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..cfg.width),
+                    rng.gen_range(0.0..cfg.height),
+                )
+            })
             .collect();
-        World { config: *cfg, landmarks }
+        World {
+            config: *cfg,
+            landmarks,
+        }
     }
 
     /// The landmark positions.
@@ -175,7 +186,11 @@ impl World {
             let trans: f64 = rng.gen_range(0.4..0.8);
             let ahead_x = pose.x + (pose.theta + turn).cos() * trans * 2.0;
             let ahead_y = pose.y + (pose.theta + turn).sin() * trans * 2.0;
-            if ahead_x < 1.0 || ahead_y < 1.0 || ahead_x > cfg.width - 1.0 || ahead_y > cfg.height - 1.0 {
+            if ahead_x < 1.0
+                || ahead_y < 1.0
+                || ahead_x > cfg.width - 1.0
+                || ahead_y > cfg.height - 1.0
+            {
                 turn += std::f64::consts::FRAC_PI_2;
             }
             let rot1 = turn * 0.5;
@@ -207,7 +222,11 @@ impl World {
                     });
                 }
             }
-            out.push(TrajectoryStep { true_pose: pose, odometry, measurements });
+            out.push(TrajectoryStep {
+                true_pose: pose,
+                odometry,
+                measurements,
+            });
         }
         Trajectory { start, steps: out }
     }
@@ -239,7 +258,10 @@ mod tests {
         let a = World::generate(&WorldConfig::default());
         let b = World::generate(&WorldConfig::default());
         assert_eq!(a.landmarks(), b.landmarks());
-        let c = World::generate(&WorldConfig { seed: 2, ..WorldConfig::default() });
+        let c = World::generate(&WorldConfig {
+            seed: 2,
+            ..WorldConfig::default()
+        });
         assert_ne!(a.landmarks(), c.landmarks());
     }
 
@@ -258,8 +280,16 @@ mod tests {
         let t = w.simulate(100, 3);
         assert_eq!(t.steps.len(), 100);
         for s in &t.steps {
-            assert!(s.true_pose.x > -2.0 && s.true_pose.x < 22.0, "{:?}", s.true_pose);
-            assert!(s.true_pose.y > -2.0 && s.true_pose.y < 22.0, "{:?}", s.true_pose);
+            assert!(
+                s.true_pose.x > -2.0 && s.true_pose.x < 22.0,
+                "{:?}",
+                s.true_pose
+            );
+            assert!(
+                s.true_pose.y > -2.0 && s.true_pose.y < 22.0,
+                "{:?}",
+                s.true_pose
+            );
         }
     }
 
@@ -291,7 +321,11 @@ mod tests {
             pose.theta = normalize_angle(pose.theta + s.odometry.rot2);
         }
         let end = t.steps.last().unwrap().true_pose;
-        assert!(pose.distance(&end) < 5.0, "dead reckoning drifted {:.2}", pose.distance(&end));
+        assert!(
+            pose.distance(&end) < 5.0,
+            "dead reckoning drifted {:.2}",
+            pose.distance(&end)
+        );
     }
 
     #[test]

@@ -75,11 +75,18 @@ pub fn conjugate_gradient<A: LinearOperator + ?Sized>(
 ) -> Result<CgOutcome> {
     let n = a.dim();
     if b.len() != n {
-        return Err(MatrixError::DimensionMismatch { expected: (n, 1), found: (b.len(), 1) });
+        return Err(MatrixError::DimensionMismatch {
+            expected: (n, 1),
+            found: (b.len(), 1),
+        });
     }
     let bnorm = norm(b);
     if bnorm == 0.0 {
-        return Ok(CgOutcome { x: vec![0.0; n], iterations: 0, residual_norm: 0.0 });
+        return Ok(CgOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual_norm: 0.0,
+        });
     }
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
@@ -89,7 +96,11 @@ pub fn conjugate_gradient<A: LinearOperator + ?Sized>(
     for iter in 0..max_iter {
         let rnorm = rs_old.sqrt();
         if rnorm <= tol * bnorm {
-            return Ok(CgOutcome { x, iterations: iter, residual_norm: rnorm });
+            return Ok(CgOutcome {
+                x,
+                iterations: iter,
+                residual_norm: rnorm,
+            });
         }
         a.apply(&p, &mut ap);
         let denom = dot(&p, &ap);
@@ -112,9 +123,15 @@ pub fn conjugate_gradient<A: LinearOperator + ?Sized>(
     }
     let rnorm = rs_old.sqrt();
     if rnorm <= tol * bnorm {
-        Ok(CgOutcome { x, iterations: max_iter, residual_norm: rnorm })
+        Ok(CgOutcome {
+            x,
+            iterations: max_iter,
+            residual_norm: rnorm,
+        })
     } else {
-        Err(MatrixError::NoConvergence { iterations: max_iter })
+        Err(MatrixError::NoConvergence {
+            iterations: max_iter,
+        })
     }
 }
 
@@ -132,11 +149,7 @@ mod tests {
 
     #[test]
     fn solves_spd_system() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.0],
-            &[1.0, 3.0, 1.0],
-            &[0.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
         let b = vec![1.0, 2.0, 3.0];
         let out = conjugate_gradient(&a, &b, 1e-12, 100).unwrap();
         let ax = a.matvec(&out.x);

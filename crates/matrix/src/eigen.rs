@@ -52,13 +52,7 @@ impl SymEigen {
             return Err(MatrixError::Empty);
         }
         // Work on a symmetrized copy.
-        let mut m = Matrix::from_fn(n, n, |i, j| {
-            if j >= i {
-                a[(i, j)]
-            } else {
-                a[(j, i)]
-            }
-        });
+        let mut m = Matrix::from_fn(n, n, |i, j| if j >= i { a[(i, j)] } else { a[(j, i)] });
         let mut v = Matrix::identity(n);
         let mut converged = false;
         for _sweep in 0..MAX_SWEEPS {
@@ -116,11 +110,17 @@ impl SymEigen {
         if !converged {
             // One final check: Jacobi converges quadratically, so reaching
             // the sweep cap without meeting the tolerance is a genuine error.
-            return Err(MatrixError::NoConvergence { iterations: MAX_SWEEPS });
+            return Err(MatrixError::NoConvergence {
+                iterations: MAX_SWEEPS,
+            });
         }
         // Sort eigenpairs ascending.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("non-NaN eigenvalues"));
+        order.sort_by(|&i, &j| {
+            m[(i, i)]
+                .partial_cmp(&m[(j, j)])
+                .expect("non-NaN eigenvalues")
+        });
         let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
         let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
         Ok(SymEigen { values, vectors })
@@ -152,17 +152,16 @@ mod tests {
 
     #[test]
     fn satisfies_eigen_equation() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let e = a.sym_eigen().unwrap();
         for k in 0..3 {
             let v = e.vectors().col(k);
             let av = a.matvec(&v);
             for i in 0..3 {
-                assert!((av[i] - e.values()[k] * v[i]).abs() < 1e-8, "A v != lambda v");
+                assert!(
+                    (av[i] - e.values()[k] * v[i]).abs() < 1e-8,
+                    "A v != lambda v"
+                );
             }
         }
     }
@@ -178,11 +177,7 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Matrix::from_rows(&[
-            &[5.0, 2.0, 1.0],
-            &[2.0, 6.0, 3.0],
-            &[1.0, 3.0, 7.0],
-        ]);
+        let a = Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 6.0, 3.0], &[1.0, 3.0, 7.0]]);
         let e = a.sym_eigen().unwrap();
         let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
         let sum: f64 = e.values().iter().sum();

@@ -45,10 +45,17 @@ impl fmt::Display for MatrixError {
             ),
             MatrixError::Singular => write!(f, "matrix is singular to working precision"),
             MatrixError::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, found {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, found {}x{}",
+                    shape.0, shape.1
+                )
             }
             MatrixError::NoConvergence { iterations } => {
-                write!(f, "iterative method did not converge within {iterations} iterations")
+                write!(
+                    f,
+                    "iterative method did not converge within {iterations} iterations"
+                )
             }
             MatrixError::Empty => write!(f, "matrix must be non-empty"),
         }
@@ -63,9 +70,15 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = MatrixError::DimensionMismatch { expected: (2, 3), found: (4, 5) };
+        let e = MatrixError::DimensionMismatch {
+            expected: (2, 3),
+            found: (4, 5),
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 2x3, found 4x5");
-        assert_eq!(MatrixError::Singular.to_string(), "matrix is singular to working precision");
+        assert_eq!(
+            MatrixError::Singular.to_string(),
+            "matrix is singular to working precision"
+        );
         assert_eq!(
             MatrixError::NotSquare { shape: (1, 2) }.to_string(),
             "operation requires a square matrix, found 1x2"

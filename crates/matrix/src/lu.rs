@@ -83,7 +83,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { factors: f, pivots, perm_sign: sign })
+        Ok(Lu {
+            factors: f,
+            pivots,
+            perm_sign: sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -96,6 +100,8 @@ impl Lu {
     /// # Errors
     ///
     /// Returns [`MatrixError::DimensionMismatch`] if `b.len() != self.dim()`.
+    // Indexed substitution loops mirror the textbook recurrences.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {

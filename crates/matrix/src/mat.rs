@@ -1,7 +1,7 @@
 //! Dense row-major matrix of `f64` values.
 
-use crate::error::{MatrixError, Result};
 use crate::eigen::SymEigen;
+use crate::error::{MatrixError, Result};
 use crate::lu::Lu;
 use crate::qr::Qr;
 use crate::svd::Svd;
@@ -40,7 +40,11 @@ impl Matrix {
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows.checked_mul(cols).expect("matrix dimensions overflow");
-        Matrix { rows, cols, data: vec![0.0; len] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
@@ -74,7 +78,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have the same length");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -144,7 +152,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -154,7 +166,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -164,7 +180,11 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column index {j} out of bounds for {} columns", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds for {} columns",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -187,13 +207,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -347,14 +367,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -467,7 +493,10 @@ mod tests {
     fn matmul_rejects_mismatched_shapes() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(MatrixError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl Qr {
             return Err(MatrixError::Empty);
         }
         if m < n {
-            return Err(MatrixError::DimensionMismatch { expected: (n, n), found: (m, n) });
+            return Err(MatrixError::DimensionMismatch {
+                expected: (n, n),
+                found: (m, n),
+            });
         }
         let mut f = a.clone();
         let mut taus = vec![0.0; n];
@@ -84,12 +87,23 @@ impl Qr {
                 }
             }
         }
-        Ok(Qr { factors: f, taus, m, n })
+        Ok(Qr {
+            factors: f,
+            taus,
+            m,
+            n,
+        })
     }
 
     /// The upper-triangular factor `R` (`n × n`).
     pub fn r(&self) -> Matrix {
-        Matrix::from_fn(self.n, self.n, |i, j| if j >= i { self.factors[(i, j)] } else { 0.0 })
+        Matrix::from_fn(self.n, self.n, |i, j| {
+            if j >= i {
+                self.factors[(i, j)]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// The thin orthogonal factor `Q` (`m × n`).
@@ -118,6 +132,8 @@ impl Qr {
     }
 
     /// Applies `Qᵀ` to a vector of length `m`.
+    // Indexed partial-range loops keep the Householder update readable.
+    #[allow(clippy::needless_range_loop)]
     fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
         let mut y = b.to_vec();
         for k in 0..self.n {
@@ -145,6 +161,8 @@ impl Qr {
     /// * [`MatrixError::DimensionMismatch`] if `b.len() != rows`.
     /// * [`MatrixError::Singular`] if `R` has a zero diagonal entry
     ///   (rank-deficient system).
+    // Indexed back-substitution mirrors the textbook recurrence.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
         if b.len() != self.m {
             return Err(MatrixError::DimensionMismatch {
@@ -187,12 +205,7 @@ mod tests {
 
     #[test]
     fn q_has_orthonormal_columns() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]);
         let q = a.qr().unwrap().q();
         let qtq = q.transpose().matmul(&q).unwrap();
         assert!((&qtq - &Matrix::identity(2)).unwrap().max_abs() < 1e-10);
@@ -221,7 +234,10 @@ mod tests {
     #[test]
     fn wide_matrix_is_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Qr::new(&a), Err(MatrixError::DimensionMismatch { .. })));
+        assert!(matches!(
+            Qr::new(&a),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! spatial neighborhood; we store that sparse matrix in CSR form and extract
 //! the leading eigenvectors with Lanczos iteration.
 
+use crate::cg::LinearOperator;
 use crate::eigen::SymEigen;
 use crate::error::{MatrixError, Result};
-use crate::cg::LinearOperator;
 use crate::mat::Matrix;
 
 /// Compressed sparse row matrix, assumed (and validated to be) structurally
@@ -65,12 +65,12 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "matvec input dimension mismatch");
         assert_eq!(y.len(), self.n, "matvec output dimension mismatch");
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -87,7 +87,11 @@ impl CsrMatrix {
     /// Sum of each row's entries (the "degree" vector of an affinity graph).
     pub fn row_sums(&self) -> Vec<f64> {
         (0..self.n)
-            .map(|i| self.values[self.row_ptr[i]..self.row_ptr[i + 1]].iter().sum())
+            .map(|i| {
+                self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+                    .iter()
+                    .sum()
+            })
             .collect()
     }
 
@@ -145,7 +149,12 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        CsrMatrix { n: keep.len(), row_ptr, col_idx, values }
+        CsrMatrix {
+            n: keep.len(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Densifies (for testing and small problems).
@@ -183,7 +192,10 @@ pub struct SparseBuilder {
 impl SparseBuilder {
     /// Creates a builder for an `n × n` matrix.
     pub fn new(n: usize) -> Self {
-        SparseBuilder { n, triplets: Vec::new() }
+        SparseBuilder {
+            n,
+            triplets: Vec::new(),
+        }
     }
 
     /// Adds `value` at `(row, col)`.
@@ -192,7 +204,10 @@ impl SparseBuilder {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n && col < self.n, "triplet ({row},{col}) out of bounds");
+        assert!(
+            row < self.n && col < self.n,
+            "triplet ({row},{col}) out of bounds"
+        );
         self.triplets.push((row, col, value));
     }
 
@@ -217,7 +232,7 @@ impl SparseBuilder {
 
     /// Assembles the CSR matrix, summing duplicates.
     pub fn build(mut self) -> CsrMatrix {
-        self.triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.triplets.sort_unstable_by_key(|a| (a.0, a.1));
         let mut row_ptr = vec![0usize; self.n + 1];
         let mut col_idx = Vec::with_capacity(self.triplets.len());
         let mut values = Vec::with_capacity(self.triplets.len());
@@ -238,7 +253,12 @@ impl SparseBuilder {
         for i in 0..self.n {
             row_ptr[i + 1] += row_ptr[i];
         }
-        CsrMatrix { n: self.n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n: self.n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -287,7 +307,10 @@ pub fn lanczos<A: LinearOperator + ?Sized>(
         return Err(MatrixError::Empty);
     }
     if start.len() != n {
-        return Err(MatrixError::DimensionMismatch { expected: (n, 1), found: (start.len(), 1) });
+        return Err(MatrixError::DimensionMismatch {
+            expected: (n, 1),
+            found: (start.len(), 1),
+        });
     }
     let steps = max_steps.min(n).max(k.min(n));
     let mut q: Vec<Vec<f64>> = Vec::with_capacity(steps);
@@ -364,7 +387,11 @@ pub fn lanczos<A: LinearOperator + ?Sized>(
         }
         vectors.push(ritz);
     }
-    Ok(LanczosResult { values, vectors, steps: m })
+    Ok(LanczosResult {
+        values,
+        vectors,
+        steps: m,
+    })
 }
 
 /// A linear operator with rank-one spectral deflations applied:
@@ -416,9 +443,15 @@ pub fn lanczos_deflated<A: LinearOperator + ?Sized>(
         return Err(MatrixError::Empty);
     }
     if start.len() != n {
-        return Err(MatrixError::DimensionMismatch { expected: (n, 1), found: (start.len(), 1) });
+        return Err(MatrixError::DimensionMismatch {
+            expected: (n, 1),
+            found: (start.len(), 1),
+        });
     }
-    let mut deflated = Deflated { inner: a, pairs: Vec::with_capacity(k) };
+    let mut deflated = Deflated {
+        inner: a,
+        pairs: Vec::with_capacity(k),
+    };
     let mut values = Vec::with_capacity(k);
     let mut vectors = Vec::with_capacity(k);
     let mut total_steps = 0;
@@ -429,21 +462,28 @@ pub fn lanczos_deflated<A: LinearOperator + ?Sized>(
             .iter()
             .enumerate()
             .map(|(i, v)| {
-                let mix = 0x9e3779b97f4a7c15u64
-                    ^ (j as u64 + 1).wrapping_mul(0xd1342543de82ef95);
+                let mix = 0x9e3779b97f4a7c15u64 ^ (j as u64 + 1).wrapping_mul(0xd1342543de82ef95);
                 let x = ((i + 1) as u64).wrapping_mul(mix | 1);
                 v + 1e-3 * (((x >> 40) % 1000) as f64 / 1000.0 - 0.5)
             })
             .collect();
         let r = lanczos(&deflated, 1, &s, max_steps)?;
         let lam = r.values[0];
-        let vec = r.vectors.into_iter().next().expect("k=1 returns one vector");
+        let vec = r
+            .vectors
+            .into_iter()
+            .next()
+            .expect("k=1 returns one vector");
         total_steps += r.steps;
         values.push(lam);
         vectors.push(vec.clone());
         deflated.pairs.push((lam, vec));
     }
-    Ok(LanczosResult { values, vectors, steps: total_steps })
+    Ok(LanczosResult {
+        values,
+        vectors,
+        steps: total_steps,
+    })
 }
 
 #[cfg(test)]
@@ -516,10 +556,17 @@ mod tests {
     fn lanczos_finds_extreme_eigenvalue_of_path_laplacian() {
         let n = 50;
         let l = laplacian_path(n);
-        let start: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 101) as f64 / 101.0 + 0.01).collect();
+        let start: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 + 11) % 101) as f64 / 101.0 + 0.01)
+            .collect();
         let r = lanczos(&l, 2, &start, 50).unwrap();
         let lam_max = 2.0 - 2.0 * (std::f64::consts::PI * (n as f64 - 1.0) / n as f64).cos();
-        assert!((r.values[0] - lam_max).abs() < 1e-6, "{} vs {}", r.values[0], lam_max);
+        assert!(
+            (r.values[0] - lam_max).abs() < 1e-6,
+            "{} vs {}",
+            r.values[0],
+            lam_max
+        );
     }
 
     #[test]
@@ -608,8 +655,11 @@ mod tests {
         // The three Ritz vectors must be mutually orthogonal.
         for i in 0..3 {
             for j in 0..i {
-                let dot: f64 =
-                    r.vectors[i].iter().zip(&r.vectors[j]).map(|(a, b)| a * b).sum();
+                let dot: f64 = r.vectors[i]
+                    .iter()
+                    .zip(&r.vectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
                 assert!(dot.abs() < 1e-6, "vectors {i},{j} not orthogonal: {dot}");
             }
         }

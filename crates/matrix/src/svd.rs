@@ -47,7 +47,11 @@ impl Svd {
             // One-sided Jacobi wants a tall matrix; use A = U S Vᵀ ⇔
             // Aᵀ = V S Uᵀ.
             let t = Svd::new(&a.transpose())?;
-            return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+            return Ok(Svd {
+                u: t.v,
+                sigma: t.sigma,
+                v: t.u,
+            });
         }
         // Work matrix whose columns we orthogonalize in place.
         let mut w = a.clone();
@@ -101,14 +105,20 @@ impl Svd {
             }
         }
         if !converged {
-            return Err(MatrixError::NoConvergence { iterations: MAX_SWEEPS });
+            return Err(MatrixError::NoConvergence {
+                iterations: MAX_SWEEPS,
+            });
         }
         // Column norms are the singular values; normalized columns form U.
         let mut sigma: Vec<f64> = (0..n)
             .map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
             .collect();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).expect("non-NaN singular values"));
+        order.sort_by(|&i, &j| {
+            sigma[j]
+                .partial_cmp(&sigma[i])
+                .expect("non-NaN singular values")
+        });
         let sorted_sigma: Vec<f64> = order.iter().map(|&i| sigma[i]).collect();
         sigma = sorted_sigma;
         let u = Matrix::from_fn(m, n, |i, j| {
@@ -153,7 +163,8 @@ impl Svd {
                 us[(i, j)] *= self.sigma[j];
             }
         }
-        us.matmul(&self.v.transpose()).expect("shapes agree by construction")
+        us.matmul(&self.v.transpose())
+            .expect("shapes agree by construction")
     }
 }
 
@@ -163,11 +174,7 @@ mod tests {
 
     #[test]
     fn reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let svd = a.svd().unwrap();
         assert!((&svd.reconstruct() - &a).unwrap().max_abs() < 1e-10);
     }
@@ -215,7 +222,12 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
         let svd = a.svd().unwrap();
         let fro = a.frobenius_norm();
-        let snorm = svd.singular_values().iter().map(|s| s * s).sum::<f64>().sqrt();
+        let snorm = svd
+            .singular_values()
+            .iter()
+            .map(|s| s * s)
+            .sum::<f64>()
+            .sqrt();
         assert!((fro - snorm).abs() < 1e-10);
     }
 

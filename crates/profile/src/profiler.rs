@@ -70,7 +70,8 @@ impl Profiler {
     /// Nested invocations are allowed; the parent kernel's self time
     /// excludes the child's elapsed time.
     pub fn kernel<T>(&mut self, name: &str, f: impl FnOnce(&mut Profiler) -> T) -> T {
-        self.stack.push((name.to_string(), Instant::now(), Duration::ZERO));
+        self.stack
+            .push((name.to_string(), Instant::now(), Duration::ZERO));
         let out = f(self);
         let (name, start, child) = self.stack.pop().expect("scope stack cannot be empty here");
         let elapsed = start.elapsed();
@@ -103,6 +104,40 @@ impl Profiler {
         self.total
     }
 
+    /// Merges another profiler's measurements into this one.
+    ///
+    /// This is the thread-safe profiling path for data-parallel kernels:
+    /// each worker times its share of the work into a private `Profiler`,
+    /// and the coordinator absorbs them in worker order, so per-kernel
+    /// attribution (the paper's Figure 3 occupancy decomposition) survives
+    /// parallel execution. Under a parallel `ExecPolicy` the absorbed
+    /// self-times are *CPU* time summed across workers, so they may exceed
+    /// the wall-clock `run` window — occupancies then read as average
+    /// core-utilization per kernel rather than wall-clock fractions.
+    ///
+    /// Kernels first seen in `other` keep their first-seen order after the
+    /// kernels already known to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` still has open kernel scopes.
+    pub fn absorb(&mut self, other: Profiler) {
+        assert!(
+            other.stack.is_empty(),
+            "cannot absorb a profiler with open kernel scopes"
+        );
+        for name in other.order {
+            let (self_time, calls) = other.totals[&name];
+            let entry = self.totals.entry(name.clone()).or_insert_with(|| {
+                self.order.push(name);
+                (Duration::ZERO, 0)
+            });
+            entry.0 += self_time;
+            entry.1 += calls;
+        }
+        self.total += other.total;
+    }
+
     /// Produces an occupancy report.
     ///
     /// If [`Profiler::run`] was never used, the denominator falls back to
@@ -113,12 +148,24 @@ impl Profiler {
             .iter()
             .map(|name| {
                 let (self_time, calls) = self.totals[name];
-                KernelStat { name: name.clone(), self_time, calls }
+                KernelStat {
+                    name: name.clone(),
+                    self_time,
+                    calls,
+                }
             })
             .collect();
         let kernel_sum: Duration = kernels.iter().map(|k| k.self_time).sum();
-        let total = if self.total > Duration::ZERO { self.total } else { kernel_sum };
-        Report { kernels, total, kernel_sum }
+        let total = if self.total > Duration::ZERO {
+            self.total
+        } else {
+            kernel_sum
+        };
+        Report {
+            kernels,
+            total,
+            kernel_sum,
+        }
     }
 
     /// Clears all accumulated measurements.
@@ -209,9 +256,17 @@ impl fmt::Display for Report {
             let time = if name == "NonKernelWork" {
                 self.non_kernel()
             } else {
-                self.kernels.iter().find(|k| k.name == name).map(|k| k.self_time).unwrap_or_default()
+                self.kernels
+                    .iter()
+                    .find(|k| k.name == name)
+                    .map(|k| k.self_time)
+                    .unwrap_or_default()
             };
-            writeln!(f, "  {name:<24} {:>10.3} ms {pct:>6.2}%", time.as_secs_f64() * 1e3)?;
+            writeln!(
+                f,
+                "  {name:<24} {:>10.3} ms {pct:>6.2}%",
+                time.as_secs_f64() * 1e3
+            )?;
         }
         Ok(())
     }
@@ -311,6 +366,56 @@ mod tests {
         let mut p = Profiler::new();
         let v = p.kernel("compute", |_| 40 + 2);
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn absorb_merges_totals_calls_and_order() {
+        let mut main = Profiler::new();
+        main.add_kernel_time("A", Duration::from_millis(4));
+        let mut worker = Profiler::new();
+        worker.add_kernel_time("A", Duration::from_millis(6));
+        worker.add_kernel_time("B", Duration::from_millis(3));
+        main.absorb(worker);
+        let r = main.report();
+        let names: Vec<&str> = r.kernels().iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        assert_eq!(r.kernels()[0].self_time, Duration::from_millis(10));
+        assert_eq!(r.kernels()[0].calls, 2);
+        assert_eq!(r.kernels()[1].self_time, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn absorb_from_scoped_threads_matches_serial_attribution() {
+        // The pattern every parallel kernel uses: per-worker profilers,
+        // absorbed in worker order.
+        let mut main = Profiler::new();
+        let workers: Vec<Profiler> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut p = Profiler::new();
+                        p.kernel("SSD", |_| sleep(Duration::from_millis(2)));
+                        p
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for w in workers {
+            main.absorb(w);
+        }
+        let r = main.report();
+        assert_eq!(r.kernels()[0].calls, 4);
+        assert!(r.kernels()[0].self_time >= Duration::from_millis(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "open kernel scopes")]
+    fn absorb_rejects_open_scopes() {
+        let mut open = Profiler::new();
+        open.stack
+            .push(("open".into(), Instant::now(), Duration::ZERO));
+        Profiler::new().absorb(open);
     }
 
     #[test]

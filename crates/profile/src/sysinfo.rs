@@ -34,20 +34,36 @@ impl SystemInfo {
             .and_then(|l| l.split(':').nth(1))
             .map(|s| s.trim().to_string())
             .unwrap_or_else(|| "unknown processor".to_string());
-        let logical_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let logical_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let memory_mib = std::fs::read_to_string("/proc/meminfo").ok().and_then(|m| {
-            m.lines().find(|l| l.starts_with("MemTotal:")).and_then(|l| {
-                l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok()).map(|kb| kb / 1024)
-            })
+            m.lines()
+                .find(|l| l.starts_with("MemTotal:"))
+                .and_then(|l| {
+                    l.split_whitespace()
+                        .nth(1)
+                        .and_then(|kb| kb.parse::<u64>().ok())
+                        .map(|kb| kb / 1024)
+                })
         });
-        SystemInfo { os, cpu, logical_cpus, memory_mib }
+        SystemInfo {
+            os,
+            cpu,
+            logical_cpus,
+            memory_mib,
+        }
     }
 }
 
 impl fmt::Display for SystemInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Operating System : {}", self.os)?;
-        writeln!(f, "Processor        : {} ({} logical cpus)", self.cpu, self.logical_cpus)?;
+        writeln!(
+            f,
+            "Processor        : {} ({} logical cpus)",
+            self.cpu, self.logical_cpus
+        )?;
         match self.memory_mib {
             Some(m) => writeln!(f, "Memory           : {m} MiB"),
             None => writeln!(f, "Memory           : unknown"),

@@ -1,6 +1,7 @@
 //! Affinity-graph construction (the "Adjacencymatrix" kernel) and the
 //! texture filter bank ("Filterbanks" kernel).
 
+use sdvbs_exec::{map_chunks, ExecPolicy};
 use sdvbs_image::Image;
 use sdvbs_kernels::conv::{convolve_2d, gaussian_blur};
 use sdvbs_matrix::{CsrMatrix, SparseBuilder};
@@ -41,6 +42,26 @@ pub fn adjacency_matrix(
     sigma_feature: f32,
     sigma_spatial: f32,
 ) -> CsrMatrix {
+    adjacency_matrix_with(
+        features,
+        radius,
+        sigma_feature,
+        sigma_spatial,
+        ExecPolicy::Serial,
+    )
+}
+
+/// [`adjacency_matrix`] under an execution policy: pixel rows are split
+/// into bands, each worker emits its band's triplets, and the bands are
+/// fed to the sparse builder in ascending-row order, so the resulting CSR
+/// matrix is bit-identical to the serial one for any policy.
+pub fn adjacency_matrix_with(
+    features: &[Image],
+    radius: usize,
+    sigma_feature: f32,
+    sigma_spatial: f32,
+    policy: ExecPolicy,
+) -> CsrMatrix {
     assert!(!features.is_empty(), "need at least one feature channel");
     let w = features[0].width();
     let h = features[0].height();
@@ -48,34 +69,44 @@ pub fn adjacency_matrix(
     let inv_sf2 = 1.0 / (sigma_feature * sigma_feature);
     let inv_sx2 = 1.0 / (sigma_spatial * sigma_spatial);
     let r = radius as isize;
-    let mut builder = SparseBuilder::new(n);
-    for y in 0..h as isize {
-        for x in 0..w as isize {
-            let i = (y as usize) * w + x as usize;
-            builder.push(i, i, 1.0);
-            // Only emit the "forward" half of each neighborhood and mirror,
-            // so every pair is computed once.
-            for dy in 0..=r {
-                let dx_start = if dy == 0 { 1 } else { -r };
-                for dx in dx_start..=r {
-                    let nx = x + dx;
-                    let ny = y + dy;
-                    if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
-                        continue;
-                    }
-                    let j = (ny as usize) * w + nx as usize;
-                    let mut fdist = 0.0f32;
-                    for f in features {
-                        let d = f.get(x as usize, y as usize) - f.get(nx as usize, ny as usize);
-                        fdist += d * d;
-                    }
-                    let sdist = (dx * dx + dy * dy) as f32;
-                    let wgt = (-fdist * inv_sf2 - sdist * inv_sx2).exp();
-                    if wgt > 1e-6 {
-                        builder.push_sym(i, j, wgt as f64);
+    let emit_band = |ys: std::ops::Range<usize>| -> Vec<(usize, usize, f64)> {
+        let mut triplets = Vec::new();
+        for y in ys.start as isize..ys.end as isize {
+            for x in 0..w as isize {
+                let i = (y as usize) * w + x as usize;
+                triplets.push((i, i, 1.0));
+                // Only emit the "forward" half of each neighborhood and
+                // mirror, so every pair is computed once.
+                for dy in 0..=r {
+                    let dx_start = if dy == 0 { 1 } else { -r };
+                    for dx in dx_start..=r {
+                        let nx = x + dx;
+                        let ny = y + dy;
+                        if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                            continue;
+                        }
+                        let j = (ny as usize) * w + nx as usize;
+                        let mut fdist = 0.0f32;
+                        for f in features {
+                            let d = f.get(x as usize, y as usize) - f.get(nx as usize, ny as usize);
+                            fdist += d * d;
+                        }
+                        let sdist = (dx * dx + dy * dy) as f32;
+                        let wgt = (-fdist * inv_sf2 - sdist * inv_sx2).exp();
+                        if wgt > 1e-6 {
+                            triplets.push((i, j, wgt as f64));
+                            triplets.push((j, i, wgt as f64));
+                        }
                     }
                 }
             }
+        }
+        triplets
+    };
+    let mut builder = SparseBuilder::new(n);
+    for band in map_chunks(policy, h, emit_band) {
+        for (i, j, v) in band {
+            builder.push(i, j, v);
         }
     }
     builder.build()
@@ -108,7 +139,7 @@ mod tests {
     #[test]
     fn affinity_is_symmetric_with_unit_diagonal() {
         let img = Image::from_fn(8, 8, |x, y| ((x * 5 + y * 3) % 17) as f32);
-        let a = adjacency_matrix(&[img], 2, 10.0, 4.0, );
+        let a = adjacency_matrix(&[img], 2, 10.0, 4.0);
         let d = a.to_dense();
         assert!(d.is_symmetric(1e-12));
         for i in 0..64 {

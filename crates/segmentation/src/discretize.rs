@@ -46,7 +46,14 @@ pub fn discretize(x: &Matrix, max_iters: usize) -> Vec<usize> {
             r[(j, 0)] = *v;
         }
         let mut min_corr: Vec<f64> = (0..n)
-            .map(|i| x.row(i).iter().zip(&first).map(|(a, b)| a * b).sum::<f64>().abs())
+            .map(|i| {
+                x.row(i)
+                    .iter()
+                    .zip(&first)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    .abs()
+            })
             .collect();
         for c in 1..k {
             // Pick the row least correlated with all chosen so far.
@@ -60,11 +67,16 @@ pub fn discretize(x: &Matrix, max_iters: usize) -> Vec<usize> {
             for (j, v) in row.iter().enumerate() {
                 r[(j, c)] = *v;
             }
-            for i in 0..n {
-                let corr =
-                    x.row(i).iter().zip(&row).map(|(a, b)| a * b).sum::<f64>().abs();
-                if corr > min_corr[i] {
-                    min_corr[i] = corr;
+            for (i, mc) in min_corr.iter_mut().enumerate() {
+                let corr = x
+                    .row(i)
+                    .iter()
+                    .zip(&row)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    .abs();
+                if corr > *mc {
+                    *mc = corr;
                 }
             }
         }
@@ -74,7 +86,7 @@ pub fn discretize(x: &Matrix, max_iters: usize) -> Vec<usize> {
     for _ in 0..max_iters {
         // Assignment step: label = argmax_j (X R)_ij.
         let xr = x.matmul(&r).expect("shapes agree");
-        for i in 0..n {
+        for (i, label) in labels.iter_mut().enumerate() {
             let row = xr.row(i);
             let mut best = 0usize;
             let mut best_v = f64::NEG_INFINITY;
@@ -84,7 +96,7 @@ pub fn discretize(x: &Matrix, max_iters: usize) -> Vec<usize> {
                     best = j;
                 }
             }
-            labels[i] = best;
+            *label = best;
         }
         // Rotation step: Procrustes — R = V Uᵀ of svd(Nᵀ X) where N is the
         // indicator matrix. Nᵀ X is k×k: row j sums embedding rows assigned

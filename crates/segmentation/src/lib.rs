@@ -41,6 +41,7 @@ mod metrics;
 mod ncuts;
 mod recursive;
 
+pub use affinity::{adjacency_matrix, adjacency_matrix_with, filter_bank_features};
 pub use metrics::rand_index;
 pub use ncuts::{segment, Segmentation, SegmentationConfig, SegmentationError};
 pub use recursive::segment_recursive;

@@ -36,9 +36,13 @@ pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
         let mut state = 0x12345678u64;
         let samples = 200_000;
         for _ in 0..samples {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (state >> 33) as usize % n;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % n;
             if i == j {
                 continue;

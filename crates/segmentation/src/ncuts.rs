@@ -1,6 +1,6 @@
 //! The normalized-cuts pipeline.
 
-use crate::affinity::{adjacency_matrix, filter_bank_features};
+use crate::affinity::{adjacency_matrix_with, filter_bank_features};
 use crate::discretize::{discretize, normalize_rows};
 use sdvbs_image::Image;
 use sdvbs_matrix::{lanczos_deflated, Matrix, MatrixError};
@@ -25,6 +25,9 @@ pub struct SegmentationConfig {
     pub lanczos_steps: usize,
     /// Discretization iteration budget.
     pub discretize_iters: usize,
+    /// Execution policy for the affinity ("Adjacencymatrix") construction.
+    /// Any policy yields a bit-identical matrix.
+    pub exec: sdvbs_exec::ExecPolicy,
 }
 
 impl Default for SegmentationConfig {
@@ -37,6 +40,7 @@ impl Default for SegmentationConfig {
             filter_bank: true,
             lanczos_steps: 60,
             discretize_iters: 25,
+            exec: sdvbs_exec::ExecPolicy::Serial,
         }
     }
 }
@@ -123,7 +127,9 @@ impl Segmentation {
             .zip(&counts)
             .map(|(s, &c)| if c > 0 { (*s / c as f64) as f32 } else { 0.0 })
             .collect();
-        Image::from_fn(self.width, self.height, |x, y| means[self.labels[y * self.width + x]])
+        Image::from_fn(self.width, self.height, |x, y| {
+            means[self.labels[y * self.width + x]]
+        })
     }
 }
 
@@ -158,11 +164,16 @@ pub fn segment(
             cfg.segments
         )));
     }
-    if !(cfg.sigma_feature > 0.0) || !(cfg.sigma_spatial > 0.0) {
-        return Err(SegmentationError::InvalidConfig("bandwidths must be positive".into()));
+    let positive = |v: f32| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !positive(cfg.sigma_feature) || !positive(cfg.sigma_spatial) {
+        return Err(SegmentationError::InvalidConfig(
+            "bandwidths must be positive".into(),
+        ));
     }
     if cfg.radius == 0 {
-        return Err(SegmentationError::InvalidConfig("radius must be positive".into()));
+        return Err(SegmentationError::InvalidConfig(
+            "radius must be positive".into(),
+        ));
     }
     // Filter bank (texture features) — optional channel set.
     let features = prof.kernel("Filterbanks", |_| {
@@ -174,14 +185,22 @@ pub fn segment(
     });
     // Sparse affinity matrix.
     let mut w = prof.kernel("Adjacencymatrix", |_| {
-        adjacency_matrix(&features, cfg.radius, cfg.sigma_feature, cfg.sigma_spatial)
+        adjacency_matrix_with(
+            &features,
+            cfg.radius,
+            cfg.sigma_feature,
+            cfg.sigma_spatial,
+            cfg.exec,
+        )
     });
     // Normalized spectral embedding: top-k eigenvectors of D^-1/2 W D^-1/2.
     let k = cfg.segments;
     let embedding = prof.kernel("Eigensolve", |_| {
         let d = w.row_sums();
-        let dinv_sqrt: Vec<f64> =
-            d.iter().map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 0.0 }).collect();
+        let dinv_sqrt: Vec<f64> = d
+            .iter()
+            .map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 0.0 })
+            .collect();
         w.scale_sym(&dinv_sqrt);
         // Deterministic pseudo-random start vector.
         let start: Vec<f64> = (0..n)
@@ -204,7 +223,12 @@ pub fn segment(
         normalize_rows(&mut x);
         discretize(&x, cfg.discretize_iters)
     });
-    Ok(Segmentation { labels, width: img.width(), height: img.height(), segments: k })
+    Ok(Segmentation {
+        labels,
+        width: img.width(),
+        height: img.height(),
+        segments: k,
+    })
 }
 
 impl Segmentation {
@@ -216,7 +240,12 @@ impl Segmentation {
         height: usize,
         segments: usize,
     ) -> Segmentation {
-        Segmentation { labels, width, height, segments }
+        Segmentation {
+            labels,
+            width,
+            height,
+            segments,
+        }
     }
 }
 
@@ -269,11 +298,19 @@ mod tests {
     #[test]
     fn all_four_kernels_are_attributed() {
         let scene = segmentable_scene(32, 24, 9, 2);
-        let cfg = SegmentationConfig { segments: 2, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            segments: 2,
+            ..SegmentationConfig::default()
+        };
         let mut prof = Profiler::new();
         prof.run(|p| segment(&scene.image, &cfg, p).unwrap());
         let rep = prof.report();
-        for k in ["Filterbanks", "Adjacencymatrix", "Eigensolve", "QRfactorizations"] {
+        for k in [
+            "Filterbanks",
+            "Adjacencymatrix",
+            "Eigensolve",
+            "QRfactorizations",
+        ] {
             assert!(rep.occupancy(k).is_some(), "kernel {k} missing");
         }
     }
@@ -283,10 +320,22 @@ mod tests {
         let img = Image::filled(8, 8, 1.0);
         let mut prof = Profiler::new();
         for cfg in [
-            SegmentationConfig { segments: 0, ..SegmentationConfig::default() },
-            SegmentationConfig { segments: 65, ..SegmentationConfig::default() },
-            SegmentationConfig { sigma_feature: 0.0, ..SegmentationConfig::default() },
-            SegmentationConfig { radius: 0, ..SegmentationConfig::default() },
+            SegmentationConfig {
+                segments: 0,
+                ..SegmentationConfig::default()
+            },
+            SegmentationConfig {
+                segments: 65,
+                ..SegmentationConfig::default()
+            },
+            SegmentationConfig {
+                sigma_feature: 0.0,
+                ..SegmentationConfig::default()
+            },
+            SegmentationConfig {
+                radius: 0,
+                ..SegmentationConfig::default()
+            },
         ] {
             assert!(segment(&img, &cfg, &mut prof).is_err(), "{cfg:?}");
         }

@@ -7,7 +7,7 @@
 //! region is re-split recursively until the requested segment count is
 //! reached.
 
-use crate::affinity::{adjacency_matrix, filter_bank_features};
+use crate::affinity::{adjacency_matrix_with, filter_bank_features};
 use crate::ncuts::{Segmentation, SegmentationConfig, SegmentationError};
 use sdvbs_image::Image;
 use sdvbs_matrix::lanczos_deflated;
@@ -41,11 +41,16 @@ pub fn segment_recursive(
             cfg.segments
         )));
     }
-    if !(cfg.sigma_feature > 0.0) || !(cfg.sigma_spatial > 0.0) {
-        return Err(SegmentationError::InvalidConfig("bandwidths must be positive".into()));
+    let positive = |v: f32| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !positive(cfg.sigma_feature) || !positive(cfg.sigma_spatial) {
+        return Err(SegmentationError::InvalidConfig(
+            "bandwidths must be positive".into(),
+        ));
     }
     if cfg.radius == 0 {
-        return Err(SegmentationError::InvalidConfig("radius must be positive".into()));
+        return Err(SegmentationError::InvalidConfig(
+            "radius must be positive".into(),
+        ));
     }
     let features = prof.kernel("Filterbanks", |_| {
         if cfg.filter_bank {
@@ -55,7 +60,13 @@ pub fn segment_recursive(
         }
     });
     let w = prof.kernel("Adjacencymatrix", |_| {
-        adjacency_matrix(&features, cfg.radius, cfg.sigma_feature, cfg.sigma_spatial)
+        adjacency_matrix_with(
+            &features,
+            cfg.radius,
+            cfg.sigma_feature,
+            cfg.sigma_spatial,
+            cfg.exec,
+        )
     });
     // Region bookkeeping: member lists of sorted pixel indices.
     let mut regions: Vec<Vec<usize>> = vec![(0..n).collect()];
@@ -81,7 +92,12 @@ pub fn segment_recursive(
             labels[p] = li;
         }
     }
-    Ok(Segmentation::from_labels(labels, img.width(), img.height(), regions.len()))
+    Ok(Segmentation::from_labels(
+        labels,
+        img.width(),
+        img.height(),
+        regions.len(),
+    ))
 }
 
 /// Splits one region at the minimum-Ncut threshold along its Fiedler
@@ -102,8 +118,10 @@ fn split_region(
     let fiedler = prof.kernel("Eigensolve", |_| {
         let mut sub_w = sub_plain.clone();
         let d = sub_w.row_sums();
-        let dinv: Vec<f64> =
-            d.iter().map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 0.0 }).collect();
+        let dinv: Vec<f64> = d
+            .iter()
+            .map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 0.0 })
+            .collect();
         sub_w.scale_sym(&dinv);
         let start: Vec<f64> = (0..m)
             .map(|i| {
@@ -113,7 +131,12 @@ fn split_region(
             .collect();
         let steps = cfg.lanczos_steps.max(16);
         lanczos_deflated(&sub_w, 2, &start, steps)
-            .map(|r| r.vectors.into_iter().nth(1).expect("k=2 returns two vectors"))
+            .map(|r| {
+                r.vectors
+                    .into_iter()
+                    .nth(1)
+                    .expect("k=2 returns two vectors")
+            })
             .map_err(SegmentationError::Eigensolve)
     })?;
     // Discretization ("QRfactorizations" scope): sweep candidate
@@ -122,7 +145,9 @@ fn split_region(
     let (a, b) = prof.kernel("QRfactorizations", |_| {
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&i, &j| {
-            fiedler[i].partial_cmp(&fiedler[j]).expect("finite eigenvector")
+            fiedler[i]
+                .partial_cmp(&fiedler[j])
+                .expect("finite eigenvector")
         });
         let candidates = 24usize.min(m - 1);
         let mut best_cut = f64::INFINITY;
@@ -212,7 +237,10 @@ mod tests {
     #[test]
     fn four_region_scene_matches_truth() {
         let scene = segmentable_scene(40, 30, 7, 4);
-        let cfg = SegmentationConfig { segments: 4, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            segments: 4,
+            ..SegmentationConfig::default()
+        };
         let mut prof = Profiler::new();
         let seg = segment_recursive(&scene.image, &cfg, &mut prof).unwrap();
         let ri = rand_index(seg.labels(), &scene.labels);
@@ -232,7 +260,10 @@ mod tests {
     #[test]
     fn produces_exactly_the_requested_segment_count() {
         let scene = segmentable_scene(32, 24, 3, 3);
-        let cfg = SegmentationConfig { segments: 5, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            segments: 5,
+            ..SegmentationConfig::default()
+        };
         let mut prof = Profiler::new();
         let seg = segment_recursive(&scene.image, &cfg, &mut prof).unwrap();
         let mut used: Vec<usize> = seg.labels().to_vec();
@@ -244,7 +275,10 @@ mod tests {
     #[test]
     fn agrees_with_kway_on_easy_scenes() {
         let scene = segmentable_scene(36, 28, 11, 3);
-        let cfg = SegmentationConfig { segments: 3, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            segments: 3,
+            ..SegmentationConfig::default()
+        };
         let mut prof = Profiler::new();
         let rec = segment_recursive(&scene.image, &cfg, &mut prof).unwrap();
         let kway = crate::segment(&scene.image, &cfg, &mut prof).unwrap();
@@ -256,7 +290,10 @@ mod tests {
     fn invalid_configs_rejected() {
         let img = Image::filled(8, 8, 1.0);
         let mut prof = Profiler::new();
-        let cfg = SegmentationConfig { segments: 0, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            segments: 0,
+            ..SegmentationConfig::default()
+        };
         assert!(segment_recursive(&img, &cfg, &mut prof).is_err());
     }
 }

@@ -24,10 +24,12 @@ pub struct SiftFeature {
 pub fn describe(ss: &ScaleSpace, keypoints: &[Keypoint]) -> Vec<SiftFeature> {
     keypoints
         .iter()
-        .filter_map(|kp| describe_one(ss, kp).map(|descriptor| SiftFeature {
-            keypoint: *kp,
-            descriptor,
-        }))
+        .filter_map(|kp| {
+            describe_one(ss, kp).map(|descriptor| SiftFeature {
+                keypoint: *kp,
+                descriptor,
+            })
+        })
         .collect()
 }
 
@@ -72,8 +74,7 @@ fn describe_one(ss: &ScaleSpace, kp: &Keypoint) -> Option<Vec<f32>> {
                 continue;
             }
             let ang = gy.atan2(gx) - kp.orientation;
-            let weight =
-                (-(rx * rx + ry * ry) / (0.5 * D as f32 * D as f32)).exp() * mag;
+            let weight = (-(rx * rx + ry * ry) / (0.5 * D as f32 * D as f32)).exp() * mag;
             // Orientation bin in 0..B.
             let mut ob = (ang / (2.0 * std::f32::consts::PI)) * B as f32;
             while ob < 0.0 {
@@ -146,7 +147,10 @@ mod tests {
 
     fn features_of(img: &Image) -> Vec<SiftFeature> {
         let ss = ScaleSpace::build(img, 3, 1.6, 3);
-        let cfg = SiftConfig { double_size: false, ..SiftConfig::default() };
+        let cfg = SiftConfig {
+            double_size: false,
+            ..SiftConfig::default()
+        };
         let kps = detect_keypoints(&ss, &cfg);
         describe(&ss, &kps)
     }
@@ -178,7 +182,11 @@ mod tests {
         for f in &feats {
             // After clip-at-0.2 + renormalize, components stay well below
             // the unclipped maximum of 1.0 (0.2 / final norm in practice).
-            assert!(f.descriptor.iter().all(|&v| v <= 0.45), "{:?}", f.descriptor);
+            assert!(
+                f.descriptor.iter().all(|&v| v <= 0.45),
+                "{:?}",
+                f.descriptor
+            );
         }
     }
 

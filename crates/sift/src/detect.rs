@@ -137,11 +137,9 @@ fn refine(
         * (cur.get(x + 1, y + 1) - cur.get(x - 1, y + 1) - cur.get(x + 1, y - 1)
             + cur.get(x - 1, y - 1));
     let hxl = 0.25
-        * (above.get(x + 1, y) - above.get(x - 1, y) - below.get(x + 1, y)
-            + below.get(x - 1, y));
+        * (above.get(x + 1, y) - above.get(x - 1, y) - below.get(x + 1, y) + below.get(x - 1, y));
     let hyl = 0.25
-        * (above.get(x, y + 1) - above.get(x, y - 1) - below.get(x, y + 1)
-            + below.get(x, y - 1));
+        * (above.get(x, y + 1) - above.get(x, y - 1) - below.get(x, y + 1) + below.get(x, y - 1));
     // Solve H d = -g with the 3x3 adjugate.
     let det = hxx * (hyy * hll - hyl * hyl) - hxy * (hxy * hll - hyl * hxl)
         + hxl * (hxy * hyl - hyy * hxl);
@@ -202,8 +200,8 @@ fn orientations(ss: &ScaleSpace, octave: usize, level: usize, x: usize, y: usize
             let mag = (gx * gx + gy * gy).sqrt();
             let ang = gy.atan2(gx);
             let weight = (-((dx * dx + dy * dy) as f32) / (2.0 * sigma * sigma)).exp();
-            let mut bin =
-                ((ang + std::f32::consts::PI) / (2.0 * std::f32::consts::PI) * BINS as f32) as usize;
+            let mut bin = ((ang + std::f32::consts::PI) / (2.0 * std::f32::consts::PI)
+                * BINS as f32) as usize;
             if bin >= BINS {
                 bin = BINS - 1;
             }
@@ -229,7 +227,11 @@ fn orientations(ss: &ScaleSpace, octave: usize, level: usize, x: usize, y: usize
         if hist[i] >= 0.8 * max && hist[i] > prev && hist[i] > next {
             // Parabolic peak interpolation.
             let denom = prev - 2.0 * hist[i] + next;
-            let offset = if denom.abs() > 1e-9 { 0.5 * (prev - next) / denom } else { 0.0 };
+            let offset = if denom.abs() > 1e-9 {
+                0.5 * (prev - next) / denom
+            } else {
+                0.0
+            };
             let ang = (i as f32 + offset + 0.5) / BINS as f32 * 2.0 * std::f32::consts::PI
                 - std::f32::consts::PI;
             peaks.push(ang);
@@ -258,7 +260,10 @@ mod tests {
     fn detects_blob_near_its_center() {
         let img = blob_image(64, 64, 32.0, 32.0, 3.0);
         let ss = ScaleSpace::build(&img, 3, 1.6, 3);
-        let cfg = SiftConfig { double_size: false, ..SiftConfig::default() };
+        let cfg = SiftConfig {
+            double_size: false,
+            ..SiftConfig::default()
+        };
         let kps = detect_keypoints(&ss, &cfg);
         assert!(!kps.is_empty(), "blob not detected");
         let best = kps
@@ -277,7 +282,10 @@ mod tests {
     fn blob_scale_tracks_blob_size() {
         let small = blob_image(96, 96, 48.0, 48.0, 2.5);
         let large = blob_image(96, 96, 48.0, 48.0, 6.0);
-        let cfg = SiftConfig { double_size: false, ..SiftConfig::default() };
+        let cfg = SiftConfig {
+            double_size: false,
+            ..SiftConfig::default()
+        };
         let find_scale = |img: &Image| {
             let ss = ScaleSpace::build(img, 3, 1.6, 4);
             let kps = detect_keypoints(&ss, &cfg);
@@ -295,7 +303,10 @@ mod tests {
         // A step edge produces strong DoG but must be pruned.
         let img = Image::from_fn(64, 64, |x, _| if x < 32 { 0.0 } else { 1.0 });
         let ss = ScaleSpace::build(&img, 3, 1.6, 2);
-        let cfg = SiftConfig { double_size: false, ..SiftConfig::default() };
+        let cfg = SiftConfig {
+            double_size: false,
+            ..SiftConfig::default()
+        };
         let kps = detect_keypoints(&ss, &cfg);
         // Any surviving keypoints must not sit on the straight edge interior
         // (corners with the border are allowed).
@@ -309,10 +320,14 @@ mod tests {
     fn dark_blob_is_a_minimum_extremum() {
         let img = blob_image(64, 64, 32.0, 32.0, 3.0).map(|v| 1.0 - v);
         let ss = ScaleSpace::build(&img, 3, 1.6, 3);
-        let cfg = SiftConfig { double_size: false, ..SiftConfig::default() };
+        let cfg = SiftConfig {
+            double_size: false,
+            ..SiftConfig::default()
+        };
         let kps = detect_keypoints(&ss, &cfg);
         assert!(
-            kps.iter().any(|k| (k.x - 32.0).abs() < 2.0 && (k.y - 32.0).abs() < 2.0),
+            kps.iter()
+                .any(|k| (k.x - 32.0).abs() < 2.0 && (k.y - 32.0).abs() < 2.0),
             "dark blob not detected"
         );
     }
@@ -331,7 +346,10 @@ mod tests {
                 blob + dir
             })
         };
-        let cfg = SiftConfig { double_size: false, ..SiftConfig::default() };
+        let cfg = SiftConfig {
+            double_size: false,
+            ..SiftConfig::default()
+        };
         let orient = |img: &Image| {
             let ss = ScaleSpace::build(img, 3, 1.6, 2);
             let kps = detect_keypoints(&ss, &cfg);

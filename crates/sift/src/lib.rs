@@ -97,8 +97,14 @@ impl SiftConfig {
     pub fn assert_valid(&self) {
         assert!(self.intervals > 0, "intervals must be positive");
         assert!(self.sigma0 > 0.0, "sigma0 must be positive");
-        assert!(self.contrast_threshold >= 0.0, "contrast_threshold must be non-negative");
-        assert!(self.edge_threshold >= 1.0, "edge_threshold must be at least 1");
+        assert!(
+            self.contrast_threshold >= 0.0,
+            "contrast_threshold must be non-negative"
+        );
+        assert!(
+            self.edge_threshold >= 1.0,
+            "edge_threshold must be at least 1"
+        );
         assert!(self.max_octaves > 0, "max_octaves must be positive");
     }
 }
@@ -116,7 +122,10 @@ impl SiftConfig {
 /// Panics if the image is smaller than 32×32 or `cfg` is invalid.
 pub fn detect_and_describe(img: &Image, cfg: &SiftConfig, prof: &mut Profiler) -> Vec<SiftFeature> {
     cfg.assert_valid();
-    assert!(img.width() >= 32 && img.height() >= 32, "sift requires at least 32x32 input");
+    assert!(
+        img.width() >= 32 && img.height() >= 32,
+        "sift requires at least 32x32 input"
+    );
     // Intensity normalization to 0..1 using integral-image statistics
     // (mean/range): the "IntegralImage" preprocessing share.
     let normalized = prof.kernel("IntegralImage", |_| {
@@ -131,7 +140,10 @@ pub fn detect_and_describe(img: &Image, cfg: &SiftConfig, prof: &mut Profiler) -
     // Anti-aliased upsampling ("Interpolation" kernel).
     let (base, base_scale) = prof.kernel("Interpolation", |_| {
         if cfg.double_size {
-            (normalized.resize_bilinear(normalized.width() * 2, normalized.height() * 2), 0.5f32)
+            (
+                normalized.resize_bilinear(normalized.width() * 2, normalized.height() * 2),
+                0.5f32,
+            )
         } else {
             (normalized.clone(), 1.0f32)
         }

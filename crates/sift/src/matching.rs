@@ -21,11 +21,7 @@ pub struct DescriptorMatch {
 /// # Panics
 ///
 /// Panics if `ratio` is not in `(0, 1]`.
-pub fn match_descriptors(
-    a: &[SiftFeature],
-    b: &[SiftFeature],
-    ratio: f32,
-) -> Vec<DescriptorMatch> {
+pub fn match_descriptors(a: &[SiftFeature], b: &[SiftFeature], ratio: f32) -> Vec<DescriptorMatch> {
     assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
     let mut out = Vec::new();
     for (ia, fa) in a.iter().enumerate() {
@@ -50,7 +46,11 @@ pub fn match_descriptors(
             }
         }
         if best_idx != usize::MAX && best < ratio * ratio * second {
-            out.push(DescriptorMatch { a: ia, b: best_idx, distance: best });
+            out.push(DescriptorMatch {
+                a: ia,
+                b: best_idx,
+                distance: best,
+            });
         }
     }
     out

@@ -114,7 +114,10 @@ impl Forest {
 pub fn detect_mser(img: &Image, polarity: MserPolarity, cfg: &MserConfig) -> Vec<MserRegion> {
     assert!(cfg.delta > 0, "delta must be positive");
     assert!(cfg.max_variation > 0.0, "max_variation must be positive");
-    assert!(img.width() >= 8 && img.height() >= 8, "image too small for mser");
+    assert!(
+        img.width() >= 8 && img.height() >= 8,
+        "image too small for mser"
+    );
     let w = img.width();
     let h = img.height();
     let n = w * h;
@@ -199,8 +202,7 @@ pub fn detect_mser(img: &Image, polarity: MserPolarity, cfg: &MserConfig) -> Vec
                 } else {
                     (root, rq)
                 };
-                let merged_size =
-                    forest.size[big as usize] + forest.size[small as usize];
+                let merged_size = forest.size[big as usize] + forest.size[small as usize];
                 // Close the smaller component's record with the merged
                 // size: from its perspective, the region exploded here.
                 let small_rec = forest.record[small as usize] as usize;
@@ -314,7 +316,11 @@ pub fn detect_mser(img: &Image, polarity: MserPolarity, cfg: &MserConfig) -> Vec
             });
         }
     }
-    regions.sort_by(|a, b| a.variation.partial_cmp(&b.variation).expect("finite variation"));
+    regions.sort_by(|a, b| {
+        a.variation
+            .partial_cmp(&b.variation)
+            .expect("finite variation")
+    });
     regions
 }
 
@@ -344,9 +350,9 @@ mod tests {
         let regions = detect_mser(&img, MserPolarity::Dark, &MserConfig::default());
         assert!(!regions.is_empty(), "no regions found");
         for &(cx, cy, r) in &[(26.0f32, 24.0f32, 9.0f32), (68.0, 48.0, 12.0)] {
-            let hit = regions.iter().find(|reg| {
-                (reg.cx - cx).abs() < 3.0 && (reg.cy - cy).abs() < 3.0
-            });
+            let hit = regions
+                .iter()
+                .find(|reg| (reg.cx - cx).abs() < 3.0 && (reg.cy - cy).abs() < 3.0);
             let region = hit.unwrap_or_else(|| panic!("no region near ({cx},{cy}): {regions:?}"));
             let expected_area = std::f32::consts::PI * r * r;
             assert!(
@@ -363,7 +369,9 @@ mod tests {
         let img = disc_image().map(|v| 255.0 - v); // invert: discs now bright
         let regions = detect_mser(&img, MserPolarity::Bright, &MserConfig::default());
         assert!(
-            regions.iter().any(|r| (r.cx - 26.0).abs() < 3.0 && (r.cy - 24.0).abs() < 3.0),
+            regions
+                .iter()
+                .any(|r| (r.cx - 26.0).abs() < 3.0 && (r.cy - 24.0).abs() < 3.0),
             "bright disc not found: {regions:?}"
         );
     }
@@ -408,10 +416,15 @@ mod tests {
         let regions = detect_mser(&img, MserPolarity::Dark, &MserConfig::default());
         assert!(regions.iter().all(|r| r.size >= 20), "{regions:?}");
         // Lowering min_size finds it.
-        let cfg = MserConfig { min_size: 5, ..MserConfig::default() };
+        let cfg = MserConfig {
+            min_size: 5,
+            ..MserConfig::default()
+        };
         let regions = detect_mser(&img, MserPolarity::Dark, &cfg);
         assert!(
-            regions.iter().any(|r| (r.cx - 31.0).abs() < 1.5 && (r.cy - 31.0).abs() < 1.5),
+            regions
+                .iter()
+                .any(|r| (r.cx - 31.0).abs() < 1.5 && (r.cy - 31.0).abs() < 1.5),
             "{regions:?}"
         );
     }
@@ -437,8 +450,7 @@ mod tests {
                 let (a, b) = (&regions[i], &regions[j]);
                 let same_center = (a.cx - b.cx).abs() < 1.0 && (a.cy - b.cy).abs() < 1.0;
                 if same_center {
-                    let ratio =
-                        (a.size as f64 - b.size as f64).abs() / a.size.max(b.size) as f64;
+                    let ratio = (a.size as f64 - b.size as f64).abs() / a.size.max(b.size) as f64;
                     assert!(ratio >= 0.15, "near-duplicate regions {a:?} / {b:?}");
                 }
             }
@@ -455,7 +467,10 @@ mod tests {
         detect_mser(
             &Image::filled(16, 16, 0.0),
             MserPolarity::Dark,
-            &MserConfig { delta: 0, ..MserConfig::default() },
+            &MserConfig {
+                delta: 0,
+                ..MserConfig::default()
+            },
         );
     }
 }

@@ -25,8 +25,14 @@ impl ScaleSpace {
     /// Panics if `intervals == 0`, `sigma0 <= 0`, `max_octaves == 0`, or
     /// the base image is smaller than 16×16.
     pub fn build(base: &Image, intervals: usize, sigma0: f32, max_octaves: usize) -> Self {
-        assert!(intervals > 0 && sigma0 > 0.0 && max_octaves > 0, "invalid scale-space params");
-        assert!(base.width() >= 16 && base.height() >= 16, "base image too small");
+        assert!(
+            intervals > 0 && sigma0 > 0.0 && max_octaves > 0,
+            "invalid scale-space params"
+        );
+        assert!(
+            base.width() >= 16 && base.height() >= 16,
+            "base image too small"
+        );
         let s = intervals as f32;
         let k = 2.0f32.powf(1.0 / s);
         // Bring the base to sigma0 (assume 0.5 native blur).
@@ -60,7 +66,12 @@ impl ScaleSpace {
             octaves.push(levels);
             dogs.push(dog);
         }
-        ScaleSpace { octaves, dogs, intervals, sigma0 }
+        ScaleSpace {
+            octaves,
+            dogs,
+            intervals,
+            sigma0,
+        }
     }
 
     /// Number of octaves built.
@@ -148,7 +159,11 @@ mod tests {
         let ss = ScaleSpace::build(&base(), 3, 1.6, 1);
         let var = |im: &Image| {
             let m = im.mean();
-            im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32
+            im.as_slice()
+                .iter()
+                .map(|&v| (v - m) * (v - m))
+                .sum::<f32>()
+                / im.len() as f32
         };
         let mut last = f32::INFINITY;
         for l in 0..6 {

@@ -7,7 +7,10 @@ use sdvbs_sift::{detect_and_describe, match_descriptors, SiftConfig};
 use sdvbs_synth::textured_image;
 
 fn config() -> SiftConfig {
-    SiftConfig { contrast_threshold: 0.012, ..SiftConfig::default() }
+    SiftConfig {
+        contrast_threshold: 0.012,
+        ..SiftConfig::default()
+    }
 }
 
 /// Matches under a 90° rotation must land at geometrically consistent
@@ -21,7 +24,11 @@ fn rotation_by_90_degrees_preserves_matches() {
     let fb = detect_and_describe(&rot, &config(), &mut prof);
     assert!(fa.len() >= 15, "only {} keypoints", fa.len());
     let matches = match_descriptors(&fa, &fb, 0.85);
-    assert!(matches.len() >= 6, "only {} matches under rotation", matches.len());
+    assert!(
+        matches.len() >= 6,
+        "only {} matches under rotation",
+        matches.len()
+    );
     // Geometric consistency: (x, y) in the original maps to
     // (h - 1 - y, x) in the clockwise-rotated image.
     let h = img.height() as f32;
@@ -49,14 +56,21 @@ fn keypoint_scale_follows_image_scale() {
     let img = textured_image(72, 72, 17);
     let big = img.resize_bilinear(144, 144);
     let mut prof = Profiler::new();
-    let cfg = SiftConfig { double_size: false, ..config() };
+    let cfg = SiftConfig {
+        double_size: false,
+        ..config()
+    };
     let fa = detect_and_describe(&img, &cfg, &mut prof);
     let fb = detect_and_describe(&big, &cfg, &mut prof);
     assert!(!fa.is_empty() && !fb.is_empty());
     // Compare scales of *matched* pairs (the upscaled image also grows
     // brand-new fine-scale keypoints, so a global mean is meaningless).
     let matches = match_descriptors(&fa, &fb, 0.85);
-    assert!(matches.len() >= 5, "only {} cross-scale matches", matches.len());
+    assert!(
+        matches.len() >= 5,
+        "only {} cross-scale matches",
+        matches.len()
+    );
     let mut ratios: Vec<f64> = matches
         .iter()
         .map(|m| fb[m.b].keypoint.sigma as f64 / fa[m.a].keypoint.sigma as f64)
@@ -79,7 +93,11 @@ fn descriptors_are_lighting_invariant() {
     let fa = detect_and_describe(&img, &config(), &mut prof);
     let fb = detect_and_describe(&relit, &config(), &mut prof);
     let matches = match_descriptors(&fa, &fb, 0.8);
-    assert!(matches.len() >= 10, "only {} matches after relighting", matches.len());
+    assert!(
+        matches.len() >= 10,
+        "only {} matches after relighting",
+        matches.len()
+    );
     // Matched keypoints stay at the same positions.
     let mut same_pos = 0;
     for m in &matches {
@@ -89,7 +107,11 @@ fn descriptors_are_lighting_invariant() {
             same_pos += 1;
         }
     }
-    assert!(same_pos * 4 >= matches.len() * 3, "{same_pos}/{}", matches.len());
+    assert!(
+        same_pos * 4 >= matches.len() * 3,
+        "{same_pos}/{}",
+        matches.len()
+    );
 }
 
 /// Mild additive noise should not destroy matching.
@@ -104,5 +126,9 @@ fn robust_to_additive_noise() {
     let fa = detect_and_describe(&img, &config(), &mut prof);
     let fb = detect_and_describe(&noisy, &config(), &mut prof);
     let matches = match_descriptors(&fa, &fb, 0.8);
-    assert!(matches.len() >= 8, "only {} matches under noise", matches.len());
+    assert!(
+        matches.len() >= 8,
+        "only {} matches under noise",
+        matches.len()
+    );
 }

@@ -61,7 +61,10 @@ pub fn extract_patch_features(
             for v in &mut desc {
                 *v /= norm;
             }
-            Some(PatchFeature { feature, descriptor: desc })
+            Some(PatchFeature {
+                feature,
+                descriptor: desc,
+            })
         })
         .collect()
 }

@@ -98,7 +98,11 @@ pub fn stitch_sequence(
             }
         })
     });
-    Ok(MosaicResult { to_first, panorama, canvas_offset: (min_x, min_y) })
+    Ok(MosaicResult {
+        to_first,
+        panorama,
+        canvas_offset: (min_x, min_y),
+    })
 }
 
 #[cfg(test)]
@@ -153,7 +157,11 @@ mod tests {
                 n += 1;
             }
         }
-        assert!(err / (n as f32) < 10.0, "mean canvas error {}", err / n as f32);
+        assert!(
+            err / (n as f32) < 10.0,
+            "mean canvas error {}",
+            err / n as f32
+        );
     }
 
     #[test]

@@ -155,7 +155,9 @@ pub fn stitch(
         out
     });
     if matches.len() < cfg.min_inliers.max(3) {
-        return Err(StitchError::TooFewMatches { found: matches.len() });
+        return Err(StitchError::TooFewMatches {
+            found: matches.len(),
+        });
     }
     // RANSAC alignment (exact fits = LS Solver; refit = SVD, timed inside).
     let src: Vec<(f64, f64)> = matches
@@ -167,7 +169,13 @@ pub fn stitch(
         .map(|&(_, ia)| (fa[ia].feature.x as f64, fa[ia].feature.y as f64))
         .collect();
     let consensus = prof.kernel("LSSolver", |_| {
-        ransac_sample(&src, &dst, cfg.ransac_iterations, cfg.inlier_tolerance, cfg.seed)
+        ransac_sample(
+            &src,
+            &dst,
+            cfg.ransac_iterations,
+            cfg.inlier_tolerance,
+            cfg.seed,
+        )
     });
     let estimate: Option<RansacEstimate> = match consensus {
         Some((inliers, iters)) if inliers.len() >= cfg.min_inliers.max(3) => prof
@@ -180,8 +188,7 @@ pub fn stitch(
         return Err(StitchError::NoAlignment);
     };
     // Warp + feathered blend.
-    let (panorama, canvas_offset) =
-        prof.kernel("Blend", |_| blend(a, b, &estimate.transform));
+    let (panorama, canvas_offset) = prof.kernel("Blend", |_| blend(a, b, &estimate.transform));
     Ok(StitchResult {
         b_to_a: estimate.transform,
         panorama,
@@ -223,11 +230,19 @@ fn blend(a: &Image, b: &Image, b_to_a: &Affine) -> (Image, (f64, f64)) {
         let ay = py as f64 + min_y;
         // Weight from image a.
         let in_a = ax >= 0.0 && ay >= 0.0 && ax < a.width() as f64 && ay < a.height() as f64;
-        let wa = if in_a { feather(ax, ay, a.width() as f64, a.height() as f64) } else { 0.0 };
+        let wa = if in_a {
+            feather(ax, ay, a.width() as f64, a.height() as f64)
+        } else {
+            0.0
+        };
         // Weight from image b.
         let (bx, by) = a_to_b.apply(ax, ay);
         let in_b = bx >= 0.0 && by >= 0.0 && bx < b.width() as f64 && by < b.height() as f64;
-        let wb = if in_b { feather(bx, by, b.width() as f64, b.height() as f64) } else { 0.0 };
+        let wb = if in_b {
+            feather(bx, by, b.width() as f64, b.height() as f64)
+        } else {
+            0.0
+        };
         if wa + wb <= 0.0 {
             // Outside both images (or exactly on a border): fall back to
             // hard membership.
@@ -239,8 +254,16 @@ fn blend(a: &Image, b: &Image, b_to_a: &Affine) -> (Image, (f64, f64)) {
             }
             return 0.0;
         }
-        let va = if in_a { a.sample_bilinear(ax as f32, ay as f32) } else { 0.0 };
-        let vb = if in_b { b.sample_bilinear(bx as f32, by as f32) } else { 0.0 };
+        let va = if in_a {
+            a.sample_bilinear(ax as f32, ay as f32)
+        } else {
+            0.0
+        };
+        let vb = if in_b {
+            b.sample_bilinear(bx as f32, by as f32)
+        } else {
+            0.0
+        };
         ((wa * va as f64 + wb * vb as f64) / (wa + wb)) as f32
     });
     (img, (min_x, min_y))
@@ -258,7 +281,11 @@ mod tests {
         let result = stitch(&pair.a, &pair.b, &StitchConfig::default(), &mut prof).unwrap();
         let truth = Affine::from_coeffs(pair.b_to_a);
         let diff = result.b_to_a.max_coeff_diff(&truth);
-        assert!(diff < 1.0, "transform error {diff}: got {} want {truth}", result.b_to_a);
+        assert!(
+            diff < 1.0,
+            "transform error {diff}: got {} want {truth}",
+            result.b_to_a
+        );
         assert!(result.inliers >= 10, "{} inliers", result.inliers);
     }
 
@@ -293,7 +320,11 @@ mod tests {
                 n += 1;
             }
         }
-        assert!(err / (n as f32) < 12.0, "mean blend error {}", err / n as f32);
+        assert!(
+            err / (n as f32) < 12.0,
+            "mean blend error {}",
+            err / n as f32
+        );
     }
 
     #[test]
@@ -322,7 +353,14 @@ mod tests {
         let mut prof = Profiler::new();
         prof.run(|p| stitch(&pair.a, &pair.b, &StitchConfig::default(), p).unwrap());
         let rep = prof.report();
-        for k in ["Convolution", "ANMS", "FeatureMatch", "LSSolver", "SVD", "Blend"] {
+        for k in [
+            "Convolution",
+            "ANMS",
+            "FeatureMatch",
+            "LSSolver",
+            "SVD",
+            "Blend",
+        ] {
             assert!(rep.occupancy(k).is_some(), "kernel {k} missing");
         }
     }

@@ -18,10 +18,13 @@ pub struct RansacEstimate {
     pub iterations: usize,
 }
 
+/// A `(source, target)` point correspondence.
+type Pair = ((f64, f64), (f64, f64));
+
 /// Fits an exact affine transform through three correspondences by solving
 /// the 6×6 linear system. Returns `None` for degenerate (collinear)
 /// samples.
-fn affine_from_three(pairs: &[((f64, f64), (f64, f64)); 3]) -> Option<Affine> {
+fn affine_from_three(pairs: &[Pair; 3]) -> Option<Affine> {
     let mut a = Matrix::zeros(6, 6);
     let mut b = vec![0.0; 6];
     for (k, &((xs, ys), (xt, yt))) in pairs.iter().enumerate() {
@@ -75,8 +78,11 @@ pub(crate) fn refit_affine_svd(
     }
     // x = V Σ⁻¹ Uᵀ b.
     let utb = svd.u().transpose().matvec(&b);
-    let scaled: Vec<f64> =
-        utb.iter().zip(svd.singular_values()).map(|(v, s)| v / s).collect();
+    let scaled: Vec<f64> = utb
+        .iter()
+        .zip(svd.singular_values())
+        .map(|(v, s)| v / s)
+        .collect();
     let x = svd.v().matvec(&scaled);
     Some(Affine::from_coeffs([x[0], x[1], x[2], x[3], x[4], x[5]]))
 }
@@ -136,11 +142,9 @@ pub(crate) fn ransac_sample(
         while i2 == i0 || i2 == i1 {
             i2 = rng.gen_range(0..n);
         }
-        let Some(model) = affine_from_three(&[
-            (src[i0], dst[i0]),
-            (src[i1], dst[i1]),
-            (src[i2], dst[i2]),
-        ]) else {
+        let Some(model) =
+            affine_from_three(&[(src[i0], dst[i0]), (src[i1], dst[i1]), (src[i2], dst[i2])])
+        else {
             continue;
         };
         let inliers: Vec<usize> = (0..n)
@@ -185,7 +189,11 @@ pub(crate) fn ransac_refit(
             dx * dx + dy * dy <= tol2
         })
         .collect();
-    Some(RansacEstimate { transform, inliers, iterations })
+    Some(RansacEstimate {
+        transform,
+        inliers,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -196,7 +204,9 @@ mod tests {
         Affine::rotation_about(0.1, 40.0, 30.0, 12.0, -5.0)
     }
 
-    fn correspondences(outliers: usize, seed: u64) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    type PointSet = Vec<(f64, f64)>;
+
+    fn correspondences(outliers: usize, seed: u64) -> (PointSet, PointSet) {
         let t = truth();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut src = Vec::new();
@@ -243,7 +253,11 @@ mod tests {
     fn ransac_recovers_under_heavy_outliers() {
         let (src, dst) = correspondences(30, 5); // 43% outliers
         let est = estimate_affine_ransac(&src, &dst, 500, 1.5, 10, 7).unwrap();
-        assert!(est.transform.max_coeff_diff(&truth()) < 0.6, "{}", est.transform);
+        assert!(
+            est.transform.max_coeff_diff(&truth()) < 0.6,
+            "{}",
+            est.transform
+        );
         assert!(est.inliers.len() >= 35, "{} inliers", est.inliers.len());
     }
 
@@ -258,8 +272,9 @@ mod tests {
     #[test]
     fn svd_refit_matches_exact_on_noiseless_data() {
         let t = truth();
-        let src: Vec<(f64, f64)> =
-            (0..12).map(|i| ((i % 4) as f64 * 10.0, (i / 4) as f64 * 15.0)).collect();
+        let src: Vec<(f64, f64)> = (0..12)
+            .map(|i| ((i % 4) as f64 * 10.0, (i / 4) as f64 * 15.0))
+            .collect();
         let dst: Vec<(f64, f64)> = src.iter().map(|&(x, y)| t.apply(x, y)).collect();
         let idx: Vec<usize> = (0..12).collect();
         let fit = refit_affine_svd(&src, &dst, &idx).unwrap();

@@ -13,7 +13,9 @@ pub struct Affine {
 impl Affine {
     /// The identity transform.
     pub fn identity() -> Self {
-        Affine { coeffs: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0] }
+        Affine {
+            coeffs: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+        }
     }
 
     /// Builds from the six coefficients `[m00, m01, tx, m10, m11, ty]`.
@@ -23,7 +25,9 @@ impl Affine {
 
     /// Pure translation.
     pub fn translation(tx: f64, ty: f64) -> Self {
-        Affine { coeffs: [1.0, 0.0, tx, 0.0, 1.0, ty] }
+        Affine {
+            coeffs: [1.0, 0.0, tx, 0.0, 1.0, ty],
+        }
     }
 
     /// Rotation by `angle` radians about `(cx, cy)` followed by a

@@ -60,9 +60,21 @@ pub fn gaussian_clusters(samples: usize, dims: usize, separation: f64, seed: u64
 /// # Panics
 ///
 /// Panics if `samples < 8`, `dims == 0`, or the radii are not increasing.
-pub fn concentric_rings(samples: usize, dims: usize, r_inner: f64, r_outer: f64, seed: u64) -> Dataset {
-    assert!(samples >= 8 && dims > 0, "need at least 8 samples and one dimension");
-    assert!(0.0 < r_inner && r_inner < r_outer, "radii must satisfy 0 < inner < outer");
+pub fn concentric_rings(
+    samples: usize,
+    dims: usize,
+    r_inner: f64,
+    r_outer: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(
+        samples >= 8 && dims > 0,
+        "need at least 8 samples and one dimension"
+    );
+    assert!(
+        0.0 < r_inner && r_inner < r_outer,
+        "radii must satisfy 0 < inner < outer"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut xs = Vec::with_capacity(samples);
     let mut ys = Vec::with_capacity(samples);
@@ -117,7 +129,7 @@ mod tests {
     fn clusters_are_separated_along_some_direction() {
         let d = gaussian_clusters(200, 4, 4.0, 2);
         // Difference of class means should have norm ~ separation.
-        let mut mean_pos = vec![0.0; 4];
+        let mut mean_pos = [0.0; 4];
         let mut mean_neg = vec![0.0; 4];
         let (mut np, mut nn) = (0, 0);
         for i in 0..d.train_x.rows() {

@@ -59,7 +59,9 @@ pub fn train_interior_point(
     let c = cfg.c;
     // Q = (y yᵀ) ∘ K  (the "Matrix Ops" kernel).
     let q = prof.kernel("MatrixOps", |_| {
-        Matrix::from_fn(n, n, |i, j| y[i] * y[j] * cfg.kernel.eval(x.row(i), x.row(j)))
+        Matrix::from_fn(n, n, |i, j| {
+            y[i] * y[j] * cfg.kernel.eval(x.row(i), x.row(j))
+        })
     });
     // Strictly feasible start: equal mass per class so yᵀα = 0.
     let n_pos = y.iter().filter(|&&l| l > 0.0).count();
@@ -67,7 +69,13 @@ pub fn train_interior_point(
     let mass = 0.25 * c * n_pos.min(n_neg) as f64;
     let mut alpha: Vec<f64> = y
         .iter()
-        .map(|&l| if l > 0.0 { mass / n_pos as f64 } else { mass / n_neg as f64 })
+        .map(|&l| {
+            if l > 0.0 {
+                mass / n_pos as f64
+            } else {
+                mass / n_neg as f64
+            }
+        })
         .collect();
     // Make sure we are strictly interior.
     for a in &mut alpha {
@@ -89,16 +97,22 @@ pub fn train_interior_point(
                 .map(|i| qa[i] - 1.0 + nu * y[i] - u[i] + v[i])
                 .collect();
             let r_prim: f64 = y.iter().zip(&alpha).map(|(yi, ai)| yi * ai).sum();
-            let gap: f64 = (0..n).map(|i| u[i] * alpha[i] + v[i] * (c - alpha[i])).sum::<f64>();
+            let gap: f64 = (0..n)
+                .map(|i| u[i] * alpha[i] + v[i] * (c - alpha[i]))
+                .sum::<f64>();
             let dual_norm = r_dual.iter().map(|r| r * r).sum::<f64>().sqrt();
-            if dual_norm < cfg.tolerance && r_prim.abs() < cfg.tolerance && gap < cfg.tolerance * n as f64
+            if dual_norm < cfg.tolerance
+                && r_prim.abs() < cfg.tolerance
+                && gap < cfg.tolerance * n as f64
             {
                 converged = true;
                 break;
             }
             mu = 0.2 * gap / (2.0 * n as f64);
             // Reduced system: (Q + D) da + y dnu = rhs.
-            let d: Vec<f64> = (0..n).map(|i| u[i] / alpha[i] + v[i] / (c - alpha[i])).collect();
+            let d: Vec<f64> = (0..n)
+                .map(|i| u[i] / alpha[i] + v[i] / (c - alpha[i]))
+                .collect();
             let rhs: Vec<f64> = (0..n)
                 .map(|i| {
                     -r_dual[i] + (mu - u[i] * alpha[i]) / alpha[i]
@@ -123,8 +137,9 @@ pub fn train_interior_point(
             }
             let dnu = (ytz1 + r_prim) / ytz2;
             let da: Vec<f64> = (0..n).map(|i| z1.x[i] - dnu * z2.x[i]).collect();
-            let du: Vec<f64> =
-                (0..n).map(|i| (mu - u[i] * alpha[i] - u[i] * da[i]) / alpha[i]).collect();
+            let du: Vec<f64> = (0..n)
+                .map(|i| (mu - u[i] * alpha[i] - u[i] * da[i]) / alpha[i])
+                .collect();
             let dv: Vec<f64> = (0..n)
                 .map(|i| (mu - v[i] * (c - alpha[i]) + v[i] * da[i]) / (c - alpha[i]))
                 .collect();
@@ -166,7 +181,11 @@ mod tests {
     use crate::smo::train_smo;
 
     fn ip_config() -> SvmConfig {
-        SvmConfig { tolerance: 1e-4, max_iterations: 80, ..SvmConfig::default() }
+        SvmConfig {
+            tolerance: 1e-4,
+            max_iterations: 80,
+            ..SvmConfig::default()
+        }
     }
 
     #[test]
@@ -201,7 +220,11 @@ mod tests {
     fn polynomial_kernel_works() {
         let d = concentric_rings(140, 2, 1.0, 3.0, 5);
         let cfg = SvmConfig {
-            kernel: KernelKind::Polynomial { degree: 2, gamma: 1.0, coef0: 1.0 },
+            kernel: KernelKind::Polynomial {
+                degree: 2,
+                gamma: 1.0,
+                coef0: 1.0,
+            },
             ..ip_config()
         };
         let mut prof = Profiler::new();
@@ -244,7 +267,11 @@ mod tests {
     #[test]
     fn iteration_budget_is_enforced() {
         let d = gaussian_clusters(60, 4, 1.0, 23);
-        let cfg = SvmConfig { max_iterations: 1, tolerance: 1e-12, ..SvmConfig::default() };
+        let cfg = SvmConfig {
+            max_iterations: 1,
+            tolerance: 1e-12,
+            ..SvmConfig::default()
+        };
         let mut prof = Profiler::new();
         assert!(matches!(
             train_interior_point(&d.train_x, &d.train_y, &cfg, &mut prof),

@@ -32,9 +32,11 @@ impl KernelKind {
         let dot: f64 = x.iter().zip(z).map(|(a, b)| a * b).sum();
         match *self {
             KernelKind::Linear => dot,
-            KernelKind::Polynomial { degree, gamma, coef0 } => {
-                (gamma * dot + coef0).powi(degree as i32)
-            }
+            KernelKind::Polynomial {
+                degree,
+                gamma,
+                coef0,
+            } => (gamma * dot + coef0).powi(degree as i32),
         }
     }
 }
@@ -54,7 +56,12 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        SvmConfig { c: 1.0, kernel: KernelKind::Linear, tolerance: 1e-3, max_iterations: 200 }
+        SvmConfig {
+            c: 1.0,
+            kernel: KernelKind::Linear,
+            tolerance: 1e-3,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -76,7 +83,10 @@ impl fmt::Display for SvmError {
         match self {
             SvmError::InvalidInput(m) => write!(f, "invalid svm input: {m}"),
             SvmError::NoConvergence { iterations } => {
-                write!(f, "svm training did not converge within {iterations} iterations")
+                write!(
+                    f,
+                    "svm training did not converge within {iterations} iterations"
+                )
             }
         }
     }
@@ -88,7 +98,9 @@ impl Error for SvmError {}
 pub(crate) fn validate_inputs(x: &Matrix, y: &[f64], cfg: &SvmConfig) -> Result<usize, SvmError> {
     let n = x.rows();
     if n == 0 || x.cols() == 0 {
-        return Err(SvmError::InvalidInput("training set must be non-empty".into()));
+        return Err(SvmError::InvalidInput(
+            "training set must be non-empty".into(),
+        ));
     }
     if y.len() != n {
         return Err(SvmError::InvalidInput(format!(
@@ -101,10 +113,16 @@ pub(crate) fn validate_inputs(x: &Matrix, y: &[f64], cfg: &SvmConfig) -> Result<
         return Err(SvmError::InvalidInput("labels must be +1 or -1".into()));
     }
     if y.iter().all(|&l| l == y[0]) {
-        return Err(SvmError::InvalidInput("both classes must be present".into()));
+        return Err(SvmError::InvalidInput(
+            "both classes must be present".into(),
+        ));
     }
-    if !(cfg.c > 0.0) {
-        return Err(SvmError::InvalidInput(format!("C must be positive, got {}", cfg.c)));
+    let c_positive = cfg.c.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !c_positive {
+        return Err(SvmError::InvalidInput(format!(
+            "C must be positive, got {}",
+            cfg.c
+        )));
     }
     Ok(n)
 }
@@ -160,7 +178,9 @@ impl SvmModel {
     pub fn accuracy(&self, x: &Matrix, y: &[f64]) -> f64 {
         assert_eq!(x.rows(), y.len(), "labels must match samples");
         assert!(!y.is_empty(), "evaluation set must be non-empty");
-        let correct = (0..x.rows()).filter(|&i| self.classify(x.row(i)) == y[i]).count();
+        let correct = (0..x.rows())
+            .filter(|&i| self.classify(x.row(i)) == y[i])
+            .count();
         correct as f64 / y.len() as f64
     }
 
@@ -204,8 +224,8 @@ impl SvmModel {
             let mut s = 0.0;
             for (r, &i) in sv_idx.iter().enumerate() {
                 let mut f = 0.0;
-                for r2 in 0..sv_idx.len() {
-                    f += coef[r2] * kernel.eval(support.row(r2), support.row(r));
+                for (r2, c2) in coef.iter().enumerate() {
+                    f += c2 * kernel.eval(support.row(r2), support.row(r));
                 }
                 s += y[i] - f;
             }
@@ -213,7 +233,12 @@ impl SvmModel {
         } else {
             0.0
         };
-        SvmModel { support_x: support, coef, bias, kernel }
+        SvmModel {
+            support_x: support,
+            coef,
+            bias,
+            kernel,
+        }
     }
 }
 
@@ -229,7 +254,11 @@ mod tests {
 
     #[test]
     fn polynomial_kernel_matches_formula() {
-        let k = KernelKind::Polynomial { degree: 2, gamma: 0.5, coef0: 1.0 };
+        let k = KernelKind::Polynomial {
+            degree: 2,
+            gamma: 0.5,
+            coef0: 1.0,
+        };
         // (0.5 * 4 + 1)^2 = 9
         assert!((k.eval(&[2.0], &[2.0]) - 9.0).abs() < 1e-12);
     }

@@ -56,14 +56,13 @@ impl MulticlassSvm {
             )));
         }
         for c in 0..classes {
-            if !y.iter().any(|&l| l == c) {
+            if !y.contains(&c) {
                 return Err(SvmError::InvalidInput(format!("class {c} has no samples")));
             }
         }
         let mut models = Vec::with_capacity(classes);
         for c in 0..classes {
-            let binary: Vec<f64> =
-                y.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
+            let binary: Vec<f64> = y.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
             models.push(trainer(x, &binary, cfg, prof)?);
         }
         Ok(MulticlassSvm { models })
@@ -100,7 +99,9 @@ impl MulticlassSvm {
     pub fn accuracy(&self, x: &Matrix, y: &[usize]) -> f64 {
         assert_eq!(x.rows(), y.len(), "labels must match samples");
         assert!(!y.is_empty(), "evaluation set must be non-empty");
-        let correct = (0..x.rows()).filter(|&i| self.classify(x.row(i)) == y[i]).count();
+        let correct = (0..x.rows())
+            .filter(|&i| self.classify(x.row(i)) == y[i])
+            .count();
         correct as f64 / y.len() as f64
     }
 }
@@ -191,7 +192,11 @@ mod tests {
     fn interior_point_trainer_also_works() {
         use crate::interior::train_interior_point;
         let (ds, train_y, test_y) = multiclass_clusters(150, 6, 3, 6.0, 9);
-        let cfg = SvmConfig { tolerance: 1e-4, max_iterations: 80, ..SvmConfig::default() };
+        let cfg = SvmConfig {
+            tolerance: 1e-4,
+            max_iterations: 80,
+            ..SvmConfig::default()
+        };
         let mut prof = Profiler::new();
         let model = MulticlassSvm::train(
             &ds.train_x,

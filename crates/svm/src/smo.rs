@@ -67,7 +67,9 @@ pub fn train_smo(
                 return Ok((alpha, bias));
             }
             if updates >= max_updates {
-                return Err(SvmError::NoConvergence { iterations: updates });
+                return Err(SvmError::NoConvergence {
+                    iterations: updates,
+                });
             }
             updates += 1;
             let (i, j) = (i_sel, j_sel);
@@ -152,24 +154,33 @@ mod tests {
     fn polynomial_kernel_solves_rings_where_linear_fails() {
         let d = concentric_rings(160, 2, 1.0, 3.0, 5);
         let mut prof = Profiler::new();
-        let linear =
-            train_smo(&d.train_x, &d.train_y, &SvmConfig::default(), &mut prof).unwrap();
+        let linear = train_smo(&d.train_x, &d.train_y, &SvmConfig::default(), &mut prof).unwrap();
         let poly_cfg = SvmConfig {
-            kernel: KernelKind::Polynomial { degree: 2, gamma: 1.0, coef0: 1.0 },
+            kernel: KernelKind::Polynomial {
+                degree: 2,
+                gamma: 1.0,
+                coef0: 1.0,
+            },
             ..SvmConfig::default()
         };
         let poly = train_smo(&d.train_x, &d.train_y, &poly_cfg, &mut prof).unwrap();
         let lin_acc = linear.accuracy(&d.test_x, &d.test_y);
         let poly_acc = poly.accuracy(&d.test_x, &d.test_y);
         assert!(poly_acc > 0.9, "poly accuracy {poly_acc}");
-        assert!(poly_acc > lin_acc + 0.15, "linear {lin_acc} vs poly {poly_acc}");
+        assert!(
+            poly_acc > lin_acc + 0.15,
+            "linear {lin_acc} vs poly {poly_acc}"
+        );
     }
 
     #[test]
     fn free_support_vectors_sit_on_the_margin() {
         let d = gaussian_clusters(100, 4, 6.0, 11);
         let mut prof = Profiler::new();
-        let cfg = SvmConfig { c: 10.0, ..SvmConfig::default() };
+        let cfg = SvmConfig {
+            c: 10.0,
+            ..SvmConfig::default()
+        };
         let model = train_smo(&d.train_x, &d.train_y, &cfg, &mut prof).unwrap();
         // Decision values of correctly classified training points are >= ~1
         // or <= ~-1 for a (nearly) separable problem.
@@ -209,7 +220,10 @@ mod tests {
     fn kkt_conditions_hold_at_solution() {
         let d = gaussian_clusters(80, 4, 5.0, 31);
         let mut prof = Profiler::new();
-        let cfg = SvmConfig { c: 2.0, ..SvmConfig::default() };
+        let cfg = SvmConfig {
+            c: 2.0,
+            ..SvmConfig::default()
+        };
         let model = train_smo(&d.train_x, &d.train_y, &cfg, &mut prof).unwrap();
         for i in 0..d.train_x.rows() {
             let margin = model.decision(d.train_x.row(i)) * d.train_y[i];

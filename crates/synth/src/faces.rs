@@ -140,7 +140,15 @@ pub fn render_non_face_patch(size: usize, rng: &mut StdRng) -> Image {
             let bx: f32 = rng.gen_range(0.2..0.8) * size as f32;
             let by: f32 = rng.gen_range(0.2..0.8) * size as f32;
             let mut img = Image::filled(size, size, base);
-            draw_ellipse(&mut img, bx, by, size as f32 * 0.2, size as f32 * 0.2, base - 70.0, 1.0);
+            draw_ellipse(
+                &mut img,
+                bx,
+                by,
+                size as f32 * 0.2,
+                size as f32 * 0.2,
+                base - 70.0,
+                1.0,
+            );
             img
         }
     }
@@ -200,10 +208,8 @@ mod tests {
             let s = 24.0f32;
             let eye_row = (s * 0.38) as usize;
             let cheek_row = (s * 0.55) as usize;
-            let band_mean: f32 =
-                (6..18).map(|x| f.get(x, eye_row)).sum::<f32>() / 12.0;
-            let cheek_mean: f32 =
-                (6..18).map(|x| f.get(x, cheek_row)).sum::<f32>() / 12.0;
+            let band_mean: f32 = (6..18).map(|x| f.get(x, eye_row)).sum::<f32>() / 12.0;
+            let cheek_mean: f32 = (6..18).map(|x| f.get(x, cheek_row)).sum::<f32>() / 12.0;
             assert!(
                 cheek_mean > band_mean + 5.0,
                 "eye band not darker: band {band_mean} cheek {cheek_mean}"
@@ -241,12 +247,28 @@ mod tests {
 
     #[test]
     fn iou_basics() {
-        let a = FaceBox { x: 0, y: 0, size: 10 };
-        let b = FaceBox { x: 0, y: 0, size: 10 };
+        let a = FaceBox {
+            x: 0,
+            y: 0,
+            size: 10,
+        };
+        let b = FaceBox {
+            x: 0,
+            y: 0,
+            size: 10,
+        };
         assert!((a.iou(&b) - 1.0).abs() < 1e-12);
-        let c = FaceBox { x: 20, y: 20, size: 10 };
+        let c = FaceBox {
+            x: 20,
+            y: 20,
+            size: 10,
+        };
         assert_eq!(a.iou(&c), 0.0);
-        let d = FaceBox { x: 5, y: 0, size: 10 };
+        let d = FaceBox {
+            x: 5,
+            y: 0,
+            size: 10,
+        };
         assert!((a.iou(&d) - 50.0 / 150.0).abs() < 1e-12);
     }
 

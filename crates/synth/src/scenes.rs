@@ -77,7 +77,12 @@ pub fn stereo_pair(w: usize, h: usize, seed: u64) -> StereoPair {
             d_bg as f32
         }
     });
-    StereoPair { left, right, truth, max_disparity }
+    StereoPair {
+        left,
+        right,
+        truth,
+        max_disparity,
+    }
 }
 
 /// Generates a frame pair under a known global translation: content at
@@ -109,7 +114,9 @@ pub fn frame_sequence(w: usize, h: usize, seed: u64, n: usize, vx: f32, vy: f32)
         .map(|i| {
             let ox = margin as f32 - vx * i as f32;
             let oy = margin as f32 - vy * i as f32;
-            Image::from_fn(w, h, |x, y| big.sample_bilinear(x as f32 + ox, y as f32 + oy))
+            Image::from_fn(w, h, |x, y| {
+                big.sample_bilinear(x as f32 + ox, y as f32 + oy)
+            })
         })
         .collect()
 }
@@ -139,8 +146,9 @@ pub fn segmentable_scene(w: usize, h: usize, seed: u64, regions: usize) -> Segme
         .map(|_| (rng.gen_range(0.0..w as f32), rng.gen_range(0.0..h as f32)))
         .collect();
     // Well-separated gray levels, shuffled deterministically.
-    let mut levels: Vec<f32> =
-        (0..regions).map(|i| 30.0 + 200.0 * i as f32 / (regions.max(2) - 1) as f32).collect();
+    let mut levels: Vec<f32> = (0..regions)
+        .map(|i| 30.0 + 200.0 * i as f32 / (regions.max(2) - 1) as f32)
+        .collect();
     for i in (1..levels.len()).rev() {
         let j = rng.gen_range(0..=i);
         levels.swap(i, j);
@@ -160,7 +168,11 @@ pub fn segmentable_scene(w: usize, h: usize, seed: u64, regions: usize) -> Segme
         labels[y * w + x] = best;
         levels[best] + 6.0 * (noise.get(x, y) - 0.5)
     });
-    SegmentScene { image, labels, regions }
+    SegmentScene {
+        image,
+        labels,
+        regions,
+    }
 }
 
 /// Two overlapping views related by a known affine transform.
@@ -336,7 +348,10 @@ mod tests {
         let means: Vec<f64> = (0..4).map(|i| sums[i] / counts[i] as f64).collect();
         for i in 0..4 {
             for j in 0..i {
-                assert!((means[i] - means[j]).abs() > 20.0, "regions {i},{j} too close");
+                assert!(
+                    (means[i] - means[j]).abs() > 20.0,
+                    "regions {i},{j} too close"
+                );
             }
         }
     }
@@ -358,7 +373,11 @@ mod tests {
             }
         }
         assert!(n > 20, "overlap too small");
-        assert!(err / (n as f32) < 2.0, "mean mapping error {}", err / n as f32);
+        assert!(
+            err / (n as f32) < 2.0,
+            "mean mapping error {}",
+            err / n as f32
+        );
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! truth each generator promises must hold for arbitrary seeds and sizes.
 
 use proptest::prelude::*;
-use sdvbs_synth::{
-    frame_pair, overlapping_pair, segmentable_scene, stereo_pair, textured_image,
-};
+use sdvbs_synth::{frame_pair, overlapping_pair, segmentable_scene, stereo_pair, textured_image};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

@@ -106,7 +106,11 @@ impl fmt::Display for TextureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TextureError::InvalidConfig(m) => write!(f, "invalid texture config: {m}"),
-            TextureError::SampleTooSmall { width, height, required } => write!(
+            TextureError::SampleTooSmall {
+                width,
+                height,
+                required,
+            } => write!(
                 f,
                 "swatch {width}x{height} smaller than required {required}x{required}"
             ),
@@ -152,26 +156,40 @@ pub fn synthesize(
     cfg: &TextureConfig,
     prof: &mut Profiler,
 ) -> Result<Image, TextureError> {
-    if cfg.window < 3 || cfg.window % 2 == 0 {
+    if cfg.window < 3 || cfg.window.is_multiple_of(2) {
         return Err(TextureError::InvalidConfig(format!(
             "window must be odd and >= 3, got {}",
             cfg.window
         )));
     }
     if cfg.pca_dims == 0 {
-        return Err(TextureError::InvalidConfig("pca_dims must be positive".into()));
+        return Err(TextureError::InvalidConfig(
+            "pca_dims must be positive".into(),
+        ));
     }
     if cfg.candidate_stride == 0 {
-        return Err(TextureError::InvalidConfig("candidate_stride must be positive".into()));
+        return Err(TextureError::InvalidConfig(
+            "candidate_stride must be positive".into(),
+        ));
     }
-    if !(cfg.tolerance >= 0.0) {
-        return Err(TextureError::InvalidConfig("tolerance must be non-negative".into()));
+    let tolerance_ok = cfg
+        .tolerance
+        .partial_cmp(&0.0)
+        .is_some_and(|o| o != std::cmp::Ordering::Less);
+    if !tolerance_ok {
+        return Err(TextureError::InvalidConfig(
+            "tolerance must be non-negative".into(),
+        ));
     }
     if cfg.passes == 0 {
-        return Err(TextureError::InvalidConfig("passes must be at least 1".into()));
+        return Err(TextureError::InvalidConfig(
+            "passes must be at least 1".into(),
+        ));
     }
     if out_w == 0 || out_h == 0 {
-        return Err(TextureError::InvalidConfig("output must be non-empty".into()));
+        return Err(TextureError::InvalidConfig(
+            "output must be non-empty".into(),
+        ));
     }
     let required = cfg.window + 1;
     if swatch.width() < required || swatch.height() < required {
@@ -311,7 +329,15 @@ fn build_index(
         let projected = centered.matmul(&basis).expect("shapes agree");
         (mean, basis, projected)
     });
-    NeighborhoodIndex { offsets: offsets.to_vec(), mean, basis, projected, centers, dim, k }
+    NeighborhoodIndex {
+        offsets: offsets.to_vec(),
+        mean,
+        basis,
+        projected,
+        centers,
+        dim,
+        k,
+    }
 }
 
 /// One synthesis sweep over the output in scan order, replacing each pixel
@@ -333,8 +359,8 @@ fn synth_pass(out: &mut Image, index: &NeighborhoodIndex, tolerance: f64, rng: &
             // Project onto the PCA basis.
             for (j, p) in proj.iter_mut().enumerate() {
                 let mut acc = 0.0;
-                for i in 0..index.dim {
-                    acc += query[i] * index.basis[(i, j)];
+                for (i, &q) in query.iter().enumerate() {
+                    acc += q * index.basis[(i, j)];
                 }
                 *p = acc;
             }
@@ -400,7 +426,10 @@ mod tests {
         let sample_values: std::collections::HashSet<u32> =
             s.as_slice().iter().map(|v| v.to_bits()).collect();
         for &v in out.as_slice() {
-            assert!(sample_values.contains(&v.to_bits()), "pixel {v} not from swatch");
+            assert!(
+                sample_values.contains(&v.to_bits()),
+                "pixel {v} not from swatch"
+            );
         }
     }
 
@@ -409,10 +438,19 @@ mod tests {
         let s = swatch(TextureKind::Stochastic);
         let mut prof = Profiler::new();
         let out = synthesize(&s, 32, 32, &TextureConfig::default(), &mut prof).unwrap();
-        assert!((out.mean() - s.mean()).abs() < 25.0, "means {} vs {}", out.mean(), s.mean());
+        assert!(
+            (out.mean() - s.mean()).abs() < 25.0,
+            "means {} vs {}",
+            out.mean(),
+            s.mean()
+        );
         let std = |im: &Image| {
             let m = im.mean();
-            (im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32)
+            (im.as_slice()
+                .iter()
+                .map(|&v| (v - m) * (v - m))
+                .sum::<f32>()
+                / im.len() as f32)
                 .sqrt()
         };
         let (so, ss) = (std(&out), std(&s));
@@ -424,11 +462,12 @@ mod tests {
         let s = swatch(TextureKind::Structural);
         let mut prof = Profiler::new();
         let out = synthesize(&s, 32, 32, &TextureConfig::default(), &mut prof).unwrap();
-        let dark = out.as_slice().iter().filter(|&&v| v < 110.0).count() as f64
-            / out.len() as f64;
-        let dark_in = s.as_slice().iter().filter(|&&v| v < 110.0).count() as f64
-            / s.len() as f64;
-        assert!((dark - dark_in).abs() < 0.25, "dark fraction {dark} vs swatch {dark_in}");
+        let dark = out.as_slice().iter().filter(|&&v| v < 110.0).count() as f64 / out.len() as f64;
+        let dark_in = s.as_slice().iter().filter(|&&v| v < 110.0).count() as f64 / s.len() as f64;
+        assert!(
+            (dark - dark_in).abs() < 0.25,
+            "dark fraction {dark} vs swatch {dark_in}"
+        );
     }
 
     #[test]
@@ -439,8 +478,7 @@ mod tests {
         let a = synthesize(&s, 20, 20, &cfg, &mut prof).unwrap();
         let b = synthesize(&s, 20, 20, &cfg, &mut prof).unwrap();
         assert_eq!(a, b);
-        let c =
-            synthesize(&s, 20, 20, &TextureConfig { seed: 18, ..cfg }, &mut prof).unwrap();
+        let c = synthesize(&s, 20, 20, &TextureConfig { seed: 18, ..cfg }, &mut prof).unwrap();
         assert_ne!(a, c);
     }
 
@@ -452,9 +490,18 @@ mod tests {
         for cfg in [
             TextureConfig { window: 4, ..base },
             TextureConfig { window: 1, ..base },
-            TextureConfig { pca_dims: 0, ..base },
-            TextureConfig { candidate_stride: 0, ..base },
-            TextureConfig { tolerance: -1.0, ..base },
+            TextureConfig {
+                pca_dims: 0,
+                ..base
+            },
+            TextureConfig {
+                candidate_stride: 0,
+                ..base
+            },
+            TextureConfig {
+                tolerance: -1.0,
+                ..base
+            },
         ] {
             assert!(synthesize(&s, 8, 8, &cfg, &mut prof).is_err(), "{cfg:?}");
         }
@@ -470,12 +517,18 @@ mod tests {
     fn refinement_pass_keeps_pixels_from_swatch() {
         let s = swatch(TextureKind::Stochastic);
         let mut prof = Profiler::new();
-        let cfg = TextureConfig { passes: 2, ..TextureConfig::default() };
+        let cfg = TextureConfig {
+            passes: 2,
+            ..TextureConfig::default()
+        };
         let out = synthesize(&s, 24, 24, &cfg, &mut prof).unwrap();
         let sample_values: std::collections::HashSet<u32> =
             s.as_slice().iter().map(|v| v.to_bits()).collect();
         for &v in out.as_slice() {
-            assert!(sample_values.contains(&v.to_bits()), "pixel {v} not from swatch");
+            assert!(
+                sample_values.contains(&v.to_bits()),
+                "pixel {v} not from swatch"
+            );
         }
     }
 
@@ -484,7 +537,10 @@ mod tests {
         let s = swatch(TextureKind::Structural);
         let mut prof = Profiler::new();
         let one = synthesize(&s, 32, 32, &TextureConfig::default(), &mut prof).unwrap();
-        let cfg = TextureConfig { passes: 3, ..TextureConfig::default() };
+        let cfg = TextureConfig {
+            passes: 3,
+            ..TextureConfig::default()
+        };
         let three = synthesize(&s, 32, 32, &cfg, &mut prof).unwrap();
         assert_ne!(one, three, "refinement passes had no effect");
         // Refinement should not destroy the brightness statistics.
@@ -495,7 +551,10 @@ mod tests {
     fn zero_passes_is_rejected() {
         let s = swatch(TextureKind::Stochastic);
         let mut prof = Profiler::new();
-        let cfg = TextureConfig { passes: 0, ..TextureConfig::default() };
+        let cfg = TextureConfig {
+            passes: 0,
+            ..TextureConfig::default()
+        };
         assert!(synthesize(&s, 8, 8, &cfg, &mut prof).is_err());
     }
 
@@ -521,7 +580,10 @@ mod tests {
         // 2 rows * 5 + 2 = 12 offsets, all strictly "before" the target.
         assert_eq!(offs.len(), 12);
         for &(dx, dy) in &offs {
-            assert!(dy < 0 || (dy == 0 && dx < 0), "offset ({dx},{dy}) not causal");
+            assert!(
+                dy < 0 || (dy == 0 && dx < 0),
+                "offset ({dx},{dy}) not causal"
+            );
         }
     }
 }

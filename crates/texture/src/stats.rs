@@ -55,7 +55,12 @@ impl Moments {
         } else {
             (0.0, 3.0) // degenerate distribution: treat as Gaussian-flat
         };
-        Moments { mean, variance: m2, skewness, kurtosis }
+        Moments {
+            mean,
+            variance: m2,
+            skewness,
+            kurtosis,
+        }
     }
 }
 
@@ -79,7 +84,10 @@ impl TextureStatistics {
     /// Panics if the image is smaller than 16×16 or `levels == 0`.
     pub fn compute(img: &Image, levels: usize) -> TextureStatistics {
         assert!(levels > 0, "need at least one band");
-        assert!(img.width() >= 16 && img.height() >= 16, "texture too small for statistics");
+        assert!(
+            img.width() >= 16 && img.height() >= 16,
+            "texture too small for statistics"
+        );
         let pixel = Moments::of(img);
         // Laplacian pyramid bands: difference between successive blurs.
         let mut bands = Vec::with_capacity(levels);
@@ -98,7 +106,11 @@ impl TextureStatistics {
         }
         // Normalized autocorrelation at small lags.
         let autocorrelation = (1..=4).map(|lag| autocorr(img, lag)).collect();
-        TextureStatistics { pixel, bands, autocorrelation }
+        TextureStatistics {
+            pixel,
+            bands,
+            autocorrelation,
+        }
     }
 
     /// A scale-balanced distance between two statistics summaries: the
@@ -109,7 +121,11 @@ impl TextureStatistics {
     ///
     /// Panics if the summaries have different band counts.
     pub fn distance(&self, other: &TextureStatistics) -> f64 {
-        assert_eq!(self.bands.len(), other.bands.len(), "band counts must match");
+        assert_eq!(
+            self.bands.len(),
+            other.bands.len(),
+            "band counts must match"
+        );
         let mut acc = 0.0;
         let mut n = 0usize;
         let mut push = |a: f64, b: f64, scale: f64| {
@@ -197,15 +213,22 @@ mod tests {
         let img = textured_image(64, 64, 3);
         let stats = TextureStatistics::compute(&img, 3);
         let ac = &stats.autocorrelation;
-        assert!(ac[0] > 0.5, "lag-1 autocorr {} too small for smooth noise", ac[0]);
+        assert!(
+            ac[0] > 0.5,
+            "lag-1 autocorr {} too small for smooth noise",
+            ac[0]
+        );
         assert!(ac[0] > ac[3], "autocorr should decay: {ac:?}");
     }
 
     #[test]
     fn distinct_texture_families_have_distinct_statistics() {
-        let sto = TextureStatistics::compute(&texture_swatch(64, 64, 5, TextureKind::Stochastic), 3);
-        let str_ = TextureStatistics::compute(&texture_swatch(64, 64, 5, TextureKind::Structural), 3);
-        let same = TextureStatistics::compute(&texture_swatch(64, 64, 6, TextureKind::Stochastic), 3);
+        let sto =
+            TextureStatistics::compute(&texture_swatch(64, 64, 5, TextureKind::Stochastic), 3);
+        let str_ =
+            TextureStatistics::compute(&texture_swatch(64, 64, 5, TextureKind::Structural), 3);
+        let same =
+            TextureStatistics::compute(&texture_swatch(64, 64, 6, TextureKind::Stochastic), 3);
         let cross = sto.distance(&str_);
         let within = sto.distance(&same);
         assert!(cross > 1.5 * within, "cross {cross} vs within {within}");
@@ -227,7 +250,10 @@ mod tests {
             (((x * 193 + y * 407) ^ (x * 31)) % 256) as f32
         });
         let s_noise = TextureStatistics::compute(&noise, 3);
-        assert!(s_in.distance(&s_noise) > 2.0 * d, "noise too close to swatch stats");
+        assert!(
+            s_in.distance(&s_noise) > 2.0 * d,
+            "noise too close to swatch stats"
+        );
     }
 
     #[test]

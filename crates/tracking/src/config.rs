@@ -76,17 +76,24 @@ impl TrackingConfig {
         if self.max_iterations == 0 {
             return Err(InvalidConfig("max_iterations must be positive".into()));
         }
-        if !(self.sigma > 0.0) {
-            return Err(InvalidConfig(format!("sigma must be positive, got {}", self.sigma)));
+        let positive = |v: f32| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if !positive(self.sigma) {
+            return Err(InvalidConfig(format!(
+                "sigma must be positive, got {}",
+                self.sigma
+            )));
         }
-        if !(self.quality_level > 0.0 && self.quality_level <= 1.0) {
+        if !(positive(self.quality_level) && self.quality_level <= 1.0) {
             return Err(InvalidConfig(format!(
                 "quality_level must be in (0, 1], got {}",
                 self.quality_level
             )));
         }
-        if !(self.epsilon > 0.0) {
-            return Err(InvalidConfig(format!("epsilon must be positive, got {}", self.epsilon)));
+        if !positive(self.epsilon) {
+            return Err(InvalidConfig(format!(
+                "epsilon must be positive, got {}",
+                self.epsilon
+            )));
         }
         Ok(())
     }
@@ -105,14 +112,35 @@ mod tests {
     fn invalid_fields_are_caught() {
         let base = TrackingConfig::default();
         for cfg in [
-            TrackingConfig { num_features: 0, ..base },
-            TrackingConfig { window_radius: 0, ..base },
-            TrackingConfig { pyramid_levels: 0, ..base },
-            TrackingConfig { max_iterations: 0, ..base },
+            TrackingConfig {
+                num_features: 0,
+                ..base
+            },
+            TrackingConfig {
+                window_radius: 0,
+                ..base
+            },
+            TrackingConfig {
+                pyramid_levels: 0,
+                ..base
+            },
+            TrackingConfig {
+                max_iterations: 0,
+                ..base
+            },
             TrackingConfig { sigma: 0.0, ..base },
-            TrackingConfig { quality_level: 0.0, ..base },
-            TrackingConfig { quality_level: 1.5, ..base },
-            TrackingConfig { epsilon: -1.0, ..base },
+            TrackingConfig {
+                quality_level: 0.0,
+                ..base
+            },
+            TrackingConfig {
+                quality_level: 1.5,
+                ..base
+            },
+            TrackingConfig {
+                epsilon: -1.0,
+                ..base
+            },
         ] {
             assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
         }
@@ -120,7 +148,10 @@ mod tests {
 
     #[test]
     fn error_display_names_field() {
-        let cfg = TrackingConfig { sigma: -2.0, ..TrackingConfig::default() };
+        let cfg = TrackingConfig {
+            sigma: -2.0,
+            ..TrackingConfig::default()
+        };
         let e = cfg.validate().unwrap_err();
         assert!(e.to_string().contains("sigma"));
     }

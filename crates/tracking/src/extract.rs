@@ -36,7 +36,11 @@ pub fn extract_features(img: &Image, cfg: &TrackingConfig, prof: &mut Profiler) 
         let ixx = Image::from_fn(w, h, |x, y| gx.get(x, y) * gx.get(x, y));
         let ixy = Image::from_fn(w, h, |x, y| gx.get(x, y) * gy.get(x, y));
         let iyy = Image::from_fn(w, h, |x, y| gy.get(x, y) * gy.get(x, y));
-        (IntegralImage::new(&ixx), IntegralImage::new(&ixy), IntegralImage::new(&iyy))
+        (
+            IntegralImage::new(&ixx),
+            IntegralImage::new(&ixy),
+            IntegralImage::new(&iyy),
+        )
     });
     let response = prof.kernel("AreaSum", |_| {
         Image::from_fn(w, h, |x, y| {
@@ -76,7 +80,10 @@ mod tests {
     #[test]
     fn features_respect_min_distance() {
         let img = textured_image(96, 72, 4);
-        let cfg = TrackingConfig { min_distance: 10.0, ..TrackingConfig::default() };
+        let cfg = TrackingConfig {
+            min_distance: 10.0,
+            ..TrackingConfig::default()
+        };
         let mut prof = Profiler::new();
         let feats = extract_features(&img, &cfg, &mut prof);
         for i in 0..feats.len() {
@@ -93,7 +100,11 @@ mod tests {
         let cfg = TrackingConfig::default();
         let mut prof = Profiler::new();
         let feats = extract_features(&img, &cfg, &mut prof);
-        assert!(feats.is_empty(), "found {} features on flat image", feats.len());
+        assert!(
+            feats.is_empty(),
+            "found {} features on flat image",
+            feats.len()
+        );
     }
 
     #[test]
@@ -105,13 +116,18 @@ mod tests {
                 30.0
             }
         });
-        let cfg = TrackingConfig { quality_level: 0.2, ..TrackingConfig::default() };
+        let cfg = TrackingConfig {
+            quality_level: 0.2,
+            ..TrackingConfig::default()
+        };
         let mut prof = Profiler::new();
         let feats = extract_features(&img, &cfg, &mut prof);
         assert!(!feats.is_empty());
         for &(cx, cy) in &[(20.0f32, 20.0f32), (43.0, 43.0)] {
             assert!(
-                feats.iter().any(|f| (f.x - cx).abs() < 4.0 && (f.y - cy).abs() < 4.0),
+                feats
+                    .iter()
+                    .any(|f| (f.x - cx).abs() < 4.0 && (f.y - cy).abs() < 4.0),
                 "no feature near ({cx},{cy}): {feats:?}"
             );
         }

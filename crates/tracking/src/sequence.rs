@@ -64,7 +64,12 @@ impl Tracker {
     /// Returns the configuration's validation error if it is unusable.
     pub fn new(config: TrackingConfig) -> Result<Self, crate::config::InvalidConfig> {
         config.validate()?;
-        Ok(Tracker { config, tracks: Vec::new(), prev: None, next_id: 0 })
+        Ok(Tracker {
+            config,
+            tracks: Vec::new(),
+            prev: None,
+            next_id: 0,
+        })
     }
 
     /// The live tracks after the most recent frame.
@@ -92,7 +97,11 @@ impl Tracker {
             let features: Vec<Feature> = self
                 .tracks
                 .iter()
-                .map(|t| Feature { x: t.x, y: t.y, score: 0.0 })
+                .map(|t| Feature {
+                    x: t.x,
+                    y: t.y,
+                    score: 0.0,
+                })
                 .collect();
             let results = track_features(&prev, frame, &features, &self.config, prof);
             let mut kept = Vec::with_capacity(self.tracks.len());
@@ -127,7 +136,12 @@ impl Tracker {
                     .iter()
                     .all(|t| (t.x - c.x).powi(2) + (t.y - c.y).powi(2) >= min_d2);
                 if clear {
-                    self.tracks.push(Track { id: self.next_id, x: c.x, y: c.y, age: 0 });
+                    self.tracks.push(Track {
+                        id: self.next_id,
+                        x: c.x,
+                        y: c.y,
+                        age: 0,
+                    });
                     self.next_id += 1;
                 }
             }
@@ -149,7 +163,11 @@ mod tests {
         let mut prof = Profiler::new();
         tracker.advance(&frames[0], &mut prof);
         let initial_ids: Vec<u64> = tracker.tracks().iter().map(|t| t.id).collect();
-        assert!(initial_ids.len() >= 20, "{} initial tracks", initial_ids.len());
+        assert!(
+            initial_ids.len() >= 20,
+            "{} initial tracks",
+            initial_ids.len()
+        );
         for frame in &frames[1..] {
             tracker.advance(frame, &mut prof);
         }
@@ -202,7 +220,11 @@ mod tests {
         }
         assert!(total_dropped > 0, "no features were ever dropped");
         // Population stays healthy thanks to re-detection.
-        assert!(tracker.tracks().len() >= 20, "{} live tracks", tracker.tracks().len());
+        assert!(
+            tracker.tracks().len() >= 20,
+            "{} live tracks",
+            tracker.tracks().len()
+        );
         // New ids were issued beyond the initial batch.
         assert!(tracker.created() > tracker.tracks().len() as u64);
     }

@@ -54,14 +54,22 @@ pub fn track_features(
     );
     // Pyramid construction is Gaussian filtering + decimation.
     let (pyr_a, pyr_b) = prof.kernel("GaussianFilter", |_| {
-        (Pyramid::new(a, cfg.pyramid_levels, cfg.sigma), Pyramid::new(b, cfg.pyramid_levels, cfg.sigma))
+        (
+            Pyramid::new(a, cfg.pyramid_levels, cfg.sigma),
+            Pyramid::new(b, cfg.pyramid_levels, cfg.sigma),
+        )
     });
     let levels = pyr_a.levels().min(pyr_b.levels());
     // Gradients of the *first* frame per level (classic KLT linearizes
     // around frame a).
     let grads: Vec<(Image, Image)> = prof.kernel("Gradient", |_| {
         (0..levels)
-            .map(|l| (central_diff_x(pyr_a.level(l)), central_diff_y(pyr_a.level(l))))
+            .map(|l| {
+                (
+                    central_diff_x(pyr_a.level(l)),
+                    central_diff_y(pyr_a.level(l)),
+                )
+            })
             .collect()
     });
     let r = cfg.window_radius as isize;
@@ -137,7 +145,12 @@ pub fn track_features(
                     dy *= 2.0;
                 }
             }
-            TrackedFeature { from: *f, to_x: f.x + dx, to_y: f.y + dy, converged }
+            TrackedFeature {
+                from: *f,
+                to_x: f.x + dx,
+                to_y: f.y + dy,
+                converged,
+            }
         })
         .collect()
 }
@@ -201,7 +214,10 @@ mod tests {
         let tracks = track_pair(&a, &a, &cfg, &mut prof);
         for t in &tracks {
             let (dx, dy) = t.motion();
-            assert!(dx.abs() < 0.05 && dy.abs() < 0.05, "nonzero motion {dx},{dy}");
+            assert!(
+                dx.abs() < 0.05 && dy.abs() < 0.05,
+                "nonzero motion {dx},{dy}"
+            );
         }
     }
 
@@ -210,7 +226,10 @@ mod tests {
         // 8-pixel motion exceeds the 4-pixel window: only the pyramid makes
         // this trackable.
         let (a, b) = frame_pair(128, 96, 19, 8.0, 0.0);
-        let cfg = TrackingConfig { pyramid_levels: 4, ..TrackingConfig::default() };
+        let cfg = TrackingConfig {
+            pyramid_levels: 4,
+            ..TrackingConfig::default()
+        };
         let mut prof = Profiler::new();
         let tracks = track_pair(&a, &b, &cfg, &mut prof);
         let dx = median(tracks.iter().map(|t| t.motion().0).collect());
@@ -240,7 +259,11 @@ mod tests {
     #[test]
     fn motion_accessor() {
         let t = TrackedFeature {
-            from: Feature { x: 10.0, y: 20.0, score: 1.0 },
+            from: Feature {
+                x: 10.0,
+                y: 20.0,
+                score: 1.0,
+            },
             to_x: 12.5,
             to_y: 19.0,
             converged: true,

@@ -22,7 +22,10 @@ fn main() {
     let disp = prof.run(|p| compute_disparity(&scene.left, &scene.right, &cfg, p));
     let accuracy = disparity_accuracy(&disp, &scene.truth, 1.0);
     println!("dense disparity on a CIF stereo pair ({} px)", disp.len());
-    println!("accuracy within +/-1 px of ground truth: {:.1}%", accuracy * 100.0);
+    println!(
+        "accuracy within +/-1 px of ground truth: {:.1}%",
+        accuracy * 100.0
+    );
     println!("\nkernel profile:\n{}", prof.report());
 
     // Color-code depth: near = warm, far = cool.
@@ -40,7 +43,10 @@ fn main() {
     write_pgm(&scene.left, dir.join("stereo_left.pgm")).expect("write left image");
     write_pgm(&disp.normalized_to_255(), dir.join("disparity.pgm")).expect("write disparity");
     write_ppm(&vis, dir.join("depth_color.ppm")).expect("write depth visualization");
-    println!("wrote stereo_left.pgm, disparity.pgm, depth_color.ppm to {}", dir.display());
+    println!(
+        "wrote stereo_left.pgm, disparity.pgm, depth_color.ppm to {}",
+        dir.display()
+    );
 }
 
 fn output_dir() -> PathBuf {

@@ -31,7 +31,11 @@ fn main() {
     let mut prof = Profiler::new();
     let sift_features = prof.run(|p| detect_and_describe(&img, &SiftConfig::default(), p));
     let msers = detect_mser(&img, MserPolarity::Dark, &MserConfig::default());
-    println!("{} SIFT keypoints, {} MSER regions", sift_features.len(), msers.len());
+    println!(
+        "{} SIFT keypoints, {} MSER regions",
+        sift_features.len(),
+        msers.len()
+    );
     println!("\nSIFT kernel profile:\n{}", prof.report());
     for r in &msers {
         println!(
@@ -54,5 +58,8 @@ fn main() {
     let dir = std::path::PathBuf::from("target/example-output");
     std::fs::create_dir_all(&dir).expect("create output directory");
     write_ppm(&vis, dir.join("features.ppm")).expect("write annotated features");
-    println!("\nwrote features.ppm (SIFT yellow, MSER cyan) to {}", dir.display());
+    println!(
+        "\nwrote features.ppm (SIFT yellow, MSER cyan) to {}",
+        dir.display()
+    );
 }

@@ -26,9 +26,16 @@ fn main() {
     let mut detect_prof = Profiler::new();
     let found =
         detect_prof.run(|p| detect_faces(&scene.image, &cascade, &DetectorConfig::default(), p));
-    println!("scene has {} faces; detector reported {}:", scene.faces.len(), found.len());
+    println!(
+        "scene has {} faces; detector reported {}:",
+        scene.faces.len(),
+        found.len()
+    );
     for d in &found {
-        println!("  box at ({:>3}, {:>3}) size {:>3}, support {}", d.x, d.y, d.size, d.support);
+        println!(
+            "  box at ({:>3}, {:>3}) size {:>3}, support {}",
+            d.x, d.y, d.size, d.support
+        );
     }
     println!("\ndetection kernel profile:\n{}", detect_prof.report());
 
@@ -43,14 +50,20 @@ fn main() {
     let dir = PathBuf::from("target/example-output");
     std::fs::create_dir_all(&dir).expect("create output directory");
     write_ppm(&vis, dir.join("faces.ppm")).expect("write annotated scene");
-    println!("wrote faces.ppm (truth green, detections red) to {}", dir.display());
+    println!(
+        "wrote faces.ppm (truth green, detections red) to {}",
+        dir.display()
+    );
 }
 
 fn draw_box(img: &mut RgbImage, x: usize, y: usize, size: usize, color: [u8; 3]) {
     for i in 0..size {
-        for &(px, py) in
-            &[(x + i, y), (x + i, y + size - 1), (x, y + i), (x + size - 1, y + i)]
-        {
+        for &(px, py) in &[
+            (x + i, y),
+            (x + i, y + size - 1),
+            (x, y + i),
+            (x + size - 1, y + i),
+        ] {
             if px < img.width() && py < img.height() {
                 img.set(px, py, color);
             }

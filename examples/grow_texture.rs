@@ -17,9 +17,10 @@ use std::path::PathBuf;
 fn main() {
     let dir = PathBuf::from("target/example-output");
     std::fs::create_dir_all(&dir).expect("create output directory");
-    for (kind, name) in
-        [(TextureKind::Stochastic, "stochastic"), (TextureKind::Structural, "structural")]
-    {
+    for (kind, name) in [
+        (TextureKind::Stochastic, "stochastic"),
+        (TextureKind::Structural, "structural"),
+    ] {
         let swatch = texture_swatch(48, 48, 9, kind);
         let mut prof = Profiler::new();
         let out = prof

@@ -16,10 +16,16 @@ fn main() {
         world.config().sensor_range
     );
     let traj = world.simulate(40, 12);
-    let cfg = MclConfig { particles: 800, ..MclConfig::default() };
+    let cfg = MclConfig {
+        particles: 800,
+        ..MclConfig::default()
+    };
     let mut mcl = MonteCarloLocalizer::new(&world, &cfg);
     let mut prof = Profiler::new();
-    println!("\n{:>5} {:>12} {:>12} {:>10} {:>10}", "step", "est (x, y)", "true (x, y)", "error m", "spread m");
+    println!(
+        "\n{:>5} {:>12} {:>12} {:>10} {:>10}",
+        "step", "est (x, y)", "true (x, y)", "error m", "spread m"
+    );
     for (i, step) in traj.steps.iter().enumerate() {
         mcl.step(&step.odometry, &step.measurements, &world, &mut prof);
         if i % 5 == 0 || i + 1 == traj.steps.len() {
@@ -37,6 +43,10 @@ fn main() {
             );
         }
     }
-    println!("\nkernel profile ({} particles x {} steps):", cfg.particles, traj.steps.len());
+    println!(
+        "\nkernel profile ({} particles x {} steps):",
+        cfg.particles,
+        traj.steps.len()
+    );
     println!("{}", prof.report());
 }

@@ -23,7 +23,10 @@ fn main() {
     let truth = Affine::from_coeffs(pair.b_to_a);
     println!("estimated b->a transform: {}", result.b_to_a);
     println!("ground truth           : {truth}");
-    println!("max coefficient error  : {:.3}", result.b_to_a.max_coeff_diff(&truth));
+    println!(
+        "max coefficient error  : {:.3}",
+        result.b_to_a.max_coeff_diff(&truth)
+    );
     println!(
         "{} descriptor matches, {} RANSAC inliers, panorama {}x{}",
         result.matches,
@@ -38,5 +41,8 @@ fn main() {
     write_pgm(&pair.a, dir.join("view_a.pgm")).expect("write view a");
     write_pgm(&pair.b, dir.join("view_b.pgm")).expect("write view b");
     write_pgm(&result.panorama, dir.join("panorama.pgm")).expect("write panorama");
-    println!("wrote view_a.pgm, view_b.pgm, panorama.pgm to {}", dir.display());
+    println!(
+        "wrote view_a.pgm, view_b.pgm, panorama.pgm to {}",
+        dir.display()
+    );
 }

@@ -14,8 +14,8 @@ fn main() {
     let size = InputSize::Sqcif;
     let seed = 1;
     println!(
-        "{:<20} {:>10} {:>8}   {}",
-        "benchmark", "time (ms)", "quality", "hottest kernel"
+        "{:<20} {:>10} {:>8}   hottest kernel",
+        "benchmark", "time (ms)", "quality"
     );
     println!("{}", "-".repeat(72));
     for bench in all_benchmarks() {
@@ -27,7 +27,11 @@ fn main() {
             .iter()
             .max_by_key(|k| k.self_time)
             .map(|k| {
-                format!("{} ({:.0}%)", k.name, report.occupancy(&k.name).unwrap_or(0.0))
+                format!(
+                    "{} ({:.0}%)",
+                    k.name,
+                    report.occupancy(&k.name).unwrap_or(0.0)
+                )
             })
             .unwrap_or_else(|| "-".to_string());
         let quality = outcome

@@ -19,18 +19,29 @@ fn main() {
     let cfg = TrackingConfig::default();
     let mut prof = Profiler::new();
 
-    println!("tracking across {} QCIF frames, true velocity ({vx}, {vy}) px/frame\n", frames.len());
-    println!("{:<12} {:>8} {:>12} {:>12}", "frame pair", "tracks", "median dx", "median dy");
+    println!(
+        "tracking across {} QCIF frames, true velocity ({vx}, {vy}) px/frame\n",
+        frames.len()
+    );
+    println!(
+        "{:<12} {:>8} {:>12} {:>12}",
+        "frame pair", "tracks", "median dx", "median dy"
+    );
     for i in 0..frames.len() - 1 {
         let features = prof.run(|p| extract_features(&frames[i], &cfg, p));
-        let tracks =
-            prof.run(|p| track_features(&frames[i], &frames[i + 1], &features, &cfg, p));
+        let tracks = prof.run(|p| track_features(&frames[i], &frames[i + 1], &features, &cfg, p));
         let mut dxs: Vec<f32> = tracks.iter().map(|t| t.motion().0).collect();
         let mut dys: Vec<f32> = tracks.iter().map(|t| t.motion().1).collect();
         dxs.sort_by(|a, b| a.partial_cmp(b).expect("finite motion"));
         dys.sort_by(|a, b| a.partial_cmp(b).expect("finite motion"));
         let (mdx, mdy) = (dxs[dxs.len() / 2], dys[dys.len() / 2]);
-        println!("{:<12} {:>8} {:>12.2} {:>12.2}", format!("{} -> {}", i, i + 1), tracks.len(), mdx, mdy);
+        println!(
+            "{:<12} {:>8} {:>12.2} {:>12.2}",
+            format!("{} -> {}", i, i + 1),
+            tracks.len(),
+            mdx,
+            mdy
+        );
     }
     println!("\nkernel profile over all pairs:\n{}", prof.report());
 }

@@ -60,8 +60,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.csv = Some(args.next().ok_or("--csv needs a directory")?);
             }
             "--dump-inputs" => {
-                opts.dump_inputs =
-                    Some(args.next().ok_or("--dump-inputs needs a directory")?);
+                opts.dump_inputs = Some(args.next().ok_or("--dump-inputs needs a directory")?);
             }
             "--help" | "-h" => {
                 println!(
@@ -162,7 +161,9 @@ fn main() -> ExitCode {
             }
         }
         let (time, report, detail) = best.expect("reps >= 1");
-        let q = quality.map(|q| format!("{q:.3}")).unwrap_or_else(|| "n/a".into());
+        let q = quality
+            .map(|q| format!("{q:.3}"))
+            .unwrap_or_else(|| "n/a".into());
         println!(
             "{:<20} {:>9.2} ms   quality {:>6}   {}",
             bench.info().name,

@@ -25,6 +25,7 @@
 pub use sdvbs_core as core;
 pub use sdvbs_dataflow as dataflow;
 pub use sdvbs_disparity as disparity;
+pub use sdvbs_exec as exec;
 pub use sdvbs_facedetect as facedetect;
 pub use sdvbs_image as image;
 pub use sdvbs_kernels as kernels;

@@ -15,10 +15,13 @@ use sdvbs::tracking::{track_pair, TrackingConfig};
 fn sift_features_drive_ransac_alignment() {
     let pair = overlapping_pair(160, 120, 21, 0.02, 10.0, 3.0);
     let mut prof = Profiler::new();
-        // Value-noise scenes are self-similar, so ambiguous descriptors get
+    // Value-noise scenes are self-similar, so ambiguous descriptors get
     // pruned by the ratio test; a lower contrast threshold recovers more
     // keypoints to match.
-    let cfg = SiftConfig { contrast_threshold: 0.012, ..SiftConfig::default() };
+    let cfg = SiftConfig {
+        contrast_threshold: 0.012,
+        ..SiftConfig::default()
+    };
     let fa = detect_and_describe(&pair.a, &cfg, &mut prof);
     let fb = detect_and_describe(&pair.b, &cfg, &mut prof);
     let matches = match_descriptors(&fb, &fa, 0.9);
@@ -31,11 +34,15 @@ fn sift_features_drive_ransac_alignment() {
         .iter()
         .map(|m| (fa[m.b].keypoint.x as f64, fa[m.b].keypoint.y as f64))
         .collect();
-    let est = estimate_affine_ransac(&src, &dst, 800, 3.0, 6, 3)
-        .expect("RANSAC finds the alignment");
+    let est =
+        estimate_affine_ransac(&src, &dst, 800, 3.0, 6, 3).expect("RANSAC finds the alignment");
     let truth = Affine::from_coeffs(pair.b_to_a);
     let diff = est.transform.max_coeff_diff(&truth);
-    assert!(diff < 2.0, "transform error {diff}: {} vs {truth}", est.transform);
+    assert!(
+        diff < 2.0,
+        "transform error {diff}: {} vs {truth}",
+        est.transform
+    );
 }
 
 /// The KLT tracker applied across a stereo pair measures disparity: the
@@ -85,7 +92,12 @@ fn dataflow_parallelism_ordering_matches_kernel_structure() {
     // SSD's dependence depth is logarithmic (one reduction tree); CG's
     // grows with the iteration count. Both the span ordering and the
     // parallelism ordering must reflect that.
-    assert!(ssd.span * 5 < cg.span, "spans: SSD {} vs CG {}", ssd.span, cg.span);
+    assert!(
+        ssd.span * 5 < cg.span,
+        "spans: SSD {} vs CG {}",
+        ssd.span,
+        cg.span
+    );
     assert!(
         ssd.parallelism() > cg.parallelism(),
         "SSD {}x vs CG {}x",

@@ -10,7 +10,10 @@ use sdvbs::profile::Profiler;
 /// clamps to its own minimum working size rather than panicking).
 #[test]
 fn suite_survives_degenerate_sizes() {
-    let size = InputSize::Custom { width: 1, height: 1 };
+    let size = InputSize::Custom {
+        width: 1,
+        height: 1,
+    };
     for bench in all_benchmarks() {
         bench.warmup();
         let mut prof = Profiler::new();
@@ -37,15 +40,17 @@ fn flat_inputs_degrade_gracefully() {
     );
     assert!(tracks.is_empty());
     // SIFT: no keypoints.
-    let feats = sdvbs::sift::detect_and_describe(
-        &flat,
-        &sdvbs::sift::SiftConfig::default(),
-        &mut prof,
-    );
+    let feats =
+        sdvbs::sift::detect_and_describe(&flat, &sdvbs::sift::SiftConfig::default(), &mut prof);
     assert!(feats.is_empty());
     // Stitch: structured error.
     assert!(matches!(
-        sdvbs::stitch::stitch(&flat, &flat, &sdvbs::stitch::StitchConfig::default(), &mut prof),
+        sdvbs::stitch::stitch(
+            &flat,
+            &flat,
+            &sdvbs::stitch::StitchConfig::default(),
+            &mut prof
+        ),
         Err(sdvbs::stitch::StitchError::TooFewFeatures { .. })
     ));
     // MSER: nothing to report.
@@ -94,9 +99,9 @@ fn corrupted_cascade_models_are_rejected() {
     let dir = std::env::temp_dir();
     let path = dir.join(format!("sdvbs_corrupt_{}.txt", std::process::id()));
     for contents in [
-        "",                                           // empty
-        "SDVBS-CASCADE 1\n",                          // truncated header
-        "SDVBS-CASCADE 1\nwindow 0\nstages 1\n",      // implausible window
+        "",                                                        // empty
+        "SDVBS-CASCADE 1\n",                                       // truncated header
+        "SDVBS-CASCADE 1\nwindow 0\nstages 1\n",                   // implausible window
         "SDVBS-CASCADE 1\nwindow 24\nstages 1\nstage 1 nan-ish\n", // bad number
     ] {
         std::fs::write(&path, contents).unwrap();
@@ -113,10 +118,12 @@ fn corrupted_cascade_models_are_rejected() {
 #[test]
 fn ransac_rejects_pure_noise() {
     // Deterministic scatter with no consistent affine relation.
-    let src: Vec<(f64, f64)> =
-        (0..30).map(|i| ((i * 37 % 97) as f64, (i * 53 % 89) as f64)).collect();
-    let dst: Vec<(f64, f64)> =
-        (0..30).map(|i| ((i * 71 % 83) as f64, (i * 29 % 79) as f64)).collect();
+    let src: Vec<(f64, f64)> = (0..30)
+        .map(|i| ((i * 37 % 97) as f64, (i * 53 % 89) as f64))
+        .collect();
+    let dst: Vec<(f64, f64)> = (0..30)
+        .map(|i| ((i * 71 % 83) as f64, (i * 29 % 79) as f64))
+        .collect();
     let est = sdvbs::stitch::estimate_affine_ransac(&src, &dst, 300, 1.0, 12, 5);
     assert!(est.is_none(), "RANSAC hallucinated a model from noise");
 }

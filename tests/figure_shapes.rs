@@ -5,10 +5,7 @@
 use sdvbs::core::{all_benchmarks, Benchmark, InputSize};
 use sdvbs::profile::{Profiler, Report};
 
-fn report_at(
-    bench: &(dyn Benchmark + Send + Sync),
-    size: InputSize,
-) -> Report {
+fn report_at(bench: &(dyn Benchmark + Send + Sync), size: InputSize) -> Report {
     bench.warmup();
     // Warm + best-of-2 to stabilize occupancies.
     let mut warm = Profiler::new();
@@ -39,10 +36,13 @@ fn disparity_is_dominated_by_correlation_and_ssd() {
     let bench = by_name("Disparity Map");
     for size in [InputSize::Sqcif, InputSize::Qcif] {
         let r = report_at(bench.as_ref(), size);
-        let share = r.occupancy("Correlation").unwrap_or(0.0)
-            + r.occupancy("SSD").unwrap_or(0.0);
+        let share = r.occupancy("Correlation").unwrap_or(0.0) + r.occupancy("SSD").unwrap_or(0.0);
         assert!(share > 50.0, "{size}: Correlation+SSD = {share:.1}%");
-        assert!(r.non_kernel_percent() < 20.0, "{size}: non-kernel {:.1}%", r.non_kernel_percent());
+        assert!(
+            r.non_kernel_percent() < 20.0,
+            "{size}: non-kernel {:.1}%",
+            r.non_kernel_percent()
+        );
     }
 }
 
@@ -84,7 +84,10 @@ fn sift_occupancy_is_flat_and_dominant() {
     let a = small.occupancy("SIFT").unwrap_or(0.0);
     let b = large.occupancy("SIFT").unwrap_or(0.0);
     assert!(a > 80.0 && b > 80.0, "SIFT occupancy {a:.1}% / {b:.1}%");
-    assert!((a - b).abs() < 10.0, "occupancy not flat: {a:.1}% vs {b:.1}%");
+    assert!(
+        (a - b).abs() < 10.0,
+        "occupancy not flat: {a:.1}% vs {b:.1}%"
+    );
 }
 
 /// Figure 2: localization's total runtime is insensitive to the input-size
@@ -115,8 +118,14 @@ fn figure2_extremes_hold() {
     let d_small = time(disp.as_ref(), InputSize::Sqcif);
     let d_large = time(disp.as_ref(), InputSize::Cif);
     let disp_ratio = d_large.as_secs_f64() / d_small.as_secs_f64();
-    assert!(disp_ratio > 4.0, "disparity should scale with pixels, ratio {disp_ratio:.2}");
-    assert!(disp_ratio > 3.0 * loc_ratio, "ordering: disparity {disp_ratio:.2} vs localization {loc_ratio:.2}");
+    assert!(
+        disp_ratio > 4.0,
+        "disparity should scale with pixels, ratio {disp_ratio:.2}"
+    );
+    assert!(
+        disp_ratio > 3.0 * loc_ratio,
+        "ordering: disparity {disp_ratio:.2} vs localization {loc_ratio:.2}"
+    );
 }
 
 /// Figure 3, texture panel: Sampling dominates and the total is flat
@@ -128,5 +137,8 @@ fn texture_sampling_dominates_and_total_is_flat() {
     let large = report_at(bench.as_ref(), InputSize::Cif);
     assert!(small.occupancy("Sampling").unwrap_or(0.0) > 60.0);
     let ratio = large.total().as_secs_f64() / small.total().as_secs_f64();
-    assert!((0.5..=2.5).contains(&ratio), "texture total ratio {ratio:.2}");
+    assert!(
+        (0.5..=2.5).contains(&ratio),
+        "texture total ratio {ratio:.2}"
+    );
 }

@@ -117,7 +117,7 @@ proptest! {
         let stats = trace(|| {
             let mut acc = Tv::lit(0.0);
             for &v in &values {
-                acc = acc + Tv::lit(v) * 2.0;
+                acc += Tv::lit(v) * 2.0;
             }
             std::hint::black_box(acc.value());
         });

@@ -27,7 +27,10 @@ fn whole_suite_runs_at_sqcif_with_good_quality() {
 fn suite_is_deterministic_per_seed() {
     for bench in all_benchmarks() {
         bench.warmup();
-        let size = InputSize::Custom { width: 80, height: 64 };
+        let size = InputSize::Custom {
+            width: 80,
+            height: 64,
+        };
         let mut p1 = Profiler::new();
         let mut p2 = Profiler::new();
         let a = bench.run(size, 5, &mut p1);
@@ -41,7 +44,10 @@ fn distinct_seeds_give_distinct_inputs() {
     // The paper provides "several distinct inputs for each of the sizes";
     // our seeds play that role. The run details should differ for at
     // least some benchmarks across seeds (quality varies with the scene).
-    let size = InputSize::Custom { width: 96, height: 72 };
+    let size = InputSize::Custom {
+        width: 96,
+        height: 72,
+    };
     let mut any_differ = false;
     for bench in all_benchmarks() {
         bench.warmup();
@@ -52,7 +58,10 @@ fn distinct_seeds_give_distinct_inputs() {
             any_differ = true;
         }
     }
-    assert!(any_differ, "all benchmarks produced identical outcomes across seeds");
+    assert!(
+        any_differ,
+        "all benchmarks produced identical outcomes across seeds"
+    );
 }
 
 #[test]
@@ -66,7 +75,14 @@ fn data_intensive_benchmarks_scale_with_input_size() {
         (0..3)
             .map(|_| {
                 let mut prof = Profiler::new();
-                disparity.run(InputSize::Custom { width: w, height: h }, 1, &mut prof);
+                disparity.run(
+                    InputSize::Custom {
+                        width: w,
+                        height: h,
+                    },
+                    1,
+                    &mut prof,
+                );
                 prof.total()
             })
             .min()
