@@ -5,12 +5,19 @@
 //! The paper's reading: programs that scale with input size are
 //! data-intensive and operate on fine granularity; those resistant to
 //! input-size variation are compute-intensive.
+//!
+//! Pass `--json <path>` to also write the measurements in the
+//! `sdvbs-runner` JSONL record format.
 
-use sdvbs_bench::{fmt_ms, header, run_timed};
-use sdvbs_core::{all_benchmarks, InputSize};
+use sdvbs_bench::{fmt_ms, header, json_flag, run_suite, save_json};
+use sdvbs_core::{ExecPolicy, InputSize};
 use sdvbs_profile::SystemInfo;
+use sdvbs_runner::Job;
+use std::time::Duration;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = json_flag(&args);
     header("Figure 2 — Execution time versus input size");
     println!(
         "Profiling system (paper's Table III analogue):\n{}",
@@ -26,27 +33,29 @@ fn main() {
         "Image Segmentation",
     ];
     let reps = 3;
+    let jobs: Vec<Job> = plotted
+        .iter()
+        .flat_map(|&name| {
+            InputSize::NAMED
+                .iter()
+                .map(move |&size| Job::new(name, size, ExecPolicy::Serial, 1, reps))
+        })
+        .collect();
+    let records = run_suite(&jobs);
     println!(
         "{:<20} {:>12} {:>12} {:>12} {:>10} {:>10}",
         "benchmark", "SQCIF (ms)", "QCIF (ms)", "CIF (ms)", "QCIF/SQ", "CIF/SQ"
     );
     println!("{}", "-".repeat(82));
-    let suite = all_benchmarks();
-    for name in plotted {
-        let bench = suite
-            .iter()
-            .find(|b| b.info().name == name)
-            .expect("benchmark registered");
-        let times: Vec<f64> = InputSize::NAMED
-            .iter()
-            .map(|&size| run_timed(bench.as_ref(), size, 1, reps).0.as_secs_f64())
-            .collect();
+    // One record per (benchmark, size), in submission order: chunks of 3.
+    for (name, row) in plotted.iter().zip(records.chunks(InputSize::NAMED.len())) {
+        let times: Vec<f64> = row.iter().map(|r| r.min_ms / 1e3).collect();
         println!(
             "{:<20} {:>12} {:>12} {:>12} {:>9.2}x {:>9.2}x",
             name,
-            fmt_ms(std::time::Duration::from_secs_f64(times[0])),
-            fmt_ms(std::time::Duration::from_secs_f64(times[1])),
-            fmt_ms(std::time::Duration::from_secs_f64(times[2])),
+            fmt_ms(Duration::from_secs_f64(times[0])),
+            fmt_ms(Duration::from_secs_f64(times[1])),
+            fmt_ms(Duration::from_secs_f64(times[2])),
             times[1] / times[0],
             times[2] / times[0],
         );
@@ -60,4 +69,7 @@ fn main() {
     println!("size), this reproduction builds the sparse affinity at full resolution,");
     println!("so segmentation scales with pixels here; its segment-count scaling is");
     println!("demonstrated by `cargo run -p sdvbs-bench --bin ablation`.");
+    if let Some(path) = json_out {
+        save_json(&path, &records);
+    }
 }

@@ -1,49 +1,62 @@
 //! Regenerates Figure 3: "Benchmark hot spots" — the percentage occupancy
 //! of each kernel at the three input sizes, for every benchmark.
+//!
+//! Pass `--json <path>` to also write the measurements in the
+//! `sdvbs-runner` JSONL record format (one record per benchmark × size,
+//! with the per-kernel breakdown embedded).
 
-use sdvbs_bench::{header, run_timed};
-use sdvbs_core::{all_benchmarks, InputSize};
+use sdvbs_bench::{header, json_flag, run_suite, save_json};
+use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
+use sdvbs_runner::{Job, RunRecord};
+
+/// Occupancy of `name` in one record's kernel breakdown.
+fn occupancy(rec: &RunRecord, name: &str) -> f64 {
+    if name == "NonKernelWork" {
+        rec.non_kernel_percent
+    } else {
+        rec.kernels
+            .iter()
+            .find(|k| k.name == name)
+            .map_or(0.0, |k| k.percent)
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = json_flag(&args);
     header("Figure 3 — Benchmark hot spots (kernel occupancy vs input size)");
     println!("Columns are the paper's relative input sizes: 1 = SQCIF, 2 = QCIF, 4 = CIF.\n");
     let reps = 3;
-    for bench in all_benchmarks() {
+    let suite = all_benchmarks();
+    let jobs: Vec<Job> = suite
+        .iter()
+        .flat_map(|bench| {
+            InputSize::NAMED
+                .iter()
+                .map(move |&size| Job::new(bench.info().name, size, ExecPolicy::Serial, 1, reps))
+        })
+        .collect();
+    let records = run_suite(&jobs);
+    for (bench, row) in suite.iter().zip(records.chunks(InputSize::NAMED.len())) {
         let info = bench.info();
         println!("{} [{}]", info.name, info.characteristic);
-        // Collect occupancy per size.
-        let reports: Vec<_> = InputSize::NAMED
-            .iter()
-            .map(|&size| run_timed(bench.as_ref(), size, 1, reps).1)
-            .collect();
         // Row per kernel (first-seen order of the smallest size), plus
         // non-kernel work.
-        let mut names: Vec<String> = reports[0]
-            .kernels()
-            .iter()
-            .map(|k| k.name.clone())
-            .collect();
+        let mut names: Vec<String> = row[0].kernels.iter().map(|k| k.name.clone()).collect();
         names.push("NonKernelWork".to_string());
         println!("    {:<20} {:>8} {:>8} {:>8}", "kernel", "1", "2", "4");
         for name in &names {
-            let cells: Vec<String> = reports
+            let cells: Vec<String> = row
                 .iter()
-                .map(|r| {
-                    let pct = if name == "NonKernelWork" {
-                        r.non_kernel_percent()
-                    } else {
-                        r.occupancy(name).unwrap_or(0.0)
-                    };
-                    format!("{pct:>7.1}%")
-                })
+                .map(|r| format!("{:>7.1}%", occupancy(r, name)))
                 .collect();
             println!("    {:<20} {}", name, cells.join(" "));
         }
-        let totals: Vec<String> = reports
-            .iter()
-            .map(|r| format!("{:>7.1}m", r.total().as_secs_f64() * 1e3))
-            .collect();
+        let totals: Vec<String> = row.iter().map(|r| format!("{:>7.1}m", r.min_ms)).collect();
         println!("    {:<20} {}", "(total ms)", totals.join(" "));
         println!();
+    }
+    if let Some(path) = json_out {
+        save_json(&path, &records);
     }
 }

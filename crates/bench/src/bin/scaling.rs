@@ -1,70 +1,59 @@
-//! Thread-count sweep over the data-parallel kernels — the practical
+//! Thread-count sweep over the policy-aware benchmarks — the practical
 //! counterpart of Table IV.
 //!
 //! Table IV reports each kernel's *intrinsic* parallelism on an ideal
-//! dataflow machine (SSD 1,800x, Gaussian 637x, Correlation 502x,
-//! Gradient 71x, ...). This binary measures what a real multicore host
-//! cashes in through the `ExecPolicy` layer: each parallelized kernel is
-//! timed at 1, 2, 4 and 8 worker threads on a CIF input, and the speedup
-//! over `Threads(1)` is reported next to the paper's parallelism figure.
+//! dataflow machine (SSD 1,800x, Sort 1,700x, Correlation 502x, Integral
+//! Image 160x, ...). This binary measures what a real multicore host
+//! cashes in through the `ExecPolicy` layer: the three benchmarks with
+//! data-parallel execution paths (disparity, segmentation, face
+//! detection) run at 1, 2, 4 and 8 worker threads on a CIF input through
+//! the shared `run_suite` engine, and each kernel's self time is read
+//! back out of the per-kernel breakdown the runner records anyway.
 //!
-//! The measured *ranking* is then cross-checked against Table IV's: kernels
-//! the paper credits with more intrinsic parallelism should scale at least
-//! as well as those with less (on hosts with enough cores — on a
-//! single-core host every speedup is ~1x and the check is skipped).
+//! The measured *ranking* inside disparity is then cross-checked against
+//! Table IV's: kernels the paper credits with more intrinsic parallelism
+//! should scale at least as well as those with less (on hosts with enough
+//! cores — on a single-core host every speedup is ~1x and the check is
+//! skipped).
 //!
-//! Run with `cargo run --release -p sdvbs-bench --bin scaling`.
+//! Pass `--json <path>` to also write the measurements in the
+//! `sdvbs-runner` JSONL record format. Run with
+//! `cargo run --release -p sdvbs-bench --bin scaling`.
 
-use sdvbs_bench::header;
-use sdvbs_exec::ExecPolicy;
-use sdvbs_facedetect::{detect_faces, Cascade, CascadeConfig, DetectorConfig};
-use sdvbs_kernels::conv::{convolve_2d_with, gaussian_blur_with};
-use sdvbs_kernels::gradient::{gradient_x_with, gradient_y_with};
-use sdvbs_profile::Profiler;
-use sdvbs_segmentation::{adjacency_matrix_with, filter_bank_features};
-use sdvbs_synth::{face_scene, segmentable_scene, stereo_pair, textured_image};
+use sdvbs_bench::{header, json_flag, run_suite, save_json};
+use sdvbs_core::{ExecPolicy, InputSize};
+use sdvbs_runner::{Job, RunRecord};
 use std::num::NonZeroUsize;
-use std::time::{Duration, Instant};
 
-/// CIF — the paper's largest named input size.
-const W: usize = 352;
-const H: usize = 288;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
-const REPS: usize = 3;
+const REPS: usize = 2;
 
-struct Row {
-    kernel: &'static str,
-    /// Table IV parallelism figure for the matching kernel (display only).
-    paper: &'static str,
-    /// Paper parallelism as a number, for the ranking cross-check.
-    paper_parallelism: f64,
-    /// Best-of-`REPS` wall time per thread count, aligned with `THREADS`.
-    times: Vec<Duration>,
-}
+/// The benchmarks whose kernels honor `ExecPolicy`.
+const SWEPT: [&str; 3] = ["Disparity Map", "Image Segmentation", "Face Detection"];
 
-impl Row {
-    fn speedup(&self, idx: usize) -> f64 {
-        self.times[0].as_secs_f64() / self.times[idx].as_secs_f64().max(1e-12)
-    }
-}
+/// Table IV parallelism figures for the disparity kernels the runner
+/// records, used for the ranking cross-check (name, paper figure).
+const PAPER_RANKING: [(&str, f64); 4] = [
+    ("SSD", 1800.0),
+    ("Sort", 1700.0),
+    ("Correlation", 502.0),
+    ("IntegralImage", 160.0),
+];
 
-/// Best-of-`REPS` wall time of `f` (first call additionally warms caches).
-fn time_best(mut f: impl FnMut()) -> Duration {
-    f(); // warmup
-    (0..REPS)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed()
-        })
-        .min()
-        .expect("REPS > 0")
+/// Self time of `kernel` in a record's breakdown, in ms.
+fn kernel_ms(rec: &RunRecord, kernel: &str) -> Option<f64> {
+    rec.kernels
+        .iter()
+        .find(|k| k.name == kernel)
+        .map(|k| k.self_ms)
 }
 
 fn main() {
-    header("Thread-count sweep over the data-parallel kernels (cf. Table IV)");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = json_flag(&args);
+    header("Thread-count sweep over the data-parallel benchmarks (cf. Table IV)");
     let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
-    println!("host: {cores} hardware thread(s) available; input CIF ({W}x{H})\n");
+    println!("host: {cores} hardware thread(s) available; input CIF (352x288)\n");
     if cores == 1 {
         println!(
             "note: single-core host — speedups will be ~1x (modulo spawn overhead);\n\
@@ -72,140 +61,94 @@ fn main() {
         );
     }
 
-    let img = textured_image(W, H, 42);
-    let stereo = stereo_pair(W, H, 7);
-    let seg = segmentable_scene(W, H, 9, 4);
-    let features = filter_bank_features(&seg.image);
-    let faces = face_scene(W, H, 13, 3);
-    println!("training the face-detection cascade once (shared across the sweep)...\n");
-    let cascade = Cascade::train(&CascadeConfig::default(), &mut Profiler::new())
-        .expect("cascade training succeeds");
-    let k7: Vec<f32> = {
-        // A normalized non-separable 7x7 kernel.
-        let raw: Vec<f32> = (0..49).map(|i| ((i * 13 % 17) as f32) + 1.0).collect();
-        let sum: f32 = raw.iter().sum();
-        raw.into_iter().map(|v| v / sum).collect()
-    };
+    // One job per benchmark × thread count; records come back in this order.
+    let jobs: Vec<Job> = SWEPT
+        .iter()
+        .flat_map(|&name| {
+            THREADS
+                .iter()
+                .map(move |&n| Job::new(name, InputSize::Cif, ExecPolicy::Threads(n), 7, REPS))
+        })
+        .collect();
+    let records = run_suite(&jobs);
 
-    let mut rows: Vec<Row> = Vec::new();
-    let sweep = |f: &mut dyn FnMut(ExecPolicy)| -> Vec<Duration> {
-        THREADS
-            .iter()
-            .map(|&n| time_best(|| f(ExecPolicy::Threads(n))))
-            .collect()
-    };
-
-    rows.push(Row {
-        kernel: "SSD+Correlation (Disparity)",
-        paper: "1,800x / 502x",
-        paper_parallelism: 1800.0,
-        times: sweep(&mut |p| {
-            let cfg = sdvbs_disparity::DisparityConfig::new(stereo.max_disparity.max(1), 9)
-                .expect("valid config")
-                .with_exec(p);
-            let mut prof = Profiler::new();
-            std::hint::black_box(sdvbs_disparity::compute_disparity(
-                &stereo.left,
-                &stereo.right,
-                &cfg,
-                &mut prof,
-            ));
-        }),
-    });
-    rows.push(Row {
-        kernel: "Gaussian Filter",
-        paper: "637x",
-        paper_parallelism: 637.0,
-        times: sweep(&mut |p| {
-            std::hint::black_box(gaussian_blur_with(&img, 1.5, p));
-        }),
-    });
-    rows.push(Row {
-        kernel: "Convolution 7x7",
-        paper: "—",
-        paper_parallelism: 600.0, // dense convolution scales like the Gaussian
-        times: sweep(&mut |p| {
-            std::hint::black_box(convolve_2d_with(&img, &k7, 7, 7, p));
-        }),
-    });
-    rows.push(Row {
-        kernel: "Gradient",
-        paper: "71x",
-        paper_parallelism: 71.0,
-        times: sweep(&mut |p| {
-            std::hint::black_box((gradient_x_with(&img, p), gradient_y_with(&img, p)));
-        }),
-    });
-    rows.push(Row {
-        kernel: "Adjacencymatrix",
-        paper: "—",
-        paper_parallelism: 0.0,
-        times: sweep(&mut |p| {
-            std::hint::black_box(adjacency_matrix_with(&features, 3, 25.0, 6.0, p));
-        }),
-    });
-    rows.push(Row {
-        kernel: "ExtractFaces",
-        paper: "—",
-        paper_parallelism: 0.0,
-        times: sweep(&mut |p| {
-            let cfg = DetectorConfig {
-                exec: p,
-                ..DetectorConfig::default()
-            };
-            let mut prof = Profiler::new();
-            std::hint::black_box(detect_faces(&faces.image, &cascade, &cfg, &mut prof));
-        }),
-    });
-
-    // Report.
-    print!("{:<28} {:>16}", "kernel", "Table IV");
+    // Benchmark-level totals and speedups.
+    print!("{:<22}", "benchmark");
     for n in THREADS {
-        print!(" {:>9}", format!("{n}T"));
+        print!(" {:>10}", format!("{n}T (ms)"));
     }
     println!(" {:>8} {:>8}", "4T speed", "8T speed");
-    for row in &rows {
-        print!("{:<28} {:>16}", row.kernel, row.paper);
-        for t in &row.times {
-            print!(" {:>7.2}ms", t.as_secs_f64() * 1e3);
+    println!("{}", "-".repeat(84));
+    for (name, row) in SWEPT.iter().zip(records.chunks(THREADS.len())) {
+        print!("{:<22}", name);
+        for rec in row {
+            print!(" {:>10.2}", rec.min_ms);
         }
-        println!(" {:>7.2}x {:>7.2}x", row.speedup(2), row.speedup(3));
+        let base = row[0].min_ms.max(1e-9);
+        println!(
+            " {:>7.2}x {:>7.2}x",
+            base / row[2].min_ms.max(1e-9),
+            base / row[3].min_ms.max(1e-9)
+        );
     }
 
-    // Cross-check the measured ranking against Table IV: among the kernels
-    // with a paper parallelism figure, higher intrinsic parallelism should
-    // not scale *worse* (with a generous tolerance — real hosts add memory
-    // bandwidth and overhead effects the ideal dataflow machine ignores).
+    // Kernel-level speedups inside disparity, read from the breakdowns.
+    let disparity = &records[..THREADS.len()];
+    println!("\ndisparity kernels (self time from the recorded breakdowns):");
+    print!("{:<22} {:>10}", "kernel", "Table IV");
+    for n in THREADS {
+        print!(" {:>10}", format!("{n}T (ms)"));
+    }
+    println!(" {:>8}", "4T speed");
+    let mut measured: Vec<(&str, f64, f64)> = Vec::new(); // (kernel, paper, 4T speedup)
+    for (kernel, paper) in PAPER_RANKING {
+        let times: Vec<Option<f64>> = disparity.iter().map(|r| kernel_ms(r, kernel)).collect();
+        if times.iter().any(Option::is_none) {
+            continue;
+        }
+        let times: Vec<f64> = times.into_iter().map(Option::unwrap).collect();
+        let speedup = times[0].max(1e-9) / times[2].max(1e-9);
+        print!("{:<22} {:>9.0}x", kernel, paper);
+        for t in &times {
+            print!(" {:>10.3}", t);
+        }
+        println!(" {:>7.2}x", speedup);
+        measured.push((kernel, paper, speedup));
+    }
+
+    // Cross-check the measured ranking against Table IV with a generous
+    // tolerance — real hosts add memory bandwidth and overhead effects the
+    // ideal dataflow machine ignores.
     println!();
     if cores < 2 {
         println!("ranking cross-check vs Table IV: skipped (needs >= 2 cores)");
-        return;
-    }
-    let mut ranked: Vec<&Row> = rows.iter().filter(|r| r.paper_parallelism > 0.0).collect();
-    ranked.sort_by(|a, b| b.paper_parallelism.total_cmp(&a.paper_parallelism));
-    let mut consistent = true;
-    for pair in ranked.windows(2) {
-        let (hi, lo) = (pair[0], pair[1]);
-        let (s_hi, s_lo) = (hi.speedup(2), lo.speedup(2));
-        let ok = s_hi >= s_lo * 0.8;
-        println!(
-            "  {} ({}, {:.2}x at 4T) vs {} ({}, {:.2}x at 4T): {}",
-            hi.kernel,
-            hi.paper,
-            s_hi,
-            lo.kernel,
-            lo.paper,
-            s_lo,
-            if ok { "consistent" } else { "INVERTED" }
-        );
-        consistent &= ok;
-    }
-    println!(
-        "ranking cross-check vs Table IV: {}",
-        if consistent {
-            "consistent"
-        } else {
-            "inverted pairs found (see above)"
+    } else {
+        let mut consistent = true;
+        for pair in measured.windows(2) {
+            let (hi, lo) = (&pair[0], &pair[1]);
+            let ok = hi.2 >= lo.2 * 0.8;
+            println!(
+                "  {} ({:.0}x, {:.2}x at 4T) vs {} ({:.0}x, {:.2}x at 4T): {}",
+                hi.0,
+                hi.1,
+                hi.2,
+                lo.0,
+                lo.1,
+                lo.2,
+                if ok { "consistent" } else { "INVERTED" }
+            );
+            consistent &= ok;
         }
-    );
+        println!(
+            "ranking cross-check vs Table IV: {}",
+            if consistent {
+                "consistent"
+            } else {
+                "inverted pairs found (see above)"
+            }
+        );
+    }
+    if let Some(path) = json_out {
+        save_json(&path, &records);
+    }
 }

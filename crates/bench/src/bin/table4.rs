@@ -8,9 +8,13 @@
 //! numbers assume an ideal dataflow machine with infinite resources and
 //! free communication, so they are upper bounds, not achievable speedups.
 
-use sdvbs_bench::header;
+//! Pass `--json <path>` to also write the rows as JSONL (the
+//! `sdvbs-runner` store format: one JSON object per line).
+
+use sdvbs_bench::{header, json_flag};
 use sdvbs_dataflow::kernels as dk;
 use sdvbs_dataflow::TraceStats;
+use sdvbs_runner::jsonl::Value;
 
 struct Row {
     benchmark: &'static str,
@@ -22,7 +26,25 @@ struct Row {
     stats: TraceStats,
 }
 
+/// One Table IV row as a JSONL line in the runner store's spirit: `kind`
+/// tags the record type so mixed files stay greppable.
+fn row_json(benchmark: &str, kernel: &str, class: &str, paper: &str, stats: &TraceStats) -> String {
+    Value::Obj(vec![
+        ("kind".into(), Value::Str("table4".into())),
+        ("benchmark".into(), Value::Str(benchmark.into())),
+        ("kernel".into(), Value::Str(kernel.into())),
+        ("class".into(), Value::Str(class.into())),
+        ("paper".into(), Value::Str(paper.into())),
+        ("work".into(), Value::Num(stats.work as f64)),
+        ("span".into(), Value::Num(stats.span as f64)),
+        ("parallelism".into(), Value::Num(stats.parallelism())),
+    ])
+    .to_string()
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = json_flag(&args);
     header("Table IV — Parallelism across benchmarks and kernels (critical-path analysis)");
     let rows = vec![
         Row {
@@ -186,7 +208,7 @@ fn main() {
             dk::adjacency_matrix(48, 36, 3),
         ),
     ];
-    for (benchmark, kernel, class, stats) in ext {
+    for (benchmark, kernel, class, stats) in &ext {
         println!(
             "{:<12} {:<17} {:>12} {:>9} {:>12.0}x {:>6}",
             benchmark,
@@ -196,6 +218,22 @@ fn main() {
             stats.parallelism(),
             class
         );
+    }
+    if let Some(path) = json_out {
+        let mut lines = Vec::new();
+        let mut current = "";
+        for r in &rows {
+            if !r.benchmark.is_empty() {
+                current = r.benchmark;
+            }
+            lines.push(row_json(current, r.kernel, r.class, r.paper, &r.stats));
+        }
+        for (benchmark, kernel, class, stats) in &ext {
+            lines.push(row_json(benchmark, kernel, class, "", stats));
+        }
+        std::fs::write(&path, lines.join("\n") + "\n")
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {} row(s) to {}", lines.len(), path.display());
     }
     println!();
     println!("Notes: mini-kernel sizes are scaled down from the full benchmarks");

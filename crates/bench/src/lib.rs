@@ -18,6 +18,8 @@
 
 use sdvbs_core::{Benchmark, InputSize};
 use sdvbs_profile::{Profiler, Report};
+use sdvbs_runner::{run_jobs, Job, RunRecord, RunnerConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Runs a benchmark `reps` times at `size` (after a warmup call) and
@@ -42,6 +44,46 @@ pub fn run_timed(
         }
     }
     best.expect("at least one rep")
+}
+
+/// Runs a batch of jobs through the `sdvbs-runner` engine (single worker
+/// for timing fidelity) and returns one record per job, in submission
+/// order. This is the shared measurement path for the figure regenerators;
+/// the records are the same ones `sdvbs-runner run --out` persists, so a
+/// `--json` flag on a regenerator just writes them out.
+///
+/// # Panics
+///
+/// Panics if a job names an unregistered benchmark — a programming error
+/// in a regenerator, not a runtime condition.
+pub fn run_suite(jobs: &[Job]) -> Vec<RunRecord> {
+    run_jobs(jobs, &RunnerConfig::default())
+        .unwrap_or_else(|e| panic!("benchmark suite run failed: {e}"))
+}
+
+/// Extracts a `--json <path>` flag from raw CLI args, if present.
+///
+/// # Panics
+///
+/// Panics when `--json` is given without a following path.
+pub fn json_flag(args: &[String]) -> Option<PathBuf> {
+    let idx = args.iter().position(|a| a == "--json")?;
+    let path = args
+        .get(idx + 1)
+        .unwrap_or_else(|| panic!("--json needs a file path"));
+    Some(PathBuf::from(path))
+}
+
+/// Writes records as JSONL (the runner's result-store format) and prints a
+/// confirmation to stderr so it doesn't pollute the regenerated table.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn save_json(path: &std::path::Path, records: &[RunRecord]) {
+    sdvbs_runner::write_records(path, records)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {} record(s) to {}", records.len(), path.display());
 }
 
 /// Prints a section header matching the other regenerators' style.
@@ -75,6 +117,31 @@ mod tests {
         let (time, report) = run_timed(suite[0].as_ref(), size, 1, 2);
         assert!(time.as_nanos() > 0);
         assert!(!report.kernels().is_empty());
+    }
+
+    #[test]
+    fn run_suite_returns_records_in_submission_order() {
+        use sdvbs_core::ExecPolicy;
+        let size = InputSize::Custom {
+            width: 64,
+            height: 48,
+        };
+        let jobs = vec![
+            Job::new("Feature Tracking", size, ExecPolicy::Serial, 1, 1),
+            Job::new("Disparity Map", size, ExecPolicy::Serial, 1, 1),
+        ];
+        let records = run_suite(&jobs);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].benchmark, "Feature Tracking");
+        assert_eq!(records[1].benchmark, "Disparity Map");
+        assert!(records.iter().all(|r| r.min_ms > 0.0));
+    }
+
+    #[test]
+    fn json_flag_extracts_path() {
+        let args: Vec<String> = vec!["--json".into(), "out.jsonl".into()];
+        assert_eq!(json_flag(&args), Some(PathBuf::from("out.jsonl")));
+        assert_eq!(json_flag(&[]), None);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::input::InputSize;
 use crate::meta::{BenchmarkInfo, Characteristic, ConcentrationArea};
+use sdvbs_exec::ExecPolicy;
 use sdvbs_profile::Profiler;
 use std::sync::OnceLock;
 
@@ -33,6 +34,27 @@ pub trait Benchmark {
     /// the measured time from `prof.total()` — do not wrap this call in
     /// another `prof.run`.
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome;
+
+    /// Runs the benchmark with its data-parallel kernels under `policy`.
+    ///
+    /// Benchmarks that plumb an [`ExecPolicy`] through their configuration
+    /// (disparity's shift search, segmentation's affinity build, face
+    /// detection's cascade scan) override this; the default ignores the
+    /// policy and runs serially, which is every other benchmark's only
+    /// mode. All policies produce bit-identical outcomes, so `policy` only
+    /// affects timing. Callers that record the policy should resolve
+    /// [`ExecPolicy::Auto`] once per run (see [`ExecPolicy::resolve`]) so
+    /// records stay consistent.
+    fn run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> RunOutcome {
+        let _ = policy;
+        self.run(size, seed, prof)
+    }
 
     /// One-time preparation excluded from timed runs (e.g. face detection
     /// trains its cascade model once — SD-VBS ships that model
@@ -74,10 +96,22 @@ impl Benchmark for DisparityBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
+        self.run_with(size, seed, ExecPolicy::Serial, prof)
+    }
+
+    fn run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> RunOutcome {
         use sdvbs_disparity::{compute_disparity, disparity_accuracy, DisparityConfig};
         let (w, h) = size.dims();
         let scene = sdvbs_synth::stereo_pair(w.max(48), h.max(36), seed);
-        let cfg = DisparityConfig::new(scene.max_disparity, 9).expect("valid config");
+        let cfg = DisparityConfig::new(scene.max_disparity, 9)
+            .expect("valid config")
+            .with_exec(policy);
         // Input generation is untimed (SD-VBS reads its inputs before the
         // measured region); only the pipeline runs under the profiler.
         let disp = prof.run(|p| compute_disparity(&scene.left, &scene.right, &cfg, p));
@@ -167,12 +201,23 @@ impl Benchmark for SegmentationBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
+        self.run_with(size, seed, ExecPolicy::Serial, prof)
+    }
+
+    fn run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> RunOutcome {
         use sdvbs_segmentation::{rand_index, segment, SegmentationConfig};
         let (w, h) = size.dims();
         let regions = 4;
         let scene = sdvbs_synth::segmentable_scene(w.max(24), h.max(24), seed, regions);
         let cfg = SegmentationConfig {
             segments: regions,
+            exec: policy,
             ..SegmentationConfig::default()
         };
         match prof.run(|p| segment(&scene.image, &cfg, p)) {
@@ -358,14 +403,27 @@ impl Benchmark for FaceDetectBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
+        self.run_with(size, seed, ExecPolicy::Serial, prof)
+    }
+
+    fn run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> RunOutcome {
         use sdvbs_facedetect::{detect_faces, Detection, DetectorConfig};
         let (w, h) = size.dims();
         let (w, h) = (w.max(64), h.max(64));
         let n_faces = 2 + (size.pixels() / InputSize::Sqcif.pixels()).min(4);
         let scene = sdvbs_synth::face_scene(w, h, seed, n_faces);
         let cascade = shared_cascade();
-        let found =
-            prof.run(|p| detect_faces(&scene.image, cascade, &DetectorConfig::default(), p));
+        let cfg = DetectorConfig {
+            exec: policy,
+            ..DetectorConfig::default()
+        };
+        let found = prof.run(|p| detect_faces(&scene.image, cascade, &cfg, p));
         let hits = scene
             .faces
             .iter()
@@ -582,6 +640,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn run_with_parallel_policy_matches_serial_outcome() {
+        let size = InputSize::Custom {
+            width: 64,
+            height: 48,
+        };
+        let suite = all_benchmarks();
+        // Disparity and Image Segmentation plumb the policy through; their
+        // parallel kernels promise bit-identical outputs, so the outcome
+        // (quality and detail) must not change with the policy.
+        for name in ["Disparity Map", "Image Segmentation"] {
+            let bench = suite
+                .iter()
+                .find(|b| b.info().name == name)
+                .expect("registered");
+            let mut ps = Profiler::new();
+            let mut pt = Profiler::new();
+            let serial = bench.run_with(size, 5, ExecPolicy::Serial, &mut ps);
+            let threaded = bench.run_with(size, 5, ExecPolicy::Threads(3), &mut pt);
+            assert_eq!(serial, threaded, "{name} outcome changed under Threads(3)");
+        }
+        // A benchmark without policy support falls back to its serial run.
+        let sift = suite
+            .iter()
+            .find(|b| b.info().name == "SIFT")
+            .expect("registered");
+        let mut pa = Profiler::new();
+        let mut pb = Profiler::new();
+        let a = sift.run_with(size, 5, ExecPolicy::Threads(3), &mut pa);
+        let b = sift.run(size, 5, &mut pb);
+        assert_eq!(a, b);
     }
 
     #[test]

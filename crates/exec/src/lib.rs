@@ -67,6 +67,40 @@ impl ExecPolicy {
     pub fn is_parallel(self, items: usize) -> bool {
         self.threads_for(items) > 1
     }
+
+    /// Resolves [`ExecPolicy::Auto`] to a concrete [`ExecPolicy::Threads`]
+    /// given the host's thread count; `Serial` and `Threads` pass through.
+    ///
+    /// `Auto` queries [`std::thread::available_parallelism`] at every call
+    /// site, so a long sweep could observe different values (the OS may
+    /// change a process's CPU affinity mid-run). Resolving once per
+    /// pool/run and threading the concrete policy through keeps every
+    /// record of that run consistent.
+    pub fn resolve_with(self, auto_threads: usize) -> ExecPolicy {
+        match self {
+            ExecPolicy::Auto => ExecPolicy::Threads(auto_threads.max(1)),
+            other => other,
+        }
+    }
+
+    /// Resolves [`ExecPolicy::Auto`] by querying
+    /// [`std::thread::available_parallelism`] once, now.
+    pub fn resolve(self) -> ExecPolicy {
+        self.resolve_with(thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// The concrete worker count of a resolved policy (`Serial` = 1).
+    ///
+    /// Unlike [`ExecPolicy::threads_for`] this does not clamp to a work-item
+    /// count; it reports what the policy *would* use given ample work, which
+    /// is what a run record should store. `Auto` is resolved on the spot.
+    pub fn worker_count(self) -> usize {
+        match self.resolve() {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Threads(n) => n.max(1),
+            ExecPolicy::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
 }
 
 /// Splits `0..items` into `workers` contiguous ranges whose lengths differ
@@ -210,6 +244,27 @@ mod tests {
     #[test]
     fn auto_policy_is_at_least_one() {
         assert!(ExecPolicy::Auto.threads_for(64) >= 1);
+    }
+
+    #[test]
+    fn resolve_pins_auto_and_passes_others_through() {
+        assert_eq!(ExecPolicy::Auto.resolve_with(6), ExecPolicy::Threads(6));
+        assert_eq!(ExecPolicy::Auto.resolve_with(0), ExecPolicy::Threads(1));
+        assert_eq!(ExecPolicy::Serial.resolve_with(6), ExecPolicy::Serial);
+        assert_eq!(
+            ExecPolicy::Threads(3).resolve_with(6),
+            ExecPolicy::Threads(3)
+        );
+        // resolve() agrees with the host query and never yields Auto.
+        assert_ne!(ExecPolicy::Auto.resolve(), ExecPolicy::Auto);
+    }
+
+    #[test]
+    fn worker_count_reports_unclamped_width() {
+        assert_eq!(ExecPolicy::Serial.worker_count(), 1);
+        assert_eq!(ExecPolicy::Threads(8).worker_count(), 8);
+        assert_eq!(ExecPolicy::Threads(0).worker_count(), 1);
+        assert!(ExecPolicy::Auto.worker_count() >= 1);
     }
 
     #[test]

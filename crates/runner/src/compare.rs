@@ -1,0 +1,330 @@
+//! The perf-regression gate: candidate run vs. committed baseline.
+//!
+//! Records are matched on [`RunRecord::key`] (benchmark × size × policy ×
+//! seed) and compared on their **fastest** iteration (`min_ms`) — the min
+//! is the standard noise-robust statistic for CI gating, since slow
+//! outliers come from interference but a fast iteration cannot be faked.
+//! Two guards keep the gate honest on noisy hosts:
+//!
+//! * a *regression limit* in percent — the candidate min may exceed the
+//!   baseline min by up to this factor before the cell is flagged;
+//! * a *min-runtime floor* in milliseconds — cells where **both** sides
+//!   run faster than the floor are never flagged, because at microsecond
+//!   scale a 40% swing is timer jitter, not a regression.
+//!
+//! A baseline cell that is missing from the candidate, or whose candidate
+//! stopped completing (timed out / panicked where the baseline completed),
+//! always fails the gate regardless of timing.
+
+use crate::job::{RunRecord, RunStatus};
+use std::collections::BTreeMap;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Allowed slowdown in percent (e.g. `40.0` lets the candidate min be
+    /// up to 1.4× the baseline min).
+    pub regression_limit_pct: f64,
+    /// Cells where both mins are below this many milliseconds are exempt
+    /// from the timing check.
+    pub min_runtime_ms: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            regression_limit_pct: 40.0,
+            min_runtime_ms: 5.0,
+        }
+    }
+}
+
+/// Why a cell failed the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegressionKind {
+    /// Candidate min exceeded baseline min by more than the limit.
+    Slower {
+        /// Baseline fastest iteration, ms.
+        baseline_ms: f64,
+        /// Candidate fastest iteration, ms.
+        candidate_ms: f64,
+        /// Observed slowdown in percent.
+        slowdown_pct: f64,
+    },
+    /// Baseline completed but the candidate did not.
+    StatusBroke {
+        /// The candidate's terminal status.
+        candidate_status: RunStatus,
+    },
+    /// The baseline cell has no candidate record at all.
+    Missing,
+}
+
+/// One flagged cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The cell key (benchmark × size × policy × seed).
+    pub key: String,
+    /// What failed.
+    pub kind: RegressionKind,
+}
+
+impl Regression {
+    /// One-line human-readable description, used by `sdvbs-runner compare`.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            RegressionKind::Slower {
+                baseline_ms,
+                candidate_ms,
+                slowdown_pct,
+            } => format!(
+                "REGRESSED {}: {:.3} ms -> {:.3} ms (+{:.1}%)",
+                self.key, baseline_ms, candidate_ms, slowdown_pct
+            ),
+            RegressionKind::StatusBroke { candidate_status } => {
+                format!("BROKEN {}: candidate status {candidate_status}", self.key)
+            }
+            RegressionKind::Missing => {
+                format!(
+                    "MISSING {}: no candidate record for baseline cell",
+                    self.key
+                )
+            }
+        }
+    }
+}
+
+/// The full gate verdict.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Flagged cells, sorted by key.
+    pub regressions: Vec<Regression>,
+    /// Cells compared and found within limits.
+    pub passed: usize,
+    /// Cells exempted by the min-runtime floor.
+    pub below_floor: usize,
+    /// Candidate cells with no baseline counterpart (informational; new
+    /// benchmarks are not regressions).
+    pub added: usize,
+}
+
+impl CompareReport {
+    /// Whether the gate passes (no regressions).
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `candidate` records against `baseline` records.
+///
+/// Duplicate keys on either side keep the record with the smallest
+/// `min_ms` (the best measurement of that cell).
+pub fn compare(
+    baseline: &[RunRecord],
+    candidate: &[RunRecord],
+    cfg: &CompareConfig,
+) -> CompareReport {
+    let base = index_best(baseline);
+    let cand = index_best(candidate);
+    let mut regressions = Vec::new();
+    let mut passed = 0usize;
+    let mut below_floor = 0usize;
+    for (key, b) in &base {
+        let Some(c) = cand.get(key) else {
+            regressions.push(Regression {
+                key: key.clone(),
+                kind: RegressionKind::Missing,
+            });
+            continue;
+        };
+        if b.status == RunStatus::Completed && c.status != RunStatus::Completed {
+            regressions.push(Regression {
+                key: key.clone(),
+                kind: RegressionKind::StatusBroke {
+                    candidate_status: c.status,
+                },
+            });
+            continue;
+        }
+        if b.status != RunStatus::Completed {
+            // Baseline never completed this cell; nothing to gate on.
+            passed += 1;
+            continue;
+        }
+        if b.min_ms < cfg.min_runtime_ms && c.min_ms < cfg.min_runtime_ms {
+            below_floor += 1;
+            continue;
+        }
+        let limit = b.min_ms * (1.0 + cfg.regression_limit_pct / 100.0);
+        if c.min_ms > limit {
+            let slowdown_pct = (c.min_ms / b.min_ms - 1.0) * 100.0;
+            regressions.push(Regression {
+                key: key.clone(),
+                kind: RegressionKind::Slower {
+                    baseline_ms: b.min_ms,
+                    candidate_ms: c.min_ms,
+                    slowdown_pct,
+                },
+            });
+        } else {
+            passed += 1;
+        }
+    }
+    let added = cand.keys().filter(|k| !base.contains_key(*k)).count();
+    CompareReport {
+        regressions,
+        passed,
+        below_floor,
+        added,
+    }
+}
+
+/// Indexes records by key, keeping the fastest record per cell. The
+/// BTreeMap makes iteration (and therefore regression ordering)
+/// deterministic.
+fn index_best(records: &[RunRecord]) -> BTreeMap<String, &RunRecord> {
+    let mut map: BTreeMap<String, &RunRecord> = BTreeMap::new();
+    for rec in records {
+        map.entry(rec.key())
+            .and_modify(|best| {
+                if rec.min_ms < best.min_ms {
+                    *best = rec;
+                }
+            })
+            .or_insert(rec);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::HostMeta;
+
+    fn record(benchmark: &str, min_ms: f64) -> RunRecord {
+        RunRecord {
+            job_id: 0,
+            benchmark: benchmark.into(),
+            size: "sqcif".into(),
+            policy: "serial".into(),
+            threads: 1,
+            seed: 1,
+            iterations: 1,
+            status: RunStatus::Completed,
+            times_ms: vec![min_ms],
+            min_ms,
+            p50_ms: min_ms,
+            mean_ms: min_ms,
+            max_ms: min_ms,
+            wall_ms: min_ms,
+            quality: None,
+            detail: "ok".into(),
+            kernels: Vec::new(),
+            non_kernel_percent: 100.0,
+            host: HostMeta {
+                os: "t".into(),
+                cpu: "t".into(),
+                logical_cpus: 1,
+            },
+        }
+    }
+
+    fn cfg(limit: f64, floor: f64) -> CompareConfig {
+        CompareConfig {
+            regression_limit_pct: limit,
+            min_runtime_ms: floor,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = vec![record("SVM", 100.0), record("SIFT", 50.0)];
+        let report = compare(&base, &base, &cfg(40.0, 5.0));
+        assert!(report.is_ok());
+        assert_eq!(report.passed, 2);
+    }
+
+    #[test]
+    fn doubling_a_time_is_flagged_with_the_cell_named() {
+        let base = vec![record("SVM", 100.0), record("SIFT", 50.0)];
+        let mut cand = base.clone();
+        cand[1].min_ms = 100.0; // SIFT regresses 2x
+        let report = compare(&base, &cand, &cfg(40.0, 5.0));
+        assert_eq!(report.regressions.len(), 1);
+        let reg = &report.regressions[0];
+        assert_eq!(reg.key, "SIFT|sqcif|serial|1");
+        match &reg.kind {
+            RegressionKind::Slower { slowdown_pct, .. } => {
+                assert!((slowdown_pct - 100.0).abs() < 1e-9);
+            }
+            other => panic!("expected Slower, got {other:?}"),
+        }
+        assert!(reg.describe().contains("SIFT|sqcif|serial|1"));
+    }
+
+    #[test]
+    fn sub_floor_cells_are_exempt() {
+        let base = vec![record("SVM", 1.0)];
+        let mut cand = base.clone();
+        cand[0].min_ms = 3.0; // 3x slower but both below the 5 ms floor
+        let report = compare(&base, &cand, &cfg(40.0, 5.0));
+        assert!(report.is_ok());
+        assert_eq!(report.below_floor, 1);
+    }
+
+    #[test]
+    fn crossing_the_floor_is_still_gated() {
+        let base = vec![record("SVM", 4.0)];
+        let mut cand = base.clone();
+        cand[0].min_ms = 40.0; // baseline below floor, candidate far above
+        let report = compare(&base, &cand, &cfg(40.0, 5.0));
+        assert_eq!(report.regressions.len(), 1);
+    }
+
+    #[test]
+    fn missing_candidate_cell_fails_the_gate() {
+        let base = vec![record("SVM", 100.0), record("SIFT", 50.0)];
+        let cand = vec![record("SVM", 100.0)];
+        let report = compare(&base, &cand, &cfg(40.0, 5.0));
+        assert_eq!(
+            report.regressions,
+            vec![Regression {
+                key: "SIFT|sqcif|serial|1".into(),
+                kind: RegressionKind::Missing,
+            }]
+        );
+    }
+
+    #[test]
+    fn status_break_fails_even_when_fast() {
+        let base = vec![record("SVM", 100.0)];
+        let mut cand = base.clone();
+        cand[0].status = RunStatus::TimedOut;
+        cand[0].min_ms = 1.0;
+        let report = compare(&base, &cand, &cfg(40.0, 5.0));
+        match &report.regressions[..] {
+            [Regression {
+                kind: RegressionKind::StatusBroke { candidate_status },
+                ..
+            }] => assert_eq!(*candidate_status, RunStatus::TimedOut),
+            other => panic!("expected StatusBroke, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn added_cells_are_informational_not_regressions() {
+        let base = vec![record("SVM", 100.0)];
+        let cand = vec![record("SVM", 100.0), record("SIFT", 50.0)];
+        let report = compare(&base, &cand, &cfg(40.0, 5.0));
+        assert!(report.is_ok());
+        assert_eq!(report.added, 1);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_fastest_record() {
+        let base = vec![record("SVM", 100.0)];
+        let cand = vec![record("SVM", 500.0), record("SVM", 110.0)];
+        let report = compare(&base, &cand, &cfg(40.0, 5.0));
+        assert!(report.is_ok(), "best-of duplicates should be compared");
+    }
+}

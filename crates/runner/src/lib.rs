@@ -1,0 +1,41 @@
+//! `sdvbs-runner` — a benchmark execution service for the SD-VBS
+//! reproduction.
+//!
+//! The crate layers four pieces:
+//!
+//! * [`queue`] — a bounded MPMC work queue (Mutex + Condvar, no deps) with
+//!   producer backpressure and graceful drain-on-close;
+//! * [`pool`] — a worker pool over the queue with per-job watchdog
+//!   timeouts and panic isolation, returning deterministically ordered
+//!   outcomes;
+//! * [`job`] / [`store`] — the job model and a JSONL result store
+//!   recording timing percentiles, per-kernel profile breakdowns, quality
+//!   scores, and host metadata;
+//! * [`compare`] — the perf-regression gate that diffs a candidate run
+//!   against a committed baseline with a slowdown limit and a min-runtime
+//!   noise floor.
+//!
+//! The `sdvbs-runner` binary exposes it all as `list`, `run`, `sweep`,
+//! and `compare` subcommands; the `sdvbs-bench` figure regenerators reuse
+//! [`run::run_jobs`] through `sdvbs_bench::run_suite`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod job;
+pub mod jsonl;
+pub mod pool;
+pub mod queue;
+pub mod run;
+pub mod store;
+
+pub use compare::{compare, CompareConfig, CompareReport, Regression, RegressionKind};
+pub use job::{
+    parse_policy, parse_size, policy_label, size_label, HostMeta, Job, KernelStatRecord, RunRecord,
+    RunStatus,
+};
+pub use pool::{run_pool, Completion, PoolConfig, PoolJob, PoolOutcome};
+pub use queue::{BoundedQueue, QueueError, TryPushError};
+pub use run::{run_jobs, RunnerConfig, RunnerError};
+pub use store::{append_records, read_records, write_records, StoreError};

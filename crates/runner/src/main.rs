@@ -1,0 +1,307 @@
+//! `sdvbs-runner` — CLI for the benchmark execution service.
+//!
+//! ```text
+//! sdvbs-runner list
+//! sdvbs-runner run   [--bench NAME]... [--size S] [--policy P] [--seed N]
+//!                    [--iterations N] [--timeout-ms N] [--workers N]
+//!                    [--out FILE] [--append] [--smoke]
+//! sdvbs-runner sweep [--sizes S1,S2] [--policies P1,P2] [--seed N]
+//!                    [--iterations N] [--timeout-ms N] [--out FILE]
+//! sdvbs-runner compare --baseline FILE --candidate FILE
+//!                      [--regression-limit PCT] [--min-runtime-ms MS]
+//! ```
+//!
+//! Exit codes: 0 success, 1 regression gate failed, 2 usage or runtime
+//! error.
+
+use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
+use sdvbs_runner::{
+    compare, job::parse_policy, job::parse_size, read_records, run_jobs, write_records,
+    CompareConfig, Job, RunStatus, RunnerConfig,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "list" => cmd_list(rest),
+        "run" => cmd_run(rest),
+        "sweep" => cmd_sweep(rest),
+        "compare" => cmd_compare(rest),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sdvbs-runner list
+  sdvbs-runner run   [--bench NAME]... [--size S] [--policy P] [--seed N]
+                     [--iterations N] [--timeout-ms N] [--workers N]
+                     [--out FILE] [--append] [--smoke]
+  sdvbs-runner sweep [--sizes S1,S2,..] [--policies P1,P2,..] [--seed N]
+                     [--iterations N] [--timeout-ms N] [--out FILE]
+  sdvbs-runner compare --baseline FILE --candidate FILE
+                       [--regression-limit PCT] [--min-runtime-ms MS]
+
+sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto";
+
+/// `list`: the registry, one benchmark per line.
+fn cmd_list(rest: &[String]) -> Result<ExitCode, String> {
+    if !rest.is_empty() {
+        return Err(format!("list takes no arguments, got {rest:?}"));
+    }
+    println!("{:<22} {:<28} kernels", "name", "concentration area");
+    for bench in all_benchmarks() {
+        let info = bench.info();
+        println!(
+            "{:<22} {:<28} {}",
+            info.name,
+            format!("{:?}", info.area),
+            info.kernels.join(", ")
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Options shared by `run` and `sweep`.
+struct ExecOpts {
+    seed: u64,
+    iterations: usize,
+    timeout: Option<Duration>,
+    workers: usize,
+    out: Option<PathBuf>,
+    append: bool,
+}
+
+impl ExecOpts {
+    fn new() -> Self {
+        ExecOpts {
+            seed: 1,
+            iterations: 3,
+            timeout: None,
+            workers: 1,
+            out: None,
+            append: false,
+        }
+    }
+
+    /// Consumes a shared flag; `Ok(true)` if it was one.
+    fn consume(&mut self, flag: &str, it: &mut std::slice::Iter<String>) -> Result<bool, String> {
+        match flag {
+            "--seed" => self.seed = parse_num(next_value(flag, it)?)?,
+            "--iterations" => self.iterations = parse_num(next_value(flag, it)?)?,
+            "--timeout-ms" => {
+                let ms: u64 = parse_num(next_value(flag, it)?)?;
+                self.timeout = Some(Duration::from_millis(ms));
+            }
+            "--workers" => self.workers = parse_num(next_value(flag, it)?)?,
+            "--out" => self.out = Some(PathBuf::from(next_value(flag, it)?)),
+            "--append" => self.append = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+fn next_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
+    text.parse().map_err(|_| format!("invalid number {text:?}"))
+}
+
+/// `run`: explicit benchmark × size × policy cells.
+fn cmd_run(rest: &[String]) -> Result<ExitCode, String> {
+    let mut opts = ExecOpts::new();
+    let mut benches: Vec<String> = Vec::new();
+    let mut size = InputSize::Sqcif;
+    let mut policy = ExecPolicy::Serial;
+    let mut smoke = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => benches.push(next_value(arg, &mut it)?.clone()),
+            "--size" => size = parse_size(next_value(arg, &mut it)?)?,
+            "--policy" => policy = parse_policy(next_value(arg, &mut it)?)?,
+            "--smoke" => smoke = true,
+            flag => {
+                if !opts.consume(flag, &mut it)? {
+                    return Err(format!("unknown flag {flag:?}\n{USAGE}"));
+                }
+            }
+        }
+    }
+    if smoke {
+        // The CI preset: every benchmark, smallest paper size, one timed
+        // iteration, serial — fast enough for a gate, complete enough to
+        // catch a benchmark that breaks or badly regresses.
+        benches.clear();
+        size = InputSize::Sqcif;
+        policy = ExecPolicy::Serial;
+        opts.seed = 1;
+        opts.iterations = 1;
+    }
+    if benches.is_empty() {
+        benches = all_benchmarks()
+            .iter()
+            .map(|b| b.info().name.to_string())
+            .collect();
+    }
+    let jobs: Vec<Job> = benches
+        .into_iter()
+        .map(|b| Job::new(b, size, policy, opts.seed, opts.iterations))
+        .collect();
+    execute(jobs, &opts)
+}
+
+/// `sweep`: the full grid — every benchmark × sizes × policies.
+fn cmd_sweep(rest: &[String]) -> Result<ExitCode, String> {
+    let mut opts = ExecOpts::new();
+    let mut sizes = vec![InputSize::Sqcif, InputSize::Qcif, InputSize::Cif];
+    let mut policies = vec![ExecPolicy::Serial, ExecPolicy::Threads(2), ExecPolicy::Auto];
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                sizes = next_value(arg, &mut it)?
+                    .split(',')
+                    .map(parse_size)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--policies" => {
+                policies = next_value(arg, &mut it)?
+                    .split(',')
+                    .map(parse_policy)
+                    .collect::<Result<_, _>>()?;
+            }
+            flag => {
+                if !opts.consume(flag, &mut it)? {
+                    return Err(format!("unknown flag {flag:?}\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let mut jobs = Vec::new();
+    for bench in all_benchmarks() {
+        for &size in &sizes {
+            for &policy in &policies {
+                jobs.push(Job::new(
+                    bench.info().name,
+                    size,
+                    policy,
+                    opts.seed,
+                    opts.iterations,
+                ));
+            }
+        }
+    }
+    execute(jobs, &opts)
+}
+
+/// Runs jobs, prints a per-record summary line, optionally persists.
+fn execute(jobs: Vec<Job>, opts: &ExecOpts) -> Result<ExitCode, String> {
+    let cfg = RunnerConfig {
+        workers: opts.workers,
+        queue_capacity: jobs.len().max(1),
+        timeout: opts.timeout,
+    };
+    eprintln!("running {} job(s)...", jobs.len());
+    let records = run_jobs(&jobs, &cfg).map_err(|e| e.to_string())?;
+    let mut failures = 0usize;
+    for rec in &records {
+        match rec.status {
+            RunStatus::Completed => println!(
+                "{:<22} {:<8} {:<10} min {:>9.3} ms  p50 {:>9.3} ms  ({} kernels)",
+                rec.benchmark,
+                rec.size,
+                rec.policy,
+                rec.min_ms,
+                rec.p50_ms,
+                rec.kernels.len()
+            ),
+            _ => {
+                failures += 1;
+                println!(
+                    "{:<22} {:<8} {:<10} {}: {}",
+                    rec.benchmark, rec.size, rec.policy, rec.status, rec.detail
+                );
+            }
+        }
+    }
+    if let Some(path) = &opts.out {
+        if opts.append {
+            sdvbs_runner::append_records(path, &records).map_err(|e| e.to_string())?;
+        } else {
+            write_records(path, &records).map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote {} record(s) to {}", records.len(), path.display());
+    }
+    if failures > 0 {
+        eprintln!("{failures} job(s) did not complete");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `compare`: the regression gate.
+fn cmd_compare(rest: &[String]) -> Result<ExitCode, String> {
+    let mut baseline: Option<PathBuf> = None;
+    let mut candidate: Option<PathBuf> = None;
+    let mut cfg = CompareConfig::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(next_value(arg, &mut it)?)),
+            "--candidate" => candidate = Some(PathBuf::from(next_value(arg, &mut it)?)),
+            "--regression-limit" => {
+                cfg.regression_limit_pct = parse_num(next_value(arg, &mut it)?)?;
+            }
+            "--min-runtime-ms" => cfg.min_runtime_ms = parse_num(next_value(arg, &mut it)?)?,
+            flag => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
+        }
+    }
+    let baseline = baseline.ok_or("compare needs --baseline FILE")?;
+    let candidate = candidate.ok_or("compare needs --candidate FILE")?;
+    let base =
+        read_records(&baseline).map_err(|e| format!("reading {}: {e}", baseline.display()))?;
+    let cand =
+        read_records(&candidate).map_err(|e| format!("reading {}: {e}", candidate.display()))?;
+    let report = compare(&base, &cand, &cfg);
+    println!(
+        "compared {} baseline cell(s): {} passed, {} below {:.1} ms floor, {} added, {} regressed (limit {:.1}%)",
+        report.passed + report.below_floor + report.regressions.len(),
+        report.passed,
+        report.below_floor,
+        cfg.min_runtime_ms,
+        report.added,
+        report.regressions.len(),
+        cfg.regression_limit_pct
+    );
+    for reg in &report.regressions {
+        println!("  {}", reg.describe());
+    }
+    if report.is_ok() {
+        println!("regression gate: PASS");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("regression gate: FAIL");
+        Ok(ExitCode::from(1))
+    }
+}

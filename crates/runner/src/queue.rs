@@ -1,0 +1,294 @@
+//! A bounded MPMC work queue with backpressure and graceful shutdown.
+//!
+//! Built on [`std::sync::Mutex`] + [`std::sync::Condvar`] — no channels, no
+//! dependencies. Producers block in [`BoundedQueue::push`] while the queue
+//! is at capacity (backpressure), consumers block in [`BoundedQueue::pop`]
+//! while it is empty. [`BoundedQueue::close`] starts a graceful drain:
+//! further pushes are rejected, but consumers keep receiving the items
+//! already queued and only observe end-of-stream (`None`) once the queue
+//! is both closed and empty.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Why a queue operation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// A queue must be able to hold at least one item; a zero-capacity
+    /// queue would deadlock every producer against every consumer.
+    ZeroCapacity,
+    /// The queue was closed; no further items are accepted.
+    Closed,
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::ZeroCapacity => write!(f, "queue capacity must be at least 1"),
+            QueueError::Closed => write!(f, "queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// A failed [`BoundedQueue::try_push`], returning the rejected item so the
+/// caller can retry or drop it deliberately.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity right now.
+    Full(T),
+    /// The queue is closed and will never accept the item.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_item(self) -> T {
+        match self {
+            TryPushError::Full(item) | TryPushError::Closed(item) => item,
+        }
+    }
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::ZeroCapacity`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, QueueError> {
+        if capacity == 0 {
+            return Err(QueueError::ZeroCapacity);
+        }
+        Ok(BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        })
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, blocking while the queue is at capacity — this is
+    /// the producer-side backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Closed`] if the queue is (or becomes, while
+    /// waiting) closed; the item is dropped in that case, as with a closed
+    /// channel.
+    pub fn push(&self, item: T) -> Result<(), QueueError> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if state.closed {
+                return Err(QueueError::Closed);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Enqueues `item` only if there is room right now.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`TryPushError::Full`] or
+    /// [`TryPushError::Closed`].
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty.
+    ///
+    /// Returns `None` only when the queue is closed **and** drained — items
+    /// queued before [`BoundedQueue::close`] are always delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: rejects future pushes, wakes every blocked
+    /// producer and consumer, and lets consumers drain the backlog.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn zero_capacity_is_rejected_at_construction() {
+        assert_eq!(
+            BoundedQueue::<u32>::new(0).err(),
+            Some(QueueError::ZeroCapacity)
+        );
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4).unwrap();
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn try_push_reports_full_and_returns_item() {
+        let q = BoundedQueue::new(1).unwrap();
+        q.try_push(7).unwrap();
+        match q.try_push(8) {
+            Err(TryPushError::Full(v)) => assert_eq!(v, 8),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_ends_stream() {
+        let q = BoundedQueue::new(8).unwrap();
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        assert_eq!(q.push(99), Err(QueueError::Closed));
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_a_consumer_frees_a_slot() {
+        let q = Arc::new(BoundedQueue::new(1).unwrap());
+        q.push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1))
+        };
+        // Give the producer time to block on the full queue.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2).unwrap());
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(4).unwrap());
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u32> = (0..3)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,322 @@
+//! The run engine: turns [`Job`]s into [`RunRecord`]s through the worker
+//! pool.
+//!
+//! Each job looks up its benchmark in the registry, runs a warmup call
+//! plus one untimed iteration, then the requested timed iterations,
+//! recording per-iteration pipeline times and the kernel breakdown of the
+//! fastest one. `ExecPolicy::Auto` is resolved against
+//! `available_parallelism()` **once per run**, so every record of a sweep
+//! reports the same thread count even if CPU affinity changes mid-run.
+
+use crate::job::{size_label, HostMeta, Job, KernelStatRecord, RunRecord, RunStatus};
+use crate::pool::{run_pool, Completion, PoolConfig, PoolJob};
+use crate::queue::QueueError;
+use sdvbs_core::{all_benchmarks, ExecPolicy};
+use sdvbs_profile::Profiler;
+use std::time::Duration;
+
+/// Configuration for one run of the engine.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads. Keep at 1 (the default) for timing fidelity —
+    /// concurrent jobs would contend inside each other's measured region.
+    pub workers: usize,
+    /// Job-queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Per-job wall-clock deadline; `None` disables the watchdog.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            timeout: None,
+        }
+    }
+}
+
+/// Why a run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerError {
+    /// A job names a benchmark that is not in the registry.
+    UnknownBenchmark {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// The pool configuration was invalid.
+    Queue(QueueError),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark {name:?} (see `sdvbs-runner list`)")
+            }
+            RunnerError::Queue(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<QueueError> for RunnerError {
+    fn from(e: QueueError) -> Self {
+        RunnerError::Queue(e)
+    }
+}
+
+/// What a job's worker thread hands back on success.
+struct JobMeasurement {
+    times_ms: Vec<f64>,
+    kernels: Vec<KernelStatRecord>,
+    non_kernel_percent: f64,
+    quality: Option<f64>,
+    detail: String,
+}
+
+/// Runs every job and returns one record per job, ordered by submission.
+///
+/// Jobs that time out or panic still yield a record (with
+/// [`RunStatus::TimedOut`] / [`RunStatus::Panicked`] and empty timings) —
+/// a failed cell must appear in the result file so the comparison gate can
+/// see it.
+///
+/// # Errors
+///
+/// Returns [`RunnerError::UnknownBenchmark`] if any job names a benchmark
+/// not in the registry (checked upfront, before anything runs), or
+/// [`RunnerError::Queue`] for an invalid pool configuration.
+pub fn run_jobs(jobs: &[Job], cfg: &RunnerConfig) -> Result<Vec<RunRecord>, RunnerError> {
+    let known: Vec<String> = all_benchmarks()
+        .iter()
+        .map(|b| b.info().name.to_string())
+        .collect();
+    for job in jobs {
+        if !known.iter().any(|n| n == &job.benchmark) {
+            return Err(RunnerError::UnknownBenchmark {
+                name: job.benchmark.clone(),
+            });
+        }
+    }
+    // Resolve Auto once for the whole run (satellite f): every job sees the
+    // same concrete width and every record reports the same thread count.
+    let auto_threads = ExecPolicy::Auto.worker_count();
+    let host = HostMeta::collect();
+
+    let pool_jobs: Vec<PoolJob<JobMeasurement>> = jobs
+        .iter()
+        .enumerate()
+        .map(|(id, job)| {
+            let job = job.clone();
+            let resolved = job.policy.resolve_with(auto_threads);
+            let label = format!(
+                "{} {} {}",
+                job.benchmark,
+                size_label(job.size),
+                crate::job::policy_label(job.policy)
+            );
+            PoolJob::new(id as u64, label, move || measure(&job, resolved))
+        })
+        .collect();
+
+    let pool_cfg = PoolConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        timeout: cfg.timeout,
+    };
+    let outcomes = run_pool(pool_jobs, &pool_cfg)?;
+
+    let records = outcomes
+        .into_iter()
+        .zip(jobs.iter())
+        .map(|(outcome, job)| {
+            let resolved = job.policy.resolve_with(auto_threads);
+            let threads = match resolved {
+                ExecPolicy::Serial => 1,
+                ExecPolicy::Threads(n) => n.max(1),
+                ExecPolicy::Auto => auto_threads,
+            };
+            let mut rec = RunRecord {
+                job_id: outcome.id,
+                benchmark: job.benchmark.clone(),
+                size: size_label(job.size),
+                policy: crate::job::policy_label(job.policy),
+                threads,
+                seed: job.seed,
+                iterations: job.iterations.max(1),
+                status: RunStatus::Completed,
+                times_ms: Vec::new(),
+                min_ms: 0.0,
+                p50_ms: 0.0,
+                mean_ms: 0.0,
+                max_ms: 0.0,
+                wall_ms: outcome.wall.as_secs_f64() * 1e3,
+                quality: None,
+                detail: String::new(),
+                kernels: Vec::new(),
+                non_kernel_percent: 0.0,
+                host: host.clone(),
+            };
+            match outcome.completion {
+                Completion::Done(m) => {
+                    let (min, p50, mean, max) = percentiles(&m.times_ms);
+                    rec.times_ms = m.times_ms;
+                    rec.min_ms = min;
+                    rec.p50_ms = p50;
+                    rec.mean_ms = mean;
+                    rec.max_ms = max;
+                    rec.quality = m.quality;
+                    rec.detail = m.detail;
+                    rec.kernels = m.kernels;
+                    rec.non_kernel_percent = m.non_kernel_percent;
+                }
+                Completion::TimedOut { limit } => {
+                    rec.status = RunStatus::TimedOut;
+                    rec.detail = format!("exceeded {:.0} ms deadline", limit.as_secs_f64() * 1e3);
+                }
+                Completion::Panicked { message } => {
+                    rec.status = RunStatus::Panicked;
+                    rec.detail = message;
+                }
+            }
+            rec
+        })
+        .collect();
+    Ok(records)
+}
+
+/// Executes one job's iterations on the current thread. Runs inside a pool
+/// worker (or a watchdog-supervised job thread), so it re-resolves the
+/// benchmark from the registry instead of capturing a trait object.
+fn measure(job: &Job, resolved: ExecPolicy) -> JobMeasurement {
+    let suite = all_benchmarks();
+    let bench = suite
+        .iter()
+        .find(|b| b.info().name == job.benchmark)
+        .expect("benchmark validated before submission");
+    bench.warmup();
+    // Untimed warmup iteration: page faults, lazy allocations, LUTs.
+    let mut warm = Profiler::new();
+    bench.run_with(job.size, job.seed, resolved, &mut warm);
+
+    let iterations = job.iterations.max(1);
+    let mut times_ms = Vec::with_capacity(iterations);
+    let mut best: Option<(f64, sdvbs_profile::Report)> = None;
+    let mut last_outcome = None;
+    for _ in 0..iterations {
+        let mut prof = Profiler::new();
+        let outcome = bench.run_with(job.size, job.seed, resolved, &mut prof);
+        let total_ms = prof.total().as_secs_f64() * 1e3;
+        times_ms.push(total_ms);
+        if best.as_ref().is_none_or(|(t, _)| total_ms < *t) {
+            best = Some((total_ms, prof.report()));
+        }
+        last_outcome = Some(outcome);
+    }
+    let (_, report) = best.expect("at least one iteration");
+    let total = report.total().as_secs_f64().max(f64::MIN_POSITIVE);
+    let kernels = report
+        .kernels()
+        .iter()
+        .map(|k| KernelStatRecord {
+            name: k.name.clone(),
+            self_ms: k.self_time.as_secs_f64() * 1e3,
+            calls: k.calls,
+            percent: 100.0 * k.self_time.as_secs_f64() / total,
+        })
+        .collect();
+    let outcome = last_outcome.expect("at least one iteration");
+    JobMeasurement {
+        times_ms,
+        kernels,
+        non_kernel_percent: report.non_kernel_percent(),
+        quality: outcome.quality,
+        detail: outcome.detail,
+    }
+}
+
+/// (min, median, mean, max) of a non-empty sample, in input units.
+fn percentiles(times: &[f64]) -> (f64, f64, f64, f64) {
+    if times.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let mid = sorted.len() / 2;
+    let p50 = if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    };
+    (min, p50, mean, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvbs_core::InputSize;
+
+    #[test]
+    fn unknown_benchmark_is_rejected_before_running() {
+        let jobs = vec![Job::new(
+            "Not A Benchmark",
+            InputSize::Sqcif,
+            ExecPolicy::Serial,
+            1,
+            1,
+        )];
+        assert_eq!(
+            run_jobs(&jobs, &RunnerConfig::default()).err(),
+            Some(RunnerError::UnknownBenchmark {
+                name: "Not A Benchmark".into()
+            })
+        );
+    }
+
+    #[test]
+    fn percentiles_handle_odd_even_and_empty() {
+        assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(percentiles(&[3.0, 1.0, 2.0]), (1.0, 2.0, 2.0, 3.0));
+        let (min, p50, mean, max) = percentiles(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!((min, max), (1.0, 4.0));
+        assert!((p50 - 2.5).abs() < 1e-12);
+        assert!((mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_small_job_produces_a_complete_record() {
+        let size = InputSize::Custom {
+            width: 64,
+            height: 48,
+        };
+        let jobs = vec![Job::new("Disparity Map", size, ExecPolicy::Serial, 3, 2)];
+        let recs = run_jobs(&jobs, &RunnerConfig::default()).unwrap();
+        assert_eq!(recs.len(), 1);
+        let rec = &recs[0];
+        assert_eq!(rec.status, RunStatus::Completed);
+        assert_eq!(rec.times_ms.len(), 2);
+        assert!(rec.min_ms > 0.0 && rec.min_ms <= rec.max_ms);
+        assert!(!rec.kernels.is_empty());
+        assert_eq!(rec.size, "64x48");
+        assert_eq!(rec.policy, "serial");
+        assert_eq!(rec.threads, 1);
+    }
+
+    #[test]
+    fn auto_policy_records_a_concrete_thread_count() {
+        let size = InputSize::Custom {
+            width: 32,
+            height: 24,
+        };
+        let jobs = vec![Job::new("Disparity Map", size, ExecPolicy::Auto, 1, 1)];
+        let recs = run_jobs(&jobs, &RunnerConfig::default()).unwrap();
+        assert_eq!(recs[0].policy, "auto");
+        assert!(recs[0].threads >= 1);
+    }
+}

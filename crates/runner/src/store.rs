@@ -1,0 +1,196 @@
+//! JSONL result store: one [`RunRecord`] per line, append-friendly.
+//!
+//! The format is deliberately boring — plain JSON objects separated by
+//! newlines — so baselines can live in git, diffs stay line-oriented, and
+//! `grep`/`jq` work on the files directly. Blank lines and `#`-prefixed
+//! comment lines are skipped on read so committed baselines can carry a
+//! provenance header.
+
+use crate::job::RunRecord;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A store error, carrying the line number for parse failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (open/read/write/create-dir).
+    Io(std::io::Error),
+    /// A line failed to parse as a [`RunRecord`].
+    Parse {
+        /// 1-based line number within the file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Writes `records` to `path`, replacing any existing file. Parent
+/// directories are created as needed.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn write_records(path: &Path, records: &[RunRecord]) -> Result<(), StoreError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut out = BufWriter::new(File::create(path)?);
+    write_to(&mut out, records)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Appends `records` to `path`, creating it (and parent directories) if
+/// absent.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn append_records(path: &Path, records: &[RunRecord]) -> Result<(), StoreError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut out = BufWriter::new(file);
+    write_to(&mut out, records)?;
+    out.flush()?;
+    Ok(())
+}
+
+fn write_to(out: &mut impl Write, records: &[RunRecord]) -> std::io::Result<()> {
+    for rec in records {
+        writeln!(out, "{}", rec.to_json_line())?;
+    }
+    Ok(())
+}
+
+/// Reads every record from a JSONL file, skipping blank and `#` comment
+/// lines.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure or
+/// [`StoreError::Parse`] (with the offending line number) on a malformed
+/// record.
+pub fn read_records(path: &Path) -> Result<Vec<RunRecord>, StoreError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let rec = RunRecord::from_json_line(trimmed).map_err(|message| StoreError::Parse {
+            line: idx + 1,
+            message,
+        })?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{HostMeta, RunStatus};
+
+    fn record(id: u64, benchmark: &str) -> RunRecord {
+        RunRecord {
+            job_id: id,
+            benchmark: benchmark.into(),
+            size: "sqcif".into(),
+            policy: "serial".into(),
+            threads: 1,
+            seed: 1,
+            iterations: 1,
+            status: RunStatus::Completed,
+            times_ms: vec![2.0],
+            min_ms: 2.0,
+            p50_ms: 2.0,
+            mean_ms: 2.0,
+            max_ms: 2.0,
+            wall_ms: 3.0,
+            quality: None,
+            detail: "ok".into(),
+            kernels: Vec::new(),
+            non_kernel_percent: 100.0,
+            host: HostMeta {
+                os: "t".into(),
+                cpu: "t".into(),
+                logical_cpus: 1,
+            },
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sdvbs-runner-store-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let path = temp_path("roundtrip");
+        let recs = vec![record(0, "SVM"), record(1, "SIFT")];
+        write_records(&path, &recs).unwrap();
+        assert_eq!(read_records(&path).unwrap(), recs);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_extends_an_existing_file() {
+        let path = temp_path("append");
+        write_records(&path, &[record(0, "SVM")]).unwrap();
+        append_records(&path, &[record(1, "SIFT")]).unwrap();
+        let all = read_records(&path).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].benchmark, "SIFT");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let path = temp_path("comments");
+        let body = format!(
+            "# baseline generated for the smoke gate\n\n{}\n",
+            record(0, "SVM").to_json_line()
+        );
+        fs::write(&path, body).unwrap();
+        assert_eq!(read_records(&path).unwrap().len(), 1);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let path = temp_path("badline");
+        fs::write(&path, "# header\n{\"kind\":\"run\"\n").unwrap();
+        match read_records(&path) {
+            Err(StoreError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,187 @@
+//! Edge-case coverage for the queue/pool subsystem (satellite c of the
+//! runner issue): zero-capacity rejection, a timeout firing mid-job, a
+//! panic in one worker not poisoning the pool, shutdown while jobs are
+//! still queued, and deterministic result ordering.
+
+use sdvbs_runner::{run_pool, BoundedQueue, Completion, PoolConfig, PoolJob, QueueError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+#[test]
+fn zero_capacity_queue_and_pool_are_rejected() {
+    assert_eq!(
+        BoundedQueue::<i32>::new(0).err(),
+        Some(QueueError::ZeroCapacity)
+    );
+    let cfg = PoolConfig {
+        workers: 1,
+        queue_capacity: 0,
+        timeout: None,
+    };
+    let jobs = vec![PoolJob::new(0, "noop", || ())];
+    assert_eq!(run_pool(jobs, &cfg).err(), Some(QueueError::ZeroCapacity));
+}
+
+/// A job that sleeps past its deadline is reported as `TimedOut`, and the
+/// jobs queued behind it still run to completion — the stuck job costs its
+/// own thread, never the worker slot.
+#[test]
+fn timeout_fires_mid_job_without_stalling_the_pool() {
+    let cfg = PoolConfig {
+        workers: 1,
+        queue_capacity: 4,
+        timeout: Some(Duration::from_millis(30)),
+    };
+    // Gate the hung job on a condvar rather than a long sleep, so the test
+    // can release it during cleanup instead of leaking a sleeping thread.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let jobs: Vec<PoolJob<u32>> = vec![
+        PoolJob::new(0, "fast-before", || 10),
+        {
+            let gate = Arc::clone(&gate);
+            PoolJob::new(1, "hung", move || {
+                let (lock, cv) = &*gate;
+                let mut released = lock.lock().unwrap();
+                while !*released {
+                    released = cv.wait(released).unwrap();
+                }
+                11
+            })
+        },
+        PoolJob::new(2, "fast-after", || 12),
+    ];
+    let outcomes = run_pool(jobs, &cfg).unwrap();
+    assert_eq!(outcomes.len(), 3, "every job must be accounted for");
+    assert!(matches!(outcomes[0].completion, Completion::Done(10)));
+    match outcomes[1].completion {
+        Completion::TimedOut { limit } => assert_eq!(limit, Duration::from_millis(30)),
+        ref other => panic!("expected TimedOut, got {other:?}"),
+    }
+    assert!(
+        outcomes[1].wall < Duration::from_secs(5),
+        "watchdog must give up at the deadline, not wait for the job"
+    );
+    assert!(
+        matches!(outcomes[2].completion, Completion::Done(12)),
+        "the job queued behind the hung one must still run"
+    );
+    // Release the abandoned job thread so it exits.
+    let (lock, cv) = &*gate;
+    *lock.lock().unwrap() = true;
+    cv.notify_all();
+}
+
+/// One panicking job is isolated: its own record says `Panicked`, every
+/// other job still completes, and the pool returns normally.
+#[test]
+fn panic_in_one_job_does_not_poison_the_pool() {
+    let cfg = PoolConfig {
+        workers: 2,
+        queue_capacity: 2,
+        timeout: None,
+    };
+    let completed = Arc::new(AtomicUsize::new(0));
+    let mut jobs: Vec<PoolJob<usize>> = Vec::new();
+    for i in 0..6u64 {
+        if i == 2 {
+            jobs.push(PoolJob::new(i, "bomb", || panic!("kernel exploded")));
+        } else {
+            let completed = Arc::clone(&completed);
+            jobs.push(PoolJob::new(i, format!("ok-{i}"), move || {
+                completed.fetch_add(1, Ordering::SeqCst)
+            }));
+        }
+    }
+    let outcomes = run_pool(jobs, &cfg).unwrap();
+    assert_eq!(outcomes.len(), 6);
+    assert_eq!(completed.load(Ordering::SeqCst), 5);
+    match &outcomes[2].completion {
+        Completion::Panicked { message } => assert_eq!(message, "kernel exploded"),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    for (i, o) in outcomes.iter().enumerate() {
+        if i != 2 {
+            assert!(
+                matches!(o.completion, Completion::Done(_)),
+                "job {i} should have completed"
+            );
+        }
+    }
+}
+
+/// A panic under the watchdog (timeout configured) is also caught and
+/// reported, not swallowed as a timeout.
+#[test]
+fn panic_under_watchdog_is_reported_as_panic_not_timeout() {
+    let cfg = PoolConfig {
+        workers: 1,
+        queue_capacity: 1,
+        timeout: Some(Duration::from_secs(10)),
+    };
+    let jobs: Vec<PoolJob<()>> = vec![PoolJob::new(0, "bomb", || panic!("boom"))];
+    let outcomes = run_pool(jobs, &cfg).unwrap();
+    match &outcomes[0].completion {
+        Completion::Panicked { message } => assert_eq!(message, "boom"),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+}
+
+/// Closing the queue while items are still buffered is a graceful drain:
+/// consumers receive every queued item before seeing end-of-stream, and
+/// producers get a clean `Closed` error instead of a hang.
+#[test]
+fn shutdown_with_jobs_still_queued_drains_them_all() {
+    let q = Arc::new(BoundedQueue::new(16).unwrap());
+    for i in 0..10 {
+        q.push(i).unwrap();
+    }
+    q.close();
+    assert_eq!(q.push(99), Err(QueueError::Closed));
+    let consumers: Vec<_> = (0..3)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    let mut all: Vec<i32> = consumers
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..10).collect::<Vec<_>>());
+    assert_eq!(q.pop(), None, "drained + closed queue ends the stream");
+}
+
+/// Results come back sorted by job id no matter how many workers raced, so
+/// a result file is reproducible run-to-run.
+#[test]
+fn results_are_deterministically_ordered_by_job_id() {
+    let cfg = PoolConfig {
+        workers: 4,
+        queue_capacity: 3,
+        timeout: None,
+    };
+    // Give early jobs the longest runtimes so completion order differs
+    // maximally from submission order.
+    let jobs: Vec<PoolJob<u64>> = (0..24u64)
+        .map(|i| {
+            PoolJob::new(i, format!("job-{i}"), move || {
+                std::thread::sleep(Duration::from_millis((24 - i) % 7));
+                i
+            })
+        })
+        .collect();
+    let outcomes = run_pool(jobs, &cfg).unwrap();
+    let ids: Vec<u64> = outcomes.iter().map(|o| o.id).collect();
+    assert_eq!(ids, (0..24).collect::<Vec<_>>());
+    for o in &outcomes {
+        assert!(matches!(o.completion, Completion::Done(v) if v == o.id));
+    }
+}

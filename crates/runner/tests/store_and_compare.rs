@@ -1,0 +1,100 @@
+//! End-to-end store + gate coverage: records measured by the engine
+//! roundtrip through the JSONL store, a copied baseline passes the gate,
+//! and a baseline with one time halved fails it naming the exact cell.
+
+use sdvbs_core::{ExecPolicy, InputSize};
+use sdvbs_runner::{
+    compare, read_records, run_jobs, write_records, CompareConfig, Job, RegressionKind,
+    RunnerConfig,
+};
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sdvbs-runner-e2e-{name}-{}", std::process::id()));
+    p
+}
+
+fn tiny() -> InputSize {
+    InputSize::Custom {
+        width: 64,
+        height: 48,
+    }
+}
+
+#[test]
+fn measured_records_roundtrip_and_gate_correctly() {
+    // Measure two real cells through the engine.
+    let jobs = vec![
+        Job::new("Disparity Map", tiny(), ExecPolicy::Serial, 1, 2),
+        Job::new("Feature Tracking", tiny(), ExecPolicy::Serial, 1, 2),
+    ];
+    let records = run_jobs(&jobs, &RunnerConfig::default()).unwrap();
+    assert_eq!(records.len(), 2);
+
+    // Roundtrip through the store.
+    let path = temp_path("roundtrip");
+    write_records(&path, &records).unwrap();
+    let reread = read_records(&path).unwrap();
+    assert_eq!(reread, records);
+    std::fs::remove_file(&path).unwrap();
+
+    // A baseline that is a copy of the candidate passes the gate.
+    let cfg = CompareConfig {
+        regression_limit_pct: 40.0,
+        min_runtime_ms: 0.0,
+    };
+    let report = compare(&reread, &records, &cfg);
+    assert!(
+        report.is_ok(),
+        "identical runs must pass: {:?}",
+        report.regressions
+    );
+    assert_eq!(report.passed, 2);
+
+    // Halving one baseline time makes the candidate look 2x slower than
+    // baseline: the gate must fail and name that exact cell.
+    let mut halved = reread.clone();
+    halved[0].min_ms /= 2.0;
+    let report = compare(&halved, &records, &cfg);
+    assert_eq!(report.regressions.len(), 1);
+    let reg = &report.regressions[0];
+    assert_eq!(reg.key, records[0].key());
+    assert!(reg.key.starts_with("Disparity Map|64x48|serial|1"));
+    match &reg.kind {
+        RegressionKind::Slower { slowdown_pct, .. } => {
+            assert!(
+                (*slowdown_pct - 100.0).abs() < 1e-6,
+                "halved baseline means +100% slowdown, got {slowdown_pct}"
+            );
+        }
+        other => panic!("expected Slower, got {other:?}"),
+    }
+    assert!(reg.describe().contains("Disparity Map|64x48|serial|1"));
+}
+
+#[test]
+fn min_runtime_floor_suppresses_microsecond_jitter() {
+    let jobs = vec![Job::new(
+        "Disparity Map",
+        InputSize::Custom {
+            width: 32,
+            height: 24,
+        },
+        ExecPolicy::Serial,
+        1,
+        1,
+    )];
+    let records = run_jobs(&jobs, &RunnerConfig::default()).unwrap();
+    let mut halved = records.clone();
+    halved[0].min_ms /= 2.0;
+    // With a floor far above both runtimes, the same halved baseline that
+    // would fail above is exempt — the cell is too fast to gate honestly.
+    let cfg = CompareConfig {
+        regression_limit_pct: 40.0,
+        min_runtime_ms: 1e9,
+    };
+    let report = compare(&halved, &records, &cfg);
+    assert!(report.is_ok());
+    assert_eq!(report.below_floor, 1);
+}
