@@ -27,13 +27,17 @@
 #![warn(missing_docs)]
 
 mod dump;
+mod error;
 mod input;
 mod meta;
+mod poison;
 mod suite;
 
 pub use dump::dump_inputs;
+pub use error::{SdvbsError, SdvbsResult};
 pub use input::InputSize;
 pub use meta::{BenchmarkInfo, Characteristic, ConcentrationArea};
+pub use poison::{clear_poison, poison_image, poison_slice, set_poison, PoisonSpec};
 pub use sdvbs_exec::ExecPolicy;
 pub use suite::{all_benchmarks, Benchmark, RunOutcome};
 

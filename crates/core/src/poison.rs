@@ -1,0 +1,133 @@
+//! Thread-local input poisoning for fault injection.
+//!
+//! Benchmarks generate their own synthetic inputs, so an external fault
+//! injector (the runner's `--inject nan:<rate>` mode) cannot corrupt the
+//! data it never sees. The hook here closes that gap: the runner sets a
+//! [`PoisonSpec`] on the worker thread before calling
+//! [`crate::Benchmark::try_run_with`], and each benchmark passes its
+//! freshly generated input through [`poison_image`] / [`poison_slice`],
+//! which overwrite a deterministic subset of values with NaN when a spec
+//! is armed (and are no-ops otherwise). The poisoned input then flows into
+//! the kernel's normal finiteness validation, exercising the exact typed
+//! error path a corrupted capture would take in production.
+
+use sdvbs_image::Image;
+use std::cell::Cell;
+
+/// A deterministic NaN-poisoning request for the current thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonSpec {
+    /// Poison roughly one value in `stride` (1 = every value).
+    pub stride: usize,
+    /// Mixing seed so different cells poison different positions.
+    pub seed: u64,
+}
+
+thread_local! {
+    static POISON: Cell<Option<PoisonSpec>> = const { Cell::new(None) };
+}
+
+/// Arms NaN poisoning for the current thread until [`clear_poison`].
+pub fn set_poison(spec: PoisonSpec) {
+    POISON.with(|p| p.set(Some(spec)));
+}
+
+/// Disarms NaN poisoning for the current thread.
+pub fn clear_poison() {
+    POISON.with(|p| p.set(None));
+}
+
+/// The armed spec, if any.
+fn current() -> Option<PoisonSpec> {
+    POISON.with(|p| p.get())
+}
+
+/// splitmix64: cheap, deterministic position mixing.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Overwrites a deterministic subset of `img` pixels with NaN if poisoning
+/// is armed on this thread; otherwise leaves it untouched. Always poisons
+/// at least one pixel of a non-empty image when armed.
+pub fn poison_image(img: &mut Image) {
+    let Some(spec) = current() else { return };
+    let stride = spec.stride.max(1) as u64;
+    let n = img.len();
+    if n == 0 {
+        return;
+    }
+    let data = img.as_mut_slice();
+    let mut hit = false;
+    for (i, v) in data.iter_mut().enumerate() {
+        if mix(spec.seed ^ i as u64).is_multiple_of(stride) {
+            *v = f32::NAN;
+            hit = true;
+        }
+    }
+    if !hit {
+        data[(mix(spec.seed) % n as u64) as usize] = f32::NAN;
+    }
+}
+
+/// Overwrites a deterministic subset of `data` with NaN if poisoning is
+/// armed on this thread. Always poisons at least one value of a non-empty
+/// slice when armed.
+pub fn poison_slice(data: &mut [f64]) {
+    let Some(spec) = current() else { return };
+    let stride = spec.stride.max(1) as u64;
+    if data.is_empty() {
+        return;
+    }
+    let n = data.len();
+    let mut hit = false;
+    for (i, v) in data.iter_mut().enumerate() {
+        if mix(spec.seed ^ i as u64).is_multiple_of(stride) {
+            *v = f64::NAN;
+            hit = true;
+        }
+    }
+    if !hit {
+        data[(mix(spec.seed) % n as u64) as usize] = f64::NAN;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_is_a_no_op() {
+        clear_poison();
+        let mut img = Image::filled(8, 8, 1.0);
+        poison_image(&mut img);
+        assert!(img.all_finite());
+    }
+
+    #[test]
+    fn armed_poisons_at_least_one_pixel() {
+        set_poison(PoisonSpec {
+            stride: 1_000_000,
+            seed: 3,
+        });
+        let mut img = Image::filled(8, 8, 1.0);
+        poison_image(&mut img);
+        clear_poison();
+        assert!(!img.all_finite());
+    }
+
+    #[test]
+    fn poisoning_is_deterministic() {
+        let run = || {
+            set_poison(PoisonSpec { stride: 7, seed: 9 });
+            let mut v = vec![1.0f64; 64];
+            poison_slice(&mut v);
+            clear_poison();
+            v.iter().map(|x| x.is_nan()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

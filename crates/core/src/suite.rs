@@ -1,7 +1,9 @@
 //! The uniform benchmark runner.
 
+use crate::error::SdvbsResult;
 use crate::input::InputSize;
 use crate::meta::{BenchmarkInfo, Characteristic, ConcentrationArea};
+use crate::poison::{poison_image, poison_slice};
 use sdvbs_exec::ExecPolicy;
 use sdvbs_profile::Profiler;
 use std::sync::OnceLock;
@@ -56,6 +58,23 @@ pub trait Benchmark {
         self.run(size, seed, prof)
     }
 
+    /// Runs the benchmark fallibly: degenerate or corrupted inputs (for
+    /// example NaN pixels armed via [`crate::set_poison`]) surface as a
+    /// typed [`crate::SdvbsError`] instead of a panic, so a harness can
+    /// record a failed cell as an outcome rather than aborting the
+    /// process. The suite's nine implementations all override this; the
+    /// default delegates to the infallible [`Benchmark::run_with`] for
+    /// third-party implementations that predate the fallible path.
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
+        Ok(self.run_with(size, seed, policy, prof))
+    }
+
     /// One-time preparation excluded from timed runs (e.g. face detection
     /// trains its cascade model once — SD-VBS ships that model
     /// pre-trained, so its cost is not part of the benchmark).
@@ -106,21 +125,42 @@ impl Benchmark for DisparityBench {
         policy: ExecPolicy,
         prof: &mut Profiler,
     ) -> RunOutcome {
-        use sdvbs_disparity::{compute_disparity, disparity_accuracy, DisparityConfig};
+        outcome_or_failure(self.try_run_with(size, seed, policy, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
+        use sdvbs_disparity::{disparity_accuracy, try_compute_disparity, DisparityConfig};
         let (w, h) = size.dims();
-        let scene = sdvbs_synth::stereo_pair(w.max(48), h.max(36), seed);
+        let mut scene = sdvbs_synth::stereo_pair(w.max(48), h.max(36), seed);
+        poison_image(&mut scene.left);
         let cfg = DisparityConfig::new(scene.max_disparity, 9)
             .expect("valid config")
             .with_exec(policy);
         // Input generation is untimed (SD-VBS reads its inputs before the
         // measured region); only the pipeline runs under the profiler.
-        let disp = prof.run(|p| compute_disparity(&scene.left, &scene.right, &cfg, p));
+        let disp = prof.run(|p| try_compute_disparity(&scene.left, &scene.right, &cfg, p))?;
         let acc = disparity_accuracy(&disp, &scene.truth, 1.0);
-        RunOutcome {
+        Ok(RunOutcome {
             quality: Some(acc),
             detail: format!("dense disparity {}x{}, accuracy {:.3}", w, h, acc),
-        }
+        })
     }
+}
+
+/// Maps a fallible run into the infallible [`RunOutcome`] contract: a
+/// typed error becomes a zero-quality outcome whose detail names the
+/// failure.
+fn outcome_or_failure(result: SdvbsResult<RunOutcome>) -> RunOutcome {
+    result.unwrap_or_else(|e| RunOutcome {
+        quality: Some(0.0),
+        detail: format!("failed: {e}"),
+    })
 }
 
 // ----------------------------------------------------------------- tracking
@@ -148,12 +188,23 @@ impl Benchmark for TrackingBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
-        use sdvbs_tracking::{track_pair, TrackingConfig};
+        outcome_or_failure(self.try_run_with(size, seed, ExecPolicy::Serial, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        _policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
+        use sdvbs_tracking::{try_track_pair, TrackingConfig};
         let (w, h) = size.dims();
         let (dx, dy) = (1.8f32, 1.2f32);
-        let (a, b) = sdvbs_synth::frame_pair(w.max(64), h.max(48), seed, dx, dy);
+        let (mut a, b) = sdvbs_synth::frame_pair(w.max(64), h.max(48), seed, dx, dy);
+        poison_image(&mut a);
         let cfg = TrackingConfig::default();
-        let tracks = prof.run(|p| track_pair(&a, &b, &cfg, p));
+        let tracks = prof.run(|p| try_track_pair(&a, &b, &cfg, p))?;
         let good = tracks
             .iter()
             .filter(|t| {
@@ -166,14 +217,14 @@ impl Benchmark for TrackingBench {
         } else {
             good as f64 / tracks.len() as f64
         };
-        RunOutcome {
+        Ok(RunOutcome {
             quality: Some(quality),
             detail: format!(
                 "{} features tracked, {:.0}% within 0.5 px",
                 tracks.len(),
                 quality * 100.0
             ),
-        }
+        })
     }
 }
 
@@ -211,28 +262,32 @@ impl Benchmark for SegmentationBench {
         policy: ExecPolicy,
         prof: &mut Profiler,
     ) -> RunOutcome {
+        outcome_or_failure(self.try_run_with(size, seed, policy, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
         use sdvbs_segmentation::{rand_index, segment, SegmentationConfig};
         let (w, h) = size.dims();
         let regions = 4;
-        let scene = sdvbs_synth::segmentable_scene(w.max(24), h.max(24), seed, regions);
+        let mut scene = sdvbs_synth::segmentable_scene(w.max(24), h.max(24), seed, regions);
+        poison_image(&mut scene.image);
         let cfg = SegmentationConfig {
             segments: regions,
             exec: policy,
             ..SegmentationConfig::default()
         };
-        match prof.run(|p| segment(&scene.image, &cfg, p)) {
-            Ok(seg) => {
-                let ri = rand_index(seg.labels(), &scene.labels);
-                RunOutcome {
-                    quality: Some(ri),
-                    detail: format!("{regions} segments, rand index {ri:.3}"),
-                }
-            }
-            Err(e) => RunOutcome {
-                quality: Some(0.0),
-                detail: format!("failed: {e}"),
-            },
-        }
+        let seg = prof.run(|p| segment(&scene.image, &cfg, p))?;
+        let ri = rand_index(seg.labels(), &scene.labels);
+        Ok(RunOutcome {
+            quality: Some(ri),
+            detail: format!("{regions} segments, rand index {ri:.3}"),
+        })
     }
 }
 
@@ -255,14 +310,25 @@ impl Benchmark for SiftBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
-        use sdvbs_sift::{detect_and_describe, SiftConfig};
+        outcome_or_failure(self.try_run_with(size, seed, ExecPolicy::Serial, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        _policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
+        use sdvbs_sift::{try_detect_and_describe, SiftConfig};
         let (w, h) = size.dims();
-        let img = sdvbs_synth::textured_image(w.max(32), h.max(32), seed);
-        let feats = prof.run(|p| detect_and_describe(&img, &SiftConfig::default(), p));
-        RunOutcome {
+        let mut img = sdvbs_synth::textured_image(w.max(32), h.max(32), seed);
+        poison_image(&mut img);
+        let feats = prof.run(|p| try_detect_and_describe(&img, &SiftConfig::default(), p))?;
+        Ok(RunOutcome {
             quality: None,
             detail: format!("{} keypoints with 128-d descriptors", feats.len()),
-        }
+        })
     }
 }
 
@@ -285,6 +351,16 @@ impl Benchmark for LocalizationBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
+        outcome_or_failure(self.try_run_with(size, seed, ExecPolicy::Serial, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        _policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
         use sdvbs_localization::{MclConfig, MonteCarloLocalizer, World, WorldConfig};
         // The paper observes that localization runtime is governed by the
         // data (particles, trajectory), not the input-size class; the
@@ -295,7 +371,21 @@ impl Benchmark for LocalizationBench {
             seed: seed ^ 0x77_6f72_6c64,
             ..WorldConfig::default()
         });
-        let traj = world.simulate(40, seed);
+        let mut traj = world.simulate(40, seed);
+        // Fault injection corrupts the range readings (the localization
+        // benchmark's "pixels").
+        let mut ranges: Vec<f64> = traj
+            .steps
+            .iter()
+            .flat_map(|s| s.measurements.iter().map(|m| m.range))
+            .collect();
+        poison_slice(&mut ranges);
+        let mut it = ranges.into_iter();
+        for step in &mut traj.steps {
+            for m in &mut step.measurements {
+                m.range = it.next().expect("one poisoned range per measurement");
+            }
+        }
         let mut mcl = MonteCarloLocalizer::new(
             &world,
             &MclConfig {
@@ -303,18 +393,14 @@ impl Benchmark for LocalizationBench {
                 ..MclConfig::default()
             },
         );
-        prof.run(|p| {
-            for step in &traj.steps {
-                mcl.step(&step.odometry, &step.measurements, &world, p);
-            }
-        });
+        prof.run(|p| mcl.try_run_trajectory(&traj, &world, p))?;
         let est = mcl.estimate();
         let truth = traj.steps.last().expect("non-empty trajectory").true_pose;
         let err = est.distance(&truth);
-        RunOutcome {
+        Ok(RunOutcome {
             quality: Some((1.0 - err / 2.0).clamp(0.0, 1.0)),
             detail: format!("500 particles, 40 steps, position error {err:.2} m"),
-        }
+        })
     }
 }
 
@@ -337,35 +423,39 @@ impl Benchmark for SvmBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
+        outcome_or_failure(self.try_run_with(size, seed, ExecPolicy::Serial, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        _policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
         use sdvbs_svm::{gaussian_clusters, train_interior_point, SvmConfig};
         // The paper's working set is 500x64; the size classes scale the
         // sample count (125/250/500) at fixed 64 dimensions.
         let n = ((60.0 * size.relative_pixels()).round() as usize).clamp(80, 500);
-        let data = gaussian_clusters(n, 64, 6.0, seed);
+        let mut data = gaussian_clusters(n, 64, 6.0, seed);
+        poison_slice(data.train_x.as_mut_slice());
         let cfg = SvmConfig {
             tolerance: 1e-4,
             max_iterations: 60,
             ..SvmConfig::default()
         };
-        match prof.run(|p| train_interior_point(&data.train_x, &data.train_y, &cfg, p)) {
-            Ok(model) => {
-                // The paper's second phase: classification over the held-out
-                // set (polynomial/kernel evaluations = matrix operations).
-                let acc = prof
-                    .run(|p| p.kernel("MatrixOps", |_| model.accuracy(&data.test_x, &data.test_y)));
-                RunOutcome {
-                    quality: Some(acc),
-                    detail: format!(
-                        "{n}x64 interior-point training, {} SVs, test accuracy {acc:.3}",
-                        model.support_vectors()
-                    ),
-                }
-            }
-            Err(e) => RunOutcome {
-                quality: Some(0.0),
-                detail: format!("failed: {e}"),
-            },
-        }
+        let model = prof.run(|p| train_interior_point(&data.train_x, &data.train_y, &cfg, p))?;
+        // The paper's second phase: classification over the held-out
+        // set (polynomial/kernel evaluations = matrix operations).
+        let acc =
+            prof.run(|p| p.kernel("MatrixOps", |_| model.accuracy(&data.test_x, &data.test_y)));
+        Ok(RunOutcome {
+            quality: Some(acc),
+            detail: format!(
+                "{n}x64 interior-point training, {} SVs, test accuracy {acc:.3}",
+                model.support_vectors()
+            ),
+        })
     }
 }
 
@@ -413,17 +503,28 @@ impl Benchmark for FaceDetectBench {
         policy: ExecPolicy,
         prof: &mut Profiler,
     ) -> RunOutcome {
-        use sdvbs_facedetect::{detect_faces, Detection, DetectorConfig};
+        outcome_or_failure(self.try_run_with(size, seed, policy, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
+        use sdvbs_facedetect::{try_detect_faces, Detection, DetectorConfig};
         let (w, h) = size.dims();
         let (w, h) = (w.max(64), h.max(64));
         let n_faces = 2 + (size.pixels() / InputSize::Sqcif.pixels()).min(4);
-        let scene = sdvbs_synth::face_scene(w, h, seed, n_faces);
+        let mut scene = sdvbs_synth::face_scene(w, h, seed, n_faces);
+        poison_image(&mut scene.image);
         let cascade = shared_cascade();
         let cfg = DetectorConfig {
             exec: policy,
             ..DetectorConfig::default()
         };
-        let found = prof.run(|p| detect_faces(&scene.image, cascade, &cfg, p));
+        let found = prof.run(|p| try_detect_faces(&scene.image, cascade, &cfg, p))?;
         let hits = scene
             .faces
             .iter()
@@ -442,14 +543,14 @@ impl Benchmark for FaceDetectBench {
         } else {
             hits as f64 / scene.faces.len() as f64
         };
-        RunOutcome {
+        Ok(RunOutcome {
             quality: Some(quality),
             detail: format!(
                 "{hits}/{} faces found, {} detections",
                 scene.faces.len(),
                 found.len()
             ),
-        }
+        })
     }
 }
 
@@ -479,27 +580,31 @@ impl Benchmark for StitchBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
+        outcome_or_failure(self.try_run_with(size, seed, ExecPolicy::Serial, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        _policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
         use sdvbs_stitch::{stitch, Affine, StitchConfig};
         let (w, h) = size.dims();
-        let pair =
+        let mut pair =
             sdvbs_synth::overlapping_pair(w.max(64), h.max(48), seed, 0.03, w as f32 * 0.1, 4.0);
-        match prof.run(|p| stitch(&pair.a, &pair.b, &StitchConfig::default(), p)) {
-            Ok(result) => {
-                let truth = Affine::from_coeffs(pair.b_to_a);
-                let diff = result.b_to_a.max_coeff_diff(&truth);
-                RunOutcome {
-                    quality: Some((1.0 - diff).clamp(0.0, 1.0)),
-                    detail: format!(
-                        "{} matches, {} inliers, transform error {diff:.3}",
-                        result.matches, result.inliers
-                    ),
-                }
-            }
-            Err(e) => RunOutcome {
-                quality: Some(0.0),
-                detail: format!("failed: {e}"),
-            },
-        }
+        poison_image(&mut pair.a);
+        let result = prof.run(|p| stitch(&pair.a, &pair.b, &StitchConfig::default(), p))?;
+        let truth = Affine::from_coeffs(pair.b_to_a);
+        let diff = result.b_to_a.max_coeff_diff(&truth);
+        Ok(RunOutcome {
+            quality: Some((1.0 - diff).clamp(0.0, 1.0)),
+            detail: format!(
+                "{} matches, {} inliers, transform error {diff:.3}",
+                result.matches, result.inliers
+            ),
+        })
     }
 }
 
@@ -523,6 +628,16 @@ impl Benchmark for TextureBench {
     }
 
     fn run(&self, size: InputSize, seed: u64, prof: &mut Profiler) -> RunOutcome {
+        outcome_or_failure(self.try_run_with(size, seed, ExecPolicy::Serial, prof))
+    }
+
+    fn try_run_with(
+        &self,
+        size: InputSize,
+        seed: u64,
+        _policy: ExecPolicy,
+        prof: &mut Profiler,
+    ) -> SdvbsResult<RunOutcome> {
         use sdvbs_texture::{synthesize, TextureConfig};
         // Fixed iteration structure: the swatch is capped so runtime stays
         // flat across size classes (the paper: "execution time for all the
@@ -536,38 +651,32 @@ impl Benchmark for TextureBench {
         } else {
             sdvbs_synth::TextureKind::Structural
         };
-        let swatch = sdvbs_synth::texture_swatch(sw, sh, seed, kind);
+        let mut swatch = sdvbs_synth::texture_swatch(sw, sh, seed, kind);
+        poison_image(&mut swatch);
         let cfg = TextureConfig {
             seed,
             ..TextureConfig::default()
         };
-        match prof.run(|p| synthesize(&swatch, 40, 40, &cfg, p)) {
-            Ok(out) => {
-                // Statistical validation is part of the measured pipeline:
-                // the paper lists "texture analysis, kurtosis and texture
-                // synthesis" among the hot spots, and Portilla-Simoncelli
-                // quality is defined by moment matching.
-                let distance = prof.run(|p| {
-                    p.kernel("Kurtosis", |_| {
-                        use sdvbs_texture::TextureStatistics;
-                        let s_in = TextureStatistics::compute(&swatch, 3);
-                        let s_out = TextureStatistics::compute(&out, 3);
-                        s_in.distance(&s_out)
-                    })
-                });
-                let quality = (1.0 - distance).clamp(0.0, 1.0);
-                RunOutcome {
-                    quality: Some(quality),
-                    detail: format!(
-                        "40x40 synthesized from {sw}x{sh} swatch ({kind:?}), stats distance {distance:.3}"
-                    ),
-                }
-            }
-            Err(e) => RunOutcome {
-                quality: Some(0.0),
-                detail: format!("failed: {e}"),
-            },
-        }
+        let out = prof.run(|p| synthesize(&swatch, 40, 40, &cfg, p))?;
+        // Statistical validation is part of the measured pipeline:
+        // the paper lists "texture analysis, kurtosis and texture
+        // synthesis" among the hot spots, and Portilla-Simoncelli
+        // quality is defined by moment matching.
+        let distance = prof.run(|p| {
+            p.kernel("Kurtosis", |_| {
+                use sdvbs_texture::TextureStatistics;
+                let s_in = TextureStatistics::compute(&swatch, 3);
+                let s_out = TextureStatistics::compute(&out, 3);
+                s_in.distance(&s_out)
+            })
+        });
+        let quality = (1.0 - distance).clamp(0.0, 1.0);
+        Ok(RunOutcome {
+            quality: Some(quality),
+            detail: format!(
+                "40x40 synthesized from {sw}x{sh} swatch ({kind:?}), stats distance {distance:.3}"
+            ),
+        })
     }
 }
 

@@ -62,6 +62,52 @@ impl fmt::Display for InvalidConfig {
 
 impl Error for InvalidConfig {}
 
+/// Errors from the fallible [`try_compute_disparity`] entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DisparityError {
+    /// The stereo pair's images differ in size.
+    DimensionMismatch {
+        /// Left image dimensions.
+        left: (usize, usize),
+        /// Right image dimensions.
+        right: (usize, usize),
+    },
+    /// An image side is smaller than the aggregation window.
+    ImageTooSmall {
+        /// The configured window side.
+        window: usize,
+        /// The smaller offending image side.
+        side: usize,
+    },
+    /// A pixel in either image is NaN or infinite.
+    NonFinitePixels,
+    /// The images have zero pixels.
+    Empty,
+}
+
+impl fmt::Display for DisparityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisparityError::DimensionMismatch { left, right } => write!(
+                f,
+                "stereo images differ in size: left {}x{}, right {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            DisparityError::ImageTooSmall { window, side } => write!(
+                f,
+                "image side {side} smaller than the {window}-pixel aggregation window"
+            ),
+            DisparityError::NonFinitePixels => {
+                write!(f, "stereo images contain non-finite pixels")
+            }
+            DisparityError::Empty => write!(f, "stereo images have zero pixels"),
+        }
+    }
+}
+
+impl Error for DisparityError {}
+
 impl DisparityConfig {
     /// Creates a configuration searching shifts `0..=max_disparity` with an
     /// odd `window × window` aggregation window.
@@ -133,24 +179,69 @@ impl Default for DisparityConfig {
 /// # Panics
 ///
 /// Panics if the two images differ in size or are smaller than the
-/// aggregation window.
+/// aggregation window. This is the thin panicking wrapper over
+/// [`try_compute_disparity`] kept for call sites with pre-validated
+/// inputs; new code (and the suite runner) should prefer the fallible
+/// entry.
 pub fn compute_disparity(
     left: &Image,
     right: &Image,
     cfg: &DisparityConfig,
     prof: &mut Profiler,
 ) -> Image {
-    assert_eq!(
-        (left.width(), left.height()),
-        (right.width(), right.height()),
-        "stereo images must have identical dimensions"
-    );
+    match try_compute_disparity(left, right, cfg, prof) {
+        Ok(disp) => disp,
+        Err(e) => panic!("compute_disparity: {e}"),
+    }
+}
+
+/// Computes the dense disparity map, rejecting degenerate inputs with a
+/// typed error instead of panicking.
+///
+/// # Errors
+///
+/// * [`DisparityError::DimensionMismatch`] if the pair differs in size;
+/// * [`DisparityError::Empty`] for zero-pixel images;
+/// * [`DisparityError::ImageTooSmall`] if either side is smaller than the
+///   aggregation window;
+/// * [`DisparityError::NonFinitePixels`] if any pixel is NaN or infinite.
+pub fn try_compute_disparity(
+    left: &Image,
+    right: &Image,
+    cfg: &DisparityConfig,
+    prof: &mut Profiler,
+) -> Result<Image, DisparityError> {
+    if (left.width(), left.height()) != (right.width(), right.height()) {
+        return Err(DisparityError::DimensionMismatch {
+            left: (left.width(), left.height()),
+            right: (right.width(), right.height()),
+        });
+    }
+    if left.is_empty() {
+        return Err(DisparityError::Empty);
+    }
+    let min_side = left.width().min(left.height());
+    if min_side < cfg.window {
+        return Err(DisparityError::ImageTooSmall {
+            window: cfg.window,
+            side: min_side,
+        });
+    }
+    if !left.all_finite() || !right.all_finite() {
+        return Err(DisparityError::NonFinitePixels);
+    }
+    Ok(disparity_pipeline(left, right, cfg, prof))
+}
+
+/// The validated hot path: dense SSD search over the shift range.
+fn disparity_pipeline(
+    left: &Image,
+    right: &Image,
+    cfg: &DisparityConfig,
+    prof: &mut Profiler,
+) -> Image {
     let w = left.width();
     let h = left.height();
-    assert!(
-        w >= cfg.window && h >= cfg.window,
-        "images must be at least the aggregation window in size"
-    );
     let radius = cfg.window / 2;
     let shifts = cfg.max_disparity + 1;
     // Scans an ascending shift range, keeping the per-pixel running
@@ -568,7 +659,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "identical dimensions")]
+    #[should_panic(expected = "stereo images differ in size")]
     fn mismatched_images_panic() {
         let mut prof = Profiler::new();
         compute_disparity(

@@ -316,13 +316,84 @@ impl Default for DetectorConfig {
     }
 }
 
+/// Errors from the fallible detector entry [`try_detect_faces`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DetectError {
+    /// The image cannot host a single detector window.
+    ImageTooSmall {
+        /// The cascade's base window side.
+        window: usize,
+        /// The smaller offending image side.
+        side: usize,
+    },
+    /// The image contains NaN or infinite pixels.
+    NonFinitePixels,
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::ImageTooSmall { window, side } => {
+                write!(f, "image side {side} below the {window}-pixel window")
+            }
+            DetectError::NonFinitePixels => write!(f, "image contains non-finite pixels"),
+        }
+    }
+}
+
+impl Error for DetectError {}
+
 /// Runs the multi-scale sliding-window detector.
 ///
 /// Kernel attribution: `IntegralImage` (plain + squared tables),
 /// `ExtractFaces` (the cascade scan), `StabilizeWindows` (merging /
 /// non-maximum suppression) — the paper's three face-detection
 /// components.
+///
+/// # Panics
+///
+/// Panics on degenerate inputs; this is the thin panicking wrapper over
+/// [`try_detect_faces`] kept for call sites with pre-validated inputs.
 pub fn detect_faces(
+    img: &Image,
+    cascade: &Cascade,
+    cfg: &DetectorConfig,
+    prof: &mut Profiler,
+) -> Vec<Detection> {
+    match try_detect_faces(img, cascade, cfg, prof) {
+        Ok(dets) => dets,
+        Err(e) => panic!("detect_faces: {e}"),
+    }
+}
+
+/// Runs the detector, rejecting degenerate inputs with a typed error.
+///
+/// # Errors
+///
+/// * [`DetectError::ImageTooSmall`] if the image cannot host one window;
+/// * [`DetectError::NonFinitePixels`] for NaN/Inf pixels.
+pub fn try_detect_faces(
+    img: &Image,
+    cascade: &Cascade,
+    cfg: &DetectorConfig,
+    prof: &mut Profiler,
+) -> Result<Vec<Detection>, DetectError> {
+    let side = img.width().min(img.height());
+    if side < cascade.window() {
+        return Err(DetectError::ImageTooSmall {
+            window: cascade.window(),
+            side,
+        });
+    }
+    if !img.all_finite() {
+        return Err(DetectError::NonFinitePixels);
+    }
+    Ok(detect_pipeline(img, cascade, cfg, prof))
+}
+
+/// The validated multi-scale scan.
+fn detect_pipeline(
     img: &Image,
     cascade: &Cascade,
     cfg: &DetectorConfig,

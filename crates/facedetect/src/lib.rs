@@ -39,6 +39,9 @@ mod haar;
 mod model_io;
 
 pub use boost::{train_adaboost, StrongClassifier, Stump};
-pub use cascade::{detect_faces, Cascade, CascadeConfig, CascadeError, Detection, DetectorConfig};
+pub use cascade::{
+    detect_faces, try_detect_faces, Cascade, CascadeConfig, CascadeError, DetectError, Detection,
+    DetectorConfig,
+};
 pub use haar::{generate_features, HaarFeature, HaarKind, NormalizedWindow};
 pub use model_io::ModelIoError;

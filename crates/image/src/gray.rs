@@ -44,6 +44,37 @@ impl Image {
         }
     }
 
+    /// Creates a `width × height` image of zeros, rejecting dimensions
+    /// whose pixel count overflows `usize` instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::InvalidDimensions`] on overflow.
+    pub fn try_new(width: usize, height: usize) -> Result<Self> {
+        let len = width
+            .checked_mul(height)
+            .ok_or(ImageError::InvalidDimensions { width, height })?;
+        Ok(Image {
+            width,
+            height,
+            data: vec![0.0; len],
+        })
+    }
+
+    /// Whether every pixel is finite (no NaN, no infinities).
+    ///
+    /// The fallible `try_*` pipeline entries use this to reject poisoned
+    /// inputs up front, where a NaN would otherwise propagate silently
+    /// through convolutions and argmins.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Number of non-finite (NaN or infinite) pixels.
+    pub fn non_finite_count(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_finite()).count()
+    }
+
     /// Creates an image filled with `value`.
     pub fn filled(width: usize, height: usize, value: f32) -> Self {
         let mut img = Image::new(width, height);

@@ -112,13 +112,10 @@ pub fn local_maxima(response: &Image, threshold: f32, margin: usize) -> Vec<Feat
 }
 
 /// Sorts features strongest-first (the "Sort" kernel on feature
-/// granularity).
+/// granularity). NaN scores sort last via IEEE total ordering, so a
+/// poisoned score can never panic the sort.
 pub fn sort_by_score(feats: &mut [Feature]) {
-    feats.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores must not be NaN")
-    });
+    feats.sort_by(|a, b| b.score.total_cmp(&a.score));
 }
 
 /// Greedy spatial suppression: keeps at most `max` features such that no
@@ -164,7 +161,7 @@ pub fn anms(feats: &[Feature], max: usize, robustness: f32) -> Vec<Feature> {
             (r2, *f)
         })
         .collect();
-    radii.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("radii must not be NaN"));
+    radii.sort_by(|a, b| b.0.total_cmp(&a.0));
     radii.into_iter().take(max).map(|(_, f)| f).collect()
 }
 

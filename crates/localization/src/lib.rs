@@ -45,5 +45,5 @@
 mod mcl;
 mod world;
 
-pub use mcl::{MclConfig, MonteCarloLocalizer, Particle};
+pub use mcl::{MclConfig, MclError, MonteCarloLocalizer, Particle};
 pub use world::{Measurement, Odometry, Pose, Trajectory, TrajectoryStep, World, WorldConfig};

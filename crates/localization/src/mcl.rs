@@ -1,9 +1,34 @@
 //! The Monte Carlo Localization particle filter.
 
-use crate::world::{gauss, normalize_angle, Measurement, Odometry, Pose, World};
+use crate::world::{gauss, normalize_angle, Measurement, Odometry, Pose, Trajectory, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sdvbs_profile::Profiler;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the fallible localization entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MclError {
+    /// An odometry or range/bearing measurement is NaN or infinite.
+    NonFiniteMeasurement,
+    /// The trajectory has no steps to filter over.
+    EmptyTrajectory,
+}
+
+impl fmt::Display for MclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MclError::NonFiniteMeasurement => {
+                write!(f, "odometry or measurement contains non-finite values")
+            }
+            MclError::EmptyTrajectory => write!(f, "trajectory has no steps"),
+        }
+    }
+}
+
+impl Error for MclError {}
 
 /// One hypothesis about the robot pose.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,6 +169,67 @@ impl MonteCarloLocalizer {
     /// (`ParticleFilter` kernel) and low-variance resampling (`Sampling`
     /// kernel).
     pub fn step(
+        &mut self,
+        odometry: &Odometry,
+        measurements: &[Measurement],
+        world: &World,
+        prof: &mut Profiler,
+    ) {
+        match self.try_step(odometry, measurements, world, prof) {
+            Ok(()) => {}
+            Err(e) => panic!("step: {e}"),
+        }
+    }
+
+    /// Runs one filter step, rejecting non-finite sensor data with a typed
+    /// error instead of silently corrupting every particle weight.
+    ///
+    /// # Errors
+    ///
+    /// [`MclError::NonFiniteMeasurement`] if the odometry or any range /
+    /// bearing reading is NaN or infinite.
+    pub fn try_step(
+        &mut self,
+        odometry: &Odometry,
+        measurements: &[Measurement],
+        world: &World,
+        prof: &mut Profiler,
+    ) -> Result<(), MclError> {
+        let odo_finite =
+            odometry.rot1.is_finite() && odometry.trans.is_finite() && odometry.rot2.is_finite();
+        let meas_finite = measurements
+            .iter()
+            .all(|m| m.range.is_finite() && m.bearing.is_finite());
+        if !odo_finite || !meas_finite {
+            return Err(MclError::NonFiniteMeasurement);
+        }
+        self.step_unchecked(odometry, measurements, world, prof);
+        Ok(())
+    }
+
+    /// Runs the filter over a whole trajectory, validating every step.
+    ///
+    /// # Errors
+    ///
+    /// [`MclError::EmptyTrajectory`] for a zero-step trajectory;
+    /// [`MclError::NonFiniteMeasurement`] propagated from [`Self::try_step`].
+    pub fn try_run_trajectory(
+        &mut self,
+        traj: &Trajectory,
+        world: &World,
+        prof: &mut Profiler,
+    ) -> Result<(), MclError> {
+        if traj.steps.is_empty() {
+            return Err(MclError::EmptyTrajectory);
+        }
+        for step in &traj.steps {
+            self.try_step(&step.odometry, &step.measurements, world, prof)?;
+        }
+        Ok(())
+    }
+
+    /// The validated filter step.
+    fn step_unchecked(
         &mut self,
         odometry: &Odometry,
         measurements: &[Measurement],

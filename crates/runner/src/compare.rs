@@ -28,6 +28,10 @@ pub struct CompareConfig {
     /// Cells where both mins are below this many milliseconds are exempt
     /// from the timing check.
     pub min_runtime_ms: f64,
+    /// Escape hatch: when true, baseline cells that are missing from the
+    /// candidate or quarantined in it are counted and reported but do not
+    /// fail the gate (for intentionally narrowed or chaos-mode runs).
+    pub allow_missing: bool,
 }
 
 impl Default for CompareConfig {
@@ -35,6 +39,7 @@ impl Default for CompareConfig {
         CompareConfig {
             regression_limit_pct: 40.0,
             min_runtime_ms: 5.0,
+            allow_missing: false,
         }
     }
 }
@@ -58,6 +63,13 @@ pub enum RegressionKind {
     },
     /// The baseline cell has no candidate record at all.
     Missing,
+    /// The candidate record exists but was quarantined (failed every retry
+    /// attempt) — reported distinctly so a chaos-run casualty is named as
+    /// such, not misread as a timing regression.
+    Quarantined {
+        /// Attempts the candidate made before quarantine.
+        attempts: u32,
+    },
 }
 
 /// One flagged cell.
@@ -90,6 +102,12 @@ impl Regression {
                     self.key
                 )
             }
+            RegressionKind::Quarantined { attempts } => {
+                format!(
+                    "MISSING {}: quarantined after {attempts} attempt(s)",
+                    self.key
+                )
+            }
         }
     }
 }
@@ -106,6 +124,9 @@ pub struct CompareReport {
     /// Candidate cells with no baseline counterpart (informational; new
     /// benchmarks are not regressions).
     pub added: usize,
+    /// Missing or quarantined cells waved through by
+    /// [`CompareConfig::allow_missing`].
+    pub missing_allowed: usize,
 }
 
 impl CompareReport {
@@ -129,14 +150,35 @@ pub fn compare(
     let mut regressions = Vec::new();
     let mut passed = 0usize;
     let mut below_floor = 0usize;
+    let mut missing_allowed = 0usize;
     for (key, b) in &base {
         let Some(c) = cand.get(key) else {
-            regressions.push(Regression {
-                key: key.clone(),
-                kind: RegressionKind::Missing,
-            });
+            if cfg.allow_missing {
+                missing_allowed += 1;
+            } else {
+                regressions.push(Regression {
+                    key: key.clone(),
+                    kind: RegressionKind::Missing,
+                });
+            }
             continue;
         };
+        // Quarantine takes precedence over StatusBroke: a cell the runner
+        // gave up on after retries is a chaos casualty with its own name,
+        // not a plain status break.
+        if c.quarantined {
+            if cfg.allow_missing {
+                missing_allowed += 1;
+            } else {
+                regressions.push(Regression {
+                    key: key.clone(),
+                    kind: RegressionKind::Quarantined {
+                        attempts: c.attempts,
+                    },
+                });
+            }
+            continue;
+        }
         if b.status == RunStatus::Completed && c.status != RunStatus::Completed {
             regressions.push(Regression {
                 key: key.clone(),
@@ -176,6 +218,7 @@ pub fn compare(
         passed,
         below_floor,
         added,
+        missing_allowed,
     }
 }
 
@@ -226,6 +269,9 @@ mod tests {
                 cpu: "t".into(),
                 logical_cpus: 1,
             },
+            attempts: 1,
+            injected: Vec::new(),
+            quarantined: false,
         }
     }
 
@@ -233,6 +279,7 @@ mod tests {
         CompareConfig {
             regression_limit_pct: limit,
             min_runtime_ms: floor,
+            allow_missing: false,
         }
     }
 
@@ -318,6 +365,40 @@ mod tests {
         let report = compare(&base, &cand, &cfg(40.0, 5.0));
         assert!(report.is_ok());
         assert_eq!(report.added, 1);
+    }
+
+    #[test]
+    fn quarantined_candidate_is_named_not_misread_as_regression() {
+        let base = vec![record("SVM", 100.0)];
+        let mut cand = base.clone();
+        cand[0].status = RunStatus::Panicked;
+        cand[0].quarantined = true;
+        cand[0].attempts = 3;
+        let report = compare(&base, &cand, &cfg(40.0, 5.0));
+        match &report.regressions[..] {
+            [reg] => {
+                assert_eq!(reg.kind, RegressionKind::Quarantined { attempts: 3 });
+                assert!(
+                    reg.describe().contains("quarantined"),
+                    "got {}",
+                    reg.describe()
+                );
+            }
+            other => panic!("expected one Quarantined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_missing_waves_through_missing_and_quarantined() {
+        let base = vec![record("SVM", 100.0), record("SIFT", 50.0)];
+        let mut cand = vec![record("SVM", 100.0)]; // SIFT missing
+        cand[0].status = RunStatus::Failed;
+        cand[0].quarantined = true;
+        let mut config = cfg(40.0, 5.0);
+        config.allow_missing = true;
+        let report = compare(&base, &cand, &config);
+        assert!(report.is_ok());
+        assert_eq!(report.missing_allowed, 2);
     }
 
     #[test]

@@ -134,6 +134,9 @@ pub enum RunStatus {
     TimedOut,
     /// The job panicked; [`RunRecord::detail`] carries the message.
     Panicked,
+    /// The benchmark returned a typed error ([`sdvbs_core::SdvbsError`])
+    /// instead of completing; [`RunRecord::detail`] carries its message.
+    Failed,
 }
 
 impl RunStatus {
@@ -143,6 +146,7 @@ impl RunStatus {
             RunStatus::Completed => "completed",
             RunStatus::TimedOut => "timed_out",
             RunStatus::Panicked => "panicked",
+            RunStatus::Failed => "failed",
         }
     }
 
@@ -156,6 +160,7 @@ impl RunStatus {
             "completed" => Ok(RunStatus::Completed),
             "timed_out" => Ok(RunStatus::TimedOut),
             "panicked" => Ok(RunStatus::Panicked),
+            "failed" => Ok(RunStatus::Failed),
             other => Err(format!("unknown run status {other:?}")),
         }
     }
@@ -246,6 +251,17 @@ pub struct RunRecord {
     pub non_kernel_percent: f64,
     /// Host the record was measured on.
     pub host: HostMeta,
+    /// Execution attempts this record reflects (1 = no retry needed).
+    pub attempts: u32,
+    /// Faults the runner deliberately injected into this cell's attempts
+    /// (fault-kind names, one per injected attempt); empty outside chaos
+    /// runs.
+    pub injected: Vec<String>,
+    /// True when the cell kept failing after every retry and was
+    /// quarantined: the record's status is its final failure, and the
+    /// comparison gate reports the cell as `missing: quarantined` instead
+    /// of a spurious regression.
+    pub quarantined: bool,
 }
 
 impl RunRecord {
@@ -315,6 +331,17 @@ impl RunRecord {
                 Value::Num(self.non_kernel_percent),
             ),
             ("host".into(), host),
+            ("attempts".into(), Value::Num(f64::from(self.attempts))),
+            (
+                "injected".into(),
+                Value::Arr(
+                    self.injected
+                        .iter()
+                        .map(|f| Value::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+            ("quarantined".into(), Value::Bool(self.quarantined)),
         ])
         .to_string()
     }
@@ -403,6 +430,24 @@ impl RunRecord {
             detail: str_field("detail")?,
             kernels,
             non_kernel_percent: num_field("non_kernel_percent")?,
+            // Robustness fields postdate the first baselines; default to
+            // "one clean attempt" so committed records keep parsing.
+            attempts: v.get("attempts").and_then(Value::as_u64).unwrap_or(1) as u32,
+            injected: v
+                .get("injected")
+                .and_then(Value::as_array)
+                .map(|faults| {
+                    faults
+                        .iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            quarantined: v
+                .get("quarantined")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
             host: HostMeta {
                 os: host
                     .get("os")
@@ -457,6 +502,9 @@ mod tests {
                 cpu: "TestCPU".into(),
                 logical_cpus: 4,
             },
+            attempts: 2,
+            injected: vec!["nan".into()],
+            quarantined: false,
         }
     }
 
@@ -518,10 +566,34 @@ mod tests {
             RunStatus::Completed,
             RunStatus::TimedOut,
             RunStatus::Panicked,
+            RunStatus::Failed,
         ] {
             assert_eq!(RunStatus::parse(s.as_str()).unwrap(), s);
         }
         assert!(RunStatus::parse("exploded").is_err());
+    }
+
+    #[test]
+    fn pre_robustness_records_parse_with_defaults() {
+        // A record written before attempts/injected/quarantined existed
+        // (e.g. a committed baseline) must keep parsing.
+        let mut rec = sample_record();
+        let line = rec.to_json_line();
+        let legacy = line
+            .replace(",\"attempts\":2", "")
+            .replace(",\"injected\":[\"nan\"]", "")
+            .replace(",\"quarantined\":false", "");
+        assert_ne!(legacy, line, "fields should have been present to strip");
+        let parsed = RunRecord::from_json_line(&legacy).unwrap();
+        assert_eq!(parsed.attempts, 1);
+        assert!(parsed.injected.is_empty());
+        assert!(!parsed.quarantined);
+        // And the new fields roundtrip when present.
+        rec.quarantined = true;
+        let again = RunRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(again.attempts, 2);
+        assert_eq!(again.injected, vec!["nan".to_string()]);
+        assert!(again.quarantined);
     }
 
     #[test]

@@ -84,7 +84,9 @@ impl Value {
     }
 
     /// Parses one JSON document from `input` (trailing whitespace allowed,
-    /// trailing content is an error).
+    /// trailing content is an error). Nesting deeper than [`MAX_DEPTH`]
+    /// is rejected so adversarial input (e.g. `[[[[...`) cannot overflow
+    /// the parser's recursion stack.
     ///
     /// # Errors
     ///
@@ -93,7 +95,7 @@ impl Value {
         let bytes = input.as_bytes();
         let mut pos = 0;
         skip_ws(bytes, &mut pos);
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(ParseError {
@@ -102,6 +104,74 @@ impl Value {
             });
         }
         Ok(value)
+    }
+
+    /// Serializes like `Display`, but returns a typed error instead of
+    /// silently writing `null` when the tree contains a non-finite number.
+    /// Use this when emitting records that must round-trip losslessly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmitError::NonFinite`] naming the first offending key
+    /// path.
+    pub fn to_string_checked(&self) -> Result<String, EmitError> {
+        check_finite(self, &mut Vec::new())?;
+        Ok(self.to_string())
+    }
+}
+
+/// Maximum container nesting [`Value::parse`] accepts.
+pub const MAX_DEPTH: usize = 64;
+
+/// Why a checked serialization was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitError {
+    /// A number in the tree is NaN or infinite; JSON cannot represent it.
+    NonFinite {
+        /// Dotted key/index path to the offending number (e.g.
+        /// `"kernels.2.self_ms"`), or empty for a bare number.
+        path: String,
+    },
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmitError::NonFinite { path } => {
+                write!(
+                    f,
+                    "non-finite number at {:?} cannot be emitted as JSON",
+                    path
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+fn check_finite(value: &Value, path: &mut Vec<String>) -> Result<(), EmitError> {
+    match value {
+        Value::Num(n) if !n.is_finite() => Err(EmitError::NonFinite {
+            path: path.join("."),
+        }),
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                path.push(i.to_string());
+                check_finite(item, path)?;
+                path.pop();
+            }
+            Ok(())
+        }
+        Value::Obj(pairs) => {
+            for (k, v) in pairs {
+                path.push(k.clone());
+                check_finite(v, path)?;
+                path.pop();
+            }
+            Ok(())
+        }
+        _ => Ok(()),
     }
 }
 
@@ -184,10 +254,16 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, ParseError> {
+    if depth > MAX_DEPTH {
+        return Err(ParseError {
+            at: *pos,
+            what: "nesting too deep",
+        });
+    }
     match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => parse_string(bytes, pos).map(Value::Str),
         Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
@@ -328,7 +404,7 @@ fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, ParseError> {
     })
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, ParseError> {
     debug_assert_eq!(bytes.get(*pos), Some(&b'['));
     *pos += 1;
     let mut items = Vec::new();
@@ -339,7 +415,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
     }
     loop {
         skip_ws(bytes, pos);
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -357,7 +433,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, ParseError> {
     debug_assert_eq!(bytes.get(*pos), Some(&b'{'));
     *pos += 1;
     let mut pairs = Vec::new();
@@ -384,7 +460,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
         }
         *pos += 1;
         skip_ws(bytes, pos);
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         pairs.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -485,5 +561,37 @@ mod tests {
         assert!(Value::parse("[1,]").is_err());
         assert!(Value::parse("12 34").is_err());
         assert!(Value::parse("").is_err());
+    }
+
+    #[test]
+    fn absurd_nesting_is_rejected_not_a_stack_overflow() {
+        // Within the cap parses fine...
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Value::parse(&ok).is_ok());
+        // ...one past it (and far past it) is a typed error.
+        for depth in [MAX_DEPTH + 1, 100_000] {
+            let deep = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+            match Value::parse(&deep) {
+                Err(e) => assert_eq!(e.what, "nesting too deep"),
+                Ok(_) => panic!("depth {depth} should be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn checked_emission_rejects_non_finite_numbers() {
+        let bad = Value::Obj(vec![(
+            "kernels".into(),
+            Value::Arr(vec![Value::Obj(vec![(
+                "self_ms".into(),
+                Value::Num(f64::NAN),
+            )])]),
+        )]);
+        match bad.to_string_checked() {
+            Err(EmitError::NonFinite { path }) => assert_eq!(path, "kernels.0.self_ms"),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        let good = Value::Obj(vec![("x".into(), Value::Num(1.5))]);
+        assert_eq!(good.to_string_checked().unwrap(), good.to_string());
     }
 }

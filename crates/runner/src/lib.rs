@@ -13,7 +13,10 @@
 //!   scores, and host metadata;
 //! * [`compare`] — the perf-regression gate that diffs a candidate run
 //!   against a committed baseline with a slowdown limit and a min-runtime
-//!   noise floor.
+//!   noise floor;
+//! * [`fault`] — deterministic, seeded fault injection (worker panics,
+//!   watchdog stalls, NaN-poisoned inputs, torn store writes) feeding the
+//!   retry/quarantine machinery in [`run`].
 //!
 //! The `sdvbs-runner` binary exposes it all as `list`, `run`, `sweep`,
 //! and `compare` subcommands; the `sdvbs-bench` figure regenerators reuse
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod fault;
 pub mod job;
 pub mod jsonl;
 pub mod pool;
@@ -31,11 +35,12 @@ pub mod run;
 pub mod store;
 
 pub use compare::{compare, CompareConfig, CompareReport, Regression, RegressionKind};
+pub use fault::{FaultKind, FaultPlan};
 pub use job::{
     parse_policy, parse_size, policy_label, size_label, HostMeta, Job, KernelStatRecord, RunRecord,
     RunStatus,
 };
 pub use pool::{run_pool, Completion, PoolConfig, PoolJob, PoolOutcome};
 pub use queue::{BoundedQueue, QueueError, TryPushError};
-pub use run::{run_jobs, RunnerConfig, RunnerError};
-pub use store::{append_records, read_records, write_records, StoreError};
+pub use run::{run_jobs, run_jobs_report, RunReport, RunnerConfig, RunnerError};
+pub use store::{append_records, read_records, recover_records, write_records, StoreError};

@@ -5,19 +5,23 @@
 //! sdvbs-runner run   [--bench NAME]... [--size S] [--policy P] [--seed N]
 //!                    [--iterations N] [--timeout-ms N] [--workers N]
 //!                    [--out FILE] [--append] [--smoke]
+//!                    [--inject SPEC] [--fault-seed N] [--max-retries N]
 //! sdvbs-runner sweep [--sizes S1,S2] [--policies P1,P2] [--seed N]
 //!                    [--iterations N] [--timeout-ms N] [--out FILE]
 //! sdvbs-runner compare --baseline FILE --candidate FILE
 //!                      [--regression-limit PCT] [--min-runtime-ms MS]
+//!                      [--allow-missing]
 //! ```
 //!
-//! Exit codes: 0 success, 1 regression gate failed, 2 usage or runtime
-//! error.
+//! Exit codes: 0 success, 1 regression gate or a job failed, 2 usage or
+//! runtime error, 3 run completed under fault injection (every injected
+//! fault was retried to success or quarantined — the chaos-smoke success
+//! code).
 
 use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
 use sdvbs_runner::{
-    compare, job::parse_policy, job::parse_size, read_records, run_jobs, write_records,
-    CompareConfig, Job, RunStatus, RunnerConfig,
+    compare, job::parse_policy, job::parse_size, read_records, run_jobs_report, write_records,
+    CompareConfig, FaultPlan, Job, RunStatus, RunnerConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -54,12 +58,16 @@ const USAGE: &str = "usage:
   sdvbs-runner run   [--bench NAME]... [--size S] [--policy P] [--seed N]
                      [--iterations N] [--timeout-ms N] [--workers N]
                      [--out FILE] [--append] [--smoke]
+                     [--inject SPEC] [--fault-seed N] [--max-retries N]
   sdvbs-runner sweep [--sizes S1,S2,..] [--policies P1,P2,..] [--seed N]
                      [--iterations N] [--timeout-ms N] [--out FILE]
   sdvbs-runner compare --baseline FILE --candidate FILE
                        [--regression-limit PCT] [--min-runtime-ms MS]
+                       [--allow-missing]
 
-sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto";
+sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto
+inject spec: kind:rate[,kind:rate..] over panic, timeout, nan, truncate
+             (e.g. panic:0.2,timeout:0.1,nan:0.1); seeded by --fault-seed";
 
 /// `list`: the registry, one benchmark per line.
 fn cmd_list(rest: &[String]) -> Result<ExitCode, String> {
@@ -87,6 +95,9 @@ struct ExecOpts {
     workers: usize,
     out: Option<PathBuf>,
     append: bool,
+    inject: Option<String>,
+    fault_seed: u64,
+    max_retries: u32,
 }
 
 impl ExecOpts {
@@ -98,6 +109,9 @@ impl ExecOpts {
             workers: 1,
             out: None,
             append: false,
+            inject: None,
+            fault_seed: 1,
+            max_retries: 2,
         }
     }
 
@@ -113,9 +127,20 @@ impl ExecOpts {
             "--workers" => self.workers = parse_num(next_value(flag, it)?)?,
             "--out" => self.out = Some(PathBuf::from(next_value(flag, it)?)),
             "--append" => self.append = true,
+            "--inject" => self.inject = Some(next_value(flag, it)?.clone()),
+            "--fault-seed" => self.fault_seed = parse_num(next_value(flag, it)?)?,
+            "--max-retries" => self.max_retries = parse_num(next_value(flag, it)?)?,
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// The parsed fault plan, if `--inject` was given.
+    fn fault_plan(&self) -> Result<Option<FaultPlan>, String> {
+        self.inject
+            .as_deref()
+            .map(|spec| FaultPlan::parse(spec, self.fault_seed))
+            .transpose()
     }
 }
 
@@ -217,15 +242,26 @@ fn cmd_sweep(rest: &[String]) -> Result<ExitCode, String> {
 
 /// Runs jobs, prints a per-record summary line, optionally persists.
 fn execute(jobs: Vec<Job>, opts: &ExecOpts) -> Result<ExitCode, String> {
+    let plan = opts.fault_plan()?;
+    let injecting = plan.is_some_and(|p| p.is_active());
+    let timeout = match (opts.timeout, plan) {
+        // An injected stall only surfaces if a watchdog is armed; default a
+        // modest deadline when the operator asked for timeout faults but
+        // gave no --timeout-ms.
+        (None, Some(p)) if p.timeout_rate > 0.0 => Some(Duration::from_millis(2_000)),
+        (explicit, _) => explicit,
+    };
     let cfg = RunnerConfig {
         workers: opts.workers,
         queue_capacity: jobs.len().max(1),
-        timeout: opts.timeout,
+        timeout,
+        max_retries: opts.max_retries,
+        fault_plan: plan,
     };
     eprintln!("running {} job(s)...", jobs.len());
-    let records = run_jobs(&jobs, &cfg).map_err(|e| e.to_string())?;
+    let report = run_jobs_report(&jobs, &cfg).map_err(|e| e.to_string())?;
     let mut failures = 0usize;
-    for rec in &records {
+    for rec in &report.records {
         match rec.status {
             RunStatus::Completed => println!(
                 "{:<22} {:<8} {:<10} min {:>9.3} ms  p50 {:>9.3} ms  ({} kernels)",
@@ -245,19 +281,92 @@ fn execute(jobs: Vec<Job>, opts: &ExecOpts) -> Result<ExitCode, String> {
             }
         }
     }
+    if injecting {
+        eprintln!(
+            "fault injection: {} fault(s) injected, {} cell(s) recovered via retry, {} quarantined",
+            report.injected_faults,
+            report.recovered,
+            report.quarantined.len()
+        );
+    }
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "quarantined {} cell(s) after {} attempt(s) each:",
+            report.quarantined.len(),
+            opts.max_retries + 1
+        );
+        for key in &report.quarantined {
+            eprintln!("  {key}");
+        }
+    }
     if let Some(path) = &opts.out {
         if opts.append {
-            sdvbs_runner::append_records(path, &records).map_err(|e| e.to_string())?;
+            heal_for_append(path)?;
+            sdvbs_runner::append_records(path, &report.records).map_err(|e| e.to_string())?;
         } else {
-            write_records(path, &records).map_err(|e| e.to_string())?;
+            write_records(path, &report.records).map_err(|e| e.to_string())?;
         }
-        eprintln!("wrote {} record(s) to {}", records.len(), path.display());
+        eprintln!(
+            "wrote {} record(s) to {}",
+            report.records.len(),
+            path.display()
+        );
+        if let Some(p) = plan {
+            if p.decide_truncate() {
+                truncate_store(path)?;
+            }
+        }
+    }
+    if injecting {
+        // The chaos-smoke success code: the run completed under injection,
+        // with every injected fault either retried to success or named in
+        // the quarantine report above.
+        return Ok(ExitCode::from(3));
     }
     if failures > 0 {
         eprintln!("{failures} job(s) did not complete");
         return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Before appending to an existing store, salvage it if its tail is torn
+/// (a crash mid-append, or the injected `truncate` fault). Appending after
+/// a torn record would otherwise bury the corruption mid-file and make
+/// the whole store permanently unreadable; recovering first keeps the
+/// healthy prefix and reports what was dropped.
+fn heal_for_append(path: &std::path::Path) -> Result<(), String> {
+    if !path.exists() || read_records(path).is_ok() {
+        return Ok(());
+    }
+    let (records, skipped) =
+        sdvbs_runner::recover_records(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    write_records(path, &records).map_err(|e| e.to_string())?;
+    eprintln!(
+        "warning: {}: dropped {} torn trailing record(s) before append",
+        path.display(),
+        skipped
+    );
+    Ok(())
+}
+
+/// Tears the tail off a just-written store file — the `truncate` fault.
+/// Recovery is exercised by `recover_records`, which skips the torn
+/// trailing record with a warning instead of refusing the whole file.
+fn truncate_store(path: &std::path::Path) -> Result<(), String> {
+    let meta = std::fs::metadata(path).map_err(|e| e.to_string())?;
+    let torn_len = meta.len().saturating_sub(24);
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| e.to_string())?;
+    file.set_len(torn_len).map_err(|e| e.to_string())?;
+    eprintln!(
+        "injected fault: truncated {} to {} byte(s) (torn trailing record)",
+        path.display(),
+        torn_len
+    );
+    Ok(())
 }
 
 /// `compare`: the regression gate.
@@ -274,6 +383,7 @@ fn cmd_compare(rest: &[String]) -> Result<ExitCode, String> {
                 cfg.regression_limit_pct = parse_num(next_value(arg, &mut it)?)?;
             }
             "--min-runtime-ms" => cfg.min_runtime_ms = parse_num(next_value(arg, &mut it)?)?,
+            "--allow-missing" => cfg.allow_missing = true,
             flag => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
         }
     }
@@ -285,12 +395,13 @@ fn cmd_compare(rest: &[String]) -> Result<ExitCode, String> {
         read_records(&candidate).map_err(|e| format!("reading {}: {e}", candidate.display()))?;
     let report = compare(&base, &cand, &cfg);
     println!(
-        "compared {} baseline cell(s): {} passed, {} below {:.1} ms floor, {} added, {} regressed (limit {:.1}%)",
-        report.passed + report.below_floor + report.regressions.len(),
+        "compared {} baseline cell(s): {} passed, {} below {:.1} ms floor, {} added, {} missing allowed, {} regressed (limit {:.1}%)",
+        report.passed + report.below_floor + report.missing_allowed + report.regressions.len(),
         report.passed,
         report.below_floor,
         cfg.min_runtime_ms,
         report.added,
+        report.missing_allowed,
         report.regressions.len(),
         cfg.regression_limit_pct
     );

@@ -127,7 +127,10 @@ pub fn run_pool<T: Send + 'static>(
             s.spawn(move || {
                 while let Some(job) = queue.pop() {
                     let outcome = execute(job, default_timeout);
-                    results.lock().expect("results lock poisoned").push(outcome);
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(outcome);
                 }
             });
         }
@@ -140,7 +143,9 @@ pub fn run_pool<T: Send + 'static>(
         }
         queue.close();
     });
-    let mut out = results.into_inner().expect("results lock poisoned");
+    let mut out = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     out.sort_by_key(|o| o.id);
     Ok(out)
 }

@@ -7,6 +7,12 @@
 //! further pushes are rejected, but consumers keep receiving the items
 //! already queued and only observe end-of-stream (`None`) once the queue
 //! is both closed and empty.
+//!
+//! Lock poisoning is survivable by design: the queue's invariants hold at
+//! every unlock point, so if some thread ever panics while holding the
+//! lock, the other side recovers the guard with
+//! [`std::sync::PoisonError::into_inner`] and keeps draining instead of
+//! cascading the panic through every worker.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -93,7 +99,11 @@ impl<T> BoundedQueue<T> {
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .items
+            .len()
     }
 
     /// Whether the queue currently holds no items.
@@ -110,7 +120,10 @@ impl<T> BoundedQueue<T> {
     /// waiting) closed; the item is dropped in that case, as with a closed
     /// channel.
     pub fn push(&self, item: T) -> Result<(), QueueError> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if state.closed {
                 return Err(QueueError::Closed);
@@ -120,7 +133,10 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.not_full.wait(state).expect("queue lock poisoned");
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -131,7 +147,10 @@ impl<T> BoundedQueue<T> {
     /// Returns the item back inside [`TryPushError::Full`] or
     /// [`TryPushError::Closed`].
     pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.closed {
             return Err(TryPushError::Closed(item));
         }
@@ -148,7 +167,10 @@ impl<T> BoundedQueue<T> {
     /// Returns `None` only when the queue is closed **and** drained — items
     /// queued before [`BoundedQueue::close`] are always delivered.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.not_full.notify_one();
@@ -157,14 +179,20 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: rejects future pushes, wakes every blocked
     /// producer and consumer, and lets consumers drain the backlog.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -172,7 +200,10 @@ impl<T> BoundedQueue<T> {
 
     /// Whether [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue lock poisoned").closed
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .closed
     }
 }
 

@@ -1,5 +1,5 @@
 //! The run engine: turns [`Job`]s into [`RunRecord`]s through the worker
-//! pool.
+//! pool, with retries, fault injection, and quarantine.
 //!
 //! Each job looks up its benchmark in the registry, runs a warmup call
 //! plus one untimed iteration, then the requested timed iterations,
@@ -7,11 +7,22 @@
 //! fastest one. `ExecPolicy::Auto` is resolved against
 //! `available_parallelism()` **once per run**, so every record of a sweep
 //! reports the same thread count even if CPU affinity changes mid-run.
+//!
+//! Failure handling: a job that panics, times out, or returns a typed
+//! benchmark error is retried up to [`RunnerConfig::max_retries`] times
+//! with decorrelated exponential backoff between rounds. A cell that still
+//! fails after its last retry is **quarantined** — its record keeps the
+//! final failure status, sets [`RunRecord::quarantined`], and is listed in
+//! the [`RunReport`] so the comparison gate can report it as
+//! `missing: quarantined` instead of a spurious regression. An armed
+//! [`FaultPlan`] injects deterministic worker panics, watchdog-deadline
+//! stalls, and NaN-poisoned inputs for chaos testing the whole path.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::job::{size_label, HostMeta, Job, KernelStatRecord, RunRecord, RunStatus};
 use crate::pool::{run_pool, Completion, PoolConfig, PoolJob};
 use crate::queue::QueueError;
-use sdvbs_core::{all_benchmarks, ExecPolicy};
+use sdvbs_core::{all_benchmarks, clear_poison, set_poison, ExecPolicy, PoisonSpec};
 use sdvbs_profile::Profiler;
 use std::time::Duration;
 
@@ -25,6 +36,11 @@ pub struct RunnerConfig {
     pub queue_capacity: usize,
     /// Per-job wall-clock deadline; `None` disables the watchdog.
     pub timeout: Option<Duration>,
+    /// How many times a failed cell (panic, timeout, or typed benchmark
+    /// error) is re-run before quarantine. 0 disables retries.
+    pub max_retries: u32,
+    /// Deterministic fault injection; `None` runs clean.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RunnerConfig {
@@ -33,6 +49,8 @@ impl Default for RunnerConfig {
             workers: 1,
             queue_capacity: 64,
             timeout: None,
+            max_retries: 2,
+            fault_plan: None,
         }
     }
 }
@@ -68,6 +86,22 @@ impl From<QueueError> for RunnerError {
     }
 }
 
+/// The structured result of a run: records plus the failure bookkeeping a
+/// chaos run needs for its end-of-run report.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// One record per job, in submission order, reflecting each cell's
+    /// final attempt.
+    pub records: Vec<RunRecord>,
+    /// Keys ([`RunRecord::key`]) of cells that failed every attempt and
+    /// were quarantined.
+    pub quarantined: Vec<String>,
+    /// Total faults the [`FaultPlan`] injected across all attempts.
+    pub injected_faults: usize,
+    /// Cells that failed at least once but completed on a retry.
+    pub recovered: usize,
+}
+
 /// What a job's worker thread hands back on success.
 struct JobMeasurement {
     times_ms: Vec<f64>,
@@ -77,19 +111,39 @@ struct JobMeasurement {
     detail: String,
 }
 
+/// Base delay for the decorrelated-exponential retry backoff.
+const RETRY_BASE: Duration = Duration::from_millis(10);
+/// Backoff ceiling; keeps worst-case chaos runs bounded.
+const RETRY_CAP: Duration = Duration::from_millis(250);
+
 /// Runs every job and returns one record per job, ordered by submission.
 ///
-/// Jobs that time out or panic still yield a record (with
-/// [`RunStatus::TimedOut`] / [`RunStatus::Panicked`] and empty timings) —
-/// a failed cell must appear in the result file so the comparison gate can
-/// see it.
+/// Convenience wrapper over [`run_jobs_report`] for callers that only need
+/// the records (e.g. the `sdvbs-bench` figure regenerators).
+///
+/// # Errors
+///
+/// See [`run_jobs_report`].
+pub fn run_jobs(jobs: &[Job], cfg: &RunnerConfig) -> Result<Vec<RunRecord>, RunnerError> {
+    Ok(run_jobs_report(jobs, cfg)?.records)
+}
+
+/// Runs every job with retry/quarantine handling and returns the full
+/// [`RunReport`].
+///
+/// Jobs that time out, panic, or return a typed benchmark error still
+/// yield a record (with [`RunStatus::TimedOut`] / [`RunStatus::Panicked`]
+/// / [`RunStatus::Failed`] and empty timings) — a failed cell must appear
+/// in the result file so the comparison gate can see it. Failed cells are
+/// retried up to [`RunnerConfig::max_retries`] times; persistent failures
+/// are quarantined, never a process abort.
 ///
 /// # Errors
 ///
 /// Returns [`RunnerError::UnknownBenchmark`] if any job names a benchmark
 /// not in the registry (checked upfront, before anything runs), or
 /// [`RunnerError::Queue`] for an invalid pool configuration.
-pub fn run_jobs(jobs: &[Job], cfg: &RunnerConfig) -> Result<Vec<RunRecord>, RunnerError> {
+pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, RunnerError> {
     let known: Vec<String> = all_benchmarks()
         .iter()
         .map(|b| b.info().name.to_string())
@@ -105,34 +159,79 @@ pub fn run_jobs(jobs: &[Job], cfg: &RunnerConfig) -> Result<Vec<RunRecord>, Runn
     // same concrete width and every record reports the same thread count.
     let auto_threads = ExecPolicy::Auto.worker_count();
     let host = HostMeta::collect();
-
-    let pool_jobs: Vec<PoolJob<JobMeasurement>> = jobs
-        .iter()
-        .enumerate()
-        .map(|(id, job)| {
-            let job = job.clone();
-            let resolved = job.policy.resolve_with(auto_threads);
-            let label = format!(
-                "{} {} {}",
-                job.benchmark,
-                size_label(job.size),
-                crate::job::policy_label(job.policy)
-            );
-            PoolJob::new(id as u64, label, move || measure(&job, resolved))
-        })
-        .collect();
-
     let pool_cfg = PoolConfig {
         workers: cfg.workers,
         queue_capacity: cfg.queue_capacity,
         timeout: cfg.timeout,
     };
-    let outcomes = run_pool(pool_jobs, &pool_cfg)?;
+    let plan = cfg.fault_plan;
 
-    let records = outcomes
-        .into_iter()
-        .zip(jobs.iter())
-        .map(|(outcome, job)| {
+    let mut records: Vec<Option<RunRecord>> = vec![None; jobs.len()];
+    let mut injected: Vec<Vec<String>> = vec![Vec::new(); jobs.len()];
+    let mut injected_faults = 0usize;
+    let mut recovered = 0usize;
+    // Indices of jobs still needing a (re)run.
+    let mut pending: Vec<usize> = (0..jobs.len()).collect();
+    let mut backoff = RETRY_BASE;
+
+    for attempt in 0..=cfg.max_retries {
+        if pending.is_empty() {
+            break;
+        }
+        if attempt > 0 {
+            // Decorrelated exponential backoff: sleep somewhere between the
+            // base and 3x the previous sleep, capped. One sleep per retry
+            // round — failed cells re-run together.
+            let jitter = plan.map_or(0.5, |p| p.jitter(attempt));
+            let span = (backoff.as_secs_f64() * 3.0 - RETRY_BASE.as_secs_f64()).max(0.0);
+            let next = RETRY_BASE.as_secs_f64() + jitter * span;
+            backoff = Duration::from_secs_f64(next).min(RETRY_CAP);
+            std::thread::sleep(backoff);
+        }
+        let pool_jobs: Vec<PoolJob<Result<JobMeasurement, String>>> = pending
+            .iter()
+            .map(|&idx| {
+                let job = jobs[idx].clone();
+                let resolved = job.policy.resolve_with(auto_threads);
+                let fault = plan.and_then(|p| p.decide(idx as u64, attempt));
+                let label = format!(
+                    "{} {} {}",
+                    job.benchmark,
+                    size_label(job.size),
+                    crate::job::policy_label(job.policy)
+                );
+                let stall = cfg
+                    .timeout
+                    .unwrap_or(Duration::from_millis(100))
+                    .saturating_add(Duration::from_millis(50));
+                PoolJob::new(idx as u64, label, move || {
+                    match fault {
+                        Some(FaultKind::Panic) => panic!("injected fault: panic"),
+                        Some(FaultKind::Timeout) => std::thread::sleep(stall),
+                        Some(FaultKind::Nan) => set_poison(PoisonSpec {
+                            stride: 1 << 10,
+                            seed: job.seed ^ idx as u64,
+                        }),
+                        Some(FaultKind::Truncate) | None => {}
+                    }
+                    let result = try_measure(&job, resolved);
+                    clear_poison();
+                    result
+                })
+            })
+            .collect();
+        for &idx in &pending {
+            if let Some(f) = plan.and_then(|p| p.decide(idx as u64, attempt)) {
+                injected[idx].push(f.as_str().to_string());
+                injected_faults += 1;
+            }
+        }
+
+        let outcomes = run_pool(pool_jobs, &pool_cfg)?;
+        let mut still_failing = Vec::new();
+        for outcome in outcomes {
+            let idx = outcome.id as usize;
+            let job = &jobs[idx];
             let resolved = job.policy.resolve_with(auto_threads);
             let threads = match resolved {
                 ExecPolicy::Serial => 1,
@@ -140,7 +239,7 @@ pub fn run_jobs(jobs: &[Job], cfg: &RunnerConfig) -> Result<Vec<RunRecord>, Runn
                 ExecPolicy::Auto => auto_threads,
             };
             let mut rec = RunRecord {
-                job_id: outcome.id,
+                job_id: idx as u64,
                 benchmark: job.benchmark.clone(),
                 size: size_label(job.size),
                 policy: crate::job::policy_label(job.policy),
@@ -159,19 +258,32 @@ pub fn run_jobs(jobs: &[Job], cfg: &RunnerConfig) -> Result<Vec<RunRecord>, Runn
                 kernels: Vec::new(),
                 non_kernel_percent: 0.0,
                 host: host.clone(),
+                attempts: attempt + 1,
+                injected: injected[idx].clone(),
+                quarantined: false,
             };
             match outcome.completion {
-                Completion::Done(m) => {
+                Completion::Done(Ok(m)) => {
                     let (min, p50, mean, max) = percentiles(&m.times_ms);
                     rec.times_ms = m.times_ms;
                     rec.min_ms = min;
                     rec.p50_ms = p50;
                     rec.mean_ms = mean;
                     rec.max_ms = max;
-                    rec.quality = m.quality;
+                    // JSON has no NaN/Inf and the checked emitter rejects
+                    // them; a benchmark reporting a non-finite quality is
+                    // recorded as "no quality metric".
+                    rec.quality = m.quality.filter(|q| q.is_finite());
                     rec.detail = m.detail;
                     rec.kernels = m.kernels;
                     rec.non_kernel_percent = m.non_kernel_percent;
+                    if attempt > 0 {
+                        recovered += 1;
+                    }
+                }
+                Completion::Done(Err(message)) => {
+                    rec.status = RunStatus::Failed;
+                    rec.detail = message;
                 }
                 Completion::TimedOut { limit } => {
                     rec.status = RunStatus::TimedOut;
@@ -182,16 +294,44 @@ pub fn run_jobs(jobs: &[Job], cfg: &RunnerConfig) -> Result<Vec<RunRecord>, Runn
                     rec.detail = message;
                 }
             }
-            rec
-        })
+            if rec.status != RunStatus::Completed {
+                still_failing.push(idx);
+            }
+            records[idx] = Some(rec);
+        }
+        still_failing.sort_unstable();
+        pending = still_failing;
+    }
+
+    // Whatever is still failing after the last round is quarantined.
+    let mut quarantined = Vec::new();
+    for &idx in &pending {
+        let rec = records[idx]
+            .as_mut()
+            .expect("every attempted job has a record");
+        rec.quarantined = true;
+        quarantined.push(rec.key());
+    }
+    let records = records
+        .into_iter()
+        .map(|r| r.expect("every job ran at least once"))
         .collect();
-    Ok(records)
+    Ok(RunReport {
+        records,
+        quarantined,
+        injected_faults,
+        recovered,
+    })
 }
 
 /// Executes one job's iterations on the current thread. Runs inside a pool
 /// worker (or a watchdog-supervised job thread), so it re-resolves the
 /// benchmark from the registry instead of capturing a trait object.
-fn measure(job: &Job, resolved: ExecPolicy) -> JobMeasurement {
+///
+/// A typed benchmark error (from [`sdvbs_core::Benchmark::try_run_with`])
+/// short-circuits the iterations and surfaces as an `Err` whose message
+/// becomes the [`RunStatus::Failed`] record's detail — never a panic.
+fn try_measure(job: &Job, resolved: ExecPolicy) -> Result<JobMeasurement, String> {
     let suite = all_benchmarks();
     let bench = suite
         .iter()
@@ -200,7 +340,9 @@ fn measure(job: &Job, resolved: ExecPolicy) -> JobMeasurement {
     bench.warmup();
     // Untimed warmup iteration: page faults, lazy allocations, LUTs.
     let mut warm = Profiler::new();
-    bench.run_with(job.size, job.seed, resolved, &mut warm);
+    bench
+        .try_run_with(job.size, job.seed, resolved, &mut warm)
+        .map_err(|e| e.to_string())?;
 
     let iterations = job.iterations.max(1);
     let mut times_ms = Vec::with_capacity(iterations);
@@ -208,7 +350,9 @@ fn measure(job: &Job, resolved: ExecPolicy) -> JobMeasurement {
     let mut last_outcome = None;
     for _ in 0..iterations {
         let mut prof = Profiler::new();
-        let outcome = bench.run_with(job.size, job.seed, resolved, &mut prof);
+        let outcome = bench
+            .try_run_with(job.size, job.seed, resolved, &mut prof)
+            .map_err(|e| e.to_string())?;
         let total_ms = prof.total().as_secs_f64() * 1e3;
         times_ms.push(total_ms);
         if best.as_ref().is_none_or(|(t, _)| total_ms < *t) {
@@ -229,22 +373,23 @@ fn measure(job: &Job, resolved: ExecPolicy) -> JobMeasurement {
         })
         .collect();
     let outcome = last_outcome.expect("at least one iteration");
-    JobMeasurement {
+    Ok(JobMeasurement {
         times_ms,
         kernels,
         non_kernel_percent: report.non_kernel_percent(),
         quality: outcome.quality,
         detail: outcome.detail,
-    }
+    })
 }
 
 /// (min, median, mean, max) of a non-empty sample, in input units.
+/// `total_cmp` keeps the sort panic-free even if a timing were NaN.
 fn percentiles(times: &[f64]) -> (f64, f64, f64, f64) {
     if times.is_empty() {
         return (0.0, 0.0, 0.0, 0.0);
     }
     let mut sorted = times.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let min = sorted[0];
     let max = sorted[sorted.len() - 1];
     let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
@@ -306,6 +451,9 @@ mod tests {
         assert_eq!(rec.size, "64x48");
         assert_eq!(rec.policy, "serial");
         assert_eq!(rec.threads, 1);
+        assert_eq!(rec.attempts, 1);
+        assert!(rec.injected.is_empty());
+        assert!(!rec.quarantined);
     }
 
     #[test]
@@ -318,5 +466,85 @@ mod tests {
         let recs = run_jobs(&jobs, &RunnerConfig::default()).unwrap();
         assert_eq!(recs[0].policy, "auto");
         assert!(recs[0].threads >= 1);
+    }
+
+    #[test]
+    fn injected_panics_retry_to_success() {
+        // A plan that always panics on the first attempt and never on
+        // later ones: every cell must recover via retry.
+        let size = InputSize::Custom {
+            width: 32,
+            height: 24,
+        };
+        let jobs = vec![Job::new("Disparity Map", size, ExecPolicy::Serial, 1, 1)];
+        // Find a seed whose draw faults job 0 attempt 0 but not attempt 1.
+        let seed = (0..5000u64)
+            .find(|&s| {
+                let p = FaultPlan::parse("panic:0.5", s).unwrap();
+                p.decide(0, 0).is_some() && p.decide(0, 1).is_none()
+            })
+            .expect("such a seed exists");
+        let cfg = RunnerConfig {
+            fault_plan: Some(FaultPlan::parse("panic:0.5", seed).unwrap()),
+            max_retries: 1,
+            ..RunnerConfig::default()
+        };
+        let report = run_jobs_report(&jobs, &cfg).unwrap();
+        let rec = &report.records[0];
+        assert_eq!(rec.status, RunStatus::Completed);
+        assert_eq!(rec.attempts, 2);
+        assert_eq!(rec.injected, vec!["panic".to_string()]);
+        assert!(!rec.quarantined);
+        assert_eq!(report.recovered, 1);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.injected_faults, 1);
+    }
+
+    #[test]
+    fn persistent_failures_are_quarantined_not_aborted() {
+        // Panic on every attempt: the cell must end quarantined with a
+        // Panicked record, and run_jobs_report must still return Ok.
+        let size = InputSize::Custom {
+            width: 32,
+            height: 24,
+        };
+        let jobs = vec![Job::new("Disparity Map", size, ExecPolicy::Serial, 1, 1)];
+        let cfg = RunnerConfig {
+            fault_plan: Some(FaultPlan::parse("panic:1.0", 3).unwrap()),
+            max_retries: 2,
+            ..RunnerConfig::default()
+        };
+        let report = run_jobs_report(&jobs, &cfg).unwrap();
+        let rec = &report.records[0];
+        assert_eq!(rec.status, RunStatus::Panicked);
+        assert!(rec.quarantined);
+        assert_eq!(rec.attempts, 3);
+        assert_eq!(report.quarantined, vec![rec.key()]);
+    }
+
+    #[test]
+    fn nan_injection_surfaces_as_typed_failure() {
+        // NaN poisoning on every attempt: the benchmark's finiteness
+        // validation rejects the input, so the record is Failed (typed
+        // error), never Panicked.
+        let size = InputSize::Custom {
+            width: 32,
+            height: 24,
+        };
+        let jobs = vec![Job::new("Disparity Map", size, ExecPolicy::Serial, 1, 1)];
+        let cfg = RunnerConfig {
+            fault_plan: Some(FaultPlan::parse("nan:1.0", 11).unwrap()),
+            max_retries: 0,
+            ..RunnerConfig::default()
+        };
+        let report = run_jobs_report(&jobs, &cfg).unwrap();
+        let rec = &report.records[0];
+        assert_eq!(rec.status, RunStatus::Failed, "detail: {}", rec.detail);
+        assert!(rec.quarantined);
+        assert!(
+            rec.detail.contains("non-finite"),
+            "detail should name the typed error: {}",
+            rec.detail
+        );
     }
 }

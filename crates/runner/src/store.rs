@@ -45,6 +45,12 @@ impl From<std::io::Error> for StoreError {
 /// Writes `records` to `path`, replacing any existing file. Parent
 /// directories are created as needed.
 ///
+/// The write is crash-safe: records go to a `<path>.tmp` sibling first and
+/// are moved into place with an atomic rename, so a crash mid-write leaves
+/// either the old file or the new one — never a torn final file. (The
+/// append path cannot have this property; [`recover_records`] handles a
+/// torn trailing record there.)
+///
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] on filesystem failure.
@@ -54,9 +60,17 @@ pub fn write_records(path: &Path, records: &[RunRecord]) -> Result<(), StoreErro
             fs::create_dir_all(parent)?;
         }
     }
-    let mut out = BufWriter::new(File::create(path)?);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut out = BufWriter::new(File::create(&tmp)?);
     write_to(&mut out, records)?;
     out.flush()?;
+    drop(out);
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(StoreError::Io(e));
+    }
     Ok(())
 }
 
@@ -112,6 +126,52 @@ pub fn read_records(path: &Path) -> Result<Vec<RunRecord>, StoreError> {
     Ok(records)
 }
 
+/// Reads a JSONL file that may end in a torn write (a crash mid-append):
+/// malformed records at the **tail** of the file are skipped instead of
+/// failing the read, and their count is returned alongside the parsed
+/// records so the caller can warn. Corruption in the middle of the file —
+/// a malformed line followed by a valid record — is still a hard error,
+/// because that is not what a torn append looks like.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure or
+/// [`StoreError::Parse`] for a malformed non-trailing record.
+pub fn recover_records(path: &Path) -> Result<(Vec<RunRecord>, usize), StoreError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    // Malformed lines are held here until we know whether anything valid
+    // follows them (middle corruption) or not (torn tail).
+    let mut torn: Option<StoreError> = None;
+    let mut skipped = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match RunRecord::from_json_line(trimmed) {
+            Ok(rec) => {
+                if let Some(err) = torn.take() {
+                    return Err(err); // malformed line mid-file: real corruption
+                }
+                skipped = 0;
+                records.push(rec);
+            }
+            Err(message) => {
+                if torn.is_none() {
+                    torn = Some(StoreError::Parse {
+                        line: idx + 1,
+                        message,
+                    });
+                }
+                skipped += 1;
+            }
+        }
+    }
+    Ok((records, skipped))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +202,9 @@ mod tests {
                 cpu: "t".into(),
                 logical_cpus: 1,
             },
+            attempts: 1,
+            injected: Vec::new(),
+            quarantined: false,
         }
     }
 
@@ -188,6 +251,52 @@ mod tests {
         let path = temp_path("badline");
         fs::write(&path, "# header\n{\"kind\":\"run\"\n").unwrap();
         match read_records(&path) {
+            Err(StoreError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writes_leave_no_tmp_sibling_behind() {
+        let path = temp_path("atomic");
+        write_records(&path, &[record(0, "SVM")]).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        // Overwriting an existing file goes through the same rename.
+        write_records(&path, &[record(1, "SIFT")]).unwrap();
+        assert_eq!(read_records(&path).unwrap()[0].benchmark, "SIFT");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_skips_a_torn_trailing_record() {
+        let path = temp_path("torn");
+        write_records(&path, &[record(0, "SVM"), record(1, "SIFT")]).unwrap();
+        // Simulate a crash mid-append: half a record, no newline.
+        let mut line = record(2, "Disparity Map").to_json_line();
+        line.truncate(line.len() / 2);
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        std::io::Write::write_all(&mut f, line.as_bytes()).unwrap();
+        drop(f);
+        assert!(read_records(&path).is_err(), "strict read must reject");
+        let (recs, skipped) = recover_records(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(skipped, 1);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_still_rejects_mid_file_corruption() {
+        let path = temp_path("midfile");
+        let body = format!(
+            "{}\nnot json at all\n{}\n",
+            record(0, "SVM").to_json_line(),
+            record(1, "SIFT").to_json_line()
+        );
+        fs::write(&path, body).unwrap();
+        match recover_records(&path) {
             Err(StoreError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }

@@ -75,6 +75,8 @@ fn deadline_overrun_yields_timed_out_record_and_run_continues() {
         workers: 1,
         queue_capacity: 4,
         timeout: Some(Duration::from_nanos(1)),
+        max_retries: 0,
+        fault_plan: None,
     };
     let records = run_jobs(&jobs, &cfg).unwrap();
     assert_eq!(records.len(), 2, "a timed-out job still yields a record");
@@ -100,6 +102,8 @@ fn mixed_run_with_generous_timeout_completes_everything() {
         workers: 1,
         queue_capacity: 4,
         timeout: Some(Duration::from_secs(300)),
+        max_retries: 0,
+        fault_plan: None,
     };
     let records = run_jobs(&jobs, &cfg).unwrap();
     for rec in &records {

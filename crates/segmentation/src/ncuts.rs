@@ -53,6 +53,10 @@ pub enum SegmentationError {
     InvalidConfig(String),
     /// The eigensolve failed (propagates the matrix error).
     Eigensolve(MatrixError),
+    /// The input image has zero pixels.
+    EmptyImage,
+    /// The input image contains NaN or infinite pixels.
+    NonFinitePixels,
 }
 
 impl fmt::Display for SegmentationError {
@@ -60,6 +64,10 @@ impl fmt::Display for SegmentationError {
         match self {
             SegmentationError::InvalidConfig(m) => write!(f, "invalid segmentation config: {m}"),
             SegmentationError::Eigensolve(e) => write!(f, "eigensolve failed: {e}"),
+            SegmentationError::EmptyImage => write!(f, "image has zero pixels"),
+            SegmentationError::NonFinitePixels => {
+                write!(f, "image contains non-finite pixels")
+            }
         }
     }
 }
@@ -144,6 +152,8 @@ impl Segmentation {
 ///
 /// * [`SegmentationError::InvalidConfig`] for a zero/oversized segment
 ///   count or zero bandwidths.
+/// * [`SegmentationError::EmptyImage`] / [`SegmentationError::NonFinitePixels`]
+///   for a zero-pixel or NaN-poisoned image.
 /// * [`SegmentationError::Eigensolve`] if Lanczos fails (e.g. a degenerate
 ///   affinity matrix).
 pub fn segment(
@@ -152,6 +162,12 @@ pub fn segment(
     prof: &mut Profiler,
 ) -> Result<Segmentation, SegmentationError> {
     let n = img.len();
+    if n == 0 {
+        return Err(SegmentationError::EmptyImage);
+    }
+    if !img.all_finite() {
+        return Err(SegmentationError::NonFinitePixels);
+    }
     if cfg.segments == 0 || cfg.segments > 64 {
         return Err(SegmentationError::InvalidConfig(format!(
             "segments must be in 1..=64, got {}",

@@ -29,6 +29,12 @@ pub fn segment_recursive(
     prof: &mut Profiler,
 ) -> Result<Segmentation, SegmentationError> {
     let n = img.len();
+    if n == 0 {
+        return Err(SegmentationError::EmptyImage);
+    }
+    if !img.all_finite() {
+        return Err(SegmentationError::NonFinitePixels);
+    }
     if cfg.segments == 0 || cfg.segments > 64 {
         return Err(SegmentationError::InvalidConfig(format!(
             "segments must be in 1..=64, got {}",

@@ -1,0 +1,50 @@
+//! Typed errors for the fallible SIFT entry point.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`crate::try_detect_and_describe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SiftError {
+    /// The input image is below the 32×32 structural minimum.
+    ImageTooSmall {
+        /// Minimum side the pipeline requires.
+        min: usize,
+        /// The smaller offending side.
+        side: usize,
+    },
+    /// The input image contains NaN or infinite pixels.
+    NonFinitePixels,
+    /// The SIFT configuration is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiftError::ImageTooSmall { min, side } => {
+                write!(f, "image side {side} below the {min}-pixel minimum")
+            }
+            SiftError::NonFinitePixels => write!(f, "image contains non-finite pixels"),
+            SiftError::InvalidConfig(msg) => write!(f, "invalid sift configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SiftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(SiftError::ImageTooSmall { min: 32, side: 8 }
+            .to_string()
+            .contains("32"));
+        assert!(SiftError::NonFinitePixels
+            .to_string()
+            .contains("non-finite"));
+    }
+}

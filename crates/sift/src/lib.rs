@@ -39,12 +39,14 @@
 
 mod descriptor;
 mod detect;
+mod error;
 mod matching;
 mod mser;
 mod scalespace;
 
 pub use descriptor::SiftFeature;
 pub use detect::Keypoint;
+pub use error::SiftError;
 pub use matching::{match_descriptors, DescriptorMatch};
 pub use mser::{detect_mser, MserConfig, MserPolarity, MserRegion};
 pub use scalespace::ScaleSpace;
@@ -95,17 +97,41 @@ impl SiftConfig {
     /// Panics if `intervals == 0`, `sigma0 <= 0`, thresholds are negative,
     /// or `max_octaves == 0`.
     pub fn assert_valid(&self) {
-        assert!(self.intervals > 0, "intervals must be positive");
-        assert!(self.sigma0 > 0.0, "sigma0 must be positive");
-        assert!(
-            self.contrast_threshold >= 0.0,
-            "contrast_threshold must be non-negative"
-        );
-        assert!(
-            self.edge_threshold >= 1.0,
-            "edge_threshold must be at least 1"
-        );
-        assert!(self.max_octaves > 0, "max_octaves must be positive");
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the configuration without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiftError::InvalidConfig`] naming the out-of-range field.
+    pub fn validate(&self) -> Result<(), SiftError> {
+        if self.intervals == 0 {
+            return Err(SiftError::InvalidConfig(
+                "intervals must be positive".into(),
+            ));
+        }
+        if self.sigma0.is_nan() || self.sigma0 <= 0.0 {
+            return Err(SiftError::InvalidConfig("sigma0 must be positive".into()));
+        }
+        if self.contrast_threshold.is_nan() || self.contrast_threshold < 0.0 {
+            return Err(SiftError::InvalidConfig(
+                "contrast_threshold must be non-negative".into(),
+            ));
+        }
+        if self.edge_threshold.is_nan() || self.edge_threshold < 1.0 {
+            return Err(SiftError::InvalidConfig(
+                "edge_threshold must be at least 1".into(),
+            ));
+        }
+        if self.max_octaves == 0 {
+            return Err(SiftError::InvalidConfig(
+                "max_octaves must be positive".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -119,13 +145,42 @@ impl SiftConfig {
 ///
 /// # Panics
 ///
-/// Panics if the image is smaller than 32×32 or `cfg` is invalid.
+/// Panics if the image is smaller than 32×32 or `cfg` is invalid. This is
+/// the thin panicking wrapper over [`try_detect_and_describe`] kept for
+/// call sites with pre-validated inputs.
 pub fn detect_and_describe(img: &Image, cfg: &SiftConfig, prof: &mut Profiler) -> Vec<SiftFeature> {
-    cfg.assert_valid();
-    assert!(
-        img.width() >= 32 && img.height() >= 32,
-        "sift requires at least 32x32 input"
-    );
+    match try_detect_and_describe(img, cfg, prof) {
+        Ok(feats) => feats,
+        Err(e) => panic!("detect_and_describe: {e}"),
+    }
+}
+
+/// Runs SIFT, rejecting degenerate inputs with a typed error instead of
+/// panicking.
+///
+/// # Errors
+///
+/// * [`SiftError::InvalidConfig`] for an out-of-range configuration;
+/// * [`SiftError::ImageTooSmall`] below the 32×32 structural minimum;
+/// * [`SiftError::NonFinitePixels`] for NaN/Inf pixels.
+pub fn try_detect_and_describe(
+    img: &Image,
+    cfg: &SiftConfig,
+    prof: &mut Profiler,
+) -> Result<Vec<SiftFeature>, SiftError> {
+    cfg.validate()?;
+    let side = img.width().min(img.height());
+    if side < 32 {
+        return Err(SiftError::ImageTooSmall { min: 32, side });
+    }
+    if !img.all_finite() {
+        return Err(SiftError::NonFinitePixels);
+    }
+    Ok(sift_pipeline(img, cfg, prof))
+}
+
+/// The validated SIFT hot path.
+fn sift_pipeline(img: &Image, cfg: &SiftConfig, prof: &mut Profiler) -> Vec<SiftFeature> {
     // Intensity normalization to 0..1 using integral-image statistics
     // (mean/range): the "IntegralImage" preprocessing share.
     let normalized = prof.kernel("IntegralImage", |_| {

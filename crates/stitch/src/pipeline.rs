@@ -59,6 +59,15 @@ pub enum StitchError {
     },
     /// RANSAC failed to find a consistent alignment.
     NoAlignment,
+    /// An input image is below the structural minimum side length.
+    DimensionTooSmall {
+        /// Minimum side the pipeline requires.
+        min: usize,
+        /// The smaller offending side.
+        side: usize,
+    },
+    /// An input image contains NaN or infinite pixels.
+    NonFinitePixels,
 }
 
 impl fmt::Display for StitchError {
@@ -71,6 +80,10 @@ impl fmt::Display for StitchError {
                 write!(f, "too few descriptor matches ({found})")
             }
             StitchError::NoAlignment => write!(f, "ransac found no consistent alignment"),
+            StitchError::DimensionTooSmall { min, side } => {
+                write!(f, "image side {side} below the {min}-pixel minimum")
+            }
+            StitchError::NonFinitePixels => write!(f, "images contain non-finite pixels"),
         }
     }
 }
@@ -106,12 +119,21 @@ pub struct StitchResult {
 ///   the images lack texture or overlap.
 /// * [`StitchError::NoAlignment`] when RANSAC cannot find a consistent
 ///   transform.
+/// * [`StitchError::DimensionTooSmall`] / [`StitchError::NonFinitePixels`]
+///   for degenerate inputs (below 16 pixels on a side, or NaN-poisoned).
 pub fn stitch(
     a: &Image,
     b: &Image,
     cfg: &StitchConfig,
     prof: &mut Profiler,
 ) -> Result<StitchResult, StitchError> {
+    let side = a.width().min(a.height()).min(b.width()).min(b.height());
+    if side < 16 {
+        return Err(StitchError::DimensionTooSmall { min: 16, side });
+    }
+    if !a.all_finite() || !b.all_finite() {
+        return Err(StitchError::NonFinitePixels);
+    }
     // Calibration filtering + corner responses.
     let (smooth_a, resp_a, smooth_b, resp_b) = prof.kernel("Convolution", |_| {
         let sa = gaussian_blur(a, cfg.sigma);

@@ -124,6 +124,11 @@ pub(crate) fn validate_inputs(x: &Matrix, y: &[f64], cfg: &SvmConfig) -> Result<
             cfg.c
         )));
     }
+    if !x.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(SvmError::InvalidInput(
+            "features contain non-finite values".into(),
+        ));
+    }
     Ok(n)
 }
 

@@ -100,6 +100,10 @@ pub enum TextureError {
         /// Required minimum side.
         required: usize,
     },
+    /// The swatch has zero pixels.
+    EmptySwatch,
+    /// The swatch contains NaN or infinite pixels.
+    NonFinitePixels,
 }
 
 impl fmt::Display for TextureError {
@@ -114,6 +118,10 @@ impl fmt::Display for TextureError {
                 f,
                 "swatch {width}x{height} smaller than required {required}x{required}"
             ),
+            TextureError::EmptySwatch => write!(f, "swatch has zero pixels"),
+            TextureError::NonFinitePixels => {
+                write!(f, "swatch contains non-finite pixels")
+            }
         }
     }
 }
@@ -149,6 +157,8 @@ fn causal_offsets(window: usize) -> Vec<(isize, isize)> {
 ///   PCA dimensions, zero stride, or negative tolerance.
 /// * [`TextureError::SampleTooSmall`] if the swatch cannot host a single
 ///   full neighborhood.
+/// * [`TextureError::EmptySwatch`] / [`TextureError::NonFinitePixels`] for
+///   a zero-pixel or NaN-poisoned swatch.
 pub fn synthesize(
     swatch: &Image,
     out_w: usize,
@@ -156,6 +166,12 @@ pub fn synthesize(
     cfg: &TextureConfig,
     prof: &mut Profiler,
 ) -> Result<Image, TextureError> {
+    if swatch.is_empty() {
+        return Err(TextureError::EmptySwatch);
+    }
+    if !swatch.all_finite() {
+        return Err(TextureError::NonFinitePixels);
+    }
     if cfg.window < 3 || cfg.window.is_multiple_of(2) {
         return Err(TextureError::InvalidConfig(format!(
             "window must be odd and >= 3, got {}",

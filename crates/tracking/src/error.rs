@@ -1,0 +1,65 @@
+//! Typed errors for the fallible tracking entries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`crate::try_extract_features`] / [`crate::try_track_pair`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrackingError {
+    /// The two frames differ in size.
+    DimensionMismatch {
+        /// First frame dimensions.
+        a: (usize, usize),
+        /// Second frame dimensions.
+        b: (usize, usize),
+    },
+    /// A frame has zero pixels.
+    Empty,
+    /// A frame is too small for the configured tracking window.
+    ImageTooSmall {
+        /// Minimum side the configuration requires.
+        min: usize,
+        /// The smaller offending side.
+        side: usize,
+    },
+    /// A pixel in either frame is NaN or infinite.
+    NonFinitePixels,
+    /// The tracking configuration is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TrackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrackingError::DimensionMismatch { a, b } => write!(
+                f,
+                "frames differ in size: {}x{} vs {}x{}",
+                a.0, a.1, b.0, b.1
+            ),
+            TrackingError::Empty => write!(f, "frame has zero pixels"),
+            TrackingError::ImageTooSmall { min, side } => {
+                write!(f, "frame side {side} below the {min}-pixel minimum")
+            }
+            TrackingError::NonFinitePixels => write!(f, "frames contain non-finite pixels"),
+            TrackingError::InvalidConfig(msg) => {
+                write!(f, "invalid tracking configuration: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for TrackingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(TrackingError::Empty.to_string().contains("zero pixels"));
+        assert!(TrackingError::NonFinitePixels
+            .to_string()
+            .contains("non-finite"));
+    }
+}

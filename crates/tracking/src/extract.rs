@@ -1,6 +1,7 @@
 //! Feature extraction: Shi–Tomasi "good features to track".
 
 use crate::config::TrackingConfig;
+use crate::error::TrackingError;
 use sdvbs_image::Image;
 use sdvbs_kernels::conv::gaussian_blur;
 use sdvbs_kernels::features::{local_maxima, spatial_suppression, Feature};
@@ -19,15 +20,49 @@ use sdvbs_profile::Profiler;
 ///
 /// # Panics
 ///
-/// Panics if `cfg` is invalid (use [`TrackingConfig::validate`] first for
-/// recoverable handling) or the image is smaller than the window.
+/// Panics if `cfg` is invalid or the image is smaller than the window.
+/// This is the thin panicking wrapper over [`try_extract_features`] kept
+/// for call sites with pre-validated inputs.
 pub fn extract_features(img: &Image, cfg: &TrackingConfig, prof: &mut Profiler) -> Vec<Feature> {
-    cfg.validate().expect("invalid tracking configuration");
+    match try_extract_features(img, cfg, prof) {
+        Ok(feats) => feats,
+        Err(e) => panic!("extract_features: {e}"),
+    }
+}
+
+/// Extracts features, rejecting degenerate inputs with a typed error.
+///
+/// # Errors
+///
+/// * [`TrackingError::InvalidConfig`] for an out-of-range configuration;
+/// * [`TrackingError::Empty`] / [`TrackingError::ImageTooSmall`] for
+///   images the window cannot fit in;
+/// * [`TrackingError::NonFinitePixels`] for NaN/Inf pixels.
+pub fn try_extract_features(
+    img: &Image,
+    cfg: &TrackingConfig,
+    prof: &mut Profiler,
+) -> Result<Vec<Feature>, TrackingError> {
+    cfg.validate()
+        .map_err(|e| TrackingError::InvalidConfig(e.to_string()))?;
+    if img.is_empty() {
+        return Err(TrackingError::Empty);
+    }
     let r = cfg.window_radius;
-    assert!(
-        img.width() > 4 * r + 4 && img.height() > 4 * r + 4,
-        "image too small for window radius {r}"
-    );
+    let min = 4 * r + 5;
+    let side = img.width().min(img.height());
+    if side < min {
+        return Err(TrackingError::ImageTooSmall { min, side });
+    }
+    if !img.all_finite() {
+        return Err(TrackingError::NonFinitePixels);
+    }
+    Ok(extract_pipeline(img, cfg, prof))
+}
+
+/// The validated Shi–Tomasi pipeline.
+fn extract_pipeline(img: &Image, cfg: &TrackingConfig, prof: &mut Profiler) -> Vec<Feature> {
+    let r = cfg.window_radius;
     let smooth = prof.kernel("GaussianFilter", |_| gaussian_blur(img, cfg.sigma));
     let (gx, gy) = prof.kernel("Gradient", |_| (gradient_x(&smooth), gradient_y(&smooth)));
     let w = img.width();

@@ -33,13 +33,15 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod extract;
 mod sequence;
 mod track;
 
 pub use config::{InvalidConfig, TrackingConfig};
-pub use extract::extract_features;
+pub use error::TrackingError;
+pub use extract::{extract_features, try_extract_features};
 pub use sequence::{Track, Tracker};
-pub use track::{track_features, track_pair, TrackedFeature};
+pub use track::{track_features, track_pair, try_track_features, try_track_pair, TrackedFeature};
 
 pub use sdvbs_kernels::features::Feature;

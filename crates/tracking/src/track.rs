@@ -1,7 +1,7 @@
 //! Pyramidal Lucas–Kanade feature tracking.
 
 use crate::config::TrackingConfig;
-use crate::extract::extract_features;
+use crate::error::TrackingError;
 use sdvbs_image::Image;
 use sdvbs_kernels::features::Feature;
 use sdvbs_kernels::gradient::{central_diff_x, central_diff_y};
@@ -38,7 +38,9 @@ impl TrackedFeature {
 ///
 /// # Panics
 ///
-/// Panics if the frames differ in size or `cfg` is invalid.
+/// Panics if the frames differ in size or `cfg` is invalid. This is the
+/// thin panicking wrapper over [`try_track_features`] kept for call sites
+/// with pre-validated inputs.
 pub fn track_features(
     a: &Image,
     b: &Image,
@@ -46,12 +48,57 @@ pub fn track_features(
     cfg: &TrackingConfig,
     prof: &mut Profiler,
 ) -> Vec<TrackedFeature> {
-    cfg.validate().expect("invalid tracking configuration");
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "frames must have identical dimensions"
-    );
+    match try_track_features(a, b, features, cfg, prof) {
+        Ok(tracks) => tracks,
+        Err(e) => panic!("track_features: {e}"),
+    }
+}
+
+/// Tracks `features` from `a` into `b`, rejecting degenerate inputs with a
+/// typed error instead of panicking.
+///
+/// An empty `features` slice is *not* an error: tracking zero features is
+/// a valid (empty) result, and the caller decides whether that is a
+/// quality failure.
+///
+/// # Errors
+///
+/// * [`TrackingError::InvalidConfig`] for an out-of-range configuration;
+/// * [`TrackingError::DimensionMismatch`] if the frames differ in size;
+/// * [`TrackingError::Empty`] for zero-pixel frames;
+/// * [`TrackingError::NonFinitePixels`] for NaN/Inf pixels.
+pub fn try_track_features(
+    a: &Image,
+    b: &Image,
+    features: &[Feature],
+    cfg: &TrackingConfig,
+    prof: &mut Profiler,
+) -> Result<Vec<TrackedFeature>, TrackingError> {
+    cfg.validate()
+        .map_err(|e| TrackingError::InvalidConfig(e.to_string()))?;
+    if (a.width(), a.height()) != (b.width(), b.height()) {
+        return Err(TrackingError::DimensionMismatch {
+            a: (a.width(), a.height()),
+            b: (b.width(), b.height()),
+        });
+    }
+    if a.is_empty() {
+        return Err(TrackingError::Empty);
+    }
+    if !a.all_finite() || !b.all_finite() {
+        return Err(TrackingError::NonFinitePixels);
+    }
+    Ok(track_pipeline(a, b, features, cfg, prof))
+}
+
+/// The validated pyramidal Lucas–Kanade hot path.
+fn track_pipeline(
+    a: &Image,
+    b: &Image,
+    features: &[Feature],
+    cfg: &TrackingConfig,
+    prof: &mut Profiler,
+) -> Vec<TrackedFeature> {
     // Pyramid construction is Gaussian filtering + decimation.
     let (pyr_a, pyr_b) = prof.kernel("GaussianFilter", |_| {
         (
@@ -160,15 +207,33 @@ pub fn track_features(
 ///
 /// # Panics
 ///
-/// Same conditions as [`extract_features`] and [`track_features`].
+/// Same conditions as [`crate::extract_features`] and [`track_features`]; thin
+/// panicking wrapper over [`try_track_pair`].
 pub fn track_pair(
     a: &Image,
     b: &Image,
     cfg: &TrackingConfig,
     prof: &mut Profiler,
 ) -> Vec<TrackedFeature> {
-    let feats = extract_features(a, cfg, prof);
-    track_features(a, b, &feats, cfg, prof)
+    match try_track_pair(a, b, cfg, prof) {
+        Ok(tracks) => tracks,
+        Err(e) => panic!("track_pair: {e}"),
+    }
+}
+
+/// The fallible two-frame pipeline: extract in `a`, track into `b`.
+///
+/// # Errors
+///
+/// Same conditions as [`try_extract_features`] and [`try_track_features`].
+pub fn try_track_pair(
+    a: &Image,
+    b: &Image,
+    cfg: &TrackingConfig,
+    prof: &mut Profiler,
+) -> Result<Vec<TrackedFeature>, TrackingError> {
+    let feats = crate::extract::try_extract_features(a, cfg, prof)?;
+    try_track_features(a, b, &feats, cfg, prof)
 }
 
 #[cfg(test)]
