@@ -39,7 +39,13 @@ fn main() {
     let records = run_suite(&jobs);
     for (bench, row) in suite.iter().zip(records.chunks(InputSize::NAMED.len())) {
         let info = bench.info();
-        println!("{} [{}]", info.name, info.characteristic);
+        // Name the occupancy denominator: percentages against wall-clock
+        // sum to ~100%, while summed-CPU occupancy (parallel runs, where
+        // kernel self-times add across worker threads) can exceed 100%.
+        println!(
+            "{} [{}] — occupancy vs {}",
+            info.name, info.characteristic, row[0].occupancy_mode
+        );
         // Row per kernel (first-seen order of the smallest size), plus
         // non-kernel work.
         let mut names: Vec<String> = row[0].kernels.iter().map(|k| k.name.clone()).collect();

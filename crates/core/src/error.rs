@@ -112,6 +112,12 @@ impl From<sdvbs_image::ImageError> for SdvbsError {
     }
 }
 
+impl From<sdvbs_profile::ProfileError> for SdvbsError {
+    fn from(e: sdvbs_profile::ProfileError) -> Self {
+        SdvbsError::Pipeline(e.to_string())
+    }
+}
+
 impl From<sdvbs_disparity::DisparityError> for SdvbsError {
     fn from(e: sdvbs_disparity::DisparityError) -> Self {
         use sdvbs_disparity::DisparityError;

@@ -293,15 +293,21 @@ fn disparity_pipeline(
     // private Profiler; results come back in ascending-range order, so the
     // cross-worker strict-`<` merge reproduces the serial tie-break
     // exactly, and absorbed profiles keep Figure 3 kernel attribution.
+    let coordinator: &Profiler = prof;
     let parts = map_chunks(cfg.exec, shifts, |range| {
-        let mut local = Profiler::new();
+        // Each chunk's profiler inherits tracing from the coordinator on
+        // its own trace track, so concurrent spans never share a timeline.
+        let mut local = coordinator.worker();
         let images = search(range, &mut local);
         (local, images)
     });
     let mut best_cost = Image::filled(w, h, f32::INFINITY);
     let mut best_disp = Image::new(w, h);
     for (local, (cost, disp)) in parts {
-        prof.absorb(local);
+        // Worker scopes are structurally closed (the closure returned), so
+        // the only absorb error — open scopes — is unreachable here.
+        prof.absorb(local)
+            .expect("worker profiler has no open scopes");
         prof.kernel("Sort", |_| {
             for i in 0..w * h {
                 let c = cost.as_slice()[i];

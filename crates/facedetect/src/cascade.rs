@@ -441,14 +441,19 @@ fn detect_pipeline(
         // Each worker scans a contiguous run of rows with a private
         // Profiler; concatenating results in chunk order reproduces the
         // serial scan order (and therefore identical merged detections).
+        let coordinator: &Profiler = prof;
         let parts = sdvbs_exec::map_chunks(cfg.exec, rows.len(), |r| {
-            let mut local = Profiler::new();
+            // Inherits the coordinator's tracing mode on a private track.
+            let mut local = coordinator.worker();
             let dets = local.kernel("ExtractFaces", |_| scan(&rows[r]));
             (local, dets)
         });
         let mut raw = Vec::new();
         for (local, dets) in parts {
-            prof.absorb(local);
+            // Worker scopes are structurally closed (the closure returned),
+            // so the only absorb error — open scopes — is unreachable.
+            prof.absorb(local)
+                .expect("worker profiler has no open scopes");
             raw.extend(dets);
         }
         raw

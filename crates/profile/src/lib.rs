@@ -32,5 +32,5 @@
 mod profiler;
 mod sysinfo;
 
-pub use profiler::{KernelStat, Profiler, Report};
+pub use profiler::{DenominatorMode, KernelStat, ProfileError, Profiler, Report};
 pub use sysinfo::SystemInfo;

@@ -264,6 +264,7 @@ mod tests {
             detail: "ok".into(),
             kernels: Vec::new(),
             non_kernel_percent: 100.0,
+            occupancy_mode: "wall-clock".into(),
             host: HostMeta {
                 os: "t".into(),
                 cpu: "t".into(),

@@ -249,6 +249,12 @@ pub struct RunRecord {
     pub kernels: Vec<KernelStatRecord>,
     /// Time share not attributed to any kernel ("NonKernelWork").
     pub non_kernel_percent: f64,
+    /// How to read the kernel percentages
+    /// ([`sdvbs_profile::DenominatorMode::label`]): `"wall-clock"` for
+    /// serial runs, `"summed-cpu"` when worker profilers were absorbed —
+    /// there the percentages are per-kernel core utilization and may
+    /// legitimately exceed 100% (never clamped).
+    pub occupancy_mode: String,
     /// Host the record was measured on.
     pub host: HostMeta,
     /// Execution attempts this record reflects (1 = no retry needed).
@@ -329,6 +335,10 @@ impl RunRecord {
             (
                 "non_kernel_percent".into(),
                 Value::Num(self.non_kernel_percent),
+            ),
+            (
+                "occupancy_mode".into(),
+                Value::Str(self.occupancy_mode.clone()),
             ),
             ("host".into(), host),
             ("attempts".into(), Value::Num(f64::from(self.attempts))),
@@ -430,6 +440,13 @@ impl RunRecord {
             detail: str_field("detail")?,
             kernels,
             non_kernel_percent: num_field("non_kernel_percent")?,
+            // Predates some baselines; records written before the
+            // denominator-mode fix were all wall-clock-labelled.
+            occupancy_mode: v
+                .get("occupancy_mode")
+                .and_then(Value::as_str)
+                .unwrap_or("wall-clock")
+                .to_string(),
             // Robustness fields postdate the first baselines; default to
             // "one clean attempt" so committed records keep parsing.
             attempts: v.get("attempts").and_then(Value::as_u64).unwrap_or(1) as u32,
@@ -497,6 +514,7 @@ mod tests {
                 percent: 40.0,
             }],
             non_kernel_percent: 4.5,
+            occupancy_mode: "summed-cpu".into(),
             host: HostMeta {
                 os: "TestOS".into(),
                 cpu: "TestCPU".into(),
@@ -575,19 +593,22 @@ mod tests {
 
     #[test]
     fn pre_robustness_records_parse_with_defaults() {
-        // A record written before attempts/injected/quarantined existed
-        // (e.g. a committed baseline) must keep parsing.
+        // A record written before attempts/injected/quarantined/
+        // occupancy_mode existed (e.g. a committed baseline) must keep
+        // parsing.
         let mut rec = sample_record();
         let line = rec.to_json_line();
         let legacy = line
             .replace(",\"attempts\":2", "")
             .replace(",\"injected\":[\"nan\"]", "")
-            .replace(",\"quarantined\":false", "");
+            .replace(",\"quarantined\":false", "")
+            .replace(",\"occupancy_mode\":\"summed-cpu\"", "");
         assert_ne!(legacy, line, "fields should have been present to strip");
         let parsed = RunRecord::from_json_line(&legacy).unwrap();
         assert_eq!(parsed.attempts, 1);
         assert!(parsed.injected.is_empty());
         assert!(!parsed.quarantined);
+        assert_eq!(parsed.occupancy_mode, "wall-clock");
         // And the new fields roundtrip when present.
         rec.quarantined = true;
         let again = RunRecord::from_json_line(&rec.to_json_line()).unwrap();

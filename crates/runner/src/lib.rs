@@ -28,11 +28,15 @@
 pub mod compare;
 pub mod fault;
 pub mod job;
-pub mod jsonl;
 pub mod pool;
 pub mod queue;
 pub mod run;
 pub mod store;
+
+// The hand-rolled JSON/JSONL module moved into `sdvbs-trace` (the trace
+// exporters need it below this crate in the dependency graph); re-exported
+// here so `sdvbs_runner::jsonl` paths keep working.
+pub use sdvbs_trace::jsonl;
 
 pub use compare::{compare, CompareConfig, CompareReport, Regression, RegressionKind};
 pub use fault::{FaultKind, FaultPlan};
@@ -43,4 +47,6 @@ pub use job::{
 pub use pool::{run_pool, Completion, PoolConfig, PoolJob, PoolOutcome};
 pub use queue::{BoundedQueue, QueueError, TryPushError};
 pub use run::{run_jobs, run_jobs_report, RunReport, RunnerConfig, RunnerError};
-pub use store::{append_records, read_records, recover_records, write_records, StoreError};
+pub use store::{
+    append_metrics, append_records, read_records, recover_records, write_records, StoreError,
+};

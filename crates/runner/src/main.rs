@@ -6,26 +6,37 @@
 //!                    [--iterations N] [--timeout-ms N] [--workers N]
 //!                    [--out FILE] [--append] [--smoke]
 //!                    [--inject SPEC] [--fault-seed N] [--max-retries N]
+//!                    [--trace FILE]
 //! sdvbs-runner sweep [--sizes S1,S2] [--policies P1,P2] [--seed N]
 //!                    [--iterations N] [--timeout-ms N] [--out FILE]
+//!                    [--trace FILE]
 //! sdvbs-runner compare --baseline FILE --candidate FILE
 //!                      [--regression-limit PCT] [--min-runtime-ms MS]
 //!                      [--allow-missing]
+//! sdvbs-runner trace summary --in FILE
+//! sdvbs-runner trace verify  --in FILE [--min-benchmarks N]
+//! sdvbs-runner trace convert --in FILE --out FILE
 //! ```
 //!
-//! Exit codes: 0 success, 1 regression gate or a job failed, 2 usage or
-//! runtime error, 3 run completed under fault injection (every injected
-//! fault was retried to success or quarantined — the chaos-smoke success
-//! code).
+//! `--trace FILE` records a span trace of the run: Chrome trace format
+//! (loadable in `chrome://tracing` / Perfetto) unless the file ends in
+//! `.jsonl`, which selects the compact JSONL event log. The `trace`
+//! subcommand validates, summarizes, and converts between the two.
+//!
+//! Exit codes: 0 success, 1 regression gate, a job, or trace verification
+//! failed, 2 usage or runtime error, 3 run completed under fault injection
+//! (every injected fault was retried to success or quarantined — the
+//! chaos-smoke success code).
 
 use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
 use sdvbs_runner::{
     compare, job::parse_policy, job::parse_size, read_records, run_jobs_report, write_records,
     CompareConfig, FaultPlan, Job, RunStatus, RunnerConfig,
 };
-use std::path::PathBuf;
+use sdvbs_trace::Trace;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +49,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
         "compare" => cmd_compare(rest),
+        "trace" => cmd_trace(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -59,15 +71,22 @@ const USAGE: &str = "usage:
                      [--iterations N] [--timeout-ms N] [--workers N]
                      [--out FILE] [--append] [--smoke]
                      [--inject SPEC] [--fault-seed N] [--max-retries N]
+                     [--trace FILE]
   sdvbs-runner sweep [--sizes S1,S2,..] [--policies P1,P2,..] [--seed N]
                      [--iterations N] [--timeout-ms N] [--out FILE]
+                     [--trace FILE]
   sdvbs-runner compare --baseline FILE --candidate FILE
                        [--regression-limit PCT] [--min-runtime-ms MS]
                        [--allow-missing]
+  sdvbs-runner trace summary --in FILE
+  sdvbs-runner trace verify  --in FILE [--min-benchmarks N]
+  sdvbs-runner trace convert --in FILE --out FILE
 
 sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto
 inject spec: kind:rate[,kind:rate..] over panic, timeout, nan, truncate
-             (e.g. panic:0.2,timeout:0.1,nan:0.1); seeded by --fault-seed";
+             (e.g. panic:0.2,timeout:0.1,nan:0.1); seeded by --fault-seed
+trace files: Chrome trace JSON, or the JSONL event log when the file name
+             ends in .jsonl (both formats round-trip via trace convert)";
 
 /// `list`: the registry, one benchmark per line.
 fn cmd_list(rest: &[String]) -> Result<ExitCode, String> {
@@ -98,6 +117,7 @@ struct ExecOpts {
     inject: Option<String>,
     fault_seed: u64,
     max_retries: u32,
+    trace_out: Option<PathBuf>,
 }
 
 impl ExecOpts {
@@ -112,6 +132,7 @@ impl ExecOpts {
             inject: None,
             fault_seed: 1,
             max_retries: 2,
+            trace_out: None,
         }
     }
 
@@ -130,6 +151,7 @@ impl ExecOpts {
             "--inject" => self.inject = Some(next_value(flag, it)?.clone()),
             "--fault-seed" => self.fault_seed = parse_num(next_value(flag, it)?)?,
             "--max-retries" => self.max_retries = parse_num(next_value(flag, it)?)?,
+            "--trace" => self.trace_out = Some(PathBuf::from(next_value(flag, it)?)),
             _ => return Ok(false),
         }
         Ok(true)
@@ -257,9 +279,10 @@ fn execute(jobs: Vec<Job>, opts: &ExecOpts) -> Result<ExitCode, String> {
         timeout,
         max_retries: opts.max_retries,
         fault_plan: plan,
+        trace: opts.trace_out.is_some(),
     };
     eprintln!("running {} job(s)...", jobs.len());
-    let report = run_jobs_report(&jobs, &cfg).map_err(|e| e.to_string())?;
+    let mut report = run_jobs_report(&jobs, &cfg).map_err(|e| e.to_string())?;
     let mut failures = 0usize;
     for rec in &report.records {
         match rec.status {
@@ -300,12 +323,20 @@ fn execute(jobs: Vec<Job>, opts: &ExecOpts) -> Result<ExitCode, String> {
         }
     }
     if let Some(path) = &opts.out {
+        let store_start = Instant::now();
         if opts.append {
             heal_for_append(path)?;
             sdvbs_runner::append_records(path, &report.records).map_err(|e| e.to_string())?;
         } else {
             write_records(path, &report.records).map_err(|e| e.to_string())?;
         }
+        report.metrics.observe(
+            "store_write_ms",
+            store_start.elapsed().as_secs_f64() * 1_000.0,
+        );
+        // The metrics line rides in the same store file, tagged with a
+        // distinct "kind" so record readers skip it.
+        sdvbs_runner::append_metrics(path, &report.metrics).map_err(|e| e.to_string())?;
         eprintln!(
             "wrote {} record(s) to {}",
             report.records.len(),
@@ -316,6 +347,19 @@ fn execute(jobs: Vec<Job>, opts: &ExecOpts) -> Result<ExitCode, String> {
                 truncate_store(path)?;
             }
         }
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Some(trace) = &report.trace {
+            write_trace(path, trace)?;
+            eprintln!(
+                "wrote trace ({} event(s)) to {}",
+                trace.events().len(),
+                path.display()
+            );
+        }
+    }
+    if !report.metrics.is_empty() {
+        eprintln!("{}", report.metrics);
     }
     if injecting {
         // The chaos-smoke success code: the run completed under injection,
@@ -414,5 +458,133 @@ fn cmd_compare(rest: &[String]) -> Result<ExitCode, String> {
     } else {
         println!("regression gate: FAIL");
         Ok(ExitCode::from(1))
+    }
+}
+
+/// Trace file format is chosen by extension: `.jsonl` is the compact
+/// event log, anything else is Chrome trace JSON.
+fn is_jsonl(path: &Path) -> bool {
+    path.extension().is_some_and(|ext| ext == "jsonl")
+}
+
+fn write_trace(path: &Path, trace: &Trace) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let text = if is_jsonl(path) {
+        trace.to_jsonl()
+    } else {
+        trace.to_chrome_json()
+    };
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn read_trace(path: &Path) -> Result<Trace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let parsed = if is_jsonl(path) {
+        Trace::from_jsonl(&text)
+    } else {
+        Trace::from_chrome_json(&text)
+    };
+    parsed.map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `trace`: summarize, verify, or convert a recorded trace file.
+fn cmd_trace(rest: &[String]) -> Result<ExitCode, String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err(format!("trace needs a subcommand\n{USAGE}"));
+    };
+    let mut input: Option<PathBuf> = None;
+    let mut output: Option<PathBuf> = None;
+    let mut min_benchmarks = 1usize;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--in" => input = Some(PathBuf::from(next_value(arg, &mut it)?)),
+            "--out" => output = Some(PathBuf::from(next_value(arg, &mut it)?)),
+            "--min-benchmarks" => min_benchmarks = parse_num(next_value(arg, &mut it)?)?,
+            flag => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
+        }
+    }
+    let input = input.ok_or("trace needs --in FILE")?;
+    let trace = read_trace(&input)?;
+    match sub.as_str() {
+        "summary" => {
+            let stats = trace.validate().map_err(|e| e.to_string())?;
+            println!(
+                "{}: {} event(s), {} track(s), {} span(s) ({} kernel), {} instant(s), {} counter(s), max depth {}",
+                input.display(),
+                trace.events().len(),
+                stats.tracks,
+                stats.spans,
+                stats.kernel_spans,
+                stats.instants,
+                stats.counters,
+                stats.max_depth
+            );
+            let per_job = trace.kernel_spans_per_job();
+            for (job, kernels) in &per_job {
+                println!("  {job:<40} {kernels} kernel span(s)");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            // The CI gate: structurally valid, and every job span carries
+            // at least one kernel span from the profiler side channel.
+            let stats = match trace.validate() {
+                Ok(stats) => stats,
+                Err(e) => {
+                    eprintln!("trace verify: FAIL: {e}");
+                    return Ok(ExitCode::from(1));
+                }
+            };
+            let per_job = trace.kernel_spans_per_job();
+            let empty: Vec<&String> = per_job
+                .iter()
+                .filter(|(_, &n)| n == 0)
+                .map(|(job, _)| job)
+                .collect();
+            if !empty.is_empty() {
+                eprintln!("trace verify: FAIL: job span(s) with no kernel spans: {empty:?}");
+                return Ok(ExitCode::from(1));
+            }
+            // Job spans are labelled "<benchmark> <size> <policy>";
+            // benchmark names themselves may contain spaces, so peel the
+            // two trailing tokens rather than taking the first word.
+            let benchmarks: std::collections::BTreeSet<&str> = per_job
+                .keys()
+                .map(|job| job.rsplitn(3, ' ').nth(2).unwrap_or(job))
+                .collect();
+            if benchmarks.len() < min_benchmarks {
+                eprintln!(
+                    "trace verify: FAIL: {} distinct benchmark(s) traced, need {}",
+                    benchmarks.len(),
+                    min_benchmarks
+                );
+                return Ok(ExitCode::from(1));
+            }
+            println!(
+                "trace verify: PASS ({} benchmark(s), {} job span(s), {} kernel span(s))",
+                benchmarks.len(),
+                per_job.len(),
+                stats.kernel_spans
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "convert" => {
+            let output = output.ok_or("trace convert needs --out FILE")?;
+            write_trace(&output, &trace)?;
+            println!(
+                "converted {} -> {} ({} event(s))",
+                input.display(),
+                output.display(),
+                trace.events().len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown trace subcommand {other:?}\n{USAGE}")),
     }
 }

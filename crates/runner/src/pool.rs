@@ -98,6 +98,16 @@ pub struct PoolOutcome<T> {
     pub id: u64,
     /// The job's label, echoed back.
     pub label: String,
+    /// Index of the pool worker that ran the job (`0..workers`); trace
+    /// assembly maps this to a per-worker track.
+    pub worker: usize,
+    /// Time the job sat in the queue between submission and a worker
+    /// picking it up.
+    pub queue_wait: Duration,
+    /// Microseconds since the process trace epoch when the worker started
+    /// the job ([`sdvbs_trace::now_us`]), for placing the job span on a
+    /// shared trace timeline.
+    pub start_us: u64,
     /// Wall-clock time the worker spent on the job (for a timeout this is
     /// ~the deadline, not the runaway job's eventual runtime).
     pub wall: Duration,
@@ -116,17 +126,20 @@ pub fn run_pool<T: Send + 'static>(
     jobs: Vec<PoolJob<T>>,
     cfg: &PoolConfig,
 ) -> Result<Vec<PoolOutcome<T>>, QueueError> {
-    let queue: BoundedQueue<PoolJob<T>> = BoundedQueue::new(cfg.queue_capacity)?;
+    // Jobs ride the queue with their submission instant so the popping
+    // worker can report how long they waited.
+    let queue: BoundedQueue<(Instant, PoolJob<T>)> = BoundedQueue::new(cfg.queue_capacity)?;
     let results: Mutex<Vec<PoolOutcome<T>>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let workers = cfg.workers.max(1);
     thread::scope(|s| {
         let queue = &queue;
         let results = &results;
         let default_timeout = cfg.timeout;
-        for _ in 0..workers {
+        for worker in 0..workers {
             s.spawn(move || {
-                while let Some(job) = queue.pop() {
-                    let outcome = execute(job, default_timeout);
+                while let Some((enqueued, job)) = queue.pop() {
+                    let queue_wait = enqueued.elapsed();
+                    let outcome = execute(job, worker, queue_wait, default_timeout);
                     results
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -137,7 +150,7 @@ pub fn run_pool<T: Send + 'static>(
         // Feed with backpressure; close once everything is queued so the
         // workers drain the backlog and exit (graceful shutdown).
         for job in jobs {
-            if queue.push(job).is_err() {
+            if queue.push((Instant::now(), job)).is_err() {
                 break; // closed concurrently: stop feeding, keep draining
             }
         }
@@ -153,9 +166,12 @@ pub fn run_pool<T: Send + 'static>(
 /// Runs one job, isolating panics and honoring its deadline.
 fn execute<T: Send + 'static>(
     job: PoolJob<T>,
+    worker: usize,
+    queue_wait: Duration,
     default_timeout: Option<Duration>,
 ) -> PoolOutcome<T> {
     let timeout = job.timeout.or(default_timeout);
+    let start_us = sdvbs_trace::now_us();
     let start = Instant::now();
     let completion = match timeout {
         // No deadline: run in the worker itself, one thread fewer.
@@ -170,6 +186,9 @@ fn execute<T: Send + 'static>(
     PoolOutcome {
         id: job.id,
         label: job.label,
+        worker,
+        queue_wait,
+        start_us,
         wall: start.elapsed(),
         completion,
     }

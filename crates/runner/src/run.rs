@@ -24,6 +24,8 @@ use crate::pool::{run_pool, Completion, PoolConfig, PoolJob};
 use crate::queue::QueueError;
 use sdvbs_core::{all_benchmarks, clear_poison, set_poison, ExecPolicy, PoisonSpec};
 use sdvbs_profile::Profiler;
+use sdvbs_trace::jsonl::Value;
+use sdvbs_trace::{nearest_rank, MetricsRegistry, Phase, Trace, TraceEvent, TrackId};
 use std::time::Duration;
 
 /// Configuration for one run of the engine.
@@ -41,6 +43,12 @@ pub struct RunnerConfig {
     pub max_retries: u32,
     /// Deterministic fault injection; `None` runs clean.
     pub fault_plan: Option<FaultPlan>,
+    /// Record a span trace of the run: per-worker job spans plus every
+    /// kernel scope the profilers time, assembled into
+    /// [`RunReport::trace`]. Off by default — tracing costs two `Vec`
+    /// pushes per scope, well under the <5% overhead budget, but a clean
+    /// timing run should not pay even that.
+    pub trace: bool,
 }
 
 impl Default for RunnerConfig {
@@ -51,6 +59,7 @@ impl Default for RunnerConfig {
             timeout: None,
             max_retries: 2,
             fault_plan: None,
+            trace: false,
         }
     }
 }
@@ -100,6 +109,17 @@ pub struct RunReport {
     pub injected_faults: usize,
     /// Cells that failed at least once but completed on a retry.
     pub recovered: usize,
+    /// Operational metrics for the whole run: queue-wait, job wall time,
+    /// watchdog margin, and attempt histograms plus outcome counters. The
+    /// store can serialize this alongside the records
+    /// ([`crate::store::append_metrics`]).
+    pub metrics: MetricsRegistry,
+    /// The assembled span trace, when [`RunnerConfig::trace`] was set:
+    /// one track per pool worker carrying its job spans (absorbed in
+    /// worker order), with each job's kernel spans remapped onto its
+    /// worker's track and parallel-kernel worker spans on their own
+    /// dynamic tracks.
+    pub trace: Option<Trace>,
 }
 
 /// What a job's worker thread hands back on success.
@@ -107,8 +127,15 @@ struct JobMeasurement {
     times_ms: Vec<f64>,
     kernels: Vec<KernelStatRecord>,
     non_kernel_percent: f64,
+    /// [`sdvbs_profile::DenominatorMode::label`] of the kernel breakdown.
+    occupancy_mode: &'static str,
     quality: Option<f64>,
     detail: String,
+    /// Trace events from the timed iterations (empty when not tracing).
+    trace_events: Vec<TraceEvent>,
+    /// The track the job's own (non-parallel) scopes were recorded on;
+    /// trace assembly remaps these onto the pool worker's track.
+    main_track: Option<TrackId>,
 }
 
 /// Base delay for the decorrelated-exponential retry backoff.
@@ -165,6 +192,30 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
         timeout: cfg.timeout,
     };
     let plan = cfg.fault_plan;
+    let tracing = cfg.trace;
+
+    let mut metrics = MetricsRegistry::new();
+    let mut trace_events: Option<Vec<TraceEvent>> = tracing.then(|| {
+        // Label the pool-worker tracks up front (tracks 0..workers are
+        // reserved below DYNAMIC_TRACK_BASE for exactly this).
+        (0..cfg.workers.max(1))
+            .map(|w| {
+                TraceEvent::new(
+                    format!("pool worker {w}"),
+                    "meta",
+                    Phase::Meta,
+                    0,
+                    w as TrackId,
+                )
+            })
+            .collect()
+    });
+
+    // Per-worker "trace clock": the end timestamp of the last job span
+    // emitted on each worker track. Successive job spans are clamped to
+    // start at or after it, so microsecond truncation can never make
+    // spans on one track overlap (which would fail validation).
+    let mut worker_clock: Vec<u64> = vec![0; cfg.workers.max(1)];
 
     let mut records: Vec<Option<RunRecord>> = vec![None; jobs.len()];
     let mut injected: Vec<Vec<String>> = vec![Vec::new(); jobs.len()];
@@ -194,12 +245,7 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
                 let job = jobs[idx].clone();
                 let resolved = job.policy.resolve_with(auto_threads);
                 let fault = plan.and_then(|p| p.decide(idx as u64, attempt));
-                let label = format!(
-                    "{} {} {}",
-                    job.benchmark,
-                    size_label(job.size),
-                    crate::job::policy_label(job.policy)
-                );
+                let label = rec_label(&job);
                 let stall = cfg
                     .timeout
                     .unwrap_or(Duration::from_millis(100))
@@ -214,7 +260,7 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
                         }),
                         Some(FaultKind::Truncate) | None => {}
                     }
-                    let result = try_measure(&job, resolved);
+                    let result = try_measure(&job, resolved, tracing);
                     clear_poison();
                     result
                 })
@@ -238,6 +284,8 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
                 ExecPolicy::Threads(n) => n.max(1),
                 ExecPolicy::Auto => auto_threads,
             };
+            metrics.observe("queue_wait_ms", outcome.queue_wait.as_secs_f64() * 1e3);
+            metrics.observe("job_wall_ms", outcome.wall.as_secs_f64() * 1e3);
             let mut rec = RunRecord {
                 job_id: idx as u64,
                 benchmark: job.benchmark.clone(),
@@ -257,11 +305,47 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
                 detail: String::new(),
                 kernels: Vec::new(),
                 non_kernel_percent: 0.0,
+                occupancy_mode: "wall-clock".to_string(),
                 host: host.clone(),
                 attempts: attempt + 1,
                 injected: injected[idx].clone(),
                 quarantined: false,
             };
+            // The job span on this worker's track: begins when the worker
+            // picked the job up, ends `wall` later. Kernel events recorded
+            // inside arrive via the measurement and slot in between. The
+            // +2 µs covers timestamp truncation so every inner event fits
+            // strictly inside [start_us, end_us]; outcomes are processed
+            // in id order, which per worker is execution order, so the
+            // worker-clock clamp keeps job spans on one track disjoint.
+            let worker_track = outcome.worker as TrackId;
+            let start_us = outcome.start_us.max(worker_clock[outcome.worker]);
+            let end_us = start_us + outcome.wall.as_micros() as u64 + 2;
+            worker_clock[outcome.worker] = end_us;
+            if let Some(events) = trace_events.as_mut() {
+                let mut begin =
+                    TraceEvent::new(rec_label(job), "job", Phase::Begin, start_us, worker_track);
+                begin.args = vec![
+                    ("attempt".to_string(), Value::Num(f64::from(attempt + 1))),
+                    ("seed".to_string(), Value::Num(job.seed as f64)),
+                    (
+                        "queue_wait_ms".to_string(),
+                        Value::Num(outcome.queue_wait.as_secs_f64() * 1e3),
+                    ),
+                ];
+                events.push(begin);
+                if let Some(f) = plan.and_then(|p| p.decide(idx as u64, attempt)) {
+                    let mut ev = TraceEvent::new(
+                        format!("inject:{}", f.as_str()),
+                        "fault",
+                        Phase::Instant,
+                        start_us,
+                        worker_track,
+                    );
+                    ev.args = vec![("attempt".to_string(), Value::Num(f64::from(attempt + 1)))];
+                    events.push(ev);
+                }
+            }
             match outcome.completion {
                 Completion::Done(Ok(m)) => {
                     let (min, p50, mean, max) = percentiles(&m.times_ms);
@@ -277,6 +361,28 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
                     rec.detail = m.detail;
                     rec.kernels = m.kernels;
                     rec.non_kernel_percent = m.non_kernel_percent;
+                    rec.occupancy_mode = m.occupancy_mode.to_string();
+                    if let Some(limit) = cfg.timeout {
+                        metrics.observe(
+                            "watchdog_margin_ms",
+                            (limit.saturating_sub(outcome.wall)).as_secs_f64() * 1e3,
+                        );
+                    }
+                    if let Some(events) = trace_events.as_mut() {
+                        // The job profiler's own scopes move onto this
+                        // worker's track, clamped inside the job span so
+                        // truncation jitter cannot break its nesting;
+                        // parallel-kernel worker spans keep their dynamic
+                        // tracks so concurrent spans never interleave on
+                        // one timeline.
+                        for mut ev in m.trace_events {
+                            if Some(ev.track) == m.main_track {
+                                ev.track = worker_track;
+                                ev.ts_us = ev.ts_us.clamp(start_us, end_us);
+                            }
+                            events.push(ev);
+                        }
+                    }
                     if attempt > 0 {
                         recovered += 1;
                     }
@@ -293,6 +399,26 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
                     rec.status = RunStatus::Panicked;
                     rec.detail = message;
                 }
+            }
+            if let Some(events) = trace_events.as_mut() {
+                if rec.status != RunStatus::Completed {
+                    let mut ev = TraceEvent::new(
+                        rec.status.as_str(),
+                        "failure",
+                        Phase::Instant,
+                        end_us,
+                        worker_track,
+                    );
+                    ev.args = vec![("detail".to_string(), Value::Str(rec.detail.clone()))];
+                    events.push(ev);
+                }
+                events.push(TraceEvent::new(
+                    rec_label(job),
+                    "end",
+                    Phase::End,
+                    end_us,
+                    worker_track,
+                ));
             }
             if rec.status != RunStatus::Completed {
                 still_failing.push(idx);
@@ -312,16 +438,43 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
         rec.quarantined = true;
         quarantined.push(rec.key());
     }
-    let records = records
+    let records: Vec<RunRecord> = records
         .into_iter()
         .map(|r| r.expect("every job ran at least once"))
         .collect();
+    for rec in &records {
+        metrics.observe("attempts", f64::from(rec.attempts));
+        if rec.status == RunStatus::Completed {
+            metrics.incr("jobs_completed", 1);
+        } else {
+            metrics.incr("jobs_failed", 1);
+        }
+        if rec.attempts > 1 {
+            metrics.incr("retries", u64::from(rec.attempts - 1));
+        }
+    }
+    metrics.incr("faults_injected", injected_faults as u64);
+    metrics.incr("jobs_recovered", recovered as u64);
+    metrics.incr("jobs_quarantined", quarantined.len() as u64);
     Ok(RunReport {
         records,
         quarantined,
         injected_faults,
         recovered,
+        metrics,
+        trace: trace_events.map(Trace::new),
     })
+}
+
+/// The label a job's record, pool entry, and trace span all share:
+/// `"<benchmark> <size> <policy>"`.
+fn rec_label(job: &Job) -> String {
+    format!(
+        "{} {} {}",
+        job.benchmark,
+        size_label(job.size),
+        crate::job::policy_label(job.policy)
+    )
 }
 
 /// Executes one job's iterations on the current thread. Runs inside a pool
@@ -331,14 +484,15 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
 /// A typed benchmark error (from [`sdvbs_core::Benchmark::try_run_with`])
 /// short-circuits the iterations and surfaces as an `Err` whose message
 /// becomes the [`RunStatus::Failed`] record's detail — never a panic.
-fn try_measure(job: &Job, resolved: ExecPolicy) -> Result<JobMeasurement, String> {
+fn try_measure(job: &Job, resolved: ExecPolicy, tracing: bool) -> Result<JobMeasurement, String> {
     let suite = all_benchmarks();
     let bench = suite
         .iter()
         .find(|b| b.info().name == job.benchmark)
         .expect("benchmark validated before submission");
     bench.warmup();
-    // Untimed warmup iteration: page faults, lazy allocations, LUTs.
+    // Untimed warmup iteration: page faults, lazy allocations, LUTs. Never
+    // traced — warmup spans would double-count every kernel.
     let mut warm = Profiler::new();
     bench
         .try_run_with(job.size, job.seed, resolved, &mut warm)
@@ -348,13 +502,29 @@ fn try_measure(job: &Job, resolved: ExecPolicy) -> Result<JobMeasurement, String
     let mut times_ms = Vec::with_capacity(iterations);
     let mut best: Option<(f64, sdvbs_profile::Report)> = None;
     let mut last_outcome = None;
+    // All timed iterations trace onto ONE job track so the job's scopes
+    // form a single timeline; each iteration still gets a fresh profiler
+    // so its report stays per-iteration.
+    let mut trace_events: Vec<TraceEvent> = Vec::new();
+    let mut main_track: Option<TrackId> = None;
     for _ in 0..iterations {
-        let mut prof = Profiler::new();
+        let mut prof = match (tracing, main_track) {
+            (false, _) => Profiler::new(),
+            (true, Some(track)) => Profiler::with_tracing_on(track),
+            (true, None) => {
+                let p = Profiler::with_tracing();
+                main_track = p.trace_track();
+                p
+            }
+        };
         let outcome = bench
             .try_run_with(job.size, job.seed, resolved, &mut prof)
             .map_err(|e| e.to_string())?;
         let total_ms = prof.total().as_secs_f64() * 1e3;
         times_ms.push(total_ms);
+        if let Some(rec) = prof.take_trace() {
+            trace_events.extend(rec.into_events());
+        }
         if best.as_ref().is_none_or(|(t, _)| total_ms < *t) {
             best = Some((total_ms, prof.report()));
         }
@@ -377,13 +547,23 @@ fn try_measure(job: &Job, resolved: ExecPolicy) -> Result<JobMeasurement, String
         times_ms,
         kernels,
         non_kernel_percent: report.non_kernel_percent(),
+        occupancy_mode: report.mode().label(),
         quality: outcome.quality,
         detail: outcome.detail,
+        trace_events,
+        main_track,
     })
 }
 
-/// (min, median, mean, max) of a non-empty sample, in input units.
-/// `total_cmp` keeps the sort panic-free even if a timing were NaN.
+/// (min, p50, mean, max) of a non-empty sample, in input units.
+///
+/// The median uses the **nearest-rank** convention shared with the metrics
+/// registry: rank `ceil(p/100 · n)`, 1-based — so every reported
+/// percentile is an observed timing, never an interpolated value. The
+/// small-n cases this pins down: `n = 1` reports the sole sample, `n = 2`
+/// reports the *lower* sample (rank `ceil(1.0) = 1`; the old midpoint
+/// average reported a timing that never happened). `total_cmp` keeps the
+/// sort panic-free even if a timing were NaN.
 fn percentiles(times: &[f64]) -> (f64, f64, f64, f64) {
     if times.is_empty() {
         return (0.0, 0.0, 0.0, 0.0);
@@ -393,12 +573,7 @@ fn percentiles(times: &[f64]) -> (f64, f64, f64, f64) {
     let min = sorted[0];
     let max = sorted[sorted.len() - 1];
     let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-    let mid = sorted.len() / 2;
-    let p50 = if sorted.len() % 2 == 1 {
-        sorted[mid]
-    } else {
-        (sorted[mid - 1] + sorted[mid]) / 2.0
-    };
+    let p50 = nearest_rank(&sorted, 50.0).expect("sample checked non-empty");
     (min, p50, mean, max)
 }
 
@@ -425,13 +600,33 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_handle_odd_even_and_empty() {
+    fn percentiles_use_nearest_rank_for_tiny_samples() {
         assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0, 0.0));
+        // n = 1: min = p50 = mean = max = the sole sample.
+        assert_eq!(percentiles(&[5.0]), (5.0, 5.0, 5.0, 5.0));
+        // n = 2: nearest-rank p50 is the LOWER sample (rank ceil(1.0) = 1)
+        // — the old midpoint average reported a timing that never
+        // happened, and for n = 1 vs n = 2 the reported median jumped
+        // discontinuously.
+        let (min, p50, mean, max) = percentiles(&[9.0, 1.0]);
+        assert_eq!((min, p50, max), (1.0, 1.0, 9.0));
+        assert!((mean - 5.0).abs() < 1e-12);
+        // n = 3: the middle sample.
         assert_eq!(percentiles(&[3.0, 1.0, 2.0]), (1.0, 2.0, 2.0, 3.0));
+        // n = 4: the 2nd sample (rank ceil(2.0) = 2), not the 2.5 average.
         let (min, p50, mean, max) = percentiles(&[4.0, 1.0, 2.0, 3.0]);
-        assert_eq!((min, max), (1.0, 4.0));
-        assert!((p50 - 2.5).abs() < 1e-12);
+        assert_eq!((min, p50, max), (1.0, 2.0, 4.0));
         assert!((mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_on_100_samples_hit_the_exact_rank() {
+        let times: Vec<f64> = (1..=100).rev().map(f64::from).collect();
+        let (min, p50, mean, max) = percentiles(&times);
+        assert_eq!((min, max), (1.0, 100.0));
+        // Rank ceil(0.5 * 100) = 50 → the 50th smallest sample.
+        assert_eq!(p50, 50.0);
+        assert!((mean - 50.5).abs() < 1e-12);
     }
 
     #[test]
@@ -520,6 +715,91 @@ mod tests {
         assert!(rec.quarantined);
         assert_eq!(rec.attempts, 3);
         assert_eq!(report.quarantined, vec![rec.key()]);
+    }
+
+    #[test]
+    fn traced_run_yields_a_valid_trace_with_kernel_spans() {
+        // The acceptance check in miniature: a traced multi-job run under
+        // multiple workers must emit a structurally valid trace (balanced
+        // B/E per track, sorted timestamps) in which every job span
+        // encloses at least one kernel span, and the trace must survive a
+        // Chrome-JSON round trip.
+        let size = InputSize::Custom {
+            width: 32,
+            height: 24,
+        };
+        let jobs = vec![
+            Job::new("Disparity Map", size, ExecPolicy::Serial, 1, 2),
+            Job::new("Image Stitch", size, ExecPolicy::Serial, 1, 1),
+        ];
+        let cfg = RunnerConfig {
+            workers: 2,
+            trace: true,
+            ..RunnerConfig::default()
+        };
+        let report = run_jobs_report(&jobs, &cfg).unwrap();
+        let trace = report.trace.expect("trace requested");
+        let stats = trace.validate().expect("trace is structurally valid");
+        assert!(stats.spans >= 2, "one span per job at least: {stats:?}");
+        let per_job = trace.kernel_spans_per_job();
+        assert_eq!(per_job.len(), 2, "one job entry per cell: {per_job:?}");
+        for (job, kernels) in &per_job {
+            assert!(*kernels >= 1, "{job} traced no kernel spans");
+        }
+        let round_trip = Trace::from_chrome_json(&trace.to_chrome_json()).unwrap();
+        assert_eq!(round_trip.events().len(), trace.events().len());
+        // The run also populated the metrics registry.
+        assert_eq!(report.metrics.counter("jobs_completed"), 2);
+        assert!(report.metrics.histogram("job_wall_ms").is_some());
+        assert!(report.metrics.histogram("queue_wait_ms").is_some());
+    }
+
+    #[test]
+    fn untraced_run_returns_no_trace() {
+        let size = InputSize::Custom {
+            width: 32,
+            height: 24,
+        };
+        let jobs = vec![Job::new("Disparity Map", size, ExecPolicy::Serial, 1, 1)];
+        let report = run_jobs_report(&jobs, &RunnerConfig::default()).unwrap();
+        assert!(report.trace.is_none());
+        // Metrics are always on — they cost a few histogram pushes.
+        assert_eq!(report.metrics.counter("jobs_completed"), 1);
+    }
+
+    #[test]
+    fn traced_faulty_run_marks_injections_and_failures() {
+        // Persistent panics under tracing: the job span still closes (the
+        // trace stays balanced), and the fault + failure instants appear.
+        let size = InputSize::Custom {
+            width: 32,
+            height: 24,
+        };
+        let jobs = vec![Job::new("Disparity Map", size, ExecPolicy::Serial, 1, 1)];
+        let cfg = RunnerConfig {
+            fault_plan: Some(FaultPlan::parse("panic:1.0", 3).unwrap()),
+            max_retries: 1,
+            trace: true,
+            ..RunnerConfig::default()
+        };
+        let report = run_jobs_report(&jobs, &cfg).unwrap();
+        let trace = report.trace.expect("trace requested");
+        trace.validate().expect("trace is balanced despite panics");
+        let faults = trace
+            .events()
+            .iter()
+            .filter(|ev| ev.phase == Phase::Instant && ev.cat == "fault")
+            .count();
+        assert_eq!(faults, 2, "one instant per injected attempt");
+        let failures = trace
+            .events()
+            .iter()
+            .filter(|ev| ev.phase == Phase::Instant && ev.cat == "failure")
+            .count();
+        assert_eq!(failures, 2, "one instant per failed attempt");
+        assert_eq!(report.metrics.counter("faults_injected"), 2);
+        assert_eq!(report.metrics.counter("jobs_quarantined"), 1);
+        assert_eq!(report.metrics.counter("retries"), 1);
     }
 
     #[test]

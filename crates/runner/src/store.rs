@@ -4,9 +4,14 @@
 //! newlines — so baselines can live in git, diffs stay line-oriented, and
 //! `grep`/`jq` work on the files directly. Blank lines and `#`-prefixed
 //! comment lines are skipped on read so committed baselines can carry a
-//! provenance header.
+//! provenance header. Every object carries a `"kind"` discriminator:
+//! records are `"run"`, and [`append_metrics`] adds `"metrics"` summary
+//! lines that record readers skip — so one file can hold a run's records
+//! *and* its operational metrics without breaking older consumers.
 
 use crate::job::RunRecord;
+use sdvbs_trace::jsonl::Value;
+use sdvbs_trace::MetricsRegistry;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -100,8 +105,39 @@ fn write_to(out: &mut impl Write, records: &[RunRecord]) -> std::io::Result<()> 
     Ok(())
 }
 
-/// Reads every record from a JSONL file, skipping blank and `#` comment
-/// lines.
+/// Appends one `"kind":"metrics"` summary line (see
+/// [`MetricsRegistry::to_value`]) to a store file, creating it if absent.
+/// Record readers skip the line; `jq 'select(.kind == "metrics")'` finds
+/// it.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn append_metrics(path: &Path, metrics: &MetricsRegistry) -> Result<(), StoreError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "{}", metrics.to_value())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Whether a line is a well-formed store object of a kind other than
+/// `"run"` (e.g. a metrics summary): valid JSON carrying a `"kind"` string
+/// that record readers should skip rather than reject.
+fn is_other_kind(line: &str) -> bool {
+    matches!(
+        Value::parse(line).ok().as_ref().and_then(|v| v.get("kind")).and_then(Value::as_str),
+        Some(kind) if kind != "run"
+    )
+}
+
+/// Reads every record from a JSONL file, skipping blank lines, `#`
+/// comment lines, and well-formed non-`"run"` objects (metrics summaries).
 ///
 /// # Errors
 ///
@@ -117,11 +153,16 @@ pub fn read_records(path: &Path) -> Result<Vec<RunRecord>, StoreError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let rec = RunRecord::from_json_line(trimmed).map_err(|message| StoreError::Parse {
-            line: idx + 1,
-            message,
-        })?;
-        records.push(rec);
+        match RunRecord::from_json_line(trimmed) {
+            Ok(rec) => records.push(rec),
+            Err(_) if is_other_kind(trimmed) => {}
+            Err(message) => {
+                return Err(StoreError::Parse {
+                    line: idx + 1,
+                    message,
+                })
+            }
+        }
     }
     Ok(records)
 }
@@ -157,6 +198,16 @@ pub fn recover_records(path: &Path) -> Result<(Vec<RunRecord>, usize), StoreErro
                 }
                 skipped = 0;
                 records.push(rec);
+            }
+            // A metrics line is a valid store object: it resets the torn
+            // logic like a record would (a malformed line followed by a
+            // metrics line is mid-file corruption, not a torn tail) but is
+            // not collected.
+            Err(_) if is_other_kind(trimmed) => {
+                if let Some(err) = torn.take() {
+                    return Err(err);
+                }
+                skipped = 0;
             }
             Err(message) => {
                 if torn.is_none() {
@@ -197,6 +248,7 @@ mod tests {
             detail: "ok".into(),
             kernels: Vec::new(),
             non_kernel_percent: 100.0,
+            occupancy_mode: "wall-clock".into(),
             host: HostMeta {
                 os: "t".into(),
                 cpu: "t".into(),
@@ -284,6 +336,37 @@ mod tests {
         let (recs, skipped) = recover_records(&path).unwrap();
         assert_eq!(recs.len(), 2);
         assert_eq!(skipped, 1);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metrics_lines_are_skipped_by_record_readers() {
+        let path = temp_path("metrics");
+        write_records(&path, &[record(0, "SVM")]).unwrap();
+        let mut m = MetricsRegistry::new();
+        m.incr("jobs_completed", 1);
+        m.observe("queue_wait_ms", 0.4);
+        append_metrics(&path, &m).unwrap();
+        append_records(&path, &[record(1, "SIFT")]).unwrap();
+        // Strict reader and recovering reader both skip the metrics line.
+        let recs = read_records(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        let (recovered, skipped) = recover_records(&path).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(skipped, 0);
+        // The metrics line itself is intact JSON with the expected kind.
+        let body = fs::read_to_string(&path).unwrap();
+        let metrics_line = body
+            .lines()
+            .find(|l| l.contains("\"kind\":\"metrics\""))
+            .expect("metrics line present");
+        let v = Value::parse(metrics_line).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("jobs_completed"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
         fs::remove_file(&path).unwrap();
     }
 

@@ -49,6 +49,7 @@ fn heavy_fault_injection_never_aborts_the_run() {
         timeout: Some(Duration::from_millis(500)),
         max_retries: 3,
         fault_plan: Some(plan),
+        trace: true,
     };
     let report = run_jobs_report(&jobs, &cfg).expect("injected faults must never abort the run");
     assert_eq!(report.records.len(), jobs.len(), "one record per cell");
@@ -113,6 +114,7 @@ fn same_seed_injects_identical_faults() {
         timeout: None,
         max_retries: 2,
         fault_plan: Some(plan),
+        trace: false,
     };
     let a = run_jobs_report(&jobs, &cfg).unwrap();
     let b = run_jobs_report(&jobs, &cfg).unwrap();

@@ -77,6 +77,7 @@ fn deadline_overrun_yields_timed_out_record_and_run_continues() {
         timeout: Some(Duration::from_nanos(1)),
         max_retries: 0,
         fault_plan: None,
+        trace: false,
     };
     let records = run_jobs(&jobs, &cfg).unwrap();
     assert_eq!(records.len(), 2, "a timed-out job still yields a record");
@@ -104,6 +105,7 @@ fn mixed_run_with_generous_timeout_completes_everything() {
         timeout: Some(Duration::from_secs(300)),
         max_retries: 0,
         fault_plan: None,
+        trace: true,
     };
     let records = run_jobs(&jobs, &cfg).unwrap();
     for rec in &records {

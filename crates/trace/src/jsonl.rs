@@ -1,10 +1,12 @@
 //! A minimal JSON value type with a compact writer and a strict parser.
 //!
-//! The result store keeps one JSON object per line (JSONL). The workspace
-//! is dependency-free by design, so this module implements the small JSON
-//! subset the store needs: objects, arrays, strings, finite numbers,
-//! booleans and null. Object key order is preserved (records read back in
-//! the order they were written), and numbers round-trip through `f64`.
+//! The result store keeps one JSON object per line (JSONL), and the trace
+//! exporters build Chrome-trace documents from the same value type. The
+//! workspace is dependency-free by design, so this module implements the
+//! small JSON subset those consumers need: objects, arrays, strings,
+//! finite numbers, booleans and null. Object key order is preserved
+//! (records read back in the order they were written), and numbers
+//! round-trip through `f64`.
 
 use std::fmt;
 

@@ -1,0 +1,269 @@
+//! A percentile-histogram metrics registry.
+//!
+//! The runner records per-job operational counters here — queue wait,
+//! attempts, watchdog margin, store write latency — and the result store
+//! serializes the registry alongside the run records (a `"kind":"metrics"`
+//! JSONL line). Sample sets are per-run (at most a few thousand values),
+//! so histograms keep exact samples and report **nearest-rank**
+//! percentiles: `P(p)` of `n` sorted samples is the element at rank
+//! `ceil(p/100 · n)` (1-based), the convention the whole workspace uses
+//! for timing statistics.
+
+use crate::jsonl::Value;
+use std::fmt;
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+///
+/// Returns `None` on an empty sample. For `p <= 0` this is the minimum;
+/// for `p >= 100` the maximum; there is no interpolation, so the result
+/// is always an observed value. The edge cases the convention pins down:
+/// with `n = 1` every percentile is the sole sample; with `n = 2` the
+/// median (`p = 50`) is the **lower** sample (rank `ceil(1) = 1`).
+pub fn nearest_rank(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    let rank = (p / 100.0 * n as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+/// An exact-sample histogram with nearest-rank percentiles.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    /// Kept sorted lazily: samples are appended and sorted on read.
+    samples: Vec<f64>,
+    sum: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample (non-finite samples are dropped — JSON cannot
+    /// carry them and a NaN would poison every percentile).
+    pub fn observe(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sum += value;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile `p` (0–100), `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        nearest_rank(&sorted, p)
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().min_by(f64::total_cmp)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().max_by(f64::total_cmp)
+    }
+}
+
+/// Named counters and histograms, in first-registration order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name`, registering it on first use.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += by,
+            None => self.counters.push((name.to_string(), by)),
+        }
+    }
+
+    /// Records a histogram sample under `name`, registering it on first
+    /// use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.observe(value),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                self.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the registry as a `"kind":"metrics"` JSON object (one
+    /// store line): counters verbatim, histograms as their summary
+    /// statistics (count/sum/min/mean/p50/p90/p99/max).
+    pub fn to_value(&self) -> Value {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::Num(*v as f64)))
+                .collect(),
+        );
+        let histograms = Value::Obj(
+            self.histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        Value::Obj(vec![
+                            ("count".into(), Value::Num(h.count() as f64)),
+                            ("sum".into(), Value::Num(h.sum())),
+                            ("min".into(), Value::Num(h.min().unwrap_or(0.0))),
+                            ("mean".into(), Value::Num(h.mean())),
+                            ("p50".into(), Value::Num(h.percentile(50.0).unwrap_or(0.0))),
+                            ("p90".into(), Value::Num(h.percentile(90.0).unwrap_or(0.0))),
+                            ("p99".into(), Value::Num(h.percentile(99.0).unwrap_or(0.0))),
+                            ("max".into(), Value::Num(h.max().unwrap_or(0.0))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("kind".into(), Value::Str("metrics".into())),
+            ("counters".into(), counters),
+            ("histograms".into(), histograms),
+        ])
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    /// A human-readable multi-line summary for run footers.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "  {name:<24} {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {name:<24} n={:<4} p50 {:>9.3}  p90 {:>9.3}  p99 {:>9.3}  max {:>9.3}",
+                h.count(),
+                h.percentile(50.0).unwrap_or(0.0),
+                h.percentile(90.0).unwrap_or(0.0),
+                h.percentile(99.0).unwrap_or(0.0),
+                h.max().unwrap_or(0.0),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_convention_for_tiny_samples() {
+        // n = 1: every percentile is the sole sample.
+        assert_eq!(nearest_rank(&[7.0], 0.0), Some(7.0));
+        assert_eq!(nearest_rank(&[7.0], 50.0), Some(7.0));
+        assert_eq!(nearest_rank(&[7.0], 100.0), Some(7.0));
+        // n = 2: p50 is the LOWER sample (rank ceil(1.0) = 1), p51+ the upper.
+        assert_eq!(nearest_rank(&[1.0, 9.0], 50.0), Some(1.0));
+        assert_eq!(nearest_rank(&[1.0, 9.0], 51.0), Some(9.0));
+        assert_eq!(nearest_rank(&[1.0, 9.0], 100.0), Some(9.0));
+        // n = 3: p50 is the middle sample.
+        assert_eq!(nearest_rank(&[1.0, 2.0, 3.0], 50.0), Some(2.0));
+        // Empty: no percentile exists.
+        assert_eq!(nearest_rank(&[], 50.0), None);
+    }
+
+    #[test]
+    fn nearest_rank_on_100_samples() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&sorted, 50.0), Some(50.0));
+        assert_eq!(nearest_rank(&sorted, 95.0), Some(95.0));
+        assert_eq!(nearest_rank(&sorted, 99.0), Some(99.0));
+        assert_eq!(nearest_rank(&sorted, 100.0), Some(100.0));
+        assert_eq!(nearest_rank(&sorted, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10.0);
+        assert_eq!(h.mean(), 2.5);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+        assert_eq!(h.percentile(50.0), Some(2.0)); // ceil(2.0) = rank 2
+    }
+
+    #[test]
+    fn registry_roundtrips_to_a_store_line() {
+        let mut m = MetricsRegistry::new();
+        m.incr("jobs_completed", 3);
+        m.incr("jobs_completed", 1);
+        m.observe("queue_wait_ms", 0.5);
+        m.observe("queue_wait_ms", 1.5);
+        assert_eq!(m.counter("jobs_completed"), 4);
+        let line = m.to_value().to_string_checked().unwrap();
+        assert!(!line.contains('\n'));
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("metrics"));
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("queue_wait_ms"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(h.get("p50").and_then(Value::as_f64), Some(0.5));
+    }
+}
