@@ -116,6 +116,20 @@ impl FaultPlan {
         Ok(plan)
     }
 
+    /// A compact canonical fingerprint of the plan, used as the fifth
+    /// segment of a cell's cache key (see `Job::cache_key`): the four
+    /// rates plus the seed. `None` for an inactive plan — a clean run has
+    /// no fault identity, so its cells key on the bare four-tuple.
+    pub fn fingerprint(&self) -> Option<String> {
+        if !self.is_active() {
+            return None;
+        }
+        Some(format!(
+            "fault=panic:{},timeout:{},nan:{},truncate:{}@{}",
+            self.panic_rate, self.timeout_rate, self.nan_rate, self.truncate_rate, self.seed
+        ))
+    }
+
     /// Whether the plan can inject anything at all.
     pub fn is_active(&self) -> bool {
         self.panic_rate > 0.0

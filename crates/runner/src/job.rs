@@ -48,6 +48,42 @@ impl Job {
             iterations,
         }
     }
+
+    /// The canonical cache key of this spec: [`cell_key`] over the job's
+    /// labels, with the fault plan's fingerprint appended when one is
+    /// armed — a chaos run's cells must never be served from (or stored
+    /// into) the clean-result cache.
+    pub fn cache_key(&self, fault: Option<&crate::fault::FaultPlan>) -> String {
+        cell_key(
+            &self.benchmark,
+            &size_label(self.size),
+            &policy_label(self.policy),
+            self.seed,
+            fault
+                .and_then(crate::fault::FaultPlan::fingerprint)
+                .as_deref(),
+        )
+    }
+}
+
+/// The canonical cell-identity string of the whole workspace:
+/// `benchmark|size|policy|seed`, with an optional fault-plan fingerprint
+/// as a fifth segment. [`RunRecord::key`] (the runner's record matching
+/// and `compare`'s cell identity) and the serve layer's content-addressed
+/// result cache all derive from this one helper, so a cell named in a
+/// quarantine report, a regression verdict, and a cache entry is always
+/// the same string.
+pub fn cell_key(
+    benchmark: &str,
+    size: &str,
+    policy: &str,
+    seed: u64,
+    fault: Option<&str>,
+) -> String {
+    match fault {
+        Some(fingerprint) => format!("{benchmark}|{size}|{policy}|{seed}|{fingerprint}"),
+        None => format!("{benchmark}|{size}|{policy}|{seed}"),
+    }
 }
 
 /// Canonical lowercase label for an input size (`"sqcif"`, `"qcif"`,
@@ -271,14 +307,11 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
-    /// The comparison key: benchmark × size × policy × seed. Two records
-    /// with equal keys measure the same cell and may be compared across
-    /// runs or hosts.
+    /// The comparison key: benchmark × size × policy × seed, via the
+    /// shared [`cell_key`] helper. Two records with equal keys measure the
+    /// same cell and may be compared across runs or hosts.
     pub fn key(&self) -> String {
-        format!(
-            "{}|{}|{}|{}",
-            self.benchmark, self.size, self.policy, self.seed
-        )
+        cell_key(&self.benchmark, &self.size, &self.policy, self.seed, None)
     }
 
     /// Serializes the record as a single JSON line (no trailing newline).
@@ -545,6 +578,36 @@ mod tests {
     #[test]
     fn key_is_benchmark_size_policy_seed() {
         assert_eq!(sample_record().key(), "Disparity Map|sqcif|threads:2|7");
+    }
+
+    #[test]
+    fn cache_key_matches_record_key_and_adds_fault_fingerprint() {
+        use crate::fault::FaultPlan;
+        let job = Job::new(
+            "Disparity Map",
+            InputSize::Sqcif,
+            ExecPolicy::Threads(2),
+            7,
+            3,
+        );
+        // Clean job: identical to the record's comparison key, so a cached
+        // record and a freshly-run record name the same cell.
+        assert_eq!(job.cache_key(None), sample_record().key());
+        // An inactive plan contributes nothing either.
+        assert_eq!(
+            job.cache_key(Some(&FaultPlan::none(9))),
+            job.cache_key(None)
+        );
+        // An armed plan appends its fingerprint as a fifth segment — chaos
+        // cells never collide with clean cells.
+        let plan = FaultPlan::parse("panic:0.2,nan:0.1", 42).unwrap();
+        let keyed = job.cache_key(Some(&plan));
+        assert!(keyed.starts_with("Disparity Map|sqcif|threads:2|7|fault="));
+        assert!(
+            keyed.contains("@42"),
+            "fingerprint carries the seed: {keyed}"
+        );
+        assert_ne!(keyed, job.cache_key(None));
     }
 
     #[test]

@@ -41,12 +41,12 @@ pub use sdvbs_trace::jsonl;
 pub use compare::{compare, CompareConfig, CompareReport, Regression, RegressionKind};
 pub use fault::{FaultKind, FaultPlan};
 pub use job::{
-    parse_policy, parse_size, policy_label, size_label, HostMeta, Job, KernelStatRecord, RunRecord,
-    RunStatus,
+    cell_key, parse_policy, parse_size, policy_label, size_label, HostMeta, Job, KernelStatRecord,
+    RunRecord, RunStatus,
 };
-pub use pool::{run_pool, Completion, PoolConfig, PoolJob, PoolOutcome};
-pub use queue::{BoundedQueue, QueueError, TryPushError};
-pub use run::{run_jobs, run_jobs_report, RunReport, RunnerConfig, RunnerError};
+pub use pool::{run_pool, supervise, Completion, PoolConfig, PoolJob, PoolOutcome};
+pub use queue::{BoundedQueue, PushError, QueueError, TryPushError};
+pub use run::{execute_job, run_jobs, run_jobs_report, RunReport, RunnerConfig, RunnerError};
 pub use store::{
     append_metrics, append_records, read_records, recover_records, write_records, StoreError,
 };

@@ -173,16 +173,7 @@ fn execute<T: Send + 'static>(
     let timeout = job.timeout.or(default_timeout);
     let start_us = sdvbs_trace::now_us();
     let start = Instant::now();
-    let completion = match timeout {
-        // No deadline: run in the worker itself, one thread fewer.
-        None => match catch_unwind(AssertUnwindSafe(job.work)) {
-            Ok(value) => Completion::Done(value),
-            Err(payload) => Completion::Panicked {
-                message: panic_message(payload.as_ref()),
-            },
-        },
-        Some(limit) => watchdog(job.work, limit),
-    };
+    let completion = supervise(job.work, timeout);
     PoolOutcome {
         id: job.id,
         label: job.label,
@@ -191,6 +182,29 @@ fn execute<T: Send + 'static>(
         start_us,
         wall: start.elapsed(),
         completion,
+    }
+}
+
+/// Runs `work` under the pool's per-job supervision — panic isolation
+/// plus an optional watchdog deadline — without needing a pool. This is
+/// the single-job execution primitive embedders use: the serve daemon's
+/// long-lived engine workers run one supervised job at a time through it.
+///
+/// With no deadline the work runs on the calling thread (one thread
+/// fewer); with a deadline it runs on a dedicated thread while the caller
+/// stands watchdog, and a timed-out job is abandoned to its own thread.
+pub fn supervise<T: Send + 'static>(
+    work: Box<dyn FnOnce() -> T + Send + 'static>,
+    timeout: Option<Duration>,
+) -> Completion<T> {
+    match timeout {
+        None => match catch_unwind(AssertUnwindSafe(work)) {
+            Ok(value) => Completion::Done(value),
+            Err(payload) => Completion::Panicked {
+                message: panic_message(payload.as_ref()),
+            },
+        },
+        Some(limit) => watchdog(work, limit),
     }
 }
 

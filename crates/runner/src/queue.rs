@@ -39,6 +39,25 @@ impl fmt::Display for QueueError {
 
 impl std::error::Error for QueueError {}
 
+/// A failed [`BoundedQueue::push`]: the queue was closed, either before
+/// the call or while the producer was blocked on backpressure. The
+/// rejected item rides back to the caller — a closed queue must never
+/// silently swallow work, because the serve layer's admission control
+/// needs to hand the job back to the client as a typed refusal.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PushError<T> {
+    /// The item the closed queue refused.
+    pub item: T,
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue is closed")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for PushError<T> {}
+
 /// A failed [`BoundedQueue::try_push`], returning the rejected item so the
 /// caller can retry or drop it deliberately.
 #[derive(Debug)]
@@ -116,17 +135,18 @@ impl<T> BoundedQueue<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`QueueError::Closed`] if the queue is (or becomes, while
-    /// waiting) closed; the item is dropped in that case, as with a closed
-    /// channel.
-    pub fn push(&self, item: T) -> Result<(), QueueError> {
+    /// Returns [`PushError`] carrying the item back if the queue is (or
+    /// becomes, while blocked waiting for a slot) closed — a producer
+    /// parked on backpressure is woken by [`BoundedQueue::close`] and gets
+    /// its item back, never a silent drop and never a permanent block.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if state.closed {
-                return Err(QueueError::Closed);
+                return Err(PushError { item });
             }
             if state.items.len() < self.capacity {
                 state.items.push_back(item);
@@ -249,9 +269,37 @@ mod tests {
             q.push(i).unwrap();
         }
         q.close();
-        assert_eq!(q.push(99), Err(QueueError::Closed));
+        assert_eq!(q.push(99), Err(PushError { item: 99 }));
         let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producers_and_returns_their_items() {
+        // Regression: producers blocked on backpressure when close() lands
+        // must neither block forever nor lose their items — each gets a
+        // typed PushError carrying the exact item it tried to enqueue.
+        let q = Arc::new(BoundedQueue::new(1).unwrap());
+        q.push(0).unwrap();
+        let producers: Vec<_> = (1..=3)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.push(i))
+            })
+            .collect();
+        // Give every producer time to block on the full queue.
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        let mut returned: Vec<i32> = producers
+            .into_iter()
+            .map(|p| p.join().unwrap().expect_err("queue closed").item)
+            .collect();
+        returned.sort_unstable();
+        assert_eq!(returned, vec![1, 2, 3]);
+        // The item queued before close is still delivered, then
+        // end-of-stream.
+        assert_eq!(q.pop(), Some(0));
         assert_eq!(q.pop(), None);
     }
 

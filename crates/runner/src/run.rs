@@ -278,39 +278,13 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
         for outcome in outcomes {
             let idx = outcome.id as usize;
             let job = &jobs[idx];
-            let resolved = job.policy.resolve_with(auto_threads);
-            let threads = match resolved {
-                ExecPolicy::Serial => 1,
-                ExecPolicy::Threads(n) => n.max(1),
-                ExecPolicy::Auto => auto_threads,
-            };
+            let threads = resolved_threads(job.policy.resolve_with(auto_threads), auto_threads);
             metrics.observe("queue_wait_ms", outcome.queue_wait.as_secs_f64() * 1e3);
             metrics.observe("job_wall_ms", outcome.wall.as_secs_f64() * 1e3);
-            let mut rec = RunRecord {
-                job_id: idx as u64,
-                benchmark: job.benchmark.clone(),
-                size: size_label(job.size),
-                policy: crate::job::policy_label(job.policy),
-                threads,
-                seed: job.seed,
-                iterations: job.iterations.max(1),
-                status: RunStatus::Completed,
-                times_ms: Vec::new(),
-                min_ms: 0.0,
-                p50_ms: 0.0,
-                mean_ms: 0.0,
-                max_ms: 0.0,
-                wall_ms: outcome.wall.as_secs_f64() * 1e3,
-                quality: None,
-                detail: String::new(),
-                kernels: Vec::new(),
-                non_kernel_percent: 0.0,
-                occupancy_mode: "wall-clock".to_string(),
-                host: host.clone(),
-                attempts: attempt + 1,
-                injected: injected[idx].clone(),
-                quarantined: false,
-            };
+            let mut rec = base_record(job, idx as u64, threads, &host);
+            rec.wall_ms = outcome.wall.as_secs_f64() * 1e3;
+            rec.attempts = attempt + 1;
+            rec.injected = injected[idx].clone();
             // The job span on this worker's track: begins when the worker
             // picked the job up, ends `wall` later. Kernel events recorded
             // inside arrive via the measurement and slot in between. The
@@ -346,58 +320,32 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
                     events.push(ev);
                 }
             }
-            match outcome.completion {
-                Completion::Done(Ok(m)) => {
-                    let (min, p50, mean, max) = percentiles(&m.times_ms);
-                    rec.times_ms = m.times_ms;
-                    rec.min_ms = min;
-                    rec.p50_ms = p50;
-                    rec.mean_ms = mean;
-                    rec.max_ms = max;
-                    // JSON has no NaN/Inf and the checked emitter rejects
-                    // them; a benchmark reporting a non-finite quality is
-                    // recorded as "no quality metric".
-                    rec.quality = m.quality.filter(|q| q.is_finite());
-                    rec.detail = m.detail;
-                    rec.kernels = m.kernels;
-                    rec.non_kernel_percent = m.non_kernel_percent;
-                    rec.occupancy_mode = m.occupancy_mode.to_string();
-                    if let Some(limit) = cfg.timeout {
-                        metrics.observe(
-                            "watchdog_margin_ms",
-                            (limit.saturating_sub(outcome.wall)).as_secs_f64() * 1e3,
-                        );
-                    }
-                    if let Some(events) = trace_events.as_mut() {
-                        // The job profiler's own scopes move onto this
-                        // worker's track, clamped inside the job span so
-                        // truncation jitter cannot break its nesting;
-                        // parallel-kernel worker spans keep their dynamic
-                        // tracks so concurrent spans never interleave on
-                        // one timeline.
-                        for mut ev in m.trace_events {
-                            if Some(ev.track) == m.main_track {
-                                ev.track = worker_track;
-                                ev.ts_us = ev.ts_us.clamp(start_us, end_us);
-                            }
-                            events.push(ev);
-                        }
-                    }
-                    if attempt > 0 {
-                        recovered += 1;
-                    }
+            let trace_payload = apply_completion(&mut rec, outcome.completion);
+            if rec.status == RunStatus::Completed {
+                if let Some(limit) = cfg.timeout {
+                    metrics.observe(
+                        "watchdog_margin_ms",
+                        (limit.saturating_sub(outcome.wall)).as_secs_f64() * 1e3,
+                    );
                 }
-                Completion::Done(Err(message)) => {
-                    rec.status = RunStatus::Failed;
-                    rec.detail = message;
+                if attempt > 0 {
+                    recovered += 1;
                 }
-                Completion::TimedOut { limit } => {
-                    rec.status = RunStatus::TimedOut;
-                    rec.detail = format!("exceeded {:.0} ms deadline", limit.as_secs_f64() * 1e3);
-                }
-                Completion::Panicked { message } => {
-                    rec.status = RunStatus::Panicked;
-                    rec.detail = message;
+            }
+            if let (Some(events), Some((job_events, main_track))) =
+                (trace_events.as_mut(), trace_payload)
+            {
+                // The job profiler's own scopes move onto this worker's
+                // track, clamped inside the job span so truncation jitter
+                // cannot break its nesting; parallel-kernel worker spans
+                // keep their dynamic tracks so concurrent spans never
+                // interleave on one timeline.
+                for mut ev in job_events {
+                    if Some(ev.track) == main_track {
+                        ev.track = worker_track;
+                        ev.ts_us = ev.ts_us.clamp(start_us, end_us);
+                    }
+                    events.push(ev);
                 }
             }
             if let Some(events) = trace_events.as_mut() {
@@ -464,6 +412,134 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
         metrics,
         trace: trace_events.map(Trace::new),
     })
+}
+
+/// Executes one job synchronously under the pool's per-job supervision
+/// (panic isolation plus an optional watchdog deadline) and returns its
+/// record — the single-job entry point the serve daemon's engine workers
+/// embed. No retries and no fault injection: serving retries is the
+/// caller's policy, not the measurement's.
+///
+/// `auto_threads` is the once-per-process resolution of
+/// [`ExecPolicy::Auto`] (see [`ExecPolicy::worker_count`]) and `host` the
+/// once-per-process [`HostMeta::collect`], both hoisted so a long-lived
+/// server stamps every record consistently.
+///
+/// # Errors
+///
+/// Returns [`RunnerError::UnknownBenchmark`] if the job names a benchmark
+/// not in the registry.
+pub fn execute_job(
+    job: &Job,
+    job_id: u64,
+    auto_threads: usize,
+    host: &HostMeta,
+    timeout: Option<Duration>,
+) -> Result<RunRecord, RunnerError> {
+    if !all_benchmarks()
+        .iter()
+        .any(|b| b.info().name == job.benchmark)
+    {
+        return Err(RunnerError::UnknownBenchmark {
+            name: job.benchmark.clone(),
+        });
+    }
+    let resolved = job.policy.resolve_with(auto_threads);
+    let threads = resolved_threads(resolved, auto_threads);
+    let work = {
+        let job = job.clone();
+        Box::new(move || try_measure(&job, resolved, false))
+    };
+    let start = std::time::Instant::now();
+    let completion = crate::pool::supervise(work, timeout);
+    let mut rec = base_record(job, job_id, threads, host);
+    rec.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    apply_completion(&mut rec, completion);
+    Ok(rec)
+}
+
+/// Concrete worker count a resolved policy reports in its record.
+fn resolved_threads(resolved: ExecPolicy, auto_threads: usize) -> usize {
+    match resolved {
+        ExecPolicy::Serial => 1,
+        ExecPolicy::Threads(n) => n.max(1),
+        ExecPolicy::Auto => auto_threads,
+    }
+}
+
+/// A record with the job's identity filled in and everything measured
+/// still at its zero value: status `Completed`, one clean attempt, no
+/// timings. [`apply_completion`] fills in the rest.
+fn base_record(job: &Job, job_id: u64, threads: usize, host: &HostMeta) -> RunRecord {
+    RunRecord {
+        job_id,
+        benchmark: job.benchmark.clone(),
+        size: size_label(job.size),
+        policy: crate::job::policy_label(job.policy),
+        threads,
+        seed: job.seed,
+        iterations: job.iterations.max(1),
+        status: RunStatus::Completed,
+        times_ms: Vec::new(),
+        min_ms: 0.0,
+        p50_ms: 0.0,
+        mean_ms: 0.0,
+        max_ms: 0.0,
+        wall_ms: 0.0,
+        quality: None,
+        detail: String::new(),
+        kernels: Vec::new(),
+        non_kernel_percent: 0.0,
+        occupancy_mode: "wall-clock".to_string(),
+        host: host.clone(),
+        attempts: 1,
+        injected: Vec::new(),
+        quarantined: false,
+    }
+}
+
+/// Applies a supervised completion to a base record: timings and kernel
+/// breakdown for a finished measurement, failure status + detail
+/// otherwise. Returns the measurement's trace payload (events and the
+/// main track they were recorded on) for a completed, traced job.
+fn apply_completion(
+    rec: &mut RunRecord,
+    completion: Completion<Result<JobMeasurement, String>>,
+) -> Option<(Vec<TraceEvent>, Option<TrackId>)> {
+    match completion {
+        Completion::Done(Ok(m)) => {
+            let (min, p50, mean, max) = percentiles(&m.times_ms);
+            rec.times_ms = m.times_ms;
+            rec.min_ms = min;
+            rec.p50_ms = p50;
+            rec.mean_ms = mean;
+            rec.max_ms = max;
+            // JSON has no NaN/Inf and the checked emitter rejects them; a
+            // benchmark reporting a non-finite quality is recorded as "no
+            // quality metric".
+            rec.quality = m.quality.filter(|q| q.is_finite());
+            rec.detail = m.detail;
+            rec.kernels = m.kernels;
+            rec.non_kernel_percent = m.non_kernel_percent;
+            rec.occupancy_mode = m.occupancy_mode.to_string();
+            Some((m.trace_events, m.main_track))
+        }
+        Completion::Done(Err(message)) => {
+            rec.status = RunStatus::Failed;
+            rec.detail = message;
+            None
+        }
+        Completion::TimedOut { limit } => {
+            rec.status = RunStatus::TimedOut;
+            rec.detail = format!("exceeded {:.0} ms deadline", limit.as_secs_f64() * 1e3);
+            None
+        }
+        Completion::Panicked { message } => {
+            rec.status = RunStatus::Panicked;
+            rec.detail = message;
+            None
+        }
+    }
 }
 
 /// The label a job's record, pool entry, and trace span all share:
@@ -649,6 +725,35 @@ mod tests {
         assert_eq!(rec.attempts, 1);
         assert!(rec.injected.is_empty());
         assert!(!rec.quarantined);
+    }
+
+    #[test]
+    fn execute_job_produces_a_complete_record() {
+        // The serve engine's single-job path: same record shape as a pool
+        // run, supervised (panic-isolated, watchdog-capable), no retries.
+        let size = InputSize::Custom {
+            width: 64,
+            height: 48,
+        };
+        let job = Job::new("Disparity Map", size, ExecPolicy::Serial, 3, 2);
+        let host = HostMeta::collect();
+        let rec = crate::run::execute_job(&job, 17, 4, &host, None).unwrap();
+        assert_eq!(rec.job_id, 17);
+        assert_eq!(rec.status, RunStatus::Completed);
+        assert_eq!(rec.times_ms.len(), 2);
+        assert!(rec.min_ms > 0.0 && rec.min_ms <= rec.max_ms);
+        assert!(!rec.kernels.is_empty());
+        assert!(rec.wall_ms > 0.0);
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.key(), job.cache_key(None));
+
+        let missing = Job::new("Not A Benchmark", size, ExecPolicy::Serial, 1, 1);
+        assert_eq!(
+            crate::run::execute_job(&missing, 0, 1, &host, None).err(),
+            Some(RunnerError::UnknownBenchmark {
+                name: "Not A Benchmark".into()
+            })
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! panic in one worker not poisoning the pool, shutdown while jobs are
 //! still queued, and deterministic result ordering.
 
-use sdvbs_runner::{run_pool, BoundedQueue, Completion, PoolConfig, PoolJob, QueueError};
+use sdvbs_runner::{
+    run_pool, BoundedQueue, Completion, PoolConfig, PoolJob, PushError, QueueError,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -137,7 +139,7 @@ fn shutdown_with_jobs_still_queued_drains_them_all() {
         q.push(i).unwrap();
     }
     q.close();
-    assert_eq!(q.push(99), Err(QueueError::Closed));
+    assert_eq!(q.push(99), Err(PushError { item: 99 }));
     let consumers: Vec<_> = (0..3)
         .map(|_| {
             let q = Arc::clone(&q);

@@ -1,0 +1,151 @@
+//! The content-addressed result cache.
+//!
+//! A completed, non-quarantined [`RunRecord`] is stored under the 64-bit
+//! FNV-1a digest of its spec's cache preimage; a later submission of the
+//! same spec is answered from the cache without re-executing (unless the
+//! client passes `?fresh=1`). The preimage is the workspace's canonical
+//! cell key ([`sdvbs_runner::cell_key`] via `Job::cache_key`) **plus the
+//! iteration count** — two requests for the same cell at different
+//! iteration counts measure different things and must not share a cache
+//! line.
+
+use sdvbs_runner::{Job, RunRecord, RunStatus};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache digest of a job spec: FNV-1a over
+/// `benchmark|size|policy|seed|iters:N`.
+pub fn spec_digest(spec: &Job) -> u64 {
+    let preimage = format!("{}|iters:{}", spec.cache_key(None), spec.iterations.max(1));
+    fnv1a(preimage.as_bytes())
+}
+
+/// A digest-addressed store of completed run records.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<u64, RunRecord>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached record under `digest`, if any.
+    pub fn get(&self, digest: u64) -> Option<RunRecord> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&digest)
+            .cloned()
+    }
+
+    /// Stores `record` under `digest` — but only a completed,
+    /// non-quarantined record is worth serving again; failures must
+    /// re-execute on resubmission. Returns whether the record was stored.
+    pub fn put(&self, digest: u64, record: &RunRecord) -> bool {
+        if record.status != RunStatus::Completed || record.quarantined {
+            return false;
+        }
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(digest, record.clone());
+        true
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvbs_core::{ExecPolicy, InputSize};
+    use sdvbs_runner::HostMeta;
+
+    fn spec(seed: u64, iterations: usize) -> Job {
+        Job::new(
+            "Disparity Map",
+            InputSize::Sqcif,
+            ExecPolicy::Serial,
+            seed,
+            iterations,
+        )
+    }
+
+    fn record(status: RunStatus, quarantined: bool) -> RunRecord {
+        RunRecord {
+            job_id: 0,
+            benchmark: "Disparity Map".into(),
+            size: "sqcif".into(),
+            policy: "serial".into(),
+            threads: 1,
+            seed: 1,
+            iterations: 1,
+            status,
+            times_ms: vec![1.0],
+            min_ms: 1.0,
+            p50_ms: 1.0,
+            mean_ms: 1.0,
+            max_ms: 1.0,
+            wall_ms: 2.0,
+            quality: None,
+            detail: String::new(),
+            kernels: Vec::new(),
+            non_kernel_percent: 0.0,
+            occupancy_mode: "wall-clock".into(),
+            host: HostMeta {
+                os: "t".into(),
+                cpu: "t".into(),
+                logical_cpus: 1,
+            },
+            attempts: 1,
+            injected: Vec::new(),
+            quarantined,
+        }
+    }
+
+    #[test]
+    fn digests_separate_cells_and_iteration_counts() {
+        assert_eq!(spec_digest(&spec(1, 3)), spec_digest(&spec(1, 3)));
+        assert_ne!(spec_digest(&spec(1, 3)), spec_digest(&spec(2, 3)));
+        // Same cell, different iteration count: distinct cache lines.
+        assert_ne!(spec_digest(&spec(1, 3)), spec_digest(&spec(1, 5)));
+        // Iterations are clamped to >= 1 everywhere, so 0 and 1 agree.
+        assert_eq!(spec_digest(&spec(1, 0)), spec_digest(&spec(1, 1)));
+    }
+
+    #[test]
+    fn only_clean_completed_records_are_cached() {
+        let cache = ResultCache::new();
+        assert!(!cache.put(7, &record(RunStatus::Failed, false)));
+        assert!(!cache.put(7, &record(RunStatus::Completed, true)));
+        assert!(cache.get(7).is_none());
+        assert!(cache.put(7, &record(RunStatus::Completed, false)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(7).unwrap().status, RunStatus::Completed);
+        assert!(cache.get(8).is_none());
+    }
+}

@@ -1,0 +1,568 @@
+//! The serving engine: a job table over the runner's bounded queue with
+//! long-lived worker threads.
+//!
+//! Submission is admission-controlled: the job queue is the runner's
+//! [`BoundedQueue`], and a submission that finds it full is refused
+//! immediately (the router turns that into `429 Too Many Requests`) —
+//! the server never buffers unbounded work. Before a spec reaches the
+//! queue it passes the result cache (serve a completed record without
+//! re-executing) and the in-flight map (attach to an identical queued or
+//! running job instead of duplicating it).
+//!
+//! Draining ([`Engine::drain`]) closes the queue: the job currently on a
+//! worker runs to completion, everything still queued is popped and
+//! rejected (`503` when polled), and the workers exit once the queue is
+//! drained. One state mutex covers the job table and the in-flight map,
+//! so cache/coalesce/admission decisions are atomic with respect to
+//! worker completions.
+
+use crate::cache::{spec_digest, ResultCache};
+use crate::coalesce::InflightMap;
+use crate::shutdown::DrainReport;
+use sdvbs_core::ExecPolicy;
+use sdvbs_runner::{execute_job, BoundedQueue, HostMeta, Job, RunRecord, TryPushError};
+use sdvbs_trace::MetricsRegistry;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Engine sizing and test instrumentation.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing jobs (clamped to at least 1).
+    pub workers: usize,
+    /// Queue capacity — the admission-control bound. Submissions that
+    /// find the queue full are refused with [`Submission::QueueFull`].
+    pub queue_capacity: usize,
+    /// Per-job watchdog deadline (see [`sdvbs_runner::supervise`]).
+    pub timeout: Option<Duration>,
+    /// Deterministic test instrument: each worker sleeps this long after
+    /// picking a job up, *before* executing it. Tests use the hold window
+    /// to observe a job in the `running` state, fill the queue behind it,
+    /// and drive admission-control and drain paths without racing the
+    /// benchmark's actual runtime. `None` (the default) in production.
+    pub hold: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 16,
+            timeout: None,
+            hold: None,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone)]
+enum JobState {
+    /// Accepted and waiting in the queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Execution finished; the record is the result (which may itself
+    /// report a failed status — that is still a terminal, pollable state).
+    /// Boxed to keep the variant near the size of its siblings.
+    Done(Box<RunRecord>),
+    /// The engine refused to run it (drain started before a worker picked
+    /// it up, or the spec failed validation inside the engine).
+    Rejected(String),
+}
+
+struct JobEntry {
+    spec: Job,
+    digest: u64,
+    state: JobState,
+}
+
+struct EngineState {
+    jobs: Vec<JobEntry>,
+    inflight: InflightMap,
+    draining: bool,
+}
+
+/// How the engine answered a submission.
+#[derive(Debug, Clone)]
+pub enum Submission {
+    /// Served from the result cache without executing anything. Boxed to
+    /// keep the variant near the size of its siblings.
+    Cached(Box<RunRecord>),
+    /// Accepted as a new job with this id.
+    Queued(u64),
+    /// Attached to an identical in-flight job with this id.
+    Coalesced(u64),
+    /// The queue is at capacity; retry later (`429`).
+    QueueFull,
+    /// The engine is draining; no new work is accepted (`503`).
+    Draining,
+}
+
+/// A point-in-time copy of one job's externally visible state.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job id.
+    pub id: u64,
+    /// `"queued"`, `"running"`, `"done"`, or `"rejected"`.
+    pub state: &'static str,
+    /// The run record, once done.
+    pub record: Option<RunRecord>,
+    /// The rejection reason, when rejected.
+    pub detail: String,
+}
+
+impl JobSnapshot {
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state, "done" | "rejected")
+    }
+}
+
+/// The benchmark-serving engine. Construct with [`Engine::start`]; always
+/// wrapped in an [`Arc`] because the worker threads hold a reference.
+pub struct Engine {
+    state: Mutex<EngineState>,
+    changed: Condvar,
+    queue: BoundedQueue<u64>,
+    cache: ResultCache,
+    metrics: Mutex<MetricsRegistry>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    cfg: EngineConfig,
+    auto_threads: usize,
+    host: HostMeta,
+}
+
+impl Engine {
+    /// Builds the engine and spawns its worker threads.
+    pub fn start(cfg: EngineConfig) -> Arc<Engine> {
+        let queue =
+            BoundedQueue::new(cfg.queue_capacity.max(1)).expect("capacity clamped to at least 1");
+        let engine = Arc::new(Engine {
+            state: Mutex::new(EngineState {
+                jobs: Vec::new(),
+                inflight: InflightMap::new(),
+                draining: false,
+            }),
+            changed: Condvar::new(),
+            queue,
+            cache: ResultCache::new(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            workers: Mutex::new(Vec::new()),
+            auto_threads: ExecPolicy::Auto.worker_count(),
+            host: HostMeta::collect(),
+            cfg,
+        });
+        let mut handles = Vec::new();
+        for w in 0..engine.cfg.workers.max(1) {
+            let engine = Arc::clone(&engine);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("sdvbs-serve-worker-{w}"))
+                    .spawn(move || engine.worker_loop())
+                    .expect("spawning an engine worker"),
+            );
+        }
+        *engine
+            .workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = handles;
+        engine
+    }
+
+    /// Submits a spec. `fresh` bypasses both the cache lookup and
+    /// coalescing — the client explicitly wants a re-execution.
+    pub fn submit(&self, spec: Job, fresh: bool) -> Submission {
+        let digest = spec_digest(&spec);
+        let mut st = self.lock_state();
+        if st.draining {
+            self.incr("rejected_draining");
+            return Submission::Draining;
+        }
+        if !fresh {
+            if let Some(record) = self.cache.get(digest) {
+                self.incr("cache_hits");
+                return Submission::Cached(Box::new(record));
+            }
+            if let Some(id) = st.inflight.get(digest) {
+                self.incr("coalesced");
+                return Submission::Coalesced(id);
+            }
+        }
+        let id = st.jobs.len() as u64;
+        st.jobs.push(JobEntry {
+            spec,
+            digest,
+            state: JobState::Queued,
+        });
+        st.inflight.claim(digest, id);
+        // try_push under the state lock keeps the entry/queue transition
+        // atomic; workers take the queue lock only with the state lock
+        // released, so the ordering is acyclic.
+        match self.queue.try_push(id) {
+            Ok(()) => {
+                self.incr("jobs_submitted");
+                Submission::Queued(id)
+            }
+            Err(refusal) => {
+                st.jobs.pop();
+                st.inflight.release(digest, id);
+                match refusal {
+                    TryPushError::Full(_) => {
+                        self.incr("rejected_queue_full");
+                        Submission::QueueFull
+                    }
+                    TryPushError::Closed(_) => {
+                        self.incr("rejected_draining");
+                        Submission::Draining
+                    }
+                }
+            }
+        }
+    }
+
+    /// A snapshot of job `id`, or `None` for an unknown id.
+    pub fn get(&self, id: u64) -> Option<JobSnapshot> {
+        let st = self.lock_state();
+        st.jobs.get(id as usize).map(|entry| snapshot(id, entry))
+    }
+
+    /// Long-poll: blocks until job `id` reaches a terminal state or
+    /// `wait` elapses, then returns its (possibly still non-terminal)
+    /// snapshot. `None` for an unknown id.
+    pub fn wait_terminal(&self, id: u64, wait: Duration) -> Option<JobSnapshot> {
+        let deadline = Instant::now() + wait;
+        let mut st = self.lock_state();
+        loop {
+            let snap = st.jobs.get(id as usize).map(|entry| snapshot(id, entry))?;
+            if snap.is_terminal() {
+                return Some(snap);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(snap);
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Starts and completes a graceful drain: refuses new submissions,
+    /// lets running jobs finish, rejects everything still queued, then
+    /// joins the worker threads. Blocks until every job is terminal.
+    /// Idempotent — a second call just waits for the first drain's state.
+    pub fn drain(&self) -> DrainReport {
+        self.begin_drain();
+        let mut st = self.lock_state();
+        while st
+            .jobs
+            .iter()
+            .any(|j| matches!(j.state, JobState::Queued | JobState::Running))
+        {
+            st = self
+                .changed
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let report = DrainReport {
+            completed: st
+                .jobs
+                .iter()
+                .filter(|j| matches!(j.state, JobState::Done(_)))
+                .count(),
+            rejected: st
+                .jobs
+                .iter()
+                .filter(|j| matches!(j.state, JobState::Rejected(_)))
+                .count(),
+        };
+        drop(st);
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        report
+    }
+
+    /// Starts the drain without waiting for it: refuses new submissions
+    /// and closes the queue. The shutdown endpoint calls this inline
+    /// before responding, so a submission that arrives after the shutdown
+    /// response is deterministically answered `503`, never `429`.
+    pub fn begin_drain(&self) {
+        self.lock_state().draining = true;
+        self.queue.close();
+    }
+
+    /// Whether a drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.lock_state().draining
+    }
+
+    /// Renders the engine's process-lifetime metrics in the Prometheus
+    /// text format under the `sdvbs_serve` prefix.
+    pub fn metrics_text(&self) -> String {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .to_prometheus("sdvbs_serve")
+    }
+
+    /// Folds an external registry (e.g. a connection thread's request
+    /// stats) into the engine's lifetime registry.
+    pub fn merge_metrics(&self, other: &MetricsRegistry) {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(other);
+    }
+
+    /// Current value of a lifetime counter (for tests and the smoke gate).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .counter(name)
+    }
+
+    fn worker_loop(&self) {
+        while let Some(id) = self.queue.pop() {
+            let spec = {
+                let mut st = self.lock_state();
+                if st.draining {
+                    // Queued at drain time: reject without executing.
+                    let entry = &mut st.jobs[id as usize];
+                    entry.state =
+                        JobState::Rejected("server shutting down before execution".into());
+                    let digest = entry.digest;
+                    st.inflight.release(digest, id);
+                    self.incr("rejected_draining");
+                    self.changed.notify_all();
+                    continue;
+                }
+                let entry = &mut st.jobs[id as usize];
+                entry.state = JobState::Running;
+                self.changed.notify_all();
+                entry.spec.clone()
+            };
+            if let Some(hold) = self.cfg.hold {
+                thread::sleep(hold);
+            }
+            let started = Instant::now();
+            let result = execute_job(&spec, id, self.auto_threads, &self.host, self.cfg.timeout);
+            let exec_ms = started.elapsed().as_secs_f64() * 1e3;
+            let mut st = self.lock_state();
+            let entry = &mut st.jobs[id as usize];
+            match result {
+                Ok(record) => {
+                    self.cache.put(entry.digest, &record);
+                    entry.state = JobState::Done(Box::new(record));
+                    self.incr("jobs_executed");
+                    self.observe("job_exec_ms", exec_ms);
+                }
+                Err(e) => {
+                    entry.state = JobState::Rejected(e.to_string());
+                    self.incr("jobs_invalid");
+                }
+            }
+            let digest = entry.digest;
+            st.inflight.release(digest, id);
+            self.changed.notify_all();
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, EngineState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn incr(&self, name: &str) {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .incr(name, 1);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .observe(name, value);
+    }
+}
+
+fn snapshot(id: u64, entry: &JobEntry) -> JobSnapshot {
+    match &entry.state {
+        JobState::Queued => JobSnapshot {
+            id,
+            state: "queued",
+            record: None,
+            detail: String::new(),
+        },
+        JobState::Running => JobSnapshot {
+            id,
+            state: "running",
+            record: None,
+            detail: String::new(),
+        },
+        JobState::Done(record) => JobSnapshot {
+            id,
+            state: "done",
+            record: Some(record.as_ref().clone()),
+            detail: String::new(),
+        },
+        JobState::Rejected(why) => JobSnapshot {
+            id,
+            state: "rejected",
+            record: None,
+            detail: why.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvbs_core::InputSize;
+
+    fn spec(seed: u64) -> Job {
+        Job::new(
+            "Disparity Map",
+            InputSize::Custom {
+                width: 32,
+                height: 24,
+            },
+            ExecPolicy::Serial,
+            seed,
+            1,
+        )
+    }
+
+    fn wait_done(engine: &Engine, id: u64) -> JobSnapshot {
+        let snap = engine
+            .wait_terminal(id, Duration::from_secs(60))
+            .expect("job exists");
+        assert!(snap.is_terminal(), "job {id} still {:?}", snap.state);
+        snap
+    }
+
+    #[test]
+    fn execute_then_serve_identical_spec_from_cache() {
+        let engine = Engine::start(EngineConfig::default());
+        let id = match engine.submit(spec(1), false) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        let first = wait_done(&engine, id);
+        assert_eq!(first.state, "done");
+        // Second submission: served from cache, no new job id allocated.
+        match engine.submit(spec(1), false) {
+            Submission::Cached(rec) => assert_eq!(rec.seed, 1),
+            other => panic!("expected Cached, got {other:?}"),
+        }
+        assert_eq!(engine.counter("jobs_executed"), 1);
+        assert_eq!(engine.counter("cache_hits"), 1);
+        // fresh=1 bypasses the cache and re-executes.
+        let id2 = match engine.submit(spec(1), true) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        wait_done(&engine, id2);
+        assert_eq!(engine.counter("jobs_executed"), 2);
+        engine.drain();
+    }
+
+    #[test]
+    fn identical_inflight_specs_coalesce() {
+        // Hold each job 200 ms so the first is reliably in flight when
+        // the duplicate arrives.
+        let engine = Engine::start(EngineConfig {
+            hold: Some(Duration::from_millis(200)),
+            ..EngineConfig::default()
+        });
+        let id = match engine.submit(spec(2), false) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        match engine.submit(spec(2), false) {
+            Submission::Coalesced(other) => assert_eq!(other, id),
+            other => panic!("expected Coalesced, got {other:?}"),
+        }
+        let snap = wait_done(&engine, id);
+        assert_eq!(snap.state, "done");
+        assert_eq!(engine.counter("jobs_executed"), 1);
+        assert_eq!(engine.counter("coalesced"), 1);
+        engine.drain();
+    }
+
+    #[test]
+    fn full_queue_refuses_admission() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            hold: Some(Duration::from_millis(300)),
+            ..EngineConfig::default()
+        });
+        let first = match engine.submit(spec(10), false) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        // Wait until the worker picks it up (frees the queue slot).
+        while engine.get(first).unwrap().state == "queued" {
+            thread::sleep(Duration::from_millis(2));
+        }
+        // Fill the single slot, then overflow it.
+        assert!(matches!(
+            engine.submit(spec(11), false),
+            Submission::Queued(_)
+        ));
+        assert!(matches!(
+            engine.submit(spec(12), false),
+            Submission::QueueFull
+        ));
+        assert_eq!(engine.counter("rejected_queue_full"), 1);
+        engine.drain();
+    }
+
+    #[test]
+    fn drain_finishes_running_work_and_rejects_queued_work() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+            hold: Some(Duration::from_millis(300)),
+            ..EngineConfig::default()
+        });
+        let running = match engine.submit(spec(20), false) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        while engine.get(running).unwrap().state == "queued" {
+            thread::sleep(Duration::from_millis(2));
+        }
+        let queued = match engine.submit(spec(21), false) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        let report = engine.drain();
+        assert_eq!(engine.get(running).unwrap().state, "done");
+        assert_eq!(engine.get(queued).unwrap().state, "rejected");
+        assert_eq!(
+            report,
+            DrainReport {
+                completed: 1,
+                rejected: 1
+            }
+        );
+        // Post-drain submissions are refused.
+        assert!(matches!(
+            engine.submit(spec(22), false),
+            Submission::Draining
+        ));
+    }
+}

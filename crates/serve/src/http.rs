@@ -1,0 +1,539 @@
+//! A hand-rolled HTTP/1.1 message layer over byte buffers.
+//!
+//! No sockets here: [`parse_request`] and [`parse_response`] consume a
+//! byte slice and either return a complete message plus the number of
+//! bytes it occupied (so keep-alive connections can parse pipelined
+//! messages out of one buffer) or report [`HttpError::Incomplete`],
+//! telling the caller to read more. The server and the load generator
+//! both drive these parsers from their own socket loops.
+//!
+//! Request bodies support both HTTP/1.1 framings — `Content-Length` and
+//! `Transfer-Encoding: chunked` — and [`Request::to_bytes`] can serialize
+//! with either, which is what the property test round-trips.
+
+use std::fmt;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Hard cap on a request body; a job spec is a few hundred bytes.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Why a buffer did not yield a complete message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The buffer ends mid-message; read more bytes and retry.
+    Incomplete,
+    /// The bytes cannot be an HTTP/1.1 message (or exceed a size cap);
+    /// the connection should answer 400 and close.
+    Malformed(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Incomplete => write!(f, "incomplete HTTP message"),
+            HttpError::Malformed(why) => write!(f, "malformed HTTP message: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// How a serialized request frames its body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// A `Content-Length: N` header followed by the body verbatim.
+    ContentLength,
+    /// `Transfer-Encoding: chunked`, splitting the body into chunks of at
+    /// most `chunk` bytes (clamped to at least 1).
+    Chunked {
+        /// Maximum bytes per chunk.
+        chunk: usize,
+    },
+}
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), verbatim.
+    pub method: String,
+    /// Request target: path plus optional query, verbatim.
+    pub target: String,
+    /// Headers in order; names lowercased by the parser, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The de-framed body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A bodiless request with no headers.
+    pub fn new(method: impl Into<String>, target: impl Into<String>) -> Self {
+        Request {
+            method: method.into(),
+            target: target.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// First header value under `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (before any `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The target's query parameters, as decoded `key=value` pairs (no
+    /// percent-decoding — the job API never needs it).
+    pub fn query(&self) -> Vec<(String, String)> {
+        let Some((_, q)) = self.target.split_once('?') else {
+            return Vec::new();
+        };
+        q.split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (kv.to_string(), String::new()),
+            })
+            .collect()
+    }
+
+    /// Serializes the request with the given body framing. The framing
+    /// header (`content-length` or `transfer-encoding`) is appended after
+    /// the stored headers, which is exactly where [`parse_request`] will
+    /// report it on the way back in.
+    pub fn to_bytes(&self, framing: Framing) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, self.target).as_bytes());
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        match framing {
+            Framing::ContentLength => {
+                out.extend_from_slice(
+                    format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes(),
+                );
+                out.extend_from_slice(&self.body);
+            }
+            Framing::Chunked { chunk } => {
+                out.extend_from_slice(b"transfer-encoding: chunked\r\n\r\n");
+                for piece in self.body.chunks(chunk.max(1)) {
+                    out.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+                    out.extend_from_slice(piece);
+                    out.extend_from_slice(b"\r\n");
+                }
+                out.extend_from_slice(b"0\r\n\r\n");
+            }
+        }
+        out
+    }
+}
+
+/// A parsed HTTP/1.1 response (the load generator's half of the
+/// conversation). Only `Content-Length` framing — the server always
+/// responds with an explicit length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseMsg {
+    /// Status code.
+    pub status: u16,
+    /// Headers in order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ResponseMsg {
+    /// First header value under `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// An outgoing response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `content-type` / `content-length`.
+    pub headers: Vec<(String, String)>,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response (the `/metrics` exposition).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Appends a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response with `Content-Length` framing.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("content-type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Parses one request from the front of `buf`, returning it together with
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`HttpError::Incomplete`] when `buf` ends mid-message;
+/// [`HttpError::Malformed`] for bytes that can never become a valid
+/// request (bad request line, bad framing, or a size cap exceeded).
+pub fn parse_request(buf: &[u8]) -> Result<(Request, usize), HttpError> {
+    let head_end = find_head_end(buf)?;
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+    let headers = parse_headers(lines)?;
+    let mut req = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let body_start = head_end + 4;
+    let consumed = match body_framing(&req)? {
+        BodyFraming::None => body_start,
+        BodyFraming::Length(n) => {
+            if n > MAX_BODY {
+                return Err(HttpError::Malformed(format!("body of {n} bytes over cap")));
+            }
+            if buf.len() < body_start + n {
+                return Err(HttpError::Incomplete);
+            }
+            req.body = buf[body_start..body_start + n].to_vec();
+            body_start + n
+        }
+        BodyFraming::Chunked => {
+            let (body, consumed) = parse_chunked(&buf[body_start..])?;
+            req.body = body;
+            body_start + consumed
+        }
+    };
+    Ok((req, consumed))
+}
+
+/// Parses one response from the front of `buf` (status line, headers, and
+/// a `Content-Length` body), returning it with the bytes consumed.
+///
+/// # Errors
+///
+/// Same contract as [`parse_request`].
+pub fn parse_response(buf: &[u8]) -> Result<(ResponseMsg, usize), HttpError> {
+    let head_end = find_head_end(buf)?;
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let mut parts = status_line.splitn(3, ' ');
+    let (version, code) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "bad status line {status_line:?}"
+        )));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| HttpError::Malformed(format!("bad status code {code:?}")))?;
+    let headers = parse_headers(lines)?;
+    let msg = ResponseMsg {
+        status,
+        headers,
+        body: Vec::new(),
+    };
+    let body_start = head_end + 4;
+    let n = match msg.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if n > MAX_BODY {
+        return Err(HttpError::Malformed(format!("body of {n} bytes over cap")));
+    }
+    if buf.len() < body_start + n {
+        return Err(HttpError::Incomplete);
+    }
+    Ok((
+        ResponseMsg {
+            body: buf[body_start..body_start + n].to_vec(),
+            ..msg
+        },
+        body_start + n,
+    ))
+}
+
+/// Locates the `\r\n\r\n` head terminator, enforcing [`MAX_HEAD`].
+fn find_head_end(buf: &[u8]) -> Result<usize, HttpError> {
+    match buf.windows(4).take(MAX_HEAD).position(|w| w == b"\r\n\r\n") {
+        Some(pos) => Ok(pos),
+        None if buf.len() >= MAX_HEAD => {
+            Err(HttpError::Malformed("head exceeds 16 KiB cap".into()))
+        }
+        None => Err(HttpError::Incomplete),
+    }
+}
+
+/// Parses `name: value` header lines; names lowercased, values trimmed.
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+enum BodyFraming {
+    None,
+    Length(usize),
+    Chunked,
+}
+
+/// Decides the request's body framing from its headers. A request with
+/// both framings is malformed (smuggling ambiguity).
+fn body_framing(req: &Request) -> Result<BodyFraming, HttpError> {
+    let chunked = req
+        .header("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    match (chunked, req.header("content-length")) {
+        (true, Some(_)) => Err(HttpError::Malformed(
+            "both transfer-encoding and content-length".into(),
+        )),
+        (true, None) => Ok(BodyFraming::Chunked),
+        (false, Some(v)) => v
+            .parse::<usize>()
+            .map(BodyFraming::Length)
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}"))),
+        (false, None) => Ok(BodyFraming::None),
+    }
+}
+
+/// De-frames a chunked body starting at `buf[0]`, returning the body and
+/// the encoded length (through the terminating zero chunk).
+fn parse_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize), HttpError> {
+    let mut body = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let line_end = buf[at..]
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or(HttpError::Incomplete)?;
+        let size_text = std::str::from_utf8(&buf[at..at + line_end])
+            .map_err(|_| HttpError::Malformed("chunk size is not UTF-8".into()))?;
+        // Chunk extensions (after ';') are allowed and ignored.
+        let size_text = size_text.split(';').next().unwrap_or_default().trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_text:?}")))?;
+        if body.len() + size > MAX_BODY {
+            return Err(HttpError::Malformed("chunked body over cap".into()));
+        }
+        at += line_end + 2;
+        if size == 0 {
+            // No trailer support: the zero chunk must be followed by the
+            // final CRLF immediately.
+            if buf.len() < at + 2 {
+                return Err(HttpError::Incomplete);
+            }
+            if &buf[at..at + 2] != b"\r\n" {
+                return Err(HttpError::Malformed("trailers are not supported".into()));
+            }
+            return Ok((body, at + 2));
+        }
+        if buf.len() < at + size + 2 {
+            return Err(HttpError::Incomplete);
+        }
+        body.extend_from_slice(&buf[at..at + size]);
+        if &buf[at + size..at + size + 2] != b"\r\n" {
+            return Err(HttpError::Malformed("chunk data missing CRLF".into()));
+        }
+        at += size + 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_length_request_roundtrips() {
+        let mut req = Request::new("POST", "/v1/jobs?fresh=1");
+        req.headers.push(("host".into(), "localhost".into()));
+        req.body = b"{\"benchmark\":\"Disparity Map\"}".to_vec();
+        let bytes = req.to_bytes(Framing::ContentLength);
+        let (parsed, used) = parse_request(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path(), "/v1/jobs");
+        assert_eq!(parsed.query(), vec![("fresh".to_string(), "1".to_string())]);
+        assert_eq!(parsed.body, req.body);
+        assert_eq!(parsed.header("host"), Some("localhost"));
+        assert_eq!(parsed.header("content-length"), Some("29"));
+    }
+
+    #[test]
+    fn chunked_request_roundtrips() {
+        let mut req = Request::new("POST", "/v1/jobs");
+        req.body = (0u8..=255).collect();
+        let bytes = req.to_bytes(Framing::Chunked { chunk: 7 });
+        let (parsed, used) = parse_request(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.body, req.body);
+        assert_eq!(parsed.header("transfer-encoding"), Some("chunked"));
+    }
+
+    #[test]
+    fn truncated_requests_report_incomplete_at_every_prefix() {
+        let mut req = Request::new("POST", "/v1/jobs");
+        req.body = b"hello world".to_vec();
+        for framing in [Framing::ContentLength, Framing::Chunked { chunk: 4 }] {
+            let bytes = req.to_bytes(framing);
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    parse_request(&bytes[..cut]).unwrap_err(),
+                    HttpError::Incomplete,
+                    "prefix of {cut} bytes under {framing:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let a = Request::new("GET", "/healthz").to_bytes(Framing::ContentLength);
+        let b = Request::new("GET", "/metrics").to_bytes(Framing::ContentLength);
+        let buf = [a.clone(), b].concat();
+        let (first, used) = parse_request(&buf).unwrap();
+        assert_eq!(first.target, "/healthz");
+        assert_eq!(used, a.len());
+        let (second, _) = parse_request(&buf[used..]).unwrap();
+        assert_eq!(second.target, "/metrics");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let cases: &[&[u8]] = &[
+            b"NOT-HTTP\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: ten\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: 3\r\ntransfer-encoding: chunked\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n",
+        ];
+        for bytes in cases {
+            assert!(
+                matches!(parse_request(bytes), Err(HttpError::Malformed(_))),
+                "{:?}",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_not_buffered_forever() {
+        let huge = vec![b'a'; MAX_HEAD + 1];
+        assert!(matches!(parse_request(&huge), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resp =
+            Response::json(429, "{\"error\":\"queue full\"}").with_header("retry-after", "1");
+        let bytes = resp.to_bytes();
+        let (parsed, used) = parse_response(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert_eq!(parsed.body_text(), "{\"error\":\"queue full\"}");
+        assert_eq!(
+            parse_response(&bytes[..bytes.len() - 1]).unwrap_err(),
+            HttpError::Incomplete
+        );
+    }
+}

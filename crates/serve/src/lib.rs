@@ -1,0 +1,42 @@
+//! `sdvbs-serve` — a networked benchmark-serving layer over the SD-VBS
+//! runner.
+//!
+//! The daemon accepts job specs (benchmark × input size × execution
+//! policy × seed) over a hand-rolled HTTP/1.1 interface on
+//! `std::net::TcpListener` — no external dependencies — and executes them
+//! on the runner's bounded-queue worker pool. Three serving mechanisms
+//! sit between the socket and the pool:
+//!
+//! - **Result caching** ([`cache`]): a completed record is stored under
+//!   the content digest of its spec; an identical later submission is
+//!   answered immediately (`?fresh=1` opts out).
+//! - **Request coalescing** ([`coalesce`]): a submission identical to a
+//!   queued or running job attaches to that job instead of duplicating
+//!   the execution.
+//! - **Admission control** ([`engine`]): the queue bound is the admission
+//!   bound — a full queue refuses with `429 Too Many Requests` rather
+//!   than buffering unbounded work, and a draining server answers `503`.
+//!
+//! [`server`] owns the sockets and graceful shutdown, [`router`] maps
+//! endpoints to engine calls, and [`loadgen`] is a closed-loop client
+//! that measures end-to-end latency split by cache-hit vs cache-miss.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod coalesce;
+pub mod engine;
+pub mod http;
+pub mod loadgen;
+pub mod router;
+pub mod server;
+pub mod shutdown;
+
+pub use cache::{fnv1a, spec_digest, ResultCache};
+pub use coalesce::InflightMap;
+pub use engine::{Engine, EngineConfig, JobSnapshot, Submission};
+pub use http::{parse_request, parse_response, Framing, HttpError, Request, Response, ResponseMsg};
+pub use loadgen::{run_loadgen, spec_body, Client, LoadgenConfig, LoadgenReport};
+pub use server::{Server, ServerConfig};
+pub use shutdown::{DrainReport, ShutdownController};

@@ -1,0 +1,504 @@
+//! `sdvbs-serve` — CLI for the benchmark-serving daemon.
+//!
+//! ```text
+//! sdvbs-serve serve   [--addr HOST:PORT] [--workers N] [--queue N]
+//!                     [--timeout-ms N]
+//! sdvbs-serve loadgen --addr HOST:PORT [--conns N] [--requests N]
+//!                     [--bench NAME] [--size S] [--policy P] [--seed N]
+//!                     [--iterations N] [--unique N] [--poll-ms N]
+//! sdvbs-serve smoke
+//! ```
+//!
+//! `serve` runs until a client posts `/v1/shutdown`, then drains
+//! gracefully and exits. `loadgen` drives a running server closed-loop
+//! and prints hit/miss latency percentiles. `smoke` is the CI gate: it
+//! starts servers in-process and checks caching, coalescing, admission
+//! control, graceful drain, the metrics exposition, and the trace
+//! endpoint end to end.
+//!
+//! Exit codes: 0 success, 1 a smoke/loadgen gate failed, 2 usage or
+//! runtime error.
+
+use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
+use sdvbs_runner::{parse_policy, parse_size, Job};
+use sdvbs_serve::{
+    run_loadgen, spec_body, Client, EngineConfig, LoadgenConfig, Server, ServerConfig,
+};
+use sdvbs_trace::jsonl::Value;
+use sdvbs_trace::Trace;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
+        "smoke" => cmd_smoke(rest),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sdvbs-serve serve   [--addr HOST:PORT] [--workers N] [--queue N]
+                      [--timeout-ms N]
+  sdvbs-serve loadgen --addr HOST:PORT [--conns N] [--requests N]
+                      [--bench NAME] [--size S] [--policy P] [--seed N]
+                      [--iterations N] [--unique N] [--poll-ms N]
+  sdvbs-serve smoke
+
+serve runs until a client POSTs /v1/shutdown, then drains and exits.
+sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto";
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:8099".to_string(),
+        engine: EngineConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => cfg.engine.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue" => {
+                cfg.engine.queue_capacity = parse_num(&value("--queue")?, "--queue")?;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
+                cfg.engine.timeout = Some(Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let (workers, queue) = (cfg.engine.workers.max(1), cfg.engine.queue_capacity.max(1));
+    let server = Server::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    println!(
+        "sdvbs-serve listening on {} ({workers} workers, queue {queue})",
+        server.addr(),
+    );
+    let report = server.wait();
+    println!(
+        "drained: {} completed, {} rejected",
+        report.completed, report.rejected
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = None;
+    let mut conns = 4usize;
+    let mut requests = 50usize;
+    let mut bench = "Disparity Map".to_string();
+    let mut size = InputSize::Sqcif;
+    let mut policy = ExecPolicy::Serial;
+    let mut seed = 1u64;
+    let mut iterations = 1usize;
+    let mut unique = 4u64;
+    let mut poll_ms = 1000u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--conns" => conns = parse_num(&value("--conns")?, "--conns")?,
+            "--requests" => requests = parse_num(&value("--requests")?, "--requests")?,
+            "--bench" => bench = value("--bench")?,
+            "--size" => size = parse_size(&value("--size")?)?,
+            "--policy" => policy = parse_policy(&value("--policy")?)?,
+            "--seed" => seed = parse_num(&value("--seed")?, "--seed")?,
+            "--iterations" => iterations = parse_num(&value("--iterations")?, "--iterations")?,
+            "--unique" => unique = parse_num(&value("--unique")?, "--unique")?,
+            "--poll-ms" => poll_ms = parse_num(&value("--poll-ms")?, "--poll-ms")?,
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or("loadgen requires --addr HOST:PORT")?;
+    if !all_benchmarks().iter().any(|b| b.info().name == bench) {
+        return Err(format!("unknown benchmark {bench:?}"));
+    }
+    let cfg = LoadgenConfig {
+        addr,
+        conns,
+        requests,
+        spec: Job::new(bench, size, policy, seed, iterations),
+        unique,
+        poll_ms,
+    };
+    let report = run_loadgen(&cfg).map_err(|e| format!("loadgen failed: {e}"))?;
+    print!("{report}");
+    Ok(if report.errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// The CI smoke gate. Everything runs in-process on loopback.
+fn cmd_smoke(args: &[String]) -> Result<ExitCode, String> {
+    if !args.is_empty() {
+        return Err(format!("smoke takes no flags\n{USAGE}"));
+    }
+    match smoke() {
+        Ok(()) => {
+            println!("serve smoke: PASS");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(why) => {
+            eprintln!("serve smoke: FAIL: {why}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn smoke() -> Result<(), String> {
+    let threads_before = thread_count();
+
+    // --- Server A: single worker, single queue slot, held execution, so
+    // cache / coalescing / 429 / drain transitions are deterministic. ---
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            timeout: None,
+            hold: Some(Duration::from_millis(400)),
+        },
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let spec = Job::new(
+        "Disparity Map",
+        InputSize::Custom {
+            width: 32,
+            height: 24,
+        },
+        ExecPolicy::Serial,
+        7,
+        1,
+    );
+
+    // 1. Miss: submit, long-poll to done; the sample includes the hold.
+    let started = Instant::now();
+    let resp = post_jobs(&mut client, &spec_body(&spec, 7), "")?;
+    expect_status("first submission", resp.0, 202)?;
+    let id = field_u64(&resp.1, "id")?;
+    poll_until(&mut client, id, "done", Duration::from_secs(60))?;
+    let miss_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // 2. Hit: identical spec is answered from cache, fast.
+    let started = Instant::now();
+    let resp = post_jobs(&mut client, &spec_body(&spec, 7), "")?;
+    let hit_ms = started.elapsed().as_secs_f64() * 1e3;
+    expect_status("cached submission", resp.0, 200)?;
+    if !field_bool(&resp.1, "cached")? {
+        return Err(format!("expected \"cached\":true, got {}", resp.1));
+    }
+    if hit_ms >= miss_ms * 0.01 {
+        return Err(format!(
+            "cache hit not cheap enough: hit {hit_ms:.3} ms vs miss {miss_ms:.3} ms (gate: <1%)"
+        ));
+    }
+    println!("  cache: miss {miss_ms:.1} ms, hit {hit_ms:.3} ms");
+
+    // 3. fresh=1 bypasses the cache and re-executes.
+    let resp = post_jobs(&mut client, &spec_body(&spec, 7), "?fresh=1")?;
+    expect_status("fresh submission", resp.0, 202)?;
+    let fresh_id = field_u64(&resp.1, "id")?;
+    poll_until(&mut client, fresh_id, "running", Duration::from_secs(10))?;
+
+    // 4. Fill the single queue slot with an uncached spec...
+    let resp = post_jobs(&mut client, &spec_body(&spec, 8), "")?;
+    expect_status("queue-filling submission", resp.0, 202)?;
+    let queued_id = field_u64(&resp.1, "id")?;
+
+    // 5. ...then coalesce onto it: the identical spec attaches to the
+    // in-flight job instead of consuming another queue slot.
+    let resp = post_jobs(&mut client, &spec_body(&spec, 8), "")?;
+    expect_status("coalesced submission", resp.0, 202)?;
+    if !field_bool(&resp.1, "coalesced")? {
+        return Err(format!("expected \"coalesced\":true, got {}", resp.1));
+    }
+    if field_u64(&resp.1, "id")? != queued_id {
+        return Err("coalesced submission did not attach to the in-flight job".into());
+    }
+
+    // 6. Admission control: the queue slot is taken, so a third distinct
+    // spec is refused.
+    let resp = post_jobs(&mut client, &spec_body(&spec, 9), "")?;
+    expect_status("overflow submission", resp.0, 429)?;
+    if resp.2.as_deref() != Some("1") {
+        return Err(format!("429 without retry-after: {:?}", resp.2));
+    }
+    println!("  admission: 429 with retry-after on a full queue");
+
+    // 7. Graceful drain: running work finishes, queued work is rejected,
+    // new work is refused, every thread is joined.
+    let resp = client
+        .request("POST", "/v1/shutdown", None)
+        .map_err(|e| format!("shutdown request: {e}"))?;
+    expect_status("shutdown", resp.status, 200)?;
+    let resp = post_jobs(&mut client, &spec_body(&spec, 10), "")?;
+    expect_status("post-shutdown submission", resp.0, 503)?;
+    poll_until(&mut client, fresh_id, "done", Duration::from_secs(60))?;
+    poll_until(&mut client, queued_id, "rejected", Duration::from_secs(60))?;
+    drop(client);
+    let report = server.wait();
+    if report.completed < 2 || report.rejected < 1 {
+        return Err(format!("unexpected drain report: {report:?}"));
+    }
+    println!(
+        "  drain: {} completed, {} rejected, listener closed",
+        report.completed, report.rejected
+    );
+    if let (Some(before), Some(_)) = (threads_before, thread_count()) {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let now = thread_count().unwrap_or(before);
+            if now <= before {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("thread leak after drain: {before} -> {now}"));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // --- Server B: real concurrency, a loadgen burst, and the metrics /
+    // trace exposition gates. ---
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+            timeout: None,
+            hold: None,
+        },
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr().to_string();
+    let cfg = LoadgenConfig {
+        addr: addr.clone(),
+        conns: 4,
+        requests: 50,
+        spec: Job::new(
+            "Disparity Map",
+            InputSize::Custom {
+                width: 32,
+                height: 24,
+            },
+            ExecPolicy::Serial,
+            100,
+            1,
+        ),
+        unique: 4,
+        poll_ms: 1000,
+    };
+    let lg = run_loadgen(&cfg).map_err(|e| format!("loadgen: {e}"))?;
+    print!("{lg}");
+    if lg.errors != 0 || lg.sent != 50 {
+        return Err(format!(
+            "loadgen burst: {} ok, {} errors",
+            lg.sent, lg.errors
+        ));
+    }
+    if lg.hits.count() == 0 || lg.misses.count() == 0 {
+        return Err(format!(
+            "expected both latency classes populated: {} hits, {} misses",
+            lg.hits.count(),
+            lg.misses.count()
+        ));
+    }
+
+    check_metrics(&addr)?;
+    check_trace(&addr)?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let resp = client
+        .request("POST", "/v1/shutdown", None)
+        .map_err(|e| format!("shutdown request: {e}"))?;
+    expect_status("shutdown", resp.status, 200)?;
+    drop(client);
+    server.wait();
+    Ok(())
+}
+
+/// Structural gate on the `/metrics` exposition: every line is
+/// `name value` or `name{stat="..."} value`, every name carries the
+/// `sdvbs_serve_` prefix, every value parses as a float, and the
+/// counters/histograms the dashboardable story depends on are present.
+/// Connection-local request stats merge when their connection closes, so
+/// this retries briefly until they appear.
+fn check_metrics(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let text = loop {
+        let resp = client
+            .request("GET", "/metrics", None)
+            .map_err(|e| format!("GET /metrics: {e}"))?;
+        expect_status("/metrics", resp.status, 200)?;
+        let text = resp.body_text();
+        if text.contains("sdvbs_serve_http_requests ") || Instant::now() >= deadline {
+            break text;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    let mut names = Vec::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("metrics line without value: {line:?}"))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("metrics value not a number: {line:?}"))?;
+        let name = name_part.split('{').next().unwrap_or_default();
+        if !name.starts_with("sdvbs_serve_") {
+            return Err(format!("metrics name missing prefix: {line:?}"));
+        }
+        if let Some(rest) = name_part.strip_prefix(name) {
+            let labels_ok =
+                rest.is_empty() || (rest.starts_with("{stat=\"") && rest.ends_with("\"}"));
+            if !labels_ok {
+                return Err(format!("bad metrics labels: {line:?}"));
+            }
+        }
+        names.push(name_part.to_string());
+    }
+    for required in [
+        "sdvbs_serve_jobs_executed",
+        "sdvbs_serve_cache_hits",
+        "sdvbs_serve_http_requests",
+        "sdvbs_serve_job_exec_ms{stat=\"count\"}",
+        "sdvbs_serve_request_ms{stat=\"p99\"}",
+    ] {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("missing required metric {required:?}"));
+        }
+    }
+    println!("  metrics: {} exposition lines, structure ok", names.len());
+    Ok(())
+}
+
+/// The `/v1/trace` endpoint must serve a loadable, structurally valid
+/// Chrome trace of the request spans recorded so far.
+fn check_trace(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = client
+            .request("GET", "/v1/trace", None)
+            .map_err(|e| format!("GET /v1/trace: {e}"))?;
+        expect_status("/v1/trace", resp.status, 200)?;
+        let trace = Trace::from_chrome_json(&resp.body_text())
+            .map_err(|e| format!("trace does not parse: {e}"))?;
+        if !trace.is_empty() {
+            let stats = trace
+                .validate()
+                .map_err(|e| format!("trace does not validate: {e}"))?;
+            println!(
+                "  trace: {} events across {} tracks, spans balanced",
+                trace.events().len(),
+                stats.tracks
+            );
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err("trace stayed empty (no connection spans absorbed)".into());
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// POSTs a job spec; returns (status, body, retry-after header).
+fn post_jobs(
+    client: &mut Client,
+    body: &str,
+    query: &str,
+) -> Result<(u16, String, Option<String>), String> {
+    let resp = client
+        .request("POST", &format!("/v1/jobs{query}"), Some(body))
+        .map_err(|e| format!("POST /v1/jobs: {e}"))?;
+    let retry_after = resp.header("retry-after").map(str::to_string);
+    Ok((resp.status, resp.body_text(), retry_after))
+}
+
+/// Polls `GET /v1/jobs/<id>` until its state equals `want`.
+fn poll_until(client: &mut Client, id: u64, want: &str, limit: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + limit;
+    loop {
+        let resp = client
+            .request("GET", &format!("/v1/jobs/{id}?wait_ms=200"), None)
+            .map_err(|e| format!("GET /v1/jobs/{id}: {e}"))?;
+        let state = Value::parse(&resp.body_text())
+            .ok()
+            .and_then(|v| v.get("state").and_then(Value::as_str).map(String::from))
+            .ok_or_else(|| format!("job {id}: unparsable poll body"))?;
+        if state == want {
+            return Ok(());
+        }
+        if matches!(state.as_str(), "done" | "rejected") || Instant::now() >= deadline {
+            return Err(format!("job {id}: wanted state {want:?}, got {state:?}"));
+        }
+    }
+}
+
+fn expect_status(what: &str, got: u16, want: u16) -> Result<(), String> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("{what}: expected HTTP {want}, got {got}"))
+    }
+}
+
+fn field_u64(body: &str, field: &str) -> Result<u64, String> {
+    Value::parse(body)
+        .ok()
+        .and_then(|v| v.get(field).and_then(Value::as_u64))
+        .ok_or_else(|| format!("missing numeric field {field:?} in {body}"))
+}
+
+fn field_bool(body: &str, field: &str) -> Result<bool, String> {
+    let v = Value::parse(body).map_err(|e| format!("unparsable body {body}: {e}"))?;
+    match v.get(field) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing bool field {field:?} in {body}")),
+    }
+}
+
+/// Current thread count from `/proc/self/status` (Linux only).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: not a number: {text:?}"))
+}

@@ -86,6 +86,11 @@ impl Histogram {
     pub fn max(&self) -> Option<f64> {
         self.samples.iter().copied().max_by(f64::total_cmp)
     }
+
+    /// The raw samples, in observation order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
 }
 
 /// Named counters and histograms, in first-registration order.
@@ -143,6 +148,53 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.histograms.is_empty()
     }
 
+    /// Folds another registry into this one: counters add, histograms
+    /// concatenate their samples. The serve daemon merges each finished
+    /// run's per-run registry into its process-lifetime registry before
+    /// exposing it on `/metrics`.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            self.incr(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            for &s in h.samples() {
+                self.observe(name, s);
+            }
+        }
+    }
+
+    /// Renders the registry in a Prometheus-style text exposition format:
+    /// one `prefix_name value` line per counter, and for each histogram a
+    /// `prefix_name{stat="..."}` line per summary statistic
+    /// (count/sum/min/mean/p50/p90/p95/p99/max). Metric names are
+    /// sanitized to `[a-z0-9_]` so scrape parsers never see an invalid
+    /// identifier. Lines end with `\n`; an empty registry renders as the
+    /// empty string.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{prefix}_{} {v}\n", metric_name(name)));
+        }
+        for (name, h) in &self.histograms {
+            let name = metric_name(name);
+            let stats: [(&str, f64); 9] = [
+                ("count", h.count() as f64),
+                ("sum", h.sum()),
+                ("min", h.min().unwrap_or(0.0)),
+                ("mean", h.mean()),
+                ("p50", h.percentile(50.0).unwrap_or(0.0)),
+                ("p90", h.percentile(90.0).unwrap_or(0.0)),
+                ("p95", h.percentile(95.0).unwrap_or(0.0)),
+                ("p99", h.percentile(99.0).unwrap_or(0.0)),
+                ("max", h.max().unwrap_or(0.0)),
+            ];
+            for (stat, value) in stats {
+                out.push_str(&format!("{prefix}_{name}{{stat=\"{stat}\"}} {value}\n"));
+            }
+        }
+        out
+    }
+
     /// Serializes the registry as a `"kind":"metrics"` JSON object (one
     /// store line): counters verbatim, histograms as their summary
     /// statistics (count/sum/min/mean/p50/p90/p99/max).
@@ -179,6 +231,17 @@ impl MetricsRegistry {
             ("histograms".into(), histograms),
         ])
     }
+}
+
+/// Lowercases a metric name and maps every character outside `[a-z0-9_]`
+/// to `_`, the exposition format's identifier alphabet.
+fn metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c.to_ascii_lowercase() {
+            c @ ('a'..='z' | '0'..='9' | '_') => c,
+            _ => '_',
+        })
+        .collect()
 }
 
 impl fmt::Display for MetricsRegistry {
@@ -245,6 +308,45 @@ mod tests {
         assert_eq!(h.min(), Some(1.0));
         assert_eq!(h.max(), Some(4.0));
         assert_eq!(h.percentile(50.0), Some(2.0)); // ceil(2.0) = rank 2
+    }
+
+    #[test]
+    fn merge_adds_counters_and_concatenates_samples() {
+        let mut a = MetricsRegistry::new();
+        a.incr("jobs_completed", 2);
+        a.observe("wait_ms", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.incr("jobs_completed", 3);
+        b.incr("jobs_failed", 1);
+        b.observe("wait_ms", 3.0);
+        b.observe("wall_ms", 5.0);
+        a.merge(&b);
+        assert_eq!(a.counter("jobs_completed"), 5);
+        assert_eq!(a.counter("jobs_failed"), 1);
+        assert_eq!(a.histogram("wait_ms").unwrap().samples(), &[1.0, 3.0]);
+        assert_eq!(a.histogram("wall_ms").unwrap().count(), 1);
+        // Merging an empty registry is the identity.
+        let before = a.clone();
+        a.merge(&MetricsRegistry::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_line_per_stat_with_sanitized_names() {
+        let mut m = MetricsRegistry::new();
+        m.incr("jobs completed!", 4);
+        m.observe("Queue Wait-ms", 0.5);
+        m.observe("Queue Wait-ms", 1.5);
+        let text = m.to_prometheus("sdvbs");
+        assert!(text.lines().all(|l| !l.is_empty()));
+        assert!(text.contains("sdvbs_jobs_completed_ 4\n"));
+        assert!(text.contains("sdvbs_queue_wait_ms{stat=\"count\"} 2\n"));
+        assert!(text.contains("sdvbs_queue_wait_ms{stat=\"sum\"} 2\n"));
+        assert!(text.contains("sdvbs_queue_wait_ms{stat=\"p50\"} 0.5\n"));
+        assert!(text.contains("sdvbs_queue_wait_ms{stat=\"p99\"} 1.5\n"));
+        // One counter line + nine stat lines for the single histogram.
+        assert_eq!(text.lines().count(), 10);
+        assert!(MetricsRegistry::new().to_prometheus("x").is_empty());
     }
 
     #[test]
