@@ -172,6 +172,11 @@ impl Default for DisparityConfig {
 /// Convention: a scene point at `(x, y)` in `left` appears at `(x − d, y)`
 /// in `right`; the returned image holds `d` per left pixel.
 ///
+/// The search scans shifts `0..=min(max_disparity, width − 1)`: shifts at
+/// or beyond the image width all alias the fully-clamped shift `width − 1`
+/// and can never beat it under the strict-`<` argmin, so the clamp changes
+/// no output pixel (it only skips unwinnable work on narrow images).
+///
 /// Kernel attribution (visible through `prof`): `SSD`, `IntegralImage`,
 /// `Correlation`, `Sort` — the decomposition of Figure 1/Figure 3 in the
 /// paper.
@@ -243,43 +248,73 @@ fn disparity_pipeline(
     let w = left.width();
     let h = left.height();
     let radius = cfg.window / 2;
-    let shifts = cfg.max_disparity + 1;
+    // Shift-range clamp rule: displacing the right image by any
+    // `shift >= w - 1` clamps *every* sampled column to column 0, so all
+    // such shifts produce the same SSD surface and the same windowed
+    // costs. The strict-`<` running argmin keeps the earliest of a tied
+    // run, so searching `0..=min(max_disparity, w - 1)` returns a map
+    // bit-identical to searching the full `0..=max_disparity` — without
+    // burning time on shifts that cannot win. (`w >= window >= 1` here:
+    // empty/too-small images were rejected by the fallible entry.)
+    let shifts = cfg.max_disparity.min(w - 1) + 1;
     // Scans an ascending shift range, keeping the per-pixel running
     // argmin (strict `<`, so the earliest shift wins ties — the serial
     // tie-break the equivalence tests pin down).
     let search = |range: Range<usize>, prof: &mut Profiler| -> (Image, Image) {
         let mut best_cost = Image::filled(w, h, f32::INFINITY);
         let mut best_disp = Image::new(w, h);
+        let mut ssd = Image::new(w, h);
+        let mut cost = Image::new(w, h);
         for shift in range {
             // SSD kernel: pixel-wise squared difference between the left
-            // image and the right image displaced by `shift`.
-            let ssd = prof.kernel("SSD", |_| {
-                Image::from_fn(w, h, |x, y| {
-                    let r = right.get_clamped(x as isize - shift as isize, y as isize);
-                    let d = left.get(x, y) - r;
-                    d * d
-                })
+            // image and the right image displaced by `shift`. Columns
+            // `x < shift` all sample the replicated right column 0; the
+            // rest pair `left[x]` with `right[x - shift]`. Both segments
+            // are contiguous zips with no per-pixel clamping, and compute
+            // the same `(l - r)²` per pixel as the clamped scalar loop.
+            prof.kernel("SSD", |_| {
+                let split = shift.min(w);
+                for y in 0..h {
+                    let l = left.row(y);
+                    let r = right.row(y);
+                    let out = ssd.row_mut(y);
+                    let r0 = r[0];
+                    for (o, &lv) in out[..split].iter_mut().zip(&l[..split]) {
+                        let d = lv - r0;
+                        *o = d * d;
+                    }
+                    for ((o, &lv), &rv) in out[split..]
+                        .iter_mut()
+                        .zip(&l[split..])
+                        .zip(&r[..w - split])
+                    {
+                        let d = lv - rv;
+                        *o = d * d;
+                    }
+                }
             });
             // Integral image over the SSD surface.
             let ii = prof.kernel("IntegralImage", |_| IntegralImage::new(&ssd));
             // Correlation kernel: windowed aggregation of the SSD surface
-            // (SD-VBS `correlateSAD_2D` / `finalSAD`).
-            let cost = prof.kernel("Correlation", |_| {
-                Image::from_fn(w, h, |x, y| {
-                    let x0 = x.saturating_sub(radius);
-                    let y0 = y.saturating_sub(radius);
-                    let x1 = (x + radius + 1).min(w);
-                    let y1 = (y + radius + 1).min(h);
-                    ii.sum(x0, y0, x1 - x0, y1 - y0) as f32
-                })
+            // (SD-VBS `correlateSAD_2D` / `finalSAD`), one vectorized
+            // window-sum row at a time.
+            prof.kernel("Correlation", |_| {
+                for y in 0..h {
+                    ii.clipped_window_sums_into(radius, y, cost.row_mut(y));
+                }
             });
             // Sort kernel: running min-selection across the shift axis.
             prof.kernel("Sort", |_| {
-                for i in 0..w * h {
-                    let c = cost.as_slice()[i];
-                    if c < best_cost.as_slice()[i] {
-                        best_cost.as_mut_slice()[i] = c;
-                        best_disp.as_mut_slice()[i] = shift as f32;
+                let s = shift as f32;
+                for ((&c, bc), bd) in cost
+                    .as_slice()
+                    .iter()
+                    .zip(best_cost.as_mut_slice())
+                    .zip(best_disp.as_mut_slice())
+                {
+                    if c < *bc {
+                        *bc = c;
+                        *bd = s;
                     }
                 }
             });
@@ -309,11 +344,16 @@ fn disparity_pipeline(
         prof.absorb(local)
             .expect("worker profiler has no open scopes");
         prof.kernel("Sort", |_| {
-            for i in 0..w * h {
-                let c = cost.as_slice()[i];
-                if c < best_cost.as_slice()[i] {
-                    best_cost.as_mut_slice()[i] = c;
-                    best_disp.as_mut_slice()[i] = disp.as_slice()[i];
+            for (((&c, &d), bc), bd) in cost
+                .as_slice()
+                .iter()
+                .zip(disp.as_slice())
+                .zip(best_cost.as_mut_slice())
+                .zip(best_disp.as_mut_slice())
+            {
+                if c < *bc {
+                    *bc = c;
+                    *bd = d;
                 }
             }
         });
@@ -662,6 +702,79 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert_eq!((out[0].x, out[0].y), (32, 24));
+    }
+
+    /// The pre-fast-path dense search, kept as the bit-identity oracle:
+    /// per-pixel clamped SSD taps, per-pixel asserted `ii.sum` windows,
+    /// and an *unclamped* `0..=max_disparity` shift scan.
+    fn naive_disparity(left: &Image, right: &Image, max_d: usize, window: usize) -> Image {
+        let w = left.width();
+        let h = left.height();
+        let radius = window / 2;
+        let mut best_cost = Image::filled(w, h, f32::INFINITY);
+        let mut best_disp = Image::new(w, h);
+        for shift in 0..=max_d {
+            let ssd = Image::from_fn(w, h, |x, y| {
+                let r = right.get_clamped(x as isize - shift as isize, y as isize);
+                let d = left.get(x, y) - r;
+                d * d
+            });
+            let ii = IntegralImage::new(&ssd);
+            let cost = Image::from_fn(w, h, |x, y| {
+                let x0 = x.saturating_sub(radius);
+                let y0 = y.saturating_sub(radius);
+                let x1 = (x + radius + 1).min(w);
+                let y1 = (y + radius + 1).min(h);
+                ii.sum(x0, y0, x1 - x0, y1 - y0) as f32
+            });
+            for i in 0..w * h {
+                let c = cost.as_slice()[i];
+                if c < best_cost.as_slice()[i] {
+                    best_cost.as_mut_slice()[i] = c;
+                    best_disp.as_mut_slice()[i] = shift as f32;
+                }
+            }
+        }
+        best_disp
+    }
+
+    #[test]
+    fn shift_clamp_is_bit_identical_at_narrow_widths() {
+        // Regression for the shift-range clamp: at image widths straddling
+        // `max_disparity` (max_disparity − 1, max_disparity, + 1) the
+        // clamped search must reproduce the unclamped naive scan exactly,
+        // because every shift ≥ w − 1 samples only the replicated right
+        // column 0 and loses strict-`<` ties to the earliest such shift.
+        let max_d = 8usize;
+        for w in [max_d - 1, max_d, max_d + 1] {
+            let h = 12;
+            let left = Image::from_fn(w, h, |x, y| ((x * 31 + y * 17) % 97) as f32);
+            let right = Image::from_fn(w, h, |x, y| ((x * 13 + y * 7) % 89) as f32);
+            let cfg = DisparityConfig::new(max_d, 5).unwrap();
+            let mut prof = Profiler::new();
+            let disp = compute_disparity(&left, &right, &cfg, &mut prof);
+            assert_eq!(disp, naive_disparity(&left, &right, max_d, 5), "width {w}");
+        }
+    }
+
+    #[test]
+    fn dense_search_bit_identical_to_naive_for_every_policy() {
+        let s = stereo_pair(64, 48, 33);
+        let naive = naive_disparity(&s.left, &s.right, s.max_disparity, 9);
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::Threads(1),
+            ExecPolicy::Threads(3),
+            ExecPolicy::Threads(64),
+            ExecPolicy::Auto,
+        ] {
+            let cfg = DisparityConfig::new(s.max_disparity, 9)
+                .unwrap()
+                .with_exec(policy);
+            let mut prof = Profiler::new();
+            let disp = compute_disparity(&s.left, &s.right, &cfg, &mut prof);
+            assert_eq!(disp, naive, "{policy:?}");
+        }
     }
 
     #[test]

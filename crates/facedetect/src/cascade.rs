@@ -103,14 +103,21 @@ impl Cascade {
 
     /// Evaluates the cascade on a normalized window; `true` means every
     /// stage accepted (a face).
+    ///
+    /// Stump `i` of a stage always references stage feature `i`, so the
+    /// committee score is accumulated stump-by-stump with no per-window
+    /// feature-value buffer — the same additions in the same order as
+    /// [`StrongClassifier::classify`] on a collected value vector, minus
+    /// the allocation the old scan paid for every window.
     pub fn accepts(&self, ii: &IntegralImage, win: &NormalizedWindow) -> bool {
-        for stage in &self.stages {
-            let values: Vec<f64> = stage.features.iter().map(|f| f.eval(ii, win)).collect();
-            if !stage.classify(&values) {
-                return false;
-            }
-        }
-        true
+        self.stages.iter().all(|stage| {
+            let score: f64 = stage
+                .stumps
+                .iter()
+                .map(|st| st.alpha * st.vote(stage.features[st.feature].eval(ii, win)))
+                .sum();
+            score >= stage.threshold
+        })
     }
 
     /// Classifies a standalone `window × window` patch.
@@ -419,9 +426,22 @@ fn detect_pipeline(
     let scan = |rows: &[(usize, usize, usize)]| {
         let mut out = Vec::new();
         for &(size, stride, y) in rows {
+            // All windows of this scan row share the same two table-row
+            // bands of each integral image; borrowing them once turns the
+            // per-window normalization sums into four fixed-offset slice
+            // reads in the exact `d − b − c + a` order of
+            // `IntegralImage::sum` (bit-identical, no per-window asserts).
+            let top = ii.table_row(y);
+            let bot = ii.table_row(y + size);
+            let top2 = ii2.table_row(y);
+            let bot2 = ii2.table_row(y + size);
             let mut x = 0;
             while x + size <= img.width() {
-                let win = NormalizedWindow::new(&ii, &ii2, x, y, size, cascade.window());
+                let x1 = x + size;
+                let sum = bot[x1] - top[x1] - bot[x] + top[x];
+                let sum2 = bot2[x1] - top2[x1] - bot2[x] + top2[x];
+                let win =
+                    NormalizedWindow::from_window_sums(sum, sum2, x, y, size, cascade.window());
                 if cascade.accepts(&ii, &win) {
                     out.push(Detection {
                         x,

@@ -64,9 +64,32 @@ impl NormalizedWindow {
         size: usize,
         base: usize,
     ) -> Self {
+        Self::from_window_sums(
+            ii.sum(x0, y0, size, size),
+            ii2.sum(x0, y0, size, size),
+            x0,
+            y0,
+            size,
+            base,
+        )
+    }
+
+    /// Prepares a window from precomputed plain and squared window sums.
+    ///
+    /// This is the allocation- and assert-free entry the sliding-window
+    /// scan uses: the scan reads `sum`/`sum2` for a whole row of windows
+    /// straight off the integral-table rows (same `d − b − c + a` order as
+    /// [`IntegralImage::sum`]), so the resulting windows are bit-identical
+    /// to [`NormalizedWindow::new`].
+    pub fn from_window_sums(
+        sum: f64,
+        sum2: f64,
+        x0: usize,
+        y0: usize,
+        size: usize,
+        base: usize,
+    ) -> Self {
         let area = (size * size) as f64;
-        let sum = ii.sum(x0, y0, size, size);
-        let sum2 = ii2.sum(x0, y0, size, size);
         let mean = sum / area;
         let var = (sum2 / area - mean * mean).max(1.0);
         let inv_norm = 1.0 / (var.sqrt() * area);

@@ -1,5 +1,10 @@
 //! Derivative filters — the "Gradient" kernel of feature tracking, SIFT and
 //! stitch preprocessing.
+//!
+//! All gradient operators are separable 3-tap passes routed through the
+//! row/column convolutions in [`crate::conv`], so they take the same
+//! vectorized interior path + replicate-border split (and stay
+//! bit-identical to the scalar reference) without any code of their own.
 
 use crate::conv::{
     convolve_cols, convolve_cols_with, convolve_rows, convolve_rows_with, convolve_separable_with,

@@ -1,7 +1,16 @@
 //! Integral images and O(1) window sums — the "Integral Image" and
 //! "Area Sum" kernels shared by disparity, tracking, SIFT and face
 //! detection.
+//!
+//! The table build and the windowed-sum consumers are written in
+//! row-slice form: whole source and table rows are borrowed once and
+//! walked with contiguous iterators, so the inner loops carry no per-pixel
+//! bounds checks or coordinate clamping. Window sums over full rows
+//! ([`IntegralImage::clipped_window_sums_into`]) split into an interior
+//! path (fixed-offset slice reads, autovectorizable) and a thin clipped
+//! border path, bit-identical to per-pixel [`IntegralImage::sum`] calls.
 
+use sdvbs_exec::ExecPolicy;
 use sdvbs_image::Image;
 
 /// A summed-area table over an image, stored in `f64` to avoid the
@@ -48,10 +57,16 @@ impl IntegralImage {
         let stride = w + 1;
         let mut table = vec![0.0f64; stride * (h + 1)];
         for y in 0..h {
+            // Borrow the previous and current table rows as slices and walk
+            // them with the source row in lockstep: the running prefix sum
+            // is an inherent serial dependence, but the slice form removes
+            // the per-pixel index math and bounds checks of the naive loop
+            // (same additions in the same order — bit-identical table).
+            let (prev, cur) = table[y * stride..(y + 2) * stride].split_at_mut(stride);
             let mut row_acc = 0.0f64;
-            for x in 0..w {
-                row_acc += f(img.get(x, y));
-                table[(y + 1) * stride + x + 1] = table[y * stride + x + 1] + row_acc;
+            for ((c, &p), &v) in cur[1..].iter_mut().zip(&prev[1..]).zip(img.row(y)) {
+                row_acc += f(v);
+                *c = p + row_acc;
             }
         }
         IntegralImage {
@@ -101,21 +116,80 @@ impl IntegralImage {
         assert!(w > 0 && h > 0, "window must be non-empty");
         self.sum(x0, y0, w, h) / (w * h) as f64
     }
+
+    /// Borrows row `y` of the `(width+1) × (height+1)` summed-area table
+    /// (`0 ..= height`, row 0 being the zero pad row).
+    ///
+    /// This is the raw ingredient of the vectorized window-sum consumers:
+    /// with the top and bottom table rows of a window band in hand, the
+    /// sums of a whole row of equal-height windows are fixed-offset slice
+    /// reads (`bot[x1] - top[x1] - bot[x0] + top[x0]`, the same operation
+    /// order as [`IntegralImage::sum`]) with no per-window asserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y > self.height()`.
+    #[inline]
+    pub fn table_row(&self, y: usize) -> &[f64] {
+        assert!(y <= self.height, "table row {y} out of bounds");
+        let stride = self.width + 1;
+        &self.table[y * stride..(y + 1) * stride]
+    }
+
+    /// Writes, for every pixel of image row `y`, the sum of the
+    /// surrounding `(2·radius + 1)²` window clipped to the image into
+    /// `out` — one output row of the "Area Sum" kernel.
+    ///
+    /// Interior columns (full horizontal windows) take a branch-free
+    /// fixed-offset slice loop; the clipped left/right borders fall back
+    /// to per-pixel clamped lookups. Both evaluate the exact
+    /// `d - b - c + a` expression of [`IntegralImage::sum`], so the row is
+    /// bit-identical to per-pixel `sum` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= self.height()` or `out.len() != self.width()`.
+    pub fn clipped_window_sums_into(&self, radius: usize, y: usize, out: &mut [f32]) {
+        let w = self.width;
+        let h = self.height;
+        assert!(y < h, "row {y} out of bounds");
+        assert_eq!(out.len(), w, "output row must match the image width");
+        let y0 = y.saturating_sub(radius);
+        let y1 = (y + radius + 1).min(h);
+        let top = self.table_row(y0);
+        let bot = self.table_row(y1);
+        let lo = radius.min(w);
+        let hi = w.saturating_sub(radius).max(lo);
+        // Clipped border columns.
+        for x in (0..lo).chain(hi..w) {
+            let x0 = x.saturating_sub(radius);
+            let x1 = (x + radius + 1).min(w);
+            out[x] = (bot[x1] - top[x1] - bot[x0] + top[x0]) as f32;
+        }
+        // Interior columns: `hi > lo` implies `lo == radius`, so pixel
+        // `x = lo + j` reads table offsets `j` and `j + span` directly.
+        let span = 2 * radius + 1;
+        for (j, o) in out[lo..hi].iter_mut().enumerate() {
+            *o = (bot[j + span] - top[j + span] - bot[j] + top[j]) as f32;
+        }
+    }
 }
 
 /// Computes, for every pixel, the sum of the surrounding
 /// `(2 radius + 1)²` window clipped to the image — the tracker's
 /// "Area Sum" kernel. Runs in O(pixels) via an integral image.
 pub fn area_sum(img: &Image, radius: usize) -> Image {
+    area_sum_with(img, radius, ExecPolicy::Serial)
+}
+
+/// [`area_sum`] under an execution policy: output rows are distributed
+/// over worker threads, each filled through the vectorized
+/// [`IntegralImage::clipped_window_sums_into`] row path. Bit-identical to
+/// the serial result for any policy.
+pub fn area_sum_with(img: &Image, radius: usize, policy: ExecPolicy) -> Image {
     let ii = IntegralImage::new(img);
-    let w = img.width();
-    let h = img.height();
-    Image::from_fn(w, h, |x, y| {
-        let x0 = x.saturating_sub(radius);
-        let y0 = y.saturating_sub(radius);
-        let x1 = (x + radius + 1).min(w);
-        let y1 = (y + radius + 1).min(h);
-        ii.sum(x0, y0, x1 - x0, y1 - y0) as f32
+    Image::from_rows_with(img.width(), img.height(), policy, |y, out| {
+        ii.clipped_window_sums_into(radius, y, out);
     })
 }
 

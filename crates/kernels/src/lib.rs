@@ -14,6 +14,8 @@
 //! * [`features`] — Harris and KLT min-eigenvalue corner responses, local
 //!   maxima and top-k selection ("Sort" kernel), ANMS.
 //! * [`pyramid`] — Gaussian image pyramids.
+//! * [`reference`] — retained naive scalar implementations, the
+//!   bit-identity oracle for the vectorized fast paths above.
 //!
 //! # Examples
 //!
@@ -34,3 +36,4 @@ pub mod features;
 pub mod gradient;
 pub mod integral;
 pub mod pyramid;
+pub mod reference;

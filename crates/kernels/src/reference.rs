@@ -1,0 +1,115 @@
+//! Naive scalar reference kernels.
+//!
+//! These are the original per-pixel closure implementations (branchy
+//! `get_clamped` on every tap) that the vectorized interior/border fast
+//! paths in [`crate::conv`] and [`crate::integral`] replaced. They are
+//! retained verbatim as the **source of truth for bit-identical
+//! equivalence**: the `simd_equivalence` and `border_equivalence` test
+//! suites compare every fast-path kernel against these across random
+//! sizes, seeds, and [`sdvbs_exec::ExecPolicy`] variants.
+//!
+//! Nothing in the production pipelines calls these; they exist so the fast
+//! paths always have a slow, obviously-correct implementation to answer to.
+
+use crate::integral::IntegralImage;
+use sdvbs_image::Image;
+
+/// Naive row convolution: per-pixel clamped taps, ascending tap order.
+///
+/// # Panics
+///
+/// Panics if `k` is empty or has even length.
+pub fn convolve_rows(img: &Image, k: &[f32]) -> Image {
+    assert!(
+        !k.is_empty() && k.len() % 2 == 1,
+        "kernel must have odd length"
+    );
+    let half = (k.len() / 2) as isize;
+    Image::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, &kv) in k.iter().enumerate() {
+            let sx = x as isize + i as isize - half;
+            acc += kv * img.get_clamped(sx, y as isize);
+        }
+        acc
+    })
+}
+
+/// Naive column convolution: per-pixel clamped taps, ascending tap order.
+///
+/// # Panics
+///
+/// Panics if `k` is empty or has even length.
+pub fn convolve_cols(img: &Image, k: &[f32]) -> Image {
+    assert!(
+        !k.is_empty() && k.len() % 2 == 1,
+        "kernel must have odd length"
+    );
+    let half = (k.len() / 2) as isize;
+    Image::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, &kv) in k.iter().enumerate() {
+            let sy = y as isize + i as isize - half;
+            acc += kv * img.get_clamped(x as isize, sy);
+        }
+        acc
+    })
+}
+
+/// Naive dense 2-D convolution: per-pixel clamped taps in `(ky, kx)` order.
+///
+/// # Panics
+///
+/// Panics if the kernel dimensions are even, zero, or don't match `k`'s
+/// length.
+pub fn convolve_2d(img: &Image, k: &[f32], kw: usize, kh: usize) -> Image {
+    assert!(
+        kw % 2 == 1 && kh % 2 == 1 && kw > 0 && kh > 0,
+        "kernel must be odd-sized"
+    );
+    assert_eq!(k.len(), kw * kh, "kernel buffer must match dimensions");
+    let hw = (kw / 2) as isize;
+    let hh = (kh / 2) as isize;
+    Image::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let sx = x as isize + kx as isize - hw;
+                let sy = y as isize + ky as isize - hh;
+                acc += k[ky * kw + kx] * img.get_clamped(sx, sy);
+            }
+        }
+        acc
+    })
+}
+
+/// Naive clipped window sum: one asserted [`IntegralImage::sum`] call per
+/// pixel (the original "Area Sum" loop).
+pub fn area_sum(img: &Image, radius: usize) -> Image {
+    let ii = IntegralImage::new(img);
+    let w = img.width();
+    let h = img.height();
+    Image::from_fn(w, h, |x, y| {
+        let x0 = x.saturating_sub(radius);
+        let y0 = y.saturating_sub(radius);
+        let x1 = (x + radius + 1).min(w);
+        let y1 = (y + radius + 1).min(h);
+        ii.sum(x0, y0, x1 - x0, y1 - y0) as f32
+    })
+}
+
+/// Naive integral-image build: per-pixel `get` with explicit index math.
+pub fn integral_table(img: &Image) -> Vec<f64> {
+    let w = img.width();
+    let h = img.height();
+    let stride = w + 1;
+    let mut table = vec![0.0f64; stride * (h + 1)];
+    for y in 0..h {
+        let mut row_acc = 0.0f64;
+        for x in 0..w {
+            row_acc += img.get(x, y) as f64;
+            table[(y + 1) * stride + x + 1] = table[y * stride + x + 1] + row_acc;
+        }
+    }
+    table
+}

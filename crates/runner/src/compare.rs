@@ -19,8 +19,32 @@
 use crate::job::{RunRecord, RunStatus};
 use std::collections::BTreeMap;
 
+/// An absolute wall-time ceiling on candidate cells.
+///
+/// Unlike the relative gate, which only catches *drift* against a
+/// committed baseline, an absolute limit pins a hard performance budget:
+/// "Disparity Map at CIF must finish under N nanoseconds, full stop".
+/// The pattern is a `|`-separated prefix of the record key
+/// (`benchmark|size|policy|seed`), matched on whole fields — `"SVM"`
+/// matches `SVM|cif|serial|1` but not `SVMX|...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsoluteLimit {
+    /// Cell-key prefix the ceiling applies to.
+    pub pattern: String,
+    /// Ceiling on each matched cell's fastest iteration, in nanoseconds.
+    pub limit_ns: u64,
+}
+
+impl AbsoluteLimit {
+    /// Whether `key` is the pattern or extends it at a `|` boundary.
+    fn matches(&self, key: &str) -> bool {
+        key.strip_prefix(self.pattern.as_str())
+            .is_some_and(|rest| rest.is_empty() || rest.starts_with('|'))
+    }
+}
+
 /// Gate thresholds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CompareConfig {
     /// Allowed slowdown in percent (e.g. `40.0` lets the candidate min be
     /// up to 1.4× the baseline min).
@@ -32,6 +56,11 @@ pub struct CompareConfig {
     /// candidate or quarantined in it are counted and reported but do not
     /// fail the gate (for intentionally narrowed or chaos-mode runs).
     pub allow_missing: bool,
+    /// Absolute per-cell time ceilings, applied to the *candidate* records
+    /// independently of the baseline. A limit whose pattern matches no
+    /// candidate cell fails the gate too — a silently-unmatched gate (from
+    /// a typo or a renamed benchmark) would otherwise pass forever.
+    pub absolute_limits: Vec<AbsoluteLimit>,
 }
 
 impl Default for CompareConfig {
@@ -40,6 +69,7 @@ impl Default for CompareConfig {
             regression_limit_pct: 40.0,
             min_runtime_ms: 5.0,
             allow_missing: false,
+            absolute_limits: Vec::new(),
         }
     }
 }
@@ -70,6 +100,17 @@ pub enum RegressionKind {
         /// Attempts the candidate made before quarantine.
         attempts: u32,
     },
+    /// A candidate cell's fastest iteration exceeded an absolute ceiling.
+    OverLimit {
+        /// The configured ceiling, ns.
+        limit_ns: u64,
+        /// The candidate's fastest iteration, ns.
+        candidate_ns: u64,
+    },
+    /// An absolute limit's pattern matched no candidate cell; the key of
+    /// this regression is the offending pattern. Fails the gate so a typo
+    /// or benchmark rename can't quietly disable the ceiling.
+    LimitUnmatched,
 }
 
 /// One flagged cell.
@@ -108,6 +149,19 @@ impl Regression {
                     self.key
                 )
             }
+            RegressionKind::OverLimit {
+                limit_ns,
+                candidate_ns,
+            } => format!(
+                "OVER-LIMIT {}: {:.3} ms > {:.3} ms absolute ceiling ({candidate_ns} ns > {limit_ns} ns)",
+                self.key,
+                *candidate_ns as f64 / 1e6,
+                *limit_ns as f64 / 1e6,
+            ),
+            RegressionKind::LimitUnmatched => format!(
+                "UNMATCHED LIMIT {:?}: no candidate cell matches this absolute-limit pattern",
+                self.key
+            ),
         }
     }
 }
@@ -127,6 +181,9 @@ pub struct CompareReport {
     /// Missing or quarantined cells waved through by
     /// [`CompareConfig::allow_missing`].
     pub missing_allowed: usize,
+    /// Candidate cells checked against an absolute ceiling and found under
+    /// it.
+    pub absolute_passed: usize,
 }
 
 impl CompareReport {
@@ -212,6 +269,42 @@ pub fn compare(
             passed += 1;
         }
     }
+    // Absolute ceilings: gate the candidate's completed cells on their own
+    // fastest iteration, baseline-independent. Non-completed or
+    // quarantined matches are the relative gate's business (StatusBroke /
+    // Quarantined above); timing a run that never finished would be
+    // meaningless.
+    let mut absolute_passed = 0usize;
+    for lim in &cfg.absolute_limits {
+        let mut matched = false;
+        for (key, c) in &cand {
+            if !lim.matches(key) {
+                continue;
+            }
+            matched = true;
+            if c.quarantined || c.status != RunStatus::Completed {
+                continue;
+            }
+            let candidate_ns = (c.min_ms * 1e6).round() as u64;
+            if candidate_ns > lim.limit_ns {
+                regressions.push(Regression {
+                    key: key.clone(),
+                    kind: RegressionKind::OverLimit {
+                        limit_ns: lim.limit_ns,
+                        candidate_ns,
+                    },
+                });
+            } else {
+                absolute_passed += 1;
+            }
+        }
+        if !matched {
+            regressions.push(Regression {
+                key: lim.pattern.clone(),
+                kind: RegressionKind::LimitUnmatched,
+            });
+        }
+    }
     let added = cand.keys().filter(|k| !base.contains_key(*k)).count();
     CompareReport {
         regressions,
@@ -219,6 +312,7 @@ pub fn compare(
         below_floor,
         added,
         missing_allowed,
+        absolute_passed,
     }
 }
 
@@ -281,6 +375,7 @@ mod tests {
             regression_limit_pct: limit,
             min_runtime_ms: floor,
             allow_missing: false,
+            absolute_limits: Vec::new(),
         }
     }
 
@@ -400,6 +495,85 @@ mod tests {
         let report = compare(&base, &cand, &config);
         assert!(report.is_ok());
         assert_eq!(report.missing_allowed, 2);
+    }
+
+    #[test]
+    fn absolute_limit_flags_cells_over_the_ceiling() {
+        let base = vec![record("SVM", 100.0)];
+        let cand = vec![record("SVM", 100.0)]; // 100 ms = 1e8 ns
+        let mut config = cfg(40.0, 5.0);
+        config.absolute_limits = vec![AbsoluteLimit {
+            pattern: "SVM".into(),
+            limit_ns: 50_000_000, // 50 ms ceiling
+        }];
+        let report = compare(&base, &cand, &config);
+        match &report.regressions[..] {
+            [Regression {
+                key,
+                kind:
+                    RegressionKind::OverLimit {
+                        limit_ns,
+                        candidate_ns,
+                    },
+            }] => {
+                assert_eq!(key, "SVM|sqcif|serial|1");
+                assert_eq!(*limit_ns, 50_000_000);
+                assert_eq!(*candidate_ns, 100_000_000);
+            }
+            other => panic!("expected one OverLimit, got {other:?}"),
+        }
+        assert!(report.regressions[0].describe().contains("OVER-LIMIT"));
+    }
+
+    #[test]
+    fn absolute_limit_passes_cells_under_the_ceiling() {
+        let base = vec![record("SVM", 100.0)];
+        let cand = vec![record("SVM", 100.0)];
+        let mut config = cfg(40.0, 5.0);
+        config.absolute_limits = vec![AbsoluteLimit {
+            pattern: "SVM|sqcif".into(),
+            limit_ns: 200_000_000,
+        }];
+        let report = compare(&base, &cand, &config);
+        assert!(report.is_ok(), "{:?}", report.regressions);
+        assert_eq!(report.absolute_passed, 1);
+    }
+
+    #[test]
+    fn unmatched_absolute_limit_fails_the_gate() {
+        let base = vec![record("SVM", 100.0)];
+        let cand = vec![record("SVM", 100.0)];
+        let mut config = cfg(40.0, 5.0);
+        config.absolute_limits = vec![AbsoluteLimit {
+            pattern: "SVN".into(), // typo: matches nothing
+            limit_ns: 1_000_000_000,
+        }];
+        let report = compare(&base, &cand, &config);
+        match &report.regressions[..] {
+            [Regression {
+                key,
+                kind: RegressionKind::LimitUnmatched,
+            }] => assert_eq!(key, "SVN"),
+            other => panic!("expected LimitUnmatched, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absolute_limit_patterns_match_whole_key_fields() {
+        let lim = AbsoluteLimit {
+            pattern: "SVM".into(),
+            limit_ns: 1,
+        };
+        assert!(lim.matches("SVM|sqcif|serial|1"));
+        assert!(lim.matches("SVM"));
+        assert!(!lim.matches("SVMX|sqcif|serial|1"));
+        let lim2 = AbsoluteLimit {
+            pattern: "SVM|cif".into(),
+            limit_ns: 1,
+        };
+        assert!(lim2.matches("SVM|cif|serial|1"));
+        assert!(!lim2.matches("SVM|cif2|serial|1"));
+        assert!(!lim2.matches("SVM|sqcif|serial|1"));
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod store;
 // here so `sdvbs_runner::jsonl` paths keep working.
 pub use sdvbs_trace::jsonl;
 
-pub use compare::{compare, CompareConfig, CompareReport, Regression, RegressionKind};
+pub use compare::{
+    compare, AbsoluteLimit, CompareConfig, CompareReport, Regression, RegressionKind,
+};
 pub use fault::{FaultKind, FaultPlan};
 pub use job::{
     cell_key, parse_policy, parse_size, policy_label, size_label, HostMeta, Job, KernelStatRecord,

@@ -13,6 +13,7 @@
 //! sdvbs-runner compare --baseline FILE --candidate FILE
 //!                      [--regression-limit PCT] [--min-runtime-ms MS]
 //!                      [--allow-missing]
+//!                      [--set-absolute-time-ns-limit PATTERN NS]...
 //! sdvbs-runner trace summary --in FILE
 //! sdvbs-runner trace verify  --in FILE [--min-benchmarks N]
 //! sdvbs-runner trace convert --in FILE --out FILE
@@ -31,7 +32,7 @@
 use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
 use sdvbs_runner::{
     compare, job::parse_policy, job::parse_size, read_records, run_jobs_report, write_records,
-    CompareConfig, FaultPlan, Job, RunStatus, RunnerConfig,
+    AbsoluteLimit, CompareConfig, FaultPlan, Job, RunStatus, RunnerConfig,
 };
 use sdvbs_trace::Trace;
 use std::path::{Path, PathBuf};
@@ -78,6 +79,7 @@ const USAGE: &str = "usage:
   sdvbs-runner compare --baseline FILE --candidate FILE
                        [--regression-limit PCT] [--min-runtime-ms MS]
                        [--allow-missing]
+                       [--set-absolute-time-ns-limit PATTERN NS]...
   sdvbs-runner trace summary --in FILE
   sdvbs-runner trace verify  --in FILE [--min-benchmarks N]
   sdvbs-runner trace convert --in FILE --out FILE
@@ -86,7 +88,10 @@ sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto
 inject spec: kind:rate[,kind:rate..] over panic, timeout, nan, truncate
              (e.g. panic:0.2,timeout:0.1,nan:0.1); seeded by --fault-seed
 trace files: Chrome trace JSON, or the JSONL event log when the file name
-             ends in .jsonl (both formats round-trip via trace convert)";
+             ends in .jsonl (both formats round-trip via trace convert)
+absolute limits: PATTERN is a |-separated prefix of the record key
+             benchmark|size|policy|seed (e.g. \"Disparity Map|cif\"); NS
+             caps the matched cells' fastest iteration in nanoseconds";
 
 /// `list`: the registry, one benchmark per line.
 fn cmd_list(rest: &[String]) -> Result<ExitCode, String> {
@@ -428,6 +433,14 @@ fn cmd_compare(rest: &[String]) -> Result<ExitCode, String> {
             }
             "--min-runtime-ms" => cfg.min_runtime_ms = parse_num(next_value(arg, &mut it)?)?,
             "--allow-missing" => cfg.allow_missing = true,
+            "--set-absolute-time-ns-limit" => {
+                let pattern = next_value(arg, &mut it)?.to_string();
+                let limit_ns: u64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|e| format!("{arg} {pattern:?}: bad nanosecond limit: {e}"))?;
+                cfg.absolute_limits
+                    .push(AbsoluteLimit { pattern, limit_ns });
+            }
             flag => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
         }
     }
@@ -449,6 +462,13 @@ fn cmd_compare(rest: &[String]) -> Result<ExitCode, String> {
         report.regressions.len(),
         cfg.regression_limit_pct
     );
+    if !cfg.absolute_limits.is_empty() {
+        println!(
+            "absolute ceilings: {} limit(s), {} cell(s) under their ceiling",
+            cfg.absolute_limits.len(),
+            report.absolute_passed
+        );
+    }
     for reg in &report.regressions {
         println!("  {}", reg.describe());
     }

@@ -43,7 +43,7 @@ fn measured_records_roundtrip_and_gate_correctly() {
     let cfg = CompareConfig {
         regression_limit_pct: 40.0,
         min_runtime_ms: 0.0,
-        allow_missing: false,
+        ..CompareConfig::default()
     };
     let report = compare(&reread, &records, &cfg);
     assert!(
@@ -94,7 +94,7 @@ fn min_runtime_floor_suppresses_microsecond_jitter() {
     let cfg = CompareConfig {
         regression_limit_pct: 40.0,
         min_runtime_ms: 1e9,
-        allow_missing: false,
+        ..CompareConfig::default()
     };
     let report = compare(&halved, &records, &cfg);
     assert!(report.is_ok());

@@ -30,14 +30,29 @@ fn by_name(name: &str) -> Box<dyn Benchmark + Send + Sync> {
         .unwrap_or_else(|| panic!("benchmark {name} registered"))
 }
 
-/// Figure 3, disparity panel: Correlation + SSD dominate at every size.
+/// Figure 3, disparity panel. Before the vectorized fast paths,
+/// Correlation + SSD dominated (the paper's original shape); the
+/// branch-free slice rewrites collapsed both, shifting the hot spot onto
+/// the integral-image build — an inherently serial `f64` prefix sum that
+/// autovectorization cannot touch. The regenerated figure pins the
+/// *post-optimization* shape: the four shift-loop kernels still take
+/// nearly all the time, with IntegralImage the largest single kernel.
 #[test]
-fn disparity_is_dominated_by_correlation_and_ssd() {
+fn disparity_hot_spot_shifted_to_integral_image() {
     let bench = by_name("Disparity Map");
     for size in [InputSize::Sqcif, InputSize::Qcif] {
         let r = report_at(bench.as_ref(), size);
-        let share = r.occupancy("Correlation").unwrap_or(0.0) + r.occupancy("SSD").unwrap_or(0.0);
-        assert!(share > 50.0, "{size}: Correlation+SSD = {share:.1}%");
+        let share: f64 = ["SSD", "IntegralImage", "Correlation", "Sort"]
+            .iter()
+            .map(|k| r.occupancy(k).unwrap_or(0.0))
+            .sum();
+        assert!(share > 70.0, "{size}: shift-loop kernels = {share:.1}%");
+        let ii = r.occupancy("IntegralImage").unwrap_or(0.0);
+        let ssd = r.occupancy("SSD").unwrap_or(0.0);
+        assert!(
+            ii > ssd,
+            "{size}: IntegralImage {ii:.1}% should now outweigh SSD {ssd:.1}%"
+        );
         assert!(
             r.non_kernel_percent() < 20.0,
             "{size}: non-kernel {:.1}%",
