@@ -49,6 +49,44 @@ impl Job {
         }
     }
 
+    /// Serializes the spec as a JSON object —
+    /// `{"benchmark","size","policy","seed","iterations"}` — the shape
+    /// shared by the HTTP job endpoint and the cluster wire protocol.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("benchmark".into(), Value::Str(self.benchmark.clone())),
+            ("size".into(), Value::Str(size_label(self.size))),
+            ("policy".into(), Value::Str(policy_label(self.policy))),
+            ("seed".into(), Value::Num(self.seed as f64)),
+            (
+                "iterations".into(),
+                Value::Num(self.iterations.max(1) as f64),
+            ),
+        ])
+    }
+
+    /// Parses a [`Job::to_value`]-shaped object. Only `benchmark` is
+    /// required; size defaults to `sqcif`, policy to `serial`, seed to 1,
+    /// iterations to 1. The benchmark name is **not** validated against
+    /// the registry here — transport layers own that policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a missing benchmark field or
+    /// an unparsable size/policy label.
+    pub fn from_value(v: &Value) -> Result<Job, String> {
+        let benchmark = v
+            .get("benchmark")
+            .and_then(Value::as_str)
+            .ok_or("missing required string field \"benchmark\"")?
+            .to_string();
+        let size = parse_size(v.get("size").and_then(Value::as_str).unwrap_or("sqcif"))?;
+        let policy = parse_policy(v.get("policy").and_then(Value::as_str).unwrap_or("serial"))?;
+        let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(1);
+        let iterations = v.get("iterations").and_then(Value::as_u64).unwrap_or(1) as usize;
+        Ok(Job::new(benchmark, size, policy, seed, iterations.max(1)))
+    }
+
     /// The canonical cache key of this spec: [`cell_key`] over the job's
     /// labels, with the fault plan's fingerprint appended when one is
     /// armed — a chaos run's cells must never be served from (or stored
@@ -608,6 +646,32 @@ mod tests {
             "fingerprint carries the seed: {keyed}"
         );
         assert_ne!(keyed, job.cache_key(None));
+    }
+
+    #[test]
+    fn job_specs_roundtrip_through_json_values() {
+        let job = Job::new(
+            "Image Stitch",
+            InputSize::Custom {
+                width: 64,
+                height: 48,
+            },
+            ExecPolicy::Threads(3),
+            11,
+            4,
+        );
+        assert_eq!(Job::from_value(&job.to_value()).unwrap(), job);
+        // Defaults apply for everything but the benchmark name.
+        let v = Value::parse("{\"benchmark\":\"SVM\"}").unwrap();
+        let parsed = Job::from_value(&v).unwrap();
+        assert_eq!(parsed.benchmark, "SVM");
+        assert_eq!(parsed.size, InputSize::Sqcif);
+        assert_eq!(parsed.policy, ExecPolicy::Serial);
+        assert_eq!((parsed.seed, parsed.iterations), (1, 1));
+        // Missing benchmark and bad labels are typed errors.
+        assert!(Job::from_value(&Value::parse("{}").unwrap()).is_err());
+        let bad = Value::parse("{\"benchmark\":\"SVM\",\"size\":\"huge\"}").unwrap();
+        assert!(Job::from_value(&bad).is_err());
     }
 
     #[test]

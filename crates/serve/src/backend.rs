@@ -1,0 +1,86 @@
+//! The serving backend abstraction: one HTTP front end, two engines.
+//!
+//! The router and the TCP front end never execute jobs themselves — they
+//! speak to a [`Backend`], and two implementations exist:
+//!
+//! * the single-process [`Engine`](crate::engine::Engine), which runs
+//!   jobs on its own worker-thread pool, and
+//! * the [`ClusterEngine`](crate::cluster::ClusterEngine), which shards
+//!   jobs over TCP to `sdvbs-serve worker` processes.
+//!
+//! Both keep the same serving mechanics at the front: the result cache,
+//! request coalescing, and admission control all live *above* the
+//! backend's execution substrate, so a cached or coalesced answer never
+//! crosses a process boundary in either mode.
+
+use crate::engine::{Engine, JobSnapshot, Submission};
+use crate::shutdown::DrainReport;
+use sdvbs_runner::Job;
+use sdvbs_trace::{MetricsRegistry, TraceEvent};
+use std::time::Duration;
+
+/// What the HTTP layer needs from an execution substrate. Object-safe so
+/// the server holds an `Arc<dyn Backend>`.
+pub trait Backend: Send + Sync {
+    /// Submits a spec; `fresh` bypasses cache and coalescing.
+    fn submit(&self, spec: Job, fresh: bool) -> Submission;
+    /// A snapshot of job `id`, or `None` for an unknown id.
+    fn get(&self, id: u64) -> Option<JobSnapshot>;
+    /// Long-poll: blocks until job `id` is terminal or `wait` elapses.
+    fn wait_terminal(&self, id: u64, wait: Duration) -> Option<JobSnapshot>;
+    /// Starts the drain without waiting for it.
+    fn begin_drain(&self);
+    /// Starts and completes a graceful drain; blocks until every job is
+    /// terminal and the execution substrate has shut down.
+    fn drain(&self) -> DrainReport;
+    /// Whether a drain has started.
+    fn is_draining(&self) -> bool;
+    /// Prometheus text exposition of the backend's lifetime metrics.
+    fn metrics_text(&self) -> String;
+    /// Folds an external registry (e.g. a connection thread's request
+    /// stats) into the backend's lifetime registry.
+    fn merge_metrics(&self, other: &MetricsRegistry);
+    /// Current value of a lifetime counter (tests and smoke gates).
+    fn counter(&self, name: &str) -> u64;
+    /// Execution-side trace events (job spans on worker tracks; in
+    /// cluster mode, the merged multi-process timeline).
+    fn trace_events(&self) -> Vec<TraceEvent>;
+    /// Extra `key:value` JSON fields for `/healthz` (cluster mode reports
+    /// worker liveness); `None` keeps the plain single-process body.
+    fn health_extra(&self) -> Option<String> {
+        None
+    }
+}
+
+impl Backend for Engine {
+    fn submit(&self, spec: Job, fresh: bool) -> Submission {
+        Engine::submit(self, spec, fresh)
+    }
+    fn get(&self, id: u64) -> Option<JobSnapshot> {
+        Engine::get(self, id)
+    }
+    fn wait_terminal(&self, id: u64, wait: Duration) -> Option<JobSnapshot> {
+        Engine::wait_terminal(self, id, wait)
+    }
+    fn begin_drain(&self) {
+        Engine::begin_drain(self);
+    }
+    fn drain(&self) -> DrainReport {
+        Engine::drain(self)
+    }
+    fn is_draining(&self) -> bool {
+        Engine::is_draining(self)
+    }
+    fn metrics_text(&self) -> String {
+        Engine::metrics_text(self)
+    }
+    fn merge_metrics(&self, other: &MetricsRegistry) {
+        Engine::merge_metrics(self, other);
+    }
+    fn counter(&self, name: &str) -> u64 {
+        Engine::counter(self, name)
+    }
+    fn trace_events(&self) -> Vec<TraceEvent> {
+        Engine::trace_events(self)
+    }
+}

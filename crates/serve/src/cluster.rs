@@ -1,0 +1,885 @@
+//! The cluster coordinator: a [`Backend`] that shards jobs over TCP to
+//! `sdvbs-serve worker` processes.
+//!
+//! The coordinator keeps the whole serving front local — the result
+//! cache, request coalescing, and admission control are exactly the
+//! single-process mechanisms, sitting above a dispatch layer instead of a
+//! thread pool. An admitted job is **sharded** to its home worker
+//! (`digest % workers`, so identical specs always land on the same
+//! process and its engine-level state stays warm) and **stolen** to the
+//! least-loaded live worker when the home shard is backed up or dead.
+//!
+//! Worker death is detected two ways: an I/O error or torn frame on the
+//! link (immediate), or heartbeat staleness past the liveness window
+//! (for a hung-but-connected process). A dead worker's in-flight jobs are
+//! requeued onto survivors; a job that keeps landing on dying workers is
+//! **quarantined** after its retry budget — the same terminal-but-honest
+//! semantics the runner's fault layer uses — and the drain report names
+//! every dead worker. Heartbeat staleness is ignored once a drain starts:
+//! a worker blocked finishing its queue legitimately stops answering.
+//!
+//! Metrics and traces aggregate on demand: `/metrics` renders the
+//! coordinator's own registry plus each worker's, both folded into the
+//! cluster totals and re-exported under a `w<N>_` prefix; `/v1/trace`
+//! fetches per-worker event streams and merges them with
+//! [`merge_process_traces`] onto worker-labelled tracks, aligning each
+//! worker's trace epoch by the clock offset estimated at handshake.
+
+use crate::backend::Backend;
+use crate::cache::{spec_digest, ResultCache};
+use crate::coalesce::InflightMap;
+use crate::engine::{JobSnapshot, Submission};
+use crate::shutdown::DrainReport;
+use sdvbs_runner::{Job, RunRecord};
+use sdvbs_trace::{
+    merge_process_traces, now_us, MetricsRegistry, ProcessTrace, TraceEvent, TrackId,
+};
+use sdvbs_wire::{read_msg, write_msg, Message, WireError, PROTO_VERSION};
+use std::collections::{HashSet, VecDeque};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Merged worker tracks start here — far above both the engine's
+/// per-worker tracks (0..N) and the connection tracks allocated from
+/// [`sdvbs_trace::DYNAMIC_TRACK_BASE`], so a merged cluster trace never
+/// collides with the coordinator's own spans.
+pub const CLUSTER_TRACK_BASE: TrackId = 1 << 20;
+
+/// How long a metrics/trace/drain request waits for its worker's reply.
+const RPC_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Cluster sizing and liveness tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker addresses (`host:port`), connected at startup. Order is
+    /// identity: worker `i` is named `w<i>` in traces, metrics, and
+    /// drain reports.
+    pub workers: Vec<String>,
+    /// Admission bound: outstanding (admitted, non-terminal) jobs beyond
+    /// this are refused with [`Submission::QueueFull`].
+    pub queue_capacity: usize,
+    /// Most jobs dispatched-and-unfinished on one worker before the
+    /// dispatcher steals to another shard.
+    pub per_worker_inflight: usize,
+    /// Heartbeat send interval.
+    pub heartbeat: Duration,
+    /// A worker whose last heartbeat reply is older than this is declared
+    /// dead (ignored while draining — see the module docs).
+    pub liveness: Duration,
+    /// Dispatch attempts per job before it is quarantined. One worker
+    /// death costs one attempt.
+    pub retry_budget: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: Vec::new(),
+            queue_capacity: 32,
+            per_worker_inflight: 8,
+            heartbeat: Duration::from_millis(300),
+            liveness: Duration::from_secs(3),
+            retry_budget: 2,
+        }
+    }
+}
+
+/// Where a cluster job is in its lifecycle.
+enum CJobState {
+    /// Admitted, waiting for the dispatcher.
+    Pending,
+    /// Dispatched to worker `i`, awaiting its result.
+    Dispatched(usize),
+    /// Finished with a record.
+    Done(Box<RunRecord>),
+    /// Refused without a result (drain, or a worker-side validation
+    /// error).
+    Rejected(String),
+    /// Abandoned after exhausting the retry budget across worker deaths.
+    Quarantined(String),
+}
+
+struct CJob {
+    spec: Job,
+    digest: u64,
+    state: CJobState,
+    attempts: u32,
+}
+
+struct ClusterState {
+    jobs: Vec<CJob>,
+    inflight: InflightMap,
+    pending: VecDeque<u64>,
+    outstanding: usize,
+    draining: bool,
+    dead: Vec<String>,
+}
+
+/// One connected worker process.
+struct WorkerLink {
+    index: usize,
+    name: String,
+    writer: Mutex<TcpStream>,
+    alive: AtomicBool,
+    last_beat: Mutex<Instant>,
+    /// `coordinator_now_us - worker_now_us`, refreshed on every heartbeat
+    /// reply; aligns the worker's trace epoch onto ours.
+    offset_us: AtomicI64,
+    /// Jobs dispatched to this worker and not yet resolved.
+    dispatched: Mutex<HashSet<u64>>,
+    /// Serializes metrics/trace/drain request-reply exchanges.
+    rpc: Mutex<()>,
+    replies: Mutex<mpsc::Receiver<Message>>,
+    reply_tx: mpsc::Sender<Message>,
+}
+
+impl WorkerLink {
+    fn inflight_len(&self) -> usize {
+        self.dispatched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+/// The coordinator backend. Construct with [`ClusterEngine::start`];
+/// always behind an [`Arc`] because its service threads hold references.
+pub struct ClusterEngine {
+    state: Mutex<ClusterState>,
+    changed: Condvar,
+    cache: ResultCache,
+    metrics: Mutex<MetricsRegistry>,
+    links: Vec<Arc<WorkerLink>>,
+    cfg: ClusterConfig,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Raised when the drain starts tearing links down, so link closure
+    /// is no longer treated as a death.
+    stopping: AtomicBool,
+}
+
+impl ClusterEngine {
+    /// Connects to every worker, completes the version handshake, and
+    /// spawns the dispatcher, per-link readers, and the heartbeat
+    /// monitor.
+    ///
+    /// # Errors
+    ///
+    /// A connect failure, handshake I/O error, or protocol-version
+    /// mismatch on any worker aborts startup — a cluster that begins life
+    /// degraded is a misconfiguration, not a fault to tolerate.
+    pub fn start(cfg: ClusterConfig) -> Result<Arc<ClusterEngine>, String> {
+        if cfg.workers.is_empty() {
+            return Err("cluster mode needs at least one worker address".into());
+        }
+        let mut links = Vec::new();
+        for (index, addr) in cfg.workers.iter().enumerate() {
+            links.push(Arc::new(connect_worker(index, addr)?));
+        }
+        let engine = Arc::new(ClusterEngine {
+            state: Mutex::new(ClusterState {
+                jobs: Vec::new(),
+                inflight: InflightMap::new(),
+                pending: VecDeque::new(),
+                outstanding: 0,
+                draining: false,
+                dead: Vec::new(),
+            }),
+            changed: Condvar::new(),
+            cache: ResultCache::new(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            links,
+            cfg,
+            threads: Mutex::new(Vec::new()),
+            stopping: AtomicBool::new(false),
+        });
+        let mut handles = Vec::new();
+        for link in &engine.links {
+            let engine2 = Arc::clone(&engine);
+            let link2 = Arc::clone(link);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("sdvbs-coord-read-{}", link.name))
+                    .spawn(move || engine2.reader_loop(&link2))
+                    .expect("spawning a link reader"),
+            );
+        }
+        {
+            let engine2 = Arc::clone(&engine);
+            handles.push(
+                thread::Builder::new()
+                    .name("sdvbs-coord-dispatch".to_string())
+                    .spawn(move || engine2.dispatch_loop())
+                    .expect("spawning the dispatcher"),
+            );
+        }
+        {
+            let engine2 = Arc::clone(&engine);
+            handles.push(
+                thread::Builder::new()
+                    .name("sdvbs-coord-heartbeat".to_string())
+                    .spawn(move || engine2.heartbeat_loop())
+                    .expect("spawning the heartbeat monitor"),
+            );
+        }
+        *engine
+            .threads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = handles;
+        Ok(engine)
+    }
+
+    /// Worker names still answering, in index order.
+    pub fn alive_workers(&self) -> Vec<String> {
+        self.links
+            .iter()
+            .filter(|l| l.alive.load(Ordering::SeqCst))
+            .map(|l| l.name.clone())
+            .collect()
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ClusterState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn incr(&self, name: &str) {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .incr(name, 1);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .observe(name, value);
+    }
+
+    /// Picks the target worker for a job: the home shard when it is alive
+    /// and has dispatch headroom, else the least-loaded live worker
+    /// (work stealing). `None` when no live worker has headroom.
+    fn pick_worker(&self, digest: u64) -> Option<usize> {
+        let home = (digest % self.links.len() as u64) as usize;
+        let live = |i: usize| self.links[i].alive.load(Ordering::SeqCst);
+        if live(home) && self.links[home].inflight_len() < self.cfg.per_worker_inflight {
+            return Some(home);
+        }
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| live(*i) && l.inflight_len() < self.cfg.per_worker_inflight)
+            .min_by_key(|(_, l)| l.inflight_len())
+            .map(|(i, _)| i)
+    }
+
+    fn dispatch_loop(&self) {
+        loop {
+            // Take the next pending job, or learn that we are done.
+            let (id, spec, w) = {
+                let mut st = self.lock_state();
+                loop {
+                    if let Some(&id) = st.pending.front() {
+                        if self.links.iter().all(|l| !l.alive.load(Ordering::SeqCst)) {
+                            // Nothing left to run on: every admitted job
+                            // fails loudly rather than waiting forever.
+                            st.pending.pop_front();
+                            self.fail_job(
+                                &mut st,
+                                id,
+                                CJobState::Quarantined("no live workers".into()),
+                            );
+                            self.incr("jobs_quarantined");
+                            continue;
+                        }
+                        if let Some(w) = self.pick_worker(st.jobs[id as usize].digest) {
+                            st.pending.pop_front();
+                            let job = &mut st.jobs[id as usize];
+                            job.state = CJobState::Dispatched(w);
+                            job.attempts += 1;
+                            let home = (job.digest % self.links.len() as u64) as usize;
+                            if w != home {
+                                self.incr("jobs_stolen");
+                            }
+                            self.links[w]
+                                .dispatched
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .insert(id);
+                            break (id, job.spec.clone(), w);
+                        }
+                        // All live workers are at their in-flight cap: a
+                        // completion or death frees a slot and notifies.
+                        let (guard, _) = self
+                            .changed
+                            .wait_timeout(st, Duration::from_millis(50))
+                            .unwrap_or_else(PoisonError::into_inner);
+                        st = guard;
+                        continue;
+                    }
+                    if self.stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    st = self
+                        .changed
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let link = &self.links[w];
+            let sent = {
+                let mut writer = link.writer.lock().unwrap_or_else(PoisonError::into_inner);
+                write_msg(&mut *writer, &Message::Dispatch { id, spec }).is_ok()
+            };
+            if !sent {
+                self.mark_dead(w, "dispatch write failed");
+            }
+        }
+    }
+
+    /// One link's read loop: results, heartbeat replies, and rpc replies.
+    fn reader_loop(&self, link: &Arc<WorkerLink>) {
+        let mut reader = match link
+            .writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .try_clone()
+        {
+            Ok(stream) => stream,
+            Err(_) => {
+                self.mark_dead(link.index, "cloning the link stream failed");
+                return;
+            }
+        };
+        loop {
+            match read_msg(&mut reader) {
+                Ok(Message::Done { id, record }) => self.job_done(link, id, *record),
+                Ok(Message::Rejected { id, detail }) => self.job_rejected(link, id, &detail),
+                Ok(Message::Busy { id }) => self.job_busy(link, id),
+                Ok(Message::HeartbeatOk { now_us: theirs, .. }) => {
+                    *link
+                        .last_beat
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Instant::now();
+                    link.offset_us
+                        .store(now_us() as i64 - theirs as i64, Ordering::SeqCst);
+                }
+                Ok(
+                    msg @ (Message::MetricsOk { .. }
+                    | Message::TraceOk { .. }
+                    | Message::DrainOk { .. }),
+                ) => {
+                    let _ = link.reply_tx.send(msg);
+                }
+                Ok(Message::Error { message }) => {
+                    eprintln!("worker {}: {message}", link.name);
+                }
+                Ok(_) => {} // Not a worker-to-coordinator message; ignore.
+                Err(WireError::Closed) if self.stopping.load(Ordering::SeqCst) => return,
+                Err(e) => {
+                    self.mark_dead(link.index, &e.to_string());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Declares worker `w` dead and requeues (or quarantines) everything
+    /// it had in flight. Idempotent; a no-op during shutdown teardown.
+    fn mark_dead(&self, w: usize, why: &str) {
+        let link = &self.links[w];
+        if !link.alive.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        if self.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        eprintln!("worker {} declared dead: {why}", link.name);
+        self.incr("workers_died");
+        let orphans: Vec<u64> = link
+            .dispatched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain()
+            .collect();
+        let mut st = self.lock_state();
+        st.dead.push(link.name.clone());
+        for id in orphans {
+            let Some(job) = st.jobs.get(id as usize) else {
+                continue;
+            };
+            if !matches!(job.state, CJobState::Dispatched(d) if d == w) {
+                continue;
+            }
+            let attempts = job.attempts;
+            if attempts > self.cfg.retry_budget {
+                let detail = format!(
+                    "quarantined after {attempts} attempts; worker {} died mid-run",
+                    link.name
+                );
+                self.fail_job(&mut st, id, CJobState::Quarantined(detail));
+                self.incr("jobs_quarantined");
+            } else if st.draining {
+                // The drain contract only finishes work that is actually
+                // running; an orphan re-entering the queue mid-drain is
+                // rejected like any other queued job.
+                let detail = format!("worker {} died during drain", link.name);
+                self.fail_job(&mut st, id, CJobState::Rejected(detail));
+                self.incr("rejected_draining");
+            } else {
+                st.jobs[id as usize].state = CJobState::Pending;
+                st.pending.push_front(id);
+                self.incr("jobs_requeued");
+            }
+        }
+        self.changed.notify_all();
+    }
+
+    /// Moves job `id` to a terminal failure state and releases its
+    /// coalescing claim. Caller holds the state lock.
+    fn fail_job(&self, st: &mut ClusterState, id: u64, terminal: CJobState) {
+        let job = &mut st.jobs[id as usize];
+        job.state = terminal;
+        let digest = job.digest;
+        st.inflight.release(digest, id);
+        st.outstanding = st.outstanding.saturating_sub(1);
+        self.changed.notify_all();
+    }
+
+    fn job_done(&self, link: &Arc<WorkerLink>, id: u64, record: RunRecord) {
+        link.dispatched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+        let mut st = self.lock_state();
+        let Some(job) = st.jobs.get_mut(id as usize) else {
+            return;
+        };
+        if !matches!(job.state, CJobState::Dispatched(_)) {
+            return;
+        }
+        self.cache.put(job.digest, &record);
+        self.observe("job_exec_ms", record.wall_ms);
+        job.state = CJobState::Done(Box::new(record));
+        let digest = job.digest;
+        st.inflight.release(digest, id);
+        st.outstanding = st.outstanding.saturating_sub(1);
+        drop(st);
+        self.incr("jobs_executed");
+        self.changed.notify_all();
+    }
+
+    fn job_rejected(&self, link: &Arc<WorkerLink>, id: u64, detail: &str) {
+        link.dispatched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+        let mut st = self.lock_state();
+        if !matches!(
+            st.jobs.get(id as usize).map(|j| &j.state),
+            Some(CJobState::Dispatched(_))
+        ) {
+            return;
+        }
+        self.fail_job(&mut st, id, CJobState::Rejected(detail.to_string()));
+        drop(st);
+        self.incr("jobs_invalid");
+    }
+
+    /// The worker's queue was full: put the job back for the dispatcher,
+    /// which will steal it to a less loaded shard.
+    fn job_busy(&self, link: &Arc<WorkerLink>, id: u64) {
+        link.dispatched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+        let mut st = self.lock_state();
+        if !matches!(
+            st.jobs.get(id as usize).map(|j| &j.state),
+            Some(CJobState::Dispatched(_))
+        ) {
+            return;
+        }
+        st.jobs[id as usize].state = CJobState::Pending;
+        st.pending.push_back(id);
+        drop(st);
+        self.incr("busy_redispatched");
+        self.changed.notify_all();
+    }
+
+    fn heartbeat_loop(&self) {
+        let mut seq = 0u64;
+        while !self.stopping.load(Ordering::SeqCst) {
+            seq += 1;
+            let draining = self.lock_state().draining;
+            for (w, link) in self.links.iter().enumerate() {
+                if !link.alive.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let sent = {
+                    let mut writer = link.writer.lock().unwrap_or_else(PoisonError::into_inner);
+                    write_msg(&mut *writer, &Message::Heartbeat { seq }).is_ok()
+                };
+                if !sent {
+                    self.mark_dead(w, "heartbeat write failed");
+                    continue;
+                }
+                // A draining worker is allowed to go quiet: its read loop
+                // is blocked finishing the queue. I/O errors still kill.
+                if !draining {
+                    let stale = link
+                        .last_beat
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .elapsed();
+                    if stale > self.cfg.liveness {
+                        self.mark_dead(w, "missed heartbeats");
+                    }
+                }
+            }
+            thread::sleep(self.cfg.heartbeat);
+        }
+    }
+
+    /// One request-reply exchange with a worker. Replies are matched by
+    /// message kind; stale replies from a timed-out earlier exchange are
+    /// discarded first.
+    fn rpc(&self, link: &Arc<WorkerLink>, req: Message, want: &str) -> Option<Message> {
+        let _serial = link.rpc.lock().unwrap_or_else(PoisonError::into_inner);
+        let replies = link.replies.lock().unwrap_or_else(PoisonError::into_inner);
+        while replies.try_recv().is_ok() {}
+        let sent = {
+            let mut writer = link.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            write_msg(&mut *writer, &req).is_ok()
+        };
+        if !sent {
+            return None;
+        }
+        let deadline = Instant::now() + RPC_TIMEOUT;
+        loop {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            match replies.recv_timeout(left) {
+                Ok(msg) if msg.kind() == want => return Some(msg),
+                Ok(_) => {} // A stale reply of another kind; keep waiting.
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl Backend for ClusterEngine {
+    fn submit(&self, spec: Job, fresh: bool) -> Submission {
+        let digest = spec_digest(&spec);
+        let mut st = self.lock_state();
+        if st.draining {
+            self.incr("rejected_draining");
+            return Submission::Draining;
+        }
+        if !fresh {
+            if let Some(record) = self.cache.get(digest) {
+                self.incr("cache_hits");
+                return Submission::Cached(Box::new(record));
+            }
+            if let Some(id) = st.inflight.get(digest) {
+                self.incr("coalesced");
+                return Submission::Coalesced(id);
+            }
+        }
+        if st.outstanding >= self.cfg.queue_capacity.max(1) {
+            self.incr("rejected_queue_full");
+            return Submission::QueueFull;
+        }
+        let id = st.jobs.len() as u64;
+        st.jobs.push(CJob {
+            spec,
+            digest,
+            state: CJobState::Pending,
+            attempts: 0,
+        });
+        st.inflight.claim(digest, id);
+        st.pending.push_back(id);
+        st.outstanding += 1;
+        drop(st);
+        self.incr("jobs_submitted");
+        self.changed.notify_all();
+        Submission::Queued(id)
+    }
+
+    fn get(&self, id: u64) -> Option<JobSnapshot> {
+        let st = self.lock_state();
+        st.jobs.get(id as usize).map(|job| snapshot(id, job))
+    }
+
+    fn wait_terminal(&self, id: u64, wait: Duration) -> Option<JobSnapshot> {
+        let deadline = Instant::now() + wait;
+        let mut st = self.lock_state();
+        loop {
+            let snap = st.jobs.get(id as usize).map(|job| snapshot(id, job))?;
+            if snap.is_terminal() {
+                return Some(snap);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(snap);
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    fn begin_drain(&self) {
+        let mut st = self.lock_state();
+        st.draining = true;
+        // Reject everything admitted but not yet dispatched — the cluster
+        // analog of the engine popping and rejecting its queue.
+        let pending: Vec<u64> = st.pending.drain(..).collect();
+        for id in pending {
+            self.fail_job(
+                &mut st,
+                id,
+                CJobState::Rejected("server shutting down before execution".into()),
+            );
+            self.incr("rejected_draining");
+        }
+        self.changed.notify_all();
+    }
+
+    fn drain(&self) -> DrainReport {
+        self.begin_drain();
+        // Wait for every dispatched job to resolve (a worker death mid-
+        // drain resolves its orphans via `mark_dead`).
+        let mut st = self.lock_state();
+        while st
+            .jobs
+            .iter()
+            .any(|j| matches!(j.state, CJobState::Pending | CJobState::Dispatched(_)))
+        {
+            st = self
+                .changed
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let report = DrainReport {
+            completed: st
+                .jobs
+                .iter()
+                .filter(|j| matches!(j.state, CJobState::Done(_)))
+                .count(),
+            rejected: st
+                .jobs
+                .iter()
+                .filter(|j| matches!(j.state, CJobState::Rejected(_)))
+                .count(),
+            quarantined: st
+                .jobs
+                .iter()
+                .filter(|j| matches!(j.state, CJobState::Quarantined(_)))
+                .count(),
+            dead_workers: st.dead.clone(),
+        };
+        drop(st);
+        // Tear the cluster down: tell each surviving worker to drain and
+        // exit. From here on link closure is shutdown, not death.
+        self.stopping.store(true, Ordering::SeqCst);
+        for link in &self.links {
+            if !link.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let _ = self.rpc(link, Message::Drain, "drain_ok");
+            link.alive.store(false, Ordering::SeqCst);
+        }
+        self.changed.notify_all();
+        let handles: Vec<_> = self
+            .threads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        report
+    }
+
+    fn is_draining(&self) -> bool {
+        self.lock_state().draining
+    }
+
+    fn metrics_text(&self) -> String {
+        let mut agg = MetricsRegistry::new();
+        agg.merge(&self.metrics.lock().unwrap_or_else(PoisonError::into_inner));
+        for link in &self.links {
+            if !link.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let Some(Message::MetricsOk { registry }) =
+                self.rpc(link, Message::MetricsReq, "metrics_ok")
+            else {
+                continue;
+            };
+            // Fold into the cluster totals, and re-export per worker.
+            agg.merge(&registry);
+            for (name, v) in registry.counters() {
+                agg.incr(&format!("{}_{name}", link.name), v);
+            }
+            for (name, h) in registry.histograms() {
+                let labelled = format!("{}_{name}", link.name);
+                for &s in h.samples() {
+                    agg.observe(&labelled, s);
+                }
+            }
+        }
+        agg.to_prometheus("sdvbs_serve")
+    }
+
+    fn merge_metrics(&self, other: &MetricsRegistry) {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(other);
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .counter(name)
+    }
+
+    fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut parts = Vec::new();
+        for link in &self.links {
+            if !link.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let Some(Message::TraceOk {
+                events,
+                now_us: theirs,
+            }) = self.rpc(link, Message::TraceReq, "trace_ok")
+            else {
+                continue;
+            };
+            // Refresh the epoch-skew estimate with this reply, then use
+            // it to land the worker's events on our timeline.
+            link.offset_us
+                .store(now_us() as i64 - theirs as i64, Ordering::SeqCst);
+            parts.push(ProcessTrace {
+                name: link.name.clone(),
+                offset_us: link.offset_us.load(Ordering::SeqCst),
+                events,
+            });
+        }
+        merge_process_traces(CLUSTER_TRACK_BASE, &parts)
+            .events()
+            .to_vec()
+    }
+
+    fn health_extra(&self) -> Option<String> {
+        let alive = self.alive_workers();
+        let dead = self.lock_state().dead.clone();
+        let names = |list: &[String]| {
+            list.iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        Some(format!(
+            "\"workers_alive\":{},\"workers_total\":{},\"workers\":[{}],\"dead_workers\":[{}]",
+            alive.len(),
+            self.links.len(),
+            names(&alive),
+            names(&dead),
+        ))
+    }
+}
+
+fn snapshot(id: u64, job: &CJob) -> JobSnapshot {
+    match &job.state {
+        CJobState::Pending => JobSnapshot {
+            id,
+            state: "queued",
+            record: None,
+            detail: String::new(),
+        },
+        CJobState::Dispatched(_) => JobSnapshot {
+            id,
+            state: "running",
+            record: None,
+            detail: String::new(),
+        },
+        CJobState::Done(record) => JobSnapshot {
+            id,
+            state: "done",
+            record: Some(record.as_ref().clone()),
+            detail: String::new(),
+        },
+        CJobState::Rejected(why) | CJobState::Quarantined(why) => JobSnapshot {
+            id,
+            state: "rejected",
+            record: None,
+            detail: why.clone(),
+        },
+    }
+}
+
+/// Connects and handshakes one worker link.
+fn connect_worker(index: usize, addr: &str) -> Result<WorkerLink, String> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| format!("connecting worker {index} at {addr}: {e}"))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("worker {index}: {e}"))?;
+    let mut stream2 = stream
+        .try_clone()
+        .map_err(|e| format!("worker {index}: {e}"))?;
+    write_msg(
+        &mut stream2,
+        &Message::Hello {
+            version: PROTO_VERSION,
+            role: "coordinator".to_string(),
+            name: "coordinator".to_string(),
+        },
+    )
+    .map_err(|e| format!("worker {index} handshake: {e}"))?;
+    let offset = match read_msg(&mut stream2) {
+        Ok(Message::HelloOk {
+            version,
+            now_us: theirs,
+            ..
+        }) => {
+            if version != PROTO_VERSION {
+                return Err(WireError::BadVersion {
+                    ours: PROTO_VERSION,
+                    theirs: version,
+                }
+                .to_string());
+            }
+            now_us() as i64 - theirs as i64
+        }
+        Ok(other) => {
+            return Err(format!(
+                "worker {index} handshake: expected hello_ok, got {}",
+                other.kind()
+            ))
+        }
+        Err(e) => return Err(format!("worker {index} handshake: {e}")),
+    };
+    let (reply_tx, replies) = mpsc::channel();
+    Ok(WorkerLink {
+        index,
+        name: format!("w{index}"),
+        writer: Mutex::new(stream),
+        alive: AtomicBool::new(true),
+        last_beat: Mutex::new(Instant::now()),
+        offset_us: AtomicI64::new(offset),
+        dispatched: Mutex::new(HashSet::new()),
+        rpc: Mutex::new(()),
+        replies: Mutex::new(replies),
+        reply_tx,
+    })
+}

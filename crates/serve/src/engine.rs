@@ -21,7 +21,7 @@ use crate::coalesce::InflightMap;
 use crate::shutdown::DrainReport;
 use sdvbs_core::ExecPolicy;
 use sdvbs_runner::{execute_job, BoundedQueue, HostMeta, Job, RunRecord, TryPushError};
-use sdvbs_trace::MetricsRegistry;
+use sdvbs_trace::{now_us, MetricsRegistry, Phase, TraceEvent};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -127,6 +127,7 @@ pub struct Engine {
     queue: BoundedQueue<u64>,
     cache: ResultCache,
     metrics: Mutex<MetricsRegistry>,
+    trace: Mutex<Vec<TraceEvent>>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
     cfg: EngineConfig,
     auto_threads: usize,
@@ -148,6 +149,7 @@ impl Engine {
             queue,
             cache: ResultCache::new(),
             metrics: Mutex::new(MetricsRegistry::new()),
+            trace: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
             auto_threads: ExecPolicy::Auto.worker_count(),
             host: HostMeta::collect(),
@@ -159,7 +161,7 @@ impl Engine {
             handles.push(
                 thread::Builder::new()
                     .name(format!("sdvbs-serve-worker-{w}"))
-                    .spawn(move || engine.worker_loop())
+                    .spawn(move || engine.worker_loop(w))
                     .expect("spawning an engine worker"),
             );
         }
@@ -278,6 +280,7 @@ impl Engine {
                 .iter()
                 .filter(|j| matches!(j.state, JobState::Rejected(_)))
                 .count(),
+            ..DrainReport::default()
         };
         drop(st);
         let handles: Vec<_> = self
@@ -332,7 +335,42 @@ impl Engine {
             .counter(name)
     }
 
-    fn worker_loop(&self) {
+    /// Execution-side trace events: one track per engine worker carrying
+    /// a span per executed job.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// A standalone copy of the lifetime registry, for shipping over the
+    /// wire to a coordinator.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        out.merge(&self.metrics.lock().unwrap_or_else(PoisonError::into_inner));
+        out
+    }
+
+    fn push_trace(&self, event: TraceEvent) {
+        self.trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event);
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        // Engine workers record on low track ids (one per worker);
+        // connection tracks come from `alloc_track()` which starts at
+        // `DYNAMIC_TRACK_BASE`, so the two ranges never collide.
+        let track = worker as u32;
+        self.push_trace(TraceEvent::new(
+            format!("exec {worker}"),
+            "meta",
+            Phase::Meta,
+            0,
+            track,
+        ));
         while let Some(id) = self.queue.pop() {
             let spec = {
                 let mut st = self.lock_state();
@@ -355,9 +393,23 @@ impl Engine {
             if let Some(hold) = self.cfg.hold {
                 thread::sleep(hold);
             }
+            self.push_trace(TraceEvent::new(
+                spec.benchmark.clone(),
+                "job",
+                Phase::Begin,
+                now_us(),
+                track,
+            ));
             let started = Instant::now();
             let result = execute_job(&spec, id, self.auto_threads, &self.host, self.cfg.timeout);
             let exec_ms = started.elapsed().as_secs_f64() * 1e3;
+            self.push_trace(TraceEvent::new(
+                spec.benchmark.clone(),
+                "job",
+                Phase::End,
+                now_us(),
+                track,
+            ));
             let mut st = self.lock_state();
             let entry = &mut st.jobs[id as usize];
             match result {
@@ -556,7 +608,8 @@ mod tests {
             report,
             DrainReport {
                 completed: 1,
-                rejected: 1
+                rejected: 1,
+                ..DrainReport::default()
             }
         );
         // Post-drain submissions are refused.

@@ -18,13 +18,22 @@
 //!   than buffering unbounded work, and a draining server answers `503`.
 //!
 //! [`server`] owns the sockets and graceful shutdown, [`router`] maps
-//! endpoints to engine calls, and [`loadgen`] is a closed-loop client
+//! endpoints to backend calls, and [`loadgen`] is a closed-loop client
 //! that measures end-to-end latency split by cache-hit vs cache-miss.
+//!
+//! The HTTP front speaks to a [`backend::Backend`], and two exist: the
+//! single-process [`engine::Engine`], and — the distributed tier — the
+//! [`cluster::ClusterEngine`] coordinator, which shards admitted jobs
+//! over the [`sdvbs_wire`] protocol to `sdvbs-serve worker` processes
+//! ([`worker`]), with heartbeat-based failure detection, work stealing,
+//! retry-then-quarantine on worker death, and cluster-wide drain.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
+pub mod cluster;
 pub mod coalesce;
 pub mod engine;
 pub mod http;
@@ -32,11 +41,15 @@ pub mod loadgen;
 pub mod router;
 pub mod server;
 pub mod shutdown;
+pub mod worker;
 
+pub use backend::Backend;
 pub use cache::{fnv1a, spec_digest, ResultCache};
+pub use cluster::{ClusterConfig, ClusterEngine, CLUSTER_TRACK_BASE};
 pub use coalesce::InflightMap;
 pub use engine::{Engine, EngineConfig, JobSnapshot, Submission};
 pub use http::{parse_request, parse_response, Framing, HttpError, Request, Response, ResponseMsg};
-pub use loadgen::{run_loadgen, spec_body, Client, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run_loadgen, spec_body, Client, LoadgenConfig, LoadgenReport, TargetStats};
 pub use server::{Server, ServerConfig};
 pub use shutdown::{DrainReport, ShutdownController};
+pub use worker::{run_worker, WorkerConfig};

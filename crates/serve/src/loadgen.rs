@@ -104,8 +104,12 @@ impl Client {
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Server address, `host:port`.
-    pub addr: String,
+    /// Target addresses (`host:port`), at least one. Connections are
+    /// dealt across targets round-robin, and the report carries both
+    /// per-target and aggregate percentiles — pointing one loadgen at a
+    /// coordinator and its workers (or at several coordinators) shows
+    /// who is slow.
+    pub addrs: Vec<String>,
     /// Concurrent connections (clamped to at least 1).
     pub conns: usize,
     /// Total requests across all connections.
@@ -118,6 +122,21 @@ pub struct LoadgenConfig {
     pub unique: u64,
     /// `wait_ms` used when long-polling a queued job.
     pub poll_ms: u64,
+}
+
+/// One target's share of a load-generator run.
+#[derive(Debug, Clone)]
+pub struct TargetStats {
+    /// The target address.
+    pub addr: String,
+    /// Requests that completed against this target.
+    pub sent: usize,
+    /// Requests that failed against this target.
+    pub errors: usize,
+    /// Cache-hit latency (ms) against this target.
+    pub hits: Histogram,
+    /// Cache-miss latency (ms) against this target.
+    pub misses: Histogram,
 }
 
 /// What a load-generator run measured.
@@ -136,6 +155,8 @@ pub struct LoadgenReport {
     pub misses: Histogram,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
+    /// Per-target breakdown, in the order the targets were given.
+    pub targets: Vec<TargetStats>,
 }
 
 impl LoadgenReport {
@@ -172,6 +193,26 @@ impl fmt::Display for LoadgenReport {
                 h.max().unwrap_or(0.0),
             )?;
         }
+        // A single target adds nothing over the aggregate lines above.
+        if self.targets.len() > 1 {
+            for t in &self.targets {
+                writeln!(
+                    f,
+                    "  target {} ({} ok, {} errors)",
+                    t.addr, t.sent, t.errors
+                )?;
+                for (label, h) in [("cache-hit", &t.hits), ("cache-miss", &t.misses)] {
+                    writeln!(
+                        f,
+                        "    {label:<10} n={:<4} p50 {:>9.3} ms  p95 {:>9.3} ms  p99 {:>9.3} ms",
+                        h.count(),
+                        h.percentile(50.0).unwrap_or(0.0),
+                        h.percentile(95.0).unwrap_or(0.0),
+                        h.percentile(99.0).unwrap_or(0.0),
+                    )?;
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -199,6 +240,8 @@ enum Outcome {
 }
 
 struct ConnTally {
+    /// Index into `cfg.addrs` this connection drove.
+    target: usize,
     hits: Histogram,
     misses: Histogram,
     errors: usize,
@@ -213,8 +256,16 @@ struct ConnTally {
 /// Only setup failures (the first connection refusing) are errors;
 /// per-request failures are counted in the report instead.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
-    // Fail fast (and loudly) if the server is not there at all.
-    drop(Client::connect(&cfg.addr)?);
+    if cfg.addrs.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "loadgen needs at least one target address",
+        ));
+    }
+    // Fail fast (and loudly) if any target is not there at all.
+    for addr in &cfg.addrs {
+        drop(Client::connect(addr)?);
+    }
     let started = Instant::now();
     let conns = cfg.conns.max(1);
     let mut workers = Vec::new();
@@ -229,18 +280,34 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         hits: Histogram::new(),
         misses: Histogram::new(),
         wall: Duration::ZERO,
+        targets: cfg
+            .addrs
+            .iter()
+            .map(|addr| TargetStats {
+                addr: addr.clone(),
+                sent: 0,
+                errors: 0,
+                hits: Histogram::new(),
+                misses: Histogram::new(),
+            })
+            .collect(),
     };
     for worker in workers {
         let Ok(tally) = worker.join() else {
             report.errors += 1;
             continue;
         };
+        let target = &mut report.targets[tally.target];
         for &s in tally.hits.samples() {
             report.hits.observe(s);
+            target.hits.observe(s);
         }
         for &s in tally.misses.samples() {
             report.misses.observe(s);
+            target.misses.observe(s);
         }
+        target.sent += tally.hits.count() + tally.misses.count();
+        target.errors += tally.errors;
         report.errors += tally.errors;
         report.retried += tally.retried;
     }
@@ -249,15 +316,17 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     Ok(report)
 }
 
-/// One connection's share of the request stream.
+/// One connection's share of the request stream, against one target.
 fn conn_worker(cfg: &LoadgenConfig, conn_index: usize, conns: usize) -> ConnTally {
+    let target = conn_index % cfg.addrs.len();
     let mut tally = ConnTally {
+        target,
         hits: Histogram::new(),
         misses: Histogram::new(),
         errors: 0,
         retried: 0,
     };
-    let Ok(mut client) = Client::connect(&cfg.addr) else {
+    let Ok(mut client) = Client::connect(&cfg.addrs[target]) else {
         // Count every request this connection would have sent as failed.
         tally.errors = (conn_index..cfg.requests).step_by(conns.max(1)).count();
         return tally;

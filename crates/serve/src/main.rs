@@ -1,32 +1,44 @@
 //! `sdvbs-serve` — CLI for the benchmark-serving daemon.
 //!
 //! ```text
-//! sdvbs-serve serve   [--addr HOST:PORT] [--workers N] [--queue N]
-//!                     [--timeout-ms N]
-//! sdvbs-serve loadgen --addr HOST:PORT [--conns N] [--requests N]
-//!                     [--bench NAME] [--size S] [--policy P] [--seed N]
-//!                     [--iterations N] [--unique N] [--poll-ms N]
+//! sdvbs-serve serve       [--addr HOST:PORT] [--workers N] [--queue N]
+//!                         [--timeout-ms N]
+//! sdvbs-serve worker      [--addr HOST:PORT] [--name S] [--workers N]
+//!                         [--queue N] [--timeout-ms N] [--hold-ms N]
+//! sdvbs-serve coordinator --workers ADDR,ADDR,... [--addr HOST:PORT]
+//!                         [--queue N] [--heartbeat-ms N] [--liveness-ms N]
+//!                         [--retries N]
+//! sdvbs-serve loadgen     --addr HOST:PORT[,HOST:PORT...] [--conns N]
+//!                         [--requests N] [--bench NAME] [--size S]
+//!                         [--policy P] [--seed N] [--iterations N]
+//!                         [--unique N] [--poll-ms N]
 //! sdvbs-serve smoke
+//! sdvbs-serve cluster-smoke
 //! ```
 //!
 //! `serve` runs until a client posts `/v1/shutdown`, then drains
-//! gracefully and exits. `loadgen` drives a running server closed-loop
-//! and prints hit/miss latency percentiles. `smoke` is the CI gate: it
-//! starts servers in-process and checks caching, coalescing, admission
-//! control, graceful drain, the metrics exposition, and the trace
-//! endpoint end to end.
+//! gracefully and exits. `worker` and `coordinator` are the cluster
+//! mode: workers execute jobs shipped over the wire protocol, the
+//! coordinator keeps the HTTP front (cache, coalescing, admission) and
+//! shards admitted jobs across them. `loadgen` drives running servers
+//! closed-loop and prints hit/miss latency percentiles (per target and
+//! aggregate). `smoke` is the single-process CI gate; `cluster-smoke`
+//! boots real worker subprocesses and gates scaling, result fidelity,
+//! and worker-death handling.
 //!
 //! Exit codes: 0 success, 1 a smoke/loadgen gate failed, 2 usage or
 //! runtime error.
 
 use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
-use sdvbs_runner::{parse_policy, parse_size, Job};
+use sdvbs_runner::{parse_policy, parse_size, Job, RunRecord};
 use sdvbs_serve::{
-    run_loadgen, spec_body, Client, EngineConfig, LoadgenConfig, Server, ServerConfig,
+    run_loadgen, run_worker, spec_body, Client, ClusterConfig, ClusterEngine, Engine, EngineConfig,
+    LoadgenConfig, LoadgenReport, Server, ServerConfig, Submission, WorkerConfig,
 };
 use sdvbs_trace::jsonl::Value;
 use sdvbs_trace::Trace;
-use std::process::ExitCode;
+use std::io::BufRead;
+use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
@@ -37,8 +49,11 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "serve" => cmd_serve(rest),
+        "worker" => cmd_worker(rest),
+        "coordinator" => cmd_coordinator(rest),
         "loadgen" => cmd_loadgen(rest),
         "smoke" => cmd_smoke(rest),
+        "cluster-smoke" => cmd_cluster_smoke(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -55,14 +70,22 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  sdvbs-serve serve   [--addr HOST:PORT] [--workers N] [--queue N]
-                      [--timeout-ms N]
-  sdvbs-serve loadgen --addr HOST:PORT [--conns N] [--requests N]
-                      [--bench NAME] [--size S] [--policy P] [--seed N]
-                      [--iterations N] [--unique N] [--poll-ms N]
+  sdvbs-serve serve       [--addr HOST:PORT] [--workers N] [--queue N]
+                          [--timeout-ms N]
+  sdvbs-serve worker      [--addr HOST:PORT] [--name S] [--workers N]
+                          [--queue N] [--timeout-ms N] [--hold-ms N]
+  sdvbs-serve coordinator --workers ADDR,ADDR,... [--addr HOST:PORT]
+                          [--queue N] [--heartbeat-ms N] [--liveness-ms N]
+                          [--retries N]
+  sdvbs-serve loadgen     --addr HOST:PORT[,HOST:PORT...] [--conns N]
+                          [--requests N] [--bench NAME] [--size S]
+                          [--policy P] [--seed N] [--iterations N]
+                          [--unique N] [--poll-ms N]
   sdvbs-serve smoke
+  sdvbs-serve cluster-smoke
 
-serve runs until a client POSTs /v1/shutdown, then drains and exits.
+serve and coordinator run until a client POSTs /v1/shutdown, then drain
+and exit; a worker exits after its coordinator drains it (or vanishes).
 sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto";
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
@@ -104,8 +127,96 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_worker(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = WorkerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--name" => cfg.name = value("--name")?,
+            "--workers" => cfg.engine.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue" => {
+                cfg.engine.queue_capacity = parse_num(&value("--queue")?, "--queue")?;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
+                cfg.engine.timeout = Some(Duration::from_millis(ms));
+            }
+            "--hold-ms" => {
+                let ms: u64 = parse_num(&value("--hold-ms")?, "--hold-ms")?;
+                cfg.engine.hold = Some(Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    run_worker(cfg)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_coordinator(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:8099".to_string();
+    let mut cfg = ClusterConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--queue" => cfg.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
+            "--heartbeat-ms" => {
+                let ms: u64 = parse_num(&value("--heartbeat-ms")?, "--heartbeat-ms")?;
+                cfg.heartbeat = Duration::from_millis(ms.max(1));
+            }
+            "--liveness-ms" => {
+                let ms: u64 = parse_num(&value("--liveness-ms")?, "--liveness-ms")?;
+                cfg.liveness = Duration::from_millis(ms.max(1));
+            }
+            "--retries" => cfg.retry_budget = parse_num(&value("--retries")?, "--retries")?,
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if cfg.workers.is_empty() {
+        return Err("coordinator requires --workers ADDR,ADDR,...".into());
+    }
+    let worker_count = cfg.workers.len();
+    let backend = ClusterEngine::start(cfg)?;
+    let server = Server::start_with_backend(&addr, backend).map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "sdvbs-serve coordinator listening on {} ({worker_count} workers)",
+        server.addr(),
+    );
+    let report = server.wait();
+    println!(
+        "drained: {} completed, {} rejected, {} quarantined{}",
+        report.completed,
+        report.rejected,
+        report.quarantined,
+        if report.dead_workers.is_empty() {
+            String::new()
+        } else {
+            format!("; dead workers: {}", report.dead_workers.join(", "))
+        }
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
-    let mut addr = None;
+    let mut addrs: Vec<String> = Vec::new();
     let mut conns = 4usize;
     let mut requests = 50usize;
     let mut bench = "Disparity Map".to_string();
@@ -123,7 +234,14 @@ fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--addr" => addr = Some(value("--addr")?),
+            // Repeatable and/or comma-separated: every named address
+            // becomes a loadgen target with its own report section.
+            "--addr" => addrs.extend(
+                value("--addr")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string),
+            ),
             "--conns" => conns = parse_num(&value("--conns")?, "--conns")?,
             "--requests" => requests = parse_num(&value("--requests")?, "--requests")?,
             "--bench" => bench = value("--bench")?,
@@ -136,12 +254,14 @@ fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    let addr = addr.ok_or("loadgen requires --addr HOST:PORT")?;
+    if addrs.is_empty() {
+        return Err("loadgen requires --addr HOST:PORT".into());
+    }
     if !all_benchmarks().iter().any(|b| b.info().name == bench) {
         return Err(format!("unknown benchmark {bench:?}"));
     }
     let cfg = LoadgenConfig {
-        addr,
+        addrs,
         conns,
         requests,
         spec: Job::new(bench, size, policy, seed, iterations),
@@ -303,7 +423,7 @@ fn smoke() -> Result<(), String> {
     .map_err(|e| format!("bind: {e}"))?;
     let addr = server.addr().to_string();
     let cfg = LoadgenConfig {
-        addr: addr.clone(),
+        addrs: vec![addr.clone()],
         conns: 4,
         requests: 50,
         spec: Job::new(
@@ -344,6 +464,397 @@ fn smoke() -> Result<(), String> {
     expect_status("shutdown", resp.status, 200)?;
     drop(client);
     server.wait();
+    Ok(())
+}
+
+fn cmd_cluster_smoke(args: &[String]) -> Result<ExitCode, String> {
+    if !args.is_empty() {
+        return Err(format!("cluster-smoke takes no flags\n{USAGE}"));
+    }
+    match cluster_smoke() {
+        Ok(()) => {
+            println!("cluster smoke: PASS");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(why) => {
+            eprintln!("cluster smoke: FAIL: {why}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+/// A spawned `sdvbs-serve worker` subprocess with its discovered address.
+struct WorkerProc {
+    child: Child,
+    addr: String,
+    /// Held open so the worker's final prints never hit a closed pipe.
+    _stdout: std::io::BufReader<std::process::ChildStdout>,
+}
+
+impl WorkerProc {
+    /// Spawns a worker on an ephemeral port and parses the bound address
+    /// from its banner line. `hold_ms > 0` adds a sleep to every job so
+    /// wall-clock concurrency is observable even on a single CPU.
+    fn spawn(hold_ms: u64) -> Result<WorkerProc, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut cmd = Command::new(exe);
+        cmd.args([
+            "worker",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--queue",
+            "16",
+        ]);
+        if hold_ms > 0 {
+            cmd.args(["--hold-ms", &hold_ms.to_string()]);
+        }
+        let mut child = cmd
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawning a worker: {e}"))?;
+        let mut stdout =
+            std::io::BufReader::new(child.stdout.take().ok_or("worker has no stdout")?);
+        let mut line = String::new();
+        stdout
+            .read_line(&mut line)
+            .map_err(|e| format!("reading the worker banner: {e}"))?;
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .ok_or_else(|| format!("unexpected worker banner: {line:?}"))?
+            .trim()
+            .to_string();
+        Ok(WorkerProc {
+            child,
+            addr,
+            _stdout: stdout,
+        })
+    }
+
+    /// SIGKILL — the abrupt death the fault-tolerance path must absorb.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Reaps a worker that is expected to exit on its own post-drain.
+    fn reap(&mut self) {
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `n` workers and a coordinator server over them on an ephemeral
+/// front port.
+fn start_cluster(
+    n: usize,
+    hold_ms: u64,
+    cfg: ClusterConfig,
+) -> Result<(Vec<WorkerProc>, Server), String> {
+    let mut procs = Vec::new();
+    for _ in 0..n {
+        procs.push(WorkerProc::spawn(hold_ms)?);
+    }
+    let cfg = ClusterConfig {
+        workers: procs.iter().map(|p| p.addr.clone()).collect(),
+        ..cfg
+    };
+    let backend = ClusterEngine::start(cfg)?;
+    let server = Server::start_with_backend("127.0.0.1:0", backend)
+        .map_err(|e| format!("coordinator bind: {e}"))?;
+    Ok((procs, server))
+}
+
+/// Graceful cluster shutdown: `POST /v1/shutdown`, wait out the drain,
+/// reap the worker processes.
+fn shutdown_cluster(
+    server: Server,
+    mut procs: Vec<WorkerProc>,
+) -> Result<sdvbs_serve::DrainReport, String> {
+    let mut client =
+        Client::connect(&server.addr().to_string()).map_err(|e| format!("connect: {e}"))?;
+    let resp = client
+        .request("POST", "/v1/shutdown", None)
+        .map_err(|e| format!("shutdown request: {e}"))?;
+    expect_status("cluster shutdown", resp.status, 200)?;
+    drop(client);
+    let report = server.wait();
+    for p in &mut procs {
+        p.reap();
+    }
+    Ok(report)
+}
+
+/// An all-cache-miss closed-loop burst against one coordinator. The
+/// workers run with a hold window (see [`WorkerProc::spawn`]) so each
+/// job occupies ~`hold` of wall time; a cluster that actually overlaps
+/// work across workers finishes the burst proportionally faster — on
+/// any machine, including single-CPU CI runners.
+fn cluster_burst(addr: &str, requests: usize, seed_base: u64) -> Result<LoadgenReport, String> {
+    let cfg = LoadgenConfig {
+        addrs: vec![addr.to_string()],
+        conns: 8,
+        requests,
+        spec: Job::new(
+            "Disparity Map",
+            InputSize::Custom {
+                width: 32,
+                height: 24,
+            },
+            ExecPolicy::Serial,
+            seed_base,
+            1,
+        ),
+        unique: requests as u64,
+        poll_ms: 1000,
+    };
+    run_loadgen(&cfg).map_err(|e| format!("cluster loadgen: {e}"))
+}
+
+/// The hold window the smoke workers run with: long enough to dominate
+/// scheduling noise, short enough to keep the gate fast.
+const SMOKE_HOLD_MS: u64 = 100;
+
+/// The smoke sweep spec: every benchmark, smallest paper size, serial,
+/// seed 1 — the same preset as `sdvbs-runner run --smoke`.
+fn sweep_jobs() -> Vec<Job> {
+    all_benchmarks()
+        .iter()
+        .map(|b| {
+            Job::new(
+                b.info().name.to_string(),
+                InputSize::Sqcif,
+                ExecPolicy::Serial,
+                1,
+                1,
+            )
+        })
+        .collect()
+}
+
+/// The deterministic identity of a run record: everything that must be
+/// bit-identical between cluster and single-process execution. Timing
+/// and host/worker metadata legitimately differ.
+fn record_fingerprint(r: &RunRecord) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{:?}|{:?}|{}",
+        r.benchmark, r.size, r.policy, r.seed, r.iterations, r.status, r.quality, r.detail
+    )
+}
+
+/// Runs the sweep on an in-process single-worker engine — the fidelity
+/// baseline the cluster's records must match.
+fn single_process_sweep() -> Result<Vec<RunRecord>, String> {
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 32,
+        timeout: None,
+        hold: None,
+    });
+    let mut ids = Vec::new();
+    for job in sweep_jobs() {
+        match engine.submit(job, false) {
+            Submission::Queued(id) => ids.push(id),
+            other => return Err(format!("baseline submit: unexpected {other:?}")),
+        }
+    }
+    let mut records = Vec::new();
+    for id in ids {
+        let snap = engine
+            .wait_terminal(id, Duration::from_secs(300))
+            .ok_or("baseline job vanished")?;
+        let record = snap
+            .record
+            .ok_or_else(|| format!("baseline job {id} ended {}: {}", snap.state, snap.detail))?;
+        records.push(record);
+    }
+    engine.drain();
+    Ok(records)
+}
+
+/// Polls job `id` to a terminal state; returns `(state, body)`.
+fn poll_terminal(
+    client: &mut Client,
+    id: u64,
+    limit: Duration,
+) -> Result<(String, String), String> {
+    let deadline = Instant::now() + limit;
+    loop {
+        let resp = client
+            .request("GET", &format!("/v1/jobs/{id}?wait_ms=500"), None)
+            .map_err(|e| format!("GET /v1/jobs/{id}: {e}"))?;
+        let body = resp.body_text();
+        let state = Value::parse(&body)
+            .ok()
+            .and_then(|v| v.get("state").and_then(Value::as_str).map(String::from))
+            .ok_or_else(|| format!("job {id}: unparsable poll body {body}"))?;
+        if state == "done" || state == "rejected" {
+            return Ok((state, body));
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("job {id} stuck in state {state:?}"));
+        }
+    }
+}
+
+/// The cluster CI gate: real worker subprocesses over real sockets.
+/// Gates throughput scaling, result fidelity against single-process
+/// execution, metrics/trace aggregation, and kill-a-worker fault
+/// handling with a clean cluster-wide drain.
+fn cluster_smoke() -> Result<(), String> {
+    // --- Phase 1+2: cache-miss throughput must scale with workers. ---
+    let (procs, server) = start_cluster(1, SMOKE_HOLD_MS, ClusterConfig::default())?;
+    let lg1 = cluster_burst(&server.addr().to_string(), 16, 1000)?;
+    if lg1.errors != 0 {
+        return Err(format!("1-worker burst had {} errors", lg1.errors));
+    }
+    shutdown_cluster(server, procs)?;
+
+    let (procs, server) = start_cluster(2, SMOKE_HOLD_MS, ClusterConfig::default())?;
+    let addr = server.addr().to_string();
+    let lg2 = cluster_burst(&addr, 16, 1000)?;
+    if lg2.errors != 0 {
+        return Err(format!("2-worker burst had {} errors", lg2.errors));
+    }
+    let speedup = lg1.wall.as_secs_f64() / lg2.wall.as_secs_f64().max(1e-9);
+    println!(
+        "  scaling: 1 worker {:.2} s, 2 workers {:.2} s ({speedup:.2}x)",
+        lg1.wall.as_secs_f64(),
+        lg2.wall.as_secs_f64()
+    );
+    if speedup < 1.3 {
+        return Err(format!(
+            "2 workers only {speedup:.2}x faster than 1 (gate: >= 1.3x)"
+        ));
+    }
+
+    // --- Phase 3: the full smoke sweep through the cluster must match
+    // single-process execution on every deterministic field. ---
+    let baseline = single_process_sweep()?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let mut cluster_records = Vec::new();
+    for job in sweep_jobs() {
+        let resp = post_jobs(&mut client, &spec_body(&job, job.seed), "")?;
+        expect_status("sweep submission", resp.0, 202)?;
+        let id = field_u64(&resp.1, "id")?;
+        let (state, body) = poll_terminal(&mut client, id, Duration::from_secs(300))?;
+        if state != "done" {
+            return Err(format!(
+                "sweep job {}: ended {state}: {body}",
+                job.benchmark
+            ));
+        }
+        let record_json = Value::parse(&body)
+            .map_err(|e| format!("sweep poll body: {e}"))?
+            .get("record")
+            .ok_or("done poll body without a record")?
+            .to_string();
+        cluster_records.push(
+            RunRecord::from_json_line(&record_json)
+                .map_err(|e| format!("sweep record does not parse: {e}"))?,
+        );
+    }
+    for (base, clustered) in baseline.iter().zip(&cluster_records) {
+        let (b, c) = (record_fingerprint(base), record_fingerprint(clustered));
+        if b != c {
+            return Err(format!(
+                "cluster result diverged from single-process:\n  local:   {b}\n  cluster: {c}"
+            ));
+        }
+    }
+    println!(
+        "  fidelity: {} benchmarks identical to single-process execution",
+        cluster_records.len()
+    );
+    // Resubmitting a burst spec is a coordinator-side cache hit: answered
+    // locally, no wire round trip, and it feeds the cache_hits counter
+    // the metrics gate requires.
+    let cached_spec = Job::new(
+        "Disparity Map",
+        InputSize::Custom {
+            width: 32,
+            height: 24,
+        },
+        ExecPolicy::Serial,
+        1000,
+        1,
+    );
+    let resp = post_jobs(&mut client, &spec_body(&cached_spec, 1000), "")?;
+    expect_status("cached resubmission", resp.0, 200)?;
+    check_metrics(&addr)?;
+    check_trace(&addr)?;
+    drop(client);
+    shutdown_cluster(server, procs)?;
+
+    // --- Phase 4: kill -9 one worker mid-burst; nothing may be lost
+    // silently and the drain must name the dead worker. ---
+    let cfg = ClusterConfig {
+        heartbeat: Duration::from_millis(200),
+        liveness: Duration::from_millis(1500),
+        ..ClusterConfig::default()
+    };
+    let (mut procs, server) = start_cluster(2, SMOKE_HOLD_MS, cfg)?;
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let spec = Job::new(
+        "Disparity Map",
+        InputSize::Custom {
+            width: 32,
+            height: 24,
+        },
+        ExecPolicy::Serial,
+        5000,
+        1,
+    );
+    let mut ids = Vec::new();
+    for s in 0..12u64 {
+        let resp = post_jobs(&mut client, &spec_body(&spec, 5000 + s), "")?;
+        expect_status("kill-phase submission", resp.0, 202)?;
+        ids.push(field_u64(&resp.1, "id")?);
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    procs[1].kill();
+    let mut done = 0usize;
+    let mut rejected = 0usize;
+    for id in ids {
+        match poll_terminal(&mut client, id, Duration::from_secs(120))?
+            .0
+            .as_str()
+        {
+            "done" => done += 1,
+            _ => rejected += 1,
+        }
+    }
+    println!("  worker kill: {done} completed elsewhere, {rejected} rejected/quarantined");
+    // The coordinator must stay healthy and report the death.
+    let resp = client
+        .request("GET", "/healthz", None)
+        .map_err(|e| format!("GET /healthz: {e}"))?;
+    expect_status("/healthz", resp.status, 200)?;
+    let health = resp.body_text();
+    if !health.contains("\"workers_alive\":1") || !health.contains("\"w1\"") {
+        return Err(format!("healthz does not report the dead worker: {health}"));
+    }
+    drop(client);
+    let report = shutdown_cluster(server, procs)?;
+    if !report.dead_workers.iter().any(|w| w == "w1") {
+        return Err(format!(
+            "drain report does not name the dead worker: {report:?}"
+        ));
+    }
+    if report.completed + report.rejected + report.quarantined != 12 {
+        return Err(format!(
+            "jobs lost silently: {report:?} (expected 12 accounted)"
+        ));
+    }
+    println!(
+        "  drain: {} completed, {} rejected, {} quarantined; dead: {}",
+        report.completed,
+        report.rejected,
+        report.quarantined,
+        report.dead_workers.join(", ")
+    );
     Ok(())
 }
 

@@ -9,11 +9,12 @@
 //! | `GET /healthz` | `200` always; reports `"ok"` or `"draining"`. |
 //! | `POST /v1/shutdown` | Start a graceful drain; responds immediately. |
 
-use crate::engine::{Engine, JobSnapshot, Submission};
+use crate::backend::Backend;
+use crate::engine::{JobSnapshot, Submission};
 use crate::http::{Request, Response};
 use crate::shutdown::ShutdownController;
 use sdvbs_core::all_benchmarks;
-use sdvbs_runner::{parse_policy, parse_size, Job};
+use sdvbs_runner::Job;
 use sdvbs_trace::jsonl::Value;
 use sdvbs_trace::{Trace, TraceEvent};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -26,8 +27,9 @@ const MAX_ITERATIONS: usize = 1000;
 
 /// Everything a request handler can reach.
 pub struct Ctx {
-    /// The serving engine.
-    pub engine: Arc<Engine>,
+    /// The serving backend — the single-process engine or the cluster
+    /// coordinator; the routes are identical over both.
+    pub engine: Arc<dyn Backend>,
     /// The shutdown rendezvous.
     pub shutdown: Arc<ShutdownController>,
     /// Request spans absorbed from closed connections.
@@ -65,7 +67,11 @@ pub fn route(req: &Request, ctx: &Ctx) -> Routed {
             } else {
                 "ok"
             };
-            Routed::plain(Response::json(200, format!("{{\"status\":\"{status}\"}}")))
+            let body = match ctx.engine.health_extra() {
+                Some(extra) => format!("{{\"status\":\"{status}\",{extra}}}"),
+                None => format!("{{\"status\":\"{status}\"}}"),
+            };
+            Routed::plain(Response::json(200, body))
         }
         ("POST", "/v1/shutdown") => {
             let owner = ctx.shutdown.request();
@@ -143,13 +149,15 @@ fn poll(req: &Request, ctx: &Ctx) -> Response {
     }
 }
 
-/// `GET /v1/trace`: assemble the absorbed connection spans.
+/// `GET /v1/trace`: the absorbed connection spans plus the backend's
+/// execution-side tracks (merged worker timelines in cluster mode).
 fn trace_json(ctx: &Ctx) -> Response {
-    let events = ctx
+    let mut events = ctx
         .trace
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .clone();
+    events.extend(ctx.engine.trace_events());
     Response::json(200, Trace::new(events).to_chrome_json())
 }
 
@@ -162,24 +170,22 @@ fn parse_spec(body: &[u8]) -> Result<Job, String> {
         return Err("empty body; expected a JSON job spec".into());
     }
     let v = Value::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
-    let benchmark = v
-        .get("benchmark")
-        .and_then(Value::as_str)
-        .ok_or("missing required string field \"benchmark\"")?
-        .to_string();
-    if !all_benchmarks().iter().any(|b| b.info().name == benchmark) {
+    // `Job::from_value` owns the field shapes and defaults; the transport
+    // policy — registry validation and the iteration cap — lives here.
+    let job = Job::from_value(&v)?;
+    if !all_benchmarks()
+        .iter()
+        .any(|b| b.info().name == job.benchmark)
+    {
         return Err(format!(
-            "unknown benchmark {benchmark:?} (see `sdvbs-runner list`)"
+            "unknown benchmark {:?} (see `sdvbs-runner list`)",
+            job.benchmark
         ));
     }
-    let size = parse_size(v.get("size").and_then(Value::as_str).unwrap_or("sqcif"))?;
-    let policy = parse_policy(v.get("policy").and_then(Value::as_str).unwrap_or("serial"))?;
-    let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(1);
-    let iterations = v.get("iterations").and_then(Value::as_u64).unwrap_or(1) as usize;
-    if iterations > MAX_ITERATIONS {
+    if job.iterations > MAX_ITERATIONS {
         return Err(format!("iterations capped at {MAX_ITERATIONS}"));
     }
-    Ok(Job::new(benchmark, size, policy, seed, iterations.max(1)))
+    Ok(job)
 }
 
 /// `{"error": "..."}` with proper escaping.

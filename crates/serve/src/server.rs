@@ -16,6 +16,7 @@
 //! [`Server::wait`] then joins the accept thread, the drain thread, and
 //! every connection thread — shutdown leaks nothing.
 
+use crate::backend::Backend;
 use crate::engine::{Engine, EngineConfig};
 use crate::http::{parse_request, HttpError, Response};
 use crate::router::{err_json, route, Ctx, Routed};
@@ -90,17 +91,29 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener, starts the engine, and spawns the accept loop.
+    /// Binds the listener, starts a single-process engine, and spawns the
+    /// accept loop.
     ///
     /// # Errors
     ///
     /// Returns the bind error if the address is unavailable.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        Server::start_with_backend(&cfg.addr, Engine::start(cfg.engine))
+    }
+
+    /// Binds the listener over an already-running backend — the cluster
+    /// coordinator's entry point, and the generic form of
+    /// [`Server::start`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start_with_backend(addr: &str, backend: Arc<dyn Backend>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             ctx: Ctx {
-                engine: Engine::start(cfg.engine),
+                engine: backend,
                 shutdown: Arc::new(ShutdownController::new()),
                 trace: Arc::new(Mutex::new(Vec::new())),
             },
@@ -128,8 +141,8 @@ impl Server {
         self.shared.addr
     }
 
-    /// The serving engine (for in-process tests and the smoke gate).
-    pub fn engine(&self) -> &Arc<Engine> {
+    /// The serving backend (for in-process tests and the smoke gates).
+    pub fn backend(&self) -> &Arc<dyn Backend> {
         &self.shared.ctx.engine
     }
 
@@ -273,13 +286,20 @@ fn serve_conn(
                 }
             }
         }
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
+        // Sample the stop flag *before* blocking in read: a request the
+        // client sent just as the drain completed (e.g. the follow-up
+        // poll after a long-poll was answered at drain time) must still
+        // get its response. Only a line that stays quiet for a full
+        // read tick after the stop closes without one.
+        let stopping = shared.stop.load(Ordering::SeqCst);
         match stream.read(&mut scratch) {
             Ok(0) => return,
             Ok(n) => buf.extend_from_slice(&scratch[..n]),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stopping {
+                    return;
+                }
+            }
             Err(_) => return,
         }
     }

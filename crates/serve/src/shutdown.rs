@@ -15,13 +15,19 @@ use std::sync::{Condvar, Mutex, PoisonError};
 
 /// What the engine's drain left behind: lifetime totals at the moment
 /// every job reached a terminal state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DrainReport {
     /// Jobs that executed to a record (including ones that finished
     /// during the drain itself).
     pub completed: usize,
     /// Jobs rejected without executing (queued at drain time, or invalid).
     pub rejected: usize,
+    /// Jobs abandoned after exhausting their retry budget across worker
+    /// deaths (cluster mode; always 0 for a single-process engine).
+    pub quarantined: usize,
+    /// Names of workers that died before or during the drain (cluster
+    /// mode; always empty for a single-process engine).
+    pub dead_workers: Vec<String>,
 }
 
 #[derive(Default)]
@@ -73,8 +79,8 @@ impl ShutdownController {
     pub fn wait(&self) -> DrainReport {
         let mut st = self.lock();
         loop {
-            if let Some(report) = st.report {
-                return report;
+            if let Some(report) = &st.report {
+                return report.clone();
             }
             st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
@@ -82,7 +88,7 @@ impl ShutdownController {
 
     /// The report, if the drain already finished.
     pub fn report(&self) -> Option<DrainReport> {
-        self.lock().report
+        self.lock().report.clone()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, ShutdownState> {
@@ -116,8 +122,9 @@ mod tests {
         let report = DrainReport {
             completed: 3,
             rejected: 1,
+            ..DrainReport::default()
         };
-        c.finish(report);
+        c.finish(report.clone());
         assert_eq!(waiter.join().unwrap(), report);
         // A late waiter returns immediately.
         assert_eq!(c.wait(), report);

@@ -296,8 +296,10 @@ impl Trace {
 }
 
 /// One event as a Chrome-trace JSON object. [`Phase::Meta`] events become
-/// `thread_name` metadata so Perfetto labels the track.
-fn event_to_chrome(ev: &TraceEvent) -> Value {
+/// `thread_name` metadata so Perfetto labels the track. Public so
+/// transports (the cluster wire protocol) can ship individual events
+/// without re-encoding a whole document.
+pub fn event_to_chrome(ev: &TraceEvent) -> Value {
     let (name, args) = match ev.phase {
         Phase::Meta => (
             "thread_name".to_string(),
@@ -323,7 +325,13 @@ fn event_to_chrome(ev: &TraceEvent) -> Value {
     Value::Obj(pairs)
 }
 
-fn event_from_chrome(v: &Value) -> Result<TraceEvent, TraceError> {
+/// Parses one [`event_to_chrome`]-shaped object back into a
+/// [`TraceEvent`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] for a malformed event object.
+pub fn event_from_chrome(v: &Value) -> Result<TraceEvent, TraceError> {
     let field = |name: &str| {
         v.get(name)
             .ok_or_else(|| TraceError::Parse(format!("event missing {name:?}")))

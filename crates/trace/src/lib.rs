@@ -30,10 +30,12 @@
 pub mod chrome;
 pub mod event;
 pub mod jsonl;
+pub mod merge;
 pub mod metrics;
 
-pub use chrome::{Trace, TraceError, TraceStats};
+pub use chrome::{event_from_chrome, event_to_chrome, Trace, TraceError, TraceStats};
 pub use event::{
     alloc_track, now_us, trace_epoch, Phase, Recorder, TraceEvent, TrackId, DYNAMIC_TRACK_BASE,
 };
+pub use merge::{merge_process_traces, ProcessTrace};
 pub use metrics::{nearest_rank, Histogram, MetricsRegistry};

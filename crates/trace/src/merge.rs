@@ -1,0 +1,251 @@
+//! Merging traces recorded by **separate processes** into one timeline.
+//!
+//! Each process has its own trace epoch (an `Instant` captured at first
+//! use) and its own track-id allocator, so two workers' event streams
+//! collide on both axes: their track ids overlap and their timestamps
+//! count from different zeros. [`merge_process_traces`] fixes both:
+//!
+//! * **Track ids** are remapped deterministically: parts are processed in
+//!   order, each part's distinct tracks in first-appearance order, and
+//!   every track gets the next id from `base` upward. The same inputs
+//!   always produce the same ids, and distinct source tracks never share
+//!   a merged id — even when two workers both recorded on track 0.
+//! * **Track labels** are prefixed with the part's name (`"w0/exec 1"`),
+//!   so a Perfetto view says *which process* a timeline belongs to. A
+//!   track that carried no label gets a synthesized `"{name}/track{id}"`
+//!   meta event.
+//! * **Timestamps** are shifted by the part's `offset_us` — the
+//!   coordinator estimates each worker's epoch skew at handshake time
+//!   (its own clock minus the worker's reported clock) — mapping every
+//!   event onto the coordinator's timeline. Shifts saturate at zero
+//!   rather than wrapping.
+
+use crate::chrome::Trace;
+use crate::event::{Phase, TraceEvent, TrackId};
+
+/// One process's contribution to a merged trace.
+#[derive(Debug, Clone)]
+pub struct ProcessTrace {
+    /// Process name, used as the track-label prefix (e.g. `"w0"`).
+    pub name: String,
+    /// Microseconds to add to every event timestamp to land it on the
+    /// merged timeline (negative when the worker's epoch is *younger*
+    /// than the coordinator's).
+    pub offset_us: i64,
+    /// The process's events, in its own recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Merges per-process event streams into one [`Trace`], remapping tracks
+/// into `[base, base + total_tracks)` and aligning epochs. See the module
+/// docs for the exact remapping rules.
+pub fn merge_process_traces(base: TrackId, parts: &[ProcessTrace]) -> Trace {
+    let mut next = base;
+    let mut merged: Vec<TraceEvent> = Vec::new();
+    for part in parts {
+        // First-appearance-ordered remap of this part's tracks.
+        let mut remap: Vec<(TrackId, TrackId)> = Vec::new();
+        let mut labelled: Vec<TrackId> = Vec::new();
+        for ev in &part.events {
+            if !remap.iter().any(|(from, _)| *from == ev.track) {
+                remap.push((ev.track, next));
+                next += 1;
+            }
+            if ev.phase == Phase::Meta && !labelled.contains(&ev.track) {
+                labelled.push(ev.track);
+            }
+        }
+        // Tracks with no label of their own get a synthesized one so the
+        // worker prefix is never lost.
+        for (from, to) in &remap {
+            if !labelled.contains(from) {
+                merged.push(TraceEvent::new(
+                    format!("{}/track{from}", part.name),
+                    "meta",
+                    Phase::Meta,
+                    0,
+                    *to,
+                ));
+            }
+        }
+        for ev in &part.events {
+            let mut ev = ev.clone();
+            ev.track = remap
+                .iter()
+                .find(|(from, _)| *from == ev.track)
+                .map(|(_, to)| *to)
+                .unwrap_or(ev.track);
+            if ev.phase == Phase::Meta {
+                ev.name = format!("{}/{}", part.name, ev.name);
+            } else {
+                ev.ts_us = shift(ev.ts_us, part.offset_us);
+            }
+            merged.push(ev);
+        }
+    }
+    Trace::new(merged)
+}
+
+/// `ts + offset`, saturating at 0 instead of wrapping when a large
+/// negative skew estimate would underflow.
+fn shift(ts_us: u64, offset_us: i64) -> u64 {
+    if offset_us >= 0 {
+        ts_us.saturating_add(offset_us as u64)
+    } else {
+        ts_us.saturating_sub(offset_us.unsigned_abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, track: TrackId, b: u64, e: u64) -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::new(name, "job", Phase::Begin, b, track),
+            TraceEvent::new(name, "end", Phase::End, e, track),
+        ]
+    }
+
+    fn labelled_part(name: &str, offset_us: i64, track: TrackId) -> ProcessTrace {
+        let mut events = vec![TraceEvent::new(
+            format!("exec {track}"),
+            "meta",
+            Phase::Meta,
+            0,
+            track,
+        )];
+        events.extend(span("Disparity Map", track, 100, 200));
+        ProcessTrace {
+            name: name.to_string(),
+            offset_us,
+            events,
+        }
+    }
+
+    #[test]
+    fn overlapping_track_ids_from_two_processes_never_collide() {
+        // Both workers recorded on track 0 — the classic collision.
+        let parts = [labelled_part("w0", 0, 0), labelled_part("w1", 0, 0)];
+        let merged = merge_process_traces(4096, &parts);
+        let tracks: Vec<TrackId> = {
+            let mut t: Vec<TrackId> = merged.events().iter().map(|e| e.track).collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        assert_eq!(tracks, vec![4096, 4097]);
+        merged.validate().expect("merged trace stays balanced");
+        // Labels carry the worker prefix.
+        let labels: Vec<&str> = merged
+            .events()
+            .iter()
+            .filter(|e| e.phase == Phase::Meta)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert!(labels.contains(&"w0/exec 0"), "{labels:?}");
+        assert!(labels.contains(&"w1/exec 0"), "{labels:?}");
+    }
+
+    #[test]
+    fn remap_is_deterministic_and_appearance_ordered() {
+        let mut events = span("A", 7, 10, 20);
+        events.extend(span("B", 3, 30, 40));
+        let part = ProcessTrace {
+            name: "w".into(),
+            offset_us: 0,
+            events,
+        };
+        let a = merge_process_traces(100, std::slice::from_ref(&part));
+        let b = merge_process_traces(100, std::slice::from_ref(&part));
+        assert_eq!(a, b, "same inputs must merge identically");
+        // Track 7 appeared first, so it maps to the base id.
+        let first = a
+            .events()
+            .iter()
+            .find(|e| e.name == "A" && e.phase == Phase::Begin)
+            .unwrap();
+        assert_eq!(first.track, 100);
+        let second = a
+            .events()
+            .iter()
+            .find(|e| e.name == "B" && e.phase == Phase::Begin)
+            .unwrap();
+        assert_eq!(second.track, 101);
+    }
+
+    #[test]
+    fn unlabelled_tracks_get_a_synthesized_worker_prefixed_label() {
+        let part = ProcessTrace {
+            name: "w2".into(),
+            offset_us: 0,
+            events: span("SVM", 5, 1, 2),
+        };
+        let merged = merge_process_traces(0, &[part]);
+        let meta = merged
+            .events()
+            .iter()
+            .find(|e| e.phase == Phase::Meta)
+            .expect("synthesized label");
+        assert_eq!(meta.name, "w2/track5");
+        assert_eq!(meta.track, 0);
+    }
+
+    /// Regression: epoch skew between processes. A worker that started
+    /// 5 ms after the coordinator reports timestamps 5000 us younger;
+    /// without the offset its spans would appear to *precede* coordinator
+    /// work that actually ran first. The handshake-estimated offset must
+    /// re-align them, and a negative offset must saturate, not wrap.
+    #[test]
+    fn epoch_skew_between_processes_is_corrected_by_offsets() {
+        // Coordinator's own span: 0..10_000 us on its timeline.
+        let coord = ProcessTrace {
+            name: "coord".into(),
+            offset_us: 0,
+            events: span("serve", 0, 0, 10_000),
+        };
+        // Worker ran its job at its-local 1_000..2_000 us, but its epoch
+        // began 5_000 us after the coordinator's.
+        let worker = ProcessTrace {
+            name: "w0".into(),
+            offset_us: 5_000,
+            events: span("Disparity Map", 0, 1_000, 2_000),
+        };
+        let merged = merge_process_traces(10, &[coord, worker]);
+        merged.validate().expect("skew-corrected trace validates");
+        let job_begin = merged
+            .events()
+            .iter()
+            .find(|e| e.name == "Disparity Map" && e.phase == Phase::Begin)
+            .unwrap();
+        assert_eq!(job_begin.ts_us, 6_000, "1_000 local + 5_000 skew");
+        // The coordinator's span is untouched.
+        let serve_begin = merged
+            .events()
+            .iter()
+            .find(|e| e.name == "serve" && e.phase == Phase::Begin)
+            .unwrap();
+        assert_eq!(serve_begin.ts_us, 0);
+
+        // Negative skew (worker older than coordinator) shifts back and
+        // saturates at zero instead of wrapping to u64::MAX.
+        let early = ProcessTrace {
+            name: "w1".into(),
+            offset_us: -1_500,
+            events: span("SVM", 0, 1_000, 2_000),
+        };
+        let merged = merge_process_traces(0, &[early]);
+        let begin = merged
+            .events()
+            .iter()
+            .find(|e| e.name == "SVM" && e.phase == Phase::Begin)
+            .unwrap();
+        assert_eq!(begin.ts_us, 0, "1_000 - 1_500 saturates");
+        let end = merged
+            .events()
+            .iter()
+            .find(|e| e.name == "SVM" && e.phase == Phase::End)
+            .unwrap();
+        assert_eq!(end.ts_us, 500);
+    }
+}

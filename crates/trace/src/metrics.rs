@@ -148,6 +148,18 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.histograms.is_empty()
     }
 
+    /// All counters in first-registration order. The cluster wire
+    /// protocol serializes a worker's registry losslessly from these.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All histograms in first-registration order, with their raw
+    /// samples reachable via [`Histogram::samples`].
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
     /// Folds another registry into this one: counters add, histograms
     /// concatenate their samples. The serve daemon merges each finished
     /// run's per-run registry into its process-lifetime registry before

@@ -1,0 +1,76 @@
+//! The typed error surface of the wire protocol.
+//!
+//! Every failure mode a peer can observe — a torn frame, an oversized
+//! length prefix, malformed JSON, a version mismatch, a protocol-order
+//! violation — is a distinct [`WireError`] variant, so callers can tell
+//! "the worker died mid-frame" (requeue its jobs) from "the worker spoke
+//! garbage" (quarantine the link). Nothing in this crate panics on peer
+//! input.
+
+use std::fmt;
+
+/// A wire-protocol failure. See the module docs for the taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly (EOF on a frame boundary).
+    Closed,
+    /// The connection ended mid-frame: `got` of `wanted` bytes arrived.
+    /// The difference from [`WireError::Closed`] matters — a torn frame
+    /// means work may have been lost in flight.
+    Truncated {
+        /// Bytes the frame needed.
+        wanted: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+    /// The length prefix exceeds the frame cap; the peer is broken or
+    /// hostile and the link must be dropped.
+    TooLarge {
+        /// The declared payload length.
+        len: usize,
+        /// The cap it violated ([`crate::frame::MAX_FRAME`]).
+        max: usize,
+    },
+    /// An I/O error from the underlying socket.
+    Io(String),
+    /// The payload was not UTF-8, not JSON, or not a known message shape.
+    Malformed(String),
+    /// The peers disagree on the protocol version.
+    BadVersion {
+        /// Our [`crate::frame::PROTO_VERSION`].
+        ours: u32,
+        /// The version the peer announced.
+        theirs: u32,
+    },
+    /// A well-formed message arrived out of protocol order (e.g. a
+    /// `Dispatch` before the handshake completed).
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed by peer"),
+            WireError::Truncated { wanted, got } => {
+                write!(f, "torn frame: got {got} of {wanted} bytes")
+            }
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Malformed(why) => write!(f, "malformed message: {why}"),
+            WireError::BadVersion { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+            WireError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}

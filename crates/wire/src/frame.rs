@@ -1,0 +1,199 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! A frame is a 4-byte big-endian payload length followed by exactly that
+//! many bytes of UTF-8 JSON — one [`Message`] object per frame (the JSONL
+//! discipline of the rest of the workspace, carried over TCP with an
+//! explicit length so a reader never has to scan for a newline inside a
+//! record). The length covers the payload only and is capped at
+//! [`MAX_FRAME`]; a prefix above the cap is a typed protocol breach, not
+//! an allocation.
+//!
+//! Two API layers:
+//!
+//! * **Buffer layer** ([`encode_frame`] / [`decode_frame`]) for callers
+//!   that own their buffering: decode returns `Ok(None)` while the frame
+//!   is still incomplete, so a read loop can simply append and retry.
+//! * **Stream layer** ([`write_msg`] / [`read_msg`]) over any
+//!   `Read`/`Write`: a blocking read of exactly one message, with EOF
+//!   *between* frames reported as [`WireError::Closed`] and EOF *inside*
+//!   a frame as [`WireError::Truncated`] — the distinction worker-death
+//!   handling rests on.
+
+use crate::error::WireError;
+use crate::message::Message;
+use sdvbs_trace::jsonl::Value;
+use std::io::{Read, Write};
+
+/// Protocol version carried in the handshake. Bump on any change to the
+/// message vocabulary or framing.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Hard cap on a frame's payload length. Generous for the largest real
+/// message (a trace snapshot), small enough that a corrupt or hostile
+/// length prefix cannot drive an allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Serializes one message as a complete frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let payload = msg.to_value().to_string();
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+/// Decodes the first complete frame in `buf`.
+///
+/// Returns `Ok(None)` while the buffer holds only a partial frame (read
+/// more and retry), `Ok(Some((message, consumed)))` on success.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] for a length prefix above [`MAX_FRAME`],
+/// [`WireError::Malformed`] for a payload that is not UTF-8, not JSON, or
+/// not a known message. Never panics on any input.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let payload = std::str::from_utf8(&buf[4..4 + len])
+        .map_err(|_| WireError::Malformed("frame payload is not UTF-8".into()))?;
+    let value =
+        Value::parse(payload).map_err(|e| WireError::Malformed(format!("bad JSON: {e}")))?;
+    Ok(Some((Message::from_value(&value)?, 4 + len)))
+}
+
+/// Writes one message as a frame and flushes.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on any socket error.
+pub fn write_msg<W: Write>(w: &mut W, msg: &Message) -> Result<(), WireError> {
+    w.write_all(&encode_frame(msg))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Blocking read of exactly one message.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] for EOF on a frame boundary,
+/// [`WireError::Truncated`] for EOF mid-frame, plus everything
+/// [`decode_frame`] reports.
+pub fn read_msg<R: Read>(r: &mut R) -> Result<Message, WireError> {
+    let mut header = [0u8; 4];
+    read_full(r, &mut header, true)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, false).map_err(|e| match e {
+        // EOF right after the header is still a torn frame.
+        WireError::Closed => WireError::Truncated {
+            wanted: 4 + len,
+            got: 4,
+        },
+        WireError::Truncated { wanted, got } => WireError::Truncated {
+            wanted: 4 + wanted,
+            got: 4 + got,
+        },
+        other => other,
+    })?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| WireError::Malformed("frame payload is not UTF-8".into()))?;
+    let value = Value::parse(text).map_err(|e| WireError::Malformed(format!("bad JSON: {e}")))?;
+    Message::from_value(&value)
+}
+
+/// Fills `buf` completely. `at_boundary` selects how EOF-before-anything
+/// is classified: a clean [`WireError::Closed`] at a frame boundary, a
+/// [`WireError::Truncated`] inside one.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_boundary {
+                    Err(WireError::Closed)
+                } else {
+                    Err(WireError::Truncated {
+                        wanted: buf.len(),
+                        got: filled,
+                    })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_roundtrip_and_eof_classification() {
+        let msg = Message::Heartbeat { seq: 42 };
+        let bytes = encode_frame(&msg);
+        // Full stream: one message, then a clean Closed.
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        assert_eq!(read_msg(&mut cursor).unwrap(), msg);
+        assert_eq!(read_msg(&mut cursor).unwrap_err(), WireError::Closed);
+        // Every strict prefix is Truncated (or Closed at zero bytes). A
+        // cut inside the header reports `wanted: 4` — the total frame
+        // length is unknowable until the header arrives.
+        for cut in 1..bytes.len() {
+            let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+            match read_msg(&mut cursor).unwrap_err() {
+                WireError::Truncated { wanted, got } => {
+                    assert_eq!(wanted, if cut < 4 { 4 } else { bytes.len() });
+                    assert_eq!(got, cut);
+                }
+                other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut bytes = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"x");
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::TooLarge { .. })
+        ));
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_msg(&mut cursor),
+            Err(WireError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn non_utf8_and_non_json_payloads_are_malformed() {
+        let mut bytes = 2u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+        let mut bytes = 3u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"{{{");
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+    }
+}
