@@ -1,0 +1,208 @@
+//! The time abstraction the deterministic-simulation layer swaps out.
+//!
+//! Everything in the serving stack that sleeps, schedules, or measures a
+//! timeout does it through a [`Clock`]: production code uses
+//! [`SystemClock`] (monotonic [`Instant`] time, real [`thread::sleep`]),
+//! while tests and the `sdvbs-sim` discrete-event harness use a
+//! [`VirtualClock`] whose time only moves when something *asks* it to —
+//! a sleep completes instantly on the wall clock but advances virtual
+//! time by exactly the requested amount, so a thousand simulated seconds
+//! of backoff, heartbeat, and watchdog behavior replay in microseconds
+//! and are bit-identical across runs.
+//!
+//! Clocks report [`Duration`] since an arbitrary per-clock epoch rather
+//! than an `Instant`, because virtual time has no `Instant` to anchor to.
+//! Code that previously kept an `Instant` for elapsed-time math keeps a
+//! `Duration` from [`Clock::now`] instead and subtracts.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time plus the ability to wait on it.
+///
+/// Implementations must be monotonic: `now()` never decreases. `sleep`
+/// returns once at least `d` of *this clock's* time has passed — for the
+/// virtual clock that means immediately, after advancing time by `d`.
+pub trait Clock: Send + Sync {
+    /// Monotonic time since this clock's epoch.
+    fn now(&self) -> Duration;
+    /// Blocks (in this clock's time) for at least `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production clock: monotonic time from a process-wide [`Instant`]
+/// epoch, and a real [`thread::sleep`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+/// The shared epoch every [`SystemClock`] measures from, captured on
+/// first use so `now()` values are comparable across clock instances.
+fn system_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        system_epoch().elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        thread::sleep(d);
+    }
+}
+
+/// A clock whose time is data: it starts at zero and moves only via
+/// [`VirtualClock::advance`] or a [`Clock::sleep`] (which advances by the
+/// requested amount and returns immediately). Deterministic by
+/// construction — two runs that perform the same sequence of advances
+/// observe identical timestamps.
+///
+/// Time is stored in integer microseconds, matching the trace layer's
+/// resolution, so equality comparisons across runs are exact.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Moves time forward by `d` (saturating at the u64 microsecond
+    /// horizon, ~584 thousand years).
+    pub fn advance(&self, d: Duration) {
+        self.micros.fetch_add(
+            d.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Jumps time to `at` if that is later than now (monotonicity is
+    /// preserved: an earlier target is a no-op).
+    pub fn advance_to(&self, at: Duration) {
+        let target = at.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.micros.fetch_max(target, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.micros.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+/// A cloneable, `Debug`-able handle to a shared [`Clock`], so configs
+/// that derive `Clone`/`Debug` can carry one. Defaults to the system
+/// clock.
+#[derive(Clone)]
+pub struct ClockHandle(Arc<dyn Clock>);
+
+impl ClockHandle {
+    /// The production clock.
+    pub fn system() -> Self {
+        ClockHandle(Arc::new(SystemClock))
+    }
+
+    /// A fresh virtual clock, returned alongside the handle so a test or
+    /// simulator can advance it directly.
+    pub fn simulated() -> (Self, Arc<VirtualClock>) {
+        let clock = Arc::new(VirtualClock::new());
+        (ClockHandle(Arc::clone(&clock) as Arc<dyn Clock>), clock)
+    }
+
+    /// Wraps any clock implementation.
+    pub fn from_arc(clock: Arc<dyn Clock>) -> Self {
+        ClockHandle(clock)
+    }
+
+    /// Monotonic time since the underlying clock's epoch.
+    pub fn now(&self) -> Duration {
+        self.0.now()
+    }
+
+    /// Blocks (in clock time) for at least `d`.
+    pub fn sleep(&self, d: Duration) {
+        self.0.sleep(d);
+    }
+
+    /// Clock time elapsed since an earlier [`ClockHandle::now`] sample.
+    pub fn since(&self, earlier: Duration) -> Duration {
+        self.0.now().saturating_sub(earlier)
+    }
+}
+
+impl Default for ClockHandle {
+    fn default() -> Self {
+        ClockHandle::system()
+    }
+}
+
+impl fmt::Debug for ClockHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ClockHandle(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_shared_epoch() {
+        let a = SystemClock;
+        let b = SystemClock;
+        let t1 = a.now();
+        let t2 = b.now();
+        assert!(t2 >= t1, "clock instances share one epoch");
+    }
+
+    #[test]
+    fn virtual_clock_moves_only_on_demand() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(250));
+        // Sleep is instantaneous on the wall clock but advances time.
+        let wall = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(5));
+        assert_eq!(
+            clock.now(),
+            Duration::from_secs(3600) + Duration::from_millis(250)
+        );
+        // advance_to never rewinds.
+        clock.advance_to(Duration::from_secs(1));
+        assert_eq!(
+            clock.now(),
+            Duration::from_secs(3600) + Duration::from_millis(250)
+        );
+        clock.advance_to(Duration::from_secs(7200));
+        assert_eq!(clock.now(), Duration::from_secs(7200));
+    }
+
+    #[test]
+    fn handle_defaults_to_system_and_exposes_since() {
+        let handle = ClockHandle::default();
+        let t1 = handle.now();
+        let t2 = handle.now();
+        assert!(handle.since(t1) >= Duration::ZERO);
+        assert!(t2 >= t1);
+
+        let (handle, clock) = ClockHandle::simulated();
+        let start = handle.now();
+        clock.advance(Duration::from_millis(40));
+        assert_eq!(handle.since(start), Duration::from_millis(40));
+        handle.sleep(Duration::from_millis(10));
+        assert_eq!(handle.now(), Duration::from_millis(50));
+    }
+}

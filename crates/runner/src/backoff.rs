@@ -1,0 +1,130 @@
+//! Seeded decorrelated exponential backoff.
+//!
+//! The retry loop in [`crate::run`] used to compute its backoff inline
+//! and park the thread with `std::thread::sleep`, which made every chaos
+//! run's wall-clock profile — and under simulation, its schedule —
+//! unreproducible. [`Backoff`] packages the same decorrelated-exponential
+//! policy as a value: seeded, so the jitter stream is a pure function of
+//! the seed (a `--fault-seed` chaos run backs off identically every
+//! time), and clock-agnostic, because it only *computes* delays — the
+//! caller sleeps them on its [`ClockHandle`], which under a
+//! [`VirtualClock`] advances simulated time instead of parking a thread.
+//!
+//! The jitter stream deliberately matches [`FaultPlan::jitter`]'s
+//! derivation (`unit(mix(seed ^ 0xb0ff ^ round))`), so runs recorded
+//! before this module existed replay with identical delays.
+//!
+//! [`ClockHandle`]: sdvbs_exec::ClockHandle
+//! [`VirtualClock`]: sdvbs_exec::VirtualClock
+//! [`FaultPlan::jitter`]: crate::fault::FaultPlan::jitter
+
+use std::time::Duration;
+
+/// Decorrelated exponential backoff state: each delay lands between the
+/// base and 3x the previous delay, jittered by a seeded stream, capped.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    seed: u64,
+    round: u32,
+}
+
+impl Backoff {
+    /// A fresh sequence. The first [`next_delay`](Self::next_delay) is at
+    /// least `base`; no delay ever exceeds `cap`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            prev: base,
+            seed,
+            round: 0,
+        }
+    }
+
+    /// Computes the next delay in the sequence and advances the state.
+    /// Purely deterministic in `(base, cap, seed, call index)`.
+    pub fn next_delay(&mut self) -> Duration {
+        self.round = self.round.wrapping_add(1);
+        let jitter = unit(mix(self.seed ^ 0xb0ff ^ u64::from(self.round)));
+        let span = (self.prev.as_secs_f64() * 3.0 - self.base.as_secs_f64()).max(0.0);
+        let next = self.base.as_secs_f64() + jitter * span;
+        self.prev = Duration::from_secs_f64(next).min(self.cap);
+        self.prev
+    }
+}
+
+/// splitmix64 finalizer (same constants as [`crate::fault`]).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps 64 random bits to `0.0..1.0`.
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_millis(250);
+
+    #[test]
+    fn sequence_is_deterministic_in_seed() {
+        let mut a = Backoff::new(BASE, CAP, 42);
+        let mut b = Backoff::new(BASE, CAP, 42);
+        let mut c = Backoff::new(BASE, CAP, 43);
+        let sa: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+        let sb: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+        let sc: Vec<_> = (0..8).map(|_| c.next_delay()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn delays_stay_within_base_and_cap() {
+        for seed in 0..32u64 {
+            let mut b = Backoff::new(BASE, CAP, seed);
+            for _ in 0..16 {
+                let d = b.next_delay();
+                assert!(d >= BASE, "delay {d:?} under base");
+                assert!(d <= CAP, "delay {d:?} over cap");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_fault_plan_jitter_stream() {
+        // The first delay must reproduce the legacy inline computation:
+        // jitter drawn as FaultPlan::jitter(1) with prev = base.
+        let seed = 7u64;
+        let plan = crate::fault::FaultPlan::none(seed);
+        let mut b = Backoff::new(BASE, CAP, seed);
+        let jitter = plan.jitter(1);
+        let span = (BASE.as_secs_f64() * 3.0 - BASE.as_secs_f64()).max(0.0);
+        let expect = Duration::from_secs_f64(BASE.as_secs_f64() + jitter * span).min(CAP);
+        assert_eq!(b.next_delay(), expect);
+    }
+
+    #[test]
+    fn virtual_clock_sleeps_advance_instantly() {
+        use sdvbs_exec::Clock as _;
+        let (clock, virt) = sdvbs_exec::ClockHandle::simulated();
+        let mut b = Backoff::new(BASE, CAP, 5);
+        let mut expect = Duration::ZERO;
+        for _ in 0..4 {
+            let d = b.next_delay();
+            // The virtual clock ticks in whole microseconds.
+            expect += Duration::from_micros(d.as_micros() as u64);
+            clock.sleep(d);
+        }
+        assert_eq!(virt.now(), expect);
+    }
+}

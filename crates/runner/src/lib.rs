@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod compare;
 pub mod fault;
 pub mod job;
@@ -38,6 +39,7 @@ pub mod store;
 // here so `sdvbs_runner::jsonl` paths keep working.
 pub use sdvbs_trace::jsonl;
 
+pub use backoff::Backoff;
 pub use compare::{
     compare, AbsoluteLimit, CompareConfig, CompareReport, Regression, RegressionKind,
 };

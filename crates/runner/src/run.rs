@@ -18,6 +18,7 @@
 //! [`FaultPlan`] injects deterministic worker panics, watchdog-deadline
 //! stalls, and NaN-poisoned inputs for chaos testing the whole path.
 
+use crate::backoff::Backoff;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::job::{size_label, HostMeta, Job, KernelStatRecord, RunRecord, RunStatus};
 use crate::pool::{run_pool, Completion, PoolConfig, PoolJob};
@@ -49,6 +50,12 @@ pub struct RunnerConfig {
     /// pushes per scope, well under the <5% overhead budget, but a clean
     /// timing run should not pay even that.
     pub trace: bool,
+    /// The clock retry backoff sleeps on. The default system clock parks
+    /// the thread for real; a [`sdvbs_exec::VirtualClock`] (via
+    /// [`ClockHandle::simulated`](sdvbs_exec::ClockHandle::simulated))
+    /// advances simulated time instead, so a chaos run's backoff schedule
+    /// replays deterministically without wall-clock waits.
+    pub clock: sdvbs_exec::ClockHandle,
 }
 
 impl Default for RunnerConfig {
@@ -60,6 +67,7 @@ impl Default for RunnerConfig {
             max_retries: 2,
             fault_plan: None,
             trace: false,
+            clock: sdvbs_exec::ClockHandle::system(),
         }
     }
 }
@@ -223,21 +231,20 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
     let mut recovered = 0usize;
     // Indices of jobs still needing a (re)run.
     let mut pending: Vec<usize> = (0..jobs.len()).collect();
-    let mut backoff = RETRY_BASE;
+    // Seed the backoff jitter from the fault plan so a `--fault-seed`
+    // chaos run's delays replay bit-identically; a clean run uses the
+    // default stream. Sleeps go through the configured clock, so under a
+    // virtual clock the whole retry schedule is simulated time.
+    let mut backoff = Backoff::new(RETRY_BASE, RETRY_CAP, plan.map_or(0, |p| p.seed));
 
     for attempt in 0..=cfg.max_retries {
         if pending.is_empty() {
             break;
         }
         if attempt > 0 {
-            // Decorrelated exponential backoff: sleep somewhere between the
-            // base and 3x the previous sleep, capped. One sleep per retry
+            // Decorrelated exponential backoff: one sleep per retry
             // round — failed cells re-run together.
-            let jitter = plan.map_or(0.5, |p| p.jitter(attempt));
-            let span = (backoff.as_secs_f64() * 3.0 - RETRY_BASE.as_secs_f64()).max(0.0);
-            let next = RETRY_BASE.as_secs_f64() + jitter * span;
-            backoff = Duration::from_secs_f64(next).min(RETRY_CAP);
-            std::thread::sleep(backoff);
+            cfg.clock.sleep(backoff.next_delay());
         }
         let pool_jobs: Vec<PoolJob<Result<JobMeasurement, String>>> = pending
             .iter()

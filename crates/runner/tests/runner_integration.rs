@@ -78,6 +78,7 @@ fn deadline_overrun_yields_timed_out_record_and_run_continues() {
         max_retries: 0,
         fault_plan: None,
         trace: false,
+        ..RunnerConfig::default()
     };
     let records = run_jobs(&jobs, &cfg).unwrap();
     assert_eq!(records.len(), 2, "a timed-out job still yields a record");
@@ -106,6 +107,7 @@ fn mixed_run_with_generous_timeout_completes_everything() {
         max_retries: 0,
         fault_plan: None,
         trace: true,
+        ..RunnerConfig::default()
     };
     let records = run_jobs(&jobs, &cfg).unwrap();
     for rec in &records {

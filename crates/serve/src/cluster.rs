@@ -29,12 +29,14 @@ use crate::backend::Backend;
 use crate::cache::{spec_digest, ResultCache};
 use crate::coalesce::InflightMap;
 use crate::engine::{JobSnapshot, Submission};
+use crate::protocol::{self, OrphanDisposition, RetryPolicy};
 use crate::shutdown::DrainReport;
+use sdvbs_exec::ClockHandle;
 use sdvbs_runner::{Job, RunRecord};
 use sdvbs_trace::{
     merge_process_traces, now_us, MetricsRegistry, ProcessTrace, TraceEvent, TrackId,
 };
-use sdvbs_wire::{read_msg, write_msg, Message, WireError, PROTO_VERSION};
+use sdvbs_wire::{tcp_pair, FrameRx, FrameTx, Message, WireError, PROTO_VERSION};
 use std::collections::{HashSet, VecDeque};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -69,9 +71,15 @@ pub struct ClusterConfig {
     /// A worker whose last heartbeat reply is older than this is declared
     /// dead (ignored while draining — see the module docs).
     pub liveness: Duration,
-    /// Dispatch attempts per job before it is quarantined. One worker
-    /// death costs one attempt.
+    /// Retries a job gets beyond its first execution before it is
+    /// quarantined (same accounting as the runner's `max_retries`; see
+    /// [`crate::protocol::RetryPolicy`]). One worker death costs one
+    /// attempt; a `Busy` bounce costs none.
     pub retry_budget: u32,
+    /// Time source for heartbeat pacing and staleness measurement. The
+    /// default system clock is production; tests substitute a virtual
+    /// one.
+    pub clock: ClockHandle,
 }
 
 impl Default for ClusterConfig {
@@ -83,6 +91,7 @@ impl Default for ClusterConfig {
             heartbeat: Duration::from_millis(300),
             liveness: Duration::from_secs(3),
             retry_budget: 2,
+            clock: ClockHandle::system(),
         }
     }
 }
@@ -122,9 +131,12 @@ struct ClusterState {
 struct WorkerLink {
     index: usize,
     name: String,
-    writer: Mutex<TcpStream>,
+    /// The sending half of the link; internally serialized, shared by
+    /// the dispatcher, heartbeat, and rpc paths.
+    tx: Box<dyn FrameTx>,
     alive: AtomicBool,
-    last_beat: Mutex<Instant>,
+    /// [`ClockHandle::now`] of the last heartbeat reply.
+    last_beat: Mutex<Duration>,
     /// `coordinator_now_us - worker_now_us`, refreshed on every heartbeat
     /// reply; aligns the worker's trace epoch onto ours.
     offset_us: AtomicI64,
@@ -175,8 +187,11 @@ impl ClusterEngine {
             return Err("cluster mode needs at least one worker address".into());
         }
         let mut links = Vec::new();
+        let mut readers = Vec::new();
         for (index, addr) in cfg.workers.iter().enumerate() {
-            links.push(Arc::new(connect_worker(index, addr)?));
+            let (link, rx) = connect_worker(index, addr, &cfg.clock)?;
+            links.push(Arc::new(link));
+            readers.push(rx);
         }
         let engine = Arc::new(ClusterEngine {
             state: Mutex::new(ClusterState {
@@ -196,13 +211,13 @@ impl ClusterEngine {
             stopping: AtomicBool::new(false),
         });
         let mut handles = Vec::new();
-        for link in &engine.links {
+        for (link, mut rx) in engine.links.iter().zip(readers) {
             let engine2 = Arc::clone(&engine);
             let link2 = Arc::clone(link);
             handles.push(
                 thread::Builder::new()
                     .name(format!("sdvbs-coord-read-{}", link.name))
-                    .spawn(move || engine2.reader_loop(&link2))
+                    .spawn(move || engine2.reader_loop(&link2, rx.as_mut()))
                     .expect("spawning a link reader"),
             );
         }
@@ -258,21 +273,18 @@ impl ClusterEngine {
             .observe(name, value);
     }
 
-    /// Picks the target worker for a job: the home shard when it is alive
-    /// and has dispatch headroom, else the least-loaded live worker
-    /// (work stealing). `None` when no live worker has headroom.
+    /// Picks the target worker for a job via the shared protocol policy
+    /// ([`protocol::pick_target`]): home shard when alive with headroom,
+    /// else least-loaded live worker. `None` when no live worker has
+    /// headroom.
     fn pick_worker(&self, digest: u64) -> Option<usize> {
-        let home = (digest % self.links.len() as u64) as usize;
-        let live = |i: usize| self.links[i].alive.load(Ordering::SeqCst);
-        if live(home) && self.links[home].inflight_len() < self.cfg.per_worker_inflight {
-            return Some(home);
-        }
-        self.links
+        let alive: Vec<bool> = self
+            .links
             .iter()
-            .enumerate()
-            .filter(|(i, l)| live(*i) && l.inflight_len() < self.cfg.per_worker_inflight)
-            .min_by_key(|(_, l)| l.inflight_len())
-            .map(|(i, _)| i)
+            .map(|l| l.alive.load(Ordering::SeqCst))
+            .collect();
+        let inflight: Vec<usize> = self.links.iter().map(|l| l.inflight_len()).collect();
+        protocol::pick_target(digest, &alive, &inflight, self.cfg.per_worker_inflight)
     }
 
     fn dispatch_loop(&self) {
@@ -329,32 +341,16 @@ impl ClusterEngine {
                 }
             };
             let link = &self.links[w];
-            let sent = {
-                let mut writer = link.writer.lock().unwrap_or_else(PoisonError::into_inner);
-                write_msg(&mut *writer, &Message::Dispatch { id, spec }).is_ok()
-            };
-            if !sent {
+            if link.tx.send(&Message::Dispatch { id, spec }).is_err() {
                 self.mark_dead(w, "dispatch write failed");
             }
         }
     }
 
     /// One link's read loop: results, heartbeat replies, and rpc replies.
-    fn reader_loop(&self, link: &Arc<WorkerLink>) {
-        let mut reader = match link
-            .writer
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .try_clone()
-        {
-            Ok(stream) => stream,
-            Err(_) => {
-                self.mark_dead(link.index, "cloning the link stream failed");
-                return;
-            }
-        };
+    fn reader_loop(&self, link: &Arc<WorkerLink>, rx: &mut dyn FrameRx) {
         loop {
-            match read_msg(&mut reader) {
+            match rx.recv() {
                 Ok(Message::Done { id, record }) => self.job_done(link, id, *record),
                 Ok(Message::Rejected { id, detail }) => self.job_rejected(link, id, &detail),
                 Ok(Message::Busy { id }) => self.job_busy(link, id),
@@ -362,7 +358,7 @@ impl ClusterEngine {
                     *link
                         .last_beat
                         .lock()
-                        .unwrap_or_else(PoisonError::into_inner) = Instant::now();
+                        .unwrap_or_else(PoisonError::into_inner) = self.cfg.clock.now();
                     link.offset_us
                         .store(now_us() as i64 - theirs as i64, Ordering::SeqCst);
                 }
@@ -406,6 +402,9 @@ impl ClusterEngine {
             .collect();
         let mut st = self.lock_state();
         st.dead.push(link.name.clone());
+        let policy = RetryPolicy {
+            budget: self.cfg.retry_budget,
+        };
         for id in orphans {
             let Some(job) = st.jobs.get(id as usize) else {
                 continue;
@@ -413,25 +412,32 @@ impl ClusterEngine {
             if !matches!(job.state, CJobState::Dispatched(d) if d == w) {
                 continue;
             }
+            // Every execution of this job so far has failed (the last one
+            // just died with its worker), so `attempts` *is* the
+            // failed-execution count the shared policy judges.
             let attempts = job.attempts;
-            if attempts > self.cfg.retry_budget {
-                let detail = format!(
-                    "quarantined after {attempts} attempts; worker {} died mid-run",
-                    link.name
-                );
-                self.fail_job(&mut st, id, CJobState::Quarantined(detail));
-                self.incr("jobs_quarantined");
-            } else if st.draining {
-                // The drain contract only finishes work that is actually
-                // running; an orphan re-entering the queue mid-drain is
-                // rejected like any other queued job.
-                let detail = format!("worker {} died during drain", link.name);
-                self.fail_job(&mut st, id, CJobState::Rejected(detail));
-                self.incr("rejected_draining");
-            } else {
-                st.jobs[id as usize].state = CJobState::Pending;
-                st.pending.push_front(id);
-                self.incr("jobs_requeued");
+            match protocol::orphan_disposition(attempts, policy, st.draining) {
+                OrphanDisposition::Quarantine => {
+                    let detail = format!(
+                        "quarantined after {attempts} attempts; worker {} died mid-run",
+                        link.name
+                    );
+                    self.fail_job(&mut st, id, CJobState::Quarantined(detail));
+                    self.incr("jobs_quarantined");
+                }
+                OrphanDisposition::RejectDraining => {
+                    // The drain contract only finishes work that is
+                    // actually running; an orphan re-entering the queue
+                    // mid-drain is rejected like any other queued job.
+                    let detail = format!("worker {} died during drain", link.name);
+                    self.fail_job(&mut st, id, CJobState::Rejected(detail));
+                    self.incr("rejected_draining");
+                }
+                OrphanDisposition::Requeue => {
+                    st.jobs[id as usize].state = CJobState::Pending;
+                    st.pending.push_front(id);
+                    self.incr("jobs_requeued");
+                }
             }
         }
         self.changed.notify_all();
@@ -489,7 +495,10 @@ impl ClusterEngine {
     }
 
     /// The worker's queue was full: put the job back for the dispatcher,
-    /// which will steal it to a less loaded shard.
+    /// which will steal it to a less loaded shard. The bounced dispatch
+    /// never executed, so it gives back the attempt it charged — `Busy`
+    /// must not consume retry budget (attempts counts executions begun,
+    /// the unified accounting in [`crate::protocol`]).
     fn job_busy(&self, link: &Arc<WorkerLink>, id: u64) {
         link.dispatched
             .lock()
@@ -502,7 +511,9 @@ impl ClusterEngine {
         ) {
             return;
         }
-        st.jobs[id as usize].state = CJobState::Pending;
+        let job = &mut st.jobs[id as usize];
+        job.state = CJobState::Pending;
+        job.attempts = job.attempts.saturating_sub(1);
         st.pending.push_back(id);
         drop(st);
         self.incr("busy_redispatched");
@@ -518,28 +529,25 @@ impl ClusterEngine {
                 if !link.alive.load(Ordering::SeqCst) {
                     continue;
                 }
-                let sent = {
-                    let mut writer = link.writer.lock().unwrap_or_else(PoisonError::into_inner);
-                    write_msg(&mut *writer, &Message::Heartbeat { seq }).is_ok()
-                };
-                if !sent {
+                if link.tx.send(&Message::Heartbeat { seq }).is_err() {
                     self.mark_dead(w, "heartbeat write failed");
                     continue;
                 }
-                // A draining worker is allowed to go quiet: its read loop
-                // is blocked finishing the queue. I/O errors still kill.
-                if !draining {
-                    let stale = link
+                // Staleness is judged by the shared protocol policy: a
+                // draining worker is allowed to go quiet (its read loop
+                // is blocked finishing the queue); I/O errors still kill.
+                let age = {
+                    let beat = *link
                         .last_beat
                         .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .elapsed();
-                    if stale > self.cfg.liveness {
-                        self.mark_dead(w, "missed heartbeats");
-                    }
+                        .unwrap_or_else(PoisonError::into_inner);
+                    self.cfg.clock.since(beat)
+                };
+                if protocol::is_stale(age, self.cfg.liveness, draining) {
+                    self.mark_dead(w, "missed heartbeats");
                 }
             }
-            thread::sleep(self.cfg.heartbeat);
+            self.cfg.clock.sleep(self.cfg.heartbeat);
         }
     }
 
@@ -550,11 +558,7 @@ impl ClusterEngine {
         let _serial = link.rpc.lock().unwrap_or_else(PoisonError::into_inner);
         let replies = link.replies.lock().unwrap_or_else(PoisonError::into_inner);
         while replies.try_recv().is_ok() {}
-        let sent = {
-            let mut writer = link.writer.lock().unwrap_or_else(PoisonError::into_inner);
-            write_msg(&mut *writer, &req).is_ok()
-        };
-        if !sent {
+        if link.tx.send(&req).is_err() {
             return None;
         }
         let deadline = Instant::now() + RPC_TIMEOUT;
@@ -827,26 +831,26 @@ fn snapshot(id: u64, job: &CJob) -> JobSnapshot {
     }
 }
 
-/// Connects and handshakes one worker link.
-fn connect_worker(index: usize, addr: &str) -> Result<WorkerLink, String> {
+/// Connects and handshakes one worker link, returning its send half
+/// (inside the [`WorkerLink`]) and receive half (for the reader thread).
+fn connect_worker(
+    index: usize,
+    addr: &str,
+    clock: &ClockHandle,
+) -> Result<(WorkerLink, Box<dyn FrameRx>), String> {
     let stream = TcpStream::connect(addr)
         .map_err(|e| format!("connecting worker {index} at {addr}: {e}"))?;
     stream
         .set_nodelay(true)
         .map_err(|e| format!("worker {index}: {e}"))?;
-    let mut stream2 = stream
-        .try_clone()
-        .map_err(|e| format!("worker {index}: {e}"))?;
-    write_msg(
-        &mut stream2,
-        &Message::Hello {
-            version: PROTO_VERSION,
-            role: "coordinator".to_string(),
-            name: "coordinator".to_string(),
-        },
-    )
+    let (tx, mut rx) = tcp_pair(stream).map_err(|e| format!("worker {index}: {e}"))?;
+    tx.send(&Message::Hello {
+        version: PROTO_VERSION,
+        role: "coordinator".to_string(),
+        name: "coordinator".to_string(),
+    })
     .map_err(|e| format!("worker {index} handshake: {e}"))?;
-    let offset = match read_msg(&mut stream2) {
+    let offset = match rx.recv() {
         Ok(Message::HelloOk {
             version,
             now_us: theirs,
@@ -870,16 +874,17 @@ fn connect_worker(index: usize, addr: &str) -> Result<WorkerLink, String> {
         Err(e) => return Err(format!("worker {index} handshake: {e}")),
     };
     let (reply_tx, replies) = mpsc::channel();
-    Ok(WorkerLink {
+    let link = WorkerLink {
         index,
         name: format!("w{index}"),
-        writer: Mutex::new(stream),
+        tx: Box::new(tx),
         alive: AtomicBool::new(true),
-        last_beat: Mutex::new(Instant::now()),
+        last_beat: Mutex::new(clock.now()),
         offset_us: AtomicI64::new(offset),
         dispatched: Mutex::new(HashSet::new()),
         rpc: Mutex::new(()),
         replies: Mutex::new(replies),
         reply_tx,
-    })
+    };
+    Ok((link, Box::new(rx)))
 }

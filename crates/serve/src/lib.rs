@@ -38,6 +38,7 @@ pub mod coalesce;
 pub mod engine;
 pub mod http;
 pub mod loadgen;
+pub mod protocol;
 pub mod router;
 pub mod server;
 pub mod shutdown;
@@ -50,6 +51,7 @@ pub use coalesce::InflightMap;
 pub use engine::{Engine, EngineConfig, JobSnapshot, Submission};
 pub use http::{parse_request, parse_response, Framing, HttpError, Request, Response, ResponseMsg};
 pub use loadgen::{run_loadgen, spec_body, Client, LoadgenConfig, LoadgenReport, TargetStats};
+pub use protocol::{orphan_disposition, pick_target, OrphanDisposition, RetryPolicy};
 pub use server::{Server, ServerConfig};
 pub use shutdown::{DrainReport, ShutdownController};
 pub use worker::{run_worker, WorkerConfig};

@@ -24,10 +24,10 @@
 
 use crate::engine::{Engine, EngineConfig, Submission};
 use sdvbs_trace::now_us;
-use sdvbs_wire::{read_msg, write_msg, Message, WireError, PROTO_VERSION};
+use sdvbs_wire::{tcp_pair, FrameRx, FrameTx, Message, WireError, PROTO_VERSION};
 use std::io::Write as _;
-use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::net::TcpListener;
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -68,8 +68,10 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<(), String> {
     let _ = std::io::stdout().flush();
     let (stream, peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
     let _ = stream.set_nodelay(true);
+    let (tx, mut rx) = tcp_pair(stream).map_err(|e| e.to_string())?;
+    let tx: Arc<dyn FrameTx> = Arc::new(tx);
     let engine = Engine::start(cfg.engine.clone());
-    match serve_coordinator(&stream, &cfg, &engine) {
+    match serve_coordinator(&tx, &mut rx, &cfg, &engine) {
         Ok(()) => Ok(()),
         Err(why) => {
             // Lost or misbehaving coordinator: drain locally so no job is
@@ -87,14 +89,13 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<(), String> {
 /// The coordinator session. Returns `Ok(())` after a clean `Drain`
 /// exchange, `Err` when the connection failed first.
 fn serve_coordinator(
-    stream: &TcpStream,
+    writer: &Arc<dyn FrameTx>,
+    reader: &mut dyn FrameRx,
     cfg: &WorkerConfig,
     engine: &Arc<Engine>,
 ) -> Result<(), String> {
-    let mut reader = stream.try_clone().map_err(|e| e.to_string())?;
-    let writer = Arc::new(Mutex::new(stream.try_clone().map_err(|e| e.to_string())?));
     // Handshake: the coordinator speaks first.
-    match read_msg(&mut reader) {
+    match reader.recv() {
         Ok(Message::Hello { version, .. }) => {
             if version != PROTO_VERSION {
                 let refusal = WireError::BadVersion {
@@ -102,7 +103,7 @@ fn serve_coordinator(
                     theirs: version,
                 };
                 send(
-                    &writer,
+                    writer,
                     &Message::Error {
                         message: refusal.to_string(),
                     },
@@ -110,7 +111,7 @@ fn serve_coordinator(
                 return Err(refusal.to_string());
             }
             send(
-                &writer,
+                writer,
                 &Message::HelloOk {
                     version: PROTO_VERSION,
                     worker: cfg.name.clone(),
@@ -123,29 +124,29 @@ fn serve_coordinator(
     }
     let mut waiters: Vec<thread::JoinHandle<()>> = Vec::new();
     loop {
-        match read_msg(&mut reader) {
+        match reader.recv() {
             Ok(Message::Dispatch { id, spec }) => match engine.submit(spec, true) {
                 Submission::Queued(local) | Submission::Coalesced(local) => {
                     let engine = Arc::clone(engine);
-                    let w = Arc::clone(&writer);
+                    let w = Arc::clone(writer);
                     let spawned = thread::Builder::new()
                         .name(format!("sdvbs-worker-wait-{id}"))
                         .spawn(move || report_when_terminal(&engine, &w, id, local));
                     match spawned {
                         Ok(handle) => waiters.push(handle),
-                        Err(_) => send(&writer, &Message::Busy { id }),
+                        Err(_) => send(writer, &Message::Busy { id }),
                     }
                 }
                 Submission::Cached(record) => {
-                    send(&writer, &Message::Done { id, record });
+                    send(writer, &Message::Done { id, record });
                 }
                 Submission::QueueFull | Submission::Draining => {
-                    send(&writer, &Message::Busy { id });
+                    send(writer, &Message::Busy { id });
                 }
             },
             Ok(Message::Heartbeat { seq }) => {
                 send(
-                    &writer,
+                    writer,
                     &Message::HeartbeatOk {
                         seq,
                         now_us: now_us(),
@@ -154,7 +155,7 @@ fn serve_coordinator(
             }
             Ok(Message::MetricsReq) => {
                 send(
-                    &writer,
+                    writer,
                     &Message::MetricsOk {
                         registry: engine.metrics_snapshot(),
                     },
@@ -162,7 +163,7 @@ fn serve_coordinator(
             }
             Ok(Message::TraceReq) => {
                 send(
-                    &writer,
+                    writer,
                     &Message::TraceOk {
                         events: engine.trace_events(),
                         now_us: now_us(),
@@ -177,7 +178,7 @@ fn serve_coordinator(
                     let _ = handle.join();
                 }
                 send(
-                    &writer,
+                    writer,
                     &Message::DrainOk {
                         completed: report.completed as u64,
                         rejected: report.rejected as u64,
@@ -194,7 +195,7 @@ fn serve_coordinator(
             }
             Ok(other) => {
                 send(
-                    &writer,
+                    writer,
                     &Message::Error {
                         message: format!("unexpected {} from coordinator", other.kind()),
                     },
@@ -212,7 +213,7 @@ fn serve_coordinator(
 
 /// Waits for local job `local` to finish and reports it upstream as
 /// cluster job `id`.
-fn report_when_terminal(engine: &Arc<Engine>, writer: &Arc<Mutex<TcpStream>>, id: u64, local: u64) {
+fn report_when_terminal(engine: &Arc<Engine>, writer: &Arc<dyn FrameTx>, id: u64, local: u64) {
     loop {
         let Some(snap) = engine.wait_terminal(local, Duration::from_secs(60)) else {
             send(
@@ -249,7 +250,6 @@ fn report_when_terminal(engine: &Arc<Engine>, writer: &Arc<Mutex<TcpStream>>, id
 
 /// One frame out, best-effort: a failed write means the coordinator is
 /// gone, and the read loop will observe that on its side.
-fn send(writer: &Arc<Mutex<TcpStream>>, msg: &Message) {
-    let mut stream = writer.lock().unwrap_or_else(PoisonError::into_inner);
-    let _ = write_msg(&mut *stream, msg);
+fn send(writer: &Arc<dyn FrameTx>, msg: &Message) {
+    let _ = writer.send(msg);
 }

@@ -1,0 +1,180 @@
+//! Seed-replayable fault schedules.
+//!
+//! A [`FaultSpec`] names *which kinds* of chaos a run is allowed
+//! (`crash,partition,stall,reorder`); [`plan`] turns the spec plus the
+//! run's RNG into a concrete [`FaultSchedule`] — which worker crashes
+//! when, which links partition for how long, which processes stall. The
+//! schedule is drawn before the simulation starts and is a pure function
+//! of `(spec, seed)`, so printing a failing seed is a complete
+//! reproduction recipe.
+//!
+//! One worker (seed-chosen) is exempt from crashes so the cluster always
+//! retains a survivor: total loss is a separate, already-deterministic
+//! code path (every job quarantines with "no live workers") and drowning
+//! every run in it would hide the interesting schedules.
+
+use crate::net::Partition;
+use crate::rng::SimRng;
+use std::fmt;
+
+/// Which fault kinds a run may inject.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Workers may crash (process death: state lost, link broken).
+    pub crash: bool,
+    /// Links may partition (frames held until the window heals).
+    pub partition: bool,
+    /// Workers may stall (alive but unresponsive for a window).
+    pub stall: bool,
+    /// Latency window widens drastically, interleaving links.
+    pub reorder: bool,
+}
+
+impl FaultSpec {
+    /// No chaos at all.
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Parses a comma-separated kind list, e.g. `"crash,partition"`.
+    /// Empty and `"none"` mean no faults.
+    ///
+    /// # Errors
+    ///
+    /// Names an unknown kind.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = FaultSpec::none();
+        for part in spec.split(',') {
+            match part.trim() {
+                "" | "none" => {}
+                "crash" => out.crash = true,
+                "partition" => out.partition = true,
+                "stall" => out.stall = true,
+                "reorder" => out.reorder = true,
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (crash, partition, stall, reorder)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut kinds = Vec::new();
+        if self.crash {
+            kinds.push("crash");
+        }
+        if self.partition {
+            kinds.push("partition");
+        }
+        if self.stall {
+            kinds.push("stall");
+        }
+        if self.reorder {
+            kinds.push("reorder");
+        }
+        if kinds.is_empty() {
+            f.write_str("none")
+        } else {
+            f.write_str(&kinds.join(","))
+        }
+    }
+}
+
+/// A concrete, fully-timed chaos schedule for one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    /// `(at_us, worker)` process deaths.
+    pub crashes: Vec<(u64, usize)>,
+    /// `(worker, from_us, until_us)` unresponsiveness windows.
+    pub stalls: Vec<(usize, u64, u64)>,
+    /// Link partitions, handed to the network model.
+    pub partitions: Vec<Partition>,
+    /// Whether the latency window is widened.
+    pub reorder: bool,
+}
+
+/// Draws a schedule from the run's RNG. `liveness_us` scales partition
+/// and stall windows so they straddle the staleness boundary — some stay
+/// sub-critical (the protocol must ride them out), some exceed it (the
+/// protocol must declare death and recover).
+pub fn plan(
+    spec: FaultSpec,
+    rng: &mut SimRng,
+    workers: usize,
+    duration_us: u64,
+    liveness_us: u64,
+) -> FaultSchedule {
+    let mut out = FaultSchedule {
+        reorder: spec.reorder,
+        ..FaultSchedule::default()
+    };
+    if workers == 0 || duration_us == 0 {
+        return out;
+    }
+    let survivor = rng.range(0, workers as u64) as usize;
+    if spec.crash {
+        for w in 0..workers {
+            if w != survivor && rng.chance(0.6) {
+                let at = rng.range(duration_us / 10, duration_us * 9 / 10);
+                out.crashes.push((at, w));
+            }
+        }
+        out.crashes.sort_unstable();
+    }
+    if spec.partition {
+        let count = rng.range(1, 3);
+        for _ in 0..count {
+            let worker = rng.range(0, workers as u64) as usize;
+            let from_us = rng.range(duration_us / 20, duration_us * 7 / 10);
+            let len = rng.range(liveness_us / 2, liveness_us * 5 / 2);
+            out.partitions.push(Partition {
+                worker,
+                from_us,
+                until_us: from_us + len,
+            });
+        }
+    }
+    if spec.stall {
+        let count = rng.range(1, 3);
+        for _ in 0..count {
+            let worker = rng.range(0, workers as u64) as usize;
+            let from_us = rng.range(duration_us / 20, duration_us * 7 / 10);
+            let len = rng.range(liveness_us / 2, liveness_us * 5 / 2);
+            out.stalls.push((worker, from_us, from_us + len));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_display_round_trip() {
+        let s = FaultSpec::parse("crash, partition,stall,reorder").unwrap();
+        assert!(s.crash && s.partition && s.stall && s.reorder);
+        assert_eq!(s.to_string(), "crash,partition,stall,reorder");
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::none());
+        assert_eq!(FaultSpec::parse("none").unwrap(), FaultSpec::none());
+        assert_eq!(FaultSpec::none().to_string(), "none");
+        assert!(FaultSpec::parse("explode").is_err());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_spare_a_survivor() {
+        let spec = FaultSpec::parse("crash,partition,stall").unwrap();
+        for seed in 0..20 {
+            let a = plan(spec, &mut SimRng::new(seed), 4, 20_000_000, 3_000_000);
+            let b = plan(spec, &mut SimRng::new(seed), 4, 20_000_000, 3_000_000);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            let crashed: Vec<usize> = a.crashes.iter().map(|&(_, w)| w).collect();
+            assert!(crashed.len() < 4, "at least one worker survives");
+        }
+    }
+}

@@ -1,0 +1,829 @@
+//! The deterministic model of the coordinator/worker cluster.
+//!
+//! This is the production protocol of [`sdvbs_serve::cluster`] and
+//! [`sdvbs_serve::worker`] re-hosted on a single-threaded discrete-event
+//! scheduler. Three things are shared with production outright, so the
+//! model cannot drift from the code it tests:
+//!
+//! * **every decision** — shard choice, orphan fate, retry exhaustion,
+//!   staleness — is the corresponding pure function in
+//!   [`sdvbs_serve::protocol`];
+//! * **every message** is a real [`sdvbs_wire::Message`], round-tripped
+//!   through [`encode_frame`]/[`decode_frame`] on each hop, so the sim
+//!   exercises the production codec on every delivery;
+//! * **time** is a real [`sdvbs_exec::VirtualClock`] behind a
+//!   [`ClockHandle`] — the same handle type the production config
+//!   carries — advanced by the event loop; heartbeat staleness is
+//!   measured with `ClockHandle::since` exactly as the coordinator does.
+//!
+//! What the model replaces is the *mechanics*: threads become events,
+//! TCP becomes [`SimNet`] (which keeps TCP's FIFO-per-link, no-silent-
+//! loss contract), and worker engines become queued virtual executions.
+//! Faults — crashes, stalls, partitions — come from a seed-planned
+//! [`FaultSchedule`], so any run reproduces from its seed alone.
+
+use crate::faults::FaultSchedule;
+use crate::net::{Dir, NetConfig, SimNet};
+use crate::rng::SimRng;
+use crate::sched::EventQueue;
+use sdvbs_exec::ClockHandle;
+use sdvbs_runner::{policy_label, size_label, HostMeta, Job, RunRecord, RunStatus};
+use sdvbs_serve::protocol::{self, OrphanDisposition, RetryPolicy};
+use sdvbs_serve::spec_digest;
+use sdvbs_wire::{decode_frame, encode_frame, Message};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+/// Cluster sizing and timing knobs, all in virtual microseconds.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Worker process count.
+    pub workers: usize,
+    /// Coordinator admission bound (outstanding jobs).
+    pub queue_capacity: usize,
+    /// Per-worker in-flight cap before the dispatcher steals.
+    pub per_worker_inflight: usize,
+    /// Heartbeat interval.
+    pub heartbeat_us: u64,
+    /// Staleness window.
+    pub liveness_us: u64,
+    /// Retries beyond a job's first execution.
+    pub retry_budget: u32,
+    /// Worker-side admission bound (queued + running) before `Busy`.
+    pub worker_queue: usize,
+    /// Concurrent executions per worker.
+    pub worker_slots: usize,
+    /// Execution-duration window per job.
+    pub exec_min_us: u64,
+    /// Upper bound of the execution window.
+    pub exec_max_us: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        // Heartbeat/liveness/budget mirror ClusterConfig::default.
+        ModelConfig {
+            workers: 3,
+            queue_capacity: 1024,
+            per_worker_inflight: 8,
+            heartbeat_us: 300_000,
+            liveness_us: 3_000_000,
+            retry_budget: 2,
+            // Smaller than per_worker_inflight on purpose: the
+            // coordinator can legally overrun a worker's queue, so the
+            // Busy-bounce path gets exercised under bursty load.
+            worker_queue: 5,
+            worker_slots: 2,
+            exec_min_us: 50_000,
+            exec_max_us: 800_000,
+        }
+    }
+}
+
+/// Mirror of the coordinator's `CJobState`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Admitted, awaiting dispatch.
+    Pending,
+    /// Dispatched to worker `i`.
+    Dispatched(usize),
+    /// Completed with a record.
+    Done,
+    /// Refused without a result.
+    Rejected(String),
+    /// Retry budget exhausted (or no live workers).
+    Quarantined(String),
+}
+
+impl JobState {
+    /// Whether the job can never change state again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Rejected(_) | JobState::Quarantined(_)
+        )
+    }
+}
+
+/// One admitted cluster job plus its audit trail.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// The real spec (digested for sharding exactly as production).
+    pub spec: Job,
+    /// `spec_digest(&spec)`.
+    pub digest: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Executions begun (the unified accounting of
+    /// [`sdvbs_serve::protocol`]).
+    pub attempts: u32,
+    /// Highest `attempts` ever observed (Busy refunds lower `attempts`,
+    /// never this).
+    pub attempts_high: u32,
+    /// Times the job entered a terminal state. The no-lost/no-double
+    /// invariant demands exactly 1.
+    pub terminal_transitions: u32,
+    /// The completed record, when `Done`.
+    pub record: Option<Box<RunRecord>>,
+}
+
+/// A recorded worker death.
+#[derive(Debug, Clone)]
+pub struct Death {
+    /// Worker index.
+    pub worker: usize,
+    /// Virtual time of the declaration.
+    pub at_us: u64,
+    /// The reason string passed to `mark_dead`.
+    pub why: String,
+    /// True when declared by heartbeat staleness (vs. a broken link).
+    pub stale: bool,
+}
+
+/// Everything a simulated run leaves behind for invariant checking.
+#[derive(Debug, Clone, Default)]
+pub struct RunAudit {
+    /// Worker deaths in declaration order.
+    pub deaths: Vec<Death>,
+    /// Virtual time the drain began, if it did.
+    pub drain_started_us: Option<u64>,
+    /// Virtual time the coordinator finished draining (all jobs
+    /// terminal, Drain sent to survivors).
+    pub drain_stopped_us: Option<u64>,
+    /// Workers that answered `DrainOk`.
+    pub drain_ok: Vec<usize>,
+    /// Submissions refused at admission (drain or queue-full): these
+    /// never became jobs.
+    pub refused_admission: u64,
+    /// `Busy` bounces redispatched.
+    pub busy_bounces: u64,
+    /// Orphans requeued across worker deaths.
+    pub requeues: u64,
+    /// Jobs stolen off their home shard.
+    pub stolen: u64,
+}
+
+struct SimWorker {
+    crashed: bool,
+    stalled_until: u64,
+    draining: bool,
+    drain_ok_pending: bool,
+    /// Queued-but-not-running `(job id, exec_us)`.
+    queue: VecDeque<(u64, u64)>,
+    /// Running job id → scheduled finish time.
+    running: BTreeMap<u64, u64>,
+    completed: u64,
+    rejected: u64,
+}
+
+impl SimWorker {
+    fn new() -> Self {
+        SimWorker {
+            crashed: false,
+            stalled_until: 0,
+            draining: false,
+            drain_ok_pending: false,
+            queue: VecDeque::new(),
+            running: BTreeMap::new(),
+            completed: 0,
+            rejected: 0,
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        self.queue.len() + self.running.len()
+    }
+}
+
+enum Ev {
+    /// The load plan submits `planned[i]`.
+    Submit(usize),
+    /// A frame arrives at worker `w`.
+    ToWorker { w: usize, frame: Vec<u8> },
+    /// A frame arrives at the coordinator from worker `w`.
+    ToCoord { w: usize, frame: Vec<u8> },
+    /// Worker `w`'s link tears (the coordinator's reader sees EOF).
+    LinkBroken { w: usize },
+    /// The heartbeat loop's next sweep.
+    HeartbeatTick,
+    /// Worker `w` finishes executing job `id`.
+    Finish { w: usize, id: u64 },
+    /// Fault: worker `w` dies.
+    Crash { w: usize },
+    /// Fault: worker `w` stops responding until `until_us`.
+    StallStart { w: usize, until_us: u64 },
+    /// The operator starts a cluster drain.
+    BeginDrain,
+}
+
+/// The whole simulated cluster: coordinator, workers, network, clock.
+pub struct SimModel {
+    cfg: ModelConfig,
+    rng: SimRng,
+    net: SimNet,
+    queue: EventQueue<Ev>,
+    clock: ClockHandle,
+    virt: std::sync::Arc<sdvbs_exec::VirtualClock>,
+
+    // Coordinator state (mirrors ClusterState + WorkerLink fields).
+    jobs: Vec<SimJob>,
+    pending: VecDeque<u64>,
+    outstanding: usize,
+    draining: bool,
+    stopping: bool,
+    alive: Vec<bool>,
+    last_beat: Vec<Duration>,
+    dispatched: Vec<BTreeSet<u64>>,
+    hb_seq: u64,
+
+    workers: Vec<SimWorker>,
+    planned: Vec<Job>,
+
+    /// Deterministic event log; its hash is the run's digest.
+    pub log: Vec<String>,
+    /// Invariant-relevant observations.
+    pub audit: RunAudit,
+}
+
+impl SimModel {
+    /// Builds a cluster over a planned load and fault schedule. `load` is
+    /// `(arrival_us, spec)` pairs; `drain_at_us` starts the drain.
+    pub fn new(
+        cfg: ModelConfig,
+        rng: SimRng,
+        net_cfg: NetConfig,
+        schedule: &FaultSchedule,
+        load: Vec<(u64, Job)>,
+        drain_at_us: u64,
+    ) -> Self {
+        let n = cfg.workers.max(1);
+        let (clock, virt) = ClockHandle::simulated();
+        let net = SimNet::new(net_cfg, n, schedule.partitions.clone());
+        let mut queue = EventQueue::new();
+        let mut planned = Vec::with_capacity(load.len());
+        for (i, (at, spec)) in load.into_iter().enumerate() {
+            queue.push(at, Ev::Submit(i));
+            planned.push(spec);
+        }
+        for &(at, w) in &schedule.crashes {
+            queue.push(at, Ev::Crash { w });
+        }
+        for &(w, from, until) in &schedule.stalls {
+            queue.push(from, Ev::StallStart { w, until_us: until });
+        }
+        queue.push(0, Ev::HeartbeatTick);
+        queue.push(drain_at_us, Ev::BeginDrain);
+        let t0 = clock.now();
+        SimModel {
+            cfg,
+            rng,
+            net,
+            queue,
+            clock,
+            virt,
+            jobs: Vec::new(),
+            pending: VecDeque::new(),
+            outstanding: 0,
+            draining: false,
+            stopping: false,
+            alive: vec![true; n],
+            last_beat: vec![t0; n],
+            dispatched: vec![BTreeSet::new(); n],
+            hb_seq: 0,
+            workers: (0..n).map(|_| SimWorker::new()).collect(),
+            planned,
+            log: Vec::new(),
+            audit: RunAudit::default(),
+        }
+    }
+
+    /// Runs the event loop to quiescence and returns the final virtual
+    /// time in microseconds. `horizon_us` is a hard stop against a
+    /// non-terminating schedule — reaching it is itself an invariant
+    /// failure the checker reports.
+    pub fn run(&mut self, horizon_us: u64) -> u64 {
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > horizon_us {
+                self.note(now, "HORIZON exceeded; aborting event loop".to_string());
+                return now;
+            }
+            self.virt.advance_to(Duration::from_micros(now));
+            self.handle(now, ev);
+        }
+        self.queue.now_us()
+    }
+
+    /// The admitted jobs, for invariant checks and reporting.
+    pub fn jobs(&self) -> &[SimJob] {
+        &self.jobs
+    }
+
+    /// Events still scheduled (nonzero only when the horizon tripped).
+    pub fn events_left(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the coordinator finished its drain.
+    pub fn drain_complete(&self) -> bool {
+        self.stopping
+    }
+
+    /// The latency ceiling the staleness invariant is judged against.
+    pub fn latency_max_us(&self) -> u64 {
+        self.net.latency_max_us()
+    }
+
+    fn note(&mut self, now: u64, line: String) {
+        self.log.push(format!("{now:>12} {line}"));
+    }
+
+    // ---- transport ----------------------------------------------------
+
+    fn send_to_worker(&mut self, now: u64, w: usize, msg: &Message) {
+        let frame = encode_frame(msg);
+        let at = self.net.delivery(&mut self.rng, now, Dir::ToWorker(w));
+        self.queue.push(at, Ev::ToWorker { w, frame });
+    }
+
+    fn send_to_coord(&mut self, now: u64, w: usize, msg: &Message) {
+        let frame = encode_frame(msg);
+        let at = self.net.delivery(&mut self.rng, now, Dir::ToCoord(w));
+        self.queue.push(at, Ev::ToCoord { w, frame });
+    }
+
+    fn decode(frame: &[u8]) -> Message {
+        match decode_frame(frame) {
+            Ok(Some((msg, consumed))) if consumed == frame.len() => msg,
+            other => unreachable!("sim delivered a torn frame: {other:?}"),
+        }
+    }
+
+    // ---- event dispatch ------------------------------------------------
+
+    fn handle(&mut self, now: u64, ev: Ev) {
+        match ev {
+            Ev::Submit(i) => self.submit(now, i),
+            Ev::ToWorker { w, frame } => {
+                // A stalled worker processes nothing until it wakes; a
+                // crashed worker processes nothing ever (the kernel acked
+                // the bytes, the process is gone).
+                if self.workers[w].crashed {
+                    return;
+                }
+                let wake = self.workers[w].stalled_until;
+                if now < wake {
+                    self.queue.push(wake, Ev::ToWorker { w, frame });
+                    return;
+                }
+                let msg = Self::decode(&frame);
+                self.worker_message(now, w, msg);
+            }
+            Ev::ToCoord { w, frame } => {
+                let msg = Self::decode(&frame);
+                self.coord_message(now, w, msg);
+            }
+            Ev::LinkBroken { w } => {
+                // Mirrors reader_loop's Err arm: teardown closure is not
+                // a death.
+                if !self.stopping {
+                    self.mark_dead(now, w, "link closed", false);
+                }
+            }
+            Ev::HeartbeatTick => self.heartbeat_tick(now),
+            Ev::Finish { w, id } => self.worker_finish(now, w, id),
+            Ev::Crash { w } => self.crash(now, w),
+            Ev::StallStart { w, until_us } => {
+                if !self.workers[w].crashed {
+                    self.workers[w].stalled_until = until_us;
+                    self.note(now, format!("fault: w{w} stalls until {until_us}"));
+                }
+            }
+            Ev::BeginDrain => self.begin_drain(now),
+        }
+    }
+
+    // ---- coordinator ---------------------------------------------------
+
+    /// Mirrors `ClusterEngine::submit` (always `fresh`: the sim's load
+    /// has distinct specs, so cache/coalescing — which sit above the
+    /// dispatch layer — never engage in production either).
+    fn submit(&mut self, now: u64, i: usize) {
+        let spec = self.planned[i].clone();
+        if self.draining {
+            self.audit.refused_admission += 1;
+            self.note(now, format!("submit refused (draining): load[{i}]"));
+            return;
+        }
+        if self.outstanding >= self.cfg.queue_capacity.max(1) {
+            self.audit.refused_admission += 1;
+            self.note(now, format!("submit refused (queue full): load[{i}]"));
+            return;
+        }
+        let id = self.jobs.len() as u64;
+        let digest = spec_digest(&spec);
+        self.jobs.push(SimJob {
+            spec,
+            digest,
+            state: JobState::Pending,
+            attempts: 0,
+            attempts_high: 0,
+            terminal_transitions: 0,
+            record: None,
+        });
+        self.pending.push_back(id);
+        self.outstanding += 1;
+        self.note(now, format!("submit id={id} digest={digest:#018x}"));
+        self.try_dispatch(now);
+    }
+
+    /// Mirrors the dispatcher: drains the pending queue as far as
+    /// `protocol::pick_target` allows.
+    fn try_dispatch(&mut self, now: u64) {
+        while let Some(&id) = self.pending.front() {
+            if self.alive.iter().all(|a| !a) {
+                self.pending.pop_front();
+                self.set_terminal(now, id, JobState::Quarantined("no live workers".into()));
+                continue;
+            }
+            let digest = self.jobs[id as usize].digest;
+            let inflight: Vec<usize> = self.dispatched.iter().map(BTreeSet::len).collect();
+            let Some(w) =
+                protocol::pick_target(digest, &self.alive, &inflight, self.cfg.per_worker_inflight)
+            else {
+                // Every live worker at its cap: a completion or death
+                // will re-trigger dispatch.
+                return;
+            };
+            self.pending.pop_front();
+            let job = &mut self.jobs[id as usize];
+            job.state = JobState::Dispatched(w);
+            job.attempts += 1;
+            job.attempts_high = job.attempts_high.max(job.attempts);
+            let attempt = job.attempts;
+            let spec = job.spec.clone();
+            let home = (digest % self.alive.len() as u64) as usize;
+            if w != home {
+                self.audit.stolen += 1;
+            }
+            self.dispatched[w].insert(id);
+            self.note(now, format!("dispatch id={id} -> w{w} attempt={attempt}"));
+            self.send_to_worker(now, w, &Message::Dispatch { id, spec });
+        }
+    }
+
+    /// Mirrors `reader_loop` message handling.
+    fn coord_message(&mut self, now: u64, w: usize, msg: Message) {
+        match msg {
+            Message::Done { id, record } => {
+                self.dispatched[w].remove(&id);
+                let Some(job) = self.jobs.get_mut(id as usize) else {
+                    return;
+                };
+                if !matches!(job.state, JobState::Dispatched(_)) {
+                    self.note(now, format!("late done id={id} from w{w} ignored"));
+                    return;
+                }
+                job.record = Some(record);
+                self.set_terminal(now, id, JobState::Done);
+                self.try_dispatch(now);
+            }
+            Message::Rejected { id, detail } => {
+                self.dispatched[w].remove(&id);
+                let Some(job) = self.jobs.get(id as usize) else {
+                    return;
+                };
+                if !matches!(job.state, JobState::Dispatched(_)) {
+                    return;
+                }
+                self.set_terminal(now, id, JobState::Rejected(detail));
+                self.try_dispatch(now);
+            }
+            Message::Busy { id } => {
+                // The bounced dispatch never executed: give back the
+                // charged attempt (unified accounting; see
+                // `sdvbs_serve::protocol`).
+                self.dispatched[w].remove(&id);
+                let Some(job) = self.jobs.get_mut(id as usize) else {
+                    return;
+                };
+                if !matches!(job.state, JobState::Dispatched(_)) {
+                    return;
+                }
+                job.state = JobState::Pending;
+                job.attempts = job.attempts.saturating_sub(1);
+                self.pending.push_back(id);
+                self.audit.busy_bounces += 1;
+                self.note(now, format!("busy id={id} from w{w}; requeued"));
+                self.try_dispatch(now);
+            }
+            Message::HeartbeatOk { .. } => {
+                // A stale-marked worker's late replies refresh the beat
+                // but never resurrect it — exactly production.
+                self.last_beat[w] = self.clock.now();
+            }
+            Message::DrainOk {
+                completed,
+                rejected,
+            } => {
+                self.audit.drain_ok.push(w);
+                self.alive[w] = false;
+                self.note(
+                    now,
+                    format!("drain_ok from w{w}: completed={completed} rejected={rejected}"),
+                );
+            }
+            Message::Error { message } => {
+                self.note(now, format!("worker w{w} error: {message}"));
+            }
+            _ => {}
+        }
+    }
+
+    /// Mirrors `ClusterEngine::mark_dead`: idempotent, orphans judged by
+    /// the shared policy.
+    fn mark_dead(&mut self, now: u64, w: usize, why: &str, stale: bool) {
+        if !self.alive[w] {
+            return;
+        }
+        self.alive[w] = false;
+        self.audit.deaths.push(Death {
+            worker: w,
+            at_us: now,
+            why: why.to_string(),
+            stale,
+        });
+        self.note(now, format!("worker w{w} declared dead: {why}"));
+        let orphans: Vec<u64> = std::mem::take(&mut self.dispatched[w])
+            .into_iter()
+            .collect();
+        let policy = RetryPolicy {
+            budget: self.cfg.retry_budget,
+        };
+        for id in orphans {
+            let Some(job) = self.jobs.get(id as usize) else {
+                continue;
+            };
+            if !matches!(job.state, JobState::Dispatched(d) if d == w) {
+                continue;
+            }
+            let attempts = job.attempts;
+            match protocol::orphan_disposition(attempts, policy, self.draining) {
+                OrphanDisposition::Quarantine => {
+                    let detail =
+                        format!("quarantined after {attempts} attempts; worker w{w} died mid-run");
+                    self.set_terminal(now, id, JobState::Quarantined(detail));
+                }
+                OrphanDisposition::RejectDraining => {
+                    let detail = format!("worker w{w} died during drain");
+                    self.set_terminal(now, id, JobState::Rejected(detail));
+                }
+                OrphanDisposition::Requeue => {
+                    self.jobs[id as usize].state = JobState::Pending;
+                    self.pending.push_front(id);
+                    self.audit.requeues += 1;
+                    self.note(now, format!("requeue id={id} (orphan of w{w})"));
+                }
+            }
+        }
+        self.try_dispatch(now);
+        self.drain_check(now);
+    }
+
+    /// Moves a job to a terminal state — the single chokepoint, so the
+    /// no-double-terminal invariant is counted exactly.
+    fn set_terminal(&mut self, now: u64, id: u64, terminal: JobState) {
+        let line = match &terminal {
+            JobState::Done => format!("done id={id}"),
+            JobState::Rejected(why) => format!("rejected id={id}: {why}"),
+            JobState::Quarantined(why) => format!("quarantined id={id}: {why}"),
+            other => unreachable!("set_terminal({other:?})"),
+        };
+        let job = &mut self.jobs[id as usize];
+        job.state = terminal;
+        job.terminal_transitions += 1;
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.note(now, line);
+        self.drain_check(now);
+    }
+
+    /// Mirrors `heartbeat_loop`'s body: send to the living, then judge
+    /// staleness via the shared policy (drain suppresses it).
+    fn heartbeat_tick(&mut self, now: u64) {
+        if self.stopping {
+            return;
+        }
+        self.hb_seq += 1;
+        let seq = self.hb_seq;
+        let draining = self.draining;
+        for w in 0..self.alive.len() {
+            if !self.alive[w] {
+                continue;
+            }
+            self.send_to_worker(now, w, &Message::Heartbeat { seq });
+            let age = self.clock.since(self.last_beat[w]);
+            if protocol::is_stale(age, Duration::from_micros(self.cfg.liveness_us), draining) {
+                self.mark_dead(now, w, "missed heartbeats", true);
+            }
+        }
+        let next = now + self.cfg.heartbeat_us;
+        self.queue.push(next, Ev::HeartbeatTick);
+    }
+
+    /// Mirrors `begin_drain`: stop admission, reject the undispatched.
+    fn begin_drain(&mut self, now: u64) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.audit.drain_started_us = Some(now);
+        self.note(now, "drain begins".to_string());
+        let pending: Vec<u64> = self.pending.drain(..).collect();
+        for id in pending {
+            self.set_terminal(
+                now,
+                id,
+                JobState::Rejected("server shutting down before execution".into()),
+            );
+        }
+        self.drain_check(now);
+    }
+
+    /// Mirrors the tail of `drain`: once every admitted job is terminal,
+    /// raise `stopping` and tell each survivor to drain and exit.
+    fn drain_check(&mut self, now: u64) {
+        if !self.draining || self.stopping {
+            return;
+        }
+        if !self.jobs.iter().all(|j| j.state.is_terminal()) {
+            return;
+        }
+        self.stopping = true;
+        self.audit.drain_stopped_us = Some(now);
+        self.note(now, "drain complete; stopping cluster".to_string());
+        for w in 0..self.alive.len() {
+            if self.alive[w] {
+                self.send_to_worker(now, w, &Message::Drain);
+            }
+        }
+    }
+
+    // ---- workers -------------------------------------------------------
+
+    /// Mirrors `serve_coordinator`'s message handling.
+    fn worker_message(&mut self, now: u64, w: usize, msg: Message) {
+        match msg {
+            Message::Dispatch { id, spec } => {
+                let full = self.workers[w].outstanding() >= self.cfg.worker_queue.max(1);
+                if self.workers[w].draining || full {
+                    self.send_to_coord(now, w, &Message::Busy { id });
+                    return;
+                }
+                let exec = self
+                    .rng
+                    .range(self.cfg.exec_min_us, self.cfg.exec_max_us + 1);
+                let worker = &mut self.workers[w];
+                if worker.running.len() < self.cfg.worker_slots.max(1) {
+                    worker.running.insert(id, now + exec);
+                    self.queue.push(now + exec, Ev::Finish { w, id });
+                } else {
+                    worker.queue.push_back((id, exec));
+                }
+                // The spec round-tripped the codec; sanity-pin the digest
+                // so a codec regression surfaces as a loud sim failure.
+                assert_eq!(
+                    spec_digest(&spec),
+                    self.jobs[id as usize].digest,
+                    "spec mutated in transit"
+                );
+            }
+            Message::Heartbeat { seq } => {
+                let reply = Message::HeartbeatOk { seq, now_us: now };
+                self.send_to_coord(now, w, &reply);
+            }
+            Message::Drain => {
+                let worker = &mut self.workers[w];
+                worker.draining = true;
+                let queued: Vec<u64> = worker.queue.drain(..).map(|(id, _)| id).collect();
+                worker.rejected += queued.len() as u64;
+                for id in queued {
+                    self.send_to_coord(
+                        now,
+                        w,
+                        &Message::Rejected {
+                            id,
+                            detail: "worker draining".into(),
+                        },
+                    );
+                }
+                if self.workers[w].running.is_empty() {
+                    self.send_drain_ok(now, w);
+                } else {
+                    self.workers[w].drain_ok_pending = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn send_drain_ok(&mut self, now: u64, w: usize) {
+        let (completed, rejected) = {
+            let worker = &self.workers[w];
+            (worker.completed, worker.rejected)
+        };
+        self.send_to_coord(
+            now,
+            w,
+            &Message::DrainOk {
+                completed,
+                rejected,
+            },
+        );
+    }
+
+    fn worker_finish(&mut self, now: u64, w: usize, id: u64) {
+        if self.workers[w].crashed {
+            return;
+        }
+        let wake = self.workers[w].stalled_until;
+        if now < wake {
+            // The stalled process finishes (and reports) only after it
+            // wakes.
+            self.queue.push(wake, Ev::Finish { w, id });
+            return;
+        }
+        if self.workers[w].running.remove(&id).is_none() {
+            return;
+        }
+        self.workers[w].completed += 1;
+        let record = self.synthesize_record(id);
+        self.send_to_coord(
+            now,
+            w,
+            &Message::Done {
+                id,
+                record: Box::new(record),
+            },
+        );
+        // Promote the next queued job into the freed slot.
+        if let Some((next_id, exec)) = self.workers[w].queue.pop_front() {
+            self.workers[w].running.insert(next_id, now + exec);
+            self.queue.push(now + exec, Ev::Finish { w, id: next_id });
+        }
+        if self.workers[w].drain_ok_pending && self.workers[w].running.is_empty() {
+            self.workers[w].drain_ok_pending = false;
+            self.send_drain_ok(now, w);
+        }
+    }
+
+    fn crash(&mut self, now: u64, w: usize) {
+        let worker = &mut self.workers[w];
+        if worker.crashed {
+            return;
+        }
+        worker.crashed = true;
+        worker.queue.clear();
+        worker.running.clear();
+        self.note(now, format!("fault: w{w} crashes"));
+        // The peer's OS tears the connection down; the coordinator's
+        // reader observes it one propagation delay later.
+        let at = self.net.delivery(&mut self.rng, now, Dir::ToCoord(w));
+        self.queue.push(at, Ev::LinkBroken { w });
+    }
+
+    /// A `Done` record a real worker would produce: the sim executes
+    /// nothing, but every field the wire schema and store care about is
+    /// populated and survives the codec round trip.
+    fn synthesize_record(&self, id: u64) -> RunRecord {
+        let job = &self.jobs[id as usize];
+        let exec_ms = self.cfg.exec_min_us as f64 / 1e3;
+        RunRecord {
+            job_id: id,
+            benchmark: job.spec.benchmark.clone(),
+            size: size_label(job.spec.size),
+            policy: policy_label(job.spec.policy),
+            threads: 1,
+            seed: job.spec.seed,
+            iterations: job.spec.iterations,
+            status: RunStatus::Completed,
+            times_ms: vec![exec_ms],
+            min_ms: exec_ms,
+            p50_ms: exec_ms,
+            mean_ms: exec_ms,
+            max_ms: exec_ms,
+            wall_ms: exec_ms,
+            quality: None,
+            detail: "simulated execution".into(),
+            kernels: Vec::new(),
+            non_kernel_percent: 0.0,
+            occupancy_mode: "wall-clock".into(),
+            host: HostMeta {
+                os: "sdvbs-sim".into(),
+                cpu: "virtual".into(),
+                logical_cpus: 1,
+            },
+            attempts: job.attempts.max(1),
+            injected: Vec::new(),
+            quarantined: false,
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The simulated network: latency, ordering, and partitions.
+//!
+//! The production transport is TCP, and the model keeps TCP's contract:
+//! a link never reorders or silently drops frames — each direction of
+//! each coordinator↔worker link delivers in send order (delivery times
+//! are forced strictly monotone per direction). What the simulation *can*
+//! vary is delay: every frame draws a latency from the configured window,
+//! and a partition holds a worker's frames (both directions) until the
+//! window heals, exactly the way a partition looks to TCP — retransmits
+//! land everything after connectivity returns, nothing is lost unless a
+//! process actually crashes.
+//!
+//! "Reorder" chaos is therefore cross-link: a wide latency window makes
+//! frames on *different* links interleave in wildly different orders
+//! while each single link stays FIFO — the only reordering a TCP-based
+//! protocol can legally experience.
+
+use crate::rng::SimRng;
+
+/// One direction of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Coordinator → worker `w`.
+    ToWorker(usize),
+    /// Worker `w` → coordinator.
+    ToCoord(usize),
+}
+
+impl Dir {
+    fn worker(self) -> usize {
+        match self {
+            Dir::ToWorker(w) | Dir::ToCoord(w) => w,
+        }
+    }
+}
+
+/// A connectivity hole between the coordinator and one worker: frames
+/// sent inside `[from_us, until_us)` deliver after `until_us`.
+#[derive(Debug, Clone, Copy)]
+pub struct Partition {
+    /// The worker cut off.
+    pub worker: usize,
+    /// Window start (virtual µs).
+    pub from_us: u64,
+    /// Window end (virtual µs).
+    pub until_us: u64,
+}
+
+/// Latency window for every frame.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Minimum one-way latency (µs). Must be ≥ 1 so a request/reply
+    /// cycle always advances virtual time (no same-instant livelock).
+    pub latency_min_us: u64,
+    /// Maximum one-way latency (µs).
+    pub latency_max_us: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency_min_us: 500,
+            latency_max_us: 5_000,
+        }
+    }
+}
+
+/// The network model: computes delivery times.
+pub struct SimNet {
+    cfg: NetConfig,
+    partitions: Vec<Partition>,
+    /// Last delivery time per direction per worker, for the TCP FIFO
+    /// guarantee. Indexed `[worker]`, `.0` to-worker / `.1` to-coord.
+    last: Vec<(u64, u64)>,
+}
+
+impl SimNet {
+    /// A network over `workers` links.
+    pub fn new(cfg: NetConfig, workers: usize, partitions: Vec<Partition>) -> Self {
+        SimNet {
+            cfg: NetConfig {
+                latency_min_us: cfg.latency_min_us.max(1),
+                latency_max_us: cfg.latency_max_us.max(cfg.latency_min_us.max(1)),
+            },
+            partitions,
+            last: vec![(0, 0); workers],
+        }
+    }
+
+    /// The configured latency ceiling (the bound the staleness invariant
+    /// is judged against).
+    pub fn latency_max_us(&self) -> u64 {
+        self.cfg.latency_max_us
+    }
+
+    /// The partition schedule.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Whether `worker`'s link is partitioned at `at_us`.
+    pub fn partitioned(&self, worker: usize, at_us: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.worker == worker && (p.from_us..p.until_us).contains(&at_us))
+    }
+
+    /// When a frame sent now on `dir` arrives. Draws jitter from `rng`,
+    /// defers across any partition covering the send instant, and clamps
+    /// to after the link's previous delivery (FIFO).
+    pub fn delivery(&mut self, rng: &mut SimRng, now_us: u64, dir: Dir) -> u64 {
+        let jitter = rng.range(self.cfg.latency_min_us, self.cfg.latency_max_us + 1);
+        let mut at = now_us + jitter;
+        let w = dir.worker();
+        for p in &self.partitions {
+            if p.worker == w && (p.from_us..p.until_us).contains(&now_us) {
+                // TCP retransmission: the frame lands once the partition
+                // heals, plus a fresh propagation delay.
+                at = at.max(p.until_us + self.cfg.latency_min_us);
+            }
+        }
+        let slot = &mut self.last[w];
+        let prev = match dir {
+            Dir::ToWorker(_) => &mut slot.0,
+            Dir::ToCoord(_) => &mut slot.1,
+        };
+        at = at.max(*prev + 1);
+        *prev = at;
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_link_delivery_is_fifo() {
+        let mut net = SimNet::new(
+            NetConfig {
+                latency_min_us: 1,
+                latency_max_us: 10_000,
+            },
+            2,
+            Vec::new(),
+        );
+        let mut rng = SimRng::new(3);
+        let mut prev = 0;
+        for _ in 0..100 {
+            let at = net.delivery(&mut rng, 50, Dir::ToWorker(0));
+            assert!(at > prev, "same-direction frames never reorder");
+            prev = at;
+        }
+        // The other direction and the other worker are independent.
+        assert!(net.delivery(&mut rng, 50, Dir::ToCoord(0)) < prev);
+        assert!(net.delivery(&mut rng, 50, Dir::ToWorker(1)) < prev);
+    }
+
+    #[test]
+    fn partitions_defer_delivery_until_heal() {
+        let mut net = SimNet::new(
+            NetConfig {
+                latency_min_us: 10,
+                latency_max_us: 20,
+            },
+            1,
+            vec![Partition {
+                worker: 0,
+                from_us: 100,
+                until_us: 5_000,
+            }],
+        );
+        let mut rng = SimRng::new(1);
+        assert!(net.partitioned(0, 100));
+        assert!(!net.partitioned(0, 5_000));
+        let at = net.delivery(&mut rng, 150, Dir::ToCoord(0));
+        assert!(at >= 5_010, "frame holds until the partition heals: {at}");
+        // A frame sent after the heal is unaffected by the window, only
+        // by FIFO behind the held frame.
+        let at2 = net.delivery(&mut rng, 5_000, Dir::ToCoord(0));
+        assert!(at2 > at && at2 <= at.max(5_020) + 1);
+    }
+}

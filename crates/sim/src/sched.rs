@@ -1,0 +1,123 @@
+//! The discrete-event scheduler: a priority queue over virtual time.
+//!
+//! Determinism rests on the tie-break: events at the same microsecond pop
+//! in the order they were pushed (a monotone sequence number), so two
+//! runs that push the same events observe the same total order — there is
+//! no dependence on heap internals or iteration order anywhere.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: fire time in virtual microseconds plus the
+/// tie-breaking push sequence.
+struct Scheduled<E> {
+    at_us: u64,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first,
+        // FIFO within a microsecond.
+        (other.at_us, other.seq).cmp(&(self.at_us, self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An event queue ordered by `(virtual time, push order)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    /// Highest time popped so far; pushes into the past are clamped to it
+    /// so virtual time never runs backwards.
+    now_us: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now_us: 0,
+        }
+    }
+
+    /// Schedules `ev` at `at_us` (clamped to now — an event can never
+    /// fire in the past).
+    pub fn push(&mut self, at_us: u64, ev: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at_us: at_us.max(self.now_us),
+            seq,
+            ev,
+        });
+    }
+
+    /// Pops the earliest event, advancing the queue's notion of now.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let s = self.heap.pop()?;
+        self.now_us = s.at_us;
+        Some((s.at_us, s.ev))
+    }
+
+    /// The time of the last popped event.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Events still scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a1");
+        q.push(10, "a2");
+        q.push(20, "b");
+        let order: Vec<(u64, &str)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, "a1"), (10, "a2"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn past_pushes_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.push(100, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+        q.push(5, "past");
+        assert_eq!(q.pop(), Some((100, "past")));
+        assert_eq!(q.now_us(), 100);
+    }
+}

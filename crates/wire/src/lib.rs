@@ -23,7 +23,9 @@
 pub mod error;
 pub mod frame;
 pub mod message;
+pub mod transport;
 
 pub use error::WireError;
 pub use frame::{decode_frame, encode_frame, read_msg, write_msg, MAX_FRAME, PROTO_VERSION};
 pub use message::Message;
+pub use transport::{tcp_pair, FrameRx, FrameTx, TcpFrameRx, TcpFrameTx};
