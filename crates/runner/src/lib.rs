@@ -50,7 +50,9 @@ pub use job::{
 };
 pub use pool::{run_pool, supervise, Completion, PoolConfig, PoolJob, PoolOutcome};
 pub use queue::{BoundedQueue, PushError, QueueError, TryPushError};
-pub use run::{execute_job, run_jobs, run_jobs_report, RunReport, RunnerConfig, RunnerError};
+pub use run::{
+    execute_job, execute_job_warm, run_jobs, run_jobs_report, RunReport, RunnerConfig, RunnerError,
+};
 pub use store::{
     append_metrics, append_records, read_records, recover_records, write_records, StoreError,
 };

@@ -267,7 +267,7 @@ pub fn run_jobs_report(jobs: &[Job], cfg: &RunnerConfig) -> Result<RunReport, Ru
                         }),
                         Some(FaultKind::Truncate) | None => {}
                     }
-                    let result = try_measure(&job, resolved, tracing);
+                    let result = try_measure(&job, resolved, tracing, false);
                     clear_poison();
                     result
                 })
@@ -443,6 +443,32 @@ pub fn execute_job(
     host: &HostMeta,
     timeout: Option<Duration>,
 ) -> Result<RunRecord, RunnerError> {
+    execute_job_warm(job, job_id, auto_threads, host, timeout, false)
+}
+
+/// [`execute_job`] with an explicit warm-start flag.
+///
+/// `warm = true` skips the benchmark's `warmup()` call and the untimed
+/// warmup iteration. The serve engine's scheduler sets it for every job
+/// after the first in a batch sharing one benchmark×size: the previous
+/// job just ran the same pipeline on this thread, so the LUTs, lazy
+/// allocations, and instruction cache are already hot and re-warming
+/// would only burn the throughput the batch exists to win. Results are
+/// unaffected — warmup only pre-touches state; each job still
+/// synthesizes its own seeded input and runs its own timed iterations.
+///
+/// # Errors
+///
+/// Returns [`RunnerError::UnknownBenchmark`] if the job names a benchmark
+/// not in the registry.
+pub fn execute_job_warm(
+    job: &Job,
+    job_id: u64,
+    auto_threads: usize,
+    host: &HostMeta,
+    timeout: Option<Duration>,
+    warm: bool,
+) -> Result<RunRecord, RunnerError> {
     if !all_benchmarks()
         .iter()
         .any(|b| b.info().name == job.benchmark)
@@ -455,7 +481,7 @@ pub fn execute_job(
     let threads = resolved_threads(resolved, auto_threads);
     let work = {
         let job = job.clone();
-        Box::new(move || try_measure(&job, resolved, false))
+        Box::new(move || try_measure(&job, resolved, false, warm))
     };
     let start = std::time::Instant::now();
     let completion = crate::pool::supervise(work, timeout);
@@ -567,19 +593,28 @@ fn rec_label(job: &Job) -> String {
 /// A typed benchmark error (from [`sdvbs_core::Benchmark::try_run_with`])
 /// short-circuits the iterations and surfaces as an `Err` whose message
 /// becomes the [`RunStatus::Failed`] record's detail — never a panic.
-fn try_measure(job: &Job, resolved: ExecPolicy, tracing: bool) -> Result<JobMeasurement, String> {
+fn try_measure(
+    job: &Job,
+    resolved: ExecPolicy,
+    tracing: bool,
+    warm_start: bool,
+) -> Result<JobMeasurement, String> {
     let suite = all_benchmarks();
     let bench = suite
         .iter()
         .find(|b| b.info().name == job.benchmark)
         .expect("benchmark validated before submission");
-    bench.warmup();
-    // Untimed warmup iteration: page faults, lazy allocations, LUTs. Never
-    // traced — warmup spans would double-count every kernel.
-    let mut warm = Profiler::new();
-    bench
-        .try_run_with(job.size, job.seed, resolved, &mut warm)
-        .map_err(|e| e.to_string())?;
+    if !warm_start {
+        bench.warmup();
+        // Untimed warmup iteration: page faults, lazy allocations, LUTs.
+        // Never traced — warmup spans would double-count every kernel.
+        // Skipped on a warm start (batch follower): the previous job in
+        // the batch just ran this pipeline on this thread.
+        let mut warm = Profiler::new();
+        bench
+            .try_run_with(job.size, job.seed, resolved, &mut warm)
+            .map_err(|e| e.to_string())?;
+    }
 
     let iterations = job.iterations.max(1);
     let mut times_ms = Vec::with_capacity(iterations);
@@ -760,6 +795,30 @@ mod tests {
             Some(RunnerError::UnknownBenchmark {
                 name: "Not A Benchmark".into()
             })
+        );
+    }
+
+    #[test]
+    fn warm_execution_changes_timing_only_not_results() {
+        // A warm start skips warmup but must produce the same terminal
+        // fields — status, quality, detail, kernel set — as a cold run of
+        // the identical spec.
+        let size = InputSize::Custom {
+            width: 48,
+            height: 36,
+        };
+        let job = Job::new("Disparity Map", size, ExecPolicy::Serial, 5, 1);
+        let host = HostMeta::collect();
+        let cold = crate::run::execute_job_warm(&job, 0, 1, &host, None, false).unwrap();
+        let warm = crate::run::execute_job_warm(&job, 1, 1, &host, None, true).unwrap();
+        assert_eq!(cold.status, RunStatus::Completed);
+        assert_eq!(warm.status, RunStatus::Completed);
+        assert_eq!(cold.quality, warm.quality);
+        assert_eq!(cold.detail, warm.detail);
+        assert_eq!(cold.times_ms.len(), warm.times_ms.len());
+        assert_eq!(
+            cold.kernels.iter().map(|k| &k.name).collect::<Vec<_>>(),
+            warm.kernels.iter().map(|k| &k.name).collect::<Vec<_>>()
         );
     }
 

@@ -14,6 +14,7 @@
 //! crosses a process boundary in either mode.
 
 use crate::engine::{Engine, JobSnapshot, Submission};
+use crate::sched::JobClass;
 use crate::shutdown::DrainReport;
 use sdvbs_runner::Job;
 use sdvbs_trace::{MetricsRegistry, TraceEvent};
@@ -22,8 +23,9 @@ use std::time::Duration;
 /// What the HTTP layer needs from an execution substrate. Object-safe so
 /// the server holds an `Arc<dyn Backend>`.
 pub trait Backend: Send + Sync {
-    /// Submits a spec; `fresh` bypasses cache and coalescing.
-    fn submit(&self, spec: Job, fresh: bool) -> Submission;
+    /// Submits a spec; `fresh` bypasses cache and coalescing, `class`
+    /// picks the QoS lane the job is scheduled in.
+    fn submit(&self, spec: Job, fresh: bool, class: JobClass) -> Submission;
     /// A snapshot of job `id`, or `None` for an unknown id.
     fn get(&self, id: u64) -> Option<JobSnapshot>;
     /// Long-poll: blocks until job `id` is terminal or `wait` elapses.
@@ -53,8 +55,8 @@ pub trait Backend: Send + Sync {
 }
 
 impl Backend for Engine {
-    fn submit(&self, spec: Job, fresh: bool) -> Submission {
-        Engine::submit(self, spec, fresh)
+    fn submit(&self, spec: Job, fresh: bool, class: JobClass) -> Submission {
+        Engine::submit(self, spec, fresh, class)
     }
     fn get(&self, id: u64) -> Option<JobSnapshot> {
         Engine::get(self, id)

@@ -1,4 +1,5 @@
-//! The content-addressed result cache.
+//! The content-addressed result cache: bounded, LRU-evicting, and
+//! collision-checked.
 //!
 //! A completed, non-quarantined [`RunRecord`] is stored under the 64-bit
 //! FNV-1a digest of its spec's cache preimage; a later submission of the
@@ -8,10 +9,27 @@
 //! iteration count** — two requests for the same cell at different
 //! iteration counts measure different things and must not share a cache
 //! line.
+//!
+//! Two production properties the first version lacked:
+//!
+//! * **Bounded memory.** The cache holds at most `capacity` records; an
+//!   insert past capacity evicts the least-recently-used entry (access
+//!   order is a monotone stamp, eviction is an O(capacity) scan — fine at
+//!   the few-thousand-entry scale this serves). A long-lived daemon's
+//!   cache no longer grows without limit.
+//! * **Collision safety.** A 64-bit digest *will* collide eventually
+//!   (birthday bound ≈ 5 billion distinct specs, but adversarial keys can
+//!   force it). Every entry stores its canonical preimage string, and a
+//!   lookup whose digest matches but whose preimage differs is a
+//!   [`CacheLookup::Collision`] — treated as a miss so the right spec
+//!   executes, and counted so `/metrics` surfaces it.
 
 use sdvbs_runner::{Job, RunRecord, RunStatus};
 use std::collections::HashMap;
 use std::sync::Mutex;
+
+/// Default cache capacity when no `--cache-capacity` flag is given.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -23,59 +41,166 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The cache digest of a job spec: FNV-1a over
-/// `benchmark|size|policy|seed|iters:N`.
-pub fn spec_digest(spec: &Job) -> u64 {
-    let preimage = format!("{}|iters:{}", spec.cache_key(None), spec.iterations.max(1));
-    fnv1a(preimage.as_bytes())
+/// The canonical cache preimage of a job spec:
+/// `benchmark|size|policy|seed|iters:N`. This exact string is stored
+/// beside each cache entry and verified on every hit.
+pub fn cache_preimage(spec: &Job) -> String {
+    format!("{}|iters:{}", spec.cache_key(None), spec.iterations.max(1))
 }
 
-/// A digest-addressed store of completed run records.
-#[derive(Debug, Default)]
+/// The cache digest of a job spec: FNV-1a over [`cache_preimage`].
+pub fn spec_digest(spec: &Job) -> u64 {
+    fnv1a(cache_preimage(spec).as_bytes())
+}
+
+/// What a cache lookup found.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Digest and preimage both match: a true hit.
+    Hit(Box<RunRecord>),
+    /// Digest matches but the stored preimage differs — a 64-bit
+    /// collision. The caller must execute (miss semantics) and should
+    /// count it.
+    Collision,
+    /// Nothing stored under this digest.
+    Miss,
+}
+
+/// What a [`ResultCache::put`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PutOutcome {
+    /// The record was stored (completed, non-quarantined).
+    pub stored: bool,
+    /// Storing it evicted the least-recently-used entry.
+    pub evicted: bool,
+    /// The slot previously held a different preimage (digest collision);
+    /// the newer record replaced it.
+    pub collided: bool,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// The canonical preimage, verified on every hit.
+    key: String,
+    record: RunRecord,
+    /// Monotone access stamp; smallest = least recently used.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    entries: HashMap<u64, CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+/// A digest-addressed, capacity-bounded store of completed run records.
+#[derive(Debug)]
 pub struct ResultCache {
-    entries: Mutex<HashMap<u64, RunRecord>>,
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// A cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The cached record under `digest`, if any.
-    pub fn get(&self, digest: u64) -> Option<RunRecord> {
-        self.entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&digest)
-            .cloned()
+    /// A cache holding at most `capacity` records (clamped ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                capacity: capacity.max(1),
+                tick: 0,
+                evictions: 0,
+            }),
+        }
     }
 
-    /// Stores `record` under `digest` — but only a completed,
-    /// non-quarantined record is worth serving again; failures must
-    /// re-execute on resubmission. Returns whether the record was stored.
-    pub fn put(&self, digest: u64, record: &RunRecord) -> bool {
-        if record.status != RunStatus::Completed || record.quarantined {
-            return false;
+    /// Looks up `digest`, verifying the stored preimage against `key`.
+    /// A hit refreshes the entry's LRU stamp.
+    pub fn get(&self, digest: u64, key: &str) -> CacheLookup {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&digest) {
+            None => CacheLookup::Miss,
+            Some(entry) if entry.key != key => CacheLookup::Collision,
+            Some(entry) => {
+                entry.last_used = tick;
+                CacheLookup::Hit(Box::new(entry.record.clone()))
+            }
         }
-        self.entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(digest, record.clone());
-        true
+    }
+
+    /// Stores `record` under `digest`/`key` — but only a completed,
+    /// non-quarantined record is worth serving again; failures must
+    /// re-execute on resubmission. At capacity, the least-recently-used
+    /// entry is evicted first.
+    pub fn put(&self, digest: u64, key: &str, record: &RunRecord) -> PutOutcome {
+        if record.status != RunStatus::Completed || record.quarantined {
+            return PutOutcome::default();
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut outcome = PutOutcome {
+            stored: true,
+            ..PutOutcome::default()
+        };
+        if let Some(existing) = inner.entries.get(&digest) {
+            // Same digest: replace in place (collision or refresh);
+            // capacity is unchanged either way.
+            outcome.collided = existing.key != key;
+        } else if inner.entries.len() >= inner.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&d, _)| d)
+                .expect("cache at capacity is non-empty");
+            inner.entries.remove(&lru);
+            inner.evictions += 1;
+            outcome.evicted = true;
+        }
+        inner.entries.insert(
+            digest,
+            CacheEntry {
+                key: key.to_string(),
+                record: record.clone(),
+                last_used: tick,
+            },
+        );
+        outcome
+    }
+
+    /// Lifetime count of LRU evictions.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
     }
 
     /// Number of cached records.
     pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        self.lock().entries.len()
     }
 
     /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -127,6 +252,10 @@ mod tests {
         }
     }
 
+    fn clean() -> RunRecord {
+        record(RunStatus::Completed, false)
+    }
+
     #[test]
     fn digests_separate_cells_and_iteration_counts() {
         assert_eq!(spec_digest(&spec(1, 3)), spec_digest(&spec(1, 3)));
@@ -135,17 +264,75 @@ mod tests {
         assert_ne!(spec_digest(&spec(1, 3)), spec_digest(&spec(1, 5)));
         // Iterations are clamped to >= 1 everywhere, so 0 and 1 agree.
         assert_eq!(spec_digest(&spec(1, 0)), spec_digest(&spec(1, 1)));
+        assert_eq!(cache_preimage(&spec(1, 0)), cache_preimage(&spec(1, 1)));
     }
 
     #[test]
     fn only_clean_completed_records_are_cached() {
         let cache = ResultCache::new();
-        assert!(!cache.put(7, &record(RunStatus::Failed, false)));
-        assert!(!cache.put(7, &record(RunStatus::Completed, true)));
-        assert!(cache.get(7).is_none());
-        assert!(cache.put(7, &record(RunStatus::Completed, false)));
+        assert!(!cache.put(7, "k", &record(RunStatus::Failed, false)).stored);
+        assert!(
+            !cache
+                .put(7, "k", &record(RunStatus::Completed, true))
+                .stored
+        );
+        assert!(matches!(cache.get(7, "k"), CacheLookup::Miss));
+        assert!(cache.put(7, "k", &clean()).stored);
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(7).unwrap().status, RunStatus::Completed);
-        assert!(cache.get(8).is_none());
+        assert!(matches!(cache.get(7, "k"), CacheLookup::Hit(_)));
+        assert!(matches!(cache.get(8, "k"), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn filling_past_capacity_evicts_the_least_recently_used() {
+        let cache = ResultCache::with_capacity(3);
+        for digest in 0..3u64 {
+            assert!(!cache.put(digest, &format!("k{digest}"), &clean()).evicted);
+        }
+        assert_eq!(cache.len(), 3);
+        // Touch 0 so 1 becomes the LRU entry.
+        assert!(matches!(cache.get(0, "k0"), CacheLookup::Hit(_)));
+        let outcome = cache.put(3, "k3", &clean());
+        assert!(outcome.stored && outcome.evicted);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert!(matches!(cache.get(1, "k1"), CacheLookup::Miss));
+        assert!(matches!(cache.get(0, "k0"), CacheLookup::Hit(_)));
+        assert!(matches!(cache.get(3, "k3"), CacheLookup::Hit(_)));
+        // Keep filling: the cache never exceeds its capacity.
+        for digest in 4..40u64 {
+            cache.put(digest, &format!("k{digest}"), &clean());
+            assert!(cache.len() <= 3);
+        }
+        assert_eq!(cache.evictions(), 37);
+    }
+
+    #[test]
+    fn colliding_keys_never_serve_each_others_records() {
+        // Two hand-constructed colliding keys: distinct canonical
+        // preimages assigned the same 64-bit digest (what an FNV-1a
+        // collision produces; finding a natural one needs ~2^32 work, so
+        // the test injects the collision at the digest layer the engine
+        // actually trusts).
+        let cache = ResultCache::new();
+        let key_a = "Disparity Map|sqcif|serial|seed1|iters:1";
+        let key_b = "Image Stitch|cif|serial|seed9|iters:1";
+        assert!(cache.put(0xdead_beef, key_a, &clean()).stored);
+        // The colliding spec must MISS, not read A's record.
+        assert!(matches!(
+            cache.get(0xdead_beef, key_b),
+            CacheLookup::Collision
+        ));
+        assert!(matches!(cache.get(0xdead_beef, key_a), CacheLookup::Hit(_)));
+        // Writing B's record through the same digest replaces the slot
+        // and reports the collision; now A is the one that must miss.
+        let outcome = cache.put(0xdead_beef, key_b, &clean());
+        assert!(outcome.stored && outcome.collided && !outcome.evicted);
+        assert!(matches!(
+            cache.get(0xdead_beef, key_a),
+            CacheLookup::Collision
+        ));
+        assert!(matches!(cache.get(0xdead_beef, key_b), CacheLookup::Hit(_)));
+        assert_eq!(cache.len(), 1);
     }
 }

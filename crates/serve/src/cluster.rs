@@ -26,10 +26,11 @@
 //! worker's trace epoch by the clock offset estimated at handshake.
 
 use crate::backend::Backend;
-use crate::cache::{spec_digest, ResultCache};
+use crate::cache::{cache_preimage, spec_digest, CacheLookup, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::coalesce::InflightMap;
-use crate::engine::{JobSnapshot, Submission};
+use crate::engine::{group_key, JobSnapshot, Submission};
 use crate::protocol::{self, OrphanDisposition, RetryPolicy};
+use crate::sched::{Drr, JobClass, SchedConfig};
 use crate::shutdown::DrainReport;
 use sdvbs_exec::ClockHandle;
 use sdvbs_runner::{Job, RunRecord};
@@ -80,6 +81,10 @@ pub struct ClusterConfig {
     /// default system clock is production; tests substitute a virtual
     /// one.
     pub clock: ClockHandle,
+    /// Coordinator-side result-cache bound (`--cache-capacity`).
+    pub cache_capacity: usize,
+    /// Scheduler knobs for the pending queue's deficit round robin.
+    pub sched: SchedConfig,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +97,8 @@ impl Default for ClusterConfig {
             liveness: Duration::from_secs(3),
             retry_budget: 2,
             clock: ClockHandle::system(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -114,6 +121,11 @@ enum CJobState {
 struct CJob {
     spec: Job,
     digest: u64,
+    /// The canonical cache preimage, verified on every cache hit.
+    key: String,
+    /// The benchmark×size scheduling group.
+    group: String,
+    class: JobClass,
     state: CJobState,
     attempts: u32,
 }
@@ -121,7 +133,12 @@ struct CJob {
 struct ClusterState {
     jobs: Vec<CJob>,
     inflight: InflightMap,
-    pending: VecDeque<u64>,
+    /// Admitted-not-dispatched jobs, scheduled by deficit round robin
+    /// across QoS classes with benchmark×size batching.
+    pending: Drr,
+    /// The batch the dispatcher is currently working through (popped from
+    /// `pending`; drain rejects these too).
+    current: VecDeque<u64>,
     outstanding: usize,
     draining: bool,
     dead: Vec<String>,
@@ -197,13 +214,14 @@ impl ClusterEngine {
             state: Mutex::new(ClusterState {
                 jobs: Vec::new(),
                 inflight: InflightMap::new(),
-                pending: VecDeque::new(),
+                pending: Drr::new(cfg.sched.clone()),
+                current: VecDeque::new(),
                 outstanding: 0,
                 draining: false,
                 dead: Vec::new(),
             }),
             changed: Condvar::new(),
-            cache: ResultCache::new(),
+            cache: ResultCache::with_capacity(cfg.cache_capacity),
             metrics: Mutex::new(MetricsRegistry::new()),
             links,
             cfg,
@@ -293,11 +311,19 @@ impl ClusterEngine {
             let (id, spec, w) = {
                 let mut st = self.lock_state();
                 loop {
-                    if let Some(&id) = st.pending.front() {
+                    // Refill the dispatch window from the scheduler: one
+                    // DRR batch at a time, dispatched id by id below.
+                    if st.current.is_empty() {
+                        if let Some(batch) = st.pending.pop_batch() {
+                            self.observe("batch_size", batch.ids.len() as f64);
+                            st.current.extend(batch.ids);
+                        }
+                    }
+                    if let Some(&id) = st.current.front() {
                         if self.links.iter().all(|l| !l.alive.load(Ordering::SeqCst)) {
                             // Nothing left to run on: every admitted job
                             // fails loudly rather than waiting forever.
-                            st.pending.pop_front();
+                            st.current.pop_front();
                             self.fail_job(
                                 &mut st,
                                 id,
@@ -307,7 +333,7 @@ impl ClusterEngine {
                             continue;
                         }
                         if let Some(w) = self.pick_worker(st.jobs[id as usize].digest) {
-                            st.pending.pop_front();
+                            st.current.pop_front();
                             let job = &mut st.jobs[id as usize];
                             job.state = CJobState::Dispatched(w);
                             job.attempts += 1;
@@ -434,8 +460,10 @@ impl ClusterEngine {
                     self.incr("rejected_draining");
                 }
                 OrphanDisposition::Requeue => {
+                    // An orphan must not lose its place to later arrivals:
+                    // it goes to the front of the current dispatch window.
                     st.jobs[id as usize].state = CJobState::Pending;
-                    st.pending.push_front(id);
+                    st.current.push_front(id);
                     self.incr("jobs_requeued");
                 }
             }
@@ -466,7 +494,13 @@ impl ClusterEngine {
         if !matches!(job.state, CJobState::Dispatched(_)) {
             return;
         }
-        self.cache.put(job.digest, &record);
+        let outcome = self.cache.put(job.digest, &job.key, &record);
+        if outcome.evicted {
+            self.incr("cache_evictions");
+        }
+        if outcome.collided {
+            self.incr("cache_key_collisions");
+        }
         self.observe("job_exec_ms", record.wall_ms);
         job.state = CJobState::Done(Box::new(record));
         let digest = job.digest;
@@ -514,7 +548,8 @@ impl ClusterEngine {
         let job = &mut st.jobs[id as usize];
         job.state = CJobState::Pending;
         job.attempts = job.attempts.saturating_sub(1);
-        st.pending.push_back(id);
+        let (group, class) = (job.group.clone(), job.class);
+        st.pending.push_back(id, &group, class);
         drop(st);
         self.incr("busy_redispatched");
         self.changed.notify_all();
@@ -574,17 +609,24 @@ impl ClusterEngine {
 }
 
 impl Backend for ClusterEngine {
-    fn submit(&self, spec: Job, fresh: bool) -> Submission {
+    fn submit(&self, spec: Job, fresh: bool, class: JobClass) -> Submission {
         let digest = spec_digest(&spec);
+        let key = cache_preimage(&spec);
         let mut st = self.lock_state();
         if st.draining {
             self.incr("rejected_draining");
             return Submission::Draining;
         }
         if !fresh {
-            if let Some(record) = self.cache.get(digest) {
-                self.incr("cache_hits");
-                return Submission::Cached(Box::new(record));
+            match self.cache.get(digest, &key) {
+                CacheLookup::Hit(record) => {
+                    self.incr("cache_hits");
+                    return Submission::Cached(record);
+                }
+                CacheLookup::Collision => {
+                    self.incr("cache_key_collisions");
+                }
+                CacheLookup::Miss => {}
             }
             if let Some(id) = st.inflight.get(digest) {
                 self.incr("coalesced");
@@ -596,17 +638,22 @@ impl Backend for ClusterEngine {
             return Submission::QueueFull;
         }
         let id = st.jobs.len() as u64;
+        let group = group_key(&spec);
         st.jobs.push(CJob {
             spec,
             digest,
+            key,
+            group: group.clone(),
+            class,
             state: CJobState::Pending,
             attempts: 0,
         });
         st.inflight.claim(digest, id);
-        st.pending.push_back(id);
+        st.pending.push_back(id, &group, class);
         st.outstanding += 1;
         drop(st);
         self.incr("jobs_submitted");
+        self.incr(&format!("submitted_{}", class.label()));
         self.changed.notify_all();
         Submission::Queued(id)
     }
@@ -640,8 +687,10 @@ impl Backend for ClusterEngine {
         let mut st = self.lock_state();
         st.draining = true;
         // Reject everything admitted but not yet dispatched — the cluster
-        // analog of the engine popping and rejecting its queue.
-        let pending: Vec<u64> = st.pending.drain(..).collect();
+        // analog of the engine popping and rejecting its queue. The
+        // current dispatch window counts as undispatched too.
+        let mut pending: Vec<u64> = st.current.drain(..).collect();
+        pending.extend(st.pending.drain_all());
         for id in pending {
             self.fail_job(
                 &mut st,

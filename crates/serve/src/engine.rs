@@ -1,30 +1,53 @@
-//! The serving engine: a job table over the runner's bounded queue with
+//! The serving engine: a job table over the scheduling tier with
 //! long-lived worker threads.
 //!
-//! Submission is admission-controlled: the job queue is the runner's
-//! [`BoundedQueue`], and a submission that finds it full is refused
+//! Submission is admission-controlled: the job queue is the scheduler's
+//! [`SchedQueue`], and a submission that finds it full is refused
 //! immediately (the router turns that into `429 Too Many Requests`) —
 //! the server never buffers unbounded work. Before a spec reaches the
 //! queue it passes the result cache (serve a completed record without
 //! re-executing) and the in-flight map (attach to an identical queued or
 //! running job instead of duplicating it).
 //!
-//! Draining ([`Engine::drain`]) closes the queue: the job currently on a
-//! worker runs to completion, everything still queued is popped and
+//! Workers dequeue [`Batch`]es, not single jobs: the scheduler groups
+//! pending jobs by benchmark×size (deficit-round-robin across QoS
+//! classes), and a worker executes a batch back to back with warm-start
+//! amortization — the first job pays benchmark warmup, the followers skip
+//! it. `ExecPolicy::Auto` jobs are resolved through the per-group scaling
+//! model ([`sched::pick_threads`]) instead of a static core count.
+//!
+//! Terminal jobs are **retired** from the job table after
+//! [`EngineConfig::retire_ttl`] (a poll-grace window): ids stay stable —
+//! the table is a map, never reindexed — but a long-lived daemon's memory
+//! no longer grows with every job it has ever run. Polling a retired id
+//! answers `404`, same as an id that never existed.
+//!
+//! Draining ([`Engine::drain`]) closes the queue: jobs currently on
+//! workers run to completion, everything still queued is dequeued and
 //! rejected (`503` when polled), and the workers exit once the queue is
-//! drained. One state mutex covers the job table and the in-flight map,
-//! so cache/coalesce/admission decisions are atomic with respect to
-//! worker completions.
+//! empty. The [`DrainReport`] counts **only the work that was open
+//! (queued or running) when the drain began** — not lifetime totals. One
+//! state mutex covers the job table and the in-flight map, so
+//! cache/coalesce/admission decisions are atomic with respect to worker
+//! completions.
 
-use crate::cache::{spec_digest, ResultCache};
+use crate::cache::{cache_preimage, spec_digest, CacheLookup, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::coalesce::InflightMap;
+use crate::sched::{self, Batch, JobClass, SchedConfig, SchedPushError, SchedQueue};
 use crate::shutdown::DrainReport;
 use sdvbs_core::ExecPolicy;
-use sdvbs_runner::{execute_job, BoundedQueue, HostMeta, Job, RunRecord, TryPushError};
+use sdvbs_exec::ClockHandle;
+use sdvbs_runner::{execute_job_warm, size_label, HostMeta, Job, RunRecord, RunStatus};
+use sdvbs_trace::jsonl::Value;
 use sdvbs_trace::{now_us, MetricsRegistry, Phase, TraceEvent};
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Retained samples per benchmark×size×threads execution histogram — the
+/// scaling model's observation window.
+const EXEC_HISTORY_WINDOW: usize = 64;
 
 /// Engine sizing and test instrumentation.
 #[derive(Debug, Clone)]
@@ -42,6 +65,15 @@ pub struct EngineConfig {
     /// and drive admission-control and drain paths without racing the
     /// benchmark's actual runtime. `None` (the default) in production.
     pub hold: Option<Duration>,
+    /// Scheduler knobs: batch window and DRR quanta.
+    pub sched: SchedConfig,
+    /// Result-cache bound (`--cache-capacity`).
+    pub cache_capacity: usize,
+    /// Poll-grace window: how long a terminal job stays pollable before
+    /// its table entry is retired.
+    pub retire_ttl: Duration,
+    /// The clock retirement ages against — virtual under `sdvbs-sim`.
+    pub clock: ClockHandle,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +83,10 @@ impl Default for EngineConfig {
             queue_capacity: 16,
             timeout: None,
             hold: None,
+            sched: SchedConfig::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            retire_ttl: Duration::from_secs(300),
+            clock: ClockHandle::system(),
         }
     }
 }
@@ -74,13 +110,26 @@ enum JobState {
 struct JobEntry {
     spec: Job,
     digest: u64,
+    /// The canonical cache preimage, verified on every cache hit.
+    key: String,
     state: JobState,
+    /// Clock time after which the terminal entry may be retired.
+    retire_at: Option<Duration>,
 }
 
 struct EngineState {
-    jobs: Vec<JobEntry>,
+    /// Job table keyed by id — a map, not a vec, so retiring old entries
+    /// never moves or reuses a live id.
+    jobs: HashMap<u64, JobEntry>,
+    next_id: u64,
     inflight: InflightMap,
     draining: bool,
+    /// `Some(n)` once a drain has begun: jobs that were queued/running at
+    /// that moment and are not yet terminal. The drain completes at 0.
+    drain_open: Option<usize>,
+    /// Of the drain-open jobs, how many completed / were rejected.
+    drain_completed: usize,
+    drain_rejected: usize,
 }
 
 /// How the engine answered a submission.
@@ -119,12 +168,17 @@ impl JobSnapshot {
     }
 }
 
+/// The scheduler group key a spec batches under: `benchmark|size`.
+pub fn group_key(spec: &Job) -> String {
+    format!("{}|{}", spec.benchmark, size_label(spec.size))
+}
+
 /// The benchmark-serving engine. Construct with [`Engine::start`]; always
 /// wrapped in an [`Arc`] because the worker threads hold a reference.
 pub struct Engine {
     state: Mutex<EngineState>,
     changed: Condvar,
-    queue: BoundedQueue<u64>,
+    queue: SchedQueue,
     cache: ResultCache,
     metrics: Mutex<MetricsRegistry>,
     trace: Mutex<Vec<TraceEvent>>,
@@ -137,17 +191,20 @@ pub struct Engine {
 impl Engine {
     /// Builds the engine and spawns its worker threads.
     pub fn start(cfg: EngineConfig) -> Arc<Engine> {
-        let queue =
-            BoundedQueue::new(cfg.queue_capacity.max(1)).expect("capacity clamped to at least 1");
+        let queue = SchedQueue::new(cfg.queue_capacity.max(1), cfg.sched.clone());
         let engine = Arc::new(Engine {
             state: Mutex::new(EngineState {
-                jobs: Vec::new(),
+                jobs: HashMap::new(),
+                next_id: 0,
                 inflight: InflightMap::new(),
                 draining: false,
+                drain_open: None,
+                drain_completed: 0,
+                drain_rejected: 0,
             }),
             changed: Condvar::new(),
             queue,
-            cache: ResultCache::new(),
+            cache: ResultCache::with_capacity(cfg.cache_capacity),
             metrics: Mutex::new(MetricsRegistry::new()),
             trace: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
@@ -173,48 +230,67 @@ impl Engine {
     }
 
     /// Submits a spec. `fresh` bypasses both the cache lookup and
-    /// coalescing — the client explicitly wants a re-execution.
-    pub fn submit(&self, spec: Job, fresh: bool) -> Submission {
+    /// coalescing — the client explicitly wants a re-execution. `class`
+    /// picks the QoS lane the job is scheduled in.
+    pub fn submit(&self, spec: Job, fresh: bool, class: JobClass) -> Submission {
         let digest = spec_digest(&spec);
+        let key = cache_preimage(&spec);
         let mut st = self.lock_state();
+        self.sweep_retired(&mut st);
         if st.draining {
             self.incr("rejected_draining");
             return Submission::Draining;
         }
         if !fresh {
-            if let Some(record) = self.cache.get(digest) {
-                self.incr("cache_hits");
-                return Submission::Cached(Box::new(record));
+            match self.cache.get(digest, &key) {
+                CacheLookup::Hit(record) => {
+                    self.incr("cache_hits");
+                    return Submission::Cached(record);
+                }
+                CacheLookup::Collision => {
+                    // A 64-bit digest collision: treat as a miss so the
+                    // right spec executes, and surface it.
+                    self.incr("cache_key_collisions");
+                }
+                CacheLookup::Miss => {}
             }
             if let Some(id) = st.inflight.get(digest) {
                 self.incr("coalesced");
                 return Submission::Coalesced(id);
             }
         }
-        let id = st.jobs.len() as u64;
-        st.jobs.push(JobEntry {
-            spec,
-            digest,
-            state: JobState::Queued,
-        });
+        let id = st.next_id;
+        let group = group_key(&spec);
+        st.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                digest,
+                key,
+                state: JobState::Queued,
+                retire_at: None,
+            },
+        );
         st.inflight.claim(digest, id);
         // try_push under the state lock keeps the entry/queue transition
         // atomic; workers take the queue lock only with the state lock
         // released, so the ordering is acyclic.
-        match self.queue.try_push(id) {
+        match self.queue.try_push(id, &group, class) {
             Ok(()) => {
+                st.next_id += 1;
                 self.incr("jobs_submitted");
+                self.incr(&format!("submitted_{}", class.label()));
                 Submission::Queued(id)
             }
             Err(refusal) => {
-                st.jobs.pop();
+                st.jobs.remove(&id);
                 st.inflight.release(digest, id);
                 match refusal {
-                    TryPushError::Full(_) => {
+                    SchedPushError::Full => {
                         self.incr("rejected_queue_full");
                         Submission::QueueFull
                     }
-                    TryPushError::Closed(_) => {
+                    SchedPushError::Closed => {
                         self.incr("rejected_draining");
                         Submission::Draining
                     }
@@ -223,20 +299,20 @@ impl Engine {
         }
     }
 
-    /// A snapshot of job `id`, or `None` for an unknown id.
+    /// A snapshot of job `id`, or `None` for an unknown (or retired) id.
     pub fn get(&self, id: u64) -> Option<JobSnapshot> {
         let st = self.lock_state();
-        st.jobs.get(id as usize).map(|entry| snapshot(id, entry))
+        st.jobs.get(&id).map(|entry| snapshot(id, entry))
     }
 
     /// Long-poll: blocks until job `id` reaches a terminal state or
     /// `wait` elapses, then returns its (possibly still non-terminal)
-    /// snapshot. `None` for an unknown id.
+    /// snapshot. `None` for an unknown or retired id.
     pub fn wait_terminal(&self, id: u64, wait: Duration) -> Option<JobSnapshot> {
         let deadline = Instant::now() + wait;
         let mut st = self.lock_state();
         loop {
-            let snap = st.jobs.get(id as usize).map(|entry| snapshot(id, entry))?;
+            let snap = st.jobs.get(&id).map(|entry| snapshot(id, entry))?;
             if snap.is_terminal() {
                 return Some(snap);
             }
@@ -252,34 +328,38 @@ impl Engine {
         }
     }
 
+    /// Current number of entries in the job table (tests pin the
+    /// retirement bound with this).
+    pub fn jobs_table_len(&self) -> usize {
+        self.lock_state().jobs.len()
+    }
+
+    /// Lifetime LRU evictions from the result cache.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
     /// Starts and completes a graceful drain: refuses new submissions,
     /// lets running jobs finish, rejects everything still queued, then
-    /// joins the worker threads. Blocks until every job is terminal.
-    /// Idempotent — a second call just waits for the first drain's state.
+    /// joins the worker threads. Blocks until every job that was open
+    /// when the drain began is terminal. Idempotent — a second call just
+    /// waits for the first drain's state.
+    ///
+    /// The report counts **only the work resolved by this drain**: jobs
+    /// queued or running at the moment the drain began. Jobs that were
+    /// already terminal are history, not drain work.
     pub fn drain(&self) -> DrainReport {
         self.begin_drain();
         let mut st = self.lock_state();
-        while st
-            .jobs
-            .iter()
-            .any(|j| matches!(j.state, JobState::Queued | JobState::Running))
-        {
+        while st.drain_open.is_some_and(|open| open > 0) {
             st = self
                 .changed
                 .wait(st)
                 .unwrap_or_else(PoisonError::into_inner);
         }
         let report = DrainReport {
-            completed: st
-                .jobs
-                .iter()
-                .filter(|j| matches!(j.state, JobState::Done(_)))
-                .count(),
-            rejected: st
-                .jobs
-                .iter()
-                .filter(|j| matches!(j.state, JobState::Rejected(_)))
-                .count(),
+            completed: st.drain_completed,
+            rejected: st.drain_rejected,
             ..DrainReport::default()
         };
         drop(st);
@@ -298,9 +378,22 @@ impl Engine {
     /// Starts the drain without waiting for it: refuses new submissions
     /// and closes the queue. The shutdown endpoint calls this inline
     /// before responding, so a submission that arrives after the shutdown
-    /// response is deterministically answered `503`, never `429`.
+    /// response is deterministically answered `503`, never `429`. The
+    /// first call snapshots the set of open jobs the eventual
+    /// [`DrainReport`] accounts for.
     pub fn begin_drain(&self) {
-        self.lock_state().draining = true;
+        {
+            let mut st = self.lock_state();
+            if st.drain_open.is_none() {
+                let open = st
+                    .jobs
+                    .values()
+                    .filter(|e| matches!(e.state, JobState::Queued | JobState::Running))
+                    .count();
+                st.drain_open = Some(open);
+                st.draining = true;
+            }
+        }
         self.queue.close();
     }
 
@@ -336,7 +429,7 @@ impl Engine {
     }
 
     /// Execution-side trace events: one track per engine worker carrying
-    /// a span per executed job.
+    /// a span per batch, with the jobs' spans nested inside.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.trace
             .lock()
@@ -359,6 +452,26 @@ impl Engine {
             .push(event);
     }
 
+    /// Retires terminal entries whose poll-grace TTL has elapsed. Called
+    /// with the state lock held, from the submission path only — a job
+    /// that just went terminal always survives until the next submission,
+    /// so a client never loses the poll race to its own job's retirement.
+    fn sweep_retired(&self, st: &mut EngineState) {
+        let now = self.cfg.clock.now();
+        let before = st.jobs.len();
+        st.jobs
+            .retain(|_, entry| entry.retire_at.is_none_or(|at| at > now));
+        let retired = before - st.jobs.len();
+        if retired > 0 {
+            self.incr("jobs_retired");
+        }
+    }
+
+    /// The clock time at which a job going terminal now may be retired.
+    fn retire_deadline(&self) -> Option<Duration> {
+        Some(self.cfg.clock.now() + self.cfg.retire_ttl)
+    }
+
     fn worker_loop(&self, worker: usize) {
         // Engine workers record on low track ids (one per worker);
         // connection tracks come from `alloc_track()` which starts at
@@ -371,63 +484,160 @@ impl Engine {
             0,
             track,
         ));
-        while let Some(id) = self.queue.pop() {
-            let spec = {
-                let mut st = self.lock_state();
-                if st.draining {
-                    // Queued at drain time: reject without executing.
-                    let entry = &mut st.jobs[id as usize];
-                    entry.state =
-                        JobState::Rejected("server shutting down before execution".into());
-                    let digest = entry.digest;
-                    st.inflight.release(digest, id);
-                    self.incr("rejected_draining");
-                    self.changed.notify_all();
-                    continue;
-                }
-                let entry = &mut st.jobs[id as usize];
-                entry.state = JobState::Running;
-                self.changed.notify_all();
-                entry.spec.clone()
-            };
-            if let Some(hold) = self.cfg.hold {
-                thread::sleep(hold);
-            }
-            self.push_trace(TraceEvent::new(
-                spec.benchmark.clone(),
-                "job",
+        while let Some(batch) = self.queue.pop_batch() {
+            self.observe("batch_size", batch.ids.len() as f64);
+            let mut begin = TraceEvent::new(
+                format!("batch {}", batch.group),
+                "batch",
                 Phase::Begin,
                 now_us(),
                 track,
-            ));
-            let started = Instant::now();
-            let result = execute_job(&spec, id, self.auto_threads, &self.host, self.cfg.timeout);
-            let exec_ms = started.elapsed().as_secs_f64() * 1e3;
-            self.push_trace(TraceEvent::new(
-                spec.benchmark.clone(),
-                "job",
-                Phase::End,
-                now_us(),
-                track,
-            ));
-            let mut st = self.lock_state();
-            let entry = &mut st.jobs[id as usize];
-            match result {
-                Ok(record) => {
-                    self.cache.put(entry.digest, &record);
-                    entry.state = JobState::Done(Box::new(record));
-                    self.incr("jobs_executed");
-                    self.observe("job_exec_ms", exec_ms);
-                }
-                Err(e) => {
-                    entry.state = JobState::Rejected(e.to_string());
-                    self.incr("jobs_invalid");
+            );
+            begin.args = vec![
+                ("size".to_string(), Value::Num(batch.ids.len() as f64)),
+                (
+                    "class".to_string(),
+                    Value::Str(batch.class.label().to_string()),
+                ),
+            ];
+            self.push_trace(begin);
+            // The first job in the batch pays warmup; followers start warm
+            // — same benchmark×size just ran on this thread.
+            let mut warm = false;
+            let n = batch.ids.len();
+            for (i, &id) in batch.ids.iter().enumerate() {
+                if self.run_one(&batch, id, warm, track, i + 1 == n) {
+                    warm = true;
                 }
             }
-            let digest = entry.digest;
-            st.inflight.release(digest, id);
-            self.changed.notify_all();
         }
+    }
+
+    /// Closes the dispatch-window span. Called by [`Engine::run_one`] for
+    /// the batch's last job *before* that job's terminal state becomes
+    /// externally visible — a trace fetched after every submitted job
+    /// polls done therefore never catches the window still open.
+    fn push_batch_end(&self, batch: &Batch, track: u32) {
+        self.push_trace(TraceEvent::new(
+            format!("batch {}", batch.group),
+            "batch",
+            Phase::End,
+            now_us(),
+            track,
+        ));
+    }
+
+    /// Executes (or drain-rejects) one job of a batch. Returns whether the
+    /// benchmark actually ran (and the batch is therefore warm).
+    fn run_one(&self, batch: &Batch, id: u64, warm: bool, track: u32, last: bool) -> bool {
+        let spec = {
+            let mut st = self.lock_state();
+            if st.draining {
+                // Dequeued after the drain began: reject without executing.
+                // The window span closes while the state lock is still
+                // held, so the rejection is never visible before it.
+                if last {
+                    self.push_batch_end(batch, track);
+                }
+                if let Some(entry) = st.jobs.get_mut(&id) {
+                    entry.state =
+                        JobState::Rejected("server shutting down before execution".into());
+                    entry.retire_at = self.retire_deadline();
+                    let digest = entry.digest;
+                    st.inflight.release(digest, id);
+                    note_terminal(&mut st, false);
+                    self.incr("rejected_draining");
+                    self.changed.notify_all();
+                }
+                return false;
+            }
+            let entry = st
+                .jobs
+                .get_mut(&id)
+                .expect("a queued job stays in the table until terminal + TTL");
+            entry.state = JobState::Running;
+            self.changed.notify_all();
+            entry.spec.clone()
+        };
+        if let Some(hold) = self.cfg.hold {
+            thread::sleep(hold);
+        }
+        // Auto policies go through the scaling model; everything else is
+        // exactly what the client asked for.
+        let tuned = matches!(spec.policy, ExecPolicy::Auto).then(|| {
+            let reg = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+            sched::pick_threads(&reg, &batch.group, &spec.benchmark, self.auto_threads)
+        });
+        let auto_threads = tuned.unwrap_or(self.auto_threads);
+        self.push_trace(TraceEvent::new(
+            spec.benchmark.clone(),
+            "job",
+            Phase::Begin,
+            now_us(),
+            track,
+        ));
+        let started = Instant::now();
+        let result = execute_job_warm(&spec, id, auto_threads, &self.host, self.cfg.timeout, warm);
+        let exec_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.push_trace(TraceEvent::new(
+            spec.benchmark.clone(),
+            "job",
+            Phase::End,
+            now_us(),
+            track,
+        ));
+        if last {
+            self.push_batch_end(batch, track);
+        }
+        let mut st = self.lock_state();
+        let entry = st
+            .jobs
+            .get_mut(&id)
+            .expect("a running job stays in the table until terminal + TTL");
+        let digest = entry.digest;
+        let executed = match result {
+            Ok(record) => {
+                let outcome = self.cache.put(digest, &entry.key, &record);
+                if outcome.evicted {
+                    self.incr("cache_evictions");
+                }
+                if outcome.collided {
+                    self.incr("cache_key_collisions");
+                }
+                // Feed the scaling model: the best pipeline time at this
+                // thread width, windowed so a long-lived daemon tracks
+                // recent behavior in bounded memory.
+                if record.status == RunStatus::Completed && record.min_ms > 0.0 {
+                    self.metrics
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .observe_windowed(
+                            &sched::exec_hist_name(&batch.group, record.threads),
+                            record.min_ms,
+                            EXEC_HISTORY_WINDOW,
+                        );
+                }
+                if tuned.is_some() {
+                    self.incr("sched_tuned_jobs");
+                }
+                entry.state = JobState::Done(Box::new(record));
+                entry.retire_at = self.retire_deadline();
+                note_terminal(&mut st, true);
+                self.incr("jobs_executed");
+                self.observe("job_exec_ms", exec_ms);
+                true
+            }
+            Err(e) => {
+                entry.state = JobState::Rejected(e.to_string());
+                entry.retire_at = self.retire_deadline();
+                note_terminal(&mut st, false);
+                self.incr("jobs_invalid");
+                false
+            }
+        };
+        st.inflight.release(digest, id);
+        self.changed.notify_all();
+        executed
     }
 
     fn lock_state(&self) -> std::sync::MutexGuard<'_, EngineState> {
@@ -446,6 +656,20 @@ impl Engine {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .observe(name, value);
+    }
+}
+
+/// Accounts a terminal transition against an in-progress drain (a no-op
+/// before `begin_drain`; afterwards no new jobs are admitted, so every
+/// transition belongs to the drain-open set).
+fn note_terminal(st: &mut EngineState, completed: bool) {
+    if let Some(open) = st.drain_open {
+        if completed {
+            st.drain_completed += 1;
+        } else {
+            st.drain_rejected += 1;
+        }
+        st.drain_open = Some(open.saturating_sub(1));
     }
 }
 
@@ -496,6 +720,10 @@ mod tests {
         )
     }
 
+    fn submit(engine: &Engine, spec: Job, fresh: bool) -> Submission {
+        engine.submit(spec, fresh, JobClass::Interactive)
+    }
+
     fn wait_done(engine: &Engine, id: u64) -> JobSnapshot {
         let snap = engine
             .wait_terminal(id, Duration::from_secs(60))
@@ -507,21 +735,21 @@ mod tests {
     #[test]
     fn execute_then_serve_identical_spec_from_cache() {
         let engine = Engine::start(EngineConfig::default());
-        let id = match engine.submit(spec(1), false) {
+        let id = match submit(&engine, spec(1), false) {
             Submission::Queued(id) => id,
             other => panic!("expected Queued, got {other:?}"),
         };
         let first = wait_done(&engine, id);
         assert_eq!(first.state, "done");
         // Second submission: served from cache, no new job id allocated.
-        match engine.submit(spec(1), false) {
+        match submit(&engine, spec(1), false) {
             Submission::Cached(rec) => assert_eq!(rec.seed, 1),
             other => panic!("expected Cached, got {other:?}"),
         }
         assert_eq!(engine.counter("jobs_executed"), 1);
         assert_eq!(engine.counter("cache_hits"), 1);
         // fresh=1 bypasses the cache and re-executes.
-        let id2 = match engine.submit(spec(1), true) {
+        let id2 = match submit(&engine, spec(1), true) {
             Submission::Queued(id) => id,
             other => panic!("expected Queued, got {other:?}"),
         };
@@ -538,11 +766,11 @@ mod tests {
             hold: Some(Duration::from_millis(200)),
             ..EngineConfig::default()
         });
-        let id = match engine.submit(spec(2), false) {
+        let id = match submit(&engine, spec(2), false) {
             Submission::Queued(id) => id,
             other => panic!("expected Queued, got {other:?}"),
         };
-        match engine.submit(spec(2), false) {
+        match submit(&engine, spec(2), false) {
             Submission::Coalesced(other) => assert_eq!(other, id),
             other => panic!("expected Coalesced, got {other:?}"),
         }
@@ -561,7 +789,7 @@ mod tests {
             hold: Some(Duration::from_millis(300)),
             ..EngineConfig::default()
         });
-        let first = match engine.submit(spec(10), false) {
+        let first = match submit(&engine, spec(10), false) {
             Submission::Queued(id) => id,
             other => panic!("expected Queued, got {other:?}"),
         };
@@ -571,11 +799,11 @@ mod tests {
         }
         // Fill the single slot, then overflow it.
         assert!(matches!(
-            engine.submit(spec(11), false),
+            submit(&engine, spec(11), false),
             Submission::Queued(_)
         ));
         assert!(matches!(
-            engine.submit(spec(12), false),
+            submit(&engine, spec(12), false),
             Submission::QueueFull
         ));
         assert_eq!(engine.counter("rejected_queue_full"), 1);
@@ -590,14 +818,14 @@ mod tests {
             hold: Some(Duration::from_millis(300)),
             ..EngineConfig::default()
         });
-        let running = match engine.submit(spec(20), false) {
+        let running = match submit(&engine, spec(20), false) {
             Submission::Queued(id) => id,
             other => panic!("expected Queued, got {other:?}"),
         };
         while engine.get(running).unwrap().state == "queued" {
             thread::sleep(Duration::from_millis(2));
         }
-        let queued = match engine.submit(spec(21), false) {
+        let queued = match submit(&engine, spec(21), false) {
             Submission::Queued(id) => id,
             other => panic!("expected Queued, got {other:?}"),
         };
@@ -614,8 +842,89 @@ mod tests {
         );
         // Post-drain submissions are refused.
         assert!(matches!(
-            engine.submit(spec(22), false),
+            submit(&engine, spec(22), false),
             Submission::Draining
         ));
+    }
+
+    #[test]
+    fn drain_report_excludes_jobs_already_terminal_when_drain_began() {
+        // Regression: DrainReport.completed used to count lifetime
+        // completions. A job finished *before* the drain begins must not
+        // appear in the report; only drain-open work counts.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..EngineConfig::default()
+        });
+        let done_before = match submit(&engine, spec(30), false) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        assert_eq!(wait_done(&engine, done_before).state, "done");
+        let report = engine.drain();
+        assert_eq!(
+            report,
+            DrainReport::default(),
+            "a pre-drain completion is history, not drain work"
+        );
+        // The job itself is still pollable (within its TTL) as done.
+        assert_eq!(engine.get(done_before).unwrap().state, "done");
+    }
+
+    #[test]
+    fn terminal_jobs_retire_after_the_poll_grace_ttl() {
+        // retire_ttl = 0: a terminal entry is swept by the next state
+        // transition or submission. Ids never come back — a retired id
+        // answers None like any unknown id.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+            retire_ttl: Duration::ZERO,
+            ..EngineConfig::default()
+        });
+        let id = match submit(&engine, spec(40), true) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        wait_done(&engine, id);
+        // The next submission sweeps the table.
+        let id2 = match submit(&engine, spec(41), true) {
+            Submission::Queued(id) => id,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        assert!(engine.get(id).is_none(), "terminal job should be retired");
+        assert!(id2 > id, "ids stay monotone; slots are never reused");
+        wait_done(&engine, id2);
+        engine.drain();
+        assert!(engine.counter("jobs_retired") >= 1);
+    }
+
+    #[test]
+    fn batched_group_executes_every_job() {
+        // Four same-group jobs through one worker: all must complete, and
+        // the batch_size histogram must have seen a multi-job batch.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 16,
+            hold: Some(Duration::from_millis(50)),
+            ..EngineConfig::default()
+        });
+        let ids: Vec<u64> = (0..4)
+            .map(|seed| match submit(&engine, spec(100 + seed), true) {
+                Submission::Queued(id) => id,
+                other => panic!("expected Queued, got {other:?}"),
+            })
+            .collect();
+        for id in ids {
+            assert_eq!(wait_done(&engine, id).state, "done");
+        }
+        assert_eq!(engine.counter("jobs_executed"), 4);
+        let text = engine.metrics_text();
+        assert!(
+            text.contains("sdvbs_serve_batch_size"),
+            "batch_size histogram missing from metrics:\n{text}"
+        );
+        engine.drain();
     }
 }

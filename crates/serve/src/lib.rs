@@ -40,6 +40,7 @@ pub mod http;
 pub mod loadgen;
 pub mod protocol;
 pub mod router;
+pub mod sched;
 pub mod server;
 pub mod shutdown;
 pub mod worker;
@@ -52,6 +53,7 @@ pub use engine::{Engine, EngineConfig, JobSnapshot, Submission};
 pub use http::{parse_request, parse_response, Framing, HttpError, Request, Response, ResponseMsg};
 pub use loadgen::{run_loadgen, spec_body, Client, LoadgenConfig, LoadgenReport, TargetStats};
 pub use protocol::{orphan_disposition, pick_target, OrphanDisposition, RetryPolicy};
+pub use sched::{starvation_bound, JobClass, SchedConfig, SchedQueue};
 pub use server::{Server, ServerConfig};
 pub use shutdown::{DrainReport, ShutdownController};
 pub use worker::{run_worker, WorkerConfig};

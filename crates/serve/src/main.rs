@@ -13,6 +13,7 @@
 //!                         [--policy P] [--seed N] [--iterations N]
 //!                         [--unique N] [--poll-ms N]
 //! sdvbs-serve smoke
+//! sdvbs-serve sched-smoke
 //! sdvbs-serve cluster-smoke
 //! ```
 //!
@@ -22,9 +23,10 @@
 //! coordinator keeps the HTTP front (cache, coalescing, admission) and
 //! shards admitted jobs across them. `loadgen` drives running servers
 //! closed-loop and prints hit/miss latency percentiles (per target and
-//! aggregate). `smoke` is the single-process CI gate; `cluster-smoke`
-//! boots real worker subprocesses and gates scaling, result fidelity,
-//! and worker-death handling.
+//! aggregate). `smoke` is the single-process CI gate; `sched-smoke`
+//! gates the scheduling tier (batching throughput, QoS starvation bound,
+//! auto-tuning); `cluster-smoke` boots real worker subprocesses and
+//! gates scaling, result fidelity, and worker-death handling.
 //!
 //! Exit codes: 0 success, 1 a smoke/loadgen gate failed, 2 usage or
 //! runtime error.
@@ -32,8 +34,9 @@
 use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
 use sdvbs_runner::{parse_policy, parse_size, Job, RunRecord};
 use sdvbs_serve::{
-    run_loadgen, run_worker, spec_body, Client, ClusterConfig, ClusterEngine, Engine, EngineConfig,
-    LoadgenConfig, LoadgenReport, Server, ServerConfig, Submission, WorkerConfig,
+    run_loadgen, run_worker, spec_body, starvation_bound, Client, ClusterConfig, ClusterEngine,
+    Engine, EngineConfig, JobClass, LoadgenConfig, LoadgenReport, SchedConfig, Server,
+    ServerConfig, Submission, WorkerConfig,
 };
 use sdvbs_trace::jsonl::Value;
 use sdvbs_trace::Trace;
@@ -53,6 +56,7 @@ fn main() -> ExitCode {
         "coordinator" => cmd_coordinator(rest),
         "loadgen" => cmd_loadgen(rest),
         "smoke" => cmd_smoke(rest),
+        "sched-smoke" => cmd_sched_smoke(rest),
         "cluster-smoke" => cmd_cluster_smoke(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
@@ -71,21 +75,26 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   sdvbs-serve serve       [--addr HOST:PORT] [--workers N] [--queue N]
-                          [--timeout-ms N]
+                          [--timeout-ms N] [--cache-capacity N]
+                          [--max-batch N]
   sdvbs-serve worker      [--addr HOST:PORT] [--name S] [--workers N]
                           [--queue N] [--timeout-ms N] [--hold-ms N]
+                          [--cache-capacity N] [--max-batch N]
   sdvbs-serve coordinator --workers ADDR,ADDR,... [--addr HOST:PORT]
                           [--queue N] [--heartbeat-ms N] [--liveness-ms N]
-                          [--retries N]
+                          [--retries N] [--cache-capacity N] [--max-batch N]
   sdvbs-serve loadgen     --addr HOST:PORT[,HOST:PORT...] [--conns N]
                           [--requests N] [--bench NAME] [--size S]
                           [--policy P] [--seed N] [--iterations N]
                           [--unique N] [--poll-ms N]
   sdvbs-serve smoke
+  sdvbs-serve sched-smoke
   sdvbs-serve cluster-smoke
 
 serve and coordinator run until a client POSTs /v1/shutdown, then drain
 and exit; a worker exits after its coordinator drains it (or vanishes).
+--max-batch 1 disables dispatch batching; --cache-capacity bounds the
+result cache (LRU eviction past it).
 sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto";
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
@@ -109,6 +118,13 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             "--timeout-ms" => {
                 let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
                 cfg.engine.timeout = Some(Duration::from_millis(ms));
+            }
+            "--cache-capacity" => {
+                cfg.engine.cache_capacity =
+                    parse_num(&value("--cache-capacity")?, "--cache-capacity")?;
+            }
+            "--max-batch" => {
+                cfg.engine.sched.max_batch = parse_num(&value("--max-batch")?, "--max-batch")?;
             }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -151,6 +167,13 @@ fn cmd_worker(args: &[String]) -> Result<ExitCode, String> {
                 let ms: u64 = parse_num(&value("--hold-ms")?, "--hold-ms")?;
                 cfg.engine.hold = Some(Duration::from_millis(ms));
             }
+            "--cache-capacity" => {
+                cfg.engine.cache_capacity =
+                    parse_num(&value("--cache-capacity")?, "--cache-capacity")?;
+            }
+            "--max-batch" => {
+                cfg.engine.sched.max_batch = parse_num(&value("--max-batch")?, "--max-batch")?;
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -187,6 +210,12 @@ fn cmd_coordinator(args: &[String]) -> Result<ExitCode, String> {
                 cfg.liveness = Duration::from_millis(ms.max(1));
             }
             "--retries" => cfg.retry_budget = parse_num(&value("--retries")?, "--retries")?,
+            "--cache-capacity" => {
+                cfg.cache_capacity = parse_num(&value("--cache-capacity")?, "--cache-capacity")?;
+            }
+            "--max-batch" => {
+                cfg.sched.max_batch = parse_num(&value("--max-batch")?, "--max-batch")?;
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -304,8 +333,8 @@ fn smoke() -> Result<(), String> {
         engine: EngineConfig {
             workers: 1,
             queue_capacity: 1,
-            timeout: None,
             hold: Some(Duration::from_millis(400)),
+            ..EngineConfig::default()
         },
     })
     .map_err(|e| format!("bind: {e}"))?;
@@ -388,7 +417,9 @@ fn smoke() -> Result<(), String> {
     poll_until(&mut client, queued_id, "rejected", Duration::from_secs(60))?;
     drop(client);
     let report = server.wait();
-    if report.completed < 2 || report.rejected < 1 {
+    // Drain-scoped accounting: only the fresh job (running at drain
+    // begin) and the queued job count; the pre-drain completions do not.
+    if report.completed < 1 || report.rejected < 1 || report.completed > 2 {
         return Err(format!("unexpected drain report: {report:?}"));
     }
     println!(
@@ -416,8 +447,7 @@ fn smoke() -> Result<(), String> {
         engine: EngineConfig {
             workers: 2,
             queue_capacity: 32,
-            timeout: None,
-            hold: None,
+            ..EngineConfig::default()
         },
     })
     .map_err(|e| format!("bind: {e}"))?;
@@ -465,6 +495,230 @@ fn smoke() -> Result<(), String> {
     drop(client);
     server.wait();
     Ok(())
+}
+
+fn cmd_sched_smoke(args: &[String]) -> Result<ExitCode, String> {
+    if !args.is_empty() {
+        return Err(format!("sched-smoke takes no flags\n{USAGE}"));
+    }
+    match sched_smoke() {
+        Ok(()) => {
+            println!("sched smoke: PASS");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(why) => {
+            eprintln!("sched smoke: FAIL: {why}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+/// One homogeneous burst through an in-process engine with the given
+/// batch window; returns the wall time, the record fingerprints in
+/// submission order, and the engine's metrics exposition.
+fn sched_burst(jobs: &[Job], max_batch: usize) -> Result<(Duration, Vec<String>, String), String> {
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        queue_capacity: jobs.len().max(1) * 2,
+        sched: SchedConfig {
+            max_batch,
+            ..SchedConfig::default()
+        },
+        ..EngineConfig::default()
+    });
+    let started = Instant::now();
+    let mut ids = Vec::new();
+    for job in jobs {
+        // fresh: the gate measures execution, not the cache.
+        match engine.submit(job.clone(), true, JobClass::Interactive) {
+            Submission::Queued(id) => ids.push(id),
+            other => return Err(format!("burst submit: unexpected {other:?}")),
+        }
+    }
+    let mut fingerprints = Vec::new();
+    for id in ids {
+        let snap = engine
+            .wait_terminal(id, Duration::from_secs(300))
+            .ok_or("burst job vanished")?;
+        let record = snap
+            .record
+            .ok_or_else(|| format!("burst job {id} ended {}: {}", snap.state, snap.detail))?;
+        fingerprints.push(record_fingerprint(&record));
+    }
+    let wall = started.elapsed();
+    let metrics = engine.metrics_text();
+    engine.drain();
+    Ok((wall, fingerprints, metrics))
+}
+
+/// The scheduling CI gate, all in-process:
+///
+/// 1. **Batching** — a homogeneous 50-job burst must run >= 1.2x faster
+///    with the default batch window than with batching disabled
+///    (`max_batch = 1`), and every record must be bit-identical between
+///    the two runs on the deterministic fields.
+/// 2. **QoS** — under a deep batch-class backlog, an interactive probe
+///    must be dispatched within the documented DRR starvation bound.
+/// 3. **Auto-tuning** — `policy: auto` jobs must route through the
+///    scaling model (`sched_tuned_jobs`) and complete.
+fn sched_smoke() -> Result<(), String> {
+    // --- Phase 1: batching throughput + bit-identity. ---
+    let burst: Vec<Job> = (0..50)
+        .map(|s| {
+            Job::new(
+                "Disparity Map",
+                InputSize::Custom {
+                    width: 64,
+                    height: 48,
+                },
+                ExecPolicy::Serial,
+                9000 + s,
+                1,
+            )
+        })
+        .collect();
+    let (unbatched_wall, unbatched_fp, _) = sched_burst(&burst, 1)?;
+    let (batched_wall, batched_fp, batched_metrics) = sched_burst(&burst, 16)?;
+    for (i, (u, b)) in unbatched_fp.iter().zip(&batched_fp).enumerate() {
+        if u != b {
+            return Err(format!(
+                "batched result diverged from unbatched at job {i}:\n  unbatched: {u}\n  batched:   {b}"
+            ));
+        }
+    }
+    let speedup = unbatched_wall.as_secs_f64() / batched_wall.as_secs_f64().max(1e-9);
+    println!(
+        "  batching: unbatched {:.2} s, batched {:.2} s ({speedup:.2}x), {} records identical",
+        unbatched_wall.as_secs_f64(),
+        batched_wall.as_secs_f64(),
+        batched_fp.len()
+    );
+    if speedup < 1.2 {
+        return Err(format!(
+            "batching only {speedup:.2}x faster on a homogeneous burst (gate: >= 1.2x)"
+        ));
+    }
+    if !batched_metrics.contains("sdvbs_serve_batch_size") {
+        return Err("batched engine exposes no batch_size histogram".into());
+    }
+
+    // --- Phase 2: DRR keeps interactive jobs inside the documented
+    // bound under a deep batch-class backlog. ---
+    let scfg = SchedConfig::default();
+    let hold = Duration::from_millis(15);
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        queue_capacity: 128,
+        hold: Some(hold),
+        sched: scfg.clone(),
+        ..EngineConfig::default()
+    });
+    for s in 0..60u64 {
+        match engine.submit(backlog_spec(10_000 + s), true, JobClass::Batch) {
+            Submission::Queued(_) => {}
+            other => return Err(format!("backlog submit: unexpected {other:?}")),
+        }
+    }
+    // Let the backlog reach steady state before probing.
+    while engine.counter("jobs_executed") < 2 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The documented bound (batch jobs dispatched ahead of a lone probe)
+    // plus the batch already past the scheduler: one dispatch window of
+    // at most quantum_batch jobs, and one job mid-execution.
+    let bound = starvation_bound(&scfg, 0);
+    let allowed = bound + scfg.quantum_batch as usize + 1;
+    let mut worst_batch_ran = 0u64;
+    let mut waits_ms = Vec::new();
+    for p in 0..5u64 {
+        let before = engine.counter("jobs_executed");
+        let started = Instant::now();
+        let id = match engine.submit(backlog_spec(20_000 + p), true, JobClass::Interactive) {
+            Submission::Queued(id) => id,
+            other => return Err(format!("probe submit: unexpected {other:?}")),
+        };
+        let snap = engine
+            .wait_terminal(id, Duration::from_secs(120))
+            .ok_or("probe vanished")?;
+        if snap.state != "done" {
+            return Err(format!("probe ended {}: {}", snap.state, snap.detail));
+        }
+        waits_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        let batch_ran = (engine.counter("jobs_executed") - before).saturating_sub(1);
+        worst_batch_ran = worst_batch_ran.max(batch_ran);
+        if batch_ran > allowed as u64 {
+            return Err(format!(
+                "probe {p} waited behind {batch_ran} batch jobs \
+                 (documented bound {bound} dispatched + {} in flight)",
+                allowed - bound
+            ));
+        }
+    }
+    waits_ms.sort_by(|a, b| a.total_cmp(b));
+    let p95 = waits_ms[waits_ms.len() - 1];
+    println!(
+        "  qos: worst probe saw {worst_batch_ran} batch jobs (allowed {allowed}), \
+         interactive p95 {p95:.0} ms over a 60-job backlog"
+    );
+    // Generous wall-clock ceiling derived from the same bound: each
+    // batch job costs ~hold + execution; 4x covers scheduling noise.
+    let ceiling = (allowed + 1) as f64 * hold.as_secs_f64() * 1e3 * 4.0;
+    if p95 > ceiling.max(500.0) {
+        return Err(format!(
+            "interactive p95 {p95:.0} ms exceeds the derived ceiling {ceiling:.0} ms"
+        ));
+    }
+    engine.drain();
+
+    // --- Phase 3: auto policies route through the scaling model. ---
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        queue_capacity: 16,
+        ..EngineConfig::default()
+    });
+    for s in 0..3u64 {
+        let spec = Job::new(
+            "Disparity Map",
+            InputSize::Custom {
+                width: 64,
+                height: 48,
+            },
+            ExecPolicy::Auto,
+            30_000 + s,
+            1,
+        );
+        let id = match engine.submit(spec, true, JobClass::Interactive) {
+            Submission::Queued(id) => id,
+            other => return Err(format!("auto submit: unexpected {other:?}")),
+        };
+        let snap = engine
+            .wait_terminal(id, Duration::from_secs(120))
+            .ok_or("auto job vanished")?;
+        if snap.state != "done" {
+            return Err(format!("auto job ended {}: {}", snap.state, snap.detail));
+        }
+    }
+    let tuned = engine.counter("sched_tuned_jobs");
+    engine.drain();
+    if tuned < 3 {
+        return Err(format!("expected 3 tuned auto jobs, counter says {tuned}"));
+    }
+    println!("  tuning: {tuned} auto jobs routed through the scaling model");
+    Ok(())
+}
+
+/// The phase-2 backlog/probe spec: tiny, serial, distinct per seed.
+fn backlog_spec(seed: u64) -> Job {
+    Job::new(
+        "Disparity Map",
+        InputSize::Custom {
+            width: 32,
+            height: 24,
+        },
+        ExecPolicy::Serial,
+        seed,
+        1,
+    )
 }
 
 fn cmd_cluster_smoke(args: &[String]) -> Result<ExitCode, String> {
@@ -649,12 +903,11 @@ fn single_process_sweep() -> Result<Vec<RunRecord>, String> {
     let engine = Engine::start(EngineConfig {
         workers: 2,
         queue_capacity: 32,
-        timeout: None,
-        hold: None,
+        ..EngineConfig::default()
     });
     let mut ids = Vec::new();
     for job in sweep_jobs() {
-        match engine.submit(job, false) {
+        match engine.submit(job, false, JobClass::Interactive) {
             Submission::Queued(id) => ids.push(id),
             other => return Err(format!("baseline submit: unexpected {other:?}")),
         }

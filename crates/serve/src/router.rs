@@ -2,7 +2,7 @@
 //!
 //! | Endpoint | Semantics |
 //! |---|---|
-//! | `POST /v1/jobs` | Submit a job spec. `200` with the record when served from cache, `202` with a job id when queued or coalesced, `400` for a bad spec, `429` + `Retry-After` when the queue is full, `503` while draining. `?fresh=1` bypasses cache and coalescing. |
+//! | `POST /v1/jobs` | Submit a job spec. `200` with the record when served from cache, `202` with a job id when queued or coalesced, `400` for a bad spec, `429` + `Retry-After` when the queue is full, `503` while draining. `?fresh=1` bypasses cache and coalescing; `?class=interactive\|batch` picks the QoS lane (default `interactive`). |
 //! | `GET /v1/jobs/<id>` | Poll a job. `?wait_ms=N` long-polls until terminal (capped at 30 s). `503` for a rejected job, `404` for an unknown id. |
 //! | `GET /metrics` | Prometheus-style text exposition of the engine's lifetime counters and latency histograms. |
 //! | `GET /v1/trace` | Chrome-trace JSON of per-connection request spans absorbed so far. |
@@ -12,6 +12,7 @@
 use crate::backend::Backend;
 use crate::engine::{JobSnapshot, Submission};
 use crate::http::{Request, Response};
+use crate::sched::JobClass;
 use crate::shutdown::ShutdownController;
 use sdvbs_core::all_benchmarks;
 use sdvbs_runner::Job;
@@ -102,7 +103,17 @@ fn submit(req: &Request, ctx: &Ctx) -> Response {
         .query()
         .iter()
         .any(|(k, v)| k == "fresh" && (v == "1" || v == "true"));
-    match ctx.engine.submit(spec, fresh) {
+    let class_text = req
+        .query()
+        .into_iter()
+        .find(|(k, _)| k == "class")
+        .map(|(_, v)| v)
+        .unwrap_or_default();
+    let class = match JobClass::parse(&class_text) {
+        Ok(class) => class,
+        Err(why) => return Response::json(400, err_json(&why)),
+    };
+    match ctx.engine.submit(spec, fresh, class) {
         Submission::Cached(record) => Response::json(
             200,
             format!("{{\"cached\":true,\"record\":{}}}", record.to_json_line()),

@@ -13,12 +13,20 @@
 
 use std::sync::{Condvar, Mutex, PoisonError};
 
-/// What the engine's drain left behind: lifetime totals at the moment
-/// every job reached a terminal state.
+/// What a drain left behind.
+///
+/// For the single-process [`crate::engine::Engine`] the counts are
+/// **drain-scoped**: only jobs that were queued or running when the
+/// drain began are counted, so an operator reading the report sees what
+/// the shutdown itself did, not the process's lifetime history. The
+/// cluster coordinator keeps **lifetime** totals instead — its report
+/// doubles as the final accounting for jobs retried across worker
+/// deaths, where "what was in flight at drain time" is not well defined
+/// per worker.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DrainReport {
-    /// Jobs that executed to a record (including ones that finished
-    /// during the drain itself).
+    /// Jobs that executed to a record during the drain (engine) or over
+    /// the process lifetime (cluster).
     pub completed: usize,
     /// Jobs rejected without executing (queued at drain time, or invalid).
     pub rejected: usize,

@@ -23,6 +23,7 @@
 //! thread pool is a leak, not a service.
 
 use crate::engine::{Engine, EngineConfig, Submission};
+use crate::sched::JobClass;
 use sdvbs_trace::now_us;
 use sdvbs_wire::{tcp_pair, FrameRx, FrameTx, Message, WireError, PROTO_VERSION};
 use std::io::Write as _;
@@ -125,25 +126,27 @@ fn serve_coordinator(
     let mut waiters: Vec<thread::JoinHandle<()>> = Vec::new();
     loop {
         match reader.recv() {
-            Ok(Message::Dispatch { id, spec }) => match engine.submit(spec, true) {
-                Submission::Queued(local) | Submission::Coalesced(local) => {
-                    let engine = Arc::clone(engine);
-                    let w = Arc::clone(writer);
-                    let spawned = thread::Builder::new()
-                        .name(format!("sdvbs-worker-wait-{id}"))
-                        .spawn(move || report_when_terminal(&engine, &w, id, local));
-                    match spawned {
-                        Ok(handle) => waiters.push(handle),
-                        Err(_) => send(writer, &Message::Busy { id }),
+            Ok(Message::Dispatch { id, spec }) => {
+                match engine.submit(spec, true, JobClass::Interactive) {
+                    Submission::Queued(local) | Submission::Coalesced(local) => {
+                        let engine = Arc::clone(engine);
+                        let w = Arc::clone(writer);
+                        let spawned = thread::Builder::new()
+                            .name(format!("sdvbs-worker-wait-{id}"))
+                            .spawn(move || report_when_terminal(&engine, &w, id, local));
+                        match spawned {
+                            Ok(handle) => waiters.push(handle),
+                            Err(_) => send(writer, &Message::Busy { id }),
+                        }
+                    }
+                    Submission::Cached(record) => {
+                        send(writer, &Message::Done { id, record });
+                    }
+                    Submission::QueueFull | Submission::Draining => {
+                        send(writer, &Message::Busy { id });
                     }
                 }
-                Submission::Cached(record) => {
-                    send(writer, &Message::Done { id, record });
-                }
-                Submission::QueueFull | Submission::Draining => {
-                    send(writer, &Message::Busy { id });
-                }
-            },
+            }
             Ok(Message::Heartbeat { seq }) => {
                 send(
                     writer,

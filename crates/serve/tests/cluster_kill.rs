@@ -5,7 +5,7 @@
 
 use sdvbs_core::{ExecPolicy, InputSize};
 use sdvbs_runner::Job;
-use sdvbs_serve::{Backend, ClusterConfig, ClusterEngine, Submission};
+use sdvbs_serve::{Backend, ClusterConfig, ClusterEngine, JobClass, Submission};
 use std::io::{BufRead, BufReader};
 use std::process::{Child, ChildStdout, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -77,7 +77,7 @@ fn killed_worker_loses_no_jobs_silently() {
     // A sweep wide enough that both shards hold work when the axe falls.
     let mut ids = Vec::new();
     for seed in 0..12u64 {
-        match cluster.submit(job(9000 + seed), false) {
+        match cluster.submit(job(9000 + seed), false, JobClass::Interactive) {
             Submission::Queued(id) => ids.push(id),
             other => panic!("submit: unexpected {other:?}"),
         }
@@ -149,7 +149,7 @@ fn cluster_serves_and_drains_cleanly_without_faults() {
 
     let mut ids = Vec::new();
     for seed in 0..6u64 {
-        match cluster.submit(job(7000 + seed), false) {
+        match cluster.submit(job(7000 + seed), false, JobClass::Interactive) {
             Submission::Queued(id) => ids.push(id),
             other => panic!("submit: unexpected {other:?}"),
         }
@@ -165,7 +165,7 @@ fn cluster_serves_and_drains_cleanly_without_faults() {
 
     // An identical resubmission is a coordinator-side cache hit — no
     // wire round trip.
-    match cluster.submit(job(7000), false) {
+    match cluster.submit(job(7000), false, JobClass::Interactive) {
         Submission::Cached(record) => assert_eq!(record.seed, 7000),
         other => panic!("expected a cache hit, got {other:?}"),
     }

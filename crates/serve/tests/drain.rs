@@ -55,8 +55,8 @@ fn drain_completes_running_rejects_queued_and_leaks_nothing() {
         engine: EngineConfig {
             workers: 1,
             queue_capacity: 4,
-            timeout: None,
             hold: Some(Duration::from_millis(300)),
+            ..EngineConfig::default()
         },
     })
     .expect("bind loopback");

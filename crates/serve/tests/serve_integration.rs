@@ -138,8 +138,8 @@ fn full_queue_answers_429_with_retry_after() {
     let (server, mut client) = start(EngineConfig {
         workers: 1,
         queue_capacity: 1,
-        timeout: None,
         hold: Some(Duration::from_millis(300)),
+        ..EngineConfig::default()
     });
     let (status, v) = submit(&mut client, &spec(10), "");
     assert_eq!(status, 202);

@@ -29,34 +29,78 @@ pub fn nearest_rank(sorted: &[f64], p: f64) -> Option<f64> {
 }
 
 /// An exact-sample histogram with nearest-rank percentiles.
+///
+/// By default every sample is retained (per-run registries stay small).
+/// A **windowed** histogram ([`Histogram::windowed`]) retains only the
+/// most recent `cap` samples in a ring — the shape a long-lived daemon
+/// needs for metrics that feed online decisions (the serve scheduler's
+/// per-benchmark×size scaling model reads these): percentiles track
+/// recent behavior and memory stays bounded, while [`Histogram::count`]
+/// still reports the lifetime observation total.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Histogram {
-    /// Kept sorted lazily: samples are appended and sorted on read.
+    /// Kept sorted lazily: samples are appended and sorted on read. For a
+    /// windowed histogram this is a ring over the most recent `window`
+    /// samples.
     samples: Vec<f64>,
+    /// Sum of the *retained* samples (the whole history when unbounded).
     sum: f64,
+    /// Retention cap; `None` keeps everything.
+    window: Option<usize>,
+    /// Ring write index (windowed histograms at capacity only).
+    next: usize,
+    /// Lifetime observation count, including samples the window dropped.
+    total: u64,
 }
 
 impl Histogram {
-    /// An empty histogram.
+    /// An empty histogram retaining every sample.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records one sample (non-finite samples are dropped — JSON cannot
-    /// carry them and a NaN would poison every percentile).
-    pub fn observe(&mut self, value: f64) {
-        if value.is_finite() {
-            self.samples.push(value);
-            self.sum += value;
+    /// An empty histogram retaining only the most recent `cap` samples
+    /// (clamped ≥ 1).
+    pub fn windowed(cap: usize) -> Self {
+        Histogram {
+            window: Some(cap.max(1)),
+            ..Histogram::default()
         }
     }
 
-    /// Number of samples recorded.
-    pub fn count(&self) -> usize {
-        self.samples.len()
+    /// Records one sample (non-finite samples are dropped — JSON cannot
+    /// carry them and a NaN would poison every percentile). A windowed
+    /// histogram at capacity overwrites its oldest sample.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.total += 1;
+        match self.window {
+            Some(cap) if self.samples.len() >= cap => {
+                self.sum += value - self.samples[self.next];
+                self.samples[self.next] = value;
+                self.next = (self.next + 1) % cap;
+            }
+            _ => {
+                self.samples.push(value);
+                self.sum += value;
+            }
+        }
     }
 
-    /// Sum of all samples.
+    /// Lifetime number of samples observed (for a windowed histogram this
+    /// can exceed the retained sample count).
+    pub fn count(&self) -> usize {
+        self.total as usize
+    }
+
+    /// The retention cap, when windowed.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Sum of the retained samples.
     pub fn sum(&self) -> f64 {
         self.sum
     }
@@ -127,6 +171,20 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records a sample under `name`, registering the histogram as
+    /// **windowed** at `cap` retained samples on first use (an existing
+    /// histogram keeps whatever retention it was created with).
+    pub fn observe_windowed(&mut self, name: &str, value: f64, cap: usize) {
+        match self.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.observe(value),
+            None => {
+                let mut h = Histogram::windowed(cap);
+                h.observe(value);
+                self.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
     /// Current value of counter `name` (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -169,8 +227,23 @@ impl MetricsRegistry {
             self.incr(name, *v);
         }
         for (name, h) in &other.histograms {
+            // First sight of a windowed histogram registers it windowed
+            // here too, so merging never unbounds a bounded metric.
+            if self.histogram(name).is_none() {
+                let fresh = match h.window() {
+                    Some(cap) => Histogram::windowed(cap),
+                    None => Histogram::new(),
+                };
+                self.histograms.push((name.clone(), fresh));
+            }
+            let target = self
+                .histograms
+                .iter_mut()
+                .find(|(n, _)| n == name)
+                .map(|(_, t)| t)
+                .expect("registered above");
             for &s in h.samples() {
-                self.observe(name, s);
+                target.observe(s);
             }
         }
     }
@@ -320,6 +393,36 @@ mod tests {
         assert_eq!(h.min(), Some(1.0));
         assert_eq!(h.max(), Some(4.0));
         assert_eq!(h.percentile(50.0), Some(2.0)); // ceil(2.0) = rank 2
+    }
+
+    #[test]
+    fn windowed_histograms_bound_memory_but_count_lifetime() {
+        let mut h = Histogram::windowed(3);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.observe(v);
+        }
+        // Only the 3 most recent samples are retained...
+        assert_eq!(h.samples().len(), 3);
+        assert_eq!(h.min(), Some(3.0));
+        assert_eq!(h.max(), Some(5.0));
+        assert!((h.sum() - 12.0).abs() < 1e-9);
+        assert!((h.mean() - 4.0).abs() < 1e-9);
+        // ...but the lifetime count keeps climbing.
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.window(), Some(3));
+
+        let mut reg = MetricsRegistry::new();
+        for v in 0..100 {
+            reg.observe_windowed("w", f64::from(v), 8);
+        }
+        let h = reg.histogram("w").unwrap();
+        assert_eq!(h.samples().len(), 8);
+        assert_eq!(h.count(), 100);
+        // Merging preserves the window on first registration.
+        let mut other = MetricsRegistry::new();
+        other.merge(&reg);
+        assert_eq!(other.histogram("w").unwrap().window(), Some(8));
+        assert_eq!(other.histogram("w").unwrap().samples().len(), 8);
     }
 
     #[test]
