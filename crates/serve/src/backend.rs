@@ -16,7 +16,9 @@
 use crate::engine::{Engine, JobSnapshot, Submission};
 use crate::sched::JobClass;
 use crate::shutdown::DrainReport;
+use crate::stream::{FrameTicket, StreamRefused, StreamStatus};
 use sdvbs_runner::Job;
+use sdvbs_stream::StreamSpec;
 use sdvbs_trace::{MetricsRegistry, TraceEvent};
 use std::time::Duration;
 
@@ -52,6 +54,31 @@ pub trait Backend: Send + Sync {
     fn health_extra(&self) -> Option<String> {
         None
     }
+    /// Opens a video stream. Backends without a streaming tier (the
+    /// cluster coordinator) refuse with [`StreamRefused::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamRefused`].
+    fn open_stream(&self, _spec: StreamSpec) -> Result<u64, StreamRefused> {
+        Err(StreamRefused::Unsupported)
+    }
+    /// Submits the next frame of an open stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamRefused`].
+    fn submit_frame(&self, _stream_id: u64) -> Result<FrameTicket, StreamRefused> {
+        Err(StreamRefused::Unsupported)
+    }
+    /// A point-in-time status of a stream, or `None` if unknown.
+    fn stream_status(&self, _id: u64) -> Option<StreamStatus> {
+        None
+    }
+    /// Closes a stream (idempotent); `None` for an unknown id.
+    fn close_stream(&self, _id: u64) -> Option<StreamStatus> {
+        None
+    }
 }
 
 impl Backend for Engine {
@@ -84,5 +111,17 @@ impl Backend for Engine {
     }
     fn trace_events(&self) -> Vec<TraceEvent> {
         Engine::trace_events(self)
+    }
+    fn open_stream(&self, spec: StreamSpec) -> Result<u64, StreamRefused> {
+        Engine::open_stream(self, spec)
+    }
+    fn submit_frame(&self, stream_id: u64) -> Result<FrameTicket, StreamRefused> {
+        Engine::submit_frame(self, stream_id)
+    }
+    fn stream_status(&self, id: u64) -> Option<StreamStatus> {
+        Engine::stream_status(self, id)
+    }
+    fn close_stream(&self, id: u64) -> Option<StreamStatus> {
+        Engine::close_stream(self, id)
     }
 }

@@ -35,11 +35,16 @@ use crate::cache::{cache_preimage, spec_digest, CacheLookup, ResultCache, DEFAUL
 use crate::coalesce::InflightMap;
 use crate::sched::{self, Batch, JobClass, SchedConfig, SchedPushError, SchedQueue};
 use crate::shutdown::DrainReport;
+use crate::stream::{
+    self, FrameDecision, FrameTask, FrameTicket, StreamEntry, StreamRefused, StreamStatus,
+    StreamTable, MAX_STREAMS,
+};
 use sdvbs_core::ExecPolicy;
 use sdvbs_exec::ClockHandle;
 use sdvbs_runner::{execute_job_warm, size_label, HostMeta, Job, RunRecord, RunStatus};
+use sdvbs_stream::{fold_digest, StreamSpec};
 use sdvbs_trace::jsonl::Value;
-use sdvbs_trace::{now_us, MetricsRegistry, Phase, TraceEvent};
+use sdvbs_trace::{alloc_track, now_us, MetricsRegistry, Phase, TraceEvent};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
@@ -48,6 +53,9 @@ use std::time::{Duration, Instant};
 /// Retained samples per benchmark×size×threads execution histogram — the
 /// scaling model's observation window.
 const EXEC_HISTORY_WINDOW: usize = 64;
+
+/// Retained samples per stream's frame-latency histogram.
+const FRAME_LATENCY_WINDOW: usize = 1024;
 
 /// Engine sizing and test instrumentation.
 #[derive(Debug, Clone)]
@@ -102,13 +110,26 @@ enum JobState {
     /// report a failed status — that is still a terminal, pollable state).
     /// Boxed to keep the variant near the size of its siblings.
     Done(Box<RunRecord>),
+    /// A stream frame finished; the string is the pipeline's one-line
+    /// summary (frames have no [`RunRecord`] — their results live in the
+    /// stream's status window).
+    FrameDone(String),
     /// The engine refused to run it (drain started before a worker picked
     /// it up, or the spec failed validation inside the engine).
     Rejected(String),
 }
 
+/// What a job-table entry executes: a one-shot benchmark spec, or one
+/// frame of an open stream.
+enum Payload {
+    Bench(Job),
+    Frame(FrameTask),
+}
+
 struct JobEntry {
-    spec: Job,
+    payload: Payload,
+    /// Spec digest for cache/coalescing. Frames never cache or coalesce
+    /// (each is a unique stateful step) and carry 0 here.
     digest: u64,
     /// The canonical cache preimage, verified on every cache hit.
     key: String,
@@ -183,6 +204,7 @@ pub struct Engine {
     metrics: Mutex<MetricsRegistry>,
     trace: Mutex<Vec<TraceEvent>>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    streams: Mutex<StreamTable>,
     cfg: EngineConfig,
     auto_threads: usize,
     host: HostMeta,
@@ -208,6 +230,7 @@ impl Engine {
             metrics: Mutex::new(MetricsRegistry::new()),
             trace: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
+            streams: Mutex::new(StreamTable::default()),
             auto_threads: ExecPolicy::Auto.worker_count(),
             host: HostMeta::collect(),
             cfg,
@@ -264,7 +287,7 @@ impl Engine {
         st.jobs.insert(
             id,
             JobEntry {
-                spec,
+                payload: Payload::Bench(spec),
                 digest,
                 key,
                 state: JobState::Queued,
@@ -402,6 +425,201 @@ impl Engine {
         self.lock_state().draining
     }
 
+    /// Opens a stream: validates the spec, builds its stateful pipeline,
+    /// and allocates it a trace track. Refused while draining or at the
+    /// [`MAX_STREAMS`] open-stream cap.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamRefused::Draining`], [`StreamRefused::LimitReached`], or
+    /// [`StreamRefused::BadSpec`].
+    pub fn open_stream(&self, spec: StreamSpec) -> Result<u64, StreamRefused> {
+        if self.lock_state().draining {
+            return Err(StreamRefused::Draining);
+        }
+        let pipeline = stream::build_for(&spec)?;
+        let mut tbl = self.lock_streams();
+        self.sweep_streams(&mut tbl);
+        if tbl.open_count() >= MAX_STREAMS {
+            self.incr("streams_refused_limit");
+            return Err(StreamRefused::LimitReached);
+        }
+        let id = tbl.next_id;
+        tbl.next_id += 1;
+        let track = alloc_track();
+        self.push_trace(TraceEvent::new(
+            format!("stream {id} ({})", spec.pipeline.label()),
+            "meta",
+            Phase::Meta,
+            0,
+            track,
+        ));
+        tbl.streams
+            .insert(id, Arc::new(StreamEntry::new(id, spec, track, pipeline)));
+        self.incr("streams_opened");
+        Ok(id)
+    }
+
+    /// Submits the next frame of stream `stream_id`. The backpressure
+    /// policy decides its fate at admission: process at full size,
+    /// process degraded, or drop (counted, never enqueued). A dropped
+    /// frame is a *successful* submission — the ticket says so — because
+    /// shedding is the declared contract, not a failure.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamRefused::NoSuchStream`], [`StreamRefused::Closed`], or
+    /// [`StreamRefused::Draining`] (the frame is then uncounted — the
+    /// client knows it never entered the stream).
+    pub fn submit_frame(&self, stream_id: u64) -> Result<FrameTicket, StreamRefused> {
+        let entry = self
+            .stream_entry(stream_id)
+            .ok_or(StreamRefused::NoSuchStream)?;
+        // Lock order: stream stats, then engine state. Workers take them
+        // one at a time, never nested in the other direction.
+        let mut stats = entry.lock_stats();
+        if stats.closed {
+            return Err(StreamRefused::Closed);
+        }
+        let frame = stats.submitted;
+        let decision = stats.admit(entry.spec.policy, entry.sla_ms);
+        if decision == FrameDecision::Drop {
+            stats.submitted += 1;
+            stats.dropped += 1;
+            drop(stats);
+            self.incr("stream_frames_submitted");
+            self.incr("stream_frames_dropped");
+            self.incr(&format!("stream_{stream_id}_frames_dropped"));
+            return Ok(FrameTicket {
+                job_id: None,
+                frame,
+                dropped: true,
+                degraded: false,
+            });
+        }
+        let degraded = matches!(decision, FrameDecision::Process { degraded: true });
+        let mut st = self.lock_state();
+        self.sweep_retired(&mut st);
+        if st.draining {
+            return Err(StreamRefused::Draining);
+        }
+        let id = st.next_id;
+        let seq = stats.next_seq;
+        st.jobs.insert(
+            id,
+            JobEntry {
+                payload: Payload::Frame(FrameTask {
+                    stream: stream_id,
+                    frame,
+                    seq,
+                    degraded,
+                    submitted: Instant::now(),
+                }),
+                digest: 0,
+                key: String::new(),
+                state: JobState::Queued,
+                retire_at: None,
+            },
+        );
+        match self
+            .queue
+            .try_push(id, &format!("stream:{stream_id}"), JobClass::Interactive)
+        {
+            Ok(()) => {
+                st.next_id += 1;
+                stats.submitted += 1;
+                stats.next_seq += 1;
+                stats.in_flight += 1;
+                drop(st);
+                drop(stats);
+                self.incr("stream_frames_submitted");
+                if degraded {
+                    self.incr("stream_frames_degraded");
+                    self.incr(&format!("stream_{stream_id}_frames_degraded"));
+                }
+                Ok(FrameTicket {
+                    job_id: Some(id),
+                    frame,
+                    dropped: false,
+                    degraded,
+                })
+            }
+            Err(SchedPushError::Full) => {
+                // Queue pressure sheds the frame under either policy —
+                // counted, like a policy drop, so accounting stays exact.
+                st.jobs.remove(&id);
+                stats.submitted += 1;
+                stats.dropped += 1;
+                drop(st);
+                drop(stats);
+                self.incr("stream_frames_submitted");
+                self.incr("stream_frames_dropped");
+                self.incr(&format!("stream_{stream_id}_frames_dropped"));
+                Ok(FrameTicket {
+                    job_id: None,
+                    frame,
+                    dropped: true,
+                    degraded: false,
+                })
+            }
+            Err(SchedPushError::Closed) => {
+                st.jobs.remove(&id);
+                Err(StreamRefused::Draining)
+            }
+        }
+    }
+
+    /// A point-in-time status of stream `id`, or `None` if unknown.
+    pub fn stream_status(&self, id: u64) -> Option<StreamStatus> {
+        Some(self.stream_entry(id)?.status())
+    }
+
+    /// Closes stream `id`: no further frames are accepted; in-flight
+    /// frames finish normally. Returns the status at close, or `None`
+    /// for an unknown id. Idempotent.
+    pub fn close_stream(&self, id: u64) -> Option<StreamStatus> {
+        let entry = self.stream_entry(id)?;
+        {
+            let mut stats = entry.lock_stats();
+            if !stats.closed {
+                stats.closed = true;
+                stats.closed_at = Some(self.cfg.clock.now());
+            } else {
+                return Some(entry.status());
+            }
+        }
+        self.incr("streams_closed");
+        Some(entry.status())
+    }
+
+    fn stream_entry(&self, id: u64) -> Option<Arc<StreamEntry>> {
+        self.lock_streams().streams.get(&id).cloned()
+    }
+
+    fn lock_streams(&self) -> std::sync::MutexGuard<'_, StreamTable> {
+        self.streams.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Retires closed streams with no in-flight frames once their close
+    /// is older than the poll-grace TTL — same contract as job-table
+    /// retirement: a long-lived daemon's memory does not grow with every
+    /// stream it has ever served.
+    fn sweep_streams(&self, tbl: &mut StreamTable) {
+        let now = self.cfg.clock.now();
+        let ttl = self.cfg.retire_ttl;
+        let before = tbl.streams.len();
+        tbl.streams.retain(|_, entry| {
+            let stats = entry.lock_stats();
+            !(stats.closed
+                && stats.in_flight == 0
+                && stats.closed_at.is_some_and(|at| at + ttl <= now))
+        });
+        let retired = before - tbl.streams.len();
+        if retired > 0 {
+            self.incr("streams_retired");
+        }
+    }
+
     /// Renders the engine's process-lifetime metrics in the Prometheus
     /// text format under the `sdvbs_serve` prefix.
     pub fn metrics_text(&self) -> String {
@@ -502,11 +720,15 @@ impl Engine {
             ];
             self.push_trace(begin);
             // The first job in the batch pays warmup; followers start warm
-            // — same benchmark×size just ran on this thread.
+            // — same benchmark×size just ran on this thread. Stream-frame
+            // batches dispatch through the frame path instead.
+            let frames = batch.group.starts_with("stream:");
             let mut warm = false;
             let n = batch.ids.len();
             for (i, &id) in batch.ids.iter().enumerate() {
-                if self.run_one(&batch, id, warm, track, i + 1 == n) {
+                if frames {
+                    self.run_frame(&batch, id, track, i + 1 == n);
+                } else if self.run_one(&batch, id, warm, track, i + 1 == n) {
                     warm = true;
                 }
             }
@@ -557,7 +779,10 @@ impl Engine {
                 .expect("a queued job stays in the table until terminal + TTL");
             entry.state = JobState::Running;
             self.changed.notify_all();
-            entry.spec.clone()
+            match &entry.payload {
+                Payload::Bench(spec) => spec.clone(),
+                Payload::Frame(_) => unreachable!("frame jobs dispatch through run_frame"),
+            }
         };
         if let Some(hold) = self.cfg.hold {
             thread::sleep(hold);
@@ -640,6 +865,170 @@ impl Engine {
         executed
     }
 
+    /// Executes (or drain-rejects) one stream frame. Frames never touch
+    /// the result cache or the in-flight map — each is a unique stateful
+    /// step of its pipeline. The stream's sequence gate serializes
+    /// execution: even when frames of one stream land on several
+    /// workers, they process strictly in submission order (pipeline
+    /// state makes order a correctness property).
+    fn run_frame(&self, batch: &Batch, id: u64, track: u32, last: bool) {
+        let (task, draining) = {
+            let mut st = self.lock_state();
+            let draining = st.draining;
+            let entry = st
+                .jobs
+                .get_mut(&id)
+                .expect("a queued frame stays in the table until terminal + TTL");
+            let Payload::Frame(task) = &entry.payload else {
+                unreachable!("stream-group jobs always carry frame payloads")
+            };
+            let task = task.clone();
+            if !draining {
+                entry.state = JobState::Running;
+                self.changed.notify_all();
+            }
+            (task, draining)
+        };
+        let Some(stream) = self.stream_entry(task.stream) else {
+            // Unreachable in practice: a stream is only swept once it has
+            // no in-flight frames. Account the frame as failed anyway
+            // rather than wedging the drain.
+            let mut st = self.lock_state();
+            if let Some(entry) = st.jobs.get_mut(&id) {
+                entry.state = JobState::Rejected("stream no longer exists".into());
+                entry.retire_at = self.retire_deadline();
+                note_terminal(&mut st, false);
+                self.changed.notify_all();
+            }
+            if last {
+                self.push_batch_end(batch, track);
+            }
+            return;
+        };
+        if draining {
+            // Honest drain accounting: wait for this frame's turn (so the
+            // stream's execution order never inverts), reject it, then
+            // open the gate for the next frame. The gate is taken with no
+            // other lock held.
+            if last {
+                self.push_batch_end(batch, track);
+            }
+            stream.wait_turn(task.seq);
+            {
+                let mut st = self.lock_state();
+                if let Some(entry) = st.jobs.get_mut(&id) {
+                    entry.state =
+                        JobState::Rejected("server shutting down before execution".into());
+                    entry.retire_at = self.retire_deadline();
+                    note_terminal(&mut st, false);
+                    self.incr("rejected_draining");
+                    self.changed.notify_all();
+                }
+            }
+            stream.advance_turn(task.seq);
+            let mut stats = stream.lock_stats();
+            stats.in_flight = stats.in_flight.saturating_sub(1);
+            stats.rejected += 1;
+            drop(stats);
+            self.incr("stream_frames_rejected");
+            return;
+        }
+        stream.wait_turn(task.seq);
+        self.push_trace(TraceEvent::new(
+            format!("frame {}", task.frame),
+            "frame",
+            Phase::Begin,
+            now_us(),
+            stream.track,
+        ));
+        let started = Instant::now();
+        // Unlike the bench path, the hold window counts as frame
+        // execution: it stands in for per-frame processing cost, and the
+        // backpressure estimator must see that cost for held tests to
+        // exercise the backlog projection. Since it models compute over
+        // the frame's pixels, a degraded frame pays only the degraded
+        // size's share of it — otherwise degrading could never shed a
+        // held stream's load.
+        if let Some(hold) = self.cfg.hold {
+            let hold = if task.degraded {
+                let (fw, fh) = stream.spec.full_dims();
+                let (dw, dh) = stream.spec.degraded_dims();
+                hold.mul_f64((dw * dh) as f64 / (fw * fh) as f64)
+            } else {
+                hold
+            };
+            thread::sleep(hold);
+        }
+        let result = {
+            let mut pipeline = stream
+                .pipeline
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            pipeline.process(task.frame, task.degraded)
+        };
+        let exec_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.push_trace(TraceEvent::new(
+            format!("frame {}", task.frame),
+            "frame",
+            Phase::End,
+            now_us(),
+            stream.track,
+        ));
+        if last {
+            self.push_batch_end(batch, track);
+        }
+        stream.advance_turn(task.seq);
+        let latency_ms = task.submitted.elapsed().as_secs_f64() * 1e3;
+        let completed = result.is_ok();
+        let state = {
+            let mut stats = stream.lock_stats();
+            stats.in_flight = stats.in_flight.saturating_sub(1);
+            stats.note_exec(exec_ms);
+            let violated = stats.note_latency(latency_ms, stream.sla_ms);
+            if violated {
+                self.incr("stream_sla_violations");
+                self.incr(&format!("stream_{}_sla_violations", stream.id));
+            }
+            match result {
+                Ok(r) => {
+                    stats.completed += 1;
+                    if task.degraded {
+                        stats.completed_degraded += 1;
+                    }
+                    stats.rolling_digest = fold_digest(stats.rolling_digest, r.digest);
+                    let detail = r.detail.clone();
+                    stats.push_recent(stream::summarize(&r, latency_ms));
+                    JobState::FrameDone(detail)
+                }
+                Err(e) => {
+                    stats.failed += 1;
+                    JobState::Rejected(e.to_string())
+                }
+            }
+        };
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .observe_windowed(
+                &format!("stream_{}_frame_latency_ms", stream.id),
+                latency_ms,
+                FRAME_LATENCY_WINDOW,
+            );
+        self.observe("stream_frame_exec_ms", exec_ms);
+        if completed {
+            self.incr("stream_frames_completed");
+        } else {
+            self.incr("stream_frames_failed");
+        }
+        let mut st = self.lock_state();
+        if let Some(entry) = st.jobs.get_mut(&id) {
+            entry.state = state;
+            entry.retire_at = self.retire_deadline();
+            note_terminal(&mut st, completed);
+            self.changed.notify_all();
+        }
+    }
+
     fn lock_state(&self) -> std::sync::MutexGuard<'_, EngineState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -693,6 +1082,12 @@ fn snapshot(id: u64, entry: &JobEntry) -> JobSnapshot {
             record: Some(record.as_ref().clone()),
             detail: String::new(),
         },
+        JobState::FrameDone(detail) => JobSnapshot {
+            id,
+            state: "done",
+            record: None,
+            detail: detail.clone(),
+        },
         JobState::Rejected(why) => JobSnapshot {
             id,
             state: "rejected",
@@ -706,6 +1101,7 @@ fn snapshot(id: u64, entry: &JobEntry) -> JobSnapshot {
 mod tests {
     use super::*;
     use sdvbs_core::InputSize;
+    use sdvbs_stream::{run_one_shot, DegradePolicy, PipelineKind, DIGEST_SEED};
 
     fn spec(seed: u64) -> Job {
         Job::new(
@@ -898,6 +1294,115 @@ mod tests {
         wait_done(&engine, id2);
         engine.drain();
         assert!(engine.counter("jobs_retired") >= 1);
+    }
+
+    fn stream_spec(seed: u64, fps: f64) -> StreamSpec {
+        StreamSpec {
+            pipeline: PipelineKind::Tracking,
+            size: InputSize::Sqcif,
+            seed,
+            fps,
+            policy: DegradePolicy::Degrade,
+        }
+    }
+
+    fn one_shot_digest(spec: &StreamSpec, frames: u64) -> u64 {
+        run_one_shot(spec, frames)
+            .expect("one-shot reference run")
+            .iter()
+            .fold(DIGEST_SEED, |acc, r| fold_digest(acc, r.digest))
+    }
+
+    #[test]
+    fn unloaded_stream_is_bit_identical_to_the_one_shot_run() {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..EngineConfig::default()
+        });
+        // 1 fps → a 1000 ms per-frame budget: never pressured, so every
+        // frame runs at full resolution and the digests must match the
+        // one-shot reference exactly.
+        let spec = stream_spec(3, 1.0);
+        let id = engine.open_stream(spec).expect("open stream");
+        let frames = 6u64;
+        for _ in 0..frames {
+            let ticket = engine.submit_frame(id).expect("submit frame");
+            assert!(!ticket.dropped && !ticket.degraded);
+            let snap = engine
+                .wait_terminal(ticket.job_id.unwrap(), Duration::from_secs(60))
+                .expect("frame job exists");
+            assert_eq!(snap.state, "done");
+        }
+        let status = engine.stream_status(id).expect("stream status");
+        assert_eq!(status.submitted, frames);
+        assert_eq!(status.completed, frames);
+        assert_eq!(status.dropped + status.rejected + status.failed, 0);
+        assert_eq!(status.sla_violations, 0);
+        assert_eq!(status.rolling_digest, one_shot_digest(&spec, frames));
+        let closed = engine.close_stream(id).expect("close stream");
+        assert_eq!(closed.state, "closed");
+        assert!(matches!(
+            engine.submit_frame(id),
+            Err(StreamRefused::Closed)
+        ));
+        engine.drain();
+    }
+
+    #[test]
+    fn burst_submission_across_workers_preserves_frame_order() {
+        // Submit every frame up front with several workers: the sequence
+        // gate must still execute them in order, which the rolling digest
+        // proves (fold_digest is order-sensitive).
+        let engine = Engine::start(EngineConfig {
+            workers: 3,
+            queue_capacity: 64,
+            ..EngineConfig::default()
+        });
+        let spec = stream_spec(8, 1.0);
+        let id = engine.open_stream(spec).expect("open stream");
+        let frames = 10u64;
+        let mut last_job = None;
+        for _ in 0..frames {
+            let ticket = engine.submit_frame(id).expect("submit frame");
+            assert!(
+                !ticket.dropped,
+                "an unloaded burst within the SLA budget never drops"
+            );
+            last_job = ticket.job_id;
+        }
+        let snap = engine
+            .wait_terminal(last_job.unwrap(), Duration::from_secs(60))
+            .expect("last frame exists");
+        assert_eq!(snap.state, "done");
+        let status = engine.stream_status(id).expect("stream status");
+        assert_eq!(status.completed, frames);
+        assert_eq!(status.in_flight, 0);
+        assert_eq!(status.rolling_digest, one_shot_digest(&spec, frames));
+        engine.drain();
+    }
+
+    #[test]
+    fn stream_limit_and_unknown_ids_are_refused() {
+        let engine = Engine::start(EngineConfig::default());
+        assert!(engine.stream_status(99).is_none());
+        assert!(engine.close_stream(99).is_none());
+        assert!(matches!(
+            engine.submit_frame(99),
+            Err(StreamRefused::NoSuchStream)
+        ));
+        for _ in 0..MAX_STREAMS {
+            engine.open_stream(stream_spec(1, 1.0)).expect("open");
+        }
+        assert!(matches!(
+            engine.open_stream(stream_spec(1, 1.0)),
+            Err(StreamRefused::LimitReached)
+        ));
+        engine.drain();
+        assert!(matches!(
+            engine.open_stream(stream_spec(1, 1.0)),
+            Err(StreamRefused::Draining)
+        ));
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //! over the [`sdvbs_wire`] protocol to `sdvbs-serve worker` processes
 //! ([`worker`]), with heartbeat-based failure detection, work stealing,
 //! retry-then-quarantine on worker death, and cluster-wide drain.
+//!
+//! The streaming tier ([`stream`], over the `sdvbs-stream` crate) serves
+//! multi-frame video pipelines with per-stream frame-rate SLAs: frames
+//! ride the scheduler as interactive-class jobs grouped per stream, a
+//! per-stream gate keeps stateful pipelines executing in submission
+//! order, and a declared backpressure policy sheds load when the SLA
+//! budget is missed — `drop` skips frames (counted exactly), `degrade`
+//! processes them at a smaller input size until latency recovers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +51,7 @@ pub mod router;
 pub mod sched;
 pub mod server;
 pub mod shutdown;
+pub mod stream;
 pub mod worker;
 
 pub use backend::Backend;
@@ -51,9 +60,13 @@ pub use cluster::{ClusterConfig, ClusterEngine, CLUSTER_TRACK_BASE};
 pub use coalesce::InflightMap;
 pub use engine::{Engine, EngineConfig, JobSnapshot, Submission};
 pub use http::{parse_request, parse_response, Framing, HttpError, Request, Response, ResponseMsg};
-pub use loadgen::{run_loadgen, spec_body, Client, LoadgenConfig, LoadgenReport, TargetStats};
+pub use loadgen::{
+    run_loadgen, run_stream_loadgen, spec_body, stream_spec_body, Client, LoadgenConfig,
+    LoadgenReport, StreamLoadConfig, StreamLoadReport, StreamRun, TargetStats,
+};
 pub use protocol::{orphan_disposition, pick_target, OrphanDisposition, RetryPolicy};
 pub use sched::{starvation_bound, JobClass, SchedConfig, SchedQueue};
 pub use server::{Server, ServerConfig};
 pub use shutdown::{DrainReport, ShutdownController};
+pub use stream::{parse_stream_spec, FrameSummary, FrameTicket, StreamRefused, StreamStatus};
 pub use worker::{run_worker, WorkerConfig};

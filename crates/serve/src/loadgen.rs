@@ -17,6 +17,7 @@
 
 use crate::http::{parse_response, HttpError, ResponseMsg};
 use sdvbs_runner::{policy_label, size_label, Job};
+use sdvbs_stream::StreamSpec;
 use sdvbs_trace::jsonl::Value;
 use sdvbs_trace::Histogram;
 use std::fmt;
@@ -397,6 +398,300 @@ fn one_request(
     }
 }
 
+/// The JSON stream-spec body for `POST /v1/streams`.
+pub fn stream_spec_body(spec: &StreamSpec) -> String {
+    Value::Obj(vec![
+        (
+            "pipeline".to_string(),
+            Value::Str(spec.pipeline.label().to_string()),
+        ),
+        ("size".to_string(), Value::Str(size_label(spec.size))),
+        ("seed".to_string(), Value::Num(spec.seed as f64)),
+        ("fps".to_string(), Value::Num(spec.fps)),
+        (
+            "policy".to_string(),
+            Value::Str(spec.policy.label().to_string()),
+        ),
+    ])
+    .to_string()
+}
+
+/// Parameters for the paced streaming mode (`loadgen --stream`).
+#[derive(Debug, Clone)]
+pub struct StreamLoadConfig {
+    /// Target address (`host:port`). Streams are a single-engine feature,
+    /// so unlike the job mode there is exactly one target.
+    pub addr: String,
+    /// One stream per spec; each gets its own connection and pacing
+    /// thread.
+    pub specs: Vec<StreamSpec>,
+    /// Frames submitted per stream.
+    pub frames: usize,
+    /// Ceiling on waiting for the in-flight tail after the last
+    /// submission.
+    pub drain_limit: Duration,
+}
+
+/// What one stream's run ended as — the server's own accounting, read
+/// back from the final close response, plus client-side errors.
+#[derive(Debug, Clone)]
+pub struct StreamRun {
+    /// The server-assigned stream id.
+    pub id: u64,
+    /// Pipeline label.
+    pub pipeline: String,
+    /// Input-size label.
+    pub size: String,
+    /// Declared frame rate (the pacing target).
+    pub fps: f64,
+    /// Per-frame SLA derived from the rate.
+    pub sla_ms: f64,
+    /// Backpressure policy label.
+    pub policy: String,
+    /// Frames the client submitted.
+    pub submitted: u64,
+    /// Frames that ran to completion.
+    pub completed: u64,
+    /// Of those, frames processed at the degraded size.
+    pub completed_degraded: u64,
+    /// Frames shed by backpressure or queue overflow.
+    pub dropped: u64,
+    /// Frames refused by a drain after acceptance.
+    pub rejected: u64,
+    /// Frames whose pipeline errored.
+    pub failed: u64,
+    /// Completed frames that missed the SLA.
+    pub sla_violations: u64,
+    /// Degrade-mode flips, either direction.
+    pub degrade_transitions: u64,
+    /// Frame-latency percentiles over the server's retained window.
+    pub p50_ms: f64,
+    /// See [`StreamRun::p50_ms`].
+    pub p95_ms: f64,
+    /// See [`StreamRun::p50_ms`].
+    pub p99_ms: f64,
+    /// The stream's rolling result digest (hex).
+    pub rolling_digest: String,
+    /// Client-side failures (transport errors, unexpected statuses).
+    pub errors: usize,
+}
+
+impl StreamRun {
+    /// The accounting identity every drained stream must satisfy.
+    pub fn accounted(&self) -> bool {
+        self.completed + self.dropped + self.rejected + self.failed == self.submitted
+    }
+}
+
+/// What a streaming load-generator run measured.
+#[derive(Debug)]
+pub struct StreamLoadReport {
+    /// Per-stream results, in spec order. Streams whose setup failed
+    /// outright are missing here and counted in `errors`.
+    pub streams: Vec<StreamRun>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Client-side failures across all streams, including streams that
+    /// never got off the ground.
+    pub errors: usize,
+}
+
+impl fmt::Display for StreamLoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stream loadgen: {} streams in {:.2} s, {} client errors",
+            self.streams.len(),
+            self.wall.as_secs_f64(),
+            self.errors,
+        )?;
+        for s in &self.streams {
+            writeln!(
+                f,
+                "  stream {} {} {} @{:.0}fps sla {:.1} ms policy {}",
+                s.id, s.pipeline, s.size, s.fps, s.sla_ms, s.policy
+            )?;
+            writeln!(
+                f,
+                "    frames: {} submitted = {} completed ({} degraded) + {} dropped \
+                 + {} rejected + {} failed",
+                s.submitted, s.completed, s.completed_degraded, s.dropped, s.rejected, s.failed
+            )?;
+            writeln!(
+                f,
+                "    latency: p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms; \
+                 {} SLA violations, {} degrade transitions, digest {}",
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.sla_violations,
+                s.degrade_transitions,
+                s.rolling_digest
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one paced submission loop per stream and collects the report.
+///
+/// # Errors
+///
+/// Only setup failures (the target refusing the probe connection) are
+/// errors; per-stream failures are counted in the report instead.
+pub fn run_stream_loadgen(cfg: &StreamLoadConfig) -> std::io::Result<StreamLoadReport> {
+    if cfg.specs.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "stream loadgen needs at least one stream spec",
+        ));
+    }
+    drop(Client::connect(&cfg.addr)?);
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for spec in cfg.specs.clone() {
+        let addr = cfg.addr.clone();
+        let (frames, drain_limit) = (cfg.frames, cfg.drain_limit);
+        workers.push(thread::spawn(move || {
+            stream_worker(&addr, &spec, frames, drain_limit)
+        }));
+    }
+    let mut report = StreamLoadReport {
+        streams: Vec::new(),
+        wall: Duration::ZERO,
+        errors: 0,
+    };
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(run)) => {
+                report.errors += run.errors;
+                report.streams.push(run);
+            }
+            Ok(Err(why)) => {
+                eprintln!("stream worker failed: {why}");
+                report.errors += 1;
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+    report.streams.sort_by_key(|s| s.id);
+    report.wall = started.elapsed();
+    Ok(report)
+}
+
+/// Opens one stream, feeds it `frames` frames at the spec's frame rate
+/// (absolute-deadline pacing, so a slow round trip does not skew the
+/// rest of the schedule), waits out the in-flight tail, closes it, and
+/// reads the server's final accounting back.
+fn stream_worker(
+    addr: &str,
+    spec: &StreamSpec,
+    frames: usize,
+    drain_limit: Duration,
+) -> Result<StreamRun, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let resp = client
+        .request("POST", "/v1/streams", Some(&stream_spec_body(spec)))
+        .map_err(|e| format!("open: {e}"))?;
+    if resp.status != 201 {
+        return Err(format!(
+            "open refused: HTTP {} {}",
+            resp.status,
+            resp.body_text()
+        ));
+    }
+    let id = Value::parse(&resp.body_text())
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_u64))
+        .ok_or("open response without an id")?;
+    let interval = Duration::from_secs_f64(1.0 / spec.fps.max(1e-3));
+    let mut errors = 0usize;
+    let frames_target = format!("/v1/streams/{id}/frames");
+    let paced_from = Instant::now();
+    for i in 0..frames {
+        let due = paced_from + interval.mul_f64(i as f64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            thread::sleep(wait);
+        }
+        match client.request("POST", &frames_target, None) {
+            Ok(resp) if resp.status == 202 => {}
+            Ok(_) | Err(_) => errors += 1,
+        }
+    }
+    // Wait out the in-flight tail so the close-time accounting is final.
+    let deadline = Instant::now() + drain_limit;
+    loop {
+        let resp = client
+            .request("GET", &format!("/v1/streams/{id}"), None)
+            .map_err(|e| format!("status: {e}"))?;
+        let body = resp.body_text();
+        let in_flight = Value::parse(&body)
+            .ok()
+            .and_then(|v| v.get("in_flight").and_then(Value::as_u64))
+            .ok_or_else(|| format!("unparsable status body {body}"))?;
+        if in_flight == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "stream {id}: {in_flight} frames still in flight after {drain_limit:?}"
+            ));
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+    let resp = client
+        .request("POST", &format!("/v1/streams/{id}/close"), None)
+        .map_err(|e| format!("close: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("close: HTTP {}", resp.status));
+    }
+    let mut run = parse_stream_run(&resp.body_text())?;
+    run.errors = errors;
+    Ok(run)
+}
+
+/// Parses a server stream-status JSON body into a [`StreamRun`].
+fn parse_stream_run(body: &str) -> Result<StreamRun, String> {
+    let v = Value::parse(body).map_err(|e| format!("unparsable stream status: {e}"))?;
+    let num = |field: &str| {
+        v.get(field)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("status body missing {field:?}: {body}"))
+    };
+    let float = |field: &str| {
+        v.get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("status body missing {field:?}: {body}"))
+    };
+    let text = |field: &str| {
+        v.get(field)
+            .and_then(Value::as_str)
+            .map(String::from)
+            .ok_or_else(|| format!("status body missing {field:?}: {body}"))
+    };
+    Ok(StreamRun {
+        id: num("id")?,
+        pipeline: text("pipeline")?,
+        size: text("size")?,
+        fps: float("fps")?,
+        sla_ms: float("sla_ms")?,
+        policy: text("policy")?,
+        submitted: num("submitted")?,
+        completed: num("completed")?,
+        completed_degraded: num("completed_degraded")?,
+        dropped: num("dropped")?,
+        rejected: num("rejected")?,
+        failed: num("failed")?,
+        sla_violations: num("sla_violations")?,
+        degrade_transitions: num("degrade_transitions")?,
+        p50_ms: float("p50_ms")?,
+        p95_ms: float("p95_ms")?,
+        p99_ms: float("p99_ms")?,
+        rolling_digest: text("rolling_digest")?,
+        errors: 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,5 +719,43 @@ mod tests {
         assert_eq!(v.get("policy").and_then(Value::as_str), Some("threads:2"));
         assert_eq!(v.get("seed").and_then(Value::as_u64), Some(9));
         assert_eq!(v.get("iterations").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn stream_spec_bodies_round_trip_through_the_parser() {
+        let spec = StreamSpec {
+            pipeline: sdvbs_stream::PipelineKind::Stitch,
+            size: InputSize::Qcif,
+            seed: 11,
+            fps: 24.0,
+            policy: sdvbs_stream::DegradePolicy::Drop,
+        };
+        let parsed = crate::stream::parse_stream_spec(stream_spec_body(&spec).as_bytes())
+            .expect("generated body parses");
+        assert_eq!(parsed.pipeline, spec.pipeline);
+        assert_eq!(size_label(parsed.size), "qcif");
+        assert_eq!(parsed.seed, 11);
+        assert!((parsed.fps - 24.0).abs() < 1e-9);
+        assert_eq!(parsed.policy, spec.policy);
+    }
+
+    #[test]
+    fn stream_runs_parse_from_status_bodies_and_check_accounting() {
+        let body = "{\"id\":4,\"pipeline\":\"tracking\",\"size\":\"qcif\",\"fps\":20,\
+                    \"sla_ms\":50.0,\"policy\":\"degrade\",\"state\":\"closed\",\
+                    \"submitted\":10,\"completed\":7,\"completed_degraded\":2,\
+                    \"dropped\":2,\"rejected\":1,\"failed\":0,\"in_flight\":0,\
+                    \"sla_violations\":3,\"degraded_mode\":false,\
+                    \"degrade_transitions\":2,\"rolling_digest\":\"0x0123456789abcdef\",\
+                    \"last_latency_ms\":12.0,\"p50_ms\":10.0,\"p95_ms\":40.0,\
+                    \"p99_ms\":48.0,\"recent\":[]}";
+        let run = parse_stream_run(body).expect("status parses");
+        assert_eq!(run.id, 4);
+        assert_eq!(run.submitted, 10);
+        assert_eq!(run.completed_degraded, 2);
+        assert!(run.accounted(), "7 + 2 + 1 + 0 == 10");
+        assert_eq!(run.rolling_digest, "0x0123456789abcdef");
+        let short = parse_stream_run("{\"id\":4}");
+        assert!(short.is_err(), "missing fields must be named: {short:?}");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sdvbs-serve serve       [--addr HOST:PORT] [--workers N] [--queue N]
-//!                         [--timeout-ms N]
+//!                         [--timeout-ms N] [--hold-ms N]
 //! sdvbs-serve worker      [--addr HOST:PORT] [--name S] [--workers N]
 //!                         [--queue N] [--timeout-ms N] [--hold-ms N]
 //! sdvbs-serve coordinator --workers ADDR,ADDR,... [--addr HOST:PORT]
@@ -12,9 +12,12 @@
 //!                         [--requests N] [--bench NAME] [--size S]
 //!                         [--policy P] [--seed N] [--iterations N]
 //!                         [--unique N] [--poll-ms N]
+//! sdvbs-serve loadgen     --addr HOST:PORT --stream PIPE[:POLICY][@FPS][,...]
+//!                         [--frames N] [--fps F] [--size S] [--seed N]
 //! sdvbs-serve smoke
 //! sdvbs-serve sched-smoke
 //! sdvbs-serve cluster-smoke
+//! sdvbs-serve stream-smoke
 //! ```
 //!
 //! `serve` runs until a client posts `/v1/shutdown`, then drains
@@ -23,10 +26,16 @@
 //! coordinator keeps the HTTP front (cache, coalescing, admission) and
 //! shards admitted jobs across them. `loadgen` drives running servers
 //! closed-loop and prints hit/miss latency percentiles (per target and
-//! aggregate). `smoke` is the single-process CI gate; `sched-smoke`
+//! aggregate); with `--stream` it instead opens one video stream per
+//! spec, feeds frames at the declared rate, and reports the server's
+//! per-frame latency percentiles, SLA violations, and degraded/dropped
+//! frame counts. `smoke` is the single-process CI gate; `sched-smoke`
 //! gates the scheduling tier (batching throughput, QoS starvation bound,
 //! auto-tuning); `cluster-smoke` boots real worker subprocesses and
-//! gates scaling, result fidelity, and worker-death handling.
+//! gates scaling, result fidelity, and worker-death handling;
+//! `stream-smoke` gates the streaming tier (one-shot bit-identity,
+//! degrade engage/disengage under an overload burst, drop-policy
+//! shedding, exact frame accounting, per-stream metrics and trace).
 //!
 //! Exit codes: 0 success, 1 a smoke/loadgen gate failed, 2 usage or
 //! runtime error.
@@ -34,9 +43,13 @@
 use sdvbs_core::{all_benchmarks, ExecPolicy, InputSize};
 use sdvbs_runner::{parse_policy, parse_size, Job, RunRecord};
 use sdvbs_serve::{
-    run_loadgen, run_worker, spec_body, starvation_bound, Client, ClusterConfig, ClusterEngine,
-    Engine, EngineConfig, JobClass, LoadgenConfig, LoadgenReport, SchedConfig, Server,
-    ServerConfig, Submission, WorkerConfig,
+    run_loadgen, run_stream_loadgen, run_worker, spec_body, starvation_bound, stream_spec_body,
+    Client, ClusterConfig, ClusterEngine, Engine, EngineConfig, JobClass, LoadgenConfig,
+    LoadgenReport, SchedConfig, Server, ServerConfig, StreamLoadConfig, StreamRun, Submission,
+    WorkerConfig,
+};
+use sdvbs_stream::{
+    fold_digest, run_one_shot, DegradePolicy, PipelineKind, StreamSpec, DIGEST_SEED,
 };
 use sdvbs_trace::jsonl::Value;
 use sdvbs_trace::Trace;
@@ -58,6 +71,7 @@ fn main() -> ExitCode {
         "smoke" => cmd_smoke(rest),
         "sched-smoke" => cmd_sched_smoke(rest),
         "cluster-smoke" => cmd_cluster_smoke(rest),
+        "stream-smoke" => cmd_stream_smoke(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -75,8 +89,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   sdvbs-serve serve       [--addr HOST:PORT] [--workers N] [--queue N]
-                          [--timeout-ms N] [--cache-capacity N]
-                          [--max-batch N]
+                          [--timeout-ms N] [--hold-ms N]
+                          [--cache-capacity N] [--max-batch N]
   sdvbs-serve worker      [--addr HOST:PORT] [--name S] [--workers N]
                           [--queue N] [--timeout-ms N] [--hold-ms N]
                           [--cache-capacity N] [--max-batch N]
@@ -87,15 +101,22 @@ const USAGE: &str = "usage:
                           [--requests N] [--bench NAME] [--size S]
                           [--policy P] [--seed N] [--iterations N]
                           [--unique N] [--poll-ms N]
+  sdvbs-serve loadgen     --addr HOST:PORT --stream PIPE[:POLICY][@FPS][,...]
+                          [--frames N] [--fps F] [--size S] [--seed N]
   sdvbs-serve smoke
   sdvbs-serve sched-smoke
   sdvbs-serve cluster-smoke
+  sdvbs-serve stream-smoke
 
 serve and coordinator run until a client POSTs /v1/shutdown, then drain
 and exit; a worker exits after its coordinator drains it (or vanishes).
 --max-batch 1 disables dispatch batching; --cache-capacity bounds the
-result cache (LRU eviction past it).
-sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto";
+result cache (LRU eviction past it). --stream opens one video stream
+per item and paces frames at --fps (an @FPS suffix overrides it for
+that one stream); streams get seeds seed, seed+1, ...
+sizes: sqcif | qcif | cif | WxH     policies: serial | threads:N | auto
+stream pipelines: tracking | disparity | stitch
+stream policies:  drop | degrade (default)";
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut cfg = ServerConfig {
@@ -118,6 +139,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             "--timeout-ms" => {
                 let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
                 cfg.engine.timeout = Some(Duration::from_millis(ms));
+            }
+            "--hold-ms" => {
+                let ms: u64 = parse_num(&value("--hold-ms")?, "--hold-ms")?;
+                cfg.engine.hold = Some(Duration::from_millis(ms));
             }
             "--cache-capacity" => {
                 cfg.engine.cache_capacity =
@@ -255,6 +280,9 @@ fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
     let mut iterations = 1usize;
     let mut unique = 4u64;
     let mut poll_ms = 1000u64;
+    let mut streams: Vec<String> = Vec::new();
+    let mut frames = 50usize;
+    let mut fps = 10.0f64;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -280,11 +308,63 @@ fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
             "--iterations" => iterations = parse_num(&value("--iterations")?, "--iterations")?,
             "--unique" => unique = parse_num(&value("--unique")?, "--unique")?,
             "--poll-ms" => poll_ms = parse_num(&value("--poll-ms")?, "--poll-ms")?,
+            "--stream" => streams.extend(
+                value("--stream")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string),
+            ),
+            "--frames" => frames = parse_num(&value("--frames")?, "--frames")?,
+            "--fps" => fps = parse_num(&value("--fps")?, "--fps")?,
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
     if addrs.is_empty() {
         return Err("loadgen requires --addr HOST:PORT".into());
+    }
+    if !streams.is_empty() {
+        let specs = streams
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                // PIPE[:POLICY][@FPS] — the @FPS suffix overrides the
+                // global --fps for this one stream, which is how a demo
+                // pushes a single stream past its SLA budget.
+                let (item, fps) = match item.rsplit_once('@') {
+                    Some((rest, f)) => (rest, parse_num(f, "--stream @fps")?),
+                    None => (item.as_str(), fps),
+                };
+                let (pipeline, policy) = match item.split_once(':') {
+                    Some((p, pol)) => (p, DegradePolicy::parse(pol)?),
+                    None => (item, DegradePolicy::Degrade),
+                };
+                let spec = StreamSpec {
+                    pipeline: PipelineKind::parse(pipeline)?,
+                    size,
+                    seed: seed + i as u64,
+                    fps,
+                    policy,
+                };
+                spec.validate()?;
+                Ok(spec)
+            })
+            .collect::<Result<Vec<StreamSpec>, String>>()?;
+        let cfg = StreamLoadConfig {
+            addr: addrs[0].clone(),
+            specs,
+            frames,
+            drain_limit: Duration::from_secs(300),
+        };
+        let report = run_stream_loadgen(&cfg).map_err(|e| format!("stream loadgen failed: {e}"))?;
+        print!("{report}");
+        let ok = report.errors == 0
+            && report.streams.len() == streams.len()
+            && report.streams.iter().all(StreamRun::accounted);
+        return Ok(if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
     }
     if !all_benchmarks().iter().any(|b| b.info().name == bench) {
         return Err(format!("unknown benchmark {bench:?}"));
@@ -1108,6 +1188,420 @@ fn cluster_smoke() -> Result<(), String> {
         report.quarantined,
         report.dead_workers.join(", ")
     );
+    Ok(())
+}
+
+fn cmd_stream_smoke(args: &[String]) -> Result<ExitCode, String> {
+    if !args.is_empty() {
+        return Err(format!("stream-smoke takes no flags\n{USAGE}"));
+    }
+    match stream_smoke() {
+        Ok(()) => {
+            println!("stream smoke: PASS");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(why) => {
+            eprintln!("stream smoke: FAIL: {why}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+/// `POST /v1/streams`; returns the new stream's id.
+fn open_stream_http(client: &mut Client, spec: &StreamSpec) -> Result<u64, String> {
+    let resp = client
+        .request("POST", "/v1/streams", Some(&stream_spec_body(spec)))
+        .map_err(|e| format!("POST /v1/streams: {e}"))?;
+    expect_status("stream open", resp.status, 201)?;
+    field_u64(&resp.body_text(), "id")
+}
+
+/// `POST /v1/streams/<id>/frames`; returns the frame ticket as
+/// `(job_id, dropped, degraded)`.
+fn submit_frame_http(client: &mut Client, id: u64) -> Result<(Option<u64>, bool, bool), String> {
+    let resp = client
+        .request("POST", &format!("/v1/streams/{id}/frames"), None)
+        .map_err(|e| format!("frame submit: {e}"))?;
+    expect_status("frame submit", resp.status, 202)?;
+    let body = resp.body_text();
+    let job = Value::parse(&body)
+        .ok()
+        .and_then(|v| v.get("job_id").and_then(Value::as_u64));
+    Ok((
+        job,
+        field_bool(&body, "dropped")?,
+        field_bool(&body, "degraded")?,
+    ))
+}
+
+/// `GET /v1/streams/<id>`; returns the parsed status body.
+fn stream_status_http(client: &mut Client, id: u64) -> Result<Value, String> {
+    let resp = client
+        .request("GET", &format!("/v1/streams/{id}"), None)
+        .map_err(|e| format!("stream status: {e}"))?;
+    expect_status("stream status", resp.status, 200)?;
+    Value::parse(&resp.body_text()).map_err(|e| format!("status body: {e}"))
+}
+
+/// Submits one frame and blocks until it completes; returns the ticket's
+/// degraded flag. Errors if the frame was dropped.
+fn frame_closed_loop(client: &mut Client, id: u64) -> Result<bool, String> {
+    let (job, dropped, degraded) = submit_frame_http(client, id)?;
+    if dropped {
+        return Err(format!("stream {id}: unexpected dropped frame"));
+    }
+    let job = job.ok_or("accepted frame without a job id")?;
+    poll_until(client, job, "done", Duration::from_secs(120))?;
+    Ok(degraded)
+}
+
+/// A status field that must be a number.
+fn status_u64(status: &Value, field: &str) -> Result<u64, String> {
+    status
+        .get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("status body missing {field:?}"))
+}
+
+/// The accounting identity every idle stream must satisfy:
+/// `completed + dropped + rejected + failed == submitted` with nothing
+/// in flight.
+fn check_accounting(status: &Value, what: &str) -> Result<(), String> {
+    let [submitted, completed, dropped, rejected, failed, in_flight] = [
+        status_u64(status, "submitted")?,
+        status_u64(status, "completed")?,
+        status_u64(status, "dropped")?,
+        status_u64(status, "rejected")?,
+        status_u64(status, "failed")?,
+        status_u64(status, "in_flight")?,
+    ];
+    if in_flight != 0 {
+        return Err(format!("{what}: {in_flight} frames still in flight"));
+    }
+    if completed + dropped + rejected + failed != submitted {
+        return Err(format!(
+            "{what}: accounting broken: {completed} completed + {dropped} dropped \
+             + {rejected} rejected + {failed} failed != {submitted} submitted"
+        ));
+    }
+    Ok(())
+}
+
+/// The per-frame cost floor the phase-2/3 server runs with: a hold makes
+/// frame cost deterministic, so the SLA arithmetic below is machine-
+/// independent. Full-size frames pay the whole window; degraded frames
+/// pay their pixel share of it (a quarter, at SQCIF's half-resolution).
+const STREAM_HOLD_MS: u64 = 25;
+/// Warmup and burst sizes for the degrade phase.
+const STREAM_WARMUP: usize = 8;
+const STREAM_BURST: usize = 8;
+/// Closed-loop frames after the burst. Sized so the burst's SLA misses
+/// sit below the 5% mark: only the burst can violate (at most
+/// `STREAM_BURST` frames), and `8 / 160 = 5%`, so the p95 gate holds
+/// with margin.
+const STREAM_RECOVERY: usize = 144;
+
+/// The streaming CI gate, over real loopback sockets:
+///
+/// 1. **Bit-identity** — an unloaded stream's rolling digest must equal
+///    the one-shot in-process run of the same spec, frame for frame.
+/// 2. **Degrade** — a burst of back-to-back frames on a held server
+///    must engage degrade, shed latency at the smaller size, and
+///    disengage after a healthy run; the final p95 must sit within the
+///    SLA and every frame must be accounted for exactly.
+/// 3. **Drop** — a stream whose SLA is below the per-frame cost floor
+///    must shed every frame after the first, all counted.
+/// 4. **Exposition** — per-stream metrics and frame trace spans must be
+///    present and structurally valid.
+fn stream_smoke() -> Result<(), String> {
+    // --- Phase 1: unloaded bit-identity through the HTTP front. ---
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            ..EngineConfig::default()
+        },
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let spec = StreamSpec {
+        pipeline: PipelineKind::Tracking,
+        size: InputSize::Sqcif,
+        seed: 5,
+        fps: 1.0, // a 1000 ms budget: never pressured while unloaded
+        policy: DegradePolicy::Degrade,
+    };
+    let id = open_stream_http(&mut client, &spec)?;
+    const IDENTITY_FRAMES: u64 = 6;
+    for _ in 0..IDENTITY_FRAMES {
+        if frame_closed_loop(&mut client, id)? {
+            return Err("unloaded stream degraded a frame".into());
+        }
+    }
+    let status = stream_status_http(&mut client, id)?;
+    check_accounting(&status, "unloaded stream")?;
+    for (field, want) in [
+        ("submitted", IDENTITY_FRAMES),
+        ("completed", IDENTITY_FRAMES),
+        ("completed_degraded", 0),
+        ("dropped", 0),
+        ("sla_violations", 0),
+    ] {
+        let got = status_u64(&status, field)?;
+        if got != want {
+            return Err(format!("unloaded stream: {field} = {got}, want {want}"));
+        }
+    }
+    let expected = run_one_shot(&spec, IDENTITY_FRAMES)
+        .map_err(|e| format!("one-shot run: {e}"))?
+        .iter()
+        .fold(DIGEST_SEED, |acc, r| fold_digest(acc, r.digest));
+    let expected = format!("{expected:#018x}");
+    let digest = status
+        .get("rolling_digest")
+        .and_then(Value::as_str)
+        .ok_or("status without rolling_digest")?;
+    if digest != expected {
+        return Err(format!(
+            "stream digest {digest} != one-shot digest {expected}"
+        ));
+    }
+    println!(
+        "  identity: {IDENTITY_FRAMES} streamed frames fold to {expected}, one-shot identical"
+    );
+    let resp = client
+        .request("POST", &format!("/v1/streams/{id}/close"), None)
+        .map_err(|e| format!("close: {e}"))?;
+    expect_status("stream close", resp.status, 200)?;
+    let resp = client
+        .request("POST", "/v1/shutdown", None)
+        .map_err(|e| format!("shutdown: {e}"))?;
+    expect_status("shutdown", resp.status, 200)?;
+    drop(client);
+    server.wait();
+
+    // --- Phases 2-4: a held server, so frame cost (and therefore the
+    // SLA arithmetic) is deterministic across machines. ---
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            hold: Some(Duration::from_millis(STREAM_HOLD_MS)),
+            ..EngineConfig::default()
+        },
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+
+    // Phase 2: 10 fps over a ~27 ms frame cost leaves slack unloaded,
+    // but a back-to-back burst projects past the budget and must flip
+    // the stream into degrade.
+    let spec = StreamSpec {
+        pipeline: PipelineKind::Tracking,
+        size: InputSize::Sqcif,
+        seed: 2,
+        fps: 10.0,
+        policy: DegradePolicy::Degrade,
+    };
+    let sla_ms = spec.sla_ms();
+    let degrade_id = open_stream_http(&mut client, &spec)?;
+    for _ in 0..STREAM_WARMUP {
+        frame_closed_loop(&mut client, degrade_id)?;
+    }
+    let status = stream_status_http(&mut client, degrade_id)?;
+    if status.get("degraded_mode") != Some(&Value::Bool(false)) {
+        return Err("degrade engaged during the unloaded warmup".into());
+    }
+    let mut last_job = None;
+    for _ in 0..STREAM_BURST {
+        let (job, dropped, _) = submit_frame_http(&mut client, degrade_id)?;
+        if dropped {
+            return Err("burst frame dropped under the degrade policy".into());
+        }
+        last_job = job;
+    }
+    let last_job = last_job.ok_or("burst frame without a job id")?;
+    poll_until(&mut client, last_job, "done", Duration::from_secs(120))?;
+    let status = stream_status_http(&mut client, degrade_id)?;
+    if status.get("degraded_mode") != Some(&Value::Bool(true)) {
+        return Err("overload burst did not engage degrade".into());
+    }
+    if status_u64(&status, "completed_degraded")? == 0 {
+        return Err("degrade engaged but no frame ran at the degraded size".into());
+    }
+    let mut recovered_after = None;
+    for i in 0..STREAM_RECOVERY {
+        let degraded = frame_closed_loop(&mut client, degrade_id)?;
+        if !degraded && recovered_after.is_none() {
+            recovered_after = Some(i);
+        }
+    }
+    let recovered_after =
+        recovered_after.ok_or("degrade never disengaged over the recovery run")?;
+    let status = stream_status_http(&mut client, degrade_id)?;
+    check_accounting(&status, "degrade stream")?;
+    if status.get("degraded_mode") != Some(&Value::Bool(false)) {
+        return Err("degrade still engaged after the recovery run".into());
+    }
+    if status_u64(&status, "degrade_transitions")? < 2 {
+        return Err("expected at least one engage + disengage transition".into());
+    }
+    let violations = status_u64(&status, "sla_violations")?;
+    if violations > STREAM_BURST as u64 {
+        return Err(format!(
+            "{violations} SLA violations — more than the {STREAM_BURST}-frame burst can explain"
+        ));
+    }
+    let p95 = status
+        .get("p95_ms")
+        .and_then(Value::as_f64)
+        .ok_or("status without p95_ms")?;
+    if p95 > sla_ms {
+        return Err(format!(
+            "p95 {p95:.1} ms exceeds the {sla_ms:.1} ms SLA despite degrade"
+        ));
+    }
+    println!(
+        "  degrade: engaged on an {STREAM_BURST}-frame burst, {} degraded frames, \
+         disengaged after {} healthy frames; p95 {p95:.1} ms within the {sla_ms:.0} ms SLA, \
+         {violations} violations (all burst)",
+        status_u64(&status, "completed_degraded")?,
+        recovered_after,
+    );
+
+    // Phase 3: 240 fps demands ~4 ms frames against a ~27 ms cost floor
+    // — impossible, so the drop policy must shed every frame after the
+    // first, all counted.
+    let spec = StreamSpec {
+        pipeline: PipelineKind::Tracking,
+        size: InputSize::Sqcif,
+        seed: 3,
+        fps: 240.0,
+        policy: DegradePolicy::Drop,
+    };
+    let drop_id = open_stream_http(&mut client, &spec)?;
+    frame_closed_loop(&mut client, drop_id)?;
+    const DROP_FRAMES: usize = 19;
+    for _ in 0..DROP_FRAMES {
+        let (_, dropped, _) = submit_frame_http(&mut client, drop_id)?;
+        if !dropped {
+            return Err("drop policy accepted a frame it cannot serve in time".into());
+        }
+    }
+    let status = stream_status_http(&mut client, drop_id)?;
+    check_accounting(&status, "drop stream")?;
+    for (field, want) in [
+        ("submitted", 1 + DROP_FRAMES as u64),
+        ("completed", 1),
+        ("dropped", DROP_FRAMES as u64),
+    ] {
+        let got = status_u64(&status, field)?;
+        if got != want {
+            return Err(format!("drop stream: {field} = {got}, want {want}"));
+        }
+    }
+    println!(
+        "  drop: 1 completed + {DROP_FRAMES} shed = {} submitted, counted exactly",
+        1 + DROP_FRAMES
+    );
+
+    // Phase 4: per-stream metrics and frame trace spans. Streams share
+    // the server with the ordinary job path, so run one bench job plus a
+    // cache hit first — the baseline exposition gate covers both tiers.
+    let job = Job::new(
+        "Disparity Map",
+        InputSize::Custom {
+            width: 32,
+            height: 24,
+        },
+        ExecPolicy::Serial,
+        77,
+        1,
+    );
+    let resp = post_jobs(&mut client, &spec_body(&job, 77), "")?;
+    expect_status("bench-alongside-streams submission", resp.0, 202)?;
+    poll_until(
+        &mut client,
+        field_u64(&resp.1, "id")?,
+        "done",
+        Duration::from_secs(60),
+    )?;
+    let resp = post_jobs(&mut client, &spec_body(&job, 77), "")?;
+    expect_status("cached resubmission", resp.0, 200)?;
+    for id in [degrade_id, drop_id] {
+        let resp = client
+            .request("POST", &format!("/v1/streams/{id}/close"), None)
+            .map_err(|e| format!("close: {e}"))?;
+        expect_status("stream close", resp.status, 200)?;
+    }
+    // Closing the connection merges its request stats into the lifetime
+    // registry the exposition gates read.
+    drop(client);
+    check_stream_metrics(&addr, degrade_id)?;
+    check_stream_trace(&addr, degrade_id)?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let resp = client
+        .request("POST", "/v1/shutdown", None)
+        .map_err(|e| format!("shutdown: {e}"))?;
+    expect_status("shutdown", resp.status, 200)?;
+    drop(client);
+    server.wait();
+    Ok(())
+}
+
+/// The `/metrics` exposition must carry the streaming tier's aggregate
+/// counters and the per-stream latency histogram of stream `id`.
+fn check_stream_metrics(addr: &str, id: u64) -> Result<(), String> {
+    check_metrics(addr)?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let resp = client
+        .request("GET", "/metrics", None)
+        .map_err(|e| format!("GET /metrics: {e}"))?;
+    expect_status("/metrics", resp.status, 200)?;
+    let text = resp.body_text();
+    let per_stream = format!("sdvbs_serve_stream_{id}_frame_latency_ms{{stat=\"p95\"}}");
+    for required in [
+        "sdvbs_serve_stream_frames_submitted",
+        "sdvbs_serve_stream_frames_completed",
+        "sdvbs_serve_stream_frames_degraded",
+        "sdvbs_serve_stream_frames_dropped",
+        "sdvbs_serve_stream_sla_violations",
+        per_stream.as_str(),
+    ] {
+        if !text.lines().any(|l| l.starts_with(required)) {
+            return Err(format!("missing required stream metric {required:?}"));
+        }
+    }
+    println!("  metrics: stream counters and per-stream latency histogram present");
+    Ok(())
+}
+
+/// The `/v1/trace` timeline must validate and carry the stream's own
+/// track (its meta label) plus per-frame spans.
+fn check_stream_trace(addr: &str, id: u64) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let resp = client
+        .request("GET", "/v1/trace", None)
+        .map_err(|e| format!("GET /v1/trace: {e}"))?;
+    expect_status("/v1/trace", resp.status, 200)?;
+    let trace = Trace::from_chrome_json(&resp.body_text())
+        .map_err(|e| format!("trace does not parse: {e}"))?;
+    trace
+        .validate()
+        .map_err(|e| format!("trace does not validate: {e}"))?;
+    let label = format!("stream {id} ");
+    if !trace.events().iter().any(|e| e.name.starts_with(&label)) {
+        return Err(format!("trace has no track labelled for stream {id}"));
+    }
+    let frames = trace.events().iter().filter(|e| e.cat == "frame").count();
+    if frames == 0 {
+        return Err("trace has no frame spans".into());
+    }
+    println!("  trace: stream track labelled, {frames} frame span events");
     Ok(())
 }
 

@@ -4,6 +4,10 @@
 //! |---|---|
 //! | `POST /v1/jobs` | Submit a job spec. `200` with the record when served from cache, `202` with a job id when queued or coalesced, `400` for a bad spec, `429` + `Retry-After` when the queue is full, `503` while draining. `?fresh=1` bypasses cache and coalescing; `?class=interactive\|batch` picks the QoS lane (default `interactive`). |
 //! | `GET /v1/jobs/<id>` | Poll a job. `?wait_ms=N` long-polls until terminal (capped at 30 s). `503` for a rejected job, `404` for an unknown id. |
+//! | `POST /v1/streams` | Open a video stream: `{"pipeline":"tracking\|disparity\|stitch", "size":"qcif", "seed":1, "fps":20, "policy":"drop\|degrade"}`. `201` with the stream id, `400` for a bad spec, `429` at the open-stream cap, `503` while draining. |
+//! | `POST /v1/streams/<id>/frames` | Submit the stream's next frame. `202` with a frame ticket (which says whether the frame was accepted, dropped by backpressure, or degraded), `404`/`409` for unknown/closed streams, `503` while draining. |
+//! | `GET /v1/streams/<id>` | Stream status: frame accounting, SLA violations, degrade state, latency percentiles, recent frame results. |
+//! | `POST /v1/streams/<id>/close` | Close the stream (idempotent); responds with its final status. |
 //! | `GET /metrics` | Prometheus-style text exposition of the engine's lifetime counters and latency histograms. |
 //! | `GET /v1/trace` | Chrome-trace JSON of per-connection request spans absorbed so far. |
 //! | `GET /healthz` | `200` always; reports `"ok"` or `"draining"`. |
@@ -14,6 +18,7 @@ use crate::engine::{JobSnapshot, Submission};
 use crate::http::{Request, Response};
 use crate::sched::JobClass;
 use crate::shutdown::ShutdownController;
+use crate::stream::{parse_stream_spec, StreamRefused};
 use sdvbs_core::all_benchmarks;
 use sdvbs_runner::Job;
 use sdvbs_trace::jsonl::Value;
@@ -60,6 +65,14 @@ pub fn route(req: &Request, ctx: &Ctx) -> Routed {
     match (req.method.as_str(), req.path()) {
         ("POST", "/v1/jobs") => Routed::plain(submit(req, ctx)),
         ("GET", path) if path.starts_with("/v1/jobs/") => Routed::plain(poll(req, ctx)),
+        ("POST", "/v1/streams") => Routed::plain(open_stream(req, ctx)),
+        ("POST", path) if path.starts_with("/v1/streams/") && path.ends_with("/frames") => {
+            Routed::plain(submit_frame(req, ctx))
+        }
+        ("POST", path) if path.starts_with("/v1/streams/") && path.ends_with("/close") => {
+            Routed::plain(close_stream(req, ctx))
+        }
+        ("GET", path) if path.starts_with("/v1/streams/") => Routed::plain(stream_status(req, ctx)),
         ("GET", "/metrics") => Routed::plain(Response::text(200, ctx.engine.metrics_text())),
         ("GET", "/v1/trace") => Routed::plain(trace_json(ctx)),
         ("GET", "/healthz") => {
@@ -86,9 +99,10 @@ pub fn route(req: &Request, ctx: &Ctx) -> Routed {
                 initiate_shutdown: owner,
             }
         }
-        (_, "/v1/jobs" | "/metrics" | "/v1/trace" | "/healthz" | "/v1/shutdown") => {
-            Routed::plain(Response::json(405, err_json("method not allowed")))
-        }
+        (
+            _,
+            "/v1/jobs" | "/v1/streams" | "/metrics" | "/v1/trace" | "/healthz" | "/v1/shutdown",
+        ) => Routed::plain(Response::json(405, err_json("method not allowed"))),
         _ => Routed::plain(Response::json(404, err_json("no such endpoint"))),
     }
 }
@@ -157,6 +171,98 @@ fn poll(req: &Request, ctx: &Ctx) -> Response {
             let status = if snap.state == "rejected" { 503 } else { 200 };
             Response::json(status, snapshot_json(&snap))
         }
+    }
+}
+
+/// Maps a stream refusal to its HTTP response.
+fn refusal_response(refused: StreamRefused) -> Response {
+    match refused {
+        StreamRefused::Unsupported => {
+            Response::json(501, err_json("this backend does not serve streams"))
+        }
+        StreamRefused::Draining => Response::json(503, err_json("server is draining")),
+        StreamRefused::LimitReached => {
+            Response::json(429, err_json("too many open streams")).with_header("retry-after", "1")
+        }
+        StreamRefused::NoSuchStream => Response::json(404, err_json("no such stream")),
+        StreamRefused::Closed => Response::json(409, err_json("stream is closed")),
+        StreamRefused::BadSpec(why) => Response::json(400, err_json(&why)),
+    }
+}
+
+/// The `<id>` segment of a `/v1/streams/<id>[/...]` path.
+fn stream_id(path: &str) -> Result<u64, Response> {
+    let rest = &path["/v1/streams/".len()..];
+    let id_text = rest.split('/').next().unwrap_or_default();
+    id_text
+        .parse::<u64>()
+        .map_err(|_| Response::json(400, err_json("stream id must be an integer")))
+}
+
+/// `POST /v1/streams`.
+fn open_stream(req: &Request, ctx: &Ctx) -> Response {
+    let spec = match parse_stream_spec(&req.body) {
+        Ok(spec) => spec,
+        Err(why) => return Response::json(400, err_json(&why)),
+    };
+    match ctx.engine.open_stream(spec) {
+        Ok(id) => Response::json(
+            201,
+            format!(
+                "{{\"id\":{id},\"sla_ms\":{:.3},\"policy\":\"{}\"}}",
+                spec.sla_ms(),
+                spec.policy.label()
+            ),
+        ),
+        Err(refused) => refusal_response(refused),
+    }
+}
+
+/// `POST /v1/streams/<id>/frames`.
+fn submit_frame(req: &Request, ctx: &Ctx) -> Response {
+    let id = match stream_id(req.path()) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    match ctx.engine.submit_frame(id) {
+        Ok(ticket) => {
+            let job = match ticket.job_id {
+                Some(job) => job.to_string(),
+                None => "null".to_string(),
+            };
+            Response::json(
+                202,
+                format!(
+                    "{{\"frame\":{},\"job_id\":{job},\"dropped\":{},\"degraded\":{}}}",
+                    ticket.frame, ticket.dropped, ticket.degraded
+                ),
+            )
+        }
+        Err(refused) => refusal_response(refused),
+    }
+}
+
+/// `GET /v1/streams/<id>`.
+fn stream_status(req: &Request, ctx: &Ctx) -> Response {
+    let id = match stream_id(req.path()) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    match ctx.engine.stream_status(id) {
+        Some(status) => Response::json(200, status.to_json()),
+        None => Response::json(404, err_json("no such stream")),
+    }
+}
+
+/// `POST /v1/streams/<id>/close`.
+fn close_stream(req: &Request, ctx: &Ctx) -> Response {
+    let id = match stream_id(req.path()) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    match ctx.engine.close_stream(id) {
+        Some(status) => Response::json(200, status.to_json()),
+        None => Response::json(404, err_json("no such stream")),
     }
 }
 

@@ -33,6 +33,7 @@ mod scenes;
 pub use faces::{face_scene, render_face_patch, render_non_face_patch, FaceBox, FaceScene};
 pub use noise::{textured_image, value_noise};
 pub use scenes::{
-    frame_pair, frame_sequence, overlapping_pair, segmentable_scene, stereo_pair, texture_swatch,
-    OverlapPair, SegmentScene, StereoPair, TextureKind,
+    frame_pair, frame_sequence, motion_frame, moving_stereo_pair, overlapping_pair,
+    segmentable_scene, stereo_pair, texture_swatch, CameraMotion, OverlapPair, SegmentScene,
+    StereoPair, TextureKind,
 };

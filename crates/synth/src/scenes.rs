@@ -121,6 +121,162 @@ pub fn frame_sequence(w: usize, h: usize, seed: u64, n: usize, vx: f32, vy: f32)
         .collect()
 }
 
+/// Seeded frame-to-frame camera motion: a constant velocity in pixels
+/// per frame. Streaming scenarios pan or translate a camera over a
+/// deterministic world; the motion is part of the scene's identity, so
+/// the same `(seed, motion, frame)` triple always produces the same
+/// pixels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraMotion {
+    /// Horizontal velocity in pixels per frame (positive pans right).
+    pub vx: f32,
+    /// Vertical velocity in pixels per frame (positive pans down).
+    pub vy: f32,
+}
+
+impl CameraMotion {
+    /// A pure horizontal pan.
+    pub fn pan(vx: f32) -> CameraMotion {
+        CameraMotion { vx, vy: 0.0 }
+    }
+
+    /// A general translation.
+    pub fn translate(vx: f32, vy: f32) -> CameraMotion {
+        CameraMotion { vx, vy }
+    }
+}
+
+/// Bilinear sample with toroidal (wrap-around) coordinates, so a camera
+/// can pan indefinitely over a finite world texture.
+fn wrap_sample(img: &Image, x: f64, y: f64) -> f32 {
+    let w = img.width();
+    let h = img.height();
+    let xm = x.rem_euclid(w as f64);
+    let ym = y.rem_euclid(h as f64);
+    let x0 = xm.floor() as usize % w;
+    let y0 = ym.floor() as usize % h;
+    let tx = (xm - xm.floor()) as f32;
+    let ty = (ym - ym.floor()) as f32;
+    let x1 = (x0 + 1) % w;
+    let y1 = (y0 + 1) % h;
+    let top = img.get(x0, y0) * (1.0 - tx) + img.get(x1, y0) * tx;
+    let bot = img.get(x0, y1) * (1.0 - tx) + img.get(x1, y1) * tx;
+    top * (1.0 - ty) + bot * ty
+}
+
+/// The camera offset of frame `frame` under `motion`, computed in `f64`
+/// so large frame indices keep sub-pixel precision, reduced modulo the
+/// world size so the sequence is periodic rather than unbounded.
+fn camera_offset(motion: CameraMotion, frame: u64, ww: usize, wh: usize) -> (f64, f64) {
+    let ox = (motion.vx as f64 * frame as f64).rem_euclid(ww as f64);
+    let oy = (motion.vy as f64 * frame as f64).rem_euclid(wh as f64);
+    (ox, oy)
+}
+
+/// Generates frame `frame` of an endless camera pan over a seeded
+/// textured world. Unlike [`frame_sequence`], each frame is a pure
+/// function of `(w, h, seed, motion, frame)` — frame `i` can be
+/// generated without generating (or even knowing about) any other frame,
+/// and regenerating it later is bit-identical. The world is sampled
+/// toroidally, so consecutive frames stay photometrically consistent for
+/// arbitrarily long sequences: frame `i+1` content at `(x, y)` equals
+/// frame `i` content at `(x + vx, y + vy)`.
+pub fn motion_frame(w: usize, h: usize, seed: u64, motion: CameraMotion, frame: u64) -> Image {
+    // The world is twice the view in each axis so the repeat period is
+    // well clear of any feature-matching window.
+    let ww = 2 * w.max(1);
+    let wh = 2 * h.max(1);
+    let world = textured_image(ww, wh, seed);
+    let (ox, oy) = camera_offset(motion, frame, ww, wh);
+    Image::from_fn(w, h, |x, y| {
+        wrap_sample(&world, x as f64 + ox, y as f64 + oy)
+    })
+}
+
+/// Generates frame `frame` of a stereo camera pair translating over a
+/// layered world: the textured background plane plus two foreground
+/// rectangles of [`stereo_pair`], except the camera moves by `motion`
+/// each frame and the world wraps toroidally. Like [`motion_frame`],
+/// frame `i` is a pure function of its arguments — bit-identical on
+/// regeneration, no sequence length to declare up front.
+///
+/// The disparity convention matches [`stereo_pair`]: a scene point at
+/// `(x, y)` in the left image appears at `(x − d, y)` in the right.
+///
+/// # Panics
+///
+/// Panics if the image is smaller than 48×36 (the foreground layout
+/// needs room).
+pub fn moving_stereo_pair(
+    w: usize,
+    h: usize,
+    seed: u64,
+    motion: CameraMotion,
+    frame: u64,
+) -> StereoPair {
+    assert!(w >= 48 && h >= 36, "stereo scene requires at least 48x36");
+    let d_bg = 2usize;
+    let d_near = 10usize;
+    let d_mid = 6usize;
+    let max_disparity = 16;
+    let ww = 2 * w;
+    let wh = 2 * h;
+    let background = textured_image(ww, wh, seed);
+    let tex_near = textured_image(ww, wh, seed ^ 0x9e3779b97f4a7c15);
+    let tex_mid = textured_image(ww, wh, seed ^ 0x5851f42d4c957f2d);
+    // Foreground rectangles live at fixed *world* coordinates; the camera
+    // pans past them (and wraps around to meet them again).
+    let near_rect = (w / 6, h / 5, w / 4, h / 3); // (x0, y0, width, height)
+    let mid_rect = (w / 2, h / 2, w / 3, h / 3);
+    let in_rect = |r: (usize, usize, usize, usize), wx: f64, wy: f64| {
+        let dx = (wx - r.0 as f64).rem_euclid(ww as f64);
+        let dy = (wy - r.1 as f64).rem_euclid(wh as f64);
+        dx < r.2 as f64 && dy < r.3 as f64
+    };
+    let (ox, oy) = camera_offset(motion, frame, ww, wh);
+    let left = Image::from_fn(w, h, |x, y| {
+        let wx = x as f64 + ox;
+        let wy = y as f64 + oy;
+        if in_rect(near_rect, wx, wy) {
+            wrap_sample(&tex_near, wx, wy)
+        } else if in_rect(mid_rect, wx, wy) {
+            wrap_sample(&tex_mid, wx, wy)
+        } else {
+            wrap_sample(&background, wx, wy)
+        }
+    });
+    // The right camera samples each layer at world x + d_layer: layers
+    // closer to the camera shift more.
+    let right = Image::from_fn(w, h, |x, y| {
+        let wx = x as f64 + ox;
+        let wy = y as f64 + oy;
+        if in_rect(near_rect, wx + d_near as f64, wy) {
+            wrap_sample(&tex_near, wx + d_near as f64, wy)
+        } else if in_rect(mid_rect, wx + d_mid as f64, wy) {
+            wrap_sample(&tex_mid, wx + d_mid as f64, wy)
+        } else {
+            wrap_sample(&background, wx + d_bg as f64, wy)
+        }
+    });
+    let truth = Image::from_fn(w, h, |x, y| {
+        let wx = x as f64 + ox;
+        let wy = y as f64 + oy;
+        if in_rect(near_rect, wx, wy) {
+            d_near as f32
+        } else if in_rect(mid_rect, wx, wy) {
+            d_mid as f32
+        } else {
+            d_bg as f32
+        }
+    });
+    StereoPair {
+        left,
+        right,
+        truth,
+        max_disparity,
+    }
+}
+
 /// A synthetic segmentation scene with ground-truth region labels.
 #[derive(Debug, Clone)]
 pub struct SegmentScene {
@@ -389,6 +545,86 @@ mod tests {
         let dark = su.as_slice().iter().filter(|&&v| v < 100.0).count();
         let light = su.as_slice().iter().filter(|&&v| v > 140.0).count();
         assert!(dark > 200 && light > 2000);
+    }
+
+    #[test]
+    fn motion_frames_are_bit_identical_per_seed() {
+        // Same seed ⇒ bit-identical frame sequence, and frame i is
+        // generable in isolation (no dependence on sequence length or on
+        // having generated earlier frames).
+        let m = CameraMotion::translate(1.5, -0.75);
+        let seq_a: Vec<Image> = (0..6).map(|i| motion_frame(64, 48, 11, m, i)).collect();
+        let seq_b: Vec<Image> = (0..6).map(|i| motion_frame(64, 48, 11, m, i)).collect();
+        assert_eq!(seq_a, seq_b);
+        // Out-of-order single-frame regeneration matches the in-order run.
+        assert_eq!(motion_frame(64, 48, 11, m, 4), seq_a[4]);
+        // A different seed is a different world.
+        assert_ne!(motion_frame(64, 48, 12, m, 0), seq_a[0]);
+    }
+
+    #[test]
+    fn motion_frames_shift_content_by_the_per_frame_velocity() {
+        // Integer velocity: frame i+1 at (x, y) equals frame i at
+        // (x + vx, y + vy) exactly (no resampling error).
+        let m = CameraMotion::translate(3.0, 2.0);
+        let f0 = motion_frame(64, 48, 5, m, 0);
+        let f1 = motion_frame(64, 48, 5, m, 1);
+        let mut err = 0.0f32;
+        for y in 0..46 {
+            for x in 0..61 {
+                err += (f1.get(x, y) - f0.get(x + 3, y + 2)).abs();
+            }
+        }
+        assert!(err < 1e-3, "total shift error {err}");
+    }
+
+    #[test]
+    fn moving_stereo_pair_is_deterministic_and_keeps_the_disparity_relation() {
+        let m = CameraMotion::pan(0.9);
+        assert_eq!(
+            moving_stereo_pair(96, 72, 3, m, 7).left,
+            moving_stereo_pair(96, 72, 3, m, 7).left
+        );
+        // Frame 0 with zero motion reduces to a plain layered scene whose
+        // truth has the three canonical levels.
+        for frame in [0u64, 9, 40] {
+            let s = moving_stereo_pair(96, 72, 3, m, frame);
+            let mut checked = 0;
+            let mut exact = 0;
+            for y in (0..72).step_by(5) {
+                for x in (20..90).step_by(7) {
+                    let d = s.truth.get(x, y) as usize;
+                    if x >= d {
+                        checked += 1;
+                        if (s.right.get(x - d, y) - s.left.get(x, y)).abs() < 1e-3 {
+                            exact += 1;
+                        }
+                    }
+                }
+            }
+            assert!(checked > 50);
+            assert!(
+                exact as f64 > 0.85 * checked as f64,
+                "frame {frame}: {exact}/{checked}"
+            );
+        }
+    }
+
+    #[test]
+    fn moving_stereo_truth_pans_with_the_camera() {
+        // The near rectangle occupies different view pixels as the camera
+        // pans: the truth maps of well-separated frames must differ.
+        let m = CameraMotion::pan(2.0);
+        let a = moving_stereo_pair(96, 72, 3, m, 0);
+        let b = moving_stereo_pair(96, 72, 3, m, 10);
+        assert_ne!(a.truth, b.truth);
+        // But both contain all three depth layers somewhere.
+        for s in [&a, &b] {
+            let mut levels: Vec<i32> = s.truth.as_slice().iter().map(|&v| v as i32).collect();
+            levels.sort_unstable();
+            levels.dedup();
+            assert_eq!(levels, vec![2, 6, 10]);
+        }
     }
 
     #[test]

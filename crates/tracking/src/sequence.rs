@@ -82,6 +82,35 @@ impl Tracker {
         self.next_id
     }
 
+    /// Rescales the tracker's state to a new frame resolution, so a
+    /// stream that degrades to a smaller input size (or recovers back)
+    /// can keep its feature identities across the switch. Track
+    /// coordinates are scaled into the new resolution and the previous
+    /// frame is resampled to match, so the next [`Tracker::advance`]
+    /// tracks across the switch instead of panicking on mismatched
+    /// dimensions. A no-op before the first frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn rescale(&mut self, new_w: usize, new_h: usize) {
+        assert!(new_w > 0 && new_h > 0, "rescale needs positive dimensions");
+        let Some(prev) = self.prev.take() else {
+            return;
+        };
+        if (prev.width(), prev.height()) == (new_w, new_h) {
+            self.prev = Some(prev);
+            return;
+        }
+        let sx = new_w as f32 / prev.width() as f32;
+        let sy = new_h as f32 / prev.height() as f32;
+        for t in &mut self.tracks {
+            t.x *= sx;
+            t.y *= sy;
+        }
+        self.prev = Some(prev.resize_bilinear(new_w, new_h));
+    }
+
     /// Ingests the next frame: tracks existing features into it, drops
     /// lost ones, and re-detects to refill the population. Returns the
     /// number of features dropped this frame.
@@ -242,6 +271,48 @@ mod tests {
             ids.dedup();
             assert_eq!(ids.len(), n, "duplicate track ids");
         }
+    }
+
+    #[test]
+    fn rescale_carries_tracks_across_a_resolution_switch() {
+        // Simulate a degrade switch: full-resolution frames, then the
+        // same scene at half resolution. rescale() keeps identities.
+        let full = frame_sequence(128, 96, 21, 6, 1.0, 0.5);
+        let mut tracker = Tracker::new(TrackingConfig::default()).unwrap();
+        let mut prof = Profiler::new();
+        tracker.advance(&full[0], &mut prof);
+        tracker.advance(&full[1], &mut prof);
+        let before: Vec<u64> = tracker.tracks().iter().map(|t| t.id).collect();
+        assert!(before.len() >= 20, "{} tracks before switch", before.len());
+        tracker.rescale(64, 48);
+        for frame in &full[2..] {
+            tracker.advance(&frame.resize_bilinear(64, 48), &mut prof);
+        }
+        // A solid share of pre-switch identities survives the switch and
+        // the half-resolution frames that follow.
+        let survivors = tracker
+            .tracks()
+            .iter()
+            .filter(|t| before.contains(&t.id))
+            .count();
+        assert!(
+            survivors * 10 >= before.len() * 4,
+            "{survivors}/{} survivors across the switch",
+            before.len()
+        );
+        // Coordinates are in the new resolution.
+        for t in tracker.tracks() {
+            assert!(t.x < 64.0 && t.y < 48.0, "track off-frame: {t:?}");
+        }
+    }
+
+    #[test]
+    fn rescale_before_any_frame_is_a_no_op() {
+        let mut tracker = Tracker::new(TrackingConfig::default()).unwrap();
+        tracker.rescale(64, 48);
+        let mut prof = Profiler::new();
+        tracker.advance(&Image::filled(96, 72, 1.0), &mut prof);
+        assert!(tracker.prev.is_some());
     }
 
     #[test]
